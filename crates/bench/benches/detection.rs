@@ -1,0 +1,76 @@
+//! Violation-detection throughput per notation (Table 3, row 1): how fast
+//! each class of rule checks an instance — equality rules are
+//! partition-cheap, similarity and order rules pay for tuple pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deptree_bench::{entity_workload, fd_workload, sequence_workload};
+use deptree_core::{
+    CmpOp, Dc, Dependency, Direction, Fd, Interval, Md, Mfd, Od, Predicate, Sd,
+};
+use deptree_metrics::Metric;
+use deptree_relation::{AttrId, AttrSet};
+use std::hint::black_box;
+
+fn detection_suite(c: &mut Criterion) {
+    let cat = fd_workload(2000, 4, 0.01);
+    let ent = entity_workload(250); // ~500 rows, pairwise rules at n²
+    let seq = sequence_workload(5000, 1, 0.02);
+
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+
+    let fd = Fd::new(cat.schema(), AttrSet::single(AttrId(0)), AttrSet::single(AttrId(2)));
+    group.bench_function("fd_2000rows", |b| {
+        b.iter(|| black_box(&fd).violations(black_box(&cat)))
+    });
+
+    let es = ent.relation.schema();
+    let mfd = Mfd::new(
+        es,
+        AttrSet::single(es.id("zip")),
+        vec![(es.id("price"), Metric::AbsDiff, 50.0)],
+    );
+    group.bench_function("mfd_groupwise", |b| {
+        b.iter(|| black_box(&mfd).violations(black_box(&ent.relation)))
+    });
+
+    let md = Md::new(
+        es,
+        vec![(es.id("name"), Metric::Levenshtein, 4.0)],
+        AttrSet::single(es.id("zip")),
+    );
+    group.bench_function("md_pairwise_editdist", |b| {
+        b.iter(|| black_box(&md).violations(black_box(&ent.relation)))
+    });
+
+    let od = Od::new(
+        es,
+        vec![(es.id("price"), Direction::Asc)],
+        vec![(es.id("price"), Direction::Asc)],
+    );
+    group.bench_function("od_pairwise", |b| {
+        b.iter(|| black_box(&od).holds(black_box(&ent.relation)))
+    });
+
+    let dc = Dc::new(
+        es,
+        vec![
+            Predicate::across(es.id("price"), CmpOp::Lt, es.id("price")),
+            Predicate::across(es.id("price"), CmpOp::Gt, es.id("price")),
+        ],
+    );
+    group.bench_function("dc_ordered_pairs", |b| {
+        b.iter(|| black_box(&dc).holds(black_box(&ent.relation)))
+    });
+
+    let ss = seq.schema();
+    let sd = Sd::new(ss, ss.id("seq"), ss.id("y"), Interval::new(2.0, 4.0));
+    group.bench_function("sd_5000rows_sorted", |b| {
+        b.iter(|| black_box(&sd).violations(black_box(&seq)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, detection_suite);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Discovery-algorithm throughput on standard workloads — one entry per
+//! Table 2 discovery column, at a fixed comparable scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deptree_bench::{entity_workload, fd_workload, sequence_workload};
+use deptree_discovery::{cfd, cords, dd, fastfd, ffd, md, mfd, mvd, ned, od, pfd, sd, tane};
+use deptree_metrics::Metric;
+use deptree_relation::AttrSet;
+use std::hint::black_box;
+
+fn discovery_suite(c: &mut Criterion) {
+    let cat = fd_workload(400, 6, 0.01);
+    let ent = entity_workload(120);
+    let seq = sequence_workload(500, 1, 0.02);
+
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+
+    group.bench_function("tane_exact", |b| {
+        b.iter(|| tane::discover(black_box(&cat), &tane::TaneConfig::default()))
+    });
+    group.bench_function("tane_approx", |b| {
+        b.iter(|| {
+            tane::discover(
+                black_box(&cat),
+                &tane::TaneConfig {
+                    max_lhs: 3,
+                    max_error: 0.05,
+                },
+            )
+        })
+    });
+    group.bench_function("fastfd", |b| {
+        b.iter(|| fastfd::discover(black_box(&cat)))
+    });
+    group.bench_function("cords", |b| {
+        b.iter(|| cords::discover(black_box(&cat), &cords::CordsConfig::default()))
+    });
+    group.bench_function("pfd", |b| {
+        b.iter(|| pfd::discover(black_box(&cat), &pfd::PfdConfig::default()))
+    });
+    group.bench_function("cfdminer", |b| {
+        b.iter(|| cfd::cfdminer(black_box(&cat), &cfd::CfdConfig { min_support: 4, max_lhs: 1 }))
+    });
+    group.bench_function("mvd", |b| {
+        b.iter(|| mvd::discover(black_box(&cat), &mvd::MvdConfig { max_x: 1, max_y: 1 }))
+    });
+
+    let ent_rel = &ent.relation;
+    let s = ent_rel.schema();
+    group.bench_function("mfd_min_delta", |b| {
+        b.iter(|| {
+            mfd::minimal_delta(
+                black_box(ent_rel),
+                AttrSet::single(s.id("zip")),
+                s.id("price"),
+                &Metric::AbsDiff,
+            )
+        })
+    });
+    group.bench_function("dd", |b| {
+        b.iter(|| {
+            dd::discover(
+                black_box(ent_rel),
+                &dd::DdConfig {
+                    thresholds_per_attr: 2,
+                    min_support: 2,
+                    max_lhs: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("md", |b| {
+        b.iter(|| {
+            md::discover(
+                black_box(ent_rel),
+                AttrSet::single(s.id("zip")),
+                &md::MdConfig {
+                    min_support: 0.0001,
+                    min_confidence: 0.9,
+                    thresholds_per_attr: 2,
+                    max_lhs: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("ned_beam", |b| {
+        b.iter(|| {
+            ned::discover_lhs(
+                black_box(ent_rel),
+                vec![deptree_core::NedAtom::new(s.id("zip"), Metric::Equality, 0.0)],
+                &ned::NedConfig {
+                    thresholds_per_attr: 2,
+                    max_lhs: 1,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("ffd", |b| {
+        b.iter(|| ffd::discover(black_box(ent_rel), &ffd::FfdConfig { max_lhs: 1, numeric_beta: 1.0 }))
+    });
+
+    let sq = seq.schema();
+    group.bench_function("od", |b| {
+        b.iter(|| od::discover(black_box(&seq), &od::OdConfig::default()))
+    });
+    group.bench_function("sd_suggest", |b| {
+        b.iter(|| sd::suggest_gap(black_box(&seq), sq.id("seq"), sq.id("y"), 0.05, 0.95))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, discovery_suite);
+criterion_main!(benches);

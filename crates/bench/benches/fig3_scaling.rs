@@ -1,0 +1,87 @@
+//! Fig. 3 reproduced empirically: the *shape* of discovery cost.
+//!
+//! * FD-family discovery (TANE) grows exponentially with the number of
+//!   attributes — the lattice;
+//! * DC discovery (FASTDC) grows with both the predicate space and
+//!   tuple-pairs;
+//! * the CSD tableau DP is polynomial (quadratic in positions) — the
+//!   survey's highlighted exception.
+//!
+//! Absolute numbers are machine-specific; the growth curves are the
+//! reproduction target (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deptree_bench::{fd_workload, sequence_workload};
+use deptree_core::Interval;
+use deptree_discovery::{dc, sd, tane};
+use std::hint::black_box;
+
+fn tane_vs_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/tane_attrs");
+    group.sample_size(10);
+    for attrs in [4usize, 6, 8, 10, 12] {
+        let r = fd_workload(500, attrs, 0.0);
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &r, |b, r| {
+            b.iter(|| {
+                tane::discover(
+                    black_box(r),
+                    &tane::TaneConfig {
+                        max_lhs: attrs,
+                        max_error: 0.0,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fastdc_vs_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/fastdc_attrs");
+    group.sample_size(10);
+    for attrs in [2usize, 3, 4] {
+        let r = fd_workload(60, attrs, 0.05);
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &r, |b, r| {
+            b.iter(|| {
+                dc::discover(
+                    black_box(r),
+                    &dc::DcConfig {
+                        max_predicates: 3,
+                        approx_epsilon: 0.0,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn csd_tableau_vs_positions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/csd_positions");
+    group.sample_size(10);
+    for rows in [200usize, 400, 800, 1600] {
+        let r = sequence_workload(rows, 2, 0.02);
+        let s = r.schema();
+        let (seq, y) = (s.id("seq"), s.id("y"));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &r, |b, r| {
+            b.iter(|| {
+                sd::csd_tableau(
+                    black_box(r),
+                    seq,
+                    y,
+                    Interval::new(2.0, 4.0),
+                    0.95,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    tane_vs_attributes,
+    fastdc_vs_attributes,
+    csd_tableau_vs_positions
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Repair-algorithm throughput (Table 3, row 2): value-modification FD
+//! repair, greedy deletion repair, and gap-constrained sequence repair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deptree_bench::{fd_workload, sequence_workload};
+use deptree_core::{Dependency, Fd, Interval, Sd};
+use deptree_quality::repair;
+use deptree_relation::{AttrId, AttrSet};
+use std::hint::black_box;
+
+fn repair_suite(c: &mut Criterion) {
+    let cat = fd_workload(1000, 4, 0.03);
+    let seq = sequence_workload(5000, 1, 0.03);
+
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+
+    let fds = vec![
+        Fd::new(cat.schema(), AttrSet::single(AttrId(0)), AttrSet::single(AttrId(2))),
+        Fd::new(cat.schema(), AttrSet::single(AttrId(1)), AttrSet::single(AttrId(3))),
+    ];
+    group.bench_function("fd_modal_repair_1000rows", |b| {
+        b.iter(|| repair::repair_fds(black_box(&cat), &fds, 10))
+    });
+
+    let rules: Vec<Box<dyn Dependency>> = fds
+        .iter()
+        .cloned()
+        .map(|fd| Box::new(fd) as Box<dyn Dependency>)
+        .collect();
+    // Deletion repair recomputes violations per round; use a smaller slice.
+    let small_rows: Vec<usize> = (0..300).collect();
+    let small = cat.select_rows(&small_rows);
+    group.bench_function("deletion_repair_300rows", |b| {
+        b.iter(|| repair::deletion_repair(black_box(&small), &rules))
+    });
+
+    let ss = seq.schema();
+    let sd = Sd::new(ss, ss.id("seq"), ss.id("y"), Interval::new(2.0, 4.0));
+    group.bench_function("sequence_repair_5000rows", |b| {
+        b.iter(|| repair::repair_sequence(black_box(&seq), &sd))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, repair_suite);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Regenerate the survey's tables and figures as text.
+//!
+//! ```sh
+//! cargo run -p deptree-bench --bin print_tables            # everything
+//! cargo run -p deptree-bench --bin print_tables -- fig1a   # one artifact
+//! ```
+//!
+//! Artifacts: `table2`, `table3`, `fig1a`, `fig1b`, `fig2`, `fig3`, `dot`.
+
+use deptree_core::familytree::{registry, verify_all_edges, ExtensionGraph};
+use deptree_core::DepKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("table2") {
+        table2();
+    }
+    if want("table3") {
+        table3();
+    }
+    if want("fig1a") {
+        fig1a();
+    }
+    if want("fig1b") {
+        fig1b();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig3") {
+        fig3();
+    }
+    if args.iter().any(|a| a == "dot") {
+        println!("{}", ExtensionGraph::survey().to_dot());
+    }
+}
+
+/// Table 2: the index of data dependencies.
+fn table2() {
+    println!("== Table 2: An Index of Data Dependencies ==");
+    println!(
+        "{:<14} {:<6} {:<45} {:>5} {:>7}",
+        "Data type", "Dep.", "Name", "Year", "#pubs"
+    );
+    for info in &registry::REGISTRY {
+        println!(
+            "{:<14} {:<6} {:<45} {:>5} {:>7}",
+            info.branch.to_string(),
+            info.kind.acronym(),
+            info.name,
+            info.year,
+            info.publications
+        );
+    }
+    println!();
+}
+
+/// Table 3: applications of data dependencies.
+fn table3() {
+    println!("== Table 3: Applications of Data Dependencies ==");
+    for app in registry::Application::ALL {
+        let users: Vec<&str> = registry::supporting(app)
+            .iter()
+            .map(|n| n.kind.acronym())
+            .collect();
+        println!("{:<28} {}", app.to_string(), users.join(", "));
+    }
+    println!();
+}
+
+/// Fig. 1A: the family tree, plus empirical verification of every arrow.
+fn fig1a() {
+    let graph = ExtensionGraph::survey();
+    println!("== Fig. 1A: Family tree of extensions ==");
+    print!("{}", graph.to_ascii());
+    println!("\n-- edge verification (example instances + perturbations) --");
+    let mut all_ok = true;
+    for rep in verify_all_edges() {
+        let (s, g) = rep.edge;
+        let status = if rep.ok() { "ok" } else { "FAILED" };
+        println!(
+            "{:>6} → {:<6} {:?}: {}/{} instances {status}",
+            s.acronym(),
+            g.acronym(),
+            rep.mode,
+            rep.agreed,
+            rep.instances
+        );
+        all_ok &= rep.ok();
+    }
+    println!("verified: {all_ok}\n");
+}
+
+/// Fig. 1B: publications per notation, as an ASCII bar chart.
+fn fig1b() {
+    println!("== Fig. 1B: Publications using each dependency ==");
+    let mut infos: Vec<_> = registry::REGISTRY
+        .iter()
+        .filter(|n| n.kind != DepKind::Fd)
+        .collect();
+    infos.sort_by_key(|n| std::cmp::Reverse(n.publications));
+    for info in infos {
+        println!(
+            "{:>6} {:>5} |{}",
+            info.kind.acronym(),
+            info.publications,
+            "█".repeat((info.publications as usize / 10).max(1))
+        );
+    }
+    println!();
+}
+
+/// Fig. 2: the proposal timeline.
+fn fig2() {
+    println!("== Fig. 2: Timeline of data dependencies ==");
+    let mut by_year: Vec<(u16, Vec<DepKind>)> = Vec::new();
+    for (year, kind) in registry::timeline() {
+        match by_year.last_mut() {
+            Some((y, ks)) if *y == year => ks.push(kind),
+            _ => by_year.push((year, vec![kind])),
+        }
+    }
+    for (year, kinds) in by_year {
+        let names: Vec<&str> = kinds.iter().map(|k| k.acronym()).collect();
+        println!("{year}  {}", names.join(", "));
+    }
+    println!();
+}
+
+/// Fig. 3: the discovery-difficulty landscape.
+fn fig3() {
+    println!("== Fig. 3: Difficulty of discovery problems ==");
+    use deptree_core::familytree::registry::Complexity;
+    for class in [
+        Complexity::PolynomialTime,
+        Complexity::ExponentialOutput,
+        Complexity::NpHard,
+        Complexity::NpComplete,
+        Complexity::CoNpComplete,
+    ] {
+        let members: Vec<&registry::NotationInfo> = registry::REGISTRY
+            .iter()
+            .filter(|n| n.discovery == class)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        println!("[{class}]");
+        for info in members {
+            println!("  {:<6} — {}", info.kind.acronym(), info.complexity_note);
+        }
+    }
+    println!();
+}

@@ -1,0 +1,69 @@
+//! Shared workload builders for the benchmark harness and the
+//! table-printing binaries. Each helper corresponds to a figure or table
+//! of the survey (see DESIGN.md's experiment index).
+
+#![warn(missing_docs)]
+
+use deptree_relation::Relation;
+use deptree_synth::{categorical, numerical, CategoricalConfig, SequenceConfig};
+
+/// Standard categorical workload for FD-family discovery benches: `rows ×
+/// attrs` with planted FDs and the given error rate.
+pub fn fd_workload(rows: usize, attrs: usize, error: f64) -> Relation {
+    assert!(attrs >= 2, "need at least one key and one dependent attr");
+    let cfg = CategoricalConfig {
+        n_rows: rows,
+        n_key_attrs: attrs / 2,
+        n_dep_attrs: attrs - attrs / 2,
+        domain: 30,
+        error_rate: error,
+        seed: 0xBEEF,
+    };
+    categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed)).relation
+}
+
+/// Standard sequence workload for SD/CSD benches: `rows` positions with
+/// `regimes` gap bands and the given spike rate.
+pub fn sequence_workload(rows: usize, regimes: usize, spikes: f64) -> Relation {
+    let bands = (0..regimes)
+        .map(|i| {
+            let base = 2.0 + 10.0 * i as f64;
+            (base, base + 2.0)
+        })
+        .collect();
+    let cfg = SequenceConfig {
+        n_rows: rows,
+        regimes: bands,
+        spike_rate: spikes,
+        seed: 0xFACE,
+    };
+    numerical::generate(&cfg, &mut deptree_synth::rng(cfg.seed)).relation
+}
+
+/// Entity workload for MD/dedup benches.
+pub fn entity_workload(entities: usize) -> deptree_synth::EntityData {
+    let cfg = deptree_synth::EntitiesConfig {
+        n_entities: entities,
+        max_duplicates: 3,
+        variety: 0.5,
+        error_rate: 0.02,
+        seed: 0xDEED,
+    };
+    deptree_synth::entities::generate(&cfg, &mut deptree_synth::rng(cfg.seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_requested_shapes() {
+        let r = fd_workload(100, 5, 0.0);
+        assert_eq!(r.n_rows(), 100);
+        assert_eq!(r.n_attrs(), 5);
+        let s = sequence_workload(50, 2, 0.0);
+        assert_eq!(s.n_rows(), 50);
+        let e = entity_workload(10);
+        assert!(e.relation.n_rows() >= 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! The table-printer binary regenerates every survey artifact without
+//! crashing and with the expected headline content.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_print_tables"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{args:?} failed");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table2_lists_all_24_notations() {
+    let out = run(&["table2"]);
+    for acro in [
+        "FDs", "SFDs", "PFDs", "AFDs", "NUDs", "CFDs", "eCFDs", "MVDs", "FHDs", "AMVDs",
+        "MFDs", "NEDs", "DDs", "CDDs", "CDs", "PACs", "FFDs", "MDs", "CMDs", "OFDs", "ODs",
+        "DCs", "SDs", "CSDs",
+    ] {
+        assert!(out.contains(acro), "missing {acro}");
+    }
+    assert!(out.contains("2007")); // CFDs' year
+}
+
+#[test]
+fn table3_has_all_application_rows() {
+    let out = run(&["table3"]);
+    for row in [
+        "Violation detection",
+        "Data repairing",
+        "Query optimization",
+        "Consistent query answering",
+        "Data deduplication",
+        "Data partition",
+        "Schema normalization",
+        "Model fairness",
+    ] {
+        assert!(out.contains(row), "missing {row}");
+    }
+    assert!(out.contains("Model fairness               MVDs"));
+}
+
+#[test]
+fn fig1a_verifies_every_edge() {
+    let out = run(&["fig1a"]);
+    assert!(out.contains("verified: true"), "{out}");
+    assert!(!out.contains("FAILED"));
+    // Both roots render.
+    assert!(out.contains("FDs (1971"));
+    assert!(out.contains("OFDs (1999"));
+}
+
+#[test]
+fn fig3_highlights_the_polynomial_exception() {
+    let out = run(&["fig3"]);
+    assert!(out.contains("[PTIME]"));
+    assert!(out.contains("CSDs"));
+    assert!(out.contains("NP-complete"));
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let out = run(&["dot"]);
+    assert!(out.contains("digraph familytree"));
+    assert!(out.contains("FDs -> SFDs;"));
+}
+
+#[test]
+fn default_prints_everything() {
+    let out = run(&[]);
+    assert!(out.contains("Table 2"));
+    assert!(out.contains("Table 3"));
+    assert!(out.contains("Fig. 1A"));
+    assert!(out.contains("Fig. 1B"));
+    assert!(out.contains("Fig. 2"));
+    assert!(out.contains("Fig. 3"));
+}

@@ -1,0 +1,117 @@
+//! Approximate functional dependencies (§2.3).
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::Relation;
+use std::fmt;
+
+/// An approximate functional dependency `X →ε Y`: the `g3` error — the
+/// minimum fraction of rows to remove so `X → Y` holds exactly — is at most
+/// `ε` (Kivinen–Mannila, §2.3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Afd {
+    embedded: Fd,
+    epsilon: f64,
+}
+
+impl Afd {
+    /// Build an AFD with maximum error `ε`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ ε < 1`.
+    pub fn new(embedded: Fd, epsilon: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&epsilon),
+            "error threshold must be in [0, 1)"
+        );
+        Afd { embedded, epsilon }
+    }
+
+    /// The Fig. 1 embedding: an FD is an AFD with error 0 (§2.3.2).
+    pub fn from_fd(fd: Fd) -> Self {
+        Afd::new(fd, 0.0)
+    }
+
+    /// The embedded FD.
+    pub fn embedded(&self) -> &Fd {
+        &self.embedded
+    }
+
+    /// The maximum error `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The `g3` error measure of the embedded FD (§2.3.1).
+    pub fn g3(&self, r: &Relation) -> f64 {
+        self.embedded.g3(r)
+    }
+}
+
+impl Dependency for Afd {
+    fn kind(&self) -> DepKind {
+        DepKind::Afd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.g3(r) <= self.epsilon
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        self.embedded.violations(r)
+    }
+}
+
+impl fmt::Display for Afd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AFD(g3≤{}): {}", self.epsilon, &self.embedded.to_string()[4..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::{hotels_r1, hotels_r5};
+
+    #[test]
+    fn paper_g3_values_on_r5() {
+        // §2.3.1: g3(address → region, r5) = 1/4 (remove t3 or t4);
+        //         g3(name → address, r5) = 1/2 (remove two tuples).
+        let r = hotels_r5();
+        let a1 = Afd::new(Fd::parse(r.schema(), "address -> region").unwrap(), 0.25);
+        assert!((a1.g3(&r) - 0.25).abs() < 1e-12);
+        assert!(a1.holds(&r));
+        let a2 = Afd::new(Fd::parse(r.schema(), "name -> address").unwrap(), 0.25);
+        assert!((a2.g3(&r) - 0.5).abs() < 1e-12);
+        assert!(!a2.holds(&r));
+    }
+
+    #[test]
+    fn zero_error_iff_fd_holds() {
+        for r in [hotels_r1(), hotels_r5()] {
+            for (x, y) in [("address", "region"), ("name", "address")] {
+                let Some(fd) = Fd::parse(r.schema(), &format!("{x} -> {y}")) else {
+                    continue;
+                };
+                let afd = Afd::from_fd(fd.clone());
+                assert_eq!(fd.holds(&r), afd.holds(&r), "{x} -> {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn loose_epsilon_tolerates_everything() {
+        let r = hotels_r5();
+        let afd = Afd::new(Fd::parse(r.schema(), "name -> address").unwrap(), 0.9);
+        assert!(afd.holds(&r));
+        // Violation witnesses of the embedded FD are still reported.
+        assert!(!afd.violations(&r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "error threshold")]
+    fn epsilon_one_rejected() {
+        let r = hotels_r5();
+        Afd::new(Fd::parse(r.schema(), "name -> address").unwrap(), 1.0);
+    }
+}

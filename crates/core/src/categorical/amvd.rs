@@ -1,0 +1,146 @@
+//! Approximate multivalued dependencies (§2.6.6).
+
+use crate::categorical::Mvd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::Relation;
+use std::fmt;
+
+/// An approximate MVD (`ε`-MVD, Kenig et al.): the fraction of *spurious*
+/// tuples introduced by joining the two decomposed projections is at most
+/// `ε` (§2.6.6). With `ε = 0` this is exactly the embedded MVD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Amvd {
+    embedded: Mvd,
+    epsilon: f64,
+}
+
+impl Amvd {
+    /// Build an ε-MVD.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ ε < 1`.
+    pub fn new(embedded: Mvd, epsilon: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&epsilon),
+            "accuracy threshold must be in [0, 1)"
+        );
+        Amvd { embedded, epsilon }
+    }
+
+    /// The Fig. 1 embedding: an MVD is an AMVD with `ε = 0` (§2.6.6).
+    pub fn from_mvd(mvd: Mvd) -> Self {
+        Amvd::new(mvd, 0.0)
+    }
+
+    /// The embedded MVD.
+    pub fn embedded(&self) -> &Mvd {
+        &self.embedded
+    }
+
+    /// The accuracy threshold `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The accuracy measure: spurious join tuples as a fraction of the
+    /// decomposition-join size. Zero iff the exact MVD holds.
+    pub fn accuracy_error(&self, r: &Relation) -> f64 {
+        let join = self.embedded.join_size(r);
+        if join == 0 {
+            return 0.0;
+        }
+        self.embedded.spurious_tuples(r) as f64 / join as f64
+    }
+}
+
+impl Dependency for Amvd {
+    fn kind(&self) -> DepKind {
+        DepKind::Amvd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.accuracy_error(r) <= self.epsilon
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        self.embedded.violations(r)
+    }
+}
+
+impl fmt::Display for Amvd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AMVD(ε≤{}): {}", self.epsilon, &self.embedded.to_string()[5..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::{AttrSet, RelationBuilder, ValueType};
+
+    fn course_rel(extra_rows: usize) -> Relation {
+        // Base: complete 2×2 cross product for course "db"; `extra_rows`
+        // adds unmatched (teacher, book) combos for course "os" that break
+        // independence.
+        let mut b = RelationBuilder::new()
+            .attr("course", ValueType::Categorical)
+            .attr("teacher", ValueType::Categorical)
+            .attr("book", ValueType::Categorical)
+            .row(vec!["db".into(), "ann".into(), "codd".into()])
+            .row(vec!["db".into(), "ann".into(), "date".into()])
+            .row(vec!["db".into(), "bob".into(), "codd".into()])
+            .row(vec!["db".into(), "bob".into(), "date".into()]);
+        for i in 0..extra_rows {
+            b = b.row(vec![
+                "os".into(),
+                format!("t{i}").into(),
+                format!("b{i}").into(),
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    fn mvd(r: &Relation) -> Mvd {
+        let s = r.schema();
+        Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")))
+    }
+
+    #[test]
+    fn zero_epsilon_equals_exact_mvd() {
+        let clean = course_rel(0);
+        let dirty = course_rel(3);
+        for r in [&clean, &dirty] {
+            let m = mvd(r);
+            let a = Amvd::from_mvd(m.clone());
+            assert_eq!(m.holds(r), a.holds(r));
+        }
+    }
+
+    #[test]
+    fn accuracy_error_grows_with_dirt() {
+        // 3 diagonal (tᵢ, bᵢ) rows in one group: join 9, actual 3, 6 spurious.
+        let r = course_rel(3);
+        let a = Amvd::new(mvd(&r), 0.1);
+        let err = a.accuracy_error(&r);
+        // groups: db join 4, spurious 0; os join 9, spurious 6 → 6/13.
+        assert!((err - 6.0 / 13.0).abs() < 1e-12);
+        assert!(!a.holds(&r));
+        assert!(Amvd::new(mvd(&r), 0.5).holds(&r));
+    }
+
+    #[test]
+    fn clean_relation_perfect_accuracy() {
+        let r = course_rel(0);
+        let a = Amvd::new(mvd(&r), 0.0);
+        assert_eq!(a.accuracy_error(&r), 0.0);
+        assert!(a.holds(&r));
+        assert!(a.violations(&r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy threshold")]
+    fn epsilon_one_rejected() {
+        let r = course_rel(0);
+        Amvd::new(mvd(&r), 1.0);
+    }
+}

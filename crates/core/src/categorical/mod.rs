@@ -1,0 +1,24 @@
+//! Dependencies over categorical data (survey §2): equality-based
+//! notations and their statistical and conditional extensions.
+
+mod afd;
+mod amvd;
+mod cfd;
+mod ecfd;
+mod fd;
+mod fhd;
+mod mvd;
+mod nud;
+mod pfd;
+mod sfd;
+
+pub use afd::Afd;
+pub use amvd::Amvd;
+pub use cfd::{Cfd, CfdTableau, Pattern, PatternCell};
+pub use ecfd::{ECfd, PatternOp};
+pub use fd::Fd;
+pub use fhd::Fhd;
+pub use mvd::Mvd;
+pub use nud::Nud;
+pub use pfd::Pfd;
+pub use sfd::Sfd;

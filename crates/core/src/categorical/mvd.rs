@@ -1,0 +1,262 @@
+//! Multivalued dependencies (§2.6): tuple-generating dependencies.
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::{AttrSet, Relation, Schema, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A distinct `(Y-values, Z-values)` combination paired with a
+/// representative row.
+type YzRep = ((Vec<Value>, Vec<Value>), usize);
+
+/// A multivalued dependency `X ↠ Y` with `Z = R − X − Y`: within each
+/// `X`-group, the set of `Y`-values is independent of the `Z`-values, i.e.
+/// `r = π_XY(r) ⋈ π_XZ(r)` (§2.6.1).
+///
+/// Unlike the equality-generating notations, a violation witness is a tuple
+/// *pair* whose recombination `(t1[XY], t2[Z])` is missing from the
+/// relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mvd {
+    x: AttrSet,
+    y: AttrSet,
+    display: String,
+}
+
+impl Mvd {
+    /// Build an MVD `X ↠ Y`. `Y` is implicitly made disjoint from `X`
+    /// (`t[Y∩X]` is determined by `t[X]` anyway).
+    pub fn new(schema: &Schema, x: AttrSet, y: AttrSet) -> Self {
+        let y = y.difference(x);
+        let names = |s: AttrSet| {
+            s.iter()
+                .map(|a| schema.name(a).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let display = format!("{} ->> {}", names(x), names(y));
+        Mvd { x, y, display }
+    }
+
+    /// The Fig. 1 embedding: an FD `X → Y` is the MVD `X ↠ Y` whose
+    /// per-group `Y`-value set has size 1 (§2.6.2). (Every FD is an MVD.)
+    pub fn from_fd(schema: &Schema, fd: &Fd) -> Self {
+        Mvd::new(schema, fd.lhs(), fd.rhs())
+    }
+
+    /// The determinant `X`.
+    pub fn x(&self) -> AttrSet {
+        self.x
+    }
+
+    /// The dependent set `Y`.
+    pub fn y(&self) -> AttrSet {
+        self.y
+    }
+
+    /// The complement `Z = R − X − Y` for a given relation.
+    pub fn z(&self, r: &Relation) -> AttrSet {
+        r.all_attrs().difference(self.x).difference(self.y)
+    }
+
+    /// Number of *spurious* tuples the decomposition `π_XY ⋈ π_XZ` would
+    /// introduce: `Σ_groups (|Y_g|·|Z_g| − |YZ_g|)` over distinct values.
+    /// Zero iff the MVD holds. This is the quantity AMVD accuracy
+    /// thresholds (§2.6.6).
+    pub fn spurious_tuples(&self, r: &Relation) -> usize {
+        let z = self.z(r);
+        let mut total = 0usize;
+        for rows in r.group_by(self.x).values() {
+            let mut ys: HashSet<Vec<Value>> = HashSet::new();
+            let mut zs: HashSet<Vec<Value>> = HashSet::new();
+            let mut yzs: HashSet<(Vec<Value>, Vec<Value>)> = HashSet::new();
+            for &row in rows {
+                let yv = r.project_row(row, self.y);
+                let zv = r.project_row(row, z);
+                ys.insert(yv.clone());
+                zs.insert(zv.clone());
+                yzs.insert((yv, zv));
+            }
+            total += ys.len() * zs.len() - yzs.len();
+        }
+        total
+    }
+
+    /// Size of the join `π_XY ⋈ π_XZ` (distinct tuples), the denominator of
+    /// the AMVD accuracy measure.
+    pub fn join_size(&self, r: &Relation) -> usize {
+        let z = self.z(r);
+        let mut total = 0usize;
+        for rows in r.group_by(self.x).values() {
+            let mut ys: HashSet<Vec<Value>> = HashSet::new();
+            let mut zs: HashSet<Vec<Value>> = HashSet::new();
+            for &row in rows {
+                ys.insert(r.project_row(row, self.y));
+                zs.insert(r.project_row(row, z));
+            }
+            total += ys.len() * zs.len();
+        }
+        total
+    }
+}
+
+impl Dependency for Mvd {
+    fn kind(&self) -> DepKind {
+        DepKind::Mvd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.spurious_tuples(r) == 0
+    }
+
+    /// Witness pairs `(t1, t2)` in the same `X`-group for which no tuple
+    /// carries `(t1[Y], t2[Z])` — the tuples whose required "generated"
+    /// counterpart is absent.
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let z = self.z(r);
+        let mut out = Vec::new();
+        for rows in r.group_by(self.x).values() {
+            if rows.len() < 2 {
+                continue;
+            }
+            let mut yzs: HashSet<(Vec<Value>, Vec<Value>)> = HashSet::new();
+            for &row in rows {
+                yzs.insert((r.project_row(row, self.y), r.project_row(row, z)));
+            }
+            // Representative per (Y, Z) combination to keep witness count
+            // proportional to distinct combinations, not tuples.
+            let mut reps: HashMap<(Vec<Value>, Vec<Value>), usize> = HashMap::new();
+            for &row in rows {
+                reps.entry((r.project_row(row, self.y), r.project_row(row, z)))
+                    .or_insert(row);
+            }
+            let mut reps: Vec<YzRep> = reps.into_iter().collect();
+            reps.sort_by_key(|(_, row)| *row);
+            for (i, ((y1, z1), r1)) in reps.iter().enumerate() {
+                for ((y2, z2), r2) in reps.iter().skip(i + 1) {
+                    // Both recombinations must exist: (y1, z2) and (y2, z1).
+                    if !yzs.contains(&(y1.clone(), z2.clone()))
+                        || !yzs.contains(&(y2.clone(), z1.clone()))
+                    {
+                        out.push(Violation::pair(*r1, *r2, self.y.union(z)));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.rows.cmp(&b.rows));
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Mvd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MVD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r5;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn mvd1_on_r5() {
+        // §2.6.1: mvd1: address, rate ↠ region holds in r5.
+        let r = hotels_r5();
+        let s = r.schema();
+        let mvd = Mvd::new(
+            s,
+            AttrSet::from_ids([s.id("address"), s.id("rate")]),
+            AttrSet::single(s.id("region")),
+        );
+        assert!(mvd.holds(&r));
+        assert!(mvd.violations(&r).is_empty());
+    }
+
+    #[test]
+    fn classic_textbook_violation() {
+        // course ↠ teacher with Z = book: a missing recombination.
+        let r = RelationBuilder::new()
+            .attr("course", ValueType::Categorical)
+            .attr("teacher", ValueType::Categorical)
+            .attr("book", ValueType::Categorical)
+            .row(vec!["db".into(), "ann".into(), "codd".into()])
+            .row(vec!["db".into(), "bob".into(), "date".into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let mvd = Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")));
+        assert!(!mvd.holds(&r));
+        assert_eq!(mvd.spurious_tuples(&r), 2); // (ann,date) and (bob,codd)
+        let v = mvd.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rows, vec![0, 1]);
+        // Completing the cross product repairs it.
+        let r2 = RelationBuilder::new()
+            .attr("course", ValueType::Categorical)
+            .attr("teacher", ValueType::Categorical)
+            .attr("book", ValueType::Categorical)
+            .row(vec!["db".into(), "ann".into(), "codd".into()])
+            .row(vec!["db".into(), "bob".into(), "date".into()])
+            .row(vec!["db".into(), "ann".into(), "date".into()])
+            .row(vec!["db".into(), "bob".into(), "codd".into()])
+            .build()
+            .unwrap();
+        assert!(mvd.holds(&r2));
+    }
+
+    #[test]
+    fn fd_embedding_is_sound() {
+        // Every FD is an MVD: whenever the FD holds, the MVD holds.
+        let r = hotels_r5();
+        let s = r.schema();
+        for text in ["address -> region", "name -> address", "rate -> region"] {
+            let fd = Fd::parse(s, text).unwrap();
+            let mvd = Mvd::from_fd(s, &fd);
+            if fd.holds(&r) {
+                assert!(mvd.holds(&r), "FD holds but MVD fails for {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn mvd_strictly_weaker_than_fd() {
+        // The cross-product completion satisfies course ↠ teacher but not
+        // course → teacher: MVDs are strictly more permissive.
+        let r = RelationBuilder::new()
+            .attr("course", ValueType::Categorical)
+            .attr("teacher", ValueType::Categorical)
+            .attr("book", ValueType::Categorical)
+            .row(vec!["db".into(), "ann".into(), "codd".into()])
+            .row(vec!["db".into(), "bob".into(), "codd".into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let fd = Fd::parse(s, "course -> teacher").unwrap();
+        let mvd = Mvd::from_fd(s, &fd);
+        assert!(!fd.holds(&r));
+        assert!(mvd.holds(&r)); // book is constant; independence trivially holds
+    }
+
+    #[test]
+    fn join_size_and_spurious_consistent() {
+        let r = hotels_r5();
+        let s = r.schema();
+        let mvd = Mvd::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("region")));
+        let distinct_tuples = r.distinct_count(r.all_attrs());
+        assert_eq!(mvd.join_size(&r) - mvd.spurious_tuples(&r), distinct_tuples);
+    }
+
+    #[test]
+    fn y_overlapping_x_normalized() {
+        let r = hotels_r5();
+        let s = r.schema();
+        let x = AttrSet::from_ids([s.id("name"), s.id("address")]);
+        let y = AttrSet::from_ids([s.id("name"), s.id("region")]);
+        let mvd = Mvd::new(s, x, y);
+        assert_eq!(mvd.y(), AttrSet::single(s.id("region")));
+    }
+}

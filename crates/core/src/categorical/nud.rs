@@ -1,0 +1,181 @@
+//! Numerical dependencies (§2.4) — "numerical" in Grant & Minker's sense
+//! of a *numeric bound* on associated values, not the numerical data type.
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::{AttrSet, Relation, Schema};
+use std::fmt;
+
+/// A numerical dependency `X →ₖ Y`: each `X`-value is associated with at
+/// most `k` distinct `Y`-values (§2.4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nud {
+    lhs: AttrSet,
+    rhs: AttrSet,
+    k: usize,
+    display: String,
+}
+
+impl Nud {
+    /// Build a NUD with weight `k ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(schema: &Schema, lhs: AttrSet, rhs: AttrSet, k: usize) -> Self {
+        assert!(k >= 1, "NUD weight must be at least 1");
+        let fd = Fd::new(schema, lhs, rhs);
+        let display = fd.to_string()[4..].to_owned();
+        Nud {
+            lhs,
+            rhs,
+            k,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding: an FD is a NUD with `k = 1` (§2.4.2).
+    pub fn from_fd(schema: &Schema, fd: &Fd) -> Self {
+        Nud::new(schema, fd.lhs(), fd.rhs(), 1)
+    }
+
+    /// Determinant attributes.
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// Dependent attributes.
+    pub fn rhs(&self) -> AttrSet {
+        self.rhs
+    }
+
+    /// The weight `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The maximum number of distinct `Y`-values associated with any single
+    /// `X`-value in `r` — the smallest `k` for which this NUD holds.
+    pub fn max_fanout(&self, r: &Relation) -> usize {
+        r.group_by(self.lhs)
+            .values()
+            .map(|rows| {
+                let sub = r.select_rows(rows);
+                let rhs_local: AttrSet = self
+                    .rhs
+                    .iter()
+                    .map(|a| sub.schema().id(r.schema().name(a)))
+                    .collect();
+                sub.distinct_count(rhs_local)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Dependency for Nud {
+    fn kind(&self) -> DepKind {
+        DepKind::Nud
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.max_fanout(r) <= self.k
+    }
+
+    /// One witness per `X`-group exceeding the fan-out budget: the group's
+    /// first rows carrying `k + 1` distinct `Y`-values.
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for rows in r.group_by(self.lhs).values() {
+            let sub = r.select_rows(rows);
+            let rhs_local: AttrSet = self
+                .rhs
+                .iter()
+                .map(|a| sub.schema().id(r.schema().name(a)))
+                .collect();
+            let groups = sub.group_by(rhs_local);
+            if groups.len() > self.k {
+                let mut reps: Vec<usize> = groups
+                    .values()
+                    .map(|g| rows[*g.iter().min().expect("non-empty")])
+                    .collect();
+                reps.sort_unstable();
+                reps.truncate(self.k + 1);
+                out.push(Violation {
+                    rows: reps,
+                    attrs: self.rhs,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.rows.cmp(&b.rows));
+        out
+    }
+}
+
+impl fmt::Display for Nud {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NUD(k={}): {}", self.k, self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r5;
+
+    #[test]
+    fn nud1_on_r5() {
+        // §2.4.1: nud1: address →₂ region holds — "El Paso" has two
+        // representation variants in t3, t4.
+        let r = hotels_r5();
+        let s = r.schema();
+        let nud = Nud::new(
+            s,
+            AttrSet::single(s.id("address")),
+            AttrSet::single(s.id("region")),
+            2,
+        );
+        assert!(nud.holds(&r));
+        assert_eq!(nud.max_fanout(&r), 2);
+        // With k = 1 it degenerates to the FD, which fails.
+        let nud1 = Nud::new(
+            s,
+            AttrSet::single(s.id("address")),
+            AttrSet::single(s.id("region")),
+            1,
+        );
+        assert!(!nud1.holds(&r));
+        let v = nud1.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn k1_equals_fd() {
+        let r = hotels_r5();
+        for text in ["address -> region", "name -> address", "address -> rate"] {
+            let fd = Fd::parse(r.schema(), text).unwrap();
+            let nud = Nud::from_fd(r.schema(), &fd);
+            assert_eq!(fd.holds(&r), nud.holds(&r), "{text}");
+        }
+    }
+
+    #[test]
+    fn fanout_monotone_in_k() {
+        let r = hotels_r5();
+        let s = r.schema();
+        let mk = |k| Nud::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("rate")), k);
+        // "Hyatt" maps to rates {230, 250, 189}: fan-out 3.
+        assert_eq!(mk(1).max_fanout(&r), 3);
+        assert!(!mk(2).holds(&r));
+        assert!(mk(3).holds(&r));
+        assert!(mk(4).holds(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be at least 1")]
+    fn zero_k_rejected() {
+        let r = hotels_r5();
+        let s = r.schema();
+        Nud::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("rate")), 0);
+    }
+}

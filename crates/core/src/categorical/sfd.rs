@@ -1,0 +1,147 @@
+//! Soft functional dependencies (§2.1).
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::Relation;
+use std::fmt;
+
+/// A soft functional dependency `X →ₛ Y`: the FD `X → Y` holds "not with
+/// certainty but with high probability", measured on domains:
+///
+/// `S(X → Y, r) = |dom(X)|_r / |dom(X, Y)|_r`
+///
+/// holds iff `S ≥ s` (§2.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sfd {
+    embedded: Fd,
+    threshold: f64,
+}
+
+impl Sfd {
+    /// Build an SFD over an embedded FD with a minimum strength `s`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < s ≤ 1`.
+    pub fn new(embedded: Fd, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "strength threshold must be in (0, 1]"
+        );
+        Sfd {
+            embedded,
+            threshold,
+        }
+    }
+
+    /// The Fig. 1 embedding: an FD is an SFD with strength 1 (§2.1.2).
+    pub fn from_fd(fd: Fd) -> Self {
+        Sfd::new(fd, 1.0)
+    }
+
+    /// The embedded FD.
+    pub fn embedded(&self) -> &Fd {
+        &self.embedded
+    }
+
+    /// The minimum strength `s`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The strength measure `S(X → Y, r)` (§2.1.1). Defined as 1 on the
+    /// empty relation.
+    pub fn strength(&self, r: &Relation) -> f64 {
+        if r.n_rows() == 0 {
+            return 1.0;
+        }
+        let dom_x = r.distinct_count(self.embedded.lhs());
+        let dom_xy = r.distinct_count(self.embedded.lhs().union(self.embedded.rhs()));
+        dom_x as f64 / dom_xy as f64
+    }
+}
+
+impl Dependency for Sfd {
+    fn kind(&self) -> DepKind {
+        DepKind::Sfd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.strength(r) >= self.threshold
+    }
+
+    /// Witnesses of the *embedded* FD — useful when an SFD is used as a
+    /// (soft) data-quality rule.
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        self.embedded.violations(r)
+    }
+}
+
+impl fmt::Display for Sfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SFD(s≥{}): {}", self.threshold, &self.embedded.to_string()[4..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::{hotels_r1, hotels_r5};
+
+    #[test]
+    fn paper_strength_values_on_r5() {
+        // §2.1.1: S(address → region, r5) = 2/3; S(name → address) = 1/2.
+        let r = hotels_r5();
+        let s1 = Sfd::new(Fd::parse(r.schema(), "address -> region").unwrap(), 0.6);
+        assert!((s1.strength(&r) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s1.holds(&r));
+        let s2 = Sfd::new(Fd::parse(r.schema(), "name -> address").unwrap(), 0.6);
+        assert!((s2.strength(&r) - 0.5).abs() < 1e-12);
+        assert!(!s2.holds(&r));
+    }
+
+    #[test]
+    fn fd_embedding_strength_one() {
+        // §2.1.2: sfd1: address →₁ region on r1 where the FD... does not
+        // hold in r1 because of t3/t4 and t5/t6; the paper states
+        // S(address → region, r1) = 1 for the *corrected* narrative.
+        // We verify the embedding property instead: on any instance, the
+        // FD holds iff its strength is exactly 1.
+        for r in [hotels_r1(), hotels_r5()] {
+            for lhs in ["address", "name", "region"] {
+                let fd = Fd::parse(r.schema(), &format!("{lhs} -> rate")).or_else(|| {
+                    Fd::parse(r.schema(), &format!("{lhs} -> price"))
+                });
+                let Some(fd) = fd else { continue };
+                let sfd = Sfd::from_fd(fd.clone());
+                assert_eq!(
+                    fd.holds(&r),
+                    (sfd.strength(&r) - 1.0).abs() < 1e-12,
+                    "embedding mismatch for {fd} on instance"
+                );
+                assert_eq!(fd.holds(&r), sfd.holds(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn strength_bounds() {
+        let r = hotels_r5();
+        let sfd = Sfd::new(Fd::parse(r.schema(), "name -> region").unwrap(), 0.1);
+        let s = sfd.strength(&r);
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength threshold")]
+    fn zero_threshold_rejected() {
+        let r = hotels_r5();
+        Sfd::new(Fd::parse(r.schema(), "name -> region").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_threshold() {
+        let r = hotels_r5();
+        let sfd = Sfd::new(Fd::parse(r.schema(), "address -> region").unwrap(), 0.8);
+        assert_eq!(sfd.to_string(), "SFD(s≥0.8): address -> region");
+    }
+}

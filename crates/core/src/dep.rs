@@ -1,0 +1,203 @@
+//! The [`Dependency`] trait and violation reporting.
+
+use deptree_relation::{AttrSet, Relation};
+use std::fmt;
+
+/// Identifies the notation a dependency belongs to — one variant per row of
+/// the survey's Table 2 (plus FDs themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are the notations; see `familytree`.
+pub enum DepKind {
+    Fd,
+    Sfd,
+    Pfd,
+    Afd,
+    Nud,
+    Cfd,
+    ECfd,
+    Mvd,
+    Fhd,
+    Amvd,
+    Mfd,
+    Ned,
+    Dd,
+    Cdd,
+    Cd,
+    Pac,
+    Ffd,
+    Md,
+    Cmd,
+    Ofd,
+    Od,
+    Dc,
+    Sd,
+    Csd,
+}
+
+impl DepKind {
+    /// Every notation, in the survey's Table 2 order.
+    pub const ALL: [DepKind; 24] = [
+        DepKind::Fd,
+        DepKind::Sfd,
+        DepKind::Pfd,
+        DepKind::Afd,
+        DepKind::Nud,
+        DepKind::Cfd,
+        DepKind::ECfd,
+        DepKind::Mvd,
+        DepKind::Fhd,
+        DepKind::Amvd,
+        DepKind::Mfd,
+        DepKind::Ned,
+        DepKind::Dd,
+        DepKind::Cdd,
+        DepKind::Cd,
+        DepKind::Pac,
+        DepKind::Ffd,
+        DepKind::Md,
+        DepKind::Cmd,
+        DepKind::Ofd,
+        DepKind::Od,
+        DepKind::Dc,
+        DepKind::Sd,
+        DepKind::Csd,
+    ];
+
+    /// The conventional acronym ("FDs", "CFDs", …).
+    pub fn acronym(self) -> &'static str {
+        match self {
+            DepKind::Fd => "FDs",
+            DepKind::Sfd => "SFDs",
+            DepKind::Pfd => "PFDs",
+            DepKind::Afd => "AFDs",
+            DepKind::Nud => "NUDs",
+            DepKind::Cfd => "CFDs",
+            DepKind::ECfd => "eCFDs",
+            DepKind::Mvd => "MVDs",
+            DepKind::Fhd => "FHDs",
+            DepKind::Amvd => "AMVDs",
+            DepKind::Mfd => "MFDs",
+            DepKind::Ned => "NEDs",
+            DepKind::Dd => "DDs",
+            DepKind::Cdd => "CDDs",
+            DepKind::Cd => "CDs",
+            DepKind::Pac => "PACs",
+            DepKind::Ffd => "FFDs",
+            DepKind::Md => "MDs",
+            DepKind::Cmd => "CMDs",
+            DepKind::Ofd => "OFDs",
+            DepKind::Od => "ODs",
+            DepKind::Dc => "DCs",
+            DepKind::Sd => "SDs",
+            DepKind::Csd => "CSDs",
+        }
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.acronym())
+    }
+}
+
+/// A detected violation of a dependency in a relation instance.
+///
+/// Violations are *witnesses*: the smallest set of rows demonstrating the
+/// problem (one row for constant-pattern rules, a pair for most equality /
+/// similarity / order rules, and a pair whose required third tuple is
+/// missing for tuple-generating MVDs/FHDs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rows involved, in increasing order.
+    pub rows: Vec<usize>,
+    /// Attributes on which the violation manifests (the cells a repair
+    /// would need to touch).
+    pub attrs: AttrSet,
+}
+
+impl Violation {
+    /// Single-row violation.
+    pub fn row(row: usize, attrs: AttrSet) -> Self {
+        Violation {
+            rows: vec![row],
+            attrs,
+        }
+    }
+
+    /// Row-pair violation (rows are stored sorted).
+    pub fn pair(r1: usize, r2: usize, attrs: AttrSet) -> Self {
+        let mut rows = vec![r1, r2];
+        rows.sort_unstable();
+        Violation { rows, attrs }
+    }
+}
+
+/// Common interface of every dependency notation.
+///
+/// * [`holds`](Dependency::holds) — does the dependency hold in `r`?
+///   For threshold-based notations (SFDs, PFDs, AFDs, PACs, AMVDs) this is
+///   "does the measure meet the declared threshold", which is *not* the
+///   same as "zero violations": an AFD with ε = 0.25 holds on a relation
+///   where a quarter of the rows violate its embedded FD.
+/// * [`violations`](Dependency::violations) — concrete witnesses of the
+///   embedded exact rule, for data-quality applications (detection,
+///   repair). For threshold-based notations these are the witnesses of the
+///   *embedded* rule even when the thresholded dependency holds.
+/// * [`count_violations`](Dependency::count_violations) — cheaper count,
+///   overridden where witnesses would be expensive to materialize.
+pub trait Dependency: fmt::Display {
+    /// Which notation this rule belongs to.
+    fn kind(&self) -> DepKind;
+
+    /// Does the dependency hold in the instance?
+    fn holds(&self, r: &Relation) -> bool;
+
+    /// Witnesses of violations of the (embedded) exact rule.
+    fn violations(&self, r: &Relation) -> Vec<Violation>;
+
+    /// Number of violation witnesses.
+    fn count_violations(&self, r: &Relation) -> usize {
+        self.violations(r).len()
+    }
+}
+
+/// Blanket convenience for boxed rule sets.
+impl<D: Dependency + ?Sized> Dependency for Box<D> {
+    fn kind(&self) -> DepKind {
+        (**self).kind()
+    }
+    fn holds(&self, r: &Relation) -> bool {
+        (**self).holds(r)
+    }
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        (**self).violations(r)
+    }
+    fn count_violations(&self, r: &Relation) -> usize {
+        (**self).count_violations(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_listed_once() {
+        let mut sorted = DepKind::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 24);
+    }
+
+    #[test]
+    fn violation_pair_sorts_rows() {
+        let v = Violation::pair(5, 2, AttrSet::empty());
+        assert_eq!(v.rows, vec![2, 5]);
+    }
+
+    #[test]
+    fn acronyms_match_survey() {
+        assert_eq!(DepKind::ECfd.acronym(), "eCFDs");
+        assert_eq!(DepKind::Csd.to_string(), "CSDs");
+    }
+}

@@ -1,0 +1,305 @@
+//! The extension graph of Fig. 1A.
+
+use crate::dep::DepKind;
+use crate::familytree::registry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The extension arrows of Fig. 1A: `(special, general)` — an arrow from
+/// FDs to SFDs means "SFDs extend/generalize/subsume FDs".
+pub const EDGES: [(DepKind, DepKind); 24] = [
+    // Statistical and conditional extensions over categorical data (§2).
+    (DepKind::Fd, DepKind::Sfd),
+    (DepKind::Fd, DepKind::Pfd),
+    (DepKind::Fd, DepKind::Afd),
+    (DepKind::Fd, DepKind::Nud),
+    (DepKind::Fd, DepKind::Cfd),
+    (DepKind::Fd, DepKind::Mvd),
+    (DepKind::Cfd, DepKind::ECfd),
+    (DepKind::Mvd, DepKind::Fhd),
+    (DepKind::Mvd, DepKind::Amvd),
+    // Similarity extensions over heterogeneous data (§3).
+    (DepKind::Fd, DepKind::Mfd),
+    (DepKind::Fd, DepKind::Ffd),
+    (DepKind::Fd, DepKind::Md),
+    (DepKind::Mfd, DepKind::Ned),
+    (DepKind::Ned, DepKind::Dd),
+    (DepKind::Ned, DepKind::Cd),
+    (DepKind::Ned, DepKind::Pac),
+    (DepKind::Dd, DepKind::Cdd),
+    (DepKind::Cfd, DepKind::Cdd),
+    (DepKind::Md, DepKind::Cmd),
+    // Order extensions over numerical data (§4).
+    (DepKind::Ofd, DepKind::Od),
+    (DepKind::Od, DepKind::Sd),
+    (DepKind::Od, DepKind::Dc),
+    (DepKind::ECfd, DepKind::Dc),
+    (DepKind::Sd, DepKind::Csd),
+];
+
+/// The Fig. 1A graph with reachability and rendering queries.
+#[derive(Debug, Clone)]
+pub struct ExtensionGraph {
+    children: HashMap<DepKind, Vec<DepKind>>,
+    parents: HashMap<DepKind, Vec<DepKind>>,
+}
+
+impl ExtensionGraph {
+    /// The survey's graph.
+    pub fn survey() -> Self {
+        let mut children: HashMap<DepKind, Vec<DepKind>> = HashMap::new();
+        let mut parents: HashMap<DepKind, Vec<DepKind>> = HashMap::new();
+        for &(special, general) in &EDGES {
+            children.entry(special).or_default().push(general);
+            parents.entry(general).or_default().push(special);
+        }
+        ExtensionGraph { children, parents }
+    }
+
+    /// Direct generalizations of a notation (outgoing arrows).
+    pub fn generalizations(&self, kind: DepKind) -> &[DepKind] {
+        self.children.get(&kind).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct special cases of a notation (incoming arrows).
+    pub fn special_cases(&self, kind: DepKind) -> &[DepKind] {
+        self.parents.get(&kind).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does `general` (transitively) extend `special`? Reflexive.
+    pub fn extends(&self, general: DepKind, special: DepKind) -> bool {
+        if general == special {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([special]);
+        while let Some(k) = queue.pop_front() {
+            for &g in self.generalizations(k) {
+                if g == general {
+                    return true;
+                }
+                if seen.insert(g) {
+                    queue.push_back(g);
+                }
+            }
+        }
+        false
+    }
+
+    /// Every notation that (transitively) generalizes `kind`, excluding
+    /// `kind` itself.
+    pub fn all_generalizations(&self, kind: DepKind) -> Vec<DepKind> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([kind]);
+        while let Some(k) = queue.pop_front() {
+            for &g in self.generalizations(k) {
+                if seen.insert(g) {
+                    out.push(g);
+                    queue.push_back(g);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Roots: notations extending nothing (FDs and OFDs in the survey —
+    /// the tree is "mostly rooted in FDs").
+    pub fn roots(&self) -> Vec<DepKind> {
+        let mut roots: Vec<DepKind> = DepKind::ALL
+            .into_iter()
+            .filter(|k| self.special_cases(*k).is_empty())
+            .collect();
+        roots.sort();
+        roots
+    }
+
+    /// Leaves: notations no other notation extends.
+    pub fn leaves(&self) -> Vec<DepKind> {
+        let mut leaves: Vec<DepKind> = DepKind::ALL
+            .into_iter()
+            .filter(|k| self.generalizations(*k).is_empty())
+            .collect();
+        leaves.sort();
+        leaves
+    }
+
+    /// A topological order (special cases before generalizations).
+    pub fn topological_order(&self) -> Vec<DepKind> {
+        let mut in_deg: HashMap<DepKind, usize> = DepKind::ALL
+            .into_iter()
+            .map(|k| (k, self.special_cases(k).len()))
+            .collect();
+        let mut queue: VecDeque<DepKind> = DepKind::ALL
+            .into_iter()
+            .filter(|k| in_deg[k] == 0)
+            .collect();
+        let mut out = Vec::with_capacity(DepKind::ALL.len());
+        while let Some(k) = queue.pop_front() {
+            out.push(k);
+            for &g in self.generalizations(k) {
+                let d = in_deg.get_mut(&g).expect("registered");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(g);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the graph as an indented ASCII forest (Fig. 1A).
+    /// Nodes reachable by several paths appear under each parent (marked
+    /// with `*` on repeats).
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let mut printed = HashSet::new();
+        for root in self.roots() {
+            self.ascii_rec(root, 0, &mut printed, &mut out);
+        }
+        out
+    }
+
+    fn ascii_rec(
+        &self,
+        kind: DepKind,
+        depth: usize,
+        printed: &mut HashSet<DepKind>,
+        out: &mut String,
+    ) {
+        let info = registry::info(kind);
+        let repeat = !printed.insert(kind);
+        out.push_str(&format!(
+            "{}{}{} ({}, {})\n",
+            "  ".repeat(depth),
+            kind.acronym(),
+            if repeat { " *" } else { "" },
+            info.year,
+            info.branch,
+        ));
+        if repeat {
+            return;
+        }
+        let mut kids = self.generalizations(kind).to_vec();
+        kids.sort();
+        for g in kids {
+            self.ascii_rec(g, depth + 1, printed, out);
+        }
+    }
+
+    /// Render as GraphViz dot, color-coded by branch.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph familytree {\n  rankdir=LR;\n");
+        for info in &registry::REGISTRY {
+            let color = match info.branch {
+                registry::DataTypeBranch::Categorical => "lightblue",
+                registry::DataTypeBranch::Heterogeneous => "lightgreen",
+                registry::DataTypeBranch::Numerical => "lightsalmon",
+            };
+            out.push_str(&format!(
+                "  {} [label=\"{}\\n{}\" style=filled fillcolor={}];\n",
+                info.kind.acronym(),
+                info.kind.acronym(),
+                info.year,
+                color
+            ));
+        }
+        for (s, g) in EDGES {
+            out.push_str(&format!("  {} -> {};\n", s.acronym(), g.acronym()));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Default for ExtensionGraph {
+    fn default() -> Self {
+        Self::survey()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_fd_and_ofd() {
+        // "mostly rooted in FDs": the numerical branch roots at OFDs.
+        let g = ExtensionGraph::survey();
+        assert_eq!(g.roots(), vec![DepKind::Fd, DepKind::Ofd]);
+    }
+
+    #[test]
+    fn reachability_matches_survey_claims() {
+        let g = ExtensionGraph::survey();
+        // "All the generalizations of CFDs, such as CDDs and DCs including
+        // CFDs as special cases" (§1.4.2).
+        assert!(g.extends(DepKind::Cdd, DepKind::Cfd));
+        assert!(g.extends(DepKind::Dc, DepKind::Cfd));
+        // "DCs extend ODs … as well as eCFDs" (§1.6).
+        assert!(g.extends(DepKind::Dc, DepKind::Od));
+        assert!(g.extends(DepKind::Dc, DepKind::ECfd));
+        // "CDDs extend both DDs … and CFDs" (§1.6).
+        assert!(g.extends(DepKind::Cdd, DepKind::Dd));
+        // DDs extend NEDs extend MFDs extend FDs (§3).
+        assert!(g.extends(DepKind::Dd, DepKind::Fd));
+        // CDDs extend CFDs but NOT eCFDs (§2.5.5).
+        assert!(!g.extends(DepKind::Cdd, DepKind::ECfd));
+        // SFDs don't extend MVDs or vice versa.
+        assert!(!g.extends(DepKind::Sfd, DepKind::Mvd));
+        assert!(!g.extends(DepKind::Mvd, DepKind::Sfd));
+    }
+
+    #[test]
+    fn extends_is_reflexive_and_respects_direction() {
+        let g = ExtensionGraph::survey();
+        assert!(g.extends(DepKind::Fd, DepKind::Fd));
+        assert!(g.extends(DepKind::Sfd, DepKind::Fd));
+        assert!(!g.extends(DepKind::Fd, DepKind::Sfd));
+    }
+
+    #[test]
+    fn topological_order_is_complete_and_valid() {
+        let g = ExtensionGraph::survey();
+        let order = g.topological_order();
+        assert_eq!(order.len(), DepKind::ALL.len());
+        let pos: std::collections::HashMap<DepKind, usize> =
+            order.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+        for (s, gnl) in EDGES {
+            assert!(pos[&s] < pos[&gnl], "{s} must precede {gnl}");
+        }
+    }
+
+    #[test]
+    fn fd_generalizations_count() {
+        let g = ExtensionGraph::survey();
+        // Everything except OFDs (a separate root, though its descendants
+        // merge back via DCs).
+        let all = g.all_generalizations(DepKind::Fd);
+        assert!(all.contains(&DepKind::Dc));
+        assert!(!all.contains(&DepKind::Csd)); // CSD comes from SD/OD/OFD only
+        assert!(!all.contains(&DepKind::Ofd));
+    }
+
+    #[test]
+    fn renderers_mention_every_notation() {
+        let g = ExtensionGraph::survey();
+        let ascii = g.to_ascii();
+        let dot = g.to_dot();
+        for k in DepKind::ALL {
+            assert!(ascii.contains(k.acronym()), "ascii missing {k}");
+            assert!(dot.contains(k.acronym()), "dot missing {k}");
+        }
+        assert!(dot.contains("FDs -> SFDs"));
+    }
+
+    #[test]
+    fn leaves_are_maximal_notations() {
+        let g = ExtensionGraph::survey();
+        let leaves = g.leaves();
+        for k in [DepKind::Dc, DepKind::Csd, DepKind::Cdd, DepKind::Cmd] {
+            assert!(leaves.contains(&k), "{k} should be maximal");
+        }
+        assert!(!leaves.contains(&DepKind::Fd));
+    }
+}

@@ -1,0 +1,19 @@
+//! The family tree of data dependencies — the survey's own contribution.
+//!
+//! * [`registry`] — one [`registry::NotationInfo`] per notation: the data
+//!   type branch, proposal year, publication count (Fig. 1B / Table 2),
+//!   discovery complexity (Fig. 3) and supported applications (Table 3);
+//! * [`graph`] — the extension graph of Fig. 1A with reachability queries
+//!   and renderers (ASCII tree, GraphViz dot);
+//! * [`verify`] — empirical verification of every extension edge: for each
+//!   arrow `S → G`, a concrete special-case dependency and its embedding
+//!   are evaluated on the paper's example instances and systematic
+//!   perturbations thereof, asserting they agree.
+
+pub mod graph;
+pub mod registry;
+pub mod verify;
+
+pub use graph::{ExtensionGraph, EDGES};
+pub use registry::{Application, Complexity, DataTypeBranch, NotationInfo, REGISTRY};
+pub use verify::{verify_all_edges, verify_edge, EdgeReport};

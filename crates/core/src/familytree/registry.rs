@@ -1,0 +1,496 @@
+//! The notation registry: Table 2, Fig. 1B, Fig. 2, Fig. 3 and Table 3 as
+//! queryable data.
+
+use crate::dep::DepKind;
+
+/// The survey's three data-type branches (§1.3), plus the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataTypeBranch {
+    /// §2: equality relationships over categorical data.
+    Categorical,
+    /// §3: similarity relationships over heterogeneous data.
+    Heterogeneous,
+    /// §4: order relationships over numerical data.
+    Numerical,
+}
+
+impl std::fmt::Display for DataTypeBranch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataTypeBranch::Categorical => write!(f, "Categorical"),
+            DataTypeBranch::Heterogeneous => write!(f, "Heterogeneous"),
+            DataTypeBranch::Numerical => write!(f, "Numerical"),
+        }
+    }
+}
+
+/// Complexity of the discovery problem for a notation (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Complexity {
+    /// Polynomial-time solvable (the CSD tableau DP is the survey's
+    /// highlighted exception).
+    PolynomialTime,
+    /// NP-complete.
+    NpComplete,
+    /// NP-hard (no known membership claim).
+    NpHard,
+    /// co-NP-complete (used for implication-problem entries).
+    CoNpComplete,
+    /// Output can be exponential in the number of attributes (FD-style
+    /// minimal covers), with NP-complete decision subproblems.
+    ExponentialOutput,
+}
+
+impl std::fmt::Display for Complexity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Complexity::PolynomialTime => write!(f, "PTIME"),
+            Complexity::NpComplete => write!(f, "NP-complete"),
+            Complexity::NpHard => write!(f, "NP-hard"),
+            Complexity::CoNpComplete => write!(f, "co-NP-complete"),
+            Complexity::ExponentialOutput => write!(f, "exponential output"),
+        }
+    }
+}
+
+/// The application tasks of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// Detecting tuples/pairs violating declared rules.
+    ViolationDetection,
+    /// Modifying data to restore consistency.
+    DataRepairing,
+    /// Exploiting dependencies in query planning/statistics.
+    QueryOptimization,
+    /// Answers valid in every minimal repair.
+    ConsistentQueryAnswering,
+    /// Identifying records denoting the same real-world entity.
+    Deduplication,
+    /// Partitioning data by comparability.
+    DataPartition,
+    /// 3NF/BCNF/4NF-style design.
+    SchemaNormalization,
+    /// Causal-fairness repairs of training data.
+    ModelFairness,
+}
+
+impl Application {
+    /// All application tasks, in Table 3 row order.
+    pub const ALL: [Application; 8] = [
+        Application::ViolationDetection,
+        Application::DataRepairing,
+        Application::QueryOptimization,
+        Application::ConsistentQueryAnswering,
+        Application::Deduplication,
+        Application::DataPartition,
+        Application::SchemaNormalization,
+        Application::ModelFairness,
+    ];
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Application::ViolationDetection => "Violation detection",
+            Application::DataRepairing => "Data repairing",
+            Application::QueryOptimization => "Query optimization",
+            Application::ConsistentQueryAnswering => "Consistent query answering",
+            Application::Deduplication => "Data deduplication",
+            Application::DataPartition => "Data partition",
+            Application::SchemaNormalization => "Schema normalization",
+            Application::ModelFairness => "Model fairness",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Everything the survey records about one notation.
+#[derive(Debug, Clone)]
+pub struct NotationInfo {
+    /// Which notation.
+    pub kind: DepKind,
+    /// Full name ("Soft Functional Dependencies").
+    pub name: &'static str,
+    /// Data-type branch (Table 2's grouping).
+    pub branch: DataTypeBranch,
+    /// Year of the defining proposal (Table 2 / Fig. 2).
+    pub year: u16,
+    /// Number of publications using the notation per Google Scholar
+    /// (Table 2 / Fig. 1B). The counts reproduce the paper's reported
+    /// values; the categorical-branch column suffers extraction ambiguity
+    /// in the source PDF, so FHDs/AMVDs carry the conservative value 1.
+    pub publications: u32,
+    /// Discovery-problem complexity (Fig. 3).
+    pub discovery: Complexity,
+    /// One-line note on the Fig. 3 entry.
+    pub complexity_note: &'static str,
+    /// Applications supported per Table 3.
+    pub applications: &'static [Application],
+}
+
+use Application as A;
+
+/// The registry, in Table 2 order (FDs first as the family-tree root).
+pub const REGISTRY: [NotationInfo; 24] = [
+    NotationInfo {
+        kind: DepKind::Fd,
+        name: "Functional Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 1971,
+        publications: 10_000, // canonical; shown as "root" in Fig. 1B
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "minimal cover may be exponential; key-of-size-k is NP-complete",
+        applications: &[
+            A::ViolationDetection,
+            A::DataRepairing,
+            A::ConsistentQueryAnswering,
+            A::SchemaNormalization,
+        ],
+    },
+    NotationInfo {
+        kind: DepKind::Sfd,
+        name: "Soft Functional Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 2004,
+        publications: 327,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "CORDS sampling: cost independent of relation size",
+        applications: &[A::QueryOptimization],
+    },
+    NotationInfo {
+        kind: DepKind::Pfd,
+        name: "Probabilistic Functional Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 2009,
+        publications: 55,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "counting-based per-source merge (TANE extension)",
+        applications: &[A::ViolationDetection, A::SchemaNormalization],
+    },
+    NotationInfo {
+        kind: DepKind::Afd,
+        name: "Approximate Functional Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 1995,
+        publications: 248,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "TANE with g3 validity test; inherits FD lattice size",
+        applications: &[A::QueryOptimization],
+    },
+    NotationInfo {
+        kind: DepKind::Nud,
+        name: "Numerical Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 1981,
+        publications: 404,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "derivation/implication is not finitely axiomatizable",
+        applications: &[A::QueryOptimization],
+    },
+    NotationInfo {
+        kind: DepKind::Cfd,
+        name: "Conditional Functional Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 2007,
+        publications: 471,
+        discovery: Complexity::NpComplete,
+        complexity_note: "optimal tableau generation NP-complete; implication co-NP-complete",
+        applications: &[A::ViolationDetection, A::DataRepairing, A::Deduplication],
+    },
+    NotationInfo {
+        kind: DepKind::ECfd,
+        name: "extended CFDs",
+        branch: DataTypeBranch::Categorical,
+        year: 2008,
+        publications: 76,
+        discovery: Complexity::NpComplete,
+        complexity_note: "implication co-NP-complete, unchanged from CFDs",
+        applications: &[A::ViolationDetection, A::DataRepairing],
+    },
+    NotationInfo {
+        kind: DepKind::Mvd,
+        name: "Multivalued Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 1977,
+        publications: 191,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "level-wise hypothesis-space search (Savnik–Flach)",
+        applications: &[A::DataRepairing, A::SchemaNormalization, A::ModelFairness],
+    },
+    NotationInfo {
+        kind: DepKind::Fhd,
+        name: "Full Hierarchical Dependencies",
+        branch: DataTypeBranch::Categorical,
+        year: 1978,
+        publications: 1,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "hierarchical decompositions inherit MVD search",
+        applications: &[A::SchemaNormalization],
+    },
+    NotationInfo {
+        kind: DepKind::Amvd,
+        name: "Approximate MVDs",
+        branch: DataTypeBranch::Categorical,
+        year: 2020,
+        publications: 1,
+        discovery: Complexity::NpHard,
+        complexity_note: "mining approximate acyclic schemes",
+        applications: &[A::QueryOptimization],
+    },
+    NotationInfo {
+        kind: DepKind::Mfd,
+        name: "Metric Functional Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2009,
+        publications: 86,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "verification O(n²) per candidate; approximate verifiers exist",
+        applications: &[A::ViolationDetection],
+    },
+    NotationInfo {
+        kind: DepKind::Ned,
+        name: "Neighborhood Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2001,
+        publications: 15,
+        discovery: Complexity::NpHard,
+        complexity_note: "LHS-predicate search NP-hard in the number of attributes",
+        applications: &[A::DataRepairing],
+    },
+    NotationInfo {
+        kind: DepKind::Dd,
+        name: "Differential Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2011,
+        publications: 109,
+        discovery: Complexity::NpComplete,
+        complexity_note: "minimal DDs exponential in attributes; implication co-NP-complete",
+        applications: &[
+            A::DataRepairing,
+            A::QueryOptimization,
+            A::Deduplication,
+            A::DataPartition,
+        ],
+    },
+    NotationInfo {
+        kind: DepKind::Cdd,
+        name: "Conditional Differential Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2015,
+        publications: 3,
+        discovery: Complexity::NpComplete,
+        complexity_note: "no easier than CFD discovery (CDDs subsume CFDs)",
+        applications: &[A::ViolationDetection, A::DataRepairing],
+    },
+    NotationInfo {
+        kind: DepKind::Cd,
+        name: "Comparable Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2011,
+        publications: 18,
+        discovery: Complexity::NpComplete,
+        complexity_note: "error and confidence validation both NP-complete",
+        applications: &[
+            A::ViolationDetection,
+            A::QueryOptimization,
+            A::Deduplication,
+        ],
+    },
+    NotationInfo {
+        kind: DepKind::Pac,
+        name: "Probabilistic Approximate Constraints",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2003,
+        publications: 39,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "PAC-Man instantiates parameters from rule templates",
+        applications: &[A::ViolationDetection, A::QueryOptimization],
+    },
+    NotationInfo {
+        kind: DepKind::Ffd,
+        name: "Fuzzy Functional Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 1988,
+        publications: 496,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "TANE-style small-to-large with pairwise μ_EQ checks",
+        applications: &[A::QueryOptimization, A::Deduplication],
+    },
+    NotationInfo {
+        kind: DepKind::Md,
+        name: "Matching Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2009,
+        publications: 197,
+        discovery: Complexity::NpComplete,
+        complexity_note: "concise matching-key set of size ≤ k is NP-complete",
+        applications: &[A::DataRepairing, A::Deduplication, A::DataPartition],
+    },
+    NotationInfo {
+        kind: DepKind::Cmd,
+        name: "Conditional Matching Dependencies",
+        branch: DataTypeBranch::Heterogeneous,
+        year: 2017,
+        publications: 15,
+        discovery: Complexity::NpComplete,
+        complexity_note: "deciding g3 ≤ e is NP-complete",
+        applications: &[A::DataRepairing, A::Deduplication],
+    },
+    NotationInfo {
+        kind: DepKind::Ofd,
+        name: "Ordered Functional Dependencies",
+        branch: DataTypeBranch::Numerical,
+        year: 1999,
+        publications: 27,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "lattice of pointwise/lexicographic candidates",
+        applications: &[A::ConsistentQueryAnswering],
+    },
+    NotationInfo {
+        kind: DepKind::Od,
+        name: "Order Dependencies",
+        branch: DataTypeBranch::Numerical,
+        year: 1982,
+        publications: 27,
+        discovery: Complexity::ExponentialOutput,
+        complexity_note: "FASTOD set-based canonical form; implication co-NP-complete",
+        applications: &[
+            A::ViolationDetection,
+            A::DataRepairing,
+            A::QueryOptimization,
+        ],
+    },
+    NotationInfo {
+        kind: DepKind::Dc,
+        name: "Denial Constraints",
+        branch: DataTypeBranch::Numerical,
+        year: 2005,
+        publications: 52,
+        discovery: Complexity::NpComplete,
+        complexity_note: "minimal covers of evidence sets (FASTDC); subsumes CFD hardness",
+        applications: &[
+            A::ViolationDetection,
+            A::DataRepairing,
+            A::ConsistentQueryAnswering,
+        ],
+    },
+    NotationInfo {
+        kind: DepKind::Sd,
+        name: "Sequential Dependencies",
+        branch: DataTypeBranch::Numerical,
+        year: 2009,
+        publications: 97,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "confidence computable efficiently for simple SDs",
+        applications: &[A::ViolationDetection],
+    },
+    NotationInfo {
+        kind: DepKind::Csd,
+        name: "Conditional Sequential Dependencies",
+        branch: DataTypeBranch::Numerical,
+        year: 2009,
+        publications: 97,
+        discovery: Complexity::PolynomialTime,
+        complexity_note: "exact tableau DP quadratic in candidate intervals — the Fig. 3 exception",
+        applications: &[A::ViolationDetection],
+    },
+];
+
+/// Look up registry info for a notation.
+pub fn info(kind: DepKind) -> &'static NotationInfo {
+    REGISTRY
+        .iter()
+        .find(|n| n.kind == kind)
+        .expect("every DepKind is registered")
+}
+
+/// Notations in a branch, in registry order.
+pub fn branch_members(branch: DataTypeBranch) -> Vec<&'static NotationInfo> {
+    REGISTRY.iter().filter(|n| n.branch == branch).collect()
+}
+
+/// Notations supporting an application (one column of Table 3).
+pub fn supporting(app: Application) -> Vec<&'static NotationInfo> {
+    REGISTRY
+        .iter()
+        .filter(|n| n.applications.contains(&app))
+        .collect()
+}
+
+/// The timeline of Fig. 2: `(year, notation)` sorted by year.
+pub fn timeline() -> Vec<(u16, DepKind)> {
+    let mut t: Vec<(u16, DepKind)> = REGISTRY.iter().map(|n| (n.year, n.kind)).collect();
+    t.sort();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_kind_once() {
+        for kind in DepKind::ALL {
+            assert_eq!(REGISTRY.iter().filter(|n| n.kind == kind).count(), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn paper_years_match_table2() {
+        assert_eq!(info(DepKind::Sfd).year, 2004);
+        assert_eq!(info(DepKind::Afd).year, 1995);
+        assert_eq!(info(DepKind::Cfd).year, 2007);
+        assert_eq!(info(DepKind::Mvd).year, 1977);
+        assert_eq!(info(DepKind::Ffd).year, 1988);
+        assert_eq!(info(DepKind::Od).year, 1982);
+        assert_eq!(info(DepKind::Csd).year, 2009);
+        assert_eq!(info(DepKind::Amvd).year, 2020);
+    }
+
+    #[test]
+    fn branch_sizes_match_table2() {
+        assert_eq!(branch_members(DataTypeBranch::Categorical).len(), 10); // 9 + FD root
+        assert_eq!(branch_members(DataTypeBranch::Heterogeneous).len(), 9);
+        assert_eq!(branch_members(DataTypeBranch::Numerical).len(), 5);
+    }
+
+    #[test]
+    fn timeline_milestones() {
+        // §1.4.1: AFDs (1995) are the first statistical extension; CFDs
+        // open the conditional line (2007); the timeline starts with MVDs
+        // (1977) among the extensions.
+        let t = timeline();
+        assert_eq!(t.first().map(|(y, _)| *y), Some(1971));
+        assert!(t.windows(2).all(|w| w[0].0 <= w[1].0));
+        let year_of = |k: DepKind| t.iter().find(|(_, kk)| *kk == k).map(|(y, _)| *y);
+        assert!(year_of(DepKind::Afd) < year_of(DepKind::Sfd));
+        assert!(year_of(DepKind::Cfd) < year_of(DepKind::Cdd));
+        assert!(year_of(DepKind::Cdd) < year_of(DepKind::Cmd));
+    }
+
+    #[test]
+    fn csd_is_the_polynomial_exception() {
+        // Fig. 3's headline: CSD tableau discovery is polynomial while the
+        // conditional/denial extensions are NP-complete.
+        assert_eq!(info(DepKind::Csd).discovery, Complexity::PolynomialTime);
+        assert_eq!(info(DepKind::Cfd).discovery, Complexity::NpComplete);
+        assert_eq!(info(DepKind::Cdd).discovery, Complexity::NpComplete);
+        assert_eq!(info(DepKind::Dc).discovery, Complexity::NpComplete);
+    }
+
+    #[test]
+    fn table3_spot_checks() {
+        // Violation detection column includes ODs, DCs, SDs, CSDs.
+        let vd = supporting(Application::ViolationDetection);
+        for k in [DepKind::Od, DepKind::Dc, DepKind::Sd, DepKind::Csd] {
+            assert!(vd.iter().any(|n| n.kind == k), "{k}");
+        }
+        // Model fairness is MVDs only.
+        let mf = supporting(Application::ModelFairness);
+        assert_eq!(mf.len(), 1);
+        assert_eq!(mf[0].kind, DepKind::Mvd);
+        // Schema normalization: FDs, PFDs, MVDs, FHDs.
+        let sn = supporting(Application::SchemaNormalization);
+        assert_eq!(sn.len(), 4);
+    }
+}

@@ -1,0 +1,340 @@
+//! Empirical verification of the Fig. 1A extension edges.
+//!
+//! For every arrow `S → G` the survey draws, this module builds a concrete
+//! special-case dependency `s` and its embedding `g` into the general
+//! notation, then evaluates both on a paper example instance *and on every
+//! single-cell perturbation of it* (each cell replaced by the value of the
+//! next row). Most embeddings are **equivalences** (`s` holds iff `g`
+//! holds); two are genuine **implications** (`s` holds ⇒ `g` holds):
+//! FDs → MVDs (every FD is an MVD, but MVDs are strictly weaker) and
+//! ODs → SDs (SDs skip order ties on the sequencing attribute).
+
+use crate::categorical::{Afd, Amvd, Cfd, ECfd, Fd, Fhd, Mvd, Nud, Pattern, Pfd, Sfd};
+use crate::dep::{DepKind, Dependency};
+use crate::heterogeneous::{Cd, Cdd, Cmd, Dd, Ffd, Md, Mfd, Ned, NedAtom, Pac};
+use crate::numerical::{Csd, Dc, Direction, Od, Ofd, Sd};
+use deptree_metrics::Metric;
+use deptree_relation::{examples, AttrSet, Relation};
+
+/// How an embedding relates special to general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeMode {
+    /// `special.holds(r) ⇔ general.holds(r)` on every instance.
+    Equivalence,
+    /// `special.holds(r) ⇒ general.holds(r)` on every instance.
+    Implication,
+}
+
+/// The outcome of verifying one extension edge.
+#[derive(Debug, Clone)]
+pub struct EdgeReport {
+    /// The verified `(special, general)` edge.
+    pub edge: (DepKind, DepKind),
+    /// Equivalence or implication.
+    pub mode: EdgeMode,
+    /// Number of instances (base + perturbations) evaluated.
+    pub instances: usize,
+    /// Instances where the relationship held.
+    pub agreed: usize,
+}
+
+impl EdgeReport {
+    /// Did the relationship hold on every instance?
+    pub fn ok(&self) -> bool {
+        self.agreed == self.instances
+    }
+}
+
+/// All single-cell perturbations of `r`: each cell replaced by the value
+/// of the same attribute in the next row (cyclically). Deterministic, so
+/// verification needs no RNG.
+fn perturbations(r: &Relation) -> Vec<Relation> {
+    let n = r.n_rows();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n * r.n_attrs());
+    for row in 0..n {
+        for attr in r.schema().ids() {
+            let donor = (row + 1) % n;
+            let v = r.value(donor, attr).clone();
+            if &v == r.value(row, attr) {
+                continue;
+            }
+            let mut variant = r.clone();
+            variant.set_value(row, attr, v);
+            out.push(variant);
+        }
+    }
+    out
+}
+
+fn check(
+    edge: (DepKind, DepKind),
+    mode: EdgeMode,
+    base: &Relation,
+    special: &dyn Dependency,
+    general: &dyn Dependency,
+) -> EdgeReport {
+    let mut instances = 0usize;
+    let mut agreed = 0usize;
+    let mut visit = |r: &Relation| {
+        instances += 1;
+        let s = special.holds(r);
+        let g = general.holds(r);
+        let ok = match mode {
+            EdgeMode::Equivalence => s == g,
+            EdgeMode::Implication => !s || g,
+        };
+        if ok {
+            agreed += 1;
+        }
+    };
+    visit(base);
+    for v in perturbations(base) {
+        visit(&v);
+    }
+    EdgeReport {
+        edge,
+        mode,
+        instances,
+        agreed,
+    }
+}
+
+/// Verify one Fig. 1A edge; `None` if the pair is not an edge of the
+/// survey's graph.
+pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
+    use DepKind as K;
+    let edge = (special, general);
+    let r5 = examples::hotels_r5();
+    let r6 = examples::hotels_r6();
+    let r7 = examples::hotels_r7();
+    let s5 = r5.schema();
+    let s6 = r6.schema();
+    let s7 = r7.schema();
+
+    let fd5 = Fd::parse(s5, "address -> region").expect("r5 attrs");
+    let report = match edge {
+        (K::Fd, K::Sfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Sfd::from_fd(fd5.clone())),
+        (K::Fd, K::Pfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Pfd::from_fd(fd5.clone())),
+        (K::Fd, K::Afd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Afd::from_fd(fd5.clone())),
+        (K::Fd, K::Nud) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Nud::from_fd(s5, &fd5)),
+        (K::Fd, K::Cfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Cfd::from_fd(s5, &fd5)),
+        (K::Fd, K::Mvd) => check(edge, EdgeMode::Implication, &r5, &fd5, &Mvd::from_fd(s5, &fd5)),
+        (K::Fd, K::Mfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Mfd::from_fd(s5, &fd5)),
+        (K::Fd, K::Ffd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Ffd::from_fd(s5, &fd5)),
+        (K::Fd, K::Md) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Md::from_fd(s5, &fd5)),
+        (K::Cfd, K::ECfd) => {
+            let lhs = AttrSet::from_ids([s5.id("region"), s5.id("name")]);
+            let rhs = AttrSet::single(s5.id("address"));
+            let cfd = Cfd::new(
+                s5,
+                lhs,
+                rhs,
+                Pattern::all_any(lhs.union(rhs)).with_const(s5.id("region"), "Jackson"),
+            );
+            check(edge, EdgeMode::Equivalence, &r5, &cfd, &ECfd::from_cfd(s5, &cfd))
+        }
+        (K::Cfd, K::Cdd) => {
+            let lhs = AttrSet::from_ids([s6.id("source"), s6.id("name")]);
+            let rhs = AttrSet::single(s6.id("zip"));
+            let cfd = Cfd::new(
+                s6,
+                lhs,
+                rhs,
+                Pattern::all_any(lhs.union(rhs)).with_const(s6.id("source"), "s1"),
+            );
+            let cdd = Cdd::from_cfd(s6, &cfd).expect("LHS-constant CFD embeds");
+            check(edge, EdgeMode::Equivalence, &r6, &cfd, &cdd)
+        }
+        (K::Mvd, K::Fhd) => {
+            let mvd = Mvd::new(
+                s5,
+                AttrSet::from_ids([s5.id("address"), s5.id("rate")]),
+                AttrSet::single(s5.id("region")),
+            );
+            check(edge, EdgeMode::Equivalence, &r5, &mvd, &Fhd::from_mvd(s5, &mvd))
+        }
+        (K::Mvd, K::Amvd) => {
+            let mvd = Mvd::new(
+                s5,
+                AttrSet::from_ids([s5.id("address"), s5.id("rate")]),
+                AttrSet::single(s5.id("region")),
+            );
+            check(edge, EdgeMode::Equivalence, &r5, &mvd, &Amvd::from_mvd(mvd.clone()))
+        }
+        (K::Mfd, K::Ned) => {
+            let mfd = Mfd::new(
+                s6,
+                AttrSet::from_ids([s6.id("name"), s6.id("region")]),
+                vec![(s6.id("price"), Metric::AbsDiff, 500.0)],
+            );
+            check(edge, EdgeMode::Equivalence, &r6, &mfd, &Ned::from_mfd(s6, &mfd))
+        }
+        (K::Ned, K::Dd) => {
+            let ned = example_ned(&r6);
+            check(edge, EdgeMode::Equivalence, &r6, &ned, &Dd::from_ned(s6, &ned))
+        }
+        (K::Ned, K::Cd) => {
+            let ned = example_ned(&r6);
+            let cd = Cd::from_ned(s6, &ned).expect("NED has an RHS atom");
+            check(edge, EdgeMode::Equivalence, &r6, &ned, &cd)
+        }
+        (K::Ned, K::Pac) => {
+            let ned = example_ned(&r6);
+            check(edge, EdgeMode::Equivalence, &r6, &ned, &Pac::from_ned(s6, &ned))
+        }
+        (K::Dd, K::Cdd) => {
+            let dd = Dd::from_ned(s6, &example_ned(&r6));
+            check(edge, EdgeMode::Equivalence, &r6, &dd, &Cdd::from_dd(s6, dd.clone()))
+        }
+        (K::Md, K::Cmd) => {
+            let md = Md::new(
+                s6,
+                vec![
+                    (s6.id("street"), Metric::Levenshtein, 5.0),
+                    (s6.id("region"), Metric::Levenshtein, 2.0),
+                ],
+                AttrSet::single(s6.id("zip")),
+            );
+            check(edge, EdgeMode::Equivalence, &r6, &md, &Cmd::from_md(s6, md.clone()))
+        }
+        (K::Ofd, K::Od) => {
+            let ofd = Ofd::pointwise(
+                s7,
+                AttrSet::single(s7.id("subtotal")),
+                AttrSet::single(s7.id("taxes")),
+            );
+            check(edge, EdgeMode::Equivalence, &r7, &ofd, &Od::from_ofd(s7, &ofd))
+        }
+        (K::Od, K::Sd) => {
+            let od = example_od(&r7);
+            let sd = Sd::from_od(s7, &od).expect("single-attribute OD embeds");
+            check(edge, EdgeMode::Implication, &r7, &od, &sd)
+        }
+        (K::Od, K::Dc) => {
+            let od = example_od(&r7);
+            let dcs = Dc::from_od(s7, &od);
+            let conj = Conjunction(dcs);
+            check(edge, EdgeMode::Equivalence, &r7, &od, &conj)
+        }
+        (K::ECfd, K::Dc) => {
+            let ecfd = ECfd::new(
+                s5,
+                AttrSet::from_ids([s5.id("rate"), s5.id("name")]),
+                AttrSet::single(s5.id("address")),
+                vec![(
+                    s5.id("rate"),
+                    crate::categorical::PatternOp::Cmp(crate::op::CmpOp::Leq, 200.into()),
+                )],
+            );
+            let conj = Conjunction(Dc::from_ecfd(s5, &ecfd));
+            check(edge, EdgeMode::Equivalence, &r5, &ecfd, &conj)
+        }
+        (K::Sd, K::Csd) => {
+            let sd = Sd::new(
+                s7,
+                s7.id("nights"),
+                s7.id("subtotal"),
+                crate::numerical::Interval::new(100.0, 200.0),
+            );
+            check(edge, EdgeMode::Equivalence, &r7, &sd, &Csd::from_sd(s7, &sd))
+        }
+        _ => return None,
+    };
+    Some(report)
+}
+
+fn example_ned(r6: &Relation) -> Ned {
+    let s6 = r6.schema();
+    Ned::new(
+        s6,
+        vec![
+            NedAtom::new(s6.id("name"), Metric::Levenshtein, 1.0),
+            NedAtom::new(s6.id("address"), Metric::Levenshtein, 5.0),
+        ],
+        vec![NedAtom::new(s6.id("street"), Metric::Levenshtein, 5.0)],
+    )
+}
+
+fn example_od(r7: &Relation) -> Od {
+    let s7 = r7.schema();
+    Od::new(
+        s7,
+        vec![(s7.id("nights"), Direction::Asc)],
+        vec![(s7.id("avg/night"), Direction::Desc)],
+    )
+}
+
+/// Verify every edge of the survey graph. Returns one report per edge, in
+/// [`crate::familytree::EDGES`] order.
+pub fn verify_all_edges() -> Vec<EdgeReport> {
+    crate::familytree::EDGES
+        .iter()
+        .map(|&(s, g)| verify_edge(s, g).expect("EDGES entries are verifiable"))
+        .collect()
+}
+
+/// A conjunction of dependencies, used when one special case embeds into
+/// *several* general rules (ODs and eCFDs each map to a set of DCs).
+struct Conjunction(Vec<Dc>);
+
+impl std::fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⋀ of {} DCs", self.0.len())
+    }
+}
+
+impl Dependency for Conjunction {
+    fn kind(&self) -> DepKind {
+        DepKind::Dc
+    }
+    fn holds(&self, r: &Relation) -> bool {
+        self.0.iter().all(|d| d.holds(r))
+    }
+    fn violations(&self, r: &Relation) -> Vec<crate::dep::Violation> {
+        self.0.iter().flat_map(|d| d.violations(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_survey_edge_verifies() {
+        let reports = verify_all_edges();
+        assert_eq!(reports.len(), crate::familytree::EDGES.len());
+        for rep in &reports {
+            assert!(
+                rep.ok(),
+                "edge {:?} ({:?}): {}/{} instances agreed",
+                rep.edge,
+                rep.mode,
+                rep.agreed,
+                rep.instances
+            );
+            assert!(rep.instances > 1, "perturbations must be exercised");
+        }
+    }
+
+    #[test]
+    fn non_edges_are_rejected() {
+        assert!(verify_edge(DepKind::Sfd, DepKind::Pfd).is_none());
+        assert!(verify_edge(DepKind::Dc, DepKind::Fd).is_none());
+    }
+
+    #[test]
+    fn implication_edges_are_the_two_weak_ones() {
+        let weak: Vec<(DepKind, DepKind)> = verify_all_edges()
+            .into_iter()
+            .filter(|r| r.mode == EdgeMode::Implication)
+            .map(|r| r.edge)
+            .collect();
+        assert_eq!(
+            weak,
+            vec![(DepKind::Fd, DepKind::Mvd), (DepKind::Od, DepKind::Sd)]
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Conditional differential dependencies (§3.3.5).
+
+use crate::categorical::Cfd;
+use crate::dep::{DepKind, Dependency, Violation};
+use crate::heterogeneous::{Dd, DiffAtom};
+use deptree_metrics::{DistRange, Metric};
+use deptree_relation::{AttrId, Relation, Schema, Value};
+use std::fmt;
+
+/// A condition selecting the subset of tuples a conditional dependency
+/// applies to: a conjunction of `attribute = constant` equalities on
+/// categorical attributes. Both tuples of a pair must match.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Condition {
+    atoms: Vec<(AttrId, Value)>,
+}
+
+impl Condition {
+    /// The empty (always-true) condition.
+    pub fn always() -> Self {
+        Self::default()
+    }
+
+    /// Add an `attr = value` conjunct.
+    #[must_use]
+    pub fn and(mut self, attr: AttrId, value: impl Into<Value>) -> Self {
+        self.atoms.push((attr, value.into()));
+        self
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[(AttrId, Value)] {
+        &self.atoms
+    }
+
+    /// Is the condition trivial?
+    pub fn is_always(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Does a row match?
+    pub fn matches(&self, r: &Relation, row: usize) -> bool {
+        self.atoms.iter().all(|(a, v)| r.value(row, *a) == v)
+    }
+
+    /// Render with a schema.
+    pub fn render(&self, schema: &Schema) -> String {
+        if self.is_always() {
+            return "true".into();
+        }
+        self.atoms
+            .iter()
+            .map(|(a, v)| format!("{}={}", schema.name(*a), v))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+/// A conditional differential dependency: a DD that holds only among
+/// tuples matching a categorical condition (§3.3.5). CDDs extend both DDs
+/// (trivial condition) and CFDs (zero-distance differential functions with
+/// the pattern's constants as the condition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdd {
+    condition: Condition,
+    dd: Dd,
+    display: String,
+}
+
+impl Cdd {
+    /// Build a CDD.
+    pub fn new(schema: &Schema, condition: Condition, dd: Dd) -> Self {
+        let display = format!(
+            "[{}] {}",
+            condition.render(schema),
+            &dd.to_string()[4..]
+        );
+        Cdd {
+            condition,
+            dd,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding from DDs: a DD is a CDD with the trivial
+    /// condition.
+    pub fn from_dd(schema: &Schema, dd: Dd) -> Self {
+        Cdd::new(schema, Condition::always(), dd)
+    }
+
+    /// The Fig. 1 embedding from CFDs: a CFD whose pattern constants are
+    /// all on the LHS becomes a CDD with those constants as the condition,
+    /// equality (zero-distance) differential functions on the variable LHS
+    /// attributes, and zero-distance RHS. Returns `None` when the CFD has
+    /// constants on its RHS (those have single-tuple semantics a pairwise
+    /// CDD cannot express).
+    pub fn from_cfd(schema: &Schema, cfd: &Cfd) -> Option<Self> {
+        if !cfd
+            .rhs()
+            .iter()
+            .all(|a| !cfd.pattern().cell(a).is_const())
+        {
+            return None;
+        }
+        let mut condition = Condition::always();
+        let mut lhs_atoms = Vec::new();
+        for a in cfd.lhs().iter() {
+            match cfd.pattern().cell(a) {
+                crate::categorical::PatternCell::Const(v) => {
+                    condition = condition.and(a, v.clone());
+                }
+                crate::categorical::PatternCell::Any => {
+                    lhs_atoms.push(DiffAtom::new(a, Metric::Equality, DistRange::zero()));
+                }
+            }
+        }
+        let rhs_atoms = cfd
+            .rhs()
+            .iter()
+            .map(|a| DiffAtom::new(a, Metric::Equality, DistRange::zero()))
+            .collect();
+        Some(Cdd::new(
+            schema,
+            condition,
+            Dd::new(schema, lhs_atoms, rhs_atoms),
+        ))
+    }
+
+    /// The condition.
+    pub fn condition(&self) -> &Condition {
+        &self.condition
+    }
+
+    /// The embedded DD.
+    pub fn dd(&self) -> &Dd {
+        &self.dd
+    }
+
+    /// Rows the condition selects.
+    pub fn matching_rows(&self, r: &Relation) -> Vec<usize> {
+        (0..r.n_rows())
+            .filter(|&row| self.condition.matches(r, row))
+            .collect()
+    }
+}
+
+impl Dependency for Cdd {
+    fn kind(&self) -> DepKind {
+        DepKind::Cdd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        let rows = self.matching_rows(r);
+        for (i, &t1) in rows.iter().enumerate() {
+            for &t2 in rows.iter().skip(i + 1) {
+                if self.dd.lhs_compatible(r, t1, t2) && !self.dd.rhs_compatible(r, t1, t2) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let rows = self.matching_rows(r);
+        let mut out = Vec::new();
+        for (i, &t1) in rows.iter().enumerate() {
+            for &t2 in rows.iter().skip(i + 1) {
+                if self.dd.lhs_compatible(r, t1, t2) && !self.dd.rhs_compatible(r, t1, t2) {
+                    let bad = self
+                        .dd
+                        .rhs()
+                        .iter()
+                        .filter(|a| !a.compatible(r, t1, t2))
+                        .map(|a| a.attr)
+                        .collect();
+                    out.push(Violation::pair(t1, t2, bad));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CDD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorical::{Fd, Pattern};
+    use deptree_relation::examples::hotels_r6;
+    use deptree_relation::AttrSet;
+
+    fn sanjose_cdd(r: &Relation) -> Cdd {
+        // §3.3.5's example shape: in one region, tuples with similar names
+        // (same hotel) must have similar addresses.
+        let s = r.schema();
+        Cdd::new(
+            s,
+            Condition::always().and(s.id("region"), "San Jose"),
+            Dd::new(
+                s,
+                vec![DiffAtom::at_most(s.id("name"), Metric::Levenshtein, 1.0)],
+                vec![DiffAtom::at_most(s.id("address"), Metric::Levenshtein, 5.0)],
+            ),
+        )
+    }
+
+    #[test]
+    fn conditional_scope() {
+        let r = hotels_r6();
+        let cdd = sanjose_cdd(&r);
+        assert_eq!(cdd.matching_rows(&r), vec![1, 4, 5]);
+        assert!(cdd.holds(&r));
+    }
+
+    #[test]
+    fn violation_only_inside_condition() {
+        let mut r = hotels_r6();
+        let s = r.schema().clone();
+        // Error inside the San Jose scope: t6's address garbled.
+        r.set_value(5, s.id("address"), "completely elsewhere".into());
+        let cdd = sanjose_cdd(&r);
+        assert!(!cdd.holds(&r));
+        let v = cdd.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rows, vec![1, 5]);
+        // The same error outside the condition's scope is invisible:
+        let mut r2 = hotels_r6();
+        r2.set_value(0, s.id("address"), "completely elsewhere".into());
+        let cdd2 = sanjose_cdd(&r2);
+        assert!(cdd2.holds(&r2)); // t1 is New York, outside the scope
+    }
+
+    #[test]
+    fn dd_embedding_trivial_condition() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let dd = Dd::new(
+            s,
+            vec![DiffAtom::at_most(s.id("name"), Metric::Levenshtein, 1.0)],
+            vec![DiffAtom::at_most(s.id("zip"), Metric::Equality, 0.0)],
+        );
+        let cdd = Cdd::from_dd(s, dd.clone());
+        assert_eq!(dd.holds(&r), cdd.holds(&r));
+        assert_eq!(dd.violations(&r), cdd.violations(&r));
+    }
+
+    #[test]
+    fn cfd_embedding() {
+        let r = hotels_r6();
+        let s = r.schema();
+        // CFD: source = "s1", name = _ → zip = _ (within source s1, name
+        // determines zip).
+        let lhs = AttrSet::from_ids([s.id("source"), s.id("name")]);
+        let rhs = AttrSet::single(s.id("zip"));
+        let cfd = Cfd::new(
+            s,
+            lhs,
+            rhs,
+            Pattern::all_any(lhs.union(rhs)).with_const(s.id("source"), "s1"),
+        );
+        let cdd = Cdd::from_cfd(s, &cfd).unwrap();
+        assert_eq!(cfd.holds(&r), cdd.holds(&r));
+        // Perturbed: s1's NC tuples t1 and t6 get different zips.
+        let mut r2 = r.clone();
+        r2.set_value(5, s.id("zip"), "99999".into());
+        assert_eq!(cfd.holds(&r2), cdd.holds(&r2));
+        assert!(!cdd.holds(&r2));
+    }
+
+    #[test]
+    fn cfd_with_constant_rhs_not_embeddable() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let lhs = AttrSet::single(s.id("source"));
+        let rhs = AttrSet::single(s.id("zip"));
+        let cfd = Cfd::new(
+            s,
+            lhs,
+            rhs,
+            Pattern::new()
+                .with_const(s.id("source"), "s1")
+                .with_const(s.id("zip"), "10041"),
+        );
+        assert!(Cdd::from_cfd(s, &cfd).is_none());
+    }
+
+    #[test]
+    fn fd_through_cfd_through_cdd() {
+        // Transitivity of the family tree: FD → CFD → CDD.
+        let r = hotels_r6();
+        let s = r.schema();
+        let fd = Fd::parse(s, "street -> zip").unwrap();
+        let cfd = Cfd::from_fd(s, &fd);
+        let cdd = Cdd::from_cfd(s, &cfd).unwrap();
+        assert_eq!(fd.holds(&r), cdd.holds(&r));
+    }
+}

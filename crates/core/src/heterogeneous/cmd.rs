@@ -1,0 +1,181 @@
+//! Conditional matching dependencies (§3.7.5).
+
+use crate::dep::{DepKind, Dependency, Violation};
+use crate::heterogeneous::{Condition, Md};
+use deptree_relation::{Relation, Schema};
+use std::fmt;
+
+/// A conditional matching dependency (Wang et al.): an MD that binds its
+/// matching rule to the part of the relation selected by a categorical
+/// condition — analogous to CFDs extending FDs (§3.7.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmd {
+    condition: Condition,
+    md: Md,
+    display: String,
+}
+
+impl Cmd {
+    /// Build a CMD.
+    pub fn new(schema: &Schema, condition: Condition, md: Md) -> Self {
+        let display = format!("[{}] {}", condition.render(schema), &md.to_string()[4..]);
+        Cmd {
+            condition,
+            md,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding: an MD is a CMD with the trivial condition.
+    pub fn from_md(schema: &Schema, md: Md) -> Self {
+        Cmd::new(schema, Condition::always(), md)
+    }
+
+    /// The condition.
+    pub fn condition(&self) -> &Condition {
+        &self.condition
+    }
+
+    /// The embedded MD.
+    pub fn md(&self) -> &Md {
+        &self.md
+    }
+
+    /// Rows the condition selects.
+    pub fn matching_rows(&self, r: &Relation) -> Vec<usize> {
+        (0..r.n_rows())
+            .filter(|&row| self.condition.matches(r, row))
+            .collect()
+    }
+
+    /// The `g3` error of §3.7.5: the minimum number of tuples to remove so
+    /// the CMD holds. Computed greedily on the conflict graph: repeatedly
+    /// drop the tuple involved in the most violations. (Exact computation
+    /// is NP-complete — vertex cover — per Wang et al.; the greedy
+    /// 2-approximation is the standard surrogate.)
+    pub fn g3_upper_bound(&self, r: &Relation) -> usize {
+        let mut edges: Vec<(usize, usize)> = self
+            .violations(r)
+            .into_iter()
+            .map(|v| (v.rows[0], v.rows[1]))
+            .collect();
+        let mut removed = 0usize;
+        while !edges.is_empty() {
+            // Degree count.
+            let mut deg = std::collections::HashMap::new();
+            for &(a, b) in &edges {
+                *deg.entry(a).or_insert(0usize) += 1;
+                *deg.entry(b).or_insert(0usize) += 1;
+            }
+            let (&victim, _) = deg.iter().max_by_key(|(_, d)| **d).expect("non-empty");
+            edges.retain(|&(a, b)| a != victim && b != victim);
+            removed += 1;
+        }
+        removed
+    }
+}
+
+impl Dependency for Cmd {
+    fn kind(&self) -> DepKind {
+        DepKind::Cmd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        let rows = self.matching_rows(r);
+        for (i, &t1) in rows.iter().enumerate() {
+            for &t2 in rows.iter().skip(i + 1) {
+                if self.md.lhs_similar(r, t1, t2) && !r.rows_agree(t1, t2, self.md.rhs()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let rows = self.matching_rows(r);
+        let mut out = Vec::new();
+        for (i, &t1) in rows.iter().enumerate() {
+            for &t2 in rows.iter().skip(i + 1) {
+                if self.md.lhs_similar(r, t1, t2) && !r.rows_agree(t1, t2, self.md.rhs()) {
+                    let bad = self
+                        .md
+                        .rhs()
+                        .iter()
+                        .filter(|&a| r.value(t1, a) != r.value(t2, a))
+                        .collect();
+                    out.push(Violation::pair(t1, t2, bad));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CMD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_metrics::Metric;
+    use deptree_relation::examples::hotels_r6;
+    use deptree_relation::AttrSet;
+
+    fn base_md(r: &Relation) -> Md {
+        let s = r.schema();
+        Md::new(
+            s,
+            vec![(s.id("name"), Metric::Levenshtein, 1.0)],
+            AttrSet::single(s.id("zip")),
+        )
+    }
+
+    #[test]
+    fn md_embedding_trivial_condition() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let md = base_md(&r);
+        let cmd = Cmd::from_md(s, md.clone());
+        assert_eq!(md.holds(&r), cmd.holds(&r));
+        assert_eq!(md.violations(&r).len(), cmd.violations(&r).len());
+    }
+
+    #[test]
+    fn condition_narrows_scope() {
+        // MD name≈ → zip⇌ fails globally on r6 (NC appears in New York and
+        // San Jose with different zips) but holds within source s2.
+        let r = hotels_r6();
+        let s = r.schema();
+        let md = base_md(&r);
+        assert!(!md.holds(&r));
+        let cmd = Cmd::new(s, Condition::always().and(s.id("source"), "s2"), md);
+        assert_eq!(cmd.matching_rows(&r), vec![1, 3, 4]);
+        assert!(cmd.holds(&r));
+    }
+
+    #[test]
+    fn g3_bound_zero_iff_holds() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let good = Cmd::new(
+            s,
+            Condition::always().and(s.id("source"), "s2"),
+            base_md(&r),
+        );
+        assert_eq!(good.g3_upper_bound(&r), 0);
+        let bad = Cmd::from_md(s, base_md(&r));
+        assert!(bad.g3_upper_bound(&r) >= 1);
+    }
+
+    #[test]
+    fn display_includes_condition() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let cmd = Cmd::new(s, Condition::always().and(s.id("source"), "s2"), base_md(&r));
+        assert!(cmd.to_string().starts_with("CMD: [source=s2]"));
+    }
+}

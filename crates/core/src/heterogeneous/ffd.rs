@@ -1,0 +1,189 @@
+//! Fuzzy functional dependencies (§3.6).
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_metrics::Resemblance;
+use deptree_relation::{AttrId, AttrSet, Relation, Schema};
+use std::fmt;
+
+/// A fuzzy functional dependency `X ⤳ Y` (Raju–Majumdar): for every tuple
+/// pair, the fuzzy resemblance on `X` must not exceed the resemblance on
+/// `Y`:
+///
+/// `μ_EQ(t1[X], t2[X]) ≤ μ_EQ(t1[Y], t2[Y])`
+///
+/// where the resemblance of a tuple pair on an attribute set is the
+/// *minimum* of per-attribute resemblances (§3.6.1). Intuitively: values
+/// on `Y` must be at least as "equal" as those on `X`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ffd {
+    lhs: Vec<(AttrId, Resemblance)>,
+    rhs: Vec<(AttrId, Resemblance)>,
+    display: String,
+}
+
+impl Ffd {
+    /// Build an FFD with per-attribute resemblance relations.
+    ///
+    /// # Panics
+    /// Panics if either side is empty.
+    pub fn new(
+        schema: &Schema,
+        lhs: Vec<(AttrId, Resemblance)>,
+        rhs: Vec<(AttrId, Resemblance)>,
+    ) -> Self {
+        assert!(!lhs.is_empty() && !rhs.is_empty(), "FFD sides must be non-empty");
+        let side = |atoms: &[(AttrId, Resemblance)]| {
+            atoms
+                .iter()
+                .map(|(a, _)| schema.name(*a).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let display = format!("{} ~> {}", side(&lhs), side(&rhs));
+        Ffd { lhs, rhs, display }
+    }
+
+    /// The Fig. 1 embedding: an FD is an FFD under crisp resemblance on
+    /// every attribute (§3.6.2).
+    pub fn from_fd(schema: &Schema, fd: &Fd) -> Self {
+        let crisp = |set: AttrSet| {
+            set.iter()
+                .map(|a| (a, Resemblance::Crisp))
+                .collect::<Vec<_>>()
+        };
+        Ffd::new(schema, crisp(fd.lhs()), crisp(fd.rhs()))
+    }
+
+    /// Left atoms.
+    pub fn lhs(&self) -> &[(AttrId, Resemblance)] {
+        &self.lhs
+    }
+
+    /// Right atoms.
+    pub fn rhs(&self) -> &[(AttrId, Resemblance)] {
+        &self.rhs
+    }
+
+    fn mu(atoms: &[(AttrId, Resemblance)], r: &Relation, t1: usize, t2: usize) -> f64 {
+        atoms
+            .iter()
+            .map(|(a, res)| res.mu(r.value(t1, *a), r.value(t2, *a)))
+            .fold(1.0f64, f64::min)
+    }
+
+    /// `μ_EQ(t1[X], t2[X])`: min-combined resemblance on the LHS.
+    pub fn mu_lhs(&self, r: &Relation, t1: usize, t2: usize) -> f64 {
+        Self::mu(&self.lhs, r, t1, t2)
+    }
+
+    /// `μ_EQ(t1[Y], t2[Y])`: min-combined resemblance on the RHS.
+    pub fn mu_rhs(&self, r: &Relation, t1: usize, t2: usize) -> f64 {
+        Self::mu(&self.rhs, r, t1, t2)
+    }
+}
+
+impl Dependency for Ffd {
+    fn kind(&self) -> DepKind {
+        DepKind::Ffd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        r.row_pairs()
+            .all(|(i, j)| self.mu_lhs(r, i, j) <= self.mu_rhs(r, i, j))
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let rhs_attrs: AttrSet = self.rhs.iter().map(|(a, _)| *a).collect();
+        let mut out = Vec::new();
+        for (i, j) in r.row_pairs() {
+            if self.mu_lhs(r, i, j) > self.mu_rhs(r, i, j) {
+                out.push(Violation::pair(i, j, rhs_attrs));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Ffd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FFD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::{hotels_r5, hotels_r6};
+
+    fn ffd1(r: &Relation) -> Ffd {
+        // §3.6.1: ffd1: name, price ⤳ tax with crisp names,
+        // μ = 1/(1+|a−b|) on price (β = 1), μ = 1/(1+10|a−b|) on tax.
+        let s = r.schema();
+        Ffd::new(
+            s,
+            vec![
+                (s.id("name"), Resemblance::Crisp),
+                (s.id("price"), Resemblance::InverseNumeric(1.0)),
+            ],
+            vec![(s.id("tax"), Resemblance::InverseNumeric(10.0))],
+        )
+    }
+
+    #[test]
+    fn paper_conflict_t1_t2() {
+        // §3.6.1: for t1, t2 — min(μ(NC,NC), μ(299,300)) = 1/2 > 1/91 =
+        // μ(29,20): the pair conflicts ffd1.
+        let r = hotels_r6();
+        let f = ffd1(&r);
+        assert!((f.mu_lhs(&r, 0, 1) - 0.5).abs() < 1e-12);
+        assert!((f.mu_rhs(&r, 0, 1) - 1.0 / 91.0).abs() < 1e-12);
+        assert!(!f.holds(&r));
+        let v = f.violations(&r);
+        assert!(v.iter().any(|v| v.rows == vec![0, 1]));
+    }
+
+    #[test]
+    fn fd_embedding_crisp() {
+        // §3.6.2: ffd2: address ⤳ region with crisp resemblances equals
+        // the FD address → region.
+        for r in [hotels_r5(), hotels_r6()] {
+            let s = r.schema();
+            for text in ["address -> region", "name -> address"] {
+                let Some(fd) = Fd::parse(s, text) else { continue };
+                let ffd = Ffd::from_fd(s, &fd);
+                assert_eq!(fd.holds(&r), ffd.holds(&r), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_tuples_never_violate() {
+        // Reflexivity: a pair of equal tuples has μ_lhs = μ_rhs = 1.
+        let r = hotels_r6();
+        let f = ffd1(&r);
+        for i in 0..r.n_rows() {
+            assert!((f.mu_lhs(&r, i, i) - 1.0).abs() < 1e-12);
+            assert!(f.mu_lhs(&r, i, i) <= f.mu_rhs(&r, i, i));
+        }
+    }
+
+    #[test]
+    fn violation_fixed_by_consistent_tax() {
+        // Make taxes proportional to price differences: t2's tax = 29 so
+        // μ_tax(29, 29) = 1 ≥ 1/2 for the (t1, t2) pair.
+        let mut r = hotels_r6();
+        let s = r.schema().clone();
+        r.set_value(1, s.id("tax"), 29.into());
+        r.set_value(5, s.id("tax"), 29.into()); // keep t6 consistent with t2
+        let f = ffd1(&r);
+        let v = f.violations(&r);
+        assert!(!v.iter().any(|v| v.rows == vec![0, 1]));
+    }
+
+    #[test]
+    fn display_uses_squiggly_arrow() {
+        let r = hotels_r6();
+        assert_eq!(ffd1(&r).to_string(), "FFD: name, price ~> tax");
+    }
+}

@@ -1,0 +1,22 @@
+//! Dependencies over heterogeneous data (survey §3): similarity-based
+//! notations tolerant to representation variety.
+
+mod cd;
+mod cdd;
+mod cmd;
+mod dd;
+mod ffd;
+mod md;
+mod mfd;
+mod ned;
+mod pac;
+
+pub use cd::{Cd, SimFn};
+pub use cdd::{Cdd, Condition};
+pub use cmd::Cmd;
+pub use dd::{Dd, DiffAtom};
+pub use ffd::Ffd;
+pub use md::Md;
+pub use mfd::Mfd;
+pub use ned::{Ned, NedAtom};
+pub use pac::Pac;

@@ -1,0 +1,244 @@
+//! Probabilistic approximate constraints (§3.5).
+
+use crate::dep::{DepKind, Dependency, Violation};
+use crate::heterogeneous::Ned;
+use deptree_metrics::Metric;
+use deptree_relation::{AttrId, AttrSet, Relation, Schema};
+use std::fmt;
+
+/// A probabilistic approximate constraint `X_Δ →^δ Y_ε` (Korn et al.):
+/// among tuple pairs within tolerance `Δ` on every `X`-attribute, the
+/// fraction within tolerance `ε` on every `Y`-attribute must be at least
+/// the confidence `δ` (§3.5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pac {
+    lhs: Vec<(AttrId, Metric, f64)>,
+    rhs: Vec<(AttrId, Metric, f64)>,
+    delta: f64,
+    display: String,
+}
+
+impl Pac {
+    /// Build a PAC. `lhs`/`rhs` carry `(attribute, metric, tolerance)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < δ ≤ 1`, `rhs` is non-empty and all tolerances
+    /// are non-negative.
+    pub fn new(
+        schema: &Schema,
+        lhs: Vec<(AttrId, Metric, f64)>,
+        rhs: Vec<(AttrId, Metric, f64)>,
+        delta: f64,
+    ) -> Self {
+        assert!(!rhs.is_empty(), "PAC needs at least one right-hand atom");
+        assert!(delta > 0.0 && delta <= 1.0, "confidence must be in (0, 1]");
+        assert!(
+            lhs.iter().chain(&rhs).all(|(_, _, t)| *t >= 0.0),
+            "tolerances must be non-negative"
+        );
+        let side = |atoms: &[(AttrId, Metric, f64)]| {
+            atoms
+                .iter()
+                .map(|(a, _, t)| format!("{}_{}", schema.name(*a), t))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let display = format!("{} ->^{} {}", side(&lhs), delta, side(&rhs));
+        Pac {
+            lhs,
+            rhs,
+            delta,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding: an NED is a PAC with confidence `δ = 1`
+    /// (§3.5.2).
+    pub fn from_ned(schema: &Schema, ned: &Ned) -> Self {
+        let conv = |atoms: &[crate::heterogeneous::NedAtom]| {
+            atoms
+                .iter()
+                .map(|a| (a.attr, a.metric.clone(), a.threshold))
+                .collect::<Vec<_>>()
+        };
+        Pac::new(schema, conv(ned.lhs()), conv(ned.rhs()), 1.0)
+    }
+
+    /// The confidence requirement `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Left atoms.
+    pub fn lhs(&self) -> &[(AttrId, Metric, f64)] {
+        &self.lhs
+    }
+
+    /// Right atoms.
+    pub fn rhs(&self) -> &[(AttrId, Metric, f64)] {
+        &self.rhs
+    }
+
+    fn within(atoms: &[(AttrId, Metric, f64)], r: &Relation, t1: usize, t2: usize) -> bool {
+        atoms
+            .iter()
+            .all(|(a, m, tol)| m.dist(r.value(t1, *a), r.value(t2, *a)) <= *tol)
+    }
+
+    /// `(matching pairs, satisfying pairs)` — the numerator and denominator
+    /// of the empirical probability.
+    pub fn pair_counts(&self, r: &Relation) -> (usize, usize) {
+        let mut matched = 0usize;
+        let mut ok = 0usize;
+        for (i, j) in r.row_pairs() {
+            if Self::within(&self.lhs, r, i, j) {
+                matched += 1;
+                if Self::within(&self.rhs, r, i, j) {
+                    ok += 1;
+                }
+            }
+        }
+        (matched, ok)
+    }
+
+    /// The empirical probability
+    /// `Pr(|t_i[B] − t_j[B]| ≤ ε ∀B | |t_i[A] − t_j[A]| ≤ Δ ∀A)`.
+    /// Defined as 1 when no pair matches the premise.
+    pub fn probability(&self, r: &Relation) -> f64 {
+        let (matched, ok) = self.pair_counts(r);
+        if matched == 0 {
+            1.0
+        } else {
+            ok as f64 / matched as f64
+        }
+    }
+}
+
+impl Dependency for Pac {
+    fn kind(&self) -> DepKind {
+        DepKind::Pac
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.probability(r) >= self.delta
+    }
+
+    /// Witnesses: LHS-matching pairs outside the RHS tolerance (reported
+    /// even when the PAC holds overall — they are what a PAC-Man-style
+    /// monitor would surface, §3.5.3).
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, j) in r.row_pairs() {
+            if Self::within(&self.lhs, r, i, j) && !Self::within(&self.rhs, r, i, j) {
+                let bad: AttrSet = self
+                    .rhs
+                    .iter()
+                    .filter(|(a, m, tol)| m.dist(r.value(i, *a), r.value(j, *a)) > *tol)
+                    .map(|(a, _, _)| *a)
+                    .collect();
+                out.push(Violation::pair(i, j, bad));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Pac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAC: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneous::NedAtom;
+    use deptree_relation::examples::hotels_r6;
+
+    fn pac1(r: &Relation) -> Pac {
+        // §3.5.1: pac1: price₁₀₀ →^0.9 tax₁₀.
+        let s = r.schema();
+        Pac::new(
+            s,
+            vec![(s.id("price"), Metric::AbsDiff, 100.0)],
+            vec![(s.id("tax"), Metric::AbsDiff, 10.0)],
+            0.9,
+        )
+    }
+
+    #[test]
+    fn paper_counts_8_of_11() {
+        // §3.5.1: 11 pairs with price distance ≤ 100; 3 of them have tax
+        // distance > 10 → Pr = 8/11 ≈ 0.727 < 0.9, so r6 violates pac1.
+        let r = hotels_r6();
+        let p = pac1(&r);
+        let (matched, ok) = p.pair_counts(&r);
+        assert_eq!(matched, 11);
+        assert_eq!(ok, 8);
+        assert!((p.probability(&r) - 8.0 / 11.0).abs() < 1e-12);
+        assert!(!p.holds(&r));
+        assert_eq!(p.violations(&r).len(), 3);
+    }
+
+    #[test]
+    fn lower_confidence_accepts() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let p = Pac::new(
+            s,
+            vec![(s.id("price"), Metric::AbsDiff, 100.0)],
+            vec![(s.id("tax"), Metric::AbsDiff, 10.0)],
+            0.7,
+        );
+        assert!(p.holds(&r)); // 0.727 ≥ 0.7
+    }
+
+    #[test]
+    fn ned_embedding_delta_one() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let ned = Ned::new(
+            s,
+            vec![
+                NedAtom::new(s.id("name"), Metric::Levenshtein, 1.0),
+                NedAtom::new(s.id("address"), Metric::Levenshtein, 5.0),
+            ],
+            vec![NedAtom::new(s.id("street"), Metric::Levenshtein, 5.0)],
+        );
+        let pac = Pac::from_ned(s, &ned);
+        assert_eq!(pac.delta(), 1.0);
+        assert_eq!(ned.holds(&r), pac.holds(&r));
+        assert_eq!(pac.to_string(), "PAC: name_1 address_5 ->^1 street_5");
+        let mut r2 = r.clone();
+        r2.set_value(5, s.id("street"), "very different".into());
+        assert_eq!(ned.holds(&r2), pac.holds(&r2));
+        assert!(!pac.holds(&r2));
+    }
+
+    #[test]
+    fn vacuous_premise_holds() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let p = Pac::new(
+            s,
+            vec![(s.id("price"), Metric::AbsDiff, 0.5)],
+            vec![(s.id("tax"), Metric::AbsDiff, 0.0)],
+            1.0,
+        );
+        // Only exact price ties match (t2/t6 price 300): tax 20 = 20 ✓.
+        assert!(p.holds(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn bad_delta_rejected() {
+        let r = hotels_r6();
+        let s = r.schema();
+        Pac::new(
+            s,
+            vec![(s.id("price"), Metric::AbsDiff, 1.0)],
+            vec![(s.id("tax"), Metric::AbsDiff, 1.0)],
+            0.0,
+        );
+    }
+}

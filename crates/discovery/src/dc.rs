@@ -1,0 +1,536 @@
+//! FASTDC (Chu et al.): denial-constraint discovery via predicate spaces,
+//! evidence sets and minimal set covers (§4.3.4), plus the approximate
+//! variant A-FASTDC.
+
+use crate::cover::minimal_hitting_sets;
+use deptree_core::{CmpOp, Dc, Predicate};
+use deptree_relation::{AttrId, Relation, ValueType};
+use std::collections::HashMap;
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// Maximum number of predicates per DC (small DCs are the useful
+    /// ones; the space is exponential in this).
+    pub max_predicates: usize,
+    /// A-FASTDC: fraction of tuple pairs a DC may violate and still be
+    /// reported (0 = exact FASTDC).
+    pub approx_epsilon: f64,
+}
+
+impl Default for DcConfig {
+    fn default() -> Self {
+        DcConfig {
+            max_predicates: 3,
+            approx_epsilon: 0.0,
+        }
+    }
+}
+
+/// Build the two-tuple predicate space of FASTDC: for every attribute,
+/// `tα.A op tβ.A` with `op ∈ {=, ≠}` for categorical/text attributes and
+/// the full operator set for numeric ones.
+pub fn predicate_space(r: &Relation) -> Vec<Predicate> {
+    let mut preds = Vec::new();
+    for (id, attr) in r.schema().iter() {
+        let ops: &[CmpOp] = match attr.ty {
+            ValueType::Numeric => &CmpOp::ALL,
+            _ => &CmpOp::EQUALITY,
+        };
+        for &op in ops {
+            preds.push(Predicate::across(id, op, id));
+        }
+    }
+    preds
+}
+
+/// Statistics from a run.
+#[derive(Debug, Clone, Default)]
+pub struct FastDcStats {
+    /// Size of the predicate space.
+    pub n_predicates: usize,
+    /// Distinct evidence sets.
+    pub n_evidence_sets: usize,
+    /// Ordered tuple pairs evaluated.
+    pub pairs_evaluated: usize,
+}
+
+/// Compute the *evidence sets*: for each ordered tuple pair, the bitset of
+/// predicates it satisfies. Returns distinct evidence sets with their
+/// multiplicities.
+pub fn evidence_sets(
+    r: &Relation,
+    preds: &[Predicate],
+    stats: &mut FastDcStats,
+) -> HashMap<u64, usize> {
+    assert!(preds.len() <= 64, "predicate space capped at 64 bits");
+    let mut evidence: HashMap<u64, usize> = HashMap::new();
+    for i in 0..r.n_rows() {
+        for j in 0..r.n_rows() {
+            if i == j {
+                continue;
+            }
+            stats.pairs_evaluated += 1;
+            let mut bits = 0u64;
+            for (k, p) in preds.iter().enumerate() {
+                if p.eval(r, i, j) {
+                    bits |= 1 << k;
+                }
+            }
+            *evidence.entry(bits).or_default() += 1;
+        }
+    }
+    stats.n_evidence_sets = evidence.len();
+    evidence
+}
+
+/// BFASTDC-style evidence-set construction: instead of evaluating every
+/// predicate generically per pair, group the predicates by attribute,
+/// compare each pair's attribute values *once*, and set all of that
+/// attribute's predicate bits from the single comparison outcome — the
+/// bitwise-reuse idea of Pena & de Almeida (§4.3.4). Produces exactly the
+/// same evidence sets as [`evidence_sets`] (tested), several times faster
+/// on wide operator sets (ablation bench).
+pub fn evidence_sets_grouped(
+    r: &Relation,
+    preds: &[Predicate],
+    stats: &mut FastDcStats,
+) -> HashMap<u64, usize> {
+    use deptree_core::Operand;
+    assert!(preds.len() <= 64, "predicate space capped at 64 bits");
+    // Per attribute: (bit, op) lists for symmetric same-attribute
+    // predicates; anything else falls back to generic evaluation.
+    let mut by_attr: HashMap<AttrId, Vec<(usize, CmpOp)>> = HashMap::new();
+    let mut generic: Vec<(usize, &Predicate)> = Vec::new();
+    for (k, p) in preds.iter().enumerate() {
+        match (&p.left, &p.right) {
+            (Operand::First(a), Operand::Second(b)) if a == b => {
+                by_attr.entry(*a).or_default().push((k, p.op));
+            }
+            _ => generic.push((k, p)),
+        }
+    }
+    let attrs: Vec<(AttrId, Vec<(usize, CmpOp)>)> = by_attr.into_iter().collect();
+    let mut evidence: HashMap<u64, usize> = HashMap::new();
+    for i in 0..r.n_rows() {
+        for j in 0..r.n_rows() {
+            if i == j {
+                continue;
+            }
+            stats.pairs_evaluated += 1;
+            let mut bits = 0u64;
+            for (attr, ops) in &attrs {
+                let (vi, vj) = (r.value(i, *attr), r.value(j, *attr));
+                if vi.is_null() || vj.is_null() {
+                    // Match CmpOp::eval's null semantics predicate-wise.
+                    for &(k, op) in ops {
+                        if op.eval(vi, vj) {
+                            bits |= 1 << k;
+                        }
+                    }
+                    continue;
+                }
+                let ord = vi.numeric_cmp(vj);
+                for &(k, op) in ops {
+                    let sat = match (op, ord) {
+                        (CmpOp::Eq, std::cmp::Ordering::Equal)
+                        | (CmpOp::Leq, std::cmp::Ordering::Equal)
+                        | (CmpOp::Geq, std::cmp::Ordering::Equal) => true,
+                        (CmpOp::Neq, o) => o != std::cmp::Ordering::Equal,
+                        (CmpOp::Lt | CmpOp::Leq, std::cmp::Ordering::Less) => true,
+                        (CmpOp::Gt | CmpOp::Geq, std::cmp::Ordering::Greater) => true,
+                        _ => false,
+                    };
+                    if sat {
+                        bits |= 1 << k;
+                    }
+                }
+            }
+            for (k, p) in &generic {
+                if p.eval(r, i, j) {
+                    bits |= 1 << k;
+                }
+            }
+            *evidence.entry(bits).or_default() += 1;
+        }
+    }
+    stats.n_evidence_sets = evidence.len();
+    evidence
+}
+
+/// The result of a FASTDC run.
+#[derive(Debug)]
+pub struct FastDcResult {
+    /// Minimal valid DCs.
+    pub dcs: Vec<Dc>,
+    /// Run statistics.
+    pub stats: FastDcStats,
+}
+
+/// Run FASTDC: a predicate set `P` forms a valid DC `¬(⋀ P)` iff no
+/// evidence set contains all of `P` — equivalently, `P` hits the
+/// *complement* of every evidence set. Minimal valid DCs are therefore
+/// minimal hitting sets of the complemented evidence sets.
+///
+/// With `approx_epsilon > 0` (A-FASTDC), evidence sets whose total
+/// multiplicity is within an `ε` fraction of all pairs may be left uncovered.
+pub fn discover(r: &Relation, cfg: &DcConfig) -> FastDcResult {
+    let preds = predicate_space(r);
+    let mut stats = FastDcStats {
+        n_predicates: preds.len(),
+        ..Default::default()
+    };
+    let evidence = evidence_sets(r, &preds, &mut stats);
+    let full: u64 = if preds.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << preds.len()) - 1
+    };
+
+    // A-FASTDC: drop the least-frequent evidence sets up to the ε budget.
+    let total_pairs: usize = evidence.values().sum();
+    let budget = (cfg.approx_epsilon * total_pairs as f64).floor() as usize;
+    let mut sets: Vec<(u64, usize)> = evidence.into_iter().collect();
+    sets.sort_by_key(|&(_, count)| count);
+    let mut dropped = 0usize;
+    let complements: Vec<u64> = sets
+        .iter()
+        .filter(|&&(_, count)| {
+            if dropped + count <= budget {
+                dropped += count;
+                false
+            } else {
+                true
+            }
+        })
+        .map(|&(bits, _)| full & !bits)
+        .collect();
+
+    let covers = minimal_hitting_sets(&complements, preds.len());
+    let mut dcs = Vec::new();
+    for cover in covers {
+        if cover.count_ones() as usize > cfg.max_predicates || cover == 0 {
+            continue;
+        }
+        let chosen: Vec<Predicate> = (0..preds.len())
+            .filter(|&k| cover & (1 << k) != 0)
+            .map(|k| preds[k].clone())
+            .collect();
+        // Skip trivially unsatisfiable conjunctions (e.g. tα.A = tβ.A ∧
+        // tα.A ≠ tβ.A): they are valid DCs but vacuous.
+        if is_contradictory(&chosen) {
+            continue;
+        }
+        dcs.push(Dc::new(r.schema(), chosen));
+    }
+    FastDcResult { dcs, stats }
+}
+
+/// Hydra-style discovery (Bleifuß et al., §4.3.4): avoid building the
+/// complete evidence multiset up front. Phase 1 computes evidence only for
+/// a deterministic sample of tuple pairs and derives *preliminary* DCs;
+/// phase 2 scans for pairs violating any preliminary DC, feeds their
+/// evidence back, and repeats until no candidate is violated.
+///
+/// At the fixpoint the output equals exact FASTDC's (tested): a candidate
+/// surviving validation hits every evidence-set complement, and any
+/// globally-minimal DC must be minimal for the collected subfamily too.
+/// The win is that the expensive minimal-cover search runs on far fewer
+/// distinct evidence sets when the data is regular.
+pub fn discover_hydra(r: &Relation, cfg: &DcConfig, sample_stride: usize) -> FastDcResult {
+    assert!(sample_stride >= 1, "stride must be positive");
+    let preds = predicate_space(r);
+    let mut stats = FastDcStats {
+        n_predicates: preds.len(),
+        ..Default::default()
+    };
+    let full: u64 = if preds.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << preds.len()) - 1
+    };
+    let pair_bits = |i: usize, j: usize, stats: &mut FastDcStats| -> u64 {
+        stats.pairs_evaluated += 1;
+        let mut bits = 0u64;
+        for (k, p) in preds.iter().enumerate() {
+            if p.eval(r, i, j) {
+                bits |= 1 << k;
+            }
+        }
+        bits
+    };
+
+    // Phase 1: sampled evidence.
+    let mut family: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut counter = 0usize;
+    for i in 0..r.n_rows() {
+        for j in 0..r.n_rows() {
+            if i == j {
+                continue;
+            }
+            counter += 1;
+            if counter.is_multiple_of(sample_stride) {
+                family.insert(pair_bits(i, j, &mut stats));
+            }
+        }
+    }
+
+    // Phase 2: iterate candidate generation + validation.
+    let mut covers: Vec<u64>;
+    loop {
+        let complements: Vec<u64> = family.iter().map(|&bits| full & !bits).collect();
+        covers = minimal_hitting_sets(&complements, preds.len());
+        // Validate every candidate against every pair; collect evidence of
+        // violating pairs.
+        let mut grew = false;
+        for i in 0..r.n_rows() {
+            for j in 0..r.n_rows() {
+                if i == j {
+                    continue;
+                }
+                // Cheap pre-check: compute bits lazily only if some cover
+                // might be violated — here we always need the bits.
+                let bits = pair_bits(i, j, &mut stats);
+                if covers.iter().any(|&c| c & !bits == 0) && family.insert(bits) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    stats.n_evidence_sets = family.len();
+
+    let mut dcs = Vec::new();
+    for cover in covers {
+        if cover == 0 || cover.count_ones() as usize > cfg.max_predicates {
+            continue;
+        }
+        let chosen: Vec<Predicate> = (0..preds.len())
+            .filter(|&k| cover & (1 << k) != 0)
+            .map(|k| preds[k].clone())
+            .collect();
+        if is_contradictory(&chosen) {
+            continue;
+        }
+        dcs.push(Dc::new(r.schema(), chosen));
+    }
+    FastDcResult { dcs, stats }
+}
+
+/// Is the conjunction unsatisfiable for symmetric same-attribute
+/// predicates (the only kind [`predicate_space`] builds)?
+fn is_contradictory(preds: &[Predicate]) -> bool {
+    use deptree_core::Operand;
+    let mut by_attr: HashMap<AttrId, Vec<CmpOp>> = HashMap::new();
+    for p in preds {
+        if let (Operand::First(a), Operand::Second(b)) = (&p.left, &p.right) {
+            if a == b {
+                by_attr.entry(*a).or_default().push(p.op);
+            }
+        }
+    }
+    for ops in by_attr.values() {
+        // A pair's comparison outcome on one attribute is <, = or >.
+        // The conjunction is satisfiable iff some outcome satisfies all ops.
+        let satisfiable = ["lt", "eq", "gt"].iter().any(|&o| {
+            ops.iter().all(|op| {
+                matches!(
+                    (o, op),
+                    ("lt", CmpOp::Lt | CmpOp::Leq | CmpOp::Neq)
+                        | ("eq", CmpOp::Eq | CmpOp::Leq | CmpOp::Geq)
+                        | ("gt", CmpOp::Gt | CmpOp::Geq | CmpOp::Neq)
+                )
+            })
+        });
+        if !satisfiable {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r7;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn predicate_space_shape() {
+        let r = hotels_r7();
+        let preds = predicate_space(&r);
+        // 4 numeric attributes × 6 operators.
+        assert_eq!(preds.len(), 24);
+    }
+
+    #[test]
+    fn all_discovered_dcs_hold() {
+        let r = hotels_r7();
+        let result = discover(&r, &DcConfig::default());
+        assert!(!result.dcs.is_empty());
+        for dc in &result.dcs {
+            assert!(dc.holds(&r), "{dc}");
+        }
+    }
+
+    #[test]
+    fn finds_the_papers_dc1_shape() {
+        // dc1: ¬(tα.subtotal < tβ.subtotal ∧ tα.taxes > tβ.taxes) holds on
+        // r7 and involves 2 predicates: FASTDC must find it (or a DC
+        // implying it, but with max_predicates 2 the exact one appears).
+        let r = hotels_r7();
+        let s = r.schema();
+        let result = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.0 });
+        let target = Dc::new(
+            s,
+            vec![
+                Predicate::across(s.id("subtotal"), CmpOp::Lt, s.id("subtotal")),
+                Predicate::across(s.id("taxes"), CmpOp::Gt, s.id("taxes")),
+            ],
+        );
+        assert!(
+            result.dcs.iter().any(|dc| dc.to_string() == target.to_string()),
+            "{:?}",
+            result.dcs.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn minimality_no_dc_contains_another() {
+        let r = hotels_r7();
+        let result = discover(&r, &DcConfig::default());
+        for a in &result.dcs {
+            for b in &result.dcs {
+                if a.to_string() == b.to_string() {
+                    continue;
+                }
+                let a_in_b = a
+                    .predicates()
+                    .iter()
+                    .all(|p| b.predicates().iter().any(|q| q == p));
+                assert!(!a_in_b, "{a} subsumes {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_mode_tolerates_outliers() {
+        // A relation satisfying "a < b ⇒ c < d" except for one outlier
+        // pair; exact FASTDC loses the 2-predicate DC, A-FASTDC keeps it.
+        let mut b = RelationBuilder::new()
+            .attr("x", ValueType::Numeric)
+            .attr("y", ValueType::Numeric);
+        for i in 0..20 {
+            b = b.row(vec![i.into(), (i * 10).into()]);
+        }
+        b = b.row(vec![100.into(), 0.into()]); // outlier breaks monotonicity
+        let r = b.build().unwrap();
+        let s = r.schema();
+        let target = Dc::new(
+            s,
+            vec![
+                Predicate::across(s.id("x"), CmpOp::Lt, s.id("x")),
+                Predicate::across(s.id("y"), CmpOp::Geq, s.id("y")),
+            ],
+        );
+        assert!(!target.holds(&r));
+        let exact = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.0 });
+        assert!(!exact
+            .dcs
+            .iter()
+            .any(|dc| dc.to_string() == target.to_string()));
+        let approx = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.15 });
+        assert!(
+            approx.dcs.iter().any(|dc| dc.to_string() == target.to_string()),
+            "{:?}",
+            approx.dcs.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn contradiction_filter() {
+        let r = hotels_r7();
+        let s = r.schema();
+        let contradictory = vec![
+            Predicate::across(s.id("taxes"), CmpOp::Eq, s.id("taxes")),
+            Predicate::across(s.id("taxes"), CmpOp::Neq, s.id("taxes")),
+        ];
+        assert!(is_contradictory(&contradictory));
+        let fine = vec![
+            Predicate::across(s.id("taxes"), CmpOp::Leq, s.id("taxes")),
+            Predicate::across(s.id("taxes"), CmpOp::Neq, s.id("taxes")),
+        ];
+        assert!(!is_contradictory(&fine));
+    }
+
+    #[test]
+    fn grouped_evidence_equals_naive() {
+        use deptree_synth::{categorical, CategoricalConfig};
+        let cfg = CategoricalConfig {
+            n_rows: 40,
+            n_key_attrs: 2,
+            n_dep_attrs: 1,
+            domain: 5,
+            error_rate: 0.1,
+            seed: 5,
+        };
+        let relations = [
+            hotels_r7(),
+            categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed)).relation,
+        ];
+        for r in relations {
+            let preds = predicate_space(&r);
+            let mut s1 = FastDcStats::default();
+            let mut s2 = FastDcStats::default();
+            let naive = evidence_sets(&r, &preds, &mut s1);
+            let grouped = evidence_sets_grouped(&r, &preds, &mut s2);
+            assert_eq!(naive, grouped);
+            assert_eq!(s1.pairs_evaluated, s2.pairs_evaluated);
+        }
+    }
+
+    #[test]
+    fn hydra_matches_exact_fastdc() {
+        let mut b = RelationBuilder::new()
+            .attr("x", ValueType::Numeric)
+            .attr("y", ValueType::Numeric);
+        for i in 0..15 {
+            b = b.row(vec![i.into(), ((i * 7) % 11).into()]);
+        }
+        let r = b.build().unwrap();
+        let cfg = DcConfig {
+            max_predicates: 2,
+            approx_epsilon: 0.0,
+        };
+        let exact = discover(&r, &cfg);
+        for stride in [1usize, 3, 10, 50] {
+            let hydra = discover_hydra(&r, &cfg, stride);
+            let e: std::collections::BTreeSet<String> =
+                exact.dcs.iter().map(|d| d.to_string()).collect();
+            let h: std::collections::BTreeSet<String> =
+                hydra.dcs.iter().map(|d| d.to_string()).collect();
+            assert_eq!(e, h, "stride {stride}");
+        }
+        // And on the paper instance.
+        let r7 = hotels_r7();
+        let exact7 = discover(&r7, &cfg);
+        let hydra7 = discover_hydra(&r7, &cfg, 4);
+        let e: std::collections::BTreeSet<String> =
+            exact7.dcs.iter().map(|d| d.to_string()).collect();
+        let h: std::collections::BTreeSet<String> =
+            hydra7.dcs.iter().map(|d| d.to_string()).collect();
+        assert_eq!(e, h);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let r = hotels_r7();
+        let result = discover(&r, &DcConfig::default());
+        assert_eq!(result.stats.n_predicates, 24);
+        assert_eq!(result.stats.pairs_evaluated, 12); // 4×3 ordered pairs
+        assert!(result.stats.n_evidence_sets >= 1);
+    }
+}

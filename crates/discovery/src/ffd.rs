@@ -1,0 +1,142 @@
+//! FFD mining (Wang–Chen, §3.6.3): a TANE-style small-to-large search for
+//! fuzzy functional dependencies with a single right-hand attribute,
+//! checking every tuple pair against the μ_EQ monotonicity condition.
+
+use deptree_core::{Dependency, Ffd};
+use deptree_metrics::Resemblance;
+use deptree_relation::{AttrId, Relation, ValueType};
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct FfdConfig {
+    /// Maximum LHS size.
+    pub max_lhs: usize,
+    /// β for the numeric resemblance `1/(1 + β|a−b|)`.
+    pub numeric_beta: f64,
+}
+
+impl Default for FfdConfig {
+    fn default() -> Self {
+        FfdConfig {
+            max_lhs: 2,
+            numeric_beta: 1.0,
+        }
+    }
+}
+
+/// The resemblance relation assigned to an attribute by type: crisp for
+/// categorical/text, `1/(1+β|a−b|)` for numeric (the survey's example
+/// setup in §3.6.1).
+pub fn default_resemblance(ty: ValueType, beta: f64) -> Resemblance {
+    match ty {
+        ValueType::Numeric => Resemblance::InverseNumeric(beta),
+        _ => Resemblance::Crisp,
+    }
+}
+
+/// Mine non-trivial FFDs `X ⤳ A` with minimal LHS.
+///
+/// Adding attributes to the LHS can only *lower* `μ(t1[X], t2[X])`
+/// (min-combination), which weakens the premise — so once `X ⤳ A` holds,
+/// every superset of `X` also yields a valid FFD and only the minimal `X`
+/// is reported (the small-to-large pruning of the mining algorithm).
+pub fn discover(r: &Relation, cfg: &FfdConfig) -> Vec<Ffd> {
+    let schema = r.schema();
+    let res = |a: AttrId| default_resemblance(schema.ty(a), cfg.numeric_beta);
+    let mut out: Vec<Ffd> = Vec::new();
+    let mut found: Vec<(deptree_relation::AttrSet, AttrId)> = Vec::new();
+    for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+        for rhs in schema.ids() {
+            if lhs_set.contains(rhs) {
+                continue;
+            }
+            if found
+                .iter()
+                .any(|(l, a)| l.is_subset(lhs_set) && *a == rhs)
+            {
+                continue; // implied by monotonicity of the min-combination
+            }
+            let lhs: Vec<(AttrId, Resemblance)> =
+                lhs_set.iter().map(|a| (a, res(a))).collect();
+            let ffd = Ffd::new(schema, lhs, vec![(rhs, res(rhs))]);
+            if ffd.holds(r) {
+                found.push((lhs_set, rhs));
+                out.push(ffd);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::{hotels_r5, hotels_r6};
+    use deptree_relation::AttrSet;
+
+    #[test]
+    fn all_discovered_hold() {
+        for r in [hotels_r5(), hotels_r6()] {
+            for ffd in discover(&r, &FfdConfig::default()) {
+                assert!(ffd.holds(&r), "{ffd}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_makes_supersets_redundant() {
+        // Verify the pruning premise on data: if X ⤳ A holds, X∪{B} ⤳ A
+        // holds too.
+        let r = hotels_r6();
+        let schema = r.schema();
+        let res = |a: AttrId| default_resemblance(schema.ty(a), 1.0);
+        for base in discover(&r, &FfdConfig { max_lhs: 1, numeric_beta: 1.0 }) {
+            let (lhs_attr, _) = base.lhs()[0].clone();
+            let (rhs_attr, _) = base.rhs()[0].clone();
+            for extra in schema.ids() {
+                if extra == lhs_attr || extra == rhs_attr {
+                    continue;
+                }
+                let bigger = Ffd::new(
+                    schema,
+                    vec![(lhs_attr, res(lhs_attr)), (extra, res(extra))],
+                    vec![(rhs_attr, res(rhs_attr))],
+                );
+                assert!(bigger.holds(&r), "monotonicity violated: {bigger}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_lhs_only() {
+        let r = hotels_r5();
+        let found = discover(&r, &FfdConfig { max_lhs: 2, numeric_beta: 1.0 });
+        for ffd in found.iter().filter(|f| f.lhs().len() == 2) {
+            let rhs_attr = ffd.rhs()[0].0;
+            for (a, _) in ffd.lhs() {
+                let _ = a;
+            }
+            // No reported single-attribute LHS with the same RHS.
+            let sub_found = found.iter().any(|g| {
+                g.lhs().len() == 1
+                    && g.rhs()[0].0 == rhs_attr
+                    && ffd.lhs().iter().any(|(a, _)| *a == g.lhs()[0].0)
+            });
+            assert!(!sub_found, "{ffd} not minimal");
+        }
+    }
+
+    #[test]
+    fn ffd1_counterexample_not_discovered() {
+        // §3.6.1: name, price ⤳ tax fails on r6 (t1/t2 conflict), so it
+        // must not be discovered.
+        let r = hotels_r6();
+        let s = r.schema();
+        let found = discover(&r, &FfdConfig { max_lhs: 2, numeric_beta: 1.0 });
+        let target_lhs = AttrSet::from_ids([s.id("name"), s.id("price")]);
+        assert!(!found.iter().any(|f| {
+            let lhs: AttrSet = f.lhs().iter().map(|(a, _)| *a).collect();
+            lhs == target_lhs && f.rhs()[0].0 == s.id("tax")
+        }));
+    }
+}

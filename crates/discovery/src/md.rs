@@ -1,0 +1,254 @@
+//! Matching-dependency discovery (Song–Chen, §3.7.3): support/confidence
+//! search over the similarity predicate space, relative candidate keys,
+//! and the greedy concise matching-key cover.
+
+use deptree_core::Md;
+use deptree_metrics::Metric;
+use deptree_relation::{AttrId, AttrSet, Relation};
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct MdConfig {
+    /// Minimum support (fraction of pairs that are LHS-similar).
+    pub min_support: f64,
+    /// Minimum confidence (fraction of LHS-similar pairs already
+    /// identified on the RHS).
+    pub min_confidence: f64,
+    /// Candidate thresholds per attribute (distance-distribution
+    /// quantiles, as for DDs).
+    pub thresholds_per_attr: usize,
+    /// Maximum LHS atoms.
+    pub max_lhs: usize,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        MdConfig {
+            min_support: 0.01,
+            min_confidence: 0.95,
+            thresholds_per_attr: 3,
+            max_lhs: 2,
+        }
+    }
+}
+
+/// A discovered MD with its measured quality.
+#[derive(Debug, Clone)]
+pub struct ScoredMd {
+    /// The dependency.
+    pub md: Md,
+    /// Pair support.
+    pub support: f64,
+    /// Confidence.
+    pub confidence: f64,
+}
+
+/// Discover MDs `X≈ → rhs⇌` meeting the support/confidence bars, keeping
+/// only *relative candidate keys*: LHS sets minimal in the sense that
+/// dropping any atom (or loosening it to the next threshold) violates the
+/// confidence bar.
+pub fn discover(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
+    let schema = r.schema();
+    let candidates: Vec<AttrId> = schema.ids().filter(|a| !rhs.contains(*a)).collect();
+    let mut out: Vec<ScoredMd> = Vec::new();
+    for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
+        let lhs_attrs = lhs_set.to_vec();
+        // Threshold combinations.
+        let thresholds: Vec<Vec<f64>> = lhs_attrs
+            .iter()
+            .map(|&a| {
+                crate::dd::candidate_thresholds(
+                    r,
+                    a,
+                    &Metric::default_for(schema.ty(a)),
+                    cfg.thresholds_per_attr,
+                )
+            })
+            .collect();
+        let mut combos: Vec<Vec<f64>> = vec![vec![]];
+        for t in &thresholds {
+            let mut next = Vec::new();
+            for c in &combos {
+                for &v in t {
+                    let mut c2 = c.clone();
+                    c2.push(v);
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        for combo in combos {
+            let lhs: Vec<(AttrId, Metric, f64)> = lhs_attrs
+                .iter()
+                .zip(&combo)
+                .map(|(&a, &t)| (a, Metric::default_for(schema.ty(a)), t))
+                .collect();
+            let md = Md::new(schema, lhs, rhs);
+            let (support, confidence) = md.support_confidence(r);
+            if support >= cfg.min_support && confidence >= cfg.min_confidence {
+                // RCK-style minimality: an already-found MD whose LHS uses
+                // a subset of attributes with looser-or-equal thresholds
+                // dominates this one (same rule, more matches).
+                let dominated = out.iter().any(|prev| dominates(&prev.md, &md));
+                if !dominated {
+                    out.retain(|prev| !dominates(&md, &prev.md));
+                    out.push(ScoredMd {
+                        md,
+                        support,
+                        confidence,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.support.total_cmp(&a.support));
+    out
+}
+
+/// `a` dominates `b` when `a`'s LHS attributes ⊆ `b`'s with thresholds ≥
+/// (looser): every pair `b` matches, `a` matches too, so `b` is redundant.
+fn dominates(a: &Md, b: &Md) -> bool {
+    a.lhs().iter().all(|(attr_a, _, t_a)| {
+        b.lhs()
+            .iter()
+            .any(|(attr_b, _, t_b)| attr_a == attr_b && t_a >= t_b)
+    }) && a.lhs().len() <= b.lhs().len()
+        && a.rhs() == b.rhs()
+}
+
+/// Greedy concise matching-key cover (Song–Chen \[90\]): pick the fewest
+/// MDs so that the fraction of true duplicate pairs (given by `same`)
+/// matched by at least one MD reaches `target_recall`.
+pub fn concise_matching_keys(
+    r: &Relation,
+    candidates: &[ScoredMd],
+    same: &dyn Fn(usize, usize) -> bool,
+    target_recall: f64,
+) -> Vec<ScoredMd> {
+    let dup_pairs: Vec<(usize, usize)> =
+        r.row_pairs().filter(|&(i, j)| same(i, j)).collect();
+    if dup_pairs.is_empty() {
+        return Vec::new();
+    }
+    let target = (target_recall * dup_pairs.len() as f64).ceil() as usize;
+    let mut covered = vec![false; dup_pairs.len()];
+    let mut n_covered = 0usize;
+    let mut picked = Vec::new();
+    let mut remaining: Vec<&ScoredMd> = candidates.iter().collect();
+    while n_covered < target && !remaining.is_empty() {
+        // Greedy: the MD covering the most uncovered duplicate pairs.
+        let (best_idx, best_gain) = remaining
+            .iter()
+            .enumerate()
+            .map(|(idx, smd)| {
+                let gain = dup_pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, &(i, j))| !covered[*k] && smd.md.lhs_similar(r, i, j))
+                    .count();
+                (idx, gain)
+            })
+            .max_by_key(|&(_, gain)| gain)
+            .expect("non-empty");
+        if best_gain == 0 {
+            break;
+        }
+        let chosen = remaining.remove(best_idx);
+        for (k, &(i, j)) in dup_pairs.iter().enumerate() {
+            if !covered[k] && chosen.md.lhs_similar(r, i, j) {
+                covered[k] = true;
+                n_covered += 1;
+            }
+        }
+        picked.push(chosen.clone());
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r6;
+    use deptree_synth::{entities, EntitiesConfig};
+
+    #[test]
+    fn discovers_md1_shape_on_r6() {
+        // §3.7.1's md1: street≈, region≈ → zip⇌. On r6, even single-attr
+        // street similarity suffices; the discovered set must contain a
+        // street-based MD with full confidence.
+        let r = hotels_r6();
+        let s = r.schema();
+        let rhs = AttrSet::single(s.id("zip"));
+        let found = discover(&r, rhs, &MdConfig::default());
+        assert!(!found.is_empty());
+        for smd in &found {
+            assert!(smd.confidence >= 0.95);
+            assert!(smd.md.holds(&r) || smd.confidence < 1.0);
+        }
+        assert!(found
+            .iter()
+            .any(|smd| smd.md.lhs().iter().any(|(a, _, _)| *a == s.id("street"))));
+    }
+
+    #[test]
+    fn domination_keeps_loosest_rules() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let found = discover(&r, AttrSet::single(s.id("zip")), &MdConfig::default());
+        for a in &found {
+            for b in &found {
+                if !std::ptr::eq(a, b) {
+                    assert!(!dominates(&a.md, &b.md), "{} dominates {}", a.md, b.md);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concise_keys_reach_recall_on_synthetic_entities() {
+        let cfg = EntitiesConfig {
+            n_entities: 40,
+            max_duplicates: 3,
+            variety: 0.6,
+            error_rate: 0.0,
+            seed: 21,
+        };
+        let data = entities::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let r = &data.relation;
+        let s = r.schema();
+        let rhs = AttrSet::single(s.id("zip"));
+        let candidates = discover(
+            r,
+            rhs,
+            &MdConfig {
+                min_support: 0.001,
+                min_confidence: 0.9,
+                thresholds_per_attr: 3,
+                max_lhs: 1,
+            },
+        );
+        assert!(!candidates.is_empty());
+        let cluster = data.cluster.clone();
+        let same = move |i: usize, j: usize| cluster[i] == cluster[j];
+        let keys = concise_matching_keys(r, &candidates, &same, 0.8);
+        assert!(!keys.is_empty());
+        // Measure achieved recall.
+        let dup: Vec<(usize, usize)> = r
+            .row_pairs()
+            .filter(|&(i, j)| data.cluster[i] == data.cluster[j])
+            .collect();
+        let matched = dup
+            .iter()
+            .filter(|&&(i, j)| keys.iter().any(|k| k.md.lhs_similar(r, i, j)))
+            .count();
+        assert!(
+            matched as f64 / dup.len() as f64 >= 0.8,
+            "recall {} with {} keys",
+            matched as f64 / dup.len() as f64,
+            keys.len()
+        );
+        // Conciseness: fewer keys than candidates.
+        assert!(keys.len() <= candidates.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! NED discovery (Bassée–Wijsen, §3.2.3): given the target right-hand
+//! predicate, find a left-hand neighborhood predicate with sufficient
+//! support and confidence. The problem is NP-hard in the number of
+//! attributes; the standard practical attack is greedy/beam search.
+
+use deptree_core::{Ned, NedAtom};
+use deptree_metrics::Metric;
+use deptree_relation::{AttrSet, Relation};
+
+/// Configuration for [`discover_lhs`].
+#[derive(Debug, Clone)]
+pub struct NedConfig {
+    /// Minimum pairs the LHS predicate must match.
+    pub min_support: usize,
+    /// Required confidence.
+    pub min_confidence: f64,
+    /// Candidate thresholds per attribute.
+    pub thresholds_per_attr: usize,
+    /// Maximum LHS atoms (beam depth).
+    pub max_lhs: usize,
+    /// Beam width.
+    pub beam: usize,
+}
+
+impl Default for NedConfig {
+    fn default() -> Self {
+        NedConfig {
+            min_support: 2,
+            min_confidence: 1.0,
+            thresholds_per_attr: 3,
+            max_lhs: 2,
+            beam: 4,
+        }
+    }
+}
+
+/// Greedy/beam search for a left-hand predicate given the target RHS.
+/// Returns the best NED meeting both bars, or `None`.
+pub fn discover_lhs(r: &Relation, rhs: Vec<NedAtom>, cfg: &NedConfig) -> Option<Ned> {
+    assert!(!rhs.is_empty(), "target RHS predicate required");
+    let rhs_attrs: AttrSet = rhs.iter().map(|a| a.attr).collect();
+    // Candidate atoms: every non-RHS attribute × candidate thresholds.
+    let mut atoms = Vec::new();
+    for a in r.schema().ids() {
+        if rhs_attrs.contains(a) {
+            continue;
+        }
+        let metric = Metric::default_for(r.schema().ty(a));
+        for t in crate::dd::candidate_thresholds(r, a, &metric, cfg.thresholds_per_attr) {
+            atoms.push(NedAtom::new(a, metric.clone(), t));
+        }
+    }
+    // Beam over LHS atom lists, scored by (confidence, support).
+    let score = |lhs: &[NedAtom]| -> (usize, f64) {
+        Ned::new(r.schema(), lhs.to_vec(), rhs.clone()).support_confidence(r)
+    };
+    let mut beam: Vec<Vec<NedAtom>> = vec![vec![]];
+    let mut best: Option<(Vec<NedAtom>, usize, f64)> = None;
+    for _ in 0..cfg.max_lhs {
+        let mut expansions: Vec<(Vec<NedAtom>, usize, f64)> = Vec::new();
+        for base in &beam {
+            for atom in &atoms {
+                if base.iter().any(|b| b.attr == atom.attr) {
+                    continue;
+                }
+                let mut lhs = base.clone();
+                lhs.push(atom.clone());
+                let (support, conf) = score(&lhs);
+                if support < cfg.min_support {
+                    continue;
+                }
+                if conf >= cfg.min_confidence {
+                    let better = match &best {
+                        None => true,
+                        Some((_, s, c)) => conf > *c || (conf == *c && support > *s),
+                    };
+                    if better {
+                        best = Some((lhs.clone(), support, conf));
+                    }
+                }
+                expansions.push((lhs, support, conf));
+            }
+        }
+        expansions.sort_by(|a, b| b.2.total_cmp(&a.2).then(b.1.cmp(&a.1)));
+        expansions.truncate(cfg.beam);
+        if expansions.is_empty() {
+            break;
+        }
+        beam = expansions.into_iter().map(|(l, _, _)| l).collect();
+    }
+    best.map(|(lhs, _, _)| Ned::new(r.schema(), lhs, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r6;
+
+    #[test]
+    fn recovers_a_predictor_for_street() {
+        // ned1's shape: something like name/address closeness predicts
+        // street closeness on r6.
+        let r = hotels_r6();
+        let s = r.schema();
+        let rhs = vec![NedAtom::new(s.id("street"), Metric::Levenshtein, 5.0)];
+        let ned = discover_lhs(&r, rhs, &NedConfig::default()).expect("a predictor exists");
+        assert!(ned.holds(&r), "{ned}");
+        let (support, conf) = ned.support_confidence(&r);
+        assert!(support >= 2);
+        assert_eq!(conf, 1.0);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        // Demand confident prediction of exact-price closeness from pairs
+        // that include wildly different prices: zero-threshold support on
+        // a key-like attribute can't reach min_support 10.
+        let r = hotels_r6();
+        let s = r.schema();
+        let rhs = vec![NedAtom::new(s.id("address"), Metric::Levenshtein, 0.0)];
+        let found = discover_lhs(
+            &r,
+            rhs,
+            &NedConfig {
+                min_support: 10,
+                ..Default::default()
+            },
+        );
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn confidence_bar_is_respected() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let rhs = vec![NedAtom::new(s.id("tax"), Metric::AbsDiff, 5.0)];
+        if let Some(ned) = discover_lhs(&r, rhs, &NedConfig::default()) {
+            let (_, conf) = ned.support_confidence(&r);
+            assert!(conf >= 1.0);
+        }
+    }
+}

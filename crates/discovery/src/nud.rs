@@ -1,0 +1,104 @@
+//! NUD discovery: the minimal weight `k` for each candidate `X →ₖ Y` is
+//! just the maximum fan-out, making NUDs the cheapest notation to fit —
+//! the derivation cost the survey's query-optimization application (§2.4.3)
+//! relies on.
+
+use deptree_core::Nud;
+use deptree_relation::{AttrSet, Relation};
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct NudConfig {
+    /// Maximum LHS size.
+    pub max_lhs: usize,
+    /// Only report NUDs whose minimal `k` is at most this (large `k`
+    /// carries no cardinality information).
+    pub max_k: usize,
+}
+
+impl Default for NudConfig {
+    fn default() -> Self {
+        NudConfig { max_lhs: 2, max_k: 5 }
+    }
+}
+
+/// Discover NUDs with their *minimal* weight: for each LHS set and RHS
+/// attribute, `k = max_fanout`. LHS-minimality: a superset LHS can only
+/// have smaller-or-equal fan-out, so supersets are reported only when they
+/// strictly lower `k`.
+pub fn discover(r: &Relation, cfg: &NudConfig) -> Vec<Nud> {
+    let mut out: Vec<Nud> = Vec::new();
+    for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+        for rhs in r.schema().ids() {
+            if lhs.contains(rhs) {
+                continue;
+            }
+            let probe = Nud::new(r.schema(), lhs, AttrSet::single(rhs), 1);
+            let k = probe.max_fanout(r).max(1);
+            if k > cfg.max_k {
+                continue;
+            }
+            // Keep only if no reported subset-LHS NUD has k' ≤ k.
+            let dominated = out.iter().any(|n| {
+                n.rhs() == AttrSet::single(rhs) && n.lhs().is_subset(lhs) && n.k() <= k
+            });
+            if !dominated {
+                out.push(Nud::new(r.schema(), lhs, AttrSet::single(rhs), k));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r5;
+
+    #[test]
+    fn finds_nud1_with_minimal_k() {
+        // §2.4.1: address →₂ region.
+        let r = hotels_r5();
+        let s = r.schema();
+        let found = discover(&r, &NudConfig::default());
+        let target = found.iter().find(|n| {
+            n.lhs() == AttrSet::single(s.id("address")) && n.rhs() == AttrSet::single(s.id("region"))
+        });
+        assert_eq!(target.map(Nud::k), Some(2));
+    }
+
+    #[test]
+    fn all_hold_and_are_tight() {
+        let r = hotels_r5();
+        for nud in discover(&r, &NudConfig::default()) {
+            assert!(nud.holds(&r), "{nud}");
+            if nud.k() > 1 {
+                let tighter = Nud::new(r.schema(), nud.lhs(), nud.rhs(), nud.k() - 1);
+                assert!(!tighter.holds(&r), "{nud} k not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn max_k_filter() {
+        let r = hotels_r5();
+        let found = discover(&r, &NudConfig { max_lhs: 1, max_k: 1 });
+        assert!(found.iter().all(|n| n.k() == 1));
+    }
+
+    #[test]
+    fn superset_lhs_only_when_strictly_better() {
+        let r = hotels_r5();
+        let found = discover(&r, &NudConfig { max_lhs: 2, max_k: 10 });
+        for n in found.iter().filter(|n| n.lhs().len() == 2) {
+            for a in n.lhs().iter() {
+                let sub = n.lhs().remove(a);
+                let dominated = found
+                    .iter()
+                    .any(|m| m.lhs() == sub && m.rhs() == n.rhs() && m.k() <= n.k());
+                assert!(!dominated, "{n} dominated");
+            }
+        }
+    }
+}

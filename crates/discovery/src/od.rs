@@ -1,0 +1,199 @@
+//! Order-dependency discovery (§4.2.3): a FASTOD-flavoured search that
+//! validates candidate ODs on sorted partitions in `O(n log n)` per
+//! candidate, over the direction combinations of marked attributes.
+
+use deptree_core::{Dependency, Direction, Od};
+use deptree_relation::{AttrId, AttrSet, Relation, Value};
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct OdConfig {
+    /// Maximum marked attributes on the LHS.
+    pub max_lhs: usize,
+}
+
+impl Default for OdConfig {
+    fn default() -> Self {
+        OdConfig { max_lhs: 1 }
+    }
+}
+
+/// Validate the single-attribute OD `A^da → B^db` in `O(n log n)`:
+/// sort rows by `A`; within each equal-`A` run `B` must be constant, and
+/// the per-run `B` values must be monotone in the marked direction.
+pub fn validate_single(r: &Relation, a: AttrId, da: Direction, b: AttrId, db: Direction) -> bool {
+    let order = r.sorted_rows(AttrSet::single(a));
+    let mut prev_run_b: Option<&Value> = None;
+    let mut i = 0usize;
+    while i < order.len() {
+        // Delimit the equal-A run.
+        let mut j = i + 1;
+        while j < order.len() && r.value(order[j], a) == r.value(order[i], a) {
+            j += 1;
+        }
+        let run_b = r.value(order[i], b);
+        // Ties on A force equality on B (both directions apply).
+        if order[i..j].iter().any(|&t| r.value(t, b) != run_b) {
+            return false;
+        }
+        if let Some(pb) = prev_run_b {
+            // prev run has smaller A under Asc; check B direction.
+            let ord = pb.numeric_cmp(run_b);
+            let ok = match (da, db) {
+                (Direction::Asc, Direction::Asc) | (Direction::Desc, Direction::Desc) => {
+                    ord != std::cmp::Ordering::Greater
+                }
+                _ => ord != std::cmp::Ordering::Less,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        prev_run_b = Some(run_b);
+        i = j;
+    }
+    true
+}
+
+/// Discover all valid single-attribute ODs over numeric-typed attribute
+/// pairs, canonicalized so the LHS mark is always ascending
+/// (`A^≥ → B^d` equals `A^≤ → B^d̄`).
+pub fn discover(r: &Relation, cfg: &OdConfig) -> Vec<Od> {
+    let mut out = Vec::new();
+    let attrs: Vec<AttrId> = r.schema().ids().collect();
+    for &a in &attrs {
+        for &b in &attrs {
+            if a == b {
+                continue;
+            }
+            for db in [Direction::Asc, Direction::Desc] {
+                if validate_single(r, a, Direction::Asc, b, db) {
+                    out.push(Od::new(
+                        r.schema(),
+                        vec![(a, Direction::Asc)],
+                        vec![(b, db)],
+                    ));
+                }
+            }
+        }
+    }
+    // Compound LHS (lexicographic-style pointwise lists) when requested.
+    if cfg.max_lhs >= 2 {
+        for &a1 in &attrs {
+            for &a2 in &attrs {
+                if a1 >= a2 {
+                    continue;
+                }
+                for &b in &attrs {
+                    if b == a1 || b == a2 {
+                        continue;
+                    }
+                    for db in [Direction::Asc, Direction::Desc] {
+                        // Only report if neither single-attribute premise
+                        // already suffices (minimality).
+                        if validate_single(r, a1, Direction::Asc, b, db)
+                            || validate_single(r, a2, Direction::Asc, b, db)
+                        {
+                            continue;
+                        }
+                        let od = Od::new(
+                            r.schema(),
+                            vec![(a1, Direction::Asc), (a2, Direction::Asc)],
+                            vec![(b, db)],
+                        );
+                        if od.holds(r) {
+                            out.push(od);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r7;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn validator_agrees_with_pairwise_semantics() {
+        let r = hotels_r7();
+        let s = r.schema();
+        let attrs: Vec<AttrId> = s.ids().collect();
+        for &a in &attrs {
+            for &b in &attrs {
+                if a == b {
+                    continue;
+                }
+                for db in [Direction::Asc, Direction::Desc] {
+                    let od = Od::new(s, vec![(a, Direction::Asc)], vec![(b, db)]);
+                    assert_eq!(
+                        validate_single(&r, a, Direction::Asc, b, db),
+                        od.holds(&r),
+                        "{od}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discovers_both_paper_ods_on_r7() {
+        let r = hotels_r7();
+        let s = r.schema();
+        let found = discover(&r, &OdConfig::default());
+        let has = |lhs: &str, rhs: &str, d: Direction| {
+            found.iter().any(|od| {
+                od.lhs() == [(s.id(lhs), Direction::Asc)] && od.rhs() == [(s.id(rhs), d)]
+            })
+        };
+        // od1: nights^≤ → avg/night^≥ and ofd1-as-od: subtotal^≤ → taxes^≤.
+        assert!(has("nights", "avg/night", Direction::Desc));
+        assert!(has("subtotal", "taxes", Direction::Asc));
+        // All discovered ODs hold.
+        for od in &found {
+            assert!(od.holds(&r), "{od}");
+        }
+    }
+
+    #[test]
+    fn ties_on_lhs_require_equal_rhs() {
+        let r = RelationBuilder::new()
+            .attr("a", ValueType::Numeric)
+            .attr("b", ValueType::Numeric)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![1.into(), 20.into()]) // tie on a, different b
+            .row(vec![2.into(), 30.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        assert!(!validate_single(&r, s.id("a"), Direction::Asc, s.id("b"), Direction::Asc));
+    }
+
+    #[test]
+    fn compound_lhs_found_only_when_needed() {
+        // Every row pair is pointwise-incomparable on (a1, a2) — the
+        // compound premise is vacuous, so the compound OD holds — while b
+        // is monotone in neither a1 nor a2 alone.
+        let r = RelationBuilder::new()
+            .attr("a1", ValueType::Numeric)
+            .attr("a2", ValueType::Numeric)
+            .attr("b", ValueType::Numeric)
+            .row(vec![1.into(), 3.into(), 10.into()])
+            .row(vec![2.into(), 2.into(), 20.into()])
+            .row(vec![3.into(), 1.into(), 15.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        assert!(!validate_single(&r, s.id("a1"), Direction::Asc, s.id("b"), Direction::Asc));
+        assert!(!validate_single(&r, s.id("a2"), Direction::Asc, s.id("b"), Direction::Asc));
+        let found = discover(&r, &OdConfig { max_lhs: 2 });
+        let compound = found
+            .iter()
+            .find(|od| od.lhs().len() == 2 && od.rhs()[0].0 == s.id("b"));
+        assert!(compound.is_some(), "{found:?}");
+    }
+}

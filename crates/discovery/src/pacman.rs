@@ -1,0 +1,159 @@
+//! PAC-Man (Korn et al., §3.5.3): instantiate probabilistic approximate
+//! constraints from rule *templates* — the user names the attribute sides,
+//! the system fits the tolerances and the confidence from training data,
+//! then monitors new data for alarms.
+
+use deptree_core::{Dependency, Pac};
+use deptree_metrics::Metric;
+use deptree_relation::{AttrId, Relation};
+
+/// A PAC rule template: attribute sides without parameters.
+#[derive(Debug, Clone)]
+pub struct PacTemplate {
+    /// Determinant attributes (each gets a fitted tolerance Δ).
+    pub lhs: Vec<AttrId>,
+    /// Dependent attributes (each gets a fitted tolerance ε).
+    pub rhs: Vec<AttrId>,
+}
+
+/// Configuration for [`instantiate`].
+#[derive(Debug, Clone)]
+pub struct PacManConfig {
+    /// Quantile of the pairwise LHS distance distribution used as Δ
+    /// (0.5 = median: "pairs at least as close as a typical pair").
+    pub lhs_quantile: f64,
+    /// Quantile of the RHS distances *among LHS-close pairs* used as ε.
+    pub rhs_quantile: f64,
+    /// Safety margin subtracted from the measured confidence so the
+    /// fitted PAC holds on the training data with slack.
+    pub confidence_margin: f64,
+}
+
+impl Default for PacManConfig {
+    fn default() -> Self {
+        PacManConfig {
+            lhs_quantile: 0.5,
+            rhs_quantile: 0.9,
+            confidence_margin: 0.05,
+        }
+    }
+}
+
+fn quantile(mut xs: Vec<f64>, q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    let idx = ((q * (xs.len() - 1) as f64).round() as usize).min(xs.len() - 1);
+    Some(xs[idx])
+}
+
+/// Fit a PAC from training data: Δ from the LHS distance distribution,
+/// ε from the conditional RHS distribution, δ from the measured
+/// probability minus the margin. `None` when the data gives no usable
+/// distances.
+pub fn instantiate(
+    train: &Relation,
+    template: &PacTemplate,
+    cfg: &PacManConfig,
+) -> Option<Pac> {
+    let metric = Metric::AbsDiff;
+    // Δ per LHS attribute.
+    let mut lhs = Vec::with_capacity(template.lhs.len());
+    for &a in &template.lhs {
+        let dists: Vec<f64> = train
+            .row_pairs()
+            .map(|(i, j)| metric.dist(train.value(i, a), train.value(j, a)))
+            .filter(|d| d.is_finite())
+            .collect();
+        lhs.push((a, metric.clone(), quantile(dists, cfg.lhs_quantile)?));
+    }
+    // ε per RHS attribute, conditioned on LHS closeness.
+    let close = |i: usize, j: usize| {
+        lhs.iter()
+            .all(|(a, m, t)| m.dist(train.value(i, *a), train.value(j, *a)) <= *t)
+    };
+    let mut rhs = Vec::with_capacity(template.rhs.len());
+    for &b in &template.rhs {
+        let dists: Vec<f64> = train
+            .row_pairs()
+            .filter(|&(i, j)| close(i, j))
+            .map(|(i, j)| metric.dist(train.value(i, b), train.value(j, b)))
+            .filter(|d| d.is_finite())
+            .collect();
+        rhs.push((b, metric.clone(), quantile(dists, cfg.rhs_quantile)?));
+    }
+    // δ: measured, with margin, floored at a meaningful level.
+    let probe = Pac::new(train.schema(), lhs.clone(), rhs.clone(), 1.0);
+    let delta = (probe.probability(train) - cfg.confidence_margin).clamp(0.05, 1.0);
+    Some(Pac::new(train.schema(), lhs, rhs, delta))
+}
+
+/// The monitoring side of PAC-Man: `true` when `data` violates the fitted
+/// constraint (time to alarm).
+pub fn alarm(data: &Relation, pac: &Pac) -> bool {
+    !pac.holds(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r6;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn fitted_pac_holds_on_training_data() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let template = PacTemplate {
+            lhs: vec![s.id("price")],
+            rhs: vec![s.id("tax")],
+        };
+        let pac = instantiate(&r, &template, &PacManConfig::default()).unwrap();
+        assert!(pac.holds(&r), "{pac} must hold on its own training data");
+        assert!(!alarm(&r, &pac));
+    }
+
+    #[test]
+    fn monitor_alarms_on_drift() {
+        // Train on a clean linear tax = price/10 relationship; monitor data
+        // with a broken tax column.
+        let mk = |broken: bool| {
+            let mut b = RelationBuilder::new()
+                .attr("price", ValueType::Numeric)
+                .attr("tax", ValueType::Numeric);
+            for i in 0..30i64 {
+                let price = 100 + i * 10;
+                let tax = if broken && i % 2 == 0 { 999 } else { price / 10 };
+                b = b.row(vec![price.into(), tax.into()]);
+            }
+            b.build().unwrap()
+        };
+        let train = mk(false);
+        let s = train.schema();
+        let template = PacTemplate {
+            lhs: vec![s.id("price")],
+            rhs: vec![s.id("tax")],
+        };
+        let pac = instantiate(&train, &template, &PacManConfig::default()).unwrap();
+        assert!(!alarm(&train, &pac));
+        assert!(alarm(&mk(true), &pac), "{pac} should alarm on drifted data");
+    }
+
+    #[test]
+    fn degenerate_training_data() {
+        let r = RelationBuilder::new()
+            .attr("price", ValueType::Numeric)
+            .attr("tax", ValueType::Numeric)
+            .row(vec![100.into(), 10.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let template = PacTemplate {
+            lhs: vec![s.id("price")],
+            rhs: vec![s.id("tax")],
+        };
+        // One row → no pairs → no distances to fit from.
+        assert!(instantiate(&r, &template, &PacManConfig::default()).is_none());
+    }
+}

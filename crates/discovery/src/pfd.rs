@@ -1,0 +1,194 @@
+//! PFD discovery (Wang et al.): counting-based probability computation,
+//! for one table and merged across heterogeneous sources (§2.2.3).
+
+use deptree_core::{Dependency, Fd, Pfd};
+use deptree_relation::{AttrSet, Relation};
+
+/// Configuration for [`discover`] / [`discover_multi_source`].
+#[derive(Debug, Clone)]
+pub struct PfdConfig {
+    /// Minimum probability `p`.
+    pub min_probability: f64,
+    /// Maximum LHS size (the level-wise TANE extension's depth).
+    pub max_lhs: usize,
+}
+
+impl Default for PfdConfig {
+    fn default() -> Self {
+        PfdConfig {
+            min_probability: 0.9,
+            max_lhs: 2,
+        }
+    }
+}
+
+/// Discover PFDs `X →ₚ A` with `P(X → A, r) ≥ p` on a single table —
+/// the first counting algorithm of Wang et al.: merge tuples per distinct
+/// `X`-value and average the modal-value fractions.
+pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
+    let mut out = Vec::new();
+    let mut level: Vec<AttrSet> = r.schema().ids().map(AttrSet::single).collect();
+    let mut depth = 1usize;
+    // Track (lhs, rhs) pairs already satisfied to keep results minimal:
+    // a PFD with a superset LHS of a found PFD is implied "in spirit"
+    // (probability is not monotone, but reporting minimal LHS matches the
+    // paper's output form).
+    let mut found: Vec<(AttrSet, AttrSet)> = Vec::new();
+    while depth <= cfg.max_lhs {
+        for &lhs in &level {
+            for rhs in r.schema().ids() {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                let rhs_set = AttrSet::single(rhs);
+                if found
+                    .iter()
+                    .any(|(l, rr)| l.is_subset(lhs) && *rr == rhs_set)
+                {
+                    continue;
+                }
+                let pfd = Pfd::new(
+                    Fd::new(r.schema(), lhs, rhs_set),
+                    cfg.min_probability,
+                );
+                if pfd.holds(r) {
+                    found.push((lhs, rhs_set));
+                    out.push(pfd);
+                }
+            }
+        }
+        // Next level: all (depth+1)-sets built from current level.
+        let mut next = Vec::new();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let u = level[i].union(level[j]);
+                if u.len() == depth + 1 && !next.contains(&u) {
+                    next.push(u);
+                }
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+    out
+}
+
+/// Merge PFD probabilities across sources — the second algorithm of Wang
+/// et al. for pay-as-you-go integration: compute per-source probabilities
+/// and combine them weighted by source size.
+pub fn merged_probability(sources: &[Relation], lhs: AttrSet, rhs: AttrSet) -> f64 {
+    let total: usize = sources.iter().map(Relation::n_rows).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    sources
+        .iter()
+        .filter(|s| s.n_rows() > 0)
+        .map(|s| {
+            let pfd = Pfd::new(Fd::new(s.schema(), lhs, rhs), 1.0);
+            pfd.probability(s) * s.n_rows() as f64 / total as f64
+        })
+        .sum()
+}
+
+/// Discover PFDs across multiple (schema-aligned) sources using the
+/// merged probability.
+pub fn discover_multi_source(sources: &[Relation], cfg: &PfdConfig) -> Vec<(Fd, f64)> {
+    let Some(first) = sources.first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for a in first.schema().ids() {
+        for b in first.schema().ids() {
+            if a == b {
+                continue;
+            }
+            let lhs = AttrSet::single(a);
+            let rhs = AttrSet::single(b);
+            let p = merged_probability(sources, lhs, rhs);
+            if p >= cfg.min_probability {
+                out.push((Fd::new(first.schema(), lhs, rhs), p));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r5;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    #[test]
+    fn r5_probabilities_drive_discovery() {
+        // P(address → region) = 3/4: discovered at p = 0.7, not at 0.8.
+        let r = hotels_r5();
+        let loose = discover(&r, &PfdConfig { min_probability: 0.7, max_lhs: 1 });
+        let addr = AttrSet::single(r.schema().id("address"));
+        let region = AttrSet::single(r.schema().id("region"));
+        assert!(loose
+            .iter()
+            .any(|p| p.embedded().lhs() == addr && p.embedded().rhs() == region));
+        let strict = discover(&r, &PfdConfig { min_probability: 0.8, max_lhs: 1 });
+        assert!(!strict
+            .iter()
+            .any(|p| p.embedded().lhs() == addr && p.embedded().rhs() == region));
+    }
+
+    #[test]
+    fn all_discovered_hold() {
+        let r = hotels_r5();
+        for p in discover(&r, &PfdConfig::default()) {
+            assert!(p.holds(&r), "{p}");
+        }
+    }
+
+    #[test]
+    fn minimal_lhs_reported() {
+        let r = hotels_r5();
+        let res = discover(&r, &PfdConfig { min_probability: 0.7, max_lhs: 2 });
+        for p in &res {
+            if p.embedded().lhs().len() == 2 {
+                // No reported 1-attribute subset with the same RHS.
+                for a in p.embedded().lhs().iter() {
+                    let sub = p.embedded().lhs().remove(a);
+                    assert!(
+                        !res.iter().any(|q| q.embedded().lhs() == sub
+                            && q.embedded().rhs() == p.embedded().rhs()),
+                        "{p} is not LHS-minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_merge_weighted_by_size() {
+        // Source 1 (4 rows): FD holds exactly (P = 1).
+        // Source 2 (2 rows): P = 1/2 for a → b (one a-value split).
+        let mk = |rows: Vec<(&str, &str)>| {
+            let mut b = RelationBuilder::new()
+                .attr("a", ValueType::Categorical)
+                .attr("b", ValueType::Categorical);
+            for (x, y) in rows {
+                b = b.row(vec![x.into(), y.into()]);
+            }
+            b.build().unwrap()
+        };
+        let s1 = mk(vec![("x", "1"), ("x", "1"), ("y", "2"), ("y", "2")]);
+        let s2 = mk(vec![("z", "3"), ("z", "4")]);
+        let a = AttrSet::single(s1.schema().id("a"));
+        let b = AttrSet::single(s1.schema().id("b"));
+        let p = merged_probability(&[s1.clone(), s2.clone()], a, b);
+        // 1.0 * 4/6 + 0.5 * 2/6 = 5/6.
+        assert!((p - 5.0 / 6.0).abs() < 1e-12);
+        let found = discover_multi_source(&[s1, s2], &PfdConfig { min_probability: 0.8, max_lhs: 1 });
+        assert!(found.iter().any(|(fd, pp)| fd.lhs() == a && fd.rhs() == b && *pp > 0.8));
+    }
+
+    #[test]
+    fn empty_sources_edge_case() {
+        assert!(discover_multi_source(&[], &PfdConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Sequential-dependency discovery (Golab et al., §4.4.3) and the CSD
+//! tableau construction — the survey's highlighted *polynomial-time*
+//! discovery problem (Fig. 3): an exact dynamic program quadratic in the
+//! number of candidate intervals.
+
+use deptree_core::{Csd, CsdRow, Interval, Sd};
+use deptree_relation::{AttrId, AttrSet, Relation};
+
+/// Suggest a gap interval for `on → target` from the observed consecutive
+/// gaps: the `[q_lo, q_hi]` quantile band. Returns `None` if fewer than
+/// two applicable gaps exist.
+pub fn suggest_gap(
+    r: &Relation,
+    on: AttrId,
+    target: AttrId,
+    q_lo: f64,
+    q_hi: f64,
+) -> Option<Interval> {
+    let sd_probe = Sd::new(r.schema(), on, target, Interval::all());
+    let mut gaps: Vec<f64> = sd_probe
+        .consecutive_gaps(r)
+        .into_iter()
+        .map(|(_, _, g)| g)
+        .collect();
+    if gaps.len() < 2 {
+        return None;
+    }
+    gaps.sort_by(f64::total_cmp);
+    let idx = |q: f64| ((q * (gaps.len() - 1) as f64).round() as usize).min(gaps.len() - 1);
+    Some(Interval::new(gaps[idx(q_lo)], gaps[idx(q_hi)]))
+}
+
+/// Discover an SD `on →g target` whose suggested gap band reaches the
+/// required confidence; `None` when the data is too irregular.
+pub fn discover_sd(
+    r: &Relation,
+    on: AttrId,
+    target: AttrId,
+    min_confidence: f64,
+) -> Option<Sd> {
+    let gap = suggest_gap(r, on, target, 0.05, 0.95)?;
+    let sd = Sd::new(r.schema(), on, target, gap);
+    (sd.confidence(r) >= min_confidence).then_some(sd)
+}
+
+/// One candidate position in the CSD tableau DP: the sequence sorted by
+/// `X`, with per-position gap values.
+#[derive(Debug, Clone)]
+struct GapSeq {
+    /// `x[i]` = ordering-attribute value at sorted position `i`.
+    x: Vec<f64>,
+    /// `gap[i]` = signed target difference between positions `i` and
+    /// `i+1` (length `x.len() − 1`).
+    gap: Vec<f64>,
+}
+
+fn gap_sequence(r: &Relation, on: AttrId, target: AttrId) -> GapSeq {
+    let order = r.sorted_rows(AttrSet::single(on));
+    let mut x = Vec::new();
+    let mut ys = Vec::new();
+    for &row in &order {
+        if let (Some(xv), Some(yv)) = (r.value(row, on).as_f64(), r.value(row, target).as_f64())
+        {
+            // Equal-X duplicates collapse to their first occurrence,
+            // matching Sd::consecutive_gaps' tie skipping.
+            if x.last() != Some(&xv) {
+                x.push(xv);
+                ys.push(yv);
+            }
+        }
+    }
+    let gap = ys.windows(2).map(|w| w[1] - w[0]).collect();
+    GapSeq { x, gap }
+}
+
+/// The exact CSD tableau DP (Golab et al.): given the gap constraint `g`,
+/// choose disjoint `X`-intervals, each of which must satisfy `g` with
+/// confidence ≥ `min_confidence` over the steps it spans, maximizing the
+/// total number of covered steps. Runs in `O(m²)` for `m` candidate
+/// positions — the Fig. 3 polynomial-time discovery case.
+pub fn csd_tableau(
+    r: &Relation,
+    on: AttrId,
+    target: AttrId,
+    g: Interval,
+    min_confidence: f64,
+) -> Csd {
+    let seq = gap_sequence(r, on, target);
+    let m = seq.gap.len();
+    if m == 0 {
+        return Csd::new(
+            r.schema(),
+            on,
+            target,
+            vec![CsdRow {
+                scope: Interval::all(),
+                gap: g,
+            }],
+        );
+    }
+    // ok_prefix[i..j]: #steps in g within window — O(1) via prefix sums.
+    let mut prefix_ok = vec![0usize; m + 1];
+    for (i, &gp) in seq.gap.iter().enumerate() {
+        prefix_ok[i + 1] = prefix_ok[i] + usize::from(g.contains(gp));
+    }
+    let window_gain = |i: usize, j: usize| -> Option<usize> {
+        // Steps i..=j (inclusive); confidence over the window.
+        let len = j - i + 1;
+        let ok = prefix_ok[j + 1] - prefix_ok[i];
+        (ok as f64 / len as f64 >= min_confidence).then_some(ok)
+    };
+    // dp[j] = best covered-ok-steps using steps < j; choice[j] records the
+    // chosen window ending at j−1 (or None for "skip step j−1").
+    let mut dp = vec![0usize; m + 1];
+    let mut choice: Vec<Option<usize>> = vec![None; m + 1];
+    for j in 1..=m {
+        dp[j] = dp[j - 1];
+        for i in 0..j {
+            if let Some(gain) = window_gain(i, j - 1) {
+                if dp[i] + gain > dp[j] {
+                    dp[j] = dp[i] + gain;
+                    choice[j] = Some(i);
+                }
+            }
+        }
+    }
+    // Reconstruct the chosen windows.
+    let mut rows = Vec::new();
+    let mut j = m;
+    while j > 0 {
+        match choice[j] {
+            Some(i) => {
+                rows.push(CsdRow {
+                    scope: Interval::new(seq.x[i], seq.x[j]),
+                    gap: g,
+                });
+                j = i;
+            }
+            None => j -= 1,
+        }
+    }
+    rows.reverse();
+    if rows.is_empty() {
+        rows.push(CsdRow {
+            scope: Interval::new(0.0, 0.0),
+            gap: g,
+        });
+    }
+    Csd::new(r.schema(), on, target, rows)
+}
+
+/// The DP's objective value: total in-gap steps covered by the tableau —
+/// exposed so the quadratic-scaling bench can validate optimality claims.
+pub fn tableau_covered_steps(r: &Relation, csd: &Csd) -> usize {
+    let seq = gap_sequence(r, csd.on(), csd.target());
+    let mut covered = 0usize;
+    for (i, &gp) in seq.gap.iter().enumerate() {
+        let in_scope = csd.tableau().iter().any(|row| {
+            row.scope.contains(seq.x[i]) && row.scope.contains(seq.x[i + 1]) && row.gap.contains(gp)
+        });
+        if in_scope {
+            covered += 1;
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r7;
+    use deptree_synth::{numerical, SequenceConfig};
+
+    #[test]
+    fn suggest_gap_on_r7() {
+        // Gaps on subtotal: 180, 170, 160 → the quantile band covers them.
+        let r = hotels_r7();
+        let s = r.schema();
+        let g = suggest_gap(&r, s.id("nights"), s.id("subtotal"), 0.0, 1.0).unwrap();
+        assert_eq!(g, Interval::new(160.0, 180.0));
+        let sd = discover_sd(&r, s.id("nights"), s.id("subtotal"), 0.9).unwrap();
+        assert!(sd.holds(&r) || sd.confidence(&r) >= 0.9);
+    }
+
+    #[test]
+    fn clean_sequence_single_tableau_row() {
+        let cfg = SequenceConfig {
+            n_rows: 120,
+            regimes: vec![(9.0, 11.0)],
+            spike_rate: 0.0,
+            seed: 31,
+        };
+        let data = numerical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let s = data.relation.schema();
+        let csd = csd_tableau(
+            &data.relation,
+            s.id("seq"),
+            s.id("y"),
+            Interval::new(9.0, 11.0),
+            1.0,
+        );
+        assert_eq!(csd.tableau().len(), 1);
+        assert!(csd.holds(&data.relation));
+        assert_eq!(tableau_covered_steps(&data.relation, &csd), 119);
+    }
+
+    #[test]
+    fn two_regime_sequence_yields_period_rows() {
+        // Regime A: gaps in [1, 2]; regime B: gaps in [10, 12]. With the
+        // gap constraint [1, 2], the DP should carve out (at least) the
+        // first regime and exclude the second.
+        let cfg = SequenceConfig {
+            n_rows: 100,
+            regimes: vec![(1.0, 2.0), (10.0, 12.0)],
+            spike_rate: 0.0,
+            seed: 37,
+        };
+        let data = numerical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let s = data.relation.schema();
+        let csd = csd_tableau(
+            &data.relation,
+            s.id("seq"),
+            s.id("y"),
+            Interval::new(1.0, 2.0),
+            1.0,
+        );
+        assert!(csd.holds(&data.relation), "{csd}");
+        // All 50 in-regime-A steps covered: steps 0..=49 draw from
+        // regime A (the generator switches regimes at step 50, i.e. the
+        // gap leaving position 51).
+        assert_eq!(tableau_covered_steps(&data.relation, &csd), 50);
+        // Scope stays inside regime A's reach (x positions 1..=51).
+        for row in csd.tableau() {
+            assert!(row.scope.hi() <= 51.0, "{:?}", row.scope);
+        }
+    }
+
+    #[test]
+    fn dp_tolerates_spikes_with_confidence_slack() {
+        let cfg = SequenceConfig {
+            n_rows: 100,
+            regimes: vec![(9.0, 11.0)],
+            spike_rate: 0.05,
+            seed: 41,
+        };
+        let data = numerical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let s = data.relation.schema();
+        let strict = csd_tableau(&data.relation, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0), 1.0);
+        let slack = csd_tableau(&data.relation, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0), 0.9);
+        // Slack merges windows across isolated spikes: fewer, longer rows
+        // covering at least as many good steps.
+        assert!(slack.tableau().len() <= strict.tableau().len());
+        assert!(
+            tableau_covered_steps(&data.relation, &slack)
+                >= tableau_covered_steps(&data.relation, &strict)
+        );
+    }
+
+    /// The DP's optimality, checked against brute force on tiny inputs:
+    /// enumerate every set of disjoint windows whose confidence clears the
+    /// bar and compare total covered in-gap steps.
+    #[test]
+    fn dp_is_optimal_on_small_sequences() {
+        use deptree_relation::{RelationBuilder, ValueType};
+        // Several hand-built gap patterns around the band [1, 2].
+        let patterns: [&[i64]; 4] = [
+            &[1, 2, 9, 1, 1, 9, 2],
+            &[9, 9, 1, 1, 1, 9, 9, 1],
+            &[1, 1, 1, 1],
+            &[9, 9, 9],
+        ];
+        for (pi, gaps) in patterns.iter().enumerate() {
+            let mut b = RelationBuilder::new()
+                .attr("x", ValueType::Numeric)
+                .attr("y", ValueType::Numeric);
+            let mut y = 0i64;
+            for (i, &g) in std::iter::once(&0).chain(gaps.iter()).enumerate() {
+                y += g;
+                b = b.row(vec![(i as i64 + 1).into(), y.into()]);
+            }
+            let r = b.build().unwrap();
+            let s = r.schema();
+            let band = Interval::new(1.0, 2.0);
+            for conf in [1.0, 0.6] {
+                let csd = csd_tableau(&r, s.id("x"), s.id("y"), band, conf);
+                let dp_value = tableau_covered_steps(&r, &csd);
+                let best = brute_force_best(gaps, band, conf);
+                assert_eq!(dp_value, best, "pattern {pi}, confidence {conf}");
+            }
+        }
+    }
+
+    /// Exhaustive search over all sets of disjoint windows.
+    fn brute_force_best(gaps: &[i64], band: Interval, min_conf: f64) -> usize {
+        fn rec(gaps: &[i64], band: Interval, min_conf: f64, start: usize) -> usize {
+            if start >= gaps.len() {
+                return 0;
+            }
+            // Option 1: skip step `start`.
+            let mut best = rec(gaps, band, min_conf, start + 1);
+            // Option 2: a window [start, end].
+            for end in start..gaps.len() {
+                let window = &gaps[start..=end];
+                let ok = window.iter().filter(|&&g| band.contains(g as f64)).count();
+                if ok as f64 / window.len() as f64 >= min_conf {
+                    best = best.max(ok + rec(gaps, band, min_conf, end + 1));
+                }
+            }
+            best
+        }
+        rec(gaps, band, min_conf, 0)
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = hotels_r7();
+        let s = r.schema();
+        // Two rows → one gap → suggest works; single row → None.
+        let single = r.select_rows(&[0]);
+        assert!(suggest_gap(&single, s.id("nights"), s.id("subtotal"), 0.0, 1.0).is_none());
+        let csd = csd_tableau(&single, s.id("nights"), s.id("subtotal"), Interval::all(), 1.0);
+        assert!(csd.holds(&single));
+    }
+}

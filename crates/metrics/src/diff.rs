@@ -1,0 +1,204 @@
+//! Differential functions: ranges of metric distances (survey §3.3.1).
+
+use std::fmt;
+
+/// A range of metric distances, the *differential function* φ\[A\] of
+/// differential dependencies.
+///
+/// A `DistRange` is a closed-below / closed-above interval `[min, max]`
+/// over ℝ≥0 ∪ {∞}; the constructors mirror the operator set
+/// {=, <, >, ≤, ≥} of the survey:
+///
+/// ```
+/// use deptree_metrics::DistRange;
+///
+/// assert!(DistRange::at_most(5.0).contains(3.0));   // φ = "≤ 5"
+/// assert!(DistRange::at_least(10.0).contains(10.0)); // φ = "≥ 10" (dissimilar)
+/// assert!(!DistRange::exactly(0.0).contains(0.5));   // φ = "= 0" (equality)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistRange {
+    min: f64,
+    max: f64,
+}
+
+impl DistRange {
+    /// The full range `[0, ∞]` — satisfied by every pair (trivial φ).
+    pub const fn any() -> Self {
+        DistRange {
+            min: 0.0,
+            max: f64::INFINITY,
+        }
+    }
+
+    /// `φ = "≤ d"`: the *similar* semantics.
+    pub fn at_most(d: f64) -> Self {
+        assert!(d >= 0.0, "distance threshold must be non-negative");
+        DistRange { min: 0.0, max: d }
+    }
+
+    /// `φ = "< d"` approximated as `[0, d)` via the largest float below `d`.
+    pub fn less_than(d: f64) -> Self {
+        assert!(d > 0.0, "strict upper bound must be positive");
+        DistRange {
+            min: 0.0,
+            max: prev_down(d),
+        }
+    }
+
+    /// `φ = "≥ d"`: the *dissimilar* semantics.
+    pub fn at_least(d: f64) -> Self {
+        assert!(d >= 0.0, "distance threshold must be non-negative");
+        DistRange {
+            min: d,
+            max: f64::INFINITY,
+        }
+    }
+
+    /// `φ = "> d"` approximated as `(d, ∞]`.
+    pub fn greater_than(d: f64) -> Self {
+        DistRange {
+            min: next_up(d),
+            max: f64::INFINITY,
+        }
+    }
+
+    /// `φ = "= d"`.
+    pub fn exactly(d: f64) -> Self {
+        DistRange { min: d, max: d }
+    }
+
+    /// Arbitrary closed interval `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `min < 0`.
+    pub fn between(min: f64, max: f64) -> Self {
+        assert!(min >= 0.0 && min <= max, "invalid distance interval");
+        DistRange { min, max }
+    }
+
+    /// Equality range `[0, 0]` — the degenerate φ that recovers FDs.
+    pub const fn zero() -> Self {
+        DistRange { min: 0.0, max: 0.0 }
+    }
+
+    /// Lower bound (inclusive).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound (inclusive; may be `∞`).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Does a distance fall in the range?
+    #[inline]
+    pub fn contains(&self, d: f64) -> bool {
+        d >= self.min && d <= self.max
+    }
+
+    /// Is every distance accepted by `self` also accepted by `other`?
+    /// (`self` is a *tighter* differential function.)
+    #[inline]
+    pub fn implies(&self, other: &DistRange) -> bool {
+        other.min <= self.min && self.max <= other.max
+    }
+
+    /// The intersection of two ranges, if non-empty.
+    pub fn intersect(&self, other: &DistRange) -> Option<DistRange> {
+        let min = self.min.max(other.min);
+        let max = self.max.min(other.max);
+        (min <= max).then_some(DistRange { min, max })
+    }
+
+    /// Is this the trivial `[0, ∞]` range?
+    pub fn is_trivial(&self) -> bool {
+        self.min == 0.0 && self.max == f64::INFINITY
+    }
+}
+
+impl Default for DistRange {
+    fn default() -> Self {
+        Self::any()
+    }
+}
+
+impl fmt::Display for DistRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min == 0.0, self.max.is_infinite()) {
+            (true, true) => write!(f, "(any)"),
+            (true, false) => write!(f, "≤{}", self.max),
+            (false, true) => write!(f, "≥{}", self.min),
+            (false, false) if self.min == self.max => write!(f, "={}", self.min),
+            (false, false) => write!(f, "[{},{}]", self.min, self.max),
+        }
+    }
+}
+
+fn next_up(x: f64) -> f64 {
+    // f64::next_up is stable since 1.86; keep a local helper for clarity.
+    f64::next_up(x)
+}
+
+fn prev_down(x: f64) -> f64 {
+    f64::next_down(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_membership() {
+        assert!(DistRange::at_most(5.0).contains(5.0));
+        assert!(!DistRange::at_most(5.0).contains(5.0001));
+        assert!(DistRange::at_least(10.0).contains(10.0));
+        assert!(!DistRange::at_least(10.0).contains(9.9999));
+        assert!(DistRange::less_than(5.0).contains(4.9999));
+        assert!(!DistRange::less_than(5.0).contains(5.0));
+        assert!(DistRange::greater_than(5.0).contains(5.0001));
+        assert!(!DistRange::greater_than(5.0).contains(5.0));
+        assert!(DistRange::exactly(3.0).contains(3.0));
+        assert!(DistRange::any().contains(f64::INFINITY));
+        assert!(DistRange::zero().contains(0.0));
+        assert!(!DistRange::zero().contains(0.1));
+    }
+
+    #[test]
+    fn implication_is_interval_containment() {
+        let tight = DistRange::at_most(2.0);
+        let loose = DistRange::at_most(5.0);
+        assert!(tight.implies(&loose));
+        assert!(!loose.implies(&tight));
+        assert!(tight.implies(&tight));
+        assert!(DistRange::zero().implies(&DistRange::at_most(0.0)));
+        assert!(!DistRange::at_least(1.0).implies(&DistRange::at_most(5.0)));
+        assert!(DistRange::between(1.0, 2.0).implies(&DistRange::any()));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = DistRange::at_most(5.0);
+        let b = DistRange::at_least(3.0);
+        assert_eq!(a.intersect(&b), Some(DistRange::between(3.0, 5.0)));
+        assert_eq!(DistRange::at_most(1.0).intersect(&DistRange::at_least(2.0)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DistRange::at_most(5.0).to_string(), "≤5");
+        assert_eq!(DistRange::at_least(3.0).to_string(), "≥3");
+        assert_eq!(DistRange::exactly(2.0).to_string(), "=2");
+        assert_eq!(DistRange::any().to_string(), "(any)");
+        assert_eq!(DistRange::between(1.0, 2.0).to_string(), "[1,2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance interval")]
+    fn inverted_interval_rejected() {
+        DistRange::between(3.0, 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fuzzy resemblance relations for fuzzy functional dependencies (§3.6).
+
+use crate::metric::Metric;
+use deptree_relation::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Signature of a user-supplied resemblance function.
+pub type CustomMu = Arc<dyn Fn(&Value, &Value) -> f64 + Send + Sync>;
+
+/// A fuzzy resemblance relation `EQUAL`: `μ_EQ(a, b) ∈ [0, 1]`, where
+/// larger means "more equal" (§3.6.1). It should be reflexive
+/// (`μ(a, a) = 1`) and symmetric; the built-in variants are.
+#[derive(Clone)]
+pub enum Resemblance {
+    /// Crisp equality: `μ = 1` if `a = b`, else 0. With this resemblance on
+    /// all attributes, an FFD degenerates to an FD (§3.6.2).
+    Crisp,
+    /// The survey's numeric resemblance `μ(a, b) = 1 / (1 + β·|a − b|)`.
+    /// Non-numeric pairs fall back to crisp equality.
+    InverseNumeric(
+        /// Sensitivity β > 0; larger β makes values "less equal" faster.
+        f64,
+    ),
+    /// `μ = 1 / (1 + d(a, b))` for an arbitrary metric `d`.
+    FromMetric(
+        /// The underlying distance metric.
+        Metric,
+    ),
+    /// User-supplied resemblance.
+    Custom(
+        /// Name for display purposes.
+        &'static str,
+        /// The resemblance function.
+        CustomMu,
+    ),
+}
+
+impl Resemblance {
+    /// Evaluate `μ_EQ(a, b)`.
+    ///
+    /// `Null` resembles only `Null` (μ = 1); any other pairing has μ = 0.
+    pub fn mu(&self, a: &Value, b: &Value) -> f64 {
+        match (a.is_null(), b.is_null()) {
+            (true, true) => return 1.0,
+            (true, false) | (false, true) => return 0.0,
+            _ => {}
+        }
+        match self {
+            Resemblance::Crisp => {
+                if a == b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Resemblance::InverseNumeric(beta) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => 1.0 / (1.0 + beta * (x - y).abs()),
+                _ => {
+                    if a == b {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            },
+            Resemblance::FromMetric(m) => m.similarity(a, b),
+            Resemblance::Custom(_, f) => f(a, b).clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl fmt::Debug for Resemblance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resemblance::Crisp => write!(f, "Crisp"),
+            Resemblance::InverseNumeric(b) => write!(f, "InverseNumeric(β={b})"),
+            Resemblance::FromMetric(m) => write!(f, "FromMetric({m:?})"),
+            Resemblance::Custom(name, _) => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+impl PartialEq for Resemblance {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Resemblance::Crisp, Resemblance::Crisp) => true,
+            (Resemblance::InverseNumeric(a), Resemblance::InverseNumeric(b)) => a == b,
+            (Resemblance::FromMetric(a), Resemblance::FromMetric(b)) => a == b,
+            (Resemblance::Custom(_, a), Resemblance::Custom(_, b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ffd_mu_computations() {
+        // §3.6.1: μ_EQ(NC, NC) = 1;
+        // μ_EQ(299, 300) = 1/(1+|299−300|) = 1/2 with β = 1 (price);
+        // μ_EQ(29, 20) = 1/(1+10·|29−20|) = 1/91 with β = 10 (tax).
+        let name = Resemblance::Crisp;
+        assert_eq!(name.mu(&Value::str("NC"), &Value::str("NC")), 1.0);
+        let price = Resemblance::InverseNumeric(1.0);
+        assert!((price.mu(&Value::int(299), &Value::int(300)) - 0.5).abs() < 1e-12);
+        let tax = Resemblance::InverseNumeric(10.0);
+        assert!((tax.mu(&Value::int(29), &Value::int(20)) - 1.0 / 91.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflexive_and_symmetric() {
+        let rs = [
+            Resemblance::Crisp,
+            Resemblance::InverseNumeric(2.0),
+            Resemblance::FromMetric(Metric::Levenshtein),
+        ];
+        let vals = [Value::int(5), Value::int(9), Value::str("ab")];
+        for r in &rs {
+            for v in &vals {
+                assert_eq!(r.mu(v, v), 1.0, "{r:?} not reflexive on {v}");
+            }
+            for a in &vals {
+                for b in &vals {
+                    assert_eq!(r.mu(a, b), r.mu(b, a), "{r:?} not symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_resemblance() {
+        let r = Resemblance::InverseNumeric(1.0);
+        assert_eq!(r.mu(&Value::Null, &Value::Null), 1.0);
+        assert_eq!(r.mu(&Value::Null, &Value::int(1)), 0.0);
+    }
+
+    #[test]
+    fn custom_is_clamped() {
+        let r = Resemblance::Custom("overshoot", Arc::new(|_: &Value, _: &Value| 3.5));
+        assert_eq!(r.mu(&Value::int(1), &Value::int(2)), 1.0);
+    }
+}

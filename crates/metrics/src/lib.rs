@@ -1,0 +1,25 @@
+//! Distance/similarity machinery for heterogeneous data (survey §3).
+//!
+//! Three layers:
+//!
+//! * raw string/numeric distance functions ([`string`], e.g. edit distance,
+//!   Jaro–Winkler, q-gram Jaccard);
+//! * [`Metric`] — a per-attribute distance `dom(A) × dom(A) → ℝ≥0` used by
+//!   MFDs, NEDs, DDs, CDs, PACs, MDs and SDs;
+//! * [`DistRange`] — a *differential function* φ\[A\]: a range of metric
+//!   distances specified with {=, <, >, ≤, ≥}, the building block of
+//!   differential dependencies;
+//! * [`Resemblance`] — a fuzzy resemblance relation μ_EQ ∈ \[0, 1\] for
+//!   fuzzy functional dependencies (larger means "more equal").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod diff;
+mod fuzzy;
+mod metric;
+pub mod string;
+
+pub use diff::DistRange;
+pub use fuzzy::Resemblance;
+pub use metric::Metric;

@@ -1,0 +1,200 @@
+//! Per-attribute distance metrics.
+
+use crate::string;
+use deptree_relation::{Value, ValueType};
+use std::fmt;
+use std::sync::Arc;
+
+/// Signature of a user-supplied distance function.
+pub type CustomDist = Arc<dyn Fn(&Value, &Value) -> f64 + Send + Sync>;
+
+/// A distance metric `d : dom(A) × dom(A) → ℝ≥0` attached to an attribute.
+///
+/// All built-in variants satisfy non-negativity, identity of indiscernibles
+/// and symmetry (§3.3.1). Comparisons involving `Null` return `+∞` (a null
+/// is arbitrarily far from everything), except `Null` vs `Null` which is 0.
+///
+/// ```
+/// use deptree_metrics::Metric;
+/// use deptree_relation::Value;
+///
+/// let d = Metric::Levenshtein;
+/// assert_eq!(d.dist(&Value::str("Chicago"), &Value::str("Chicago, IL")), 4.0);
+/// assert_eq!(Metric::AbsDiff.dist(&Value::int(299), &Value::int(300)), 1.0);
+/// ```
+#[derive(Clone)]
+pub enum Metric {
+    /// Discrete metric: 0 if the values are equal, 1 otherwise.
+    /// The degenerate metric that turns similarity dependencies back into
+    /// their equality-based special cases.
+    Equality,
+    /// Absolute numeric difference `|a − b|`. Non-numeric values are
+    /// compared discretely (0 / ∞).
+    AbsDiff,
+    /// Levenshtein edit distance on the rendered text.
+    Levenshtein,
+    /// `1 − jaro_winkler(a, b)`, a similarity turned into a distance in
+    /// `[0, 1]`.
+    JaroWinkler,
+    /// `1 − qgram_jaccard(a, b, q)`.
+    QGram(
+        /// Gram size `q ≥ 1`.
+        usize,
+    ),
+    /// User-supplied distance function.
+    Custom(
+        /// Name for display purposes.
+        &'static str,
+        /// The distance function.
+        CustomDist,
+    ),
+}
+
+impl Metric {
+    /// The natural default metric for a declared attribute type:
+    /// equality for categorical, edit distance for text, |a−b| for numeric.
+    pub fn default_for(ty: ValueType) -> Metric {
+        match ty {
+            ValueType::Categorical => Metric::Equality,
+            ValueType::Text => Metric::Levenshtein,
+            ValueType::Numeric => Metric::AbsDiff,
+        }
+    }
+
+    /// Distance between two values.
+    pub fn dist(&self, a: &Value, b: &Value) -> f64 {
+        match (a.is_null(), b.is_null()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return f64::INFINITY,
+            _ => {}
+        }
+        match self {
+            Metric::Equality => {
+                if a == b {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Metric::AbsDiff => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x - y).abs(),
+                _ => {
+                    if a == b {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            },
+            Metric::Levenshtein => {
+                string::levenshtein(&a.render(), &b.render()) as f64
+            }
+            Metric::JaroWinkler => 1.0 - string::jaro_winkler(&a.render(), &b.render()),
+            Metric::QGram(q) => 1.0 - string::qgram_jaccard(&a.render(), &b.render(), *q),
+            Metric::Custom(_, f) => f(a, b),
+        }
+    }
+
+    /// Similarity view: `1 / (1 + dist)`, monotone decreasing in distance,
+    /// equal to 1 exactly when the distance is 0.
+    pub fn similarity(&self, a: &Value, b: &Value) -> f64 {
+        1.0 / (1.0 + self.dist(a, b))
+    }
+}
+
+impl fmt::Debug for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Equality => write!(f, "Equality"),
+            Metric::AbsDiff => write!(f, "AbsDiff"),
+            Metric::Levenshtein => write!(f, "Levenshtein"),
+            Metric::JaroWinkler => write!(f, "JaroWinkler"),
+            Metric::QGram(q) => write!(f, "QGram({q})"),
+            Metric::Custom(name, _) => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+impl PartialEq for Metric {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Metric::Equality, Metric::Equality)
+            | (Metric::AbsDiff, Metric::AbsDiff)
+            | (Metric::Levenshtein, Metric::Levenshtein)
+            | (Metric::JaroWinkler, Metric::JaroWinkler) => true,
+            (Metric::QGram(a), Metric::QGram(b)) => a == b,
+            (Metric::Custom(_, a), Metric::Custom(_, b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_metric() {
+        let m = Metric::Equality;
+        assert_eq!(m.dist(&Value::str("a"), &Value::str("a")), 0.0);
+        assert_eq!(m.dist(&Value::str("a"), &Value::str("b")), 1.0);
+        assert_eq!(m.dist(&Value::int(1), &Value::int(2)), 1.0);
+    }
+
+    #[test]
+    fn absdiff_mixed_numeric() {
+        let m = Metric::AbsDiff;
+        assert_eq!(m.dist(&Value::int(299), &Value::float(300.5)), 1.5);
+        assert_eq!(m.dist(&Value::str("x"), &Value::str("x")), 0.0);
+        assert_eq!(m.dist(&Value::str("x"), &Value::int(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn null_semantics() {
+        for m in [Metric::Equality, Metric::AbsDiff, Metric::Levenshtein] {
+            assert_eq!(m.dist(&Value::Null, &Value::Null), 0.0);
+            assert_eq!(m.dist(&Value::Null, &Value::int(1)), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn custom_metric() {
+        let m = Metric::Custom(
+            "first-char",
+            Arc::new(|a: &Value, b: &Value| {
+                let fa = a.render().chars().next();
+                let fb = b.render().chars().next();
+                if fa == fb {
+                    0.0
+                } else {
+                    1.0
+                }
+            }),
+        );
+        assert_eq!(m.dist(&Value::str("apple"), &Value::str("ant")), 0.0);
+        assert_eq!(m.dist(&Value::str("apple"), &Value::str("pear")), 1.0);
+        assert_eq!(m, m.clone());
+    }
+
+    #[test]
+    fn similarity_monotone() {
+        let m = Metric::Levenshtein;
+        let near = m.similarity(&Value::str("Chicago"), &Value::str("Chicago, IL"));
+        let far = m.similarity(&Value::str("Chicago"), &Value::str("San Francisco"));
+        assert!(near > far);
+        assert_eq!(m.similarity(&Value::str("x"), &Value::str("x")), 1.0);
+    }
+
+    #[test]
+    fn defaults_per_type() {
+        assert_eq!(Metric::default_for(ValueType::Categorical), Metric::Equality);
+        assert_eq!(Metric::default_for(ValueType::Text), Metric::Levenshtein);
+        assert_eq!(Metric::default_for(ValueType::Numeric), Metric::AbsDiff);
+    }
+}

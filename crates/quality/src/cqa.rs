@@ -1,0 +1,192 @@
+//! Consistent query answering (Arenas–Bertossi–Chomicki; Table 3): an
+//! answer is *consistent* when it holds in every minimal repair of the
+//! inconsistent database.
+//!
+//! For deletion-based repairs of equality/similarity rules whose witnesses
+//! are tuple sets, a sound approximation is: a tuple participates in some
+//! repair-divergence iff it appears in a violation witness, so answers
+//! built only from *unconflicted* tuples are consistent. This module
+//! implements that approximation plus an exact check for the common case
+//! of a single FD (where minimal repairs keep, per conflicting group, a
+//! maximal agreeing subset).
+
+use deptree_core::{Dependency, Fd};
+use deptree_relation::{Relation, Value};
+use std::collections::HashSet;
+
+/// Rows not involved in any violation witness — the *core* every
+/// deletion-minimal repair retains (sound, possibly incomplete).
+pub fn consistent_rows(r: &Relation, rules: &[Box<dyn Dependency>]) -> Vec<usize> {
+    let mut conflicted: HashSet<usize> = HashSet::new();
+    for rule in rules {
+        for v in rule.violations(r) {
+            conflicted.extend(v.rows.iter().copied());
+        }
+    }
+    (0..r.n_rows()).filter(|row| !conflicted.contains(row)).collect()
+}
+
+/// A selection query `σ_{attr = value}` projected onto `output`.
+#[derive(Debug, Clone)]
+pub struct SelectQuery {
+    /// Selection attribute.
+    pub attr: deptree_relation::AttrId,
+    /// Selection constant.
+    pub value: Value,
+    /// Output attribute.
+    pub output: deptree_relation::AttrId,
+}
+
+impl SelectQuery {
+    fn answers_from(&self, r: &Relation, rows: &[usize]) -> HashSet<Value> {
+        rows.iter()
+            .filter(|&&row| r.value(row, self.attr) == &self.value)
+            .map(|&row| r.value(row, self.output).clone())
+            .collect()
+    }
+}
+
+/// Consistent answers under the core approximation: evaluate the query on
+/// the unconflicted rows only.
+pub fn consistent_answers(
+    r: &Relation,
+    rules: &[Box<dyn Dependency>],
+    q: &SelectQuery,
+) -> HashSet<Value> {
+    q.answers_from(r, &consistent_rows(r, rules))
+}
+
+/// Exact consistent answers for a *single FD*: the minimal repairs keep,
+/// per equal-LHS group, exactly one maximal RHS-agreeing subset. An answer
+/// is consistent iff it appears in every choice — i.e. it comes from an
+/// unconflicted tuple, or from a group where *all* maximal subsets produce
+/// it (impossible when subsets disagree on the queried output unless the
+/// output attribute is outside the FD's RHS and constant across the
+/// group's candidates).
+pub fn consistent_answers_fd(r: &Relation, fd: &Fd, q: &SelectQuery) -> HashSet<Value> {
+    // Enumerate repairs group-wise: each conflicted group contributes its
+    // alternative "keep" subsets; the cross product of choices is the
+    // repair space. Intersecting per-group is equivalent and avoids the
+    // exponential cross product.
+    let groups = r.group_by(fd.lhs());
+    let mut base_rows: Vec<usize> = Vec::new();
+    let mut alternatives: Vec<Vec<Vec<usize>>> = Vec::new();
+    for rows in groups.values() {
+        let mut by_rhs: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+            std::collections::HashMap::new();
+        for &row in rows {
+            by_rhs
+                .entry(r.project_row(row, fd.rhs()))
+                .or_default()
+                .push(row);
+        }
+        if by_rhs.len() <= 1 {
+            base_rows.extend(rows.iter().copied());
+        } else {
+            // Minimal repairs keep one maximum-cardinality subset; all
+            // tied maxima are alternatives.
+            let max = by_rhs.values().map(Vec::len).max().expect("non-empty");
+            let alts: Vec<Vec<usize>> = by_rhs
+                .into_values()
+                .filter(|v| v.len() == max)
+                .collect();
+            alternatives.push(alts);
+        }
+    }
+    // Base answers present in every repair.
+    let base = q.answers_from(r, &base_rows);
+    // Per conflicted group: answers contributed by *every* alternative.
+    let mut certain = base;
+    for alts in alternatives {
+        let mut group_certain: Option<HashSet<Value>> = None;
+        for alt in alts {
+            let a = q.answers_from(r, &alt);
+            group_certain = Some(match group_certain {
+                None => a,
+                Some(prev) => prev.intersection(&a).cloned().collect(),
+            });
+        }
+        if let Some(gc) = group_certain {
+            certain.extend(gc);
+        }
+    }
+    certain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r5;
+
+    fn q(r: &Relation, attr: &str, value: &str, output: &str) -> SelectQuery {
+        let s = r.schema();
+        SelectQuery {
+            attr: s.id(attr),
+            value: value.into(),
+            output: s.id(output),
+        }
+    }
+
+    #[test]
+    fn unconflicted_answers_survive() {
+        // Query: regions at address "175 North Jackson Street" — t1, t2
+        // are unconflicted w.r.t. address → region; answer "Jackson" is
+        // consistent.
+        let r = hotels_r5();
+        let fd: Box<dyn Dependency> =
+            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let query = q(&r, "address", "175 North Jackson Street", "region");
+        let answers = consistent_answers(&r, std::slice::from_ref(&fd), &query);
+        assert_eq!(answers, HashSet::from([Value::str("Jackson")]));
+    }
+
+    #[test]
+    fn conflicted_answers_dropped() {
+        // Regions at "6030 Gateway Boulevard E": t3 says El Paso, t4 says
+        // El Paso, TX — neither is in every repair.
+        let r = hotels_r5();
+        let fd: Box<dyn Dependency> =
+            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let query = q(&r, "address", "6030 Gateway Boulevard E", "region");
+        let answers = consistent_answers(&r, std::slice::from_ref(&fd), &query);
+        assert!(answers.is_empty());
+        // The exact FD version agrees here (two tied maximal subsets that
+        // disagree on the output).
+        let fd2 = Fd::parse(r.schema(), "address -> region").unwrap();
+        let exact = consistent_answers_fd(&r, &fd2, &query);
+        assert!(exact.is_empty());
+    }
+
+    #[test]
+    fn exact_fd_version_recovers_majority_certain_answers() {
+        // Make the El Paso group 2-vs-1: the majority subset is the unique
+        // minimal repair, so its answer becomes certain — the core
+        // approximation still (soundly) misses it.
+        let mut r = hotels_r5();
+        let s = r.schema().clone();
+        r.push_row(vec![
+            "Hyatt".into(),
+            "6030 Gateway Boulevard E".into(),
+            "El Paso".into(),
+            199.into(),
+        ])
+        .unwrap();
+        let fd = Fd::parse(&s, "address -> region").unwrap();
+        let query = q(&r, "address", "6030 Gateway Boulevard E", "region");
+        let exact = consistent_answers_fd(&r, &fd, &query);
+        assert_eq!(exact, HashSet::from([Value::str("El Paso")]));
+        let rules: Vec<Box<dyn Dependency>> = vec![Box::new(fd)];
+        let approx = consistent_answers(&r, &rules, &query);
+        assert!(approx.is_subset(&exact)); // sound but incomplete
+    }
+
+    #[test]
+    fn consistent_rows_shrink_with_rules() {
+        let r = hotels_r5();
+        assert_eq!(consistent_rows(&r, &[]).len(), 4);
+        let fd: Box<dyn Dependency> =
+            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let rows = consistent_rows(&r, std::slice::from_ref(&fd));
+        assert_eq!(rows, vec![0, 1]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Missing-value imputation (Table 3): the P-neighborhood method of NEDs
+//! (§3.2.4), DD-based candidate enrichment (§3.3.4), and QPIAD-style AFD
+//! distributions over possible values (§2.3.4).
+
+use deptree_core::{Afd, Dd, Ned};
+use deptree_relation::{AttrId, Relation, Value};
+use std::collections::HashMap;
+
+/// Predict the value of `target` for `row` by the *P-neighborhood* method
+/// (Bassée–Wijsen): among rows agreeing with `row` on the NED's left-hand
+/// predicate, take the most frequent `target` value. Returns `None` when
+/// the row has no neighbors with a known value.
+pub fn p_neighborhood_predict(
+    r: &Relation,
+    ned: &Ned,
+    row: usize,
+    target: AttrId,
+) -> Option<Value> {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for other in 0..r.n_rows() {
+        if other == row {
+            continue;
+        }
+        let pair_ok = ned
+            .lhs()
+            .iter()
+            .all(|atom| atom.agrees(r, row, other));
+        if pair_ok {
+            let v = r.value(other, target);
+            if !v.is_null() {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(v, _)| v.clone())
+}
+
+/// DD-based candidate enrichment (Song et al.): for a null cell, collect
+/// the values of `target` from all rows compatible with the DD's LHS —
+/// these are the *imputation candidates* the similarity rule licenses,
+/// ranked by frequency.
+pub fn dd_candidates(r: &Relation, dd: &Dd, row: usize, target: AttrId) -> Vec<(Value, usize)> {
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for other in 0..r.n_rows() {
+        if other == row {
+            continue;
+        }
+        if dd.lhs_compatible(r, row, other) {
+            let v = r.value(other, target);
+            if !v.is_null() {
+                *counts.entry(v.clone()).or_default() += 1;
+            }
+        }
+    }
+    let mut out: Vec<(Value, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// QPIAD-style value distribution (Wolf et al., §2.3.4): given an AFD
+/// `X →ε A` mined from the data, the probability distribution over the
+/// possible values of a null `A`-cell is the empirical distribution of
+/// `A` among the rows sharing the tuple's `X`-values. Sorted by
+/// probability (descending), probabilities sum to 1; empty when the tuple
+/// has no informative neighbors.
+pub fn afd_value_distribution(
+    r: &Relation,
+    afd: &Afd,
+    row: usize,
+) -> Vec<(Value, f64)> {
+    let lhs = afd.embedded().lhs();
+    let target = afd
+        .embedded()
+        .rhs()
+        .min()
+        .expect("AFD has a dependent attribute");
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    let mut total = 0usize;
+    for other in 0..r.n_rows() {
+        if other == row || !r.rows_agree(row, other, lhs) {
+            continue;
+        }
+        let v = r.value(other, target);
+        if !v.is_null() {
+            *counts.entry(v).or_default() += 1;
+            total += 1;
+        }
+    }
+    let mut out: Vec<(Value, f64)> = counts
+        .into_iter()
+        .map(|(v, c)| (v.clone(), c as f64 / total as f64))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Fill every null in `target` using the P-neighborhood prediction.
+/// Returns the number of cells filled (cells with no neighbors stay null).
+pub fn impute_column(r: &mut Relation, ned: &Ned, target: AttrId) -> usize {
+    let nulls: Vec<usize> = (0..r.n_rows())
+        .filter(|&row| r.value(row, target).is_null())
+        .collect();
+    let mut filled = 0usize;
+    for row in nulls {
+        if let Some(v) = p_neighborhood_predict(r, ned, row, target) {
+            r.set_value(row, target, v);
+            filled += 1;
+        }
+    }
+    filled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::{DiffAtom, NedAtom};
+    use deptree_metrics::Metric;
+    use deptree_relation::examples::hotels_r6;
+    use deptree_synth::{entities, EntitiesConfig};
+
+    fn region_ned(r: &Relation) -> Ned {
+        // Neighbors on street similarity predict the region.
+        let s = r.schema();
+        Ned::new(
+            s,
+            vec![NedAtom::new(s.id("street"), Metric::Levenshtein, 2.0)],
+            vec![NedAtom::new(s.id("region"), Metric::Equality, 0.0)],
+        )
+    }
+
+    #[test]
+    fn predicts_region_from_street_neighbors() {
+        let mut r = hotels_r6();
+        let s = r.schema().clone();
+        let region = s.id("region");
+        // Erase t6's region; its street neighbors t2, t5 are San Jose.
+        r.set_value(5, region, Value::Null);
+        let ned = region_ned(&r);
+        let predicted = p_neighborhood_predict(&r, &ned, 5, region);
+        assert_eq!(predicted, Some(Value::str("San Jose")));
+        let filled = impute_column(&mut r, &ned, region);
+        assert_eq!(filled, 1);
+        assert_eq!(r.value(5, region), &Value::str("San Jose"));
+    }
+
+    #[test]
+    fn no_neighbors_no_prediction() {
+        let mut r = hotels_r6();
+        let s = r.schema().clone();
+        let region = s.id("region");
+        // t4 ("61st St.") has no street within distance 2.
+        r.set_value(3, region, Value::Null);
+        let ned = region_ned(&r);
+        assert_eq!(p_neighborhood_predict(&r, &ned, 3, region), None);
+        let filled = impute_column(&mut r, &ned, region);
+        assert_eq!(filled, 0);
+        assert!(r.value(3, region).is_null());
+    }
+
+    #[test]
+    fn dd_candidates_ranked_by_frequency() {
+        let mut r = hotels_r6();
+        let s = r.schema().clone();
+        let zip = s.id("zip");
+        r.set_value(5, zip, Value::Null);
+        let dd = Dd::new(
+            &s,
+            vec![DiffAtom::at_most(s.id("region"), Metric::Levenshtein, 0.0)],
+            vec![DiffAtom::at_most(zip, Metric::Equality, 0.0)],
+        );
+        let candidates = dd_candidates(&r, &dd, 5, zip);
+        // Both San Jose rows vote 95102.
+        assert_eq!(candidates.first(), Some(&(Value::str("95102"), 2)));
+    }
+
+    #[test]
+    fn afd_distribution_reflects_group_frequencies() {
+        use deptree_core::Fd;
+        use deptree_relation::{RelationBuilder, ValueType};
+        // A Gateway Boulevard group with a 2-vs-1 region split and one
+        // null to impute: distribution 2/3 vs 1/3.
+        let r = RelationBuilder::new()
+            .attr("address", ValueType::Text)
+            .attr("region", ValueType::Text)
+            .row(vec!["6030 Gateway".into(), "El Paso".into()])
+            .row(vec!["6030 Gateway".into(), "El Paso".into()])
+            .row(vec!["6030 Gateway".into(), "El Paso, TX".into()])
+            .row(vec!["6030 Gateway".into(), Value::Null])
+            .row(vec!["elsewhere".into(), "Boston".into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let afd = Afd::new(Fd::parse(s, "address -> region").unwrap(), 0.5);
+        let dist = afd_value_distribution(&r, &afd, 3);
+        assert_eq!(dist.len(), 2);
+        assert_eq!(dist[0].0, Value::str("El Paso"));
+        assert!((dist[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((dist.iter().map(|(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-12);
+        // A row with no group-mates gets no distribution.
+        let lonely = afd_value_distribution(&r, &afd, 4);
+        assert!(lonely.is_empty());
+    }
+
+    #[test]
+    fn afd_distribution_point_mass_under_exact_fd() {
+        use deptree_core::Fd;
+        let r = hotels_r6();
+        let s = r.schema();
+        // street → zip holds exactly on r6: any row's distribution over
+        // zip is a point mass.
+        let afd = Afd::new(Fd::parse(s, "street -> zip").unwrap(), 0.0);
+        let dist = afd_value_distribution(&r, &afd, 1); // t2, street 12th St.
+        assert_eq!(dist, vec![(Value::str("95102"), 1.0)]);
+    }
+
+    #[test]
+    fn imputation_accuracy_on_synthetic_entities() {
+        // Exact-name neighborhoods: entity names are unique, so every
+        // neighbor is a true duplicate — filled values must all be correct,
+        // and rows with a surviving duplicate must get filled.
+        let cfg = EntitiesConfig {
+            n_entities: 60,
+            max_duplicates: 3,
+            variety: 0.0,
+            error_rate: 0.0,
+            seed: 71,
+        };
+        let mut data = entities::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let s = data.relation.schema().clone();
+        let zip = s.id("zip");
+        // Blank out every third zip; remember the truth.
+        let mut truth = Vec::new();
+        for row in (0..data.relation.n_rows()).step_by(3) {
+            truth.push((row, data.relation.value(row, zip).clone()));
+            data.relation.set_value(row, zip, Value::Null);
+        }
+        let ned = Ned::new(
+            &s,
+            vec![NedAtom::new(s.id("name"), Metric::Levenshtein, 0.0)],
+            vec![NedAtom::new(zip, Metric::Equality, 0.0)],
+        );
+        let filled = impute_column(&mut data.relation, &ned, zip);
+        // Every filled value is correct.
+        for (row, v) in &truth {
+            let got = data.relation.value(*row, zip);
+            assert!(got.is_null() || got == v, "wrong fill at {row}");
+        }
+        // Rows whose entity has a surviving (un-blanked) duplicate with
+        // the zip intact get filled: count those.
+        let fillable = truth
+            .iter()
+            .filter(|(row, _)| {
+                (0..data.relation.n_rows()).any(|other| {
+                    other != *row
+                        && data.cluster[other] == data.cluster[*row]
+                        && !data.relation.value(other, zip).is_null()
+                })
+            })
+            .count();
+        assert_eq!(filled, fillable, "all fillable rows filled");
+        assert!(fillable > 0);
+    }
+}

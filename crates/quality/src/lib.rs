@@ -1,0 +1,29 @@
+//! Data-quality applications of the dependency family — the survey's
+//! aspect (d) and every column of Table 3:
+//!
+//! | Module | Table 3 task | Dependencies exercised |
+//! |---|---|---|
+//! | [`detect`] | Violation detection | any [`deptree_core::Dependency`] |
+//! | [`repair`] | Data repairing | FDs/CFDs (equivalence classes), DCs (violation hypergraph), ODs/SDs (order/gap repairs) |
+//! | [`dedup`] | Data deduplication | MDs/CDs/DDs with union-find clustering |
+//! | [`impute`] | Missing-value imputation | NEDs (P-neighborhood), DDs (similarity neighbors) |
+//! | [`interact`] | §3.7.4 matching ⇄ repairing interaction | MDs + FDs/CFDs to a fixpoint |
+//! | [`cqa`] | Consistent query answering | FDs/DCs |
+//! | [`normalize`] | Schema normalization | FDs (3NF/BCNF), MVDs (4NF), FHDs |
+//! | [`optimize`] | Query optimization | SFDs (joint statistics), NUDs (cardinality bounds), ODs (sort-order elimination) |
+//! | [`fairness`] | Model fairness | MVDs as conditional-independence repairs |
+//! | [`stream`] | §5.3 temporal future work | speed constraints with SCREEN-style repair |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cqa;
+pub mod dedup;
+pub mod detect;
+pub mod fairness;
+pub mod impute;
+pub mod interact;
+pub mod normalize;
+pub mod optimize;
+pub mod repair;
+pub mod stream;

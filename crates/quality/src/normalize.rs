@@ -1,0 +1,485 @@
+//! Schema normalization (Table 3): attribute closures, candidate keys,
+//! minimal covers, BCNF/3NF with FDs, and 4NF / hierarchical
+//! decompositions with MVDs and FHDs — the classical applications the
+//! survey's §1 roots the whole family in.
+
+use deptree_core::{Fd, Fhd, Mvd};
+use deptree_relation::{AttrSet, Relation, Schema};
+
+/// The closure `X⁺` of an attribute set under a set of FDs (Armstrong).
+pub fn closure(x: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut out = x;
+    loop {
+        let mut grew = false;
+        for fd in fds {
+            if fd.lhs().is_subset(out) && !fd.rhs().is_subset(out) {
+                out = out.union(fd.rhs());
+                grew = true;
+            }
+        }
+        if !grew {
+            return out;
+        }
+    }
+}
+
+/// Is `X` a superkey of the schema (its closure covers everything)?
+pub fn is_superkey(x: AttrSet, all: AttrSet, fds: &[Fd]) -> bool {
+    all.is_subset(closure(x, fds))
+}
+
+/// Logical implication: does the FD set entail `fd` (Armstrong)?
+/// `Σ ⊨ X → Y  ⇔  Y ⊆ X⁺`.
+pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
+    fd.rhs().is_subset(closure(fd.lhs(), fds))
+}
+
+/// Are two FD sets logically equivalent (each implies all of the other)?
+pub fn equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+}
+
+/// All candidate keys (minimal superkeys), by breadth-first search over
+/// subset sizes. Exponential in the worst case — key-size decision is
+/// NP-complete (§1.4.2) — but fine at schema scale.
+pub fn candidate_keys(all: AttrSet, fds: &[Fd]) -> Vec<AttrSet> {
+    let attrs = all.to_vec();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    for mask in 0u64..(1 << attrs.len()) {
+        let x: AttrSet = attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &a)| a)
+            .collect();
+        if keys.iter().any(|k| k.is_subset(x)) {
+            continue;
+        }
+        if is_superkey(x, all, fds) {
+            keys.retain(|k| !x.is_subset(*k));
+            keys.push(x);
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// Minimal cover: single-attribute RHS, no extraneous LHS attributes, no
+/// redundant FDs.
+pub fn minimal_cover(schema: &Schema, fds: &[Fd]) -> Vec<Fd> {
+    // 1. Split RHS.
+    let mut cover: Vec<Fd> = fds
+        .iter()
+        .flat_map(|fd| {
+            fd.rhs()
+                .iter()
+                .map(|a| Fd::new(schema, fd.lhs(), AttrSet::single(a)))
+                .collect::<Vec<_>>()
+        })
+        .filter(|fd| !fd.is_trivial())
+        .collect();
+    // 2. Remove extraneous LHS attributes.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..cover.len() {
+            for a in cover[i].lhs().iter() {
+                let reduced = cover[i].lhs().remove(a);
+                if cover[i].rhs().is_subset(closure(reduced, &cover)) {
+                    cover[i] = Fd::new(schema, reduced, cover[i].rhs());
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < cover.len() {
+        let fd = cover.remove(i);
+        if fd.rhs().is_subset(closure(fd.lhs(), &cover)) {
+            // redundant — keep it removed, stay at i.
+        } else {
+            cover.insert(i, fd);
+            i += 1;
+        }
+    }
+    cover.sort_by_key(|fd| (fd.lhs(), fd.rhs()));
+    cover.dedup();
+    cover
+}
+
+/// A decomposition step: the resulting sub-schemas as attribute sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Attribute sets of the decomposed relations.
+    pub fragments: Vec<AttrSet>,
+}
+
+/// BCNF decomposition: repeatedly split on a violating FD `X → Y`
+/// (X not a superkey) into `X ∪ Y` and `R − Y`. Lossless by construction.
+pub fn bcnf_decompose(all: AttrSet, fds: &[Fd]) -> Decomposition {
+    let mut fragments = vec![all];
+    let mut done = false;
+    while !done {
+        done = true;
+        'outer: for i in 0..fragments.len() {
+            let frag = fragments[i];
+            for fd in fds {
+                let lhs = fd.lhs().intersect(frag);
+                // Project the FD onto the fragment via closures.
+                let rhs = closure(lhs, fds).intersect(frag).difference(lhs);
+                if lhs.is_empty() || rhs.is_empty() {
+                    continue;
+                }
+                if !frag.is_subset(closure(lhs, fds)) {
+                    // lhs → rhs violates BCNF within frag.
+                    fragments[i] = lhs.union(rhs);
+                    fragments.push(frag.difference(rhs));
+                    done = false;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    fragments.sort();
+    fragments.dedup();
+    // Remove fragments contained in others.
+    let snapshot = fragments.clone();
+    fragments.retain(|f| !snapshot.iter().any(|g| f != g && f.is_subset(*g)));
+    Decomposition { fragments }
+}
+
+/// 3NF synthesis from a minimal cover: one fragment per distinct LHS
+/// (merging same-LHS FDs) plus a key fragment if no fragment contains one.
+pub fn synthesize_3nf(schema: &Schema, all: AttrSet, fds: &[Fd]) -> Decomposition {
+    let cover = minimal_cover(schema, fds);
+    let mut fragments: Vec<AttrSet> = Vec::new();
+    for fd in &cover {
+        let frag = fd.lhs().union(fd.rhs());
+        if let Some(existing) = fragments.iter_mut().find(|f| {
+            // merge same-LHS fragments
+            cover
+                .iter()
+                .any(|g| g.lhs() == fd.lhs() && g.lhs().union(g.rhs()).is_subset(**f))
+        }) {
+            *existing = existing.union(frag);
+        } else {
+            fragments.push(frag);
+        }
+    }
+    let keys = candidate_keys(all, &cover);
+    if !fragments
+        .iter()
+        .any(|f| keys.iter().any(|k| k.is_subset(*f)))
+    {
+        if let Some(k) = keys.first() {
+            fragments.push(*k);
+        }
+    }
+    // Attributes in no FD still need a home.
+    let covered = fragments.iter().fold(AttrSet::empty(), |a, f| a.union(*f));
+    let loose = all.difference(covered);
+    if !loose.is_empty() {
+        fragments.push(loose.union(keys.first().copied().unwrap_or_default()));
+    }
+    let snapshot = fragments.clone();
+    fragments.retain(|f| !snapshot.iter().any(|g| f != g && f.is_proper_subset(*g)));
+    fragments.sort();
+    fragments.dedup();
+    Decomposition { fragments }
+}
+
+/// Is the decomposition of `r` along `fragments` lossless (the join of the
+/// projections reproduces exactly the original tuples)? Verified
+/// instance-level by counting: join size == distinct tuple count.
+pub fn is_lossless(r: &Relation, fragments: &[AttrSet]) -> bool {
+    // Fold pairwise joins via the MVD/FHD spurious-tuple counters when the
+    // fragments share a common intersection chain; for the general case we
+    // materialize the join on the instance (fine at test scale).
+    let mut joined: Vec<Vec<deptree_relation::Value>> = vec![vec![]];
+    let mut joined_attrs = AttrSet::empty();
+    for &frag in fragments {
+        let proj: std::collections::HashSet<Vec<deptree_relation::Value>> = (0..r.n_rows())
+            .map(|row| r.project_row(row, frag))
+            .collect();
+        let common = joined_attrs.intersect(frag);
+        let mut next = Vec::new();
+        for j in &joined {
+            for p in &proj {
+                // Check agreement on common attributes.
+                let agree = common.iter().all(|a| {
+                    let ji = joined_attrs.iter().position(|x| x == a).expect("present");
+                    let pi = frag.iter().position(|x| x == a).expect("present");
+                    j.get(ji) == p.get(pi)
+                });
+                if agree {
+                    // Merge tuples.
+                    let mut merged = j.clone();
+                    for (pi, a) in frag.iter().enumerate() {
+                        if !joined_attrs.contains(a) {
+                            merged.push(p[pi].clone());
+                        }
+                    }
+                    next.push(merged);
+                }
+            }
+        }
+        // Reorder columns: new attrs appended in frag order — track order.
+        joined = next;
+        joined_attrs = joined_attrs.union(frag);
+    }
+    // Compare against the original distinct tuples projected to
+    // joined_attrs (== all attrs when fragments cover the schema).
+    let original: std::collections::HashSet<Vec<deptree_relation::Value>> = (0..r.n_rows())
+        .map(|row| r.project_row(row, joined_attrs))
+        .collect();
+    // The join column order may differ from schema order; normalize by
+    // sorting each tuple's (attr, value) pairs. Build attr order of join:
+    let mut join_order: Vec<deptree_relation::AttrId> = Vec::new();
+    for &frag in fragments {
+        for a in frag.iter() {
+            if !join_order.contains(&a) {
+                join_order.push(a);
+            }
+        }
+    }
+    let reorder = |tuple: &[deptree_relation::Value]| -> Vec<deptree_relation::Value> {
+        let mut pairs: Vec<(deptree_relation::AttrId, deptree_relation::Value)> = join_order
+            .iter()
+            .zip(tuple)
+            .map(|(&a, v)| (a, v.clone()))
+            .collect();
+        pairs.sort_by_key(|(a, _)| *a);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    };
+    let joined_set: std::collections::HashSet<Vec<deptree_relation::Value>> =
+        joined.iter().map(|t| reorder(t)).collect();
+    joined_set == original
+}
+
+/// 4NF check: does any given MVD violate 4NF in the full schema
+/// (nontrivial MVD whose LHS is not a superkey)?
+pub fn violates_4nf(all: AttrSet, mvd: &Mvd, fds: &[Fd]) -> bool {
+    !mvd.y().is_empty()
+        && !mvd.x().union(mvd.y()).is_subset(mvd.x())
+        && !is_superkey(mvd.x(), all, fds)
+}
+
+/// 4NF decomposition along one violating MVD: `X ∪ Y` and `X ∪ Z`.
+pub fn decompose_mvd(all: AttrSet, mvd: &Mvd) -> Decomposition {
+    let z = all.difference(mvd.x()).difference(mvd.y());
+    Decomposition {
+        fragments: vec![mvd.x().union(mvd.y()), mvd.x().union(z)],
+    }
+}
+
+/// Hierarchical decomposition along an FHD: `X ∪ Y₁`, …, `X ∪ Yₖ`,
+/// `X ∪ rest`.
+pub fn decompose_fhd(r: &Relation, fhd: &Fhd) -> Decomposition {
+    let mut fragments: Vec<AttrSet> =
+        fhd.ys().iter().map(|&y| fhd.x().union(y)).collect();
+    let rest = fhd.rest(r);
+    if !rest.is_empty() {
+        fragments.push(fhd.x().union(rest));
+    }
+    Decomposition { fragments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::Dependency;
+    use deptree_relation::examples::hotels_r5;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    fn schema_abcd() -> Schema {
+        Schema::from_attrs([
+            ("A", ValueType::Categorical),
+            ("B", ValueType::Categorical),
+            ("C", ValueType::Categorical),
+            ("D", ValueType::Categorical),
+        ])
+    }
+
+    #[test]
+    fn closure_and_keys_textbook() {
+        // A → B, B → C over {A, B, C, D}: key is {A, D}.
+        let s = schema_abcd();
+        let fds = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "B -> C").unwrap(),
+        ];
+        let a = AttrSet::single(s.id("A"));
+        assert_eq!(
+            closure(a, &fds),
+            AttrSet::from_ids([s.id("A"), s.id("B"), s.id("C")])
+        );
+        let all = AttrSet::full(4);
+        let keys = candidate_keys(all, &fds);
+        assert_eq!(keys, vec![AttrSet::from_ids([s.id("A"), s.id("D")])]);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        // {A → B, B → C, A → C}: A → C is redundant.
+        let s = schema_abcd();
+        let fds = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "B -> C").unwrap(),
+            Fd::parse(&s, "A -> C").unwrap(),
+        ];
+        let cover = minimal_cover(&s, &fds);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|fd| fd.to_string() != "FD: A -> C"));
+        // Extraneous LHS: {A, B} → C reduces to B → C given B → C… test
+        // the reduction path with AB → C alone plus A → B.
+        let fds2 = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "A, B -> C").unwrap(),
+        ];
+        let cover2 = minimal_cover(&s, &fds2);
+        assert!(cover2.iter().any(|fd| fd.lhs().len() == 1 && fd.rhs() == AttrSet::single(s.id("C"))));
+    }
+
+    #[test]
+    fn bcnf_splits_on_violation() {
+        // A → B with key {A, C}… actually A → B violates BCNF in
+        // {A, B, C} when A is not a superkey.
+        let s = Schema::from_attrs([
+            ("A", ValueType::Categorical),
+            ("B", ValueType::Categorical),
+            ("C", ValueType::Categorical),
+        ]);
+        let fds = vec![Fd::parse(&s, "A -> B").unwrap()];
+        let d = bcnf_decompose(AttrSet::full(3), &fds);
+        assert_eq!(d.fragments.len(), 2);
+        assert!(d.fragments.contains(&AttrSet::from_ids([s.id("A"), s.id("B")])));
+        assert!(d.fragments.contains(&AttrSet::from_ids([s.id("A"), s.id("C")])));
+    }
+
+    #[test]
+    fn bcnf_decomposition_is_lossless_on_instance() {
+        let r = hotels_r5();
+        let s = r.schema();
+        // Decompose along address → name (holds on r5: every address has
+        // the single name "Hyatt").
+        let fd = Fd::parse(s, "address -> name").unwrap();
+        assert!(fd.holds(&r));
+        let d = bcnf_decompose(r.all_attrs(), std::slice::from_ref(&fd));
+        assert!(d.fragments.len() >= 2, "{d:?}");
+        assert!(is_lossless(&r, &d.fragments), "{d:?}");
+    }
+
+    #[test]
+    fn lossy_decomposition_detected() {
+        // Splitting r5 into {name, region} and {address, rate} loses the
+        // association (no shared attributes → cross product).
+        let r = hotels_r5();
+        let s = r.schema();
+        let frags = vec![
+            AttrSet::from_ids([s.id("name"), s.id("region")]),
+            AttrSet::from_ids([s.id("address"), s.id("rate")]),
+        ];
+        assert!(!is_lossless(&r, &frags));
+    }
+
+    #[test]
+    fn synthesize_3nf_covers_all_attributes() {
+        let s = schema_abcd();
+        let fds = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "B -> C").unwrap(),
+        ];
+        let d = synthesize_3nf(&s, AttrSet::full(4), &fds);
+        let union = d.fragments.iter().fold(AttrSet::empty(), |a, f| a.union(*f));
+        assert_eq!(union, AttrSet::full(4));
+        // A key fragment {A, D} must exist.
+        assert!(d
+            .fragments
+            .iter()
+            .any(|f| AttrSet::from_ids([s.id("A"), s.id("D")]).is_subset(*f)));
+    }
+
+    #[test]
+    fn fourth_normal_form_flow() {
+        // course ↠ teacher in {course, teacher, book} with no FDs: 4NF
+        // violation; decomposition is lossless on a product instance.
+        let r = RelationBuilder::new()
+            .attr("course", ValueType::Categorical)
+            .attr("teacher", ValueType::Categorical)
+            .attr("book", ValueType::Categorical)
+            .row(vec!["db".into(), "ann".into(), "codd".into()])
+            .row(vec!["db".into(), "ann".into(), "date".into()])
+            .row(vec!["db".into(), "bob".into(), "codd".into()])
+            .row(vec!["db".into(), "bob".into(), "date".into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let mvd = Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")));
+        assert!(mvd.holds(&r));
+        assert!(violates_4nf(r.all_attrs(), &mvd, &[]));
+        let d = decompose_mvd(r.all_attrs(), &mvd);
+        assert_eq!(d.fragments.len(), 2);
+        assert!(is_lossless(&r, &d.fragments));
+    }
+
+    #[test]
+    fn armstrong_axioms_through_implication() {
+        let s = schema_abcd();
+        let ab = AttrSet::from_ids([s.id("A"), s.id("B")]);
+        // Reflexivity: AB → A.
+        assert!(implies(&[], &Fd::new(&s, ab, AttrSet::single(s.id("A")))));
+        let fds = vec![Fd::parse(&s, "A -> B").unwrap()];
+        // Augmentation: A → B entails AC → BC.
+        let ac = AttrSet::from_ids([s.id("A"), s.id("C")]);
+        let bc = AttrSet::from_ids([s.id("B"), s.id("C")]);
+        assert!(implies(&fds, &Fd::new(&s, ac, bc)));
+        // Transitivity: A → B, B → C entails A → C.
+        let fds2 = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "B -> C").unwrap(),
+        ];
+        assert!(implies(&fds2, &Fd::parse(&s, "A -> C").unwrap()));
+        // Non-entailment.
+        assert!(!implies(&fds2, &Fd::parse(&s, "C -> A").unwrap()));
+    }
+
+    #[test]
+    fn minimal_cover_is_equivalent_to_input() {
+        let s = schema_abcd();
+        let fds = vec![
+            Fd::parse(&s, "A -> B").unwrap(),
+            Fd::parse(&s, "B -> C").unwrap(),
+            Fd::parse(&s, "A -> C").unwrap(),
+            Fd::parse(&s, "A, B -> D").unwrap(),
+        ];
+        let cover = minimal_cover(&s, &fds);
+        assert!(equivalent(&fds, &cover));
+        assert!(cover.len() < fds.len() + 1);
+    }
+
+    #[test]
+    fn fhd_decomposition_lossless() {
+        let r = RelationBuilder::new()
+            .attr("emp", ValueType::Categorical)
+            .attr("project", ValueType::Categorical)
+            .attr("skill", ValueType::Categorical)
+            .row(vec!["e1".into(), "p1".into(), "s1".into()])
+            .row(vec!["e1".into(), "p1".into(), "s2".into()])
+            .row(vec!["e1".into(), "p2".into(), "s1".into()])
+            .row(vec!["e1".into(), "p2".into(), "s2".into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let fhd = Fhd::new(
+            s,
+            AttrSet::single(s.id("emp")),
+            vec![AttrSet::single(s.id("project")), AttrSet::single(s.id("skill"))],
+        );
+        assert!(fhd.holds(&r));
+        let d = decompose_fhd(&r, &fhd);
+        assert_eq!(d.fragments.len(), 2);
+        assert!(is_lossless(&r, &d.fragments));
+    }
+}

@@ -1,0 +1,226 @@
+//! Speed constraints over timestamped streams — the survey's §5.3 future
+//! direction (Song et al.'s SCREEN, reference \[97\]): where SDs bound the
+//! *gap* between consecutive positions, speed constraints bound the *rate*
+//! `(y_j − y_i) / (t_j − t_i)`, which is the natural form for sensor data
+//! with irregular timestamps.
+
+use deptree_relation::{AttrId, AttrSet, Relation, Value};
+
+/// A speed constraint `s = (s_min, s_max)`: for consecutive readings
+/// (ordered by timestamp), the rate of change must fall in
+/// `[s_min, s_max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedConstraint {
+    /// Minimum rate (may be negative or `-∞`).
+    pub min: f64,
+    /// Maximum rate.
+    pub max: f64,
+}
+
+impl SpeedConstraint {
+    /// Build a constraint.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or either bound is NaN.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(!min.is_nan() && !max.is_nan(), "NaN speed bound");
+        assert!(min <= max, "invalid speed constraint [{min}, {max}]");
+        SpeedConstraint { min, max }
+    }
+
+    /// Symmetric constraint `[-s, s]` — the common "value cannot change
+    /// faster than s per time unit" form.
+    pub fn symmetric(s: f64) -> Self {
+        assert!(s >= 0.0, "symmetric speed must be non-negative");
+        SpeedConstraint { min: -s, max: s }
+    }
+}
+
+/// The readings of `(t_attr, y_attr)` ordered by timestamp, with rows
+/// carrying non-numeric cells skipped. Ties on the timestamp keep the
+/// first reading only (a sensor cannot report twice at the same instant;
+/// later duplicates are treated as noise and ignored for rate purposes).
+fn series(r: &Relation, t_attr: AttrId, y_attr: AttrId) -> Vec<(usize, f64, f64)> {
+    let order = r.sorted_rows(AttrSet::single(t_attr));
+    let mut out: Vec<(usize, f64, f64)> = Vec::new();
+    for &row in &order {
+        let (Some(t), Some(y)) = (r.value(row, t_attr).as_f64(), r.value(row, y_attr).as_f64())
+        else {
+            continue;
+        };
+        if out.last().is_some_and(|&(_, lt, _)| lt == t) {
+            continue;
+        }
+        out.push((row, t, y));
+    }
+    out
+}
+
+/// Consecutive-pair speed violations: `(row_i, row_j, rate)` outside the
+/// constraint.
+pub fn speed_violations(
+    r: &Relation,
+    t_attr: AttrId,
+    y_attr: AttrId,
+    sc: SpeedConstraint,
+) -> Vec<(usize, usize, f64)> {
+    let pts = series(r, t_attr, y_attr);
+    pts.windows(2)
+        .filter_map(|w| {
+            let (ri, ti, yi) = w[0];
+            let (rj, tj, yj) = w[1];
+            let rate = (yj - yi) / (tj - ti);
+            (!(sc.min..=sc.max).contains(&rate)).then_some((ri, rj, rate))
+        })
+        .collect()
+}
+
+/// SCREEN-style streaming repair: process readings in timestamp order;
+/// each value is clamped into the window its (repaired) predecessor
+/// admits, `[y'ᵢ₋₁ + s_min·Δt, y'ᵢ₋₁ + s_max·Δt]` — the minimum-change
+/// online repair under speed constraints. Returns the repaired relation
+/// and the changed rows.
+pub fn screen_repair(
+    r: &Relation,
+    t_attr: AttrId,
+    y_attr: AttrId,
+    sc: SpeedConstraint,
+) -> (Relation, Vec<usize>) {
+    let pts = series(r, t_attr, y_attr);
+    let mut rel = r.clone();
+    let mut changed = Vec::new();
+    let mut prev: Option<(f64, f64)> = None; // (t, repaired y)
+    for (row, t, y) in pts {
+        let fixed = match prev {
+            None => y,
+            Some((pt, py)) => {
+                let dt = t - pt;
+                let lo = py + sc.min * dt;
+                let hi = py + sc.max * dt;
+                let mut v = y.clamp(lo, hi);
+                // Guard against rounding pushing the stored rate outside
+                // the bound.
+                while (v - py) / dt > sc.max {
+                    v = f64::next_down(v);
+                }
+                while (v - py) / dt < sc.min {
+                    v = f64::next_up(v);
+                }
+                v
+            }
+        };
+        if fixed != y {
+            rel.set_value(row, y_attr, Value::float(fixed));
+            changed.push(row);
+        }
+        prev = Some((t, fixed));
+    }
+    (rel, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::{RelationBuilder, ValueType};
+
+    /// Irregularly sampled temperature-like series with one spike.
+    fn sensor() -> Relation {
+        RelationBuilder::new()
+            .attr("ts", ValueType::Numeric)
+            .attr("temp", ValueType::Numeric)
+            .row(vec![0.into(), 20.0.into()])
+            .row(vec![2.into(), 21.0.into()]) // rate 0.5
+            .row(vec![3.into(), 90.0.into()]) // rate 69 — spike
+            .row(vec![7.into(), 23.0.into()]) // rate −16.75 from the spike
+            .row(vec![10.into(), 24.0.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn violations_located_with_rates() {
+        let r = sensor();
+        let s = r.schema();
+        let sc = SpeedConstraint::symmetric(2.0);
+        let v = speed_violations(&r, s.id("ts"), s.id("temp"), sc);
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].0, v[0].1), (1, 2));
+        assert!((v[0].2 - 69.0).abs() < 1e-9);
+        assert_eq!((v[1].0, v[1].1), (2, 3));
+    }
+
+    #[test]
+    fn screen_repair_fixes_the_spike_only() {
+        let r = sensor();
+        let s = r.schema();
+        let sc = SpeedConstraint::symmetric(2.0);
+        let (fixed, changed) = screen_repair(&r, s.id("ts"), s.id("temp"), sc);
+        assert!(speed_violations(&fixed, s.id("ts"), s.id("temp"), sc).is_empty());
+        // Only the spike row needs to change: 90 → 21 + 2·1 = 23, and the
+        // following reading (23 at t=7) is then reachable (rate 0).
+        assert_eq!(changed, vec![2]);
+        assert_eq!(fixed.value(2, s.id("temp")).as_f64(), Some(23.0));
+        // Untouched values stay identical.
+        assert_eq!(fixed.value(0, s.id("temp")), r.value(0, s.id("temp")));
+        assert_eq!(fixed.value(4, s.id("temp")), r.value(4, s.id("temp")));
+    }
+
+    #[test]
+    fn irregular_timestamps_scale_the_window() {
+        // A big jump is legal when the time gap is large enough.
+        let r = RelationBuilder::new()
+            .attr("ts", ValueType::Numeric)
+            .attr("v", ValueType::Numeric)
+            .row(vec![0.into(), 0.into()])
+            .row(vec![100.into(), 150.into()]) // rate 1.5 ≤ 2
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let sc = SpeedConstraint::symmetric(2.0);
+        assert!(speed_violations(&r, s.id("ts"), s.id("v"), sc).is_empty());
+        let (_, changed) = screen_repair(&r, s.id("ts"), s.id("v"), sc);
+        assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_constraint() {
+        // Monotone non-decreasing with rate ≤ 1 (e.g. a counter).
+        let r = RelationBuilder::new()
+            .attr("ts", ValueType::Numeric)
+            .attr("count", ValueType::Numeric)
+            .row(vec![0.into(), 0.into()])
+            .row(vec![1.into(), 1.into()])
+            .row(vec![2.into(), 0.into()]) // decreases: violation
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let sc = SpeedConstraint::new(0.0, 1.0);
+        let v = speed_violations(&r, s.id("ts"), s.id("count"), sc);
+        assert_eq!(v.len(), 1);
+        let (fixed, _) = screen_repair(&r, s.id("ts"), s.id("count"), sc);
+        assert!(speed_violations(&fixed, s.id("ts"), s.id("count"), sc).is_empty());
+        // The decreased reading is lifted back to the window floor (1.0).
+        assert_eq!(fixed.value(2, s.id("count")).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_timestamps_skipped() {
+        let r = RelationBuilder::new()
+            .attr("ts", ValueType::Numeric)
+            .attr("v", ValueType::Numeric)
+            .row(vec![0.into(), 0.into()])
+            .row(vec![0.into(), 999.into()]) // same instant: ignored
+            .row(vec![1.into(), 1.into()])
+            .build()
+            .unwrap();
+        let s = r.schema();
+        let sc = SpeedConstraint::symmetric(2.0);
+        assert!(speed_violations(&r, s.id("ts"), s.id("v"), sc).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed constraint")]
+    fn inverted_bounds_rejected() {
+        SpeedConstraint::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Compact attribute bitsets.
+
+use crate::schema::{AttrId, Schema};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Sub};
+
+/// A set of attributes, stored as a 64-bit bitset.
+///
+/// Lattice-based discovery algorithms (TANE, CTANE, FASTOD, FASTDC's cover
+/// search) manipulate millions of attribute sets; a `u64` bitset keeps them
+/// `Copy`, hashable and branch-cheap. Relations are limited to 64 attributes,
+/// which is far beyond what exponential-lattice discovery can handle anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// Maximum number of attributes representable.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet(0)
+    }
+
+    /// A singleton set.
+    ///
+    /// # Panics
+    /// Panics if the attribute index is ≥ 64.
+    #[inline]
+    pub fn single(attr: AttrId) -> Self {
+        assert!(attr.0 < Self::MAX_ATTRS, "attribute index out of range");
+        AttrSet(1 << attr.0)
+    }
+
+    /// The full set over the first `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n` > 64.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::MAX_ATTRS, "too many attributes");
+        if n == Self::MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from an iterator of ids.
+    pub fn from_ids<I: IntoIterator<Item = AttrId>>(ids: I) -> Self {
+        ids.into_iter().fold(Self::empty(), |s, a| s.insert(a))
+    }
+
+    /// Raw bit pattern (useful as a dense map key).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, attr: AttrId) -> bool {
+        attr.0 < Self::MAX_ATTRS && self.0 & (1 << attr.0) != 0
+    }
+
+    /// Set with `attr` added.
+    #[inline]
+    pub fn insert(self, attr: AttrId) -> Self {
+        assert!(attr.0 < Self::MAX_ATTRS, "attribute index out of range");
+        AttrSet(self.0 | (1 << attr.0))
+    }
+
+    /// Set with `attr` removed.
+    #[inline]
+    pub fn remove(self, attr: AttrId) -> Self {
+        AttrSet(self.0 & !(1 << attr.0))
+    }
+
+    /// Union.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub const fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if `self ⊂ other`.
+    #[inline]
+    pub const fn is_proper_subset(self, other: Self) -> bool {
+        self.0 != other.0 && self.is_subset(other)
+    }
+
+    /// True if the sets share no attribute.
+    #[inline]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterate over member ids in increasing order.
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// Collect member ids into a vector, in increasing order.
+    pub fn to_vec(self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+
+    /// Smallest member, if any.
+    #[inline]
+    pub fn min(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(AttrId(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Render as `{a, b, c}` using names from `schema`.
+    pub fn display<'a>(&self, schema: &'a Schema) -> AttrSetDisplay<'a> {
+        AttrSetDisplay {
+            set: *self,
+            schema,
+        }
+    }
+}
+
+impl BitOr for AttrSet {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+impl BitAnd for AttrSet {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersect(rhs)
+    }
+}
+impl BitXor for AttrSet {
+    type Output = Self;
+    fn bitxor(self, rhs: Self) -> Self {
+        AttrSet(self.0 ^ rhs.0)
+    }
+}
+impl Sub for AttrSet {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.difference(rhs)
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+impl From<AttrId> for AttrSet {
+    fn from(a: AttrId) -> Self {
+        Self::single(a)
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`].
+#[derive(Debug, Clone)]
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(AttrId(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+/// Helper returned by [`AttrSet::display`].
+pub struct AttrSetDisplay<'a> {
+    set: AttrSet,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for AttrSetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.schema.name(id))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> AttrSet {
+        v.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn basic_set_algebra() {
+        let a = ids(&[0, 2, 5]);
+        let b = ids(&[2, 3]);
+        assert_eq!(a.union(b), ids(&[0, 2, 3, 5]));
+        assert_eq!(a.intersect(b), ids(&[2]));
+        assert_eq!(a.difference(b), ids(&[0, 5]));
+        assert_eq!(a.len(), 3);
+        assert!(ids(&[2]).is_subset(a));
+        assert!(ids(&[2]).is_proper_subset(a));
+        assert!(!a.is_proper_subset(a));
+        assert!(a.is_subset(a));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = ids(&[7, 1, 4]);
+        assert_eq!(s.to_vec(), vec![AttrId(1), AttrId(4), AttrId(7)]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.min(), Some(AttrId(1)));
+        assert_eq!(AttrSet::empty().min(), None);
+    }
+
+    #[test]
+    fn full_and_boundaries() {
+        assert_eq!(AttrSet::full(0), AttrSet::empty());
+        assert_eq!(AttrSet::full(3).to_vec().len(), 3);
+        assert_eq!(AttrSet::full(64).len(), 64);
+        assert!(AttrSet::full(64).contains(AttrId(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_attr_rejected() {
+        AttrSet::single(AttrId(64));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = AttrSet::empty().insert(AttrId(3)).insert(AttrId(9));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.remove(AttrId(3)).contains(AttrId(3)));
+        assert!(s.remove(AttrId(3)).contains(AttrId(9)));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = ids(&[0, 1]);
+        let b = ids(&[1, 2]);
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersect(b));
+        assert_eq!(a - b, a.difference(b));
+        assert_eq!(a ^ b, ids(&[0, 2]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimal CSV reading/writing for datasets and experiment output.
+//!
+//! Supports the common subset: comma separation, double-quote quoting with
+//! `""` escapes, a header row. Typed parsing: numeric columns parse to
+//! `Int`/`Float`, empty cells become `Null`.
+
+use crate::relation::{Relation, RelationError};
+use crate::schema::{Schema, ValueType};
+use crate::value::Value;
+use std::fmt;
+
+/// Errors raised by [`parse_csv`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A data row's field count didn't match the header.
+    Relation(RelationError),
+    /// Header arity and type-list arity differ.
+    TypeArity {
+        /// Number of header columns.
+        header: usize,
+        /// Number of supplied types.
+        types: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::Relation(e) => write!(f, "{e}"),
+            CsvError::TypeArity { header, types } => {
+                write!(f, "header has {header} columns but {types} types were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<RelationError> for CsvError {
+    fn from(e: RelationError) -> Self {
+        CsvError::Relation(e)
+    }
+}
+
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn parse_cell(text: &str, ty: ValueType) -> Value {
+    if text.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        ValueType::Numeric => {
+            if let Ok(i) = text.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = text.parse::<f64>() {
+                Value::float(f)
+            } else {
+                Value::str(text)
+            }
+        }
+        _ => Value::str(text),
+    }
+}
+
+/// Parse CSV text into a relation. The first row is the header; `types`
+/// assigns a [`ValueType`] to each column in order.
+///
+/// # Errors
+/// Fails on a missing header, ragged rows, or a type list whose length
+/// doesn't match the header.
+pub fn parse_csv(text: &str, types: &[ValueType]) -> Result<Relation, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names = split_line(header);
+    if names.len() != types.len() {
+        return Err(CsvError::TypeArity {
+            header: names.len(),
+            types: types.len(),
+        });
+    }
+    let schema = Schema::from_attrs(names.into_iter().zip(types.iter().copied()));
+    let mut rel = Relation::empty(schema)?;
+    for line in lines {
+        let fields = split_line(line);
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(types)
+            .map(|(f, &ty)| parse_cell(f, ty))
+            .collect();
+        // If a row is ragged, push_row reports the arity mismatch.
+        if fields.len() != types.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: types.len(),
+                got: fields.len(),
+            }
+            .into());
+        }
+        rel.push_row(row)?;
+    }
+    Ok(rel)
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serialize a relation to CSV text (header + rows).
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .schema()
+        .iter()
+        .map(|(_, a)| quote(&a.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..rel.n_rows() {
+        let cells: Vec<String> = rel
+            .schema()
+            .ids()
+            .map(|a| quote(&rel.value(row, a).render()))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "name,city,price\nHyatt,\"Jackson, MS\",230\nRegis,Boston,319.5\n";
+        let rel = parse_csv(
+            text,
+            &[ValueType::Text, ValueType::Text, ValueType::Numeric],
+        )
+        .unwrap();
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(
+            rel.value(0, rel.schema().id("city")),
+            &Value::str("Jackson, MS")
+        );
+        assert_eq!(rel.value(0, rel.schema().id("price")), &Value::int(230));
+        assert_eq!(rel.value(1, rel.schema().id("price")), &Value::float(319.5));
+        let text2 = to_csv(&rel);
+        let rel2 = parse_csv(
+            &text2,
+            &[ValueType::Text, ValueType::Text, ValueType::Numeric],
+        )
+        .unwrap();
+        assert_eq!(rel, rel2);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let rel = parse_csv("a,b\nx,\n,y\n", &[ValueType::Text, ValueType::Text]).unwrap();
+        assert!(rel.value(0, crate::AttrId(1)).is_null());
+        assert!(rel.value(1, crate::AttrId(0)).is_null());
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let rel = parse_csv("a\n\"say \"\"hi\"\"\"\n", &[ValueType::Text]).unwrap();
+        assert_eq!(rel.value(0, crate::AttrId(0)), &Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = parse_csv("a,b\nx\n", &[ValueType::Text, ValueType::Text]).unwrap_err();
+        assert!(matches!(err, CsvError::Relation(_)));
+    }
+
+    #[test]
+    fn type_arity_checked() {
+        let err = parse_csv("a,b\nx,y\n", &[ValueType::Text]).unwrap_err();
+        assert!(matches!(err, CsvError::TypeArity { .. }));
+    }
+}

@@ -1,0 +1,224 @@
+//! The survey's running example instances, reproduced verbatim.
+//!
+//! Every worked computation in the paper's text (strength 2/3, probability
+//! 3/4, `g3 = 1/4`, the PAC 8/11 confidence, the FFD μ-computations, …) is
+//! checked as a unit test against these relations in `deptree-core`.
+
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::ValueType;
+use crate::value::Value;
+
+/// Table 1: relation instance `r1` of Hotel.
+///
+/// Rows (0-indexed here; the paper writes `t1..t8`):
+/// the fd `address → region` is satisfied by `t1,t2`; violated with a real
+/// error by `t3,t4`; `t5,t6` are a *false positive* under strict equality
+/// ("Chicago" vs "Chicago, IL"); `t7,t8` are a *false negative* (similar
+/// but unequal addresses hide the error).
+pub fn hotels_r1() -> Relation {
+    RelationBuilder::new()
+        .attr("name", ValueType::Text)
+        .attr("address", ValueType::Text)
+        .attr("region", ValueType::Text)
+        .attr("star", ValueType::Numeric)
+        .attr("price", ValueType::Numeric)
+        .row(row5("New Center", "No.5, Central Park", "New York", 3, 299))
+        .row(row5("New Center Hotel", "No.5, Central Park", "New York", 3, 299))
+        .row(row5("St. Regis Hotel", "#3, West Lake Rd.", "Boston", 3, 319))
+        .row(row5("St. Regis", "#3, West Lake Rd.", "Chicago, MA", 3, 319))
+        .row(row5("West Wood Hotel", "Fifth Avenue, 61st Street", "Chicago", 4, 499))
+        .row(row5("West Wood", "Fifth Avenue, 61st Street", "Chicago, IL", 4, 499))
+        .row(row5("Christina Hotel", "No.7, West Lake Rd.", "Boston, MA", 5, 599))
+        .row(row5("Christina", "#7, West Lake Rd.", "San Francisco", 5, 0))
+        .build()
+        .expect("static example data")
+}
+
+/// Table 5: relation instance `r5` of Hotel, where `address → region`
+/// almost holds while `name → address` is not clear to hold.
+pub fn hotels_r5() -> Relation {
+    RelationBuilder::new()
+        .attr("name", ValueType::Text)
+        .attr("address", ValueType::Text)
+        .attr("region", ValueType::Text)
+        .attr("rate", ValueType::Numeric)
+        .row(row4("Hyatt", "175 North Jackson Street", "Jackson", 230))
+        .row(row4("Hyatt", "175 North Jackson Street", "Jackson", 250))
+        .row(row4("Hyatt", "6030 Gateway Boulevard E", "El Paso", 189))
+        .row(row4("Hyatt", "6030 Gateway Boulevard E", "El Paso, TX", 189))
+        .build()
+        .expect("static example data")
+}
+
+/// Table 6: relation instance `r6` with tuples from heterogeneous sources
+/// `s1` and `s2`.
+pub fn hotels_r6() -> Relation {
+    RelationBuilder::new()
+        .attr("source", ValueType::Categorical)
+        .attr("name", ValueType::Text)
+        .attr("street", ValueType::Text)
+        .attr("address", ValueType::Text)
+        .attr("region", ValueType::Text)
+        .attr("zip", ValueType::Categorical)
+        .attr("price", ValueType::Numeric)
+        .attr("tax", ValueType::Numeric)
+        .row(r6_row("s1", "NC", "CPark", "#5, Central Park", "New York", "10041", 299, 29))
+        .row(r6_row("s2", "NC", "12th St.", "#2 Ave, 12th St.", "San Jose", "95102", 300, 20))
+        .row(r6_row("s1", "Regis", "CPark", "#9, Central Park", "New York", "10041", 319, 31))
+        .row(r6_row("s2", "Chris", "61st St.", "#5 Ave, 61st St.", "Chicago", "60601", 499, 49))
+        .row(r6_row("s2", "WD", "12th St.", "#6 Ave, 12th St.", "San Jose", "95102", 399, 27))
+        .row(r6_row("s1", "NC", "12th Str", "#2 Aven, 12th St.", "San Jose", "95102", 300, 20))
+        .build()
+        .expect("static example data")
+}
+
+/// The three-tuple dataspace of §3.4.1 used for comparable dependencies.
+///
+/// Heterogeneous sources disagree on attribute names (`region` vs `city`,
+/// `addr` vs `post`); tuples fill whichever column their source uses and
+/// leave the synonym column null.
+pub fn dataspace_cd() -> Relation {
+    let null = Value::Null;
+    RelationBuilder::new()
+        .attr("name", ValueType::Text)
+        .attr("region", ValueType::Text)
+        .attr("city", ValueType::Text)
+        .attr("addr", ValueType::Text)
+        .attr("post", ValueType::Text)
+        .row(vec![
+            "Alice".into(),
+            "Petersburg".into(),
+            null.clone(),
+            "#7 T Avenue".into(),
+            null.clone(),
+        ])
+        .row(vec![
+            "Alice".into(),
+            null.clone(),
+            "St Petersburg".into(),
+            null.clone(),
+            "#7 T Avenue".into(),
+        ])
+        .row(vec![
+            "Alex".into(),
+            "St Petersburg".into(),
+            null.clone(),
+            null,
+            "No 7 T Ave".into(),
+        ])
+        .build()
+        .expect("static example data")
+}
+
+/// Table 7: relation instance `r7` with multiple numerical attributes on
+/// hotel rates.
+pub fn hotels_r7() -> Relation {
+    RelationBuilder::new()
+        .attr("nights", ValueType::Numeric)
+        .attr("avg/night", ValueType::Numeric)
+        .attr("subtotal", ValueType::Numeric)
+        .attr("taxes", ValueType::Numeric)
+        .row(vec![1.into(), 190.into(), 190.into(), 38.into()])
+        .row(vec![2.into(), 185.into(), 370.into(), 74.into()])
+        .row(vec![3.into(), 180.into(), 540.into(), 108.into()])
+        .row(vec![4.into(), 175.into(), 700.into(), 140.into()])
+        .build()
+        .expect("static example data")
+}
+
+fn row5(name: &str, address: &str, region: &str, star: i64, price: i64) -> Vec<Value> {
+    vec![
+        name.into(),
+        address.into(),
+        region.into(),
+        star.into(),
+        price.into(),
+    ]
+}
+
+fn row4(name: &str, address: &str, region: &str, rate: i64) -> Vec<Value> {
+    vec![name.into(), address.into(), region.into(), rate.into()]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn r6_row(
+    source: &str,
+    name: &str,
+    street: &str,
+    address: &str,
+    region: &str,
+    zip: &str,
+    price: i64,
+    tax: i64,
+) -> Vec<Value> {
+    vec![
+        source.into(),
+        name.into(),
+        street.into(),
+        address.into(),
+        region.into(),
+        zip.into(),
+        price.into(),
+        tax.into(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+
+    #[test]
+    fn r1_shape() {
+        let r = hotels_r1();
+        assert_eq!(r.n_rows(), 8);
+        assert_eq!(r.n_attrs(), 5);
+        // t1, t2 share the address; the region agrees.
+        let s = r.schema();
+        assert!(r.rows_agree(0, 1, AttrSet::single(s.id("address"))));
+        assert!(r.rows_agree(0, 1, AttrSet::single(s.id("region"))));
+        // t3, t4 share the address but not the region (the real violation).
+        assert!(r.rows_agree(2, 3, AttrSet::single(s.id("address"))));
+        assert!(!r.rows_agree(2, 3, AttrSet::single(s.id("region"))));
+    }
+
+    #[test]
+    fn r5_domain_counts_match_paper() {
+        // §2.1.1: |dom(address)| = 2, |dom(address, region)| = 3,
+        //         |dom(name)| = 1, |dom(name, address)| = 2.
+        let r = hotels_r5();
+        let s = r.schema();
+        assert_eq!(r.distinct_count(AttrSet::single(s.id("address"))), 2);
+        assert_eq!(
+            r.distinct_count(AttrSet::from_ids([s.id("address"), s.id("region")])),
+            3
+        );
+        assert_eq!(r.distinct_count(AttrSet::single(s.id("name"))), 1);
+        assert_eq!(
+            r.distinct_count(AttrSet::from_ids([s.id("name"), s.id("address")])),
+            2
+        );
+    }
+
+    #[test]
+    fn r6_shape() {
+        let r = hotels_r6();
+        assert_eq!(r.n_rows(), 6);
+        assert_eq!(r.n_attrs(), 8);
+    }
+
+    #[test]
+    fn r7_is_sorted_on_nights() {
+        let r = hotels_r7();
+        let sorted = r.sorted_rows(AttrSet::single(r.schema().id("nights")));
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dataspace_has_synonym_nulls() {
+        let r = dataspace_cd();
+        assert_eq!(r.n_rows(), 3);
+        assert!(r.value(0, r.schema().id("city")).is_null());
+        assert!(!r.value(1, r.schema().id("city")).is_null());
+    }
+}

@@ -1,0 +1,308 @@
+//! Stripped partitions: the core data structure of partition-based
+//! dependency discovery (TANE and its many descendants).
+//!
+//! A *partition* `π_X` groups rows by their values on attribute set `X`.
+//! A *stripped* partition drops singleton classes: they can never witness a
+//! violation, and dropping them keeps partitions small as `X` grows. The
+//! *product* `π_X · π_Y = π_{X∪Y}` lets a level-wise algorithm compute the
+//! partition for every lattice node from its parents in linear time, which
+//! is the trick that makes TANE practical.
+
+use crate::attrset::AttrSet;
+use crate::relation::Relation;
+use std::collections::HashMap;
+
+/// A stripped partition of the rows of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    /// Equivalence classes with at least two rows, each sorted ascending.
+    classes: Vec<Vec<usize>>,
+    n_rows: usize,
+}
+
+impl StrippedPartition {
+    /// The identity partition (all rows in one class) over `n_rows` rows —
+    /// the partition of the empty attribute set.
+    pub fn identity(n_rows: usize) -> Self {
+        let classes = if n_rows >= 2 {
+            vec![(0..n_rows).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { classes, n_rows }
+    }
+
+    /// Partition by one attribute's column.
+    pub fn from_column(rel: &Relation, attr: crate::AttrId) -> Self {
+        let mut groups: HashMap<&crate::Value, Vec<usize>> = HashMap::new();
+        for (row, v) in rel.column(attr).iter().enumerate() {
+            groups.entry(v).or_default().push(row);
+        }
+        Self::from_groups(groups.into_values(), rel.n_rows())
+    }
+
+    /// Partition by an attribute set (grouping directly, without products).
+    pub fn from_attrs(rel: &Relation, attrs: AttrSet) -> Self {
+        if attrs.is_empty() {
+            return Self::identity(rel.n_rows());
+        }
+        Self::from_groups(rel.group_by(attrs).into_values(), rel.n_rows())
+    }
+
+    /// Partition from per-row labels: rows with equal labels share a class.
+    pub fn from_labels<T: std::hash::Hash + Eq>(labels: &[T]) -> Self {
+        let mut groups: HashMap<&T, Vec<usize>> = HashMap::new();
+        for (row, l) in labels.iter().enumerate() {
+            groups.entry(l).or_default().push(row);
+        }
+        Self::from_groups(groups.into_values(), labels.len())
+    }
+
+    fn from_groups<I: IntoIterator<Item = Vec<usize>>>(groups: I, n_rows: usize) -> Self {
+        let mut classes: Vec<Vec<usize>> = groups
+            .into_iter()
+            .filter(|g| g.len() >= 2)
+            .map(|mut g| {
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        classes.sort_unstable();
+        StrippedPartition { classes, n_rows }
+    }
+
+    /// Number of rows in the underlying relation.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The non-singleton classes.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// `‖π‖`: number of rows covered by non-singleton classes.
+    pub fn covered_rows(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of equivalence classes *including* singletons —
+    /// i.e. the number of distinct values of the underlying attribute set.
+    pub fn num_classes(&self) -> usize {
+        self.n_rows - self.covered_rows() + self.classes.len()
+    }
+
+    /// TANE's error `e(π) = (‖π‖ − |π|)`: the minimum number of rows to
+    /// remove so every remaining class is a singleton. Divided by `n`,
+    /// this is the key-ness error used for key pruning.
+    pub fn error(&self) -> usize {
+        self.covered_rows() - self.classes.len()
+    }
+
+    /// Partition product: `π_self · π_other = π_{X ∪ Y}`.
+    ///
+    /// Linear in `‖π_self‖` using the probe-table scheme from the TANE
+    /// paper.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "partition product over different relations"
+        );
+        // probe[row] = index of the other-partition class containing row.
+        let mut probe: Vec<Option<u32>> = vec![None; self.n_rows];
+        for (i, cls) in other.classes.iter().enumerate() {
+            for &row in cls {
+                probe[row] = Some(i as u32);
+            }
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut buckets: HashMap<u32, Vec<usize>> = HashMap::new();
+        for cls in &self.classes {
+            buckets.clear();
+            for &row in cls {
+                if let Some(label) = probe[row] {
+                    buckets.entry(label).or_default().push(row);
+                }
+            }
+            out.extend(buckets.drain().map(|(_, v)| v).filter(|v| v.len() >= 2));
+        }
+        Self::from_groups(out, self.n_rows)
+    }
+
+    /// Does the FD `X → Y` hold, where `self = π_X` and `rhs = π_{X∪Y}`?
+    ///
+    /// Holds iff both partitions have the same number of classes
+    /// (equivalently, the same error).
+    pub fn refines(&self, xy: &StrippedPartition) -> bool {
+        self.error() == xy.error()
+    }
+
+    /// `g3` error of the FD `X → rhs` where `self = π_X` and `rhs` is the
+    /// partition of the right-hand side: the fraction of rows that must be
+    /// removed so the FD holds exactly (Kivinen–Mannila's `g3`, as computed
+    /// in TANE's approximate-dependency mode).
+    pub fn g3_error(&self, rhs: &StrippedPartition) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        self.g3_violations(rhs) as f64 / self.n_rows as f64
+    }
+
+    /// Minimum number of rows to delete so that the FD `X → rhs` holds.
+    pub fn g3_violations(&self, rhs: &StrippedPartition) -> usize {
+        assert_eq!(self.n_rows, rhs.n_rows);
+        // rhs_label[row] = Some(class) or None (singleton in rhs).
+        let mut rhs_label: Vec<Option<u32>> = vec![None; self.n_rows];
+        for (i, cls) in rhs.classes.iter().enumerate() {
+            for &row in cls {
+                rhs_label[row] = Some(i as u32);
+            }
+        }
+        let mut violations = 0usize;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for cls in &self.classes {
+            counts.clear();
+            let mut singletons = 0usize;
+            for &row in cls {
+                match rhs_label[row] {
+                    Some(l) => *counts.entry(l).or_insert(0) += 1,
+                    None => singletons += 1,
+                }
+            }
+            let max_keep = counts
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(usize::from(singletons > 0));
+            violations += cls.len() - max_keep;
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::ValueType;
+
+    fn rel() -> Relation {
+        // a  b  c
+        // x  p  1
+        // x  p  1
+        // x  q  2
+        // y  q  2
+        // y  q  3
+        RelationBuilder::new()
+            .attr("a", ValueType::Categorical)
+            .attr("b", ValueType::Categorical)
+            .attr("c", ValueType::Numeric)
+            .row(vec!["x".into(), "p".into(), 1.into()])
+            .row(vec!["x".into(), "p".into(), 1.into()])
+            .row(vec!["x".into(), "q".into(), 2.into()])
+            .row(vec!["y".into(), "q".into(), 2.into()])
+            .row(vec!["y".into(), "q".into(), 3.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_column_strips_singletons() {
+        let r = rel();
+        let pa = StrippedPartition::from_column(&r, r.schema().id("a"));
+        assert_eq!(pa.classes(), &[vec![0, 1, 2], vec![3, 4]]);
+        assert_eq!(pa.num_classes(), 2);
+        let pc = StrippedPartition::from_column(&r, r.schema().id("c"));
+        // c groups: {0,1}, {2,3}, {4} — the singleton {4} is stripped.
+        assert_eq!(pc.classes(), &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(pc.num_classes(), 3);
+    }
+
+    #[test]
+    fn product_equals_direct_grouping() {
+        let r = rel();
+        let s = r.schema();
+        let pa = StrippedPartition::from_column(&r, s.id("a"));
+        let pb = StrippedPartition::from_column(&r, s.id("b"));
+        let prod = pa.product(&pb);
+        let direct =
+            StrippedPartition::from_attrs(&r, AttrSet::from_ids([s.id("a"), s.id("b")]));
+        assert_eq!(prod, direct);
+        // Commutativity.
+        assert_eq!(pb.product(&pa), prod);
+    }
+
+    #[test]
+    fn identity_is_product_unit() {
+        let r = rel();
+        let pa = StrippedPartition::from_column(&r, r.schema().id("a"));
+        let id = StrippedPartition::identity(r.n_rows());
+        assert_eq!(id.product(&pa), pa);
+        assert_eq!(pa.product(&id), pa);
+    }
+
+    #[test]
+    fn refines_detects_fds() {
+        let r = rel();
+        let s = r.schema();
+        let pa = StrippedPartition::from_column(&r, s.id("a"));
+        let pb = StrippedPartition::from_column(&r, s.id("b"));
+        let pab = pa.product(&pb);
+        // a → b does not hold (x maps to p and q).
+        assert!(!pa.refines(&pab));
+        // b → a does not hold (q maps to x and y).
+        assert!(!pb.refines(&pab));
+        let pc = StrippedPartition::from_column(&r, s.id("c"));
+        let pcb = pc.product(&pb);
+        // c → b holds: 1→p, 2→q, 3→q.
+        assert!(pc.refines(&pcb));
+    }
+
+    #[test]
+    fn g3_counts_minimum_removals() {
+        let r = rel();
+        let s = r.schema();
+        let pa = StrippedPartition::from_column(&r, s.id("a"));
+        let pb = StrippedPartition::from_column(&r, s.id("b"));
+        // a → b: class {0,1,2} has b-values p,p,q → remove 1.
+        //         class {3,4} has q,q → remove 0.
+        assert_eq!(pa.g3_violations(&pb), 1);
+        assert!((pa.g3_error(&pb) - 0.2).abs() < 1e-12);
+        // Exact FD has zero error.
+        let pc = StrippedPartition::from_column(&r, s.id("c"));
+        assert_eq!(pc.g3_violations(&pb), 0);
+    }
+
+    #[test]
+    fn g3_with_rhs_singletons() {
+        // X has one class of 3 rows; RHS values are all distinct, so the
+        // best we can keep is one row: 2 violations.
+        let labels_x = ["g", "g", "g"];
+        let labels_y = [1, 2, 3];
+        let px = StrippedPartition::from_labels(&labels_x);
+        let py = StrippedPartition::from_labels(&labels_y);
+        assert_eq!(px.g3_violations(&py), 2);
+    }
+
+    #[test]
+    fn error_measure() {
+        let r = rel();
+        let pa = StrippedPartition::from_column(&r, r.schema().id("a"));
+        // ‖π‖ = 5, |π| = 2 → error 3: removing 3 rows makes `a` a key.
+        assert_eq!(pa.error(), 3);
+        let super_key = StrippedPartition::from_attrs(&r, r.all_attrs());
+        // {a,b,c} is not a key: rows 0 and 1 are full duplicates.
+        assert_eq!(super_key.error(), 1);
+    }
+
+    #[test]
+    fn empty_relation_edge_cases() {
+        let p = StrippedPartition::identity(0);
+        assert_eq!(p.num_classes(), 0);
+        assert_eq!(p.error(), 0);
+        assert_eq!(p.g3_error(&StrippedPartition::identity(0)), 0.0);
+    }
+}

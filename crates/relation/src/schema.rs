@@ -1,0 +1,199 @@
+//! Schemas: named, typed attributes.
+
+use std::fmt;
+
+/// The declared type of an attribute.
+///
+/// Types are advisory: a [`crate::Relation`] stores [`crate::Value`]s and
+/// tolerates mixed columns (heterogeneous sources rarely agree on types),
+/// but discovery algorithms use the declared type to choose comparison
+/// semantics — equality for categorical data, metrics for text, order for
+/// numerical data — exactly the three branches of the survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Categorical data compared by equality (survey §2).
+    Categorical,
+    /// Free text from heterogeneous sources, compared by similarity (§3).
+    Text,
+    /// Numerical data with meaningful order and distance (§4).
+    Numeric,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Categorical => write!(f, "categorical"),
+            ValueType::Text => write!(f, "text"),
+            ValueType::Numeric => write!(f, "numeric"),
+        }
+    }
+}
+
+/// Index of an attribute within its [`Schema`].
+///
+/// `AttrId` is a plain newtype over `usize`; it is `Copy` and cheap to pass
+/// around, and it doubles as the bit index inside an [`crate::AttrSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+}
+
+/// A relation schema: an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — schemas are tiny and built
+    /// by hand or by generators, so this is a programming error.
+    pub fn from_attrs<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, ValueType)>,
+        S: Into<String>,
+    {
+        let mut schema = Schema::new();
+        for (name, ty) in attrs {
+            schema.push(name, ty);
+        }
+        schema
+    }
+
+    /// Append an attribute, returning its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn push(&mut self, name: impl Into<String>, ty: ValueType) -> AttrId {
+        let name = name.into();
+        assert!(
+            self.attr_id(&name).is_none(),
+            "duplicate attribute name `{name}`"
+        );
+        self.attrs.push(Attribute { name, ty });
+        AttrId(self.attrs.len() - 1)
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.0]
+    }
+
+    /// Attribute name for an id.
+    #[inline]
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id.0].name
+    }
+
+    /// Declared type for an id.
+    #[inline]
+    pub fn ty(&self, id: AttrId) -> ValueType {
+        self.attrs[id.0].ty
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttrId)
+    }
+
+    /// Look up an attribute id by name, panicking with a helpful message if
+    /// it does not exist. Convenient in tests and examples.
+    pub fn id(&self, name: &str) -> AttrId {
+        self.attr_id(name)
+            .unwrap_or_else(|| panic!("no attribute named `{name}`"))
+    }
+
+    /// Iterate over `(AttrId, &Attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// All attribute ids.
+    pub fn ids(&self) -> impl Iterator<Item = AttrId> + use<> {
+        (0..self.attrs.len()).map(AttrId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = Schema::new();
+        let a = s.push("name", ValueType::Text);
+        let b = s.push("price", ValueType::Numeric);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.attr_id("name"), Some(a));
+        assert_eq!(s.attr_id("price"), Some(b));
+        assert_eq!(s.attr_id("missing"), None);
+        assert_eq!(s.name(a), "name");
+        assert_eq!(s.ty(b), ValueType::Numeric);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.push("x", ValueType::Categorical);
+        s.push("x", ValueType::Numeric);
+    }
+
+    #[test]
+    fn from_attrs_preserves_order() {
+        let s = Schema::from_attrs([
+            ("a", ValueType::Categorical),
+            ("b", ValueType::Numeric),
+            ("c", ValueType::Text),
+        ]);
+        let names: Vec<_> = s.iter().map(|(_, a)| a.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

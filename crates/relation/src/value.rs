@@ -1,0 +1,291 @@
+//! Dynamically typed cell values.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A totally ordered, hashable wrapper around `f64`.
+///
+/// Ordering and equality use [`f64::total_cmp`], so `NaN` values are legal
+/// (they sort above `+inf`) and the wrapper can be used in `BTreeMap` keys
+/// or hashed group-by keys without panics or surprises.
+#[derive(Debug, Clone, Copy)]
+pub struct F64(pub f64);
+
+impl F64 {
+    /// The wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // total_cmp-equal floats have identical bit patterns except for
+        // 0.0 vs -0.0, which total_cmp distinguishes anyway.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for F64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        F64(v)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A single cell value in a relation instance.
+///
+/// `Value` has a *total* order so relations can be sorted on any column:
+/// `Null` sorts first, then numbers (integers and floats compare
+/// numerically against each other), then strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Missing / unknown value (SQL `NULL`).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with total ordering.
+    Float(F64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Build an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Build a float value.
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64(v))
+    }
+
+    /// Is this the null value?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is a number.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(v.0),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value as text; numbers use their canonical decimal form,
+    /// `Null` renders as the empty string.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Float(v) => Cow::Owned(v.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+
+    /// Compare with *value* semantics: numeric values compare by their
+    /// numeric value regardless of representation (`Int(2)` equals
+    /// `Float(2.0)`), everything else falls back to the structural total
+    /// order. This is the comparison SQL-style predicates want; the `Ord`
+    /// impl is the stricter structural order suitable for sorting and
+    /// grouping.
+    pub fn numeric_cmp(&self, other: &Self) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            _ => self.cmp(other),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.cmp(b),
+            // Mixed numeric comparisons order numerically, but numerically
+            // equal Int/Float pairs tie-break by variant (Int first) so the
+            // order stays consistent with `Eq` (Int(2) != Float(2.0)).
+            // Use `numeric_cmp` for value-semantics comparison instead.
+            (Int(a), Float(b)) => F64(*a as f64).cmp(b).then(Ordering::Less),
+            (Float(a), Int(b)) => a.cmp(&F64(*b as f64)).then(Ordering::Greater),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(F64(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn total_order_ranks_null_numbers_strings() {
+        let mut vals = vec![
+            Value::str("abc"),
+            Value::int(3),
+            Value::Null,
+            Value::float(2.5),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::float(2.5),
+                Value::int(3),
+                Value::str("abc"),
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert!(Value::int(2) < Value::float(2.5));
+        assert!(Value::float(2.5) < Value::int(3));
+        // Structural order tie-breaks by variant so Ord agrees with Eq…
+        assert_eq!(Value::int(2).cmp(&Value::float(2.0)), Ordering::Less);
+        assert_ne!(Value::int(2), Value::float(2.0));
+        // …while numeric_cmp gives value semantics.
+        assert_eq!(Value::int(2).numeric_cmp(&Value::float(2.0)), Ordering::Equal);
+        assert_eq!(Value::str("a").numeric_cmp(&Value::str("a")), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_is_orderable_and_hashable() {
+        let nan = Value::float(f64::NAN);
+        assert!(Value::float(f64::INFINITY) < nan);
+        let mut set = HashSet::new();
+        set.insert(nan.clone());
+        assert!(set.contains(&nan));
+    }
+
+    #[test]
+    fn float_zero_signs_distinguished_consistently() {
+        // total_cmp distinguishes -0.0 from 0.0; Eq and Hash must agree.
+        let pos = Value::float(0.0);
+        let neg = Value::float(-0.0);
+        assert_ne!(pos, neg);
+        assert!(neg < pos);
+    }
+
+    #[test]
+    fn render_round_trip() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::int(42).render(), "42");
+        assert_eq!(Value::str("x").render(), "x");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the relational substrate: the total order on
+//! values, bitset algebra, partition laws and CSV round-trips.
+
+use deptree_relation::{parse_csv, to_csv, AttrId, AttrSet, RelationBuilder, Value, ValueType};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::int),
+        (-1e9f64..1e9).prop_map(Value::float),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    /// Ord is a total order consistent with Eq (the contract the Int/Float
+    /// tie-breaking exists to uphold).
+    #[test]
+    fn value_order_total_and_consistent(a in any_value(), b in any_value(), c in any_value()) {
+        // Antisymmetry + consistency with Eq.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// numeric_cmp agrees with cmp except on cross-representation numeric
+    /// ties.
+    #[test]
+    fn numeric_cmp_refines_cmp(a in any_value(), b in any_value()) {
+        let nc = a.numeric_cmp(&b);
+        let sc = a.cmp(&b);
+        if nc != Ordering::Equal {
+            prop_assert_eq!(nc, sc);
+        }
+    }
+
+    /// AttrSet algebra: De Morgan-ish laws within a fixed universe.
+    #[test]
+    fn attrset_laws(a in 0u64..(1 << 16), b in 0u64..(1 << 16), c in 0u64..(1 << 16)) {
+        let (a, b, c) = (AttrSet::from_bits(a), AttrSet::from_bits(b), AttrSet::from_bits(c));
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.union(b).intersect(c), a.intersect(c).union(b.intersect(c)));
+        prop_assert_eq!(a.difference(b).union(a.intersect(b)), a);
+        prop_assert!(a.intersect(b).is_subset(a));
+        prop_assert!(a.is_subset(a.union(b)));
+        prop_assert_eq!(a.len() + b.len(), a.union(b).len() + a.intersect(b).len());
+        // Iteration round-trips.
+        prop_assert_eq!(AttrSet::from_ids(a.iter()), a);
+    }
+
+    /// CSV round-trip: text-typed relations survive serialize → parse.
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec(("[a-zA-Z0-9 ,\"]{0,12}", "[a-z]{0,8}"), 0..8)) {
+        let mut b = RelationBuilder::new()
+            .attr("x", ValueType::Text)
+            .attr("y", ValueType::Text);
+        for (x, y) in &rows {
+            // Empty strings deserialize as Null; normalize to non-empty.
+            let x = if x.is_empty() { "_" } else { x };
+            let y = if y.is_empty() { "_" } else { y };
+            b = b.row(vec![Value::str(x), Value::str(y)]);
+        }
+        let r = b.build().expect("consistent arity");
+        let text = to_csv(&r);
+        let back = parse_csv(&text, &[ValueType::Text, ValueType::Text]).expect("parses");
+        prop_assert_eq!(r, back);
+    }
+
+    /// group_by partitions the rows: classes are disjoint and cover.
+    #[test]
+    fn group_by_is_a_partition(vals in proptest::collection::vec(0u8..5, 1..20)) {
+        let mut b = RelationBuilder::new().attr("a", ValueType::Categorical);
+        for v in &vals {
+            b = b.row(vec![Value::str(format!("v{v}"))]);
+        }
+        let r = b.build().expect("consistent arity");
+        let groups = r.group_by(AttrSet::single(AttrId(0)));
+        let mut seen = vec![false; r.n_rows()];
+        for rows in groups.values() {
+            for &row in rows {
+                prop_assert!(!seen[row], "row in two groups");
+                seen[row] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

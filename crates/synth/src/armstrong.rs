@@ -1,0 +1,129 @@
+//! Armstrong relations: for a given FD set Σ, build an instance that
+//! satisfies *exactly* the FDs Σ implies — the classical tool for testing
+//! FD reasoning, here used to validate discovery completeness (TANE /
+//! FastFD on an Armstrong relation must return a cover equivalent to Σ).
+//!
+//! Construction: the agree sets of the instance must be exactly the
+//! *closed* attribute sets of Σ (sets `X` with `X⁺ = X`). We emit one base
+//! tuple plus, for every closed set `C ⊊ R`, one tuple agreeing with the
+//! base exactly on `C` — then `X → A` holds iff every closed superset of
+//! `X` contains `A`, iff `A ∈ X⁺`.
+
+use deptree_relation::{AttrSet, Relation, RelationBuilder, Value};
+
+/// Closure of `x` under `fds`, with FDs given as `(lhs, rhs)` attribute
+/// sets (kept dependency-free of `deptree-core`; `deptree-core`'s `Fd`
+/// exposes exactly these).
+pub fn closure(x: AttrSet, fds: &[(AttrSet, AttrSet)]) -> AttrSet {
+    let mut out = x;
+    loop {
+        let mut grew = false;
+        for &(lhs, rhs) in fds {
+            if lhs.is_subset(out) && !rhs.is_subset(out) {
+                out = out.union(rhs);
+                grew = true;
+            }
+        }
+        if !grew {
+            return out;
+        }
+    }
+}
+
+/// Build an Armstrong relation for `fds` over `n_attrs` attributes (named
+/// `A0 … A{n−1}`, categorical).
+///
+/// # Panics
+/// Panics if `n_attrs` exceeds 16 (the construction enumerates all 2ⁿ
+/// subsets).
+pub fn armstrong_relation(n_attrs: usize, fds: &[(AttrSet, AttrSet)]) -> Relation {
+    assert!(n_attrs <= 16, "Armstrong construction is exponential in attributes");
+    let all = AttrSet::full(n_attrs);
+    let mut builder = RelationBuilder::new();
+    for a in 0..n_attrs {
+        builder = builder.attr(format!("A{a}"), deptree_relation::ValueType::Categorical);
+    }
+    // Base tuple: value 0 everywhere.
+    builder = builder.row(vec![Value::str("c0"); n_attrs]);
+    // One tuple per proper closed set; fresh values (unique per tuple) on
+    // the complement.
+    let mut fresh = 1u32;
+    for mask in 0u64..(1 << n_attrs) {
+        let set = AttrSet::from_bits(mask);
+        if set == all || closure(set, fds) != set {
+            continue;
+        }
+        let row: Vec<Value> = (0..n_attrs)
+            .map(|a| {
+                if set.contains(deptree_relation::AttrId(a)) {
+                    Value::str("c0")
+                } else {
+                    fresh += 1;
+                    Value::str(format!("u{fresh}"))
+                }
+            })
+            .collect();
+        builder = builder.row(row);
+    }
+    builder.build().expect("consistent arity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::{Dependency, Fd};
+    use deptree_relation::AttrId;
+
+    fn fd_sets(n: usize) -> impl Iterator<Item = (AttrSet, AttrSet)> {
+        // All single→single candidate FDs over n attributes.
+        (0..n).flat_map(move |l| {
+            (0..n)
+                .filter(move |&r| l != r)
+                .map(move |r| (AttrSet::single(AttrId(l)), AttrSet::single(AttrId(r))))
+        })
+    }
+
+    #[test]
+    fn armstrong_satisfies_exactly_the_implied_fds() {
+        // Σ = {A0 → A1, A1 → A2} over 4 attributes.
+        let sigma = vec![
+            (AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1))),
+            (AttrSet::single(AttrId(1)), AttrSet::single(AttrId(2))),
+        ];
+        let r = armstrong_relation(4, &sigma);
+        for (lhs, rhs) in fd_sets(4) {
+            let fd = Fd::new(r.schema(), lhs, rhs);
+            let implied = rhs.is_subset(closure(lhs, &sigma));
+            assert_eq!(fd.holds(&r), implied, "{fd}");
+        }
+        // Multi-attribute spot checks: A0A3 → A2 implied; A2A3 → A0 not.
+        let a03 = AttrSet::from_ids([AttrId(0), AttrId(3)]);
+        assert!(Fd::new(r.schema(), a03, AttrSet::single(AttrId(2))).holds(&r));
+        let a23 = AttrSet::from_ids([AttrId(2), AttrId(3)]);
+        assert!(!Fd::new(r.schema(), a23, AttrSet::single(AttrId(0))).holds(&r));
+    }
+
+    #[test]
+    fn empty_sigma_yields_no_nontrivial_fds() {
+        let r = armstrong_relation(3, &[]);
+        for (lhs, rhs) in fd_sets(3) {
+            let fd = Fd::new(r.schema(), lhs, rhs);
+            assert!(!fd.holds(&r), "{fd} should fail on the free Armstrong relation");
+        }
+    }
+
+    #[test]
+    fn key_constraint_shrinks_the_relation() {
+        // A0 → everything: closed sets are exactly the sets not containing
+        // A0 (plus R itself).
+        let sigma = vec![(
+            AttrSet::single(AttrId(0)),
+            AttrSet::full(3).remove(AttrId(0)),
+        )];
+        let r = armstrong_relation(3, &sigma);
+        let fd = Fd::new(r.schema(), AttrSet::single(AttrId(0)), AttrSet::full(3).remove(AttrId(0)));
+        assert!(fd.holds(&r));
+        // And A1 → A0 must not hold.
+        assert!(!Fd::new(r.schema(), AttrSet::single(AttrId(1)), AttrSet::single(AttrId(0))).holds(&r));
+    }
+}

@@ -1,0 +1,174 @@
+//! Relations with planted functional dependencies and injected errors.
+
+use deptree_relation::{AttrId, Relation, RelationBuilder, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct CategoricalConfig {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of *determinant* attributes `K₀ … K_{k−1}` (independent,
+    /// uniform categorical columns).
+    pub n_key_attrs: usize,
+    /// Number of *dependent* attributes `D₀ … D_{m−1}`; `Dᵢ` is a planted
+    /// function of the key attribute `K_{i mod k}`.
+    pub n_dep_attrs: usize,
+    /// Domain size of each determinant attribute.
+    pub domain: usize,
+    /// Fraction of dependent cells overwritten with a random (likely
+    /// FD-violating) value.
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CategoricalConfig {
+    fn default() -> Self {
+        CategoricalConfig {
+            n_rows: 1000,
+            n_key_attrs: 2,
+            n_dep_attrs: 2,
+            domain: 50,
+            error_rate: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated relation plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedRelation {
+    /// The instance.
+    pub relation: Relation,
+    /// The planted exact rules as `(lhs attr, rhs attr)` pairs — before
+    /// error injection, `lhs → rhs` holds exactly.
+    pub planted_fds: Vec<(AttrId, AttrId)>,
+    /// Cells that were overwritten with noise, as `(row, attr)`.
+    pub dirty_cells: Vec<(usize, AttrId)>,
+}
+
+/// Deterministic "function" mapping a key value to a dependent value —
+/// a multiplicative hash so dependent domains look categorical too.
+fn dep_value(key: usize, attr_salt: usize) -> usize {
+    key.wrapping_mul(0x9E37_79B9)
+        .wrapping_add(attr_salt.wrapping_mul(0x85EB_CA6B))
+        % 1_000_003
+}
+
+/// Generate a relation where each dependent attribute is functionally
+/// determined by one key attribute, then inject `error_rate` noise into
+/// dependent cells.
+pub fn generate(cfg: &CategoricalConfig, rng: &mut StdRng) -> PlantedRelation {
+    assert!(cfg.n_key_attrs >= 1, "need at least one key attribute");
+    assert!(cfg.domain >= 2, "domain must have at least two values");
+    let mut builder = RelationBuilder::new();
+    for k in 0..cfg.n_key_attrs {
+        builder = builder.attr(format!("K{k}"), ValueType::Categorical);
+    }
+    for d in 0..cfg.n_dep_attrs {
+        builder = builder.attr(format!("D{d}"), ValueType::Categorical);
+    }
+
+    let mut keys: Vec<Vec<usize>> = Vec::with_capacity(cfg.n_rows);
+    for _ in 0..cfg.n_rows {
+        keys.push((0..cfg.n_key_attrs).map(|_| rng.random_range(0..cfg.domain)).collect());
+    }
+
+    let mut dirty_cells = Vec::new();
+    for (row, key) in keys.iter().enumerate() {
+        let mut cells: Vec<Value> = key.iter().map(|&v| Value::str(format!("k{v}"))).collect();
+        for d in 0..cfg.n_dep_attrs {
+            let src = key[d % cfg.n_key_attrs];
+            let mut v = dep_value(src, d);
+            if cfg.error_rate > 0.0 && rng.random::<f64>() < cfg.error_rate {
+                // Perturb to a value outside the planted image with high
+                // probability.
+                v = v.wrapping_add(1 + rng.random_range(0..1_000));
+                dirty_cells.push((row, AttrId(cfg.n_key_attrs + d)));
+            }
+            cells.push(Value::str(format!("d{v}")));
+        }
+        builder = builder.row(cells);
+    }
+
+    let relation = builder.build().expect("generator arity is consistent");
+    let planted_fds = (0..cfg.n_dep_attrs)
+        .map(|d| (AttrId(d % cfg.n_key_attrs), AttrId(cfg.n_key_attrs + d)))
+        .collect();
+    PlantedRelation {
+        relation,
+        planted_fds,
+        dirty_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::{Dependency, Fd};
+    use deptree_relation::AttrSet;
+
+    #[test]
+    fn clean_generation_satisfies_planted_fds() {
+        let cfg = CategoricalConfig {
+            n_rows: 500,
+            error_rate: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(cfg.seed));
+        assert_eq!(data.relation.n_rows(), 500);
+        assert!(data.dirty_cells.is_empty());
+        for &(lhs, rhs) in &data.planted_fds {
+            let fd = Fd::new(
+                data.relation.schema(),
+                AttrSet::single(lhs),
+                AttrSet::single(rhs),
+            );
+            assert!(fd.holds(&data.relation), "{fd} should hold on clean data");
+        }
+    }
+
+    #[test]
+    fn errors_break_planted_fds() {
+        let cfg = CategoricalConfig {
+            n_rows: 500,
+            error_rate: 0.05,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(cfg.seed));
+        assert!(!data.dirty_cells.is_empty());
+        let violated = data.planted_fds.iter().any(|&(lhs, rhs)| {
+            !Fd::new(
+                data.relation.schema(),
+                AttrSet::single(lhs),
+                AttrSet::single(rhs),
+            )
+            .holds(&data.relation)
+        });
+        assert!(violated, "5% noise should violate at least one planted FD");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CategoricalConfig::default();
+        let a = generate(&cfg, &mut crate::rng(42));
+        let b = generate(&cfg, &mut crate::rng(42));
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.dirty_cells, b.dirty_cells);
+    }
+
+    #[test]
+    fn error_rate_roughly_respected() {
+        let cfg = CategoricalConfig {
+            n_rows: 2000,
+            n_dep_attrs: 1,
+            error_rate: 0.1,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(3));
+        let rate = data.dirty_cells.len() as f64 / 2000.0;
+        assert!((0.05..0.15).contains(&rate), "rate {rate}");
+    }
+}

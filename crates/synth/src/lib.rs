@@ -1,0 +1,43 @@
+//! Synthetic workload generators for the deptree experiments.
+//!
+//! The survey's evaluation artifacts (Tables 1/5/6/7) are eight-tuple
+//! examples; benchmarks need the same *shapes* at scale. This crate
+//! substitutes for the real dirty web-extracted data the cited systems
+//! used (see DESIGN.md, substitution table):
+//!
+//! * [`categorical`] — relations with *planted* FDs and a controlled error
+//!   rate, returning the ground-truth dirty cells, for discovery and
+//!   detection precision/recall experiments;
+//! * [`noise`] — the heterogeneity noise of §1.2: abbreviations, state
+//!   suffixes (`"Chicago"` → `"Chicago, IL"`), typos;
+//! * [`entities`] — duplicated entity records with representation variety,
+//!   for MD/CD deduplication experiments with known clusters;
+//! * [`numerical`] — ordered sequences with drift, regime changes and
+//!   spikes, for OD/SD/CSD experiments.
+//!
+//! [`armstrong`] additionally builds *Armstrong relations* — instances
+//! satisfying exactly the FDs a given set implies — the classical
+//! completeness oracle for discovery algorithms.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod armstrong;
+pub mod categorical;
+pub mod entities;
+pub mod noise;
+pub mod numerical;
+
+pub use categorical::{CategoricalConfig, PlantedRelation};
+pub use entities::{EntitiesConfig, EntityData};
+pub use numerical::{SequenceConfig, SequenceData};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Create the crate's canonical RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

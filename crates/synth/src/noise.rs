@@ -1,0 +1,115 @@
+//! The heterogeneity noise of §1.2: the same real-world value rendered in
+//! different formats by different sources.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Append a state-style suffix: `"Chicago"` → `"Chicago, IL"` (the paper's
+/// running example of variety).
+pub fn add_suffix(s: &str, rng: &mut StdRng) -> String {
+    const SUFFIXES: [&str; 6] = [", IL", ", MA", ", CA", ", TX", ", NY", ", WA"];
+    format!("{s}{}", SUFFIXES[rng.random_range(0..SUFFIXES.len())])
+}
+
+/// Abbreviate: drop a trailing token like "Hotel"/"Street", or trim to a
+/// prefix — `"New Center Hotel"` → `"New Center"` (Table 1, t1/t2).
+pub fn abbreviate(s: &str) -> String {
+    const DROPPABLE: [&str; 6] = ["Hotel", "Street", "Avenue", "Road", "Inn", "Suites"];
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() > 1 && DROPPABLE.contains(tokens.last().expect("non-empty")) {
+        return tokens[..tokens.len() - 1].join(" ");
+    }
+    // Otherwise abbreviate the last token to its initial.
+    if tokens.len() > 1 {
+        let mut out = tokens[..tokens.len() - 1].join(" ");
+        out.push(' ');
+        out.push_str(&tokens[tokens.len() - 1].chars().take(1).collect::<String>());
+        out.push('.');
+        return out;
+    }
+    s.to_owned()
+}
+
+/// Introduce a single random typo (substitution, deletion or transposition
+/// of one character).
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_owned();
+    }
+    let pos = rng.random_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.random_range(0..3u8) {
+        0 => {
+            // substitution with a nearby letter
+            out[pos] = char::from(b'a' + rng.random_range(0..26u8));
+        }
+        1 => {
+            out.remove(pos);
+        }
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else {
+                out[pos] = char::from(b'a' + rng.random_range(0..26u8));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Apply a random representation-variety transformation: one of the three
+/// above, chosen uniformly.
+pub fn vary(s: &str, rng: &mut StdRng) -> String {
+    match rng.random_range(0..3u8) {
+        0 => add_suffix(s, rng),
+        1 => abbreviate(s),
+        _ => typo(s, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_metrics::string::levenshtein;
+
+    #[test]
+    fn suffix_preserves_prefix() {
+        let mut rng = crate::rng(1);
+        let v = add_suffix("Chicago", &mut rng);
+        assert!(v.starts_with("Chicago, "));
+        assert_eq!(v.len(), "Chicago".len() + 4);
+    }
+
+    #[test]
+    fn abbreviate_drops_known_tokens() {
+        assert_eq!(abbreviate("New Center Hotel"), "New Center");
+        assert_eq!(abbreviate("West Lake Road"), "West Lake");
+        assert_eq!(abbreviate("Fifth Avenue"), "Fifth");
+        // Unknown last token becomes an initial.
+        assert_eq!(abbreviate("Saint Regis"), "Saint R.");
+        // Single tokens are untouched.
+        assert_eq!(abbreviate("Hyatt"), "Hyatt");
+    }
+
+    #[test]
+    fn typo_is_small_edit() {
+        let mut rng = crate::rng(2);
+        for _ in 0..50 {
+            let v = typo("West Wood Hotel", &mut rng);
+            assert!(levenshtein("West Wood Hotel", &v) <= 2);
+        }
+    }
+
+    #[test]
+    fn vary_keeps_values_similar() {
+        // The point of the noise model: variants stay within a small edit
+        // distance (suffixes add ≤ 4), so similarity-based dependencies
+        // can bridge them while equality-based ones cannot.
+        let mut rng = crate::rng(3);
+        for _ in 0..100 {
+            let v = vary("Central Park", &mut rng);
+            assert!(levenshtein("Central Park", &v) <= 7, "{v}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Ordered numerical sequences for OD/SD/CSD experiments (§4).
+
+use deptree_relation::{Relation, RelationBuilder, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct SequenceConfig {
+    /// Number of rows (one per sequence position).
+    pub n_rows: usize,
+    /// Gap regimes: the sequence is split into `regimes.len()` equal
+    /// periods; in period `i` each step increases `y` by a value drawn
+    /// uniformly from `regimes[i]` — the workload shape CSD tableaux
+    /// capture (§4.4.5).
+    pub regimes: Vec<(f64, f64)>,
+    /// Probability that a step is replaced by an out-of-regime spike
+    /// (a data error / missed poll).
+    pub spike_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> Self {
+        SequenceConfig {
+            n_rows: 1000,
+            regimes: vec![(9.0, 11.0)],
+            spike_rate: 0.0,
+            seed: 13,
+        }
+    }
+}
+
+/// A generated sequence plus ground truth.
+#[derive(Debug, Clone)]
+pub struct SequenceData {
+    /// Schema: `seq` (1..=n) and `y` (cumulative value), both Numeric.
+    pub relation: Relation,
+    /// Positions `i` where the step `i → i+1` was a spike (0-indexed rows).
+    pub spike_steps: Vec<usize>,
+    /// The regime boundaries as row indices (start of each regime).
+    pub regime_starts: Vec<usize>,
+}
+
+/// Generate a monotone sequence with per-regime step distributions and
+/// occasional spikes.
+pub fn generate(cfg: &SequenceConfig, rng: &mut StdRng) -> SequenceData {
+    assert!(!cfg.regimes.is_empty(), "need at least one regime");
+    let mut builder = RelationBuilder::new()
+        .attr("seq", ValueType::Numeric)
+        .attr("y", ValueType::Numeric);
+    let period = cfg.n_rows.div_ceil(cfg.regimes.len());
+    let regime_starts = (0..cfg.regimes.len()).map(|i| i * period).collect();
+    let mut spike_steps = Vec::new();
+    let mut y = 0.0f64;
+    for i in 0..cfg.n_rows {
+        builder = builder.row(vec![Value::int(i as i64 + 1), Value::float(y)]);
+        let (lo, hi) = cfg.regimes[(i / period).min(cfg.regimes.len() - 1)];
+        let step = if rng.random::<f64>() < cfg.spike_rate {
+            spike_steps.push(i);
+            hi * 5.0 + rng.random_range(0.0..hi.max(1.0))
+        } else {
+            rng.random_range(lo..=hi)
+        };
+        y += step;
+    }
+    SequenceData {
+        relation: builder.build().expect("consistent arity"),
+        spike_steps,
+        regime_starts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_core::{Dependency, Interval, Sd};
+
+    #[test]
+    fn clean_sequence_satisfies_sd() {
+        let cfg = SequenceConfig {
+            n_rows: 200,
+            regimes: vec![(9.0, 11.0)],
+            spike_rate: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(cfg.seed));
+        let s = data.relation.schema();
+        let sd = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0));
+        assert!(sd.holds(&data.relation));
+        assert!(data.spike_steps.is_empty());
+    }
+
+    #[test]
+    fn spikes_violate_sd_and_are_located() {
+        let cfg = SequenceConfig {
+            n_rows: 200,
+            regimes: vec![(9.0, 11.0)],
+            spike_rate: 0.05,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(17));
+        assert!(!data.spike_steps.is_empty());
+        let s = data.relation.schema();
+        let sd = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0));
+        let violations = sd.violations(&data.relation);
+        assert_eq!(violations.len(), data.spike_steps.len());
+        // Each violation pair (i, i+1) corresponds to a recorded spike.
+        for v in &violations {
+            assert!(data.spike_steps.contains(&v.rows[0]), "{:?}", v.rows);
+        }
+    }
+
+    #[test]
+    fn regimes_produce_different_gap_bands() {
+        let cfg = SequenceConfig {
+            n_rows: 100,
+            regimes: vec![(1.0, 2.0), (10.0, 12.0)],
+            spike_rate: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&cfg, &mut crate::rng(23));
+        assert_eq!(data.regime_starts, vec![0, 50]);
+        let s = data.relation.schema();
+        // A single global SD with the first regime's band fails…
+        let tight = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(1.0, 2.0));
+        assert!(!tight.holds(&data.relation));
+        // …but a generous global band covering both succeeds.
+        let wide = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(1.0, 12.0));
+        assert!(wide.holds(&data.relation));
+    }
+}

@@ -1,0 +1,176 @@
+//! A tour of every discovery algorithm in the toolkit, run on the paper's
+//! example instances and small synthetic data — one section per Table 2
+//! discovery column entry.
+//!
+//! ```sh
+//! cargo run --example discovery_tour
+//! ```
+
+use deptree::core::NedAtom;
+use deptree::discovery::*;
+use deptree::metrics::Metric;
+use deptree::relation::examples::{hotels_r1, hotels_r5, hotels_r6, hotels_r7};
+use deptree::relation::AttrSet;
+use deptree::synth::{categorical, CategoricalConfig};
+
+fn main() {
+    let r5 = hotels_r5();
+    let r6 = hotels_r6();
+    let r7 = hotels_r7();
+
+    println!("== TANE (exact FDs, r6) ==");
+    let t = tane::discover(&r6, &tane::TaneConfig::default());
+    println!(
+        "{} FDs, {} lattice nodes, {} partition products",
+        t.fds.len(),
+        t.stats.nodes_visited,
+        t.stats.partition_products
+    );
+
+    println!("\n== TANE approximate mode (AFDs with g3 ≤ 0.25, r5) ==");
+    let a = tane::discover(&r5, &tane::TaneConfig { max_lhs: 2, max_error: 0.25 });
+    for fd in a.fds.iter().take(4) {
+        println!("  {fd}  (g3 = {:.2})", fd.g3(&r5));
+    }
+
+    println!("\n== FastFD (difference sets, r1) ==");
+    let r1 = hotels_r1();
+    let f = fastfd::discover(&r1);
+    println!("{} FDs from {} difference sets", f.fds.len(), f.stats.difference_sets);
+
+    println!("\n== CORDS (sampled SFDs on synthetic 10k rows) ==");
+    let cfg = CategoricalConfig {
+        n_rows: 10_000,
+        n_key_attrs: 2,
+        n_dep_attrs: 2,
+        domain: 50,
+        error_rate: 0.001,
+        seed: 3,
+    };
+    let big = categorical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let c = cords::discover(&big.relation, &cords::CordsConfig::default());
+    println!("sampled {} rows; {} soft FDs", c.sampled_rows, c.sfds.len());
+
+    println!("\n== PFD discovery (r5) ==");
+    for p in pfd::discover(&r5, &pfd::PfdConfig { min_probability: 0.7, max_lhs: 1 }) {
+        println!("  {p}  (P = {:.2})", p.probability(&r5));
+    }
+
+    println!("\n== CFDMiner + CTANE + greedy tableau (r6) ==");
+    let constant = cfd::cfdminer(&r6, &cfd::CfdConfig::default());
+    let general = cfd::ctane(&r6, &cfd::CfdConfig::default());
+    println!("{} constant CFDs, {} general CFDs; e.g.:", constant.len(), general.len());
+    for c in general.iter().take(3) {
+        println!("  {c}");
+    }
+    let fd = deptree::core::Fd::parse(r5.schema(), "address -> region").unwrap();
+    let tableau = cfd::greedy_tableau(&r5, &fd, 1.0);
+    println!(
+        "greedy tableau for `{fd}`: {} row(s), coverage {:.0}%",
+        tableau.len(),
+        100.0 * cfd::tableau_coverage(&r5, &tableau)
+    );
+
+    println!("\n== MVD discovery (r5) ==");
+    for m in mvd::discover(&r5, &mvd::MvdConfig::default()).iter().take(4) {
+        println!("  {m}");
+    }
+
+    println!("\n== MFD threshold discovery (r1, region under edit distance) ==");
+    let s1 = r1.schema();
+    let delta = mfd::minimal_delta(
+        &r1,
+        AttrSet::single(s1.id("address")),
+        s1.id("region"),
+        &Metric::Levenshtein,
+    );
+    println!("minimal δ for address →^δ region: {delta}");
+
+    println!("\n== DD discovery with data-driven thresholds (r6) ==");
+    for d in dd::discover(&r6, &dd::DdConfig { max_lhs: 1, ..Default::default() }).iter().take(4) {
+        println!("  {d}");
+    }
+
+    println!("\n== MD discovery (r6, identify zip) ==");
+    let s6 = r6.schema();
+    for smd in md::discover(&r6, AttrSet::single(s6.id("zip")), &md::MdConfig::default()).iter().take(3) {
+        println!("  {} (supp {:.3}, conf {:.2})", smd.md, smd.support, smd.confidence);
+    }
+
+    println!("\n== NED discovery (r6, target: street closeness) ==");
+    let target = vec![NedAtom::new(s6.id("street"), Metric::Levenshtein, 5.0)];
+    if let Some(n) = ned::discover_lhs(&r6, target, &ned::NedConfig::default()) {
+        println!("  {n}");
+    }
+
+    println!("\n== FFD mining (r6) ==");
+    for f in ffd::discover(&r6, &ffd::FfdConfig::default()).iter().take(4) {
+        println!("  {f}");
+    }
+
+    println!("\n== FASTOD-lite (r7) ==");
+    for od in od::discover(&r7, &od::OdConfig::default()).iter().take(5) {
+        println!("  {od}");
+    }
+
+    println!("\n== FASTDC (r7) ==");
+    let d = dc::discover(&r7, &dc::DcConfig::default());
+    println!(
+        "{} predicates, {} evidence sets, {} minimal DCs; e.g.:",
+        d.stats.n_predicates,
+        d.stats.n_evidence_sets,
+        d.dcs.len()
+    );
+    for dc_rule in d.dcs.iter().take(3) {
+        println!("  {dc_rule}");
+    }
+
+    println!("\n== SD suggestion + CSD tableau DP (r7) ==");
+    let s7 = r7.schema();
+    if let Some(sd_rule) = sd::discover_sd(&r7, s7.id("nights"), s7.id("subtotal"), 0.9) {
+        println!("  {sd_rule} (confidence {:.2})", sd_rule.confidence(&r7));
+    }
+
+    println!("\n== NUD minimal-weight fitting (r5) ==");
+    for n in nud::discover(&r5, &nud::NudConfig::default()).iter().take(3) {
+        println!("  {n}");
+    }
+
+    println!("\n== eCFD condition mining (r5) ==");
+    for e in ecfd::discover(&r5, &ecfd::ECfdConfig::default()).iter().take(3) {
+        println!("  {e}");
+    }
+
+    println!("\n== CDD / CMD discovery over frequent conditions (r6) ==");
+    for c in conditional::discover_cdds(&r6, &conditional::ConditionalConfig::default()).iter().take(2) {
+        println!("  {c}");
+    }
+    for c in conditional::discover_cmds(&r6, AttrSet::single(s6.id("zip")), &conditional::ConditionalConfig::default()).iter().take(2) {
+        println!("  {c}");
+    }
+
+    println!("\n== Pay-as-you-go CD discovery (dataspace) ==");
+    let ds = deptree::relation::examples::dataspace_cd();
+    let dss = ds.schema();
+    let known = vec![deptree::core::SimFn::new(
+        dss.id("region"), dss.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0,
+    )];
+    let newly = deptree::core::SimFn::new(dss.id("addr"), dss.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0);
+    for c in cd::discover_incremental(&ds, &known, &newly, &cd::CdConfig::default()).iter().take(2) {
+        println!("  {c}");
+    }
+
+    println!("\n== PAC-Man template instantiation (r6) ==");
+    let template = pacman::PacTemplate {
+        lhs: vec![s6.id("price")],
+        rhs: vec![s6.id("tax")],
+    };
+    if let Some(p) = pacman::instantiate(&r6, &template, &pacman::PacManConfig::default()) {
+        println!("  fitted: {p}; alarms now: {}", pacman::alarm(&r6, &p));
+    }
+
+    println!("\n== FHD / AMVD / OFD scheme discovery (r7) ==");
+    for o in schemes::discover_ofds(&r7).iter().take(3) {
+        println!("  {o}");
+    }
+}

@@ -1,0 +1,84 @@
+//! The survey's §5 "future directions", implemented: FDs over uncertain
+//! data (possible-worlds and or-set readings) and speed constraints over
+//! timestamped sensor streams.
+//!
+//! ```sh
+//! cargo run --example emerging_data
+//! ```
+
+use deptree::core::uncertain::{
+    holds_in_all_worlds, holds_in_some_world, holds_vertically, UncertainRelation,
+};
+use deptree::core::Fd;
+use deptree::quality::stream::{screen_repair, speed_violations, SpeedConstraint};
+use deptree::relation::{RelationBuilder, Schema, ValueType};
+
+fn main() {
+    uncertain();
+    streams();
+}
+
+/// §5.1: an uncertain hotel relation where one region is ambiguous between
+/// the two representation formats — fd1 becomes *possible* but not
+/// *certain*.
+fn uncertain() {
+    println!("=== §5.1 Uncertain data: horizontal & vertical FDs ===");
+    let schema = Schema::from_attrs([
+        ("address", ValueType::Text),
+        ("region", ValueType::Text),
+    ]);
+    let mut u = UncertainRelation::new(schema);
+    u.push_row(vec![
+        vec!["6030 Gateway Boulevard E".into()],
+        vec!["El Paso".into()],
+    ])
+    .unwrap();
+    u.push_row(vec![
+        vec!["6030 Gateway Boulevard E".into()],
+        vec!["El Paso".into(), "El Paso, TX".into()],
+    ])
+    .unwrap();
+    let fd = Fd::parse(u.schema(), "address -> region").unwrap();
+    println!("{} possible worlds", u.n_worlds());
+    println!("certain  (holds in all worlds): {}", holds_in_all_worlds(&u, &fd, 64));
+    println!("possible (holds in some world): {}", holds_in_some_world(&u, &fd, 64));
+    println!("vertical (or-sets as values):   {}", holds_vertically(&u, &fd));
+    println!();
+}
+
+/// §5.3: a sensor stream with irregular timestamps and one spike; a speed
+/// constraint localizes it and the SCREEN-style repair fixes it with one
+/// cell change.
+fn streams() {
+    println!("=== §5.3 Temporal data: speed constraints ===");
+    let r = RelationBuilder::new()
+        .attr("ts", ValueType::Numeric)
+        .attr("temp", ValueType::Numeric)
+        .row(vec![0.into(), 20.0.into()])
+        .row(vec![2.into(), 21.0.into()])
+        .row(vec![3.into(), 90.0.into()]) // spike
+        .row(vec![7.into(), 23.0.into()])
+        .row(vec![10.into(), 24.0.into()])
+        .build()
+        .unwrap();
+    let s = r.schema();
+    let sc = SpeedConstraint::symmetric(2.0);
+    println!("speed constraint: |d(temp)/d(ts)| ≤ 2");
+    for (i, j, rate) in speed_violations(&r, s.id("ts"), s.id("temp"), sc) {
+        println!("  rows {i}→{j}: rate {rate:.2} out of bounds");
+    }
+    let (fixed, changed) = screen_repair(&r, s.id("ts"), s.id("temp"), sc);
+    println!(
+        "repair changed {} cell(s); remaining violations: {}",
+        changed.len(),
+        speed_violations(&fixed, s.id("ts"), s.id("temp"), sc).len()
+    );
+    for row in 0..fixed.n_rows() {
+        println!(
+            "  ts={} temp {} -> {}",
+            fixed.value(row, s.id("ts")),
+            r.value(row, s.id("temp")),
+            fixed.value(row, s.id("temp"))
+        );
+    }
+}

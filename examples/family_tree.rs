@@ -1,0 +1,58 @@
+//! The survey's own artifacts: the family tree of extensions (Fig. 1A)
+//! with empirical verification of every edge, the publication bar chart
+//! (Fig. 1B), the timeline (Fig. 2) and the discovery-complexity landscape
+//! (Fig. 3).
+//!
+//! ```sh
+//! cargo run --example family_tree
+//! ```
+
+use deptree::core::familytree::{registry, verify_all_edges, ExtensionGraph};
+
+fn main() {
+    let graph = ExtensionGraph::survey();
+
+    println!("=== Fig. 1A: the family tree of extensions ===");
+    print!("{}", graph.to_ascii());
+
+    println!("\n=== Edge verification (special ⇒/⇔ general on example instances) ===");
+    let reports = verify_all_edges();
+    let mut ok = 0;
+    for rep in &reports {
+        if rep.ok() {
+            ok += 1;
+        } else {
+            println!(
+                "  FAILED {:?}: {}/{} instances",
+                rep.edge, rep.agreed, rep.instances
+            );
+        }
+    }
+    println!("{ok}/{} edges verified empirically", reports.len());
+
+    println!("\n=== Fig. 1B: publications using each notation ===");
+    let mut infos: Vec<_> = registry::REGISTRY.iter().collect();
+    infos.sort_by_key(|n| std::cmp::Reverse(n.publications));
+    for info in infos.iter().filter(|n| n.kind != deptree::core::DepKind::Fd) {
+        let bar = "█".repeat((info.publications / 12).max(1) as usize);
+        println!("{:6} {:5} {}", info.kind.acronym(), info.publications, bar);
+    }
+
+    println!("\n=== Fig. 2: timeline of proposals ===");
+    for (year, kind) in registry::timeline() {
+        println!("{year}  {}", kind.acronym());
+    }
+
+    println!("\n=== Fig. 3: discovery-problem difficulty ===");
+    for info in &registry::REGISTRY {
+        println!(
+            "{:6} {:20} — {}",
+            info.kind.acronym(),
+            info.discovery.to_string(),
+            info.complexity_note
+        );
+    }
+
+    println!("\n=== GraphViz (pipe into `dot -Tsvg`) ===");
+    println!("{}", graph.to_dot());
+}

@@ -1,0 +1,113 @@
+//! Numerical-data workflows (survey §4): order dependencies and denial
+//! constraints on the hotel-rates relation, the network-polling sequential
+//! dependency, CSD tableau discovery on regime-switching data, and
+//! gap-constrained stream repair.
+//!
+//! ```sh
+//! cargo run --example numerical_orders
+//! ```
+
+use deptree::core::{CmpOp, Dc, Dependency, Direction, Interval, Od, Predicate, Sd};
+use deptree::discovery::{od as od_discovery, sd as sd_discovery};
+use deptree::quality::repair;
+use deptree::relation::examples::hotels_r7;
+use deptree::synth::{numerical, SequenceConfig};
+
+fn main() {
+    rates();
+    polling();
+    regimes_and_repair();
+}
+
+fn rates() {
+    let r = hotels_r7();
+    println!("=== Hotel rates (Table 7) ===\n{}", r.to_ascii_table());
+    let s = r.schema();
+
+    // od1: the longer you stay, the cheaper the night.
+    let od1 = Od::new(
+        s,
+        vec![(s.id("nights"), Direction::Asc)],
+        vec![(s.id("avg/night"), Direction::Desc)],
+    );
+    println!("{od1} holds: {}", od1.holds(&r));
+
+    // dc1: a lower subtotal never pays more taxes.
+    let dc1 = Dc::new(
+        s,
+        vec![
+            Predicate::across(s.id("subtotal"), CmpOp::Lt, s.id("subtotal")),
+            Predicate::across(s.id("taxes"), CmpOp::Gt, s.id("taxes")),
+        ],
+    );
+    println!("{dc1} holds: {}", dc1.holds(&r));
+
+    // sd1: subtotal rises 100–200 per extra night.
+    let sd1 = Sd::new(s, s.id("nights"), s.id("subtotal"), Interval::new(100.0, 200.0));
+    println!("{sd1} holds: {}", sd1.holds(&r));
+
+    // Discover all single-attribute ODs.
+    let found = od_discovery::discover(&r, &od_discovery::OdConfig::default());
+    println!("discovered {} ODs, e.g.:", found.len());
+    for od in found.iter().take(4) {
+        println!("  {od}");
+    }
+    println!();
+}
+
+/// §4.4.4: auditing a collector that should poll every ~10 seconds.
+fn polling() {
+    let cfg = SequenceConfig {
+        n_rows: 500,
+        regimes: vec![(9.0, 11.0)],
+        spike_rate: 0.02,
+        seed: 99,
+    };
+    let data = numerical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let s = data.relation.schema();
+    let sd = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0));
+    let violations = sd.violations(&data.relation);
+    println!("=== Polling audit (SD: pollnum →[9,11] time) ===");
+    println!(
+        "{} polls, {} gap violations (planted: {}), confidence {:.3}",
+        data.relation.n_rows(),
+        violations.len(),
+        data.spike_steps.len(),
+        sd.confidence(&data.relation)
+    );
+    println!();
+}
+
+/// Regime-switching data: a single SD cannot describe both periods; the
+/// CSD tableau DP carves out where each gap band holds. Then repair the
+/// out-of-band spikes.
+fn regimes_and_repair() {
+    let cfg = SequenceConfig {
+        n_rows: 400,
+        regimes: vec![(1.0, 2.0), (10.0, 12.0)],
+        spike_rate: 0.03,
+        seed: 123,
+    };
+    let data = numerical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let s = data.relation.schema();
+    println!("=== Regime-switching sequence: CSD tableau ===");
+    for (band, name) in [(Interval::new(1.0, 2.0), "slow regime"), (Interval::new(10.0, 12.0), "fast regime")] {
+        let csd = sd_discovery::csd_tableau(&data.relation, s.id("seq"), s.id("y"), band, 0.9);
+        let covered = sd_discovery::tableau_covered_steps(&data.relation, &csd);
+        println!(
+            "gap {band} ({name}): tableau rows={} covered steps={covered}",
+            csd.tableau().len()
+        );
+    }
+
+    // Repair the fast regime's stream under its gap constraint.
+    let fast_rows: Vec<usize> = (200..400).collect();
+    let fast = data.relation.select_rows(&fast_rows);
+    let sd = Sd::new(fast.schema(), s.id("seq"), s.id("y"), Interval::new(10.0, 12.0));
+    let before = sd.violations(&fast).len();
+    let (repaired, changes) = repair::repair_sequence(&fast, &sd);
+    println!(
+        "fast-regime repair: {before} violations before, {} after, {changes} cells changed",
+        sd.violations(&repaired).len()
+    );
+}

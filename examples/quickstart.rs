@@ -1,0 +1,55 @@
+//! Quickstart: declare rules, check them, find violations, discover rules
+//! from data — five minutes with the deptree API.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use deptree::core::{Dependency, Fd, Md};
+use deptree::discovery::tane::{self, TaneConfig};
+use deptree::metrics::Metric;
+use deptree::quality::repair;
+use deptree::relation::examples::hotels_r1;
+use deptree::relation::AttrSet;
+
+fn main() {
+    // 1. A relation instance: Table 1 of the survey.
+    let hotels = hotels_r1();
+    println!("The hotel relation (Table 1):\n{}", hotels.to_ascii_table());
+
+    // 2. Declare the paper's fd1: address → region, and check it.
+    let fd1 = Fd::parse(hotels.schema(), "address -> region").expect("attrs exist");
+    println!("{fd1} holds: {}", fd1.holds(&hotels));
+    for v in fd1.violations(&hotels) {
+        println!("  violated by tuples t{} and t{}", v.rows[0] + 1, v.rows[1] + 1);
+    }
+
+    // 3. The equality trap: "Chicago" vs "Chicago, IL" is variety, not an
+    //    error. A matching dependency with similarity on address also
+    //    catches the t7/t8 error fd1 misses.
+    let s = hotels.schema();
+    let md = Md::new(
+        s,
+        vec![(s.id("address"), Metric::Levenshtein, 4.0)],
+        AttrSet::single(s.id("region")),
+    );
+    println!("\n{md}");
+    for v in md.violations(&hotels) {
+        println!("  flags t{} / t{}", v.rows[0] + 1, v.rows[1] + 1);
+    }
+
+    // 4. Repair: modal-value merging restores consistency.
+    let result = repair::repair_fds(&hotels, std::slice::from_ref(&fd1), 5);
+    println!(
+        "\nRepaired with {} change(s); fd1 now holds: {}",
+        result.changes.len(),
+        fd1.holds(&result.relation)
+    );
+
+    // 5. Discovery: what minimal FDs hold in the (repaired) data?
+    let found = tane::discover(&result.relation, &TaneConfig::default());
+    println!("\nTANE finds {} minimal FDs, e.g.:", found.fds.len());
+    for fd in found.fds.iter().take(5) {
+        println!("  {fd}");
+    }
+}

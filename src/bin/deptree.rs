@@ -1,0 +1,187 @@
+//! `deptree` — command-line data-dependency profiler and cleaner.
+//!
+//! ```text
+//! deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]
+//! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...]
+//! deptree repair  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--out repaired.csv]
+//! deptree tree
+//! ```
+//!
+//! Column types: `c` categorical, `t` text, `n` numeric (default: all
+//! categorical). `profile` runs approximate-FD, soft-FD, OD and DC
+//! discovery and prints a report; `detect`/`repair` work with one FD-style
+//! rule.
+
+use deptree::core::{Dependency, Fd};
+use deptree::discovery::{cords, dc, od, tane};
+use deptree::quality::repair;
+use deptree::relation::{parse_csv, to_csv, Relation, ValueType};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]");
+            eprintln!("  deptree detect  <file.csv> --rule \"a, b -> c\" [--types ...]");
+            eprintln!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
+            eprintln!("  deptree tree");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("profile") => profile(&args[1..]),
+        Some("detect") => detect(&args[1..]),
+        Some("repair") => repair_cmd(&args[1..]),
+        Some("tree") => {
+            print!(
+                "{}",
+                deptree::core::familytree::ExtensionGraph::survey().to_ascii()
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(args: &[String]) -> Result<Relation, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
+        .ok_or("no input CSV given")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let header_cols = text
+        .lines()
+        .next()
+        .ok_or("empty file")?
+        .split(',')
+        .count();
+    let types: Vec<ValueType> = match flag(args, "--types") {
+        Some(spec) => spec
+            .split(',')
+            .map(|t| match t.trim() {
+                "c" => Ok(ValueType::Categorical),
+                "t" => Ok(ValueType::Text),
+                "n" => Ok(ValueType::Numeric),
+                other => Err(format!("unknown type `{other}` (use c, t or n)")),
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![ValueType::Categorical; header_cols],
+    };
+    parse_csv(&text, &types).map_err(|e| e.to_string())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let r = load(args)?;
+    let max_lhs: usize = flag(args, "--max-lhs")
+        .map(|v| v.parse().map_err(|_| "bad --max-lhs"))
+        .transpose()?
+        .unwrap_or(2);
+    let error: f64 = flag(args, "--error")
+        .map(|v| v.parse().map_err(|_| "bad --error"))
+        .transpose()?
+        .unwrap_or(0.0);
+
+    println!("{} rows × {} columns", r.n_rows(), r.n_attrs());
+    println!();
+
+    let kind = if error > 0.0 { "approximate FDs" } else { "exact FDs" };
+    let t = tane::discover(&r, &tane::TaneConfig { max_lhs, max_error: error });
+    println!("== {kind} (TANE, max LHS {max_lhs}) — {} found ==", t.fds.len());
+    for fd in t.fds.iter().take(25) {
+        println!("  {fd}");
+    }
+    if t.fds.len() > 25 {
+        println!("  … and {} more", t.fds.len() - 25);
+    }
+
+    let c = cords::discover(
+        &r,
+        &cords::CordsConfig {
+            min_strength: 0.8,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\n== soft FDs (CORDS, strength ≥ 0.8 on {}-row sample) — {} found ==",
+        c.sampled_rows,
+        c.sfds.len()
+    );
+    for sfd in c.sfds.iter().take(10) {
+        println!("  {sfd} (strength {:.2})", sfd.strength(&r));
+    }
+
+    let numeric = r
+        .schema()
+        .iter()
+        .filter(|(_, a)| a.ty == ValueType::Numeric)
+        .count();
+    if numeric >= 2 {
+        let ods = od::discover(&r, &od::OdConfig::default());
+        println!("\n== order dependencies — {} found ==", ods.len());
+        for o in ods.iter().take(10) {
+            println!("  {o}");
+        }
+        if r.n_rows() <= 500 {
+            let d = dc::discover(&r, &dc::DcConfig::default());
+            println!("\n== denial constraints (FASTDC) — {} found ==", d.dcs.len());
+            for rule in d.dcs.iter().take(10) {
+                println!("  {rule}");
+            }
+        } else {
+            println!("\n(skipping FASTDC: {} rows > 500; sample the file first)", r.n_rows());
+        }
+    }
+    Ok(())
+}
+
+fn parse_rule(args: &[String], r: &Relation) -> Result<Fd, String> {
+    let rule = flag(args, "--rule").ok_or("missing --rule \"lhs -> rhs\"")?;
+    Fd::parse(r.schema(), &rule).ok_or_else(|| format!("cannot parse rule `{rule}` against the header"))
+}
+
+fn detect(args: &[String]) -> Result<(), String> {
+    let r = load(args)?;
+    let fd = parse_rule(args, &r)?;
+    let violations = fd.violations(&r);
+    println!("{fd}: {} violation witness(es), g3 = {:.4}", violations.len(), fd.g3(&r));
+    for v in violations.iter().take(50) {
+        let rows: Vec<String> = v.rows.iter().map(|row| format!("#{}", row + 1)).collect();
+        println!("  rows {}", rows.join(" / "));
+    }
+    if violations.len() > 50 {
+        println!("  … and {} more", violations.len() - 50);
+    }
+    Ok(())
+}
+
+fn repair_cmd(args: &[String]) -> Result<(), String> {
+    let r = load(args)?;
+    let fd = parse_rule(args, &r)?;
+    let result = repair::repair_fds(&r, std::slice::from_ref(&fd), 10);
+    println!(
+        "repaired in {} iteration(s), {} cell(s) changed; rule now holds: {}",
+        result.iterations,
+        result.changes.len(),
+        fd.holds(&result.relation)
+    );
+    let out = flag(args, "--out").unwrap_or_else(|| "repaired.csv".into());
+    std::fs::write(&out, to_csv(&result.relation)).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}

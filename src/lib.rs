@@ -1,0 +1,43 @@
+//! # deptree — a family tree of data dependencies
+//!
+//! A from-scratch Rust reproduction of *"Data Dependencies Extended for
+//! Variety and Veracity: A Family Tree"* (Song, Gao, Huang & Wang): every
+//! dependency notation the survey covers, the extension graph relating
+//! them, a discovery algorithm per notation, and the data-quality
+//! applications of Table 3.
+//!
+//! This crate is the façade: it re-exports the workspace members under
+//! stable module names.
+//!
+//! ```
+//! use deptree::core::{Dependency, Fd};
+//! use deptree::relation::examples::hotels_r1;
+//!
+//! let hotels = hotels_r1();
+//! let rule = Fd::parse(hotels.schema(), "address -> region").unwrap();
+//! assert!(!rule.holds(&hotels)); // Table 1's t3/t4 error
+//! ```
+//!
+//! ## Map of the workspace
+//!
+//! * [`relation`] — schemas, values, relations, partitions, the paper's
+//!   example instances;
+//! * [`metrics`] — distance metrics, differential functions, fuzzy
+//!   resemblance relations;
+//! * [`core`] — the 24 dependency notations and the family tree
+//!   ([`core::familytree`]);
+//! * [`synth`] — workload generators with planted rules and ground truth;
+//! * [`discovery`] — TANE, FastFD, CORDS, CFDMiner/CTANE, FASTDC,
+//!   FASTOD-lite, the CSD tableau DP, and friends;
+//! * [`quality`] — violation detection, repairing, deduplication,
+//!   imputation, consistent query answering, normalization, optimizer
+//!   statistics, fairness repair.
+
+#![warn(missing_docs)]
+
+pub use deptree_core as core;
+pub use deptree_discovery as discovery;
+pub use deptree_metrics as metrics;
+pub use deptree_quality as quality;
+pub use deptree_relation as relation;
+pub use deptree_synth as synth;

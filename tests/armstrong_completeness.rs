@@ -1,0 +1,117 @@
+//! Discovery completeness via Armstrong relations: TANE/FastFD run on an
+//! Armstrong relation of Σ must return a minimal cover *logically
+//! equivalent* to Σ — the strongest black-box correctness check available
+//! for FD discovery.
+
+use deptree::core::Fd;
+use deptree::discovery::{fastfd, tane};
+use deptree::quality::normalize;
+use deptree::relation::{AttrId, AttrSet};
+use deptree::synth::armstrong::armstrong_relation;
+
+fn sigma_to_fds(
+    schema: &deptree::relation::Schema,
+    sigma: &[(AttrSet, AttrSet)],
+) -> Vec<Fd> {
+    sigma
+        .iter()
+        .map(|&(l, r)| Fd::new(schema, l, r))
+        .collect()
+}
+
+fn check_sigma(n_attrs: usize, sigma: Vec<(AttrSet, AttrSet)>) {
+    let r = armstrong_relation(n_attrs, &sigma);
+    let expected = sigma_to_fds(r.schema(), &sigma);
+
+    let t = tane::discover(
+        &r,
+        &tane::TaneConfig {
+            max_lhs: n_attrs,
+            max_error: 0.0,
+        },
+    );
+    assert!(
+        normalize::equivalent(&t.fds, &expected),
+        "TANE cover {:?} not equivalent to Σ {:?}",
+        t.fds.iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+        expected.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+
+    let f = fastfd::discover(&r);
+    assert!(
+        normalize::equivalent(&f.fds, &expected),
+        "FastFD cover not equivalent to Σ"
+    );
+}
+
+#[test]
+fn chain_dependencies() {
+    check_sigma(
+        4,
+        vec![
+            (AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1))),
+            (AttrSet::single(AttrId(1)), AttrSet::single(AttrId(2))),
+            (AttrSet::single(AttrId(2)), AttrSet::single(AttrId(3))),
+        ],
+    );
+}
+
+#[test]
+fn diamond_dependencies() {
+    check_sigma(
+        4,
+        vec![
+            (AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1))),
+            (AttrSet::single(AttrId(0)), AttrSet::single(AttrId(2))),
+            (
+                AttrSet::from_ids([AttrId(1), AttrId(2)]),
+                AttrSet::single(AttrId(3)),
+            ),
+        ],
+    );
+}
+
+#[test]
+fn compound_determinants() {
+    check_sigma(
+        5,
+        vec![
+            (
+                AttrSet::from_ids([AttrId(0), AttrId(1)]),
+                AttrSet::single(AttrId(2)),
+            ),
+            (
+                AttrSet::from_ids([AttrId(2), AttrId(3)]),
+                AttrSet::single(AttrId(4)),
+            ),
+        ],
+    );
+}
+
+#[test]
+fn empty_sigma() {
+    check_sigma(3, vec![]);
+}
+
+#[test]
+fn key_dependency() {
+    check_sigma(
+        4,
+        vec![(
+            AttrSet::single(AttrId(0)),
+            AttrSet::full(4).remove(AttrId(0)),
+        )],
+    );
+}
+
+#[test]
+fn cyclic_equivalence() {
+    // A0 ↔ A1 (mutual determination).
+    check_sigma(
+        3,
+        vec![
+            (AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1))),
+            (AttrSet::single(AttrId(1)), AttrSet::single(AttrId(0))),
+        ],
+    );
+}

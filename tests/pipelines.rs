@@ -1,0 +1,164 @@
+//! End-to-end pipelines across crates: generate → discover → detect →
+//! repair → verify, for each data-type branch of the survey.
+
+use deptree::core::{Dependency, Fd, Interval, Sd};
+use deptree::discovery::{md as md_disc, sd as sd_disc, tane};
+use deptree::quality::{dedup, detect, repair};
+use deptree::relation::AttrSet;
+use deptree::synth::{categorical, entities, numerical, CategoricalConfig, EntitiesConfig, SequenceConfig};
+
+/// Categorical pipeline: plant FDs + errors, rediscover the rules with
+/// approximate TANE, detect, repair, and confirm the exact rules hold.
+#[test]
+fn categorical_discover_detect_repair() {
+    let cfg = CategoricalConfig {
+        n_rows: 600,
+        n_key_attrs: 2,
+        n_dep_attrs: 2,
+        domain: 25,
+        error_rate: 0.02,
+        seed: 1001,
+    };
+    let data = categorical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let r = &data.relation;
+
+    // 1. Discover approximate FDs tolerant to the injected noise.
+    let found = tane::discover(r, &tane::TaneConfig { max_lhs: 2, max_error: 0.05 });
+    // The planted single-attribute rules are among them.
+    for &(lhs, rhs) in &data.planted_fds {
+        assert!(
+            found.fds.iter().any(|fd| fd.lhs() == AttrSet::single(lhs)
+                && fd.rhs() == AttrSet::single(rhs)),
+            "planted FD missing from discovery"
+        );
+    }
+
+    // 2. Use the planted rules for detection + scoring.
+    let rules: Vec<Box<dyn Dependency>> = data
+        .planted_fds
+        .iter()
+        .map(|&(l, rh)| {
+            Box::new(Fd::new(r.schema(), AttrSet::single(l), AttrSet::single(rh)))
+                as Box<dyn Dependency>
+        })
+        .collect();
+    let report = detect::run(r, &rules);
+    let score = detect::score_cells(&report, &data.dirty_cells);
+    assert!(score.recall > 0.8, "{score:?}");
+
+    // 3. Repair and verify.
+    let fds: Vec<Fd> = data
+        .planted_fds
+        .iter()
+        .map(|&(l, rh)| Fd::new(r.schema(), AttrSet::single(l), AttrSet::single(rh)))
+        .collect();
+    let repaired = repair::repair_fds(r, &fds, 10);
+    for fd in &fds {
+        assert!(fd.holds(&repaired.relation), "{fd} after repair");
+    }
+    // Repair touched roughly the dirty cells, not the whole table.
+    assert!(repaired.changes.len() < data.dirty_cells.len() * 3);
+}
+
+/// Heterogeneous pipeline: generate duplicate entities with variety,
+/// discover matching rules, cluster, and score.
+#[test]
+fn heterogeneous_discover_and_dedup() {
+    let cfg = EntitiesConfig {
+        n_entities: 80,
+        max_duplicates: 3,
+        variety: 0.5,
+        error_rate: 0.0,
+        seed: 1002,
+    };
+    let data = entities::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let r = &data.relation;
+    let s = r.schema();
+
+    let candidates = md_disc::discover(
+        r,
+        AttrSet::single(s.id("zip")),
+        &md_disc::MdConfig {
+            min_support: 0.0001,
+            min_confidence: 0.9,
+            thresholds_per_attr: 3,
+            max_lhs: 1,
+        },
+    );
+    assert!(!candidates.is_empty());
+
+    let truth = data.cluster.clone();
+    let keys = md_disc::concise_matching_keys(
+        r,
+        &candidates,
+        &move |i, j| truth[i] == truth[j],
+        0.7,
+    );
+    let mds: Vec<_> = keys.iter().map(|k| k.md.clone()).collect();
+    let clustering = dedup::cluster(r, &mds);
+    let (precision, recall) = dedup::pairwise_score(&clustering, &data.cluster);
+    assert!(precision > 0.8, "precision {precision}");
+    assert!(recall > 0.5, "recall {recall}");
+}
+
+/// Numerical pipeline: regime data with spikes → discover the per-regime
+/// CSD tableau → repair the stream → the global SD holds on each scope.
+#[test]
+fn numerical_csd_discover_and_repair() {
+    let cfg = SequenceConfig {
+        n_rows: 300,
+        regimes: vec![(9.0, 11.0)],
+        spike_rate: 0.04,
+        seed: 1003,
+    };
+    let data = numerical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let r = &data.relation;
+    let s = r.schema();
+
+    // Suggest a gap band from the data itself.
+    let suggested = sd_disc::suggest_gap(r, s.id("seq"), s.id("y"), 0.05, 0.95).unwrap();
+    assert!(suggested.lo() >= 9.0 - 1e-9, "{suggested}");
+    assert!(suggested.hi() <= 11.0 + 1e-9, "{suggested}");
+
+    // The strict SD fails because of spikes; repair fixes it.
+    let sd = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0));
+    assert!(!sd.holds(r));
+    let (repaired, changes) = repair::repair_sequence(r, &sd);
+    assert!(sd.holds(&repaired));
+    assert!(changes > 0);
+
+    // CSD tableau with confidence slack covers nearly all steps.
+    let csd = sd_disc::csd_tableau(r, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0), 0.85);
+    let covered = sd_disc::tableau_covered_steps(r, &csd);
+    let clean_steps = (r.n_rows() - 1) - data.spike_steps.len();
+    assert!(
+        covered as f64 >= 0.9 * clean_steps as f64,
+        "covered {covered} of {clean_steps} clean steps"
+    );
+}
+
+/// Deletion repair generalizes across notations: mix FD + SD rules on one
+/// relation and reach a consistent subinstance.
+#[test]
+fn mixed_rule_deletion_repair() {
+    let cfg = SequenceConfig {
+        n_rows: 80,
+        regimes: vec![(9.0, 11.0)],
+        spike_rate: 0.05,
+        seed: 1004,
+    };
+    let data = numerical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
+    let s = data.relation.schema();
+    let rules: Vec<Box<dyn Dependency>> = vec![Box::new(Sd::new(
+        s,
+        s.id("seq"),
+        s.id("y"),
+        Interval::new(9.0, 11.0),
+    ))];
+    let result = repair::deletion_repair(&data.relation, &rules);
+    for rule in &rules {
+        assert!(rule.holds(&result.relation));
+    }
+    assert!(result.relation.n_rows() + result.deleted.len() == data.relation.n_rows());
+    assert!(!result.deleted.is_empty());
+}
