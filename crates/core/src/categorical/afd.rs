@@ -64,7 +64,12 @@ impl Dependency for Afd {
 
 impl fmt::Display for Afd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AFD(g3≤{}): {}", self.epsilon, &self.embedded.to_string()[4..])
+        write!(
+            f,
+            "AFD(g3≤{}): {}",
+            self.epsilon,
+            &self.embedded.to_string()[4..]
+        )
     }
 }
 

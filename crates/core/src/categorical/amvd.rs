@@ -69,7 +69,12 @@ impl Dependency for Amvd {
 
 impl fmt::Display for Amvd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AMVD(ε≤{}): {}", self.epsilon, &self.embedded.to_string()[5..])
+        write!(
+            f,
+            "AMVD(ε≤{}): {}",
+            self.epsilon,
+            &self.embedded.to_string()[5..]
+        )
     }
 }
 
@@ -102,7 +107,11 @@ mod tests {
 
     fn mvd(r: &Relation) -> Mvd {
         let s = r.schema();
-        Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")))
+        Mvd::new(
+            s,
+            AttrSet::single(s.id("course")),
+            AttrSet::single(s.id("teacher")),
+        )
     }
 
     #[test]

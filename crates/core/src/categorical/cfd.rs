@@ -232,7 +232,10 @@ impl Dependency for Cfd {
         // Pairwise violations within equal-X groups.
         let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for &row in &matching {
-            groups.entry(r.project_row(row, self.lhs)).or_default().push(row);
+            groups
+                .entry(r.project_row(row, self.lhs))
+                .or_default()
+                .push(row);
         }
         for rows in groups.values() {
             let mut reps: HashMap<Vec<Value>, usize> = HashMap::new();
@@ -279,15 +282,30 @@ impl CfdTableau {
     /// Assemble a tableau from pattern rows over a shared embedded FD.
     ///
     /// # Panics
-    /// Panics if `rows` is empty or the rows disagree on the embedded FD.
+    /// Panics if `rows` is empty or the rows disagree on the embedded FD;
+    /// use [`CfdTableau::try_new`] for a fallible variant.
     pub fn new(rows: Vec<Cfd>) -> Self {
-        let first = rows.first().expect("tableau needs at least one row");
+        match Self::try_new(rows) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CfdTableau::new`]: errors instead of panicking when the
+    /// row set is empty or the rows disagree on the embedded FD.
+    pub fn try_new(rows: Vec<Cfd>) -> crate::error::Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(crate::error::DeptreeError::InvalidConfig(
+                "tableau needs at least one row".into(),
+            ));
+        };
         let (lhs, rhs) = (first.lhs(), first.rhs());
-        assert!(
-            rows.iter().all(|c| c.lhs() == lhs && c.rhs() == rhs),
-            "tableau rows must share the embedded FD"
-        );
-        CfdTableau { lhs, rhs, rows }
+        if !rows.iter().all(|c| c.lhs() == lhs && c.rhs() == rhs) {
+            return Err(crate::error::DeptreeError::InvalidConfig(
+                "tableau rows must share the embedded FD".into(),
+            ));
+        }
+        Ok(CfdTableau { lhs, rhs, rows })
     }
 
     /// The embedded FD's determinant.
@@ -391,7 +409,9 @@ mod tests {
         for r in [hotels_r1(), hotels_r5()] {
             let s = r.schema();
             for text in ["name -> address", "address -> region", "name -> region"] {
-                let Some(fd) = Fd::parse(s, text) else { continue };
+                let Some(fd) = Fd::parse(s, text) else {
+                    continue;
+                };
                 let cfd = Cfd::from_fd(s, &fd);
                 assert_eq!(fd.holds(&r), cfd.holds(&r), "{text}");
                 assert_eq!(fd.violations(&r).len(), cfd.violations(&r).len(), "{text}");

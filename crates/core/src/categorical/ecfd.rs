@@ -80,10 +80,16 @@ impl ECfd {
         };
         let fmt_side = |set: AttrSet| {
             set.iter()
-                .map(|a| format!("{}{}", schema.name(a), {
-                    let c = cell_of(a);
-                    if c == "_" { "=_".to_owned() } else { format!(" {c}") }
-                }))
+                .map(|a| {
+                    format!("{}{}", schema.name(a), {
+                        let c = cell_of(a);
+                        if c == "_" {
+                            "=_".to_owned()
+                        } else {
+                            format!(" {c}")
+                        }
+                    })
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         };
@@ -169,7 +175,10 @@ impl Dependency for ECfd {
         // Pairwise equality on RHS within equal-X groups.
         let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for &row in &matching {
-            groups.entry(r.project_row(row, self.lhs)).or_default().push(row);
+            groups
+                .entry(r.project_row(row, self.lhs))
+                .or_default()
+                .push(row);
         }
         for rows in groups.values() {
             let mut reps: HashMap<Vec<Value>, usize> = HashMap::new();
@@ -289,7 +298,10 @@ mod tests {
             AttrSet::single(s.id("region")),
             vec![
                 (s.id("rate"), PatternOp::Cmp(CmpOp::Leq, Value::int(200))),
-                (s.id("region"), PatternOp::Cmp(CmpOp::Eq, Value::str("El Paso"))),
+                (
+                    s.id("region"),
+                    PatternOp::Cmp(CmpOp::Eq, Value::str("El Paso")),
+                ),
             ],
         );
         assert!(!e.holds(&r));

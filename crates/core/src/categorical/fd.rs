@@ -113,19 +113,17 @@ impl Dependency for Fd {
             // violate pairwise; report one witness per subgroup pair using
             // the smallest row of each subgroup.
             let sub = r.select_rows(rows);
+            // `select_rows` keeps attribute names, so every lookup hits;
+            // filter_map is defensive rather than a reachable skip.
             let sub_schema_rhs: AttrSet = self
                 .rhs
                 .iter()
-                .map(|a| {
-                    sub.schema()
-                        .attr_id(r.schema().name(a))
-                        .expect("projection keeps names")
-                })
+                .filter_map(|a| sub.schema().attr_id(r.schema().name(a)))
                 .collect();
             let mut reps: Vec<usize> = sub
                 .group_by(sub_schema_rhs)
                 .values()
-                .map(|g| rows[*g.iter().min().expect("non-empty group")])
+                .filter_map(|g| g.iter().min().map(|m| rows[*m]))
                 .collect();
             reps.sort_unstable();
             for i in 0..reps.len() {

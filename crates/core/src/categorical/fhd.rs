@@ -71,7 +71,9 @@ impl Fhd {
     pub fn rest(&self, r: &Relation) -> AttrSet {
         self.ys
             .iter()
-            .fold(r.all_attrs().difference(self.x), |acc, &y| acc.difference(y))
+            .fold(r.all_attrs().difference(self.x), |acc, &y| {
+                acc.difference(y)
+            })
     }
 
     /// Spurious tuples introduced by the k-way decomposition join:
@@ -167,7 +169,10 @@ mod tests {
         let fhd = Fhd::new(
             s,
             AttrSet::single(s.id("emp")),
-            vec![AttrSet::single(s.id("project")), AttrSet::single(s.id("skill"))],
+            vec![
+                AttrSet::single(s.id("project")),
+                AttrSet::single(s.id("skill")),
+            ],
         );
         assert!(fhd.holds(&r));
         assert_eq!(fhd.spurious_tuples(&r), 0);
@@ -180,7 +185,10 @@ mod tests {
         let fhd = Fhd::new(
             s,
             AttrSet::single(s.id("emp")),
-            vec![AttrSet::single(s.id("project")), AttrSet::single(s.id("skill"))],
+            vec![
+                AttrSet::single(s.id("project")),
+                AttrSet::single(s.id("skill")),
+            ],
         );
         assert!(!fhd.holds(&r));
         assert_eq!(fhd.spurious_tuples(&r), 1); // missing (e1, p2, s2)
@@ -192,7 +200,11 @@ mod tests {
         for complete in [true, false] {
             let r = cross_product_rel(complete);
             let s = r.schema();
-            let mvd = Mvd::new(s, AttrSet::single(s.id("emp")), AttrSet::single(s.id("project")));
+            let mvd = Mvd::new(
+                s,
+                AttrSet::single(s.id("emp")),
+                AttrSet::single(s.id("project")),
+            );
             let fhd = Fhd::from_mvd(s, &mvd);
             assert_eq!(mvd.holds(&r), fhd.holds(&r), "complete={complete}");
             assert_eq!(mvd.spurious_tuples(&r), fhd.spurious_tuples(&r));
@@ -203,7 +215,11 @@ mod tests {
     fn rest_block_computed() {
         let r = cross_product_rel(true);
         let s = r.schema();
-        let fhd = Fhd::new(s, AttrSet::single(s.id("emp")), vec![AttrSet::single(s.id("project"))]);
+        let fhd = Fhd::new(
+            s,
+            AttrSet::single(s.id("emp")),
+            vec![AttrSet::single(s.id("project"))],
+        );
         assert_eq!(fhd.rest(&r), AttrSet::single(s.id("skill")));
     }
 
@@ -219,7 +235,13 @@ mod tests {
                 AttrSet::from_ids([s.id("project"), s.id("skill")]),
             ],
         );
-        assert_eq!(fhd.ys(), &[AttrSet::single(s.id("project")), AttrSet::single(s.id("skill"))]);
+        assert_eq!(
+            fhd.ys(),
+            &[
+                AttrSet::single(s.id("project")),
+                AttrSet::single(s.id("skill"))
+            ]
+        );
     }
 
     #[test]
@@ -227,6 +249,10 @@ mod tests {
     fn degenerate_fhd_rejected() {
         let r = cross_product_rel(true);
         let s = r.schema();
-        Fhd::new(s, AttrSet::single(s.id("emp")), vec![AttrSet::single(s.id("emp"))]);
+        Fhd::new(
+            s,
+            AttrSet::single(s.id("emp")),
+            vec![AttrSet::single(s.id("emp"))],
+        );
     }
 }

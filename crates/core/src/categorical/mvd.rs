@@ -188,7 +188,11 @@ mod tests {
             .build()
             .unwrap();
         let s = r.schema();
-        let mvd = Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")));
+        let mvd = Mvd::new(
+            s,
+            AttrSet::single(s.id("course")),
+            AttrSet::single(s.id("teacher")),
+        );
         assert!(!mvd.holds(&r));
         assert_eq!(mvd.spurious_tuples(&r), 2); // (ann,date) and (bob,codd)
         let v = mvd.violations(&r);
@@ -245,7 +249,11 @@ mod tests {
     fn join_size_and_spurious_consistent() {
         let r = hotels_r5();
         let s = r.schema();
-        let mvd = Mvd::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("region")));
+        let mvd = Mvd::new(
+            s,
+            AttrSet::single(s.id("name")),
+            AttrSet::single(s.id("region")),
+        );
         let distinct_tuples = r.distinct_count(r.all_attrs());
         assert_eq!(mvd.join_size(&r) - mvd.spurious_tuples(&r), distinct_tuples);
     }

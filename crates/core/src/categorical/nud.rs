@@ -96,7 +96,7 @@ impl Dependency for Nud {
             if groups.len() > self.k {
                 let mut reps: Vec<usize> = groups
                     .values()
-                    .map(|g| rows[*g.iter().min().expect("non-empty")])
+                    .filter_map(|g| g.iter().min().map(|m| rows[*m]))
                     .collect();
                 reps.sort_unstable();
                 reps.truncate(self.k + 1);
@@ -163,7 +163,14 @@ mod tests {
     fn fanout_monotone_in_k() {
         let r = hotels_r5();
         let s = r.schema();
-        let mk = |k| Nud::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("rate")), k);
+        let mk = |k| {
+            Nud::new(
+                s,
+                AttrSet::single(s.id("name")),
+                AttrSet::single(s.id("rate")),
+                k,
+            )
+        };
         // "Hyatt" maps to rates {230, 250, 189}: fan-out 3.
         assert_eq!(mk(1).max_fanout(&r), 3);
         assert!(!mk(2).holds(&r));
@@ -176,6 +183,11 @@ mod tests {
     fn zero_k_rejected() {
         let r = hotels_r5();
         let s = r.schema();
-        Nud::new(s, AttrSet::single(s.id("name")), AttrSet::single(s.id("rate")), 0);
+        Nud::new(
+            s,
+            AttrSet::single(s.id("name")),
+            AttrSet::single(s.id("rate")),
+            0,
+        );
     }
 }

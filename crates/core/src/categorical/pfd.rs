@@ -101,7 +101,12 @@ impl Dependency for Pfd {
 
 impl fmt::Display for Pfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PFD(p≥{}): {}", self.threshold, &self.embedded.to_string()[4..])
+        write!(
+            f,
+            "PFD(p≥{}): {}",
+            self.threshold,
+            &self.embedded.to_string()[4..]
+        )
     }
 }
 

@@ -78,7 +78,12 @@ impl Dependency for Sfd {
 
 impl fmt::Display for Sfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SFD(s≥{}): {}", self.threshold, &self.embedded.to_string()[4..])
+        write!(
+            f,
+            "SFD(s≥{}): {}",
+            self.threshold,
+            &self.embedded.to_string()[4..]
+        )
     }
 }
 
@@ -108,9 +113,8 @@ mod tests {
         // FD holds iff its strength is exactly 1.
         for r in [hotels_r1(), hotels_r5()] {
             for lhs in ["address", "name", "region"] {
-                let fd = Fd::parse(r.schema(), &format!("{lhs} -> rate")).or_else(|| {
-                    Fd::parse(r.schema(), &format!("{lhs} -> price"))
-                });
+                let fd = Fd::parse(r.schema(), &format!("{lhs} -> rate"))
+                    .or_else(|| Fd::parse(r.schema(), &format!("{lhs} -> price")));
                 let Some(fd) = fd else { continue };
                 let sfd = Sfd::from_fd(fd.clone());
                 assert_eq!(

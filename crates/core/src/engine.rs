@@ -1,0 +1,497 @@
+//! Resilient execution engine: budgets, cancellation and anytime results.
+//!
+//! Dependency discovery is exponential in the schema width in the worst
+//! case, and the quality tasks built on top of it (repair, deduplication,
+//! consistent query answering) are NP-hard even for fixed rule sets. A
+//! production profiler cannot simply hope the input is friendly — it needs
+//! every long-running routine to be an *anytime algorithm*: interruptible
+//! at a fine grain, and able to return the **sound** portion of the work
+//! done so far together with an honest account of why it stopped.
+//!
+//! The pieces:
+//!
+//! * [`Budget`] — declarative resource limits: a wall-clock deadline, a
+//!   cap on candidate-lattice nodes, a cap on rows processed, and a cap
+//!   on the estimated memory held in stripped partitions.
+//! * [`CancelToken`] — a cheap, clonable cancellation flag (one relaxed
+//!   atomic load per poll) that a driving thread, signal handler or UI can
+//!   flip at any time.
+//! * [`Exec`] — the per-run execution context that algorithms *tick*
+//!   from their hot loops. Ticks are counters plus an occasional clock
+//!   poll, so instrumentation costs nanoseconds per node.
+//! * [`Outcome`] — what every bounded entry point returns: the result,
+//!   whether it is complete, which budget (if any) was exhausted, and
+//!   [`EngineStats`] describing the work performed.
+//!
+//! The contract every bounded algorithm in this workspace upholds: when
+//! `complete == false`, the partial result is still **sound** — every
+//! dependency reported holds on the input; every repair step applied is
+//! valid — it is only *completeness* (minimality of covers, exhaustiveness
+//! of search) that is forfeited.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which resource limit stopped a bounded run early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The candidate/search-node cap was reached.
+    Nodes,
+    /// The row-processing cap was reached.
+    Rows,
+    /// The partition-memory estimate exceeded its cap.
+    Memory,
+    /// The [`CancelToken`] was flipped by the caller.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Deadline => "deadline",
+            BudgetKind::Nodes => "node budget",
+            BudgetKind::Rows => "row budget",
+            BudgetKind::Memory => "memory budget",
+            BudgetKind::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Declarative resource limits for one bounded run. All limits default to
+/// "unlimited"; combine with the builder methods.
+///
+/// ```
+/// use deptree_core::engine::Budget;
+/// use std::time::Duration;
+/// let b = Budget::new()
+///     .with_deadline(Duration::from_millis(50))
+///     .with_max_nodes(10_000);
+/// assert!(b.deadline.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit measured from [`Exec`] construction.
+    pub deadline: Option<Duration>,
+    /// Maximum search/lattice nodes visited.
+    pub max_nodes: Option<u64>,
+    /// Maximum rows processed (tuples scanned, pairs compared, …).
+    pub max_rows: Option<u64>,
+    /// Maximum bytes of partition state held at once (estimate).
+    pub max_partition_bytes: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn new() -> Self {
+        Budget::default()
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Cap the number of search nodes visited.
+    pub fn with_max_nodes(mut self, n: u64) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Cap the number of rows processed.
+    pub fn with_max_rows(mut self, n: u64) -> Self {
+        self.max_rows = Some(n);
+        self
+    }
+
+    /// Cap the estimated partition memory held at once.
+    pub fn with_max_partition_bytes(mut self, n: u64) -> Self {
+        self.max_partition_bytes = Some(n);
+        self
+    }
+
+    /// True when no limit is set — bounded entry points can skip all
+    /// instrumentation overhead in this case.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_nodes.is_none()
+            && self.max_rows.is_none()
+            && self.max_partition_bytes.is_none()
+    }
+}
+
+/// Cheap cooperative cancellation: clone the token, hand one clone to the
+/// running algorithm (via [`Exec::with_cancel`]) and keep the other;
+/// [`CancelToken::cancel`] makes every subsequent budget poll fail with
+/// [`BudgetKind::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Work counters reported with every [`Outcome`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Search/lattice nodes visited.
+    pub nodes_visited: u64,
+    /// Rows processed (tuples scanned, pairs compared, …).
+    pub rows_processed: u64,
+    /// Peak estimated partition memory held at once, in bytes.
+    pub partition_bytes_peak: u64,
+    /// Wall-clock time from `Exec` construction to `finish`.
+    pub elapsed: Duration,
+}
+
+/// The result of a bounded run: the (possibly partial, always sound)
+/// result plus an honest account of whether and why the run stopped early.
+#[derive(Debug, Clone)]
+pub struct Outcome<T> {
+    /// The result. When `complete` is false this is the sound prefix of
+    /// the full answer, not an approximation of it.
+    pub result: T,
+    /// True iff the run finished exhaustively.
+    pub complete: bool,
+    /// Which budget stopped the run, when `complete` is false.
+    pub exhausted: Option<BudgetKind>,
+    /// Work performed.
+    pub stats: EngineStats,
+}
+
+impl<T> Outcome<T> {
+    /// Map the result, preserving completeness and stats.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        Outcome {
+            result: f(self.result),
+            complete: self.complete,
+            exhausted: self.exhausted,
+            stats: self.stats,
+        }
+    }
+}
+
+/// How many ticks pass between clock/cancellation polls. Counter limits
+/// are checked on every tick (they are just integer compares); the
+/// deadline requires `Instant::now()` and the cancel flag an atomic load,
+/// so those are amortized over this many ticks.
+const POLL_INTERVAL: u64 = 64;
+
+/// Per-run execution context. Cheap to construct; uses interior
+/// mutability so algorithms can tick from `&self` contexts and helper
+/// functions without threading `&mut` everywhere.
+///
+/// Hot-loop protocol:
+///
+/// ```
+/// use deptree_core::engine::{Budget, Exec};
+/// let exec = Exec::new(Budget::new().with_max_nodes(100));
+/// let mut visited = 0u64;
+/// loop {
+///     if !exec.tick_node() {
+///         break; // budget exhausted — wind down, return sound prefix
+///     }
+///     visited += 1;
+/// }
+/// let outcome = exec.finish(visited);
+/// assert!(!outcome.complete);
+/// assert_eq!(outcome.result, 100);
+/// ```
+#[derive(Debug)]
+pub struct Exec {
+    budget: Budget,
+    cancel: CancelToken,
+    start: Instant,
+    nodes: Cell<u64>,
+    rows: Cell<u64>,
+    partition_bytes: Cell<u64>,
+    partition_peak: Cell<u64>,
+    since_poll: Cell<u64>,
+    exhausted: Cell<Option<BudgetKind>>,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::unbounded()
+    }
+}
+
+impl Exec {
+    /// Context with the given budget and a private cancel token.
+    pub fn new(budget: Budget) -> Self {
+        Exec::with_cancel(budget, CancelToken::new())
+    }
+
+    /// Context with the given budget observing an external cancel token.
+    pub fn with_cancel(budget: Budget, cancel: CancelToken) -> Self {
+        Exec {
+            budget,
+            cancel,
+            start: Instant::now(),
+            nodes: Cell::new(0),
+            rows: Cell::new(0),
+            partition_bytes: Cell::new(0),
+            partition_peak: Cell::new(0),
+            since_poll: Cell::new(0),
+            exhausted: Cell::new(None),
+        }
+    }
+
+    /// Context with no limits — bounded entry points run to completion.
+    pub fn unbounded() -> Self {
+        Exec::new(Budget::new())
+    }
+
+    /// The budget this context enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Which budget has been exhausted, if any. Sticky: once set it stays
+    /// set, so partial-result wind-down code can re-check freely.
+    pub fn exhausted(&self) -> Option<BudgetKind> {
+        self.exhausted.get()
+    }
+
+    /// True while no budget has been exhausted.
+    pub fn is_live(&self) -> bool {
+        self.exhausted.get().is_none()
+    }
+
+    /// Record one search-node visit; returns false when the run must stop.
+    #[inline]
+    pub fn tick_node(&self) -> bool {
+        self.nodes.set(self.nodes.get() + 1);
+        if let Some(max) = self.budget.max_nodes {
+            if self.nodes.get() > max {
+                self.exhaust(BudgetKind::Nodes);
+                return false;
+            }
+        }
+        self.tick()
+    }
+
+    /// Record `n` rows processed; returns false when the run must stop.
+    #[inline]
+    pub fn tick_rows(&self, n: u64) -> bool {
+        self.rows.set(self.rows.get() + n);
+        if let Some(max) = self.budget.max_rows {
+            if self.rows.get() > max {
+                self.exhaust(BudgetKind::Rows);
+                return false;
+            }
+        }
+        self.tick()
+    }
+
+    /// Cheap liveness poll for loops that don't map naturally onto nodes
+    /// or rows; returns false when the run must stop.
+    #[inline]
+    pub fn tick(&self) -> bool {
+        if self.exhausted.get().is_some() {
+            return false;
+        }
+        let since = self.since_poll.get() + 1;
+        if since < POLL_INTERVAL {
+            self.since_poll.set(since);
+            return true;
+        }
+        self.since_poll.set(0);
+        self.poll()
+    }
+
+    /// Immediate (non-amortized) deadline + cancellation check. Use at
+    /// phase boundaries where stale liveness would waste a whole phase.
+    pub fn poll(&self) -> bool {
+        if self.exhausted.get().is_some() {
+            return false;
+        }
+        if self.cancel.is_cancelled() {
+            self.exhaust(BudgetKind::Cancelled);
+            return false;
+        }
+        if let Some(d) = self.budget.deadline {
+            if self.start.elapsed() > d {
+                self.exhaust(BudgetKind::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Track growth of partition state; returns false when the estimate
+    /// exceeds the memory cap.
+    pub fn alloc_partition(&self, bytes: u64) -> bool {
+        let now = self.partition_bytes.get() + bytes;
+        self.partition_bytes.set(now);
+        if now > self.partition_peak.get() {
+            self.partition_peak.set(now);
+        }
+        if let Some(max) = self.budget.max_partition_bytes {
+            if now > max {
+                self.exhaust(BudgetKind::Memory);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Track release of partition state.
+    pub fn free_partition(&self, bytes: u64) {
+        self.partition_bytes
+            .set(self.partition_bytes.get().saturating_sub(bytes));
+    }
+
+    fn exhaust(&self, kind: BudgetKind) {
+        if self.exhausted.get().is_none() {
+            self.exhausted.set(Some(kind));
+        }
+    }
+
+    /// Snapshot the work counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            nodes_visited: self.nodes.get(),
+            rows_processed: self.rows.get(),
+            partition_bytes_peak: self.partition_peak.get(),
+            elapsed: self.start.elapsed(),
+        }
+    }
+
+    /// Package a result with this context's completion state and stats.
+    pub fn finish<T>(&self, result: T) -> Outcome<T> {
+        let exhausted = self.exhausted.get();
+        Outcome {
+            result,
+            complete: exhausted.is_none(),
+            exhausted,
+            stats: self.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let exec = Exec::unbounded();
+        for _ in 0..10_000 {
+            assert!(exec.tick_node());
+        }
+        let out = exec.finish(());
+        assert!(out.complete);
+        assert_eq!(out.exhausted, None);
+        assert_eq!(out.stats.nodes_visited, 10_000);
+    }
+
+    #[test]
+    fn node_budget_exhausts_exactly() {
+        let exec = Exec::new(Budget::new().with_max_nodes(10));
+        let mut ok = 0;
+        for _ in 0..100 {
+            if exec.tick_node() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 10);
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Nodes));
+        assert!(!exec.finish(()).complete);
+    }
+
+    #[test]
+    fn row_budget_counts_batches() {
+        let exec = Exec::new(Budget::new().with_max_rows(100));
+        assert!(exec.tick_rows(60));
+        assert!(exec.tick_rows(40));
+        assert!(!exec.tick_rows(1));
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Rows));
+    }
+
+    #[test]
+    fn deadline_exhausts() {
+        let exec = Exec::new(Budget::new().with_deadline(Duration::from_millis(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!exec.poll());
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn deadline_detected_via_amortized_tick() {
+        let exec = Exec::new(Budget::new().with_deadline(Duration::from_millis(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut stopped = false;
+        // Poll interval is 64, so within ~2·64 ticks the deadline fires.
+        for _ in 0..200 {
+            if !exec.tick_node() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let token = CancelToken::new();
+        let exec = Exec::with_cancel(Budget::new(), token.clone());
+        assert!(exec.poll());
+        token.cancel();
+        assert!(!exec.poll());
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn memory_tracking_peaks_and_frees() {
+        let exec = Exec::new(Budget::new().with_max_partition_bytes(1000));
+        assert!(exec.alloc_partition(600));
+        exec.free_partition(500);
+        assert!(exec.alloc_partition(600));
+        assert_eq!(exec.stats().partition_bytes_peak, 700);
+        assert!(!exec.alloc_partition(400));
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Memory));
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let exec = Exec::new(Budget::new().with_max_nodes(1));
+        assert!(exec.tick_node());
+        assert!(!exec.tick_node());
+        assert!(!exec.tick());
+        assert!(!exec.poll());
+        assert!(!exec.tick_rows(1));
+    }
+
+    #[test]
+    fn outcome_map_preserves_flags() {
+        let exec = Exec::new(Budget::new().with_max_nodes(1));
+        exec.tick_node();
+        exec.tick_node();
+        let out = exec.finish(3u32).map(|x| x * 2);
+        assert_eq!(out.result, 6);
+        assert!(!out.complete);
+        assert_eq!(out.exhausted, Some(BudgetKind::Nodes));
+    }
+}

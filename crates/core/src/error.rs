@@ -1,0 +1,124 @@
+//! Structured errors for the whole workspace.
+//!
+//! Library code never panics on malformed input, impossible configuration
+//! or exhausted budgets — it returns a [`DeptreeError`] variant that the
+//! CLI maps onto a distinct exit code (see `deptree --help`). The enum is
+//! hand-rolled (no derive-macro dependency) to keep the workspace building
+//! offline.
+
+use crate::engine::BudgetKind;
+use deptree_relation::{CsvError, RelationError};
+use std::fmt;
+
+/// Result alias used by fallible library entry points.
+pub type Result<T> = std::result::Result<T, DeptreeError>;
+
+/// Every failure mode a pipeline stage can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeptreeError {
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+    /// Input text could not be parsed (CSV, rule syntax, …).
+    Parse(String),
+    /// A relation-level invariant was violated (arity, attribute count).
+    Relation(RelationError),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A notation name is not in the family-tree registry.
+    UnknownNotation(String),
+    /// A resource budget was exhausted and the caller required a complete
+    /// answer. (Anytime entry points return `Outcome` instead of this.)
+    BudgetExhausted(BudgetKind),
+    /// The run was cancelled by the caller.
+    Cancelled,
+    /// A requested feature or combination is not supported.
+    Unsupported(String),
+}
+
+impl fmt::Display for DeptreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeptreeError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            DeptreeError::Parse(m) => write!(f, "parse error: {m}"),
+            DeptreeError::Relation(e) => write!(f, "relation error: {e}"),
+            DeptreeError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            DeptreeError::UnknownNotation(n) => write!(f, "unknown notation: {n}"),
+            DeptreeError::BudgetExhausted(k) => write!(f, "budget exhausted: {k}"),
+            DeptreeError::Cancelled => write!(f, "cancelled"),
+            DeptreeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeptreeError {}
+
+impl From<RelationError> for DeptreeError {
+    fn from(e: RelationError) -> Self {
+        DeptreeError::Relation(e)
+    }
+}
+
+impl From<CsvError> for DeptreeError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::Relation(e) => DeptreeError::Relation(e),
+            other => DeptreeError::Parse(other.to_string()),
+        }
+    }
+}
+
+impl DeptreeError {
+    /// The process exit code the CLI uses for this error class. Success
+    /// is 0; 1 is reserved for unclassified failures.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            DeptreeError::Io { .. } => 2,
+            DeptreeError::Parse(_) => 3,
+            DeptreeError::Relation(_) => 4,
+            DeptreeError::InvalidConfig(_) | DeptreeError::UnknownNotation(_) => 5,
+            DeptreeError::BudgetExhausted(_) => 6,
+            DeptreeError::Cancelled => 7,
+            DeptreeError::Unsupported(_) => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let errs = [
+            DeptreeError::Io {
+                path: "x".into(),
+                message: "gone".into(),
+            },
+            DeptreeError::Parse("bad".into()),
+            DeptreeError::Relation(RelationError::ArityMismatch {
+                expected: 2,
+                got: 3,
+            }),
+            DeptreeError::InvalidConfig("x".into()),
+            DeptreeError::BudgetExhausted(BudgetKind::Deadline),
+            DeptreeError::Cancelled,
+            DeptreeError::Unsupported("x".into()),
+        ];
+        let codes: std::collections::BTreeSet<u8> = errs.iter().map(|e| e.exit_code()).collect();
+        assert_eq!(codes.len(), errs.len());
+        assert!(!codes.contains(&0) && !codes.contains(&1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeptreeError::BudgetExhausted(BudgetKind::Deadline);
+        assert_eq!(e.to_string(), "budget exhausted: deadline");
+        let e = DeptreeError::UnknownNotation("XYZ".into());
+        assert!(e.to_string().contains("XYZ"));
+    }
+}

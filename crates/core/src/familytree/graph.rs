@@ -138,7 +138,9 @@ impl ExtensionGraph {
         while let Some(k) = queue.pop_front() {
             out.push(k);
             for &g in self.generalizations(k) {
-                let d = in_deg.get_mut(&g).expect("registered");
+                let Some(d) = in_deg.get_mut(&g) else {
+                    continue; // every kind is seeded above
+                };
                 *d -= 1;
                 if *d == 0 {
                     queue.push_back(g);

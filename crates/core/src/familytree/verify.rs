@@ -9,6 +9,11 @@
 //! FDs → MVDs (every FD is an MVD, but MVDs are strictly weaker) and
 //! ODs → SDs (SDs skip order ties on the sequencing attribute).
 
+// Edge verification runs over the paper's fixed example instances; every
+// `expect` below sits on a static construction whose success the edge
+// tests assert — not a data-dependent error path.
+#![allow(clippy::expect_used)]
+
 use crate::categorical::{Afd, Amvd, Cfd, ECfd, Fd, Fhd, Mvd, Nud, Pattern, Pfd, Sfd};
 use crate::dep::{DepKind, Dependency};
 use crate::heterogeneous::{Cd, Cdd, Cmd, Dd, Ffd, Md, Mfd, Ned, NedAtom, Pac};
@@ -116,15 +121,69 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
 
     let fd5 = Fd::parse(s5, "address -> region").expect("r5 attrs");
     let report = match edge {
-        (K::Fd, K::Sfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Sfd::from_fd(fd5.clone())),
-        (K::Fd, K::Pfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Pfd::from_fd(fd5.clone())),
-        (K::Fd, K::Afd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Afd::from_fd(fd5.clone())),
-        (K::Fd, K::Nud) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Nud::from_fd(s5, &fd5)),
-        (K::Fd, K::Cfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Cfd::from_fd(s5, &fd5)),
-        (K::Fd, K::Mvd) => check(edge, EdgeMode::Implication, &r5, &fd5, &Mvd::from_fd(s5, &fd5)),
-        (K::Fd, K::Mfd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Mfd::from_fd(s5, &fd5)),
-        (K::Fd, K::Ffd) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Ffd::from_fd(s5, &fd5)),
-        (K::Fd, K::Md) => check(edge, EdgeMode::Equivalence, &r5, &fd5, &Md::from_fd(s5, &fd5)),
+        (K::Fd, K::Sfd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Sfd::from_fd(fd5.clone()),
+        ),
+        (K::Fd, K::Pfd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Pfd::from_fd(fd5.clone()),
+        ),
+        (K::Fd, K::Afd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Afd::from_fd(fd5.clone()),
+        ),
+        (K::Fd, K::Nud) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Nud::from_fd(s5, &fd5),
+        ),
+        (K::Fd, K::Cfd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Cfd::from_fd(s5, &fd5),
+        ),
+        (K::Fd, K::Mvd) => check(
+            edge,
+            EdgeMode::Implication,
+            &r5,
+            &fd5,
+            &Mvd::from_fd(s5, &fd5),
+        ),
+        (K::Fd, K::Mfd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Mfd::from_fd(s5, &fd5),
+        ),
+        (K::Fd, K::Ffd) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Ffd::from_fd(s5, &fd5),
+        ),
+        (K::Fd, K::Md) => check(
+            edge,
+            EdgeMode::Equivalence,
+            &r5,
+            &fd5,
+            &Md::from_fd(s5, &fd5),
+        ),
         (K::Cfd, K::ECfd) => {
             let lhs = AttrSet::from_ids([s5.id("region"), s5.id("name")]);
             let rhs = AttrSet::single(s5.id("address"));
@@ -134,7 +193,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 rhs,
                 Pattern::all_any(lhs.union(rhs)).with_const(s5.id("region"), "Jackson"),
             );
-            check(edge, EdgeMode::Equivalence, &r5, &cfd, &ECfd::from_cfd(s5, &cfd))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r5,
+                &cfd,
+                &ECfd::from_cfd(s5, &cfd),
+            )
         }
         (K::Cfd, K::Cdd) => {
             let lhs = AttrSet::from_ids([s6.id("source"), s6.id("name")]);
@@ -154,7 +219,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 AttrSet::from_ids([s5.id("address"), s5.id("rate")]),
                 AttrSet::single(s5.id("region")),
             );
-            check(edge, EdgeMode::Equivalence, &r5, &mvd, &Fhd::from_mvd(s5, &mvd))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r5,
+                &mvd,
+                &Fhd::from_mvd(s5, &mvd),
+            )
         }
         (K::Mvd, K::Amvd) => {
             let mvd = Mvd::new(
@@ -162,7 +233,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 AttrSet::from_ids([s5.id("address"), s5.id("rate")]),
                 AttrSet::single(s5.id("region")),
             );
-            check(edge, EdgeMode::Equivalence, &r5, &mvd, &Amvd::from_mvd(mvd.clone()))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r5,
+                &mvd,
+                &Amvd::from_mvd(mvd.clone()),
+            )
         }
         (K::Mfd, K::Ned) => {
             let mfd = Mfd::new(
@@ -170,11 +247,23 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 AttrSet::from_ids([s6.id("name"), s6.id("region")]),
                 vec![(s6.id("price"), Metric::AbsDiff, 500.0)],
             );
-            check(edge, EdgeMode::Equivalence, &r6, &mfd, &Ned::from_mfd(s6, &mfd))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r6,
+                &mfd,
+                &Ned::from_mfd(s6, &mfd),
+            )
         }
         (K::Ned, K::Dd) => {
             let ned = example_ned(&r6);
-            check(edge, EdgeMode::Equivalence, &r6, &ned, &Dd::from_ned(s6, &ned))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r6,
+                &ned,
+                &Dd::from_ned(s6, &ned),
+            )
         }
         (K::Ned, K::Cd) => {
             let ned = example_ned(&r6);
@@ -183,11 +272,23 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
         }
         (K::Ned, K::Pac) => {
             let ned = example_ned(&r6);
-            check(edge, EdgeMode::Equivalence, &r6, &ned, &Pac::from_ned(s6, &ned))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r6,
+                &ned,
+                &Pac::from_ned(s6, &ned),
+            )
         }
         (K::Dd, K::Cdd) => {
             let dd = Dd::from_ned(s6, &example_ned(&r6));
-            check(edge, EdgeMode::Equivalence, &r6, &dd, &Cdd::from_dd(s6, dd.clone()))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r6,
+                &dd,
+                &Cdd::from_dd(s6, dd.clone()),
+            )
         }
         (K::Md, K::Cmd) => {
             let md = Md::new(
@@ -198,7 +299,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 ],
                 AttrSet::single(s6.id("zip")),
             );
-            check(edge, EdgeMode::Equivalence, &r6, &md, &Cmd::from_md(s6, md.clone()))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r6,
+                &md,
+                &Cmd::from_md(s6, md.clone()),
+            )
         }
         (K::Ofd, K::Od) => {
             let ofd = Ofd::pointwise(
@@ -206,7 +313,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 AttrSet::single(s7.id("subtotal")),
                 AttrSet::single(s7.id("taxes")),
             );
-            check(edge, EdgeMode::Equivalence, &r7, &ofd, &Od::from_ofd(s7, &ofd))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r7,
+                &ofd,
+                &Od::from_ofd(s7, &ofd),
+            )
         }
         (K::Od, K::Sd) => {
             let od = example_od(&r7);
@@ -239,7 +352,13 @@ pub fn verify_edge(special: DepKind, general: DepKind) -> Option<EdgeReport> {
                 s7.id("subtotal"),
                 crate::numerical::Interval::new(100.0, 200.0),
             );
-            check(edge, EdgeMode::Equivalence, &r7, &sd, &Csd::from_sd(s7, &sd))
+            check(
+                edge,
+                EdgeMode::Equivalence,
+                &r7,
+                &sd,
+                &Csd::from_sd(s7, &sd),
+            )
         }
         _ => return None,
     };

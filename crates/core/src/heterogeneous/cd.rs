@@ -251,7 +251,14 @@ mod tests {
         // cross comparison, not crash on nulls.
         let r = dataspace_cd();
         let s = r.schema();
-        let f = SimFn::new(s.id("region"), s.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0);
+        let f = SimFn::new(
+            s.id("region"),
+            s.id("city"),
+            Metric::Levenshtein,
+            5.0,
+            5.0,
+            5.0,
+        );
         assert!(f.similar(&r, 0, 1)); // cross comparison
         assert!(f.similar(&r, 0, 2)); // region–region: "Petersburg" vs "St Petersburg" = 3
     }

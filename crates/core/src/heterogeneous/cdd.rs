@@ -70,11 +70,7 @@ pub struct Cdd {
 impl Cdd {
     /// Build a CDD.
     pub fn new(schema: &Schema, condition: Condition, dd: Dd) -> Self {
-        let display = format!(
-            "[{}] {}",
-            condition.render(schema),
-            &dd.to_string()[4..]
-        );
+        let display = format!("[{}] {}", condition.render(schema), &dd.to_string()[4..]);
         Cdd {
             condition,
             dd,
@@ -95,11 +91,7 @@ impl Cdd {
     /// constants on its RHS (those have single-tuple semantics a pairwise
     /// CDD cannot express).
     pub fn from_cfd(schema: &Schema, cfd: &Cfd) -> Option<Self> {
-        if !cfd
-            .rhs()
-            .iter()
-            .all(|a| !cfd.pattern().cell(a).is_const())
-        {
+        if !cfd.rhs().iter().all(|a| !cfd.pattern().cell(a).is_const()) {
             return None;
         }
         let mut condition = Condition::always();

@@ -67,7 +67,9 @@ impl Cmd {
                 *deg.entry(a).or_insert(0usize) += 1;
                 *deg.entry(b).or_insert(0usize) += 1;
             }
-            let (&victim, _) = deg.iter().max_by_key(|(_, d)| **d).expect("non-empty");
+            let Some((&victim, _)) = deg.iter().max_by_key(|(_, d)| **d) else {
+                break; // unreachable: `edges` is non-empty here
+            };
             edges.retain(|&(a, b)| a != victim && b != victim);
             removed += 1;
         }
@@ -175,7 +177,11 @@ mod tests {
     fn display_includes_condition() {
         let r = hotels_r6();
         let s = r.schema();
-        let cmd = Cmd::new(s, Condition::always().and(s.id("source"), "s2"), base_md(&r));
+        let cmd = Cmd::new(
+            s,
+            Condition::always().and(s.id("source"), "s2"),
+            base_md(&r),
+        );
         assert!(cmd.to_string().starts_with("CMD: [source=s2]"));
     }
 }

@@ -43,8 +43,10 @@ impl DiffAtom {
     /// (`(t1, t2) ≍ φ[A]` in the survey's notation)?
     #[inline]
     pub fn compatible(&self, r: &Relation, t1: usize, t2: usize) -> bool {
-        self.range
-            .contains(self.metric.dist(r.value(t1, self.attr), r.value(t2, self.attr)))
+        self.range.contains(
+            self.metric
+                .dist(r.value(t1, self.attr), r.value(t2, self.attr)),
+        )
     }
 
     /// Does this atom *subsume* another on the same attribute — i.e. accept
@@ -195,8 +197,16 @@ mod tests {
         let s = r.schema();
         Dd::new(
             s,
-            vec![DiffAtom::at_least(s.id("street"), Metric::Levenshtein, 10.0)],
-            vec![DiffAtom::at_least(s.id("address"), Metric::Levenshtein, 5.0)],
+            vec![DiffAtom::at_least(
+                s.id("street"),
+                Metric::Levenshtein,
+                10.0,
+            )],
+            vec![DiffAtom::at_least(
+                s.id("address"),
+                Metric::Levenshtein,
+                5.0,
+            )],
         )
     }
 
@@ -225,7 +235,8 @@ mod tests {
         r2.set_value(0, s.id("address"), "#2 Ave, 12th St.".into());
         // Now t1 (street CPark) and t2 (street 12th St.) have identical
         // addresses: distance 0 < 5 while streets differ by ≥ 10? Check:
-        let street_dist = Metric::Levenshtein.dist(r2.value(0, s.id("street")), r2.value(1, s.id("street")));
+        let street_dist =
+            Metric::Levenshtein.dist(r2.value(0, s.id("street")), r2.value(1, s.id("street")));
         if street_dist >= 10.0 {
             assert!(!d.holds(&r2));
         } else {
@@ -287,7 +298,11 @@ mod tests {
         let s = r.schema();
         let d = Dd::new(
             s,
-            vec![DiffAtom::new(s.id("street"), Metric::Levenshtein, DistRange::zero())],
+            vec![DiffAtom::new(
+                s.id("street"),
+                Metric::Levenshtein,
+                DistRange::zero(),
+            )],
             vec![DiffAtom::at_most(s.id("zip"), Metric::Equality, 0.0)],
         );
         assert!(d.holds(&r));

@@ -32,7 +32,10 @@ impl Ffd {
         lhs: Vec<(AttrId, Resemblance)>,
         rhs: Vec<(AttrId, Resemblance)>,
     ) -> Self {
-        assert!(!lhs.is_empty() && !rhs.is_empty(), "FFD sides must be non-empty");
+        assert!(
+            !lhs.is_empty() && !rhs.is_empty(),
+            "FFD sides must be non-empty"
+        );
         let side = |atoms: &[(AttrId, Resemblance)]| {
             atoms
                 .iter()
@@ -150,7 +153,9 @@ mod tests {
         for r in [hotels_r5(), hotels_r6()] {
             let s = r.schema();
             for text in ["address -> region", "name -> address"] {
-                let Some(fd) = Fd::parse(s, text) else { continue };
+                let Some(fd) = Fd::parse(s, text) else {
+                    continue;
+                };
                 let ffd = Ffd::from_fd(s, &fd);
                 assert_eq!(fd.holds(&r), ffd.holds(&r), "{text}");
             }

@@ -213,7 +213,9 @@ mod tests {
         for r in [hotels_r1(), hotels_r6()] {
             let s = r.schema();
             for text in ["address -> region", "street -> zip", "name -> price"] {
-                let Some(fd) = Fd::parse(s, text) else { continue };
+                let Some(fd) = Fd::parse(s, text) else {
+                    continue;
+                };
                 let md = Md::from_fd(s, &fd);
                 assert_eq!(fd.holds(&r), md.holds(&r), "{text}");
                 // Witness granularity differs (FDs report one pair per
@@ -246,7 +248,9 @@ mod tests {
         let m = md1(&r);
         assert!(!m.holds(&r));
         let v = m.violations(&r);
-        assert!(v.iter().any(|v| v.rows == vec![1, 5] || v.rows == vec![4, 5]));
+        assert!(v
+            .iter()
+            .any(|v| v.rows == vec![1, 5] || v.rows == vec![4, 5]));
     }
 
     #[test]

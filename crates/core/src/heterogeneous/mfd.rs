@@ -22,7 +22,10 @@ impl Mfd {
     /// # Panics
     /// Panics if any `δ < 0` or `rhs` is empty.
     pub fn new(schema: &Schema, lhs: AttrSet, rhs: Vec<(AttrId, Metric, f64)>) -> Self {
-        assert!(!rhs.is_empty(), "MFD needs at least one dependent attribute");
+        assert!(
+            !rhs.is_empty(),
+            "MFD needs at least one dependent attribute"
+        );
         assert!(
             rhs.iter().all(|(_, _, d)| *d >= 0.0),
             "distance thresholds must be non-negative"
@@ -174,7 +177,9 @@ mod tests {
         for r in [hotels_r1(), hotels_r6()] {
             let s = r.schema();
             for text in ["address -> region", "name -> price", "region -> name"] {
-                let Some(fd) = Fd::parse(s, text) else { continue };
+                let Some(fd) = Fd::parse(s, text) else {
+                    continue;
+                };
                 let mfd = Mfd::from_fd(s, &fd);
                 assert_eq!(fd.holds(&r), mfd.holds(&r), "{text}");
                 assert_eq!(

@@ -36,7 +36,9 @@ impl NedAtom {
     /// Does a tuple pair agree on this atom?
     #[inline]
     pub fn agrees(&self, r: &Relation, t1: usize, t2: usize) -> bool {
-        self.metric.dist(r.value(t1, self.attr), r.value(t2, self.attr)) <= self.threshold
+        self.metric
+            .dist(r.value(t1, self.attr), r.value(t2, self.attr))
+            <= self.threshold
     }
 }
 

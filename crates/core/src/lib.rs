@@ -17,7 +17,12 @@
 //!   hooks;
 //! * [`uncertain`] — the §5.1 future direction: horizontal (possible-
 //!   worlds) and vertical (or-set) readings of FDs over uncertain
-//!   relations.
+//!   relations;
+//! * [`engine`] — the resilient execution engine: resource [`Budget`]s,
+//!   cooperative cancellation and the anytime [`Outcome`] contract that
+//!   every bounded discovery/quality entry point upholds;
+//! * [`error`] — the structured [`DeptreeError`] surfaced by fallible
+//!   library entry points in place of panics.
 //!
 //! Every notation implements the [`Dependency`] trait (satisfaction +
 //! violation detection) and, where the survey draws an arrow in Fig. 1,
@@ -29,18 +34,21 @@
 
 pub mod categorical;
 mod dep;
-pub mod heterogeneous;
+pub mod engine;
+pub mod error;
 pub mod familytree;
+pub mod heterogeneous;
 pub mod numerical;
 pub mod op;
 pub mod uncertain;
 
 pub use dep::{DepKind, Dependency, Violation};
+pub use engine::{Budget, BudgetKind, CancelToken, EngineStats, Exec, Outcome};
+pub use error::DeptreeError;
 pub use op::CmpOp;
 
 pub use categorical::{
-    Afd, Amvd, Cfd, CfdTableau, ECfd, Fd, Fhd, Mvd, Nud, Pattern, PatternCell, PatternOp, Pfd,
-    Sfd,
+    Afd, Amvd, Cfd, CfdTableau, ECfd, Fd, Fhd, Mvd, Nud, Pattern, PatternCell, PatternOp, Pfd, Sfd,
 };
 pub use heterogeneous::{
     Cd, Cdd, Cmd, Condition, Dd, DiffAtom, Ffd, Md, Mfd, Ned, NedAtom, Pac, SimFn,

@@ -112,7 +112,14 @@ impl Dc {
         assert!(!predicates.is_empty(), "DC needs at least one predicate");
         let body = predicates
             .iter()
-            .map(|p| format!("{} {} {}", p.left.render(schema), p.op, p.right.render(schema)))
+            .map(|p| {
+                format!(
+                    "{} {} {}",
+                    p.left.render(schema),
+                    p.op,
+                    p.right.render(schema)
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ∧ ");
         let display = format!("¬({body})");
@@ -198,9 +205,7 @@ impl Dc {
                     .lhs()
                     .iter()
                     .filter_map(|a| match ecfd.cell(a) {
-                        PatternOp::Cmp(op, c) => {
-                            Some(Predicate::first_const(a, *op, c.clone()))
-                        }
+                        PatternOp::Cmp(op, c) => Some(Predicate::first_const(a, *op, c.clone())),
                         PatternOp::Any => None,
                     })
                     .collect();
@@ -380,7 +385,10 @@ mod tests {
             AttrSet::single(s.id("region")),
             vec![
                 (s.id("rate"), PatternOp::Cmp(CmpOp::Leq, Value::int(200))),
-                (s.id("region"), PatternOp::Cmp(CmpOp::Eq, Value::str("El Paso"))),
+                (
+                    s.id("region"),
+                    PatternOp::Cmp(CmpOp::Eq, Value::str("El Paso")),
+                ),
             ],
         );
         let dcs = Dc::from_ecfd(s, &ecfd);

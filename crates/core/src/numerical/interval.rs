@@ -20,7 +20,10 @@ impl Interval {
     /// # Panics
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
         Interval { lo, hi }
     }

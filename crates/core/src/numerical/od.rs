@@ -53,7 +53,10 @@ impl Od {
         lhs: Vec<(AttrId, Direction)>,
         rhs: Vec<(AttrId, Direction)>,
     ) -> Self {
-        assert!(!lhs.is_empty() && !rhs.is_empty(), "OD sides must be non-empty");
+        assert!(
+            !lhs.is_empty() && !rhs.is_empty(),
+            "OD sides must be non-empty"
+        );
         let side = |atoms: &[(AttrId, Direction)]| {
             atoms
                 .iter()
@@ -67,11 +70,7 @@ impl Od {
 
     /// The Fig. 1 embedding: an OFD is an OD with every mark `≤` (§4.2.2).
     pub fn from_ofd(schema: &Schema, ofd: &Ofd) -> Self {
-        let marks = |set: AttrSet| {
-            set.iter()
-                .map(|a| (a, Direction::Asc))
-                .collect::<Vec<_>>()
-        };
+        let marks = |set: AttrSet| set.iter().map(|a| (a, Direction::Asc)).collect::<Vec<_>>();
         Od::new(schema, marks(ofd.lhs()), marks(ofd.rhs()))
     }
 
@@ -179,7 +178,11 @@ mod tests {
     fn ofd_embedding() {
         let r = hotels_r7();
         let s = r.schema();
-        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::single(s.id("subtotal")),
+            AttrSet::single(s.id("taxes")),
+        );
         let od = Od::from_ofd(s, &ofd);
         // od2 of §4.2.2: subtotal^≤ → taxes^≤.
         assert_eq!(od.to_string(), "OD: subtotal^≤ -> taxes^≤");
@@ -198,7 +201,10 @@ mod tests {
         let s = r.schema();
         let od = Od::new(
             s,
-            vec![(s.id("nights"), Direction::Asc), (s.id("subtotal"), Direction::Asc)],
+            vec![
+                (s.id("nights"), Direction::Asc),
+                (s.id("subtotal"), Direction::Asc),
+            ],
             vec![(s.id("taxes"), Direction::Asc)],
         );
         assert!(od.holds(&r));

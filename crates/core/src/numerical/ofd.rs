@@ -167,7 +167,11 @@ mod tests {
         // §4.1.1: ofd1: subtotal →ᴾ taxes — higher subtotal, higher taxes.
         let r = hotels_r7();
         let s = r.schema();
-        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::single(s.id("subtotal")),
+            AttrSet::single(s.id("taxes")),
+        );
         assert!(ofd.holds(&r));
     }
 
@@ -177,7 +181,11 @@ mod tests {
         let taxes = r.schema().id("taxes");
         r.set_value(3, taxes, 10.into()); // 700 subtotal but lowest taxes
         let s = r.schema();
-        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::single(s.id("subtotal")),
+            AttrSet::single(s.id("taxes")),
+        );
         assert!(!ofd.holds(&r));
         let v = ofd.violations(&r);
         assert_eq!(v.len(), 3); // row 3 against each of rows 0..2
@@ -239,7 +247,11 @@ mod tests {
             .build()
             .unwrap();
         let s = r.schema();
-        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("year")), AttrSet::single(s.id("experience")));
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::single(s.id("year")),
+            AttrSet::single(s.id("experience")),
+        );
         assert!(ofd.holds(&r));
     }
 }

@@ -94,7 +94,10 @@ impl Sd {
         if gaps.is_empty() {
             return 1.0;
         }
-        let ok = gaps.iter().filter(|(_, _, g)| self.gap.contains(*g)).count();
+        let ok = gaps
+            .iter()
+            .filter(|(_, _, g)| self.gap.contains(*g))
+            .count();
         ok as f64 / gaps.len() as f64
     }
 }
@@ -250,7 +253,12 @@ mod tests {
     fn sd1(r: &Relation) -> Sd {
         // §4.4.1: sd1: nights →[100,200] subtotal.
         let s = r.schema();
-        Sd::new(s, s.id("nights"), s.id("subtotal"), Interval::new(100.0, 200.0))
+        Sd::new(
+            s,
+            s.id("nights"),
+            s.id("subtotal"),
+            Interval::new(100.0, 200.0),
+        )
     }
 
     #[test]
@@ -269,7 +277,12 @@ mod tests {
         // §4.4.2: sd2: nights →(−∞,0] avg/night.
         let r = hotels_r7();
         let s = r.schema();
-        let sd = Sd::new(s, s.id("nights"), s.id("avg/night"), Interval::non_increasing());
+        let sd = Sd::new(
+            s,
+            s.id("nights"),
+            s.id("avg/night"),
+            Interval::non_increasing(),
+        );
         assert!(sd.holds(&r));
     }
 
@@ -293,7 +306,10 @@ mod tests {
         // Compound ODs don't embed into single SDs.
         let od2 = Od::new(
             s,
-            vec![(s.id("nights"), Direction::Asc), (s.id("subtotal"), Direction::Asc)],
+            vec![
+                (s.id("nights"), Direction::Asc),
+                (s.id("subtotal"), Direction::Asc),
+            ],
             vec![(s.id("taxes"), Direction::Asc)],
         );
         assert!(Sd::from_od(s, &od2).is_none());

@@ -111,7 +111,10 @@ impl UncertainRelation {
         let cells: Vec<&Vec<Value>> = self.rows.iter().flatten().collect();
         let mut digits = vec![0usize; cells.len()];
         loop {
-            let mut world = Relation::empty(self.schema.clone()).expect("schema fits");
+            let mut world = match Relation::empty(self.schema.clone()) {
+                Ok(w) => w,
+                Err(e) => unreachable!("own schema always fits: {e}"),
+            };
             let mut k = 0usize;
             for row in &self.rows {
                 let tuple: Vec<Value> = row
@@ -122,7 +125,9 @@ impl UncertainRelation {
                         v
                     })
                     .collect();
-                world.push_row(tuple).expect("consistent arity");
+                if let Err(e) = world.push_row(tuple) {
+                    unreachable!("tuple arity comes from this schema: {e}");
+                }
             }
             worlds.push(world);
             // Increment.
@@ -191,10 +196,8 @@ mod tests {
     /// Two sensor readings; the second region is uncertain between the two
     /// representation formats of Table 5.
     fn uncertain_hotels() -> UncertainRelation {
-        let schema = Schema::from_attrs([
-            ("address", ValueType::Text),
-            ("region", ValueType::Text),
-        ]);
+        let schema =
+            Schema::from_attrs([("address", ValueType::Text), ("region", ValueType::Text)]);
         let mut u = UncertainRelation::new(schema);
         u.push_row(vec![
             vec!["6030 Gateway Boulevard E".into()],

@@ -35,12 +35,7 @@ impl Default for CdConfig {
 /// (known-LHS conjunctions → new) and as an LHS atom (new + known → each
 /// known RHS). The pay-as-you-go loop calls this once per newly matched
 /// attribute pair.
-pub fn discover_incremental(
-    r: &Relation,
-    known: &[SimFn],
-    new: &SimFn,
-    cfg: &CdConfig,
-) -> Vec<Cd> {
+pub fn discover_incremental(r: &Relation, known: &[SimFn], new: &SimFn, cfg: &CdConfig) -> Vec<Cd> {
     let mut out = Vec::new();
     // New function as the RHS.
     for lhs in lhs_combinations(known, cfg.max_lhs) {
@@ -117,7 +112,14 @@ mod tests {
             5.0,
             5.0,
         )];
-        let new = SimFn::new(s.id("addr"), s.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0);
+        let new = SimFn::new(
+            s.id("addr"),
+            s.id("post"),
+            Metric::Levenshtein,
+            7.0,
+            9.0,
+            6.0,
+        );
         let found = discover_incremental(&r, &known, &new, &CdConfig::default());
         assert!(
             found
@@ -145,7 +147,14 @@ mod tests {
             5.0,
             5.0,
         )];
-        let new = SimFn::new(s.id("addr"), s.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0);
+        let new = SimFn::new(
+            s.id("addr"),
+            s.id("post"),
+            Metric::Levenshtein,
+            7.0,
+            9.0,
+            6.0,
+        );
         let strict = discover_incremental(&r, &known, &new, &CdConfig::default());
         assert!(strict.is_empty() || strict.iter().all(|cd| cd.holds(&r)));
         let tolerant = discover_incremental(
@@ -172,7 +181,14 @@ mod tests {
             9.0,
             6.0,
         )];
-        let new = SimFn::new(s.id("region"), s.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0);
+        let new = SimFn::new(
+            s.id("region"),
+            s.id("city"),
+            Metric::Levenshtein,
+            5.0,
+            5.0,
+            5.0,
+        );
         let found = discover_incremental(&r, &known, &new, &CdConfig::default());
         // region/city as LHS of addr/post, and possibly as RHS too.
         assert!(found

@@ -2,9 +2,9 @@
 //! level-wise search for general CFDs, and the Golab et al. greedy
 //! algorithm for near-optimal tableaux of a given embedded FD.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Cfd, Dependency, Fd, Pattern, PatternCell};
 use deptree_relation::{AttrSet, Relation, Value};
-
 
 /// Configuration shared by the discovery entry points.
 #[derive(Debug, Clone)]
@@ -55,9 +55,9 @@ pub fn cfdminer(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
                         // The stored pattern's values must match ours on l.
                         let ours: Vec<&Value> = l
                             .iter()
-                            .map(|attr| {
-                                let idx = lhs.iter().position(|x| x == attr).expect("subset");
-                                &lhs_vals[idx]
+                            .filter_map(|attr| {
+                                let idx = lhs.iter().position(|x| x == attr)?;
+                                lhs_vals.get(idx)
                             })
                             .collect();
                         ours.iter().zip(vals).all(|(o, v)| *o == v)
@@ -87,8 +87,15 @@ pub fn cfdminer(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
 /// `min_support` tuples, and no generalization (fewer constants or fewer
 /// LHS attributes) was already emitted — the CTANE minimality order.
 pub fn ctane(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
+    ctane_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`ctane`]: one node tick per pattern candidate, row ticks for
+/// each support/validity scan. CFDs are emitted only after `holds`, so
+/// partial results are sound.
+pub fn ctane_bounded(r: &Relation, cfg: &CfdConfig, exec: &Exec) -> Outcome<Vec<Cfd>> {
     let mut out: Vec<Cfd> = Vec::new();
-    for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+    'search: for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
         for rhs in r.schema().ids() {
             if lhs.contains(rhs) {
                 continue;
@@ -101,8 +108,11 @@ pub fn ctane(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
             let domains: Vec<Vec<Value>> = lhs_attrs
                 .iter()
                 .map(|&a| {
-                    let mut vals: Vec<Value> =
-                        r.group_by(AttrSet::single(a)).into_keys().map(|mut k| k.pop().expect("single")).collect();
+                    let mut vals: Vec<Value> = r
+                        .group_by(AttrSet::single(a))
+                        .into_keys()
+                        .filter_map(|mut k| k.pop())
+                        .collect();
                     vals.sort();
                     vals
                 })
@@ -122,6 +132,9 @@ pub fn ctane(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
             }
             patterns.sort_by_key(|p| p.iter().flatten().count());
             for p in patterns {
+                if !exec.tick_node() || !exec.tick_rows(2 * r.n_rows() as u64) {
+                    break 'search;
+                }
                 let mut pattern = Pattern::all_any(lhs.union(rhs_set));
                 for (i, cell) in p.iter().enumerate() {
                     if let Some(v) = cell {
@@ -140,7 +153,7 @@ pub fn ctane(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 /// Does `a` generalize `b` (same RHS, LHS ⊆, and every constant of `a`
@@ -231,19 +244,32 @@ mod tests {
     fn cfdminer_finds_jackson_rule() {
         // region = "Jackson" → address is constant over its 2-tuple cover.
         let r = hotels_r5();
-        let found = cfdminer(&r, &CfdConfig { min_support: 2, max_lhs: 1 });
+        let found = cfdminer(
+            &r,
+            &CfdConfig {
+                min_support: 2,
+                max_lhs: 1,
+            },
+        );
         assert!(found.iter().all(|c| c.is_constant()));
         assert!(found.iter().all(|c| c.holds(&r)), "{found:?}");
         let s = r.schema();
         assert!(found.iter().any(|c| {
-            c.lhs() == AttrSet::single(s.id("region")) && c.rhs() == AttrSet::single(s.id("address"))
+            c.lhs() == AttrSet::single(s.id("region"))
+                && c.rhs() == AttrSet::single(s.id("address"))
         }));
     }
 
     #[test]
     fn cfdminer_minimality() {
         let r = hotels_r6();
-        let found = cfdminer(&r, &CfdConfig { min_support: 2, max_lhs: 2 });
+        let found = cfdminer(
+            &r,
+            &CfdConfig {
+                min_support: 2,
+                max_lhs: 2,
+            },
+        );
         for c in &found {
             assert!(c.holds(&r), "{c}");
         }
@@ -255,7 +281,9 @@ mod tests {
                 let dominated = found.iter().any(|d| {
                     d.lhs() == sub
                         && d.rhs() == c.rhs()
-                        && sub.iter().all(|x| d.pattern().cell(x) == c.pattern().cell(x))
+                        && sub
+                            .iter()
+                            .all(|x| d.pattern().cell(x) == c.pattern().cell(x))
                         && d.pattern().cell(c.rhs().min().expect("single rhs"))
                             == c.pattern().cell(c.rhs().min().expect("single rhs"))
                 });
@@ -270,7 +298,13 @@ mod tests {
         // under source = s2. CTANE must surface a conditioned variant.
         let r = hotels_r6();
         let s = r.schema();
-        let found = ctane(&r, &CfdConfig { min_support: 2, max_lhs: 2 });
+        let found = ctane(
+            &r,
+            &CfdConfig {
+                min_support: 2,
+                max_lhs: 2,
+            },
+        );
         for c in &found {
             assert!(c.holds(&r), "{c}");
         }
@@ -289,7 +323,13 @@ mod tests {
         // be reported, and no specialization of it.
         let r = hotels_r6();
         let s = r.schema();
-        let found = ctane(&r, &CfdConfig { min_support: 2, max_lhs: 1 });
+        let found = ctane(
+            &r,
+            &CfdConfig {
+                min_support: 2,
+                max_lhs: 1,
+            },
+        );
         let street = AttrSet::single(s.id("street"));
         let zip = AttrSet::single(s.id("zip"));
         let plain: Vec<&Cfd> = found

@@ -17,7 +17,9 @@ pub fn frequent_conditions(r: &Relation, min_support: usize) -> Vec<(AttrId, Val
         }
         for (key, rows) in r.group_by(AttrSet::single(id)) {
             if rows.len() >= min_support {
-                out.push((id, key.into_iter().next().expect("single attr")));
+                if let Some(v) = key.into_iter().next() {
+                    out.push((id, v));
+                }
             }
         }
     }
@@ -83,11 +85,7 @@ pub fn discover_cdds(r: &Relation, cfg: &ConditionalConfig) -> Vec<Cdd> {
 
 /// CMD discovery (Wang et al., §3.7.5): conditions under which a matching
 /// rule reaches full confidence that it lacks globally.
-pub fn discover_cmds(
-    r: &Relation,
-    rhs: AttrSet,
-    cfg: &ConditionalConfig,
-) -> Vec<Cmd> {
+pub fn discover_cmds(r: &Relation, rhs: AttrSet, cfg: &ConditionalConfig) -> Vec<Cmd> {
     let schema = r.schema();
     let mut out = Vec::new();
     for (cond_attr, value) in frequent_conditions(r, cfg.min_support) {
@@ -159,7 +157,11 @@ mod tests {
         // holds within source s2: a CMD with that condition must surface.
         let r = hotels_r6();
         let s = r.schema();
-        let found = discover_cmds(&r, AttrSet::single(s.id("zip")), &ConditionalConfig::default());
+        let found = discover_cmds(
+            &r,
+            AttrSet::single(s.id("zip")),
+            &ConditionalConfig::default(),
+        );
         for cmd in &found {
             assert!(cmd.holds(&r), "{cmd}");
             assert!(!cmd.md().holds(&r), "{cmd} adds nothing");
@@ -178,7 +180,10 @@ mod tests {
     fn cdd_respects_distrange_semantics() {
         // Smoke: the returned CDDs carry ≤-ranges produced by DD discovery.
         let r = hotels_r6();
-        for cdd in discover_cdds(&r, &ConditionalConfig::default()).iter().take(5) {
+        for cdd in discover_cdds(&r, &ConditionalConfig::default())
+            .iter()
+            .take(5)
+        {
             for atom in cdd.dd().lhs() {
                 assert!(atom.range.implies(&DistRange::any()));
             }

@@ -5,6 +5,7 @@
 //! size — and therefore the cost — is essentially independent of the
 //! relation size.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Fd, Sfd};
 use deptree_relation::{AttrId, AttrSet, Relation, Value};
 use std::collections::HashMap;
@@ -107,15 +108,26 @@ pub fn chi_square(r: &Relation, rows: &[usize], a: AttrId, b: AttrId, max_cat: u
 
 /// Run CORDS over all ordered column pairs.
 pub fn discover(r: &Relation, cfg: &CordsConfig) -> CordsResult {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per column pair, row ticks for
+/// the per-pair sample scans. Soft FDs and correlations are emitted only
+/// after their own pair's statistics are fully computed, so partial
+/// results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &CordsConfig, exec: &Exec) -> Outcome<CordsResult> {
     let rows = systematic_sample(r, cfg.sample_size);
     let sample = r.select_rows(&rows);
     let local_rows: Vec<usize> = (0..sample.n_rows()).collect();
     let mut sfds = Vec::new();
     let mut correlations = Vec::new();
-    for a in sample.schema().ids() {
+    'search: for a in sample.schema().ids() {
         for b in sample.schema().ids() {
             if a == b {
                 continue;
+            }
+            if !exec.tick_node() || !exec.tick_rows(sample.n_rows() as u64) {
+                break 'search;
             }
             // Strength on the sample (§2.1.1).
             let dom_a = sample.distinct_count(AttrSet::single(a));
@@ -126,11 +138,7 @@ pub fn discover(r: &Relation, cfg: &CordsConfig) -> CordsResult {
                 dom_a as f64 / dom_ab as f64
             };
             if strength >= cfg.min_strength {
-                let fd = Fd::new(
-                    r.schema(),
-                    AttrSet::single(a),
-                    AttrSet::single(b),
-                );
+                let fd = Fd::new(r.schema(), AttrSet::single(a), AttrSet::single(b));
                 sfds.push(Sfd::new(fd, cfg.min_strength));
             }
             if a < b {
@@ -141,11 +149,11 @@ pub fn discover(r: &Relation, cfg: &CordsConfig) -> CordsResult {
             }
         }
     }
-    CordsResult {
+    exec.finish(CordsResult {
         sfds,
         correlations,
         sampled_rows: rows.len(),
-    }
+    })
 }
 
 #[cfg(test)]

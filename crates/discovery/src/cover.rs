@@ -2,6 +2,8 @@
 //! FASTDC (evidence-set complements): both reduce "find all minimal valid
 //! dependencies" to "find all minimal sets hitting every set in a family".
 
+use deptree_core::engine::Exec;
+
 /// Find all *minimal* subsets of `0..universe` (as bitsets) that intersect
 /// every set in `family`. Sets in `family` are bitsets over the same
 /// universe. The empty family yields the empty hitting set.
@@ -10,6 +12,19 @@
 /// classic orderings: branch on elements of the first uncovered set,
 /// ordered by how many uncovered sets they hit.
 pub fn minimal_hitting_sets(family: &[u64], universe: usize) -> Vec<u64> {
+    minimal_hitting_sets_bounded(family, universe, &Exec::unbounded()).0
+}
+
+/// Budgeted [`minimal_hitting_sets`]: each DFS node costs one engine tick.
+/// Returns the covers found plus a completeness flag. Every returned set
+/// genuinely hits the whole family even when the search was cut short —
+/// an incomplete run can only *miss* covers (and therefore report sets
+/// that a missed smaller cover would have shadowed).
+pub fn minimal_hitting_sets_bounded(
+    family: &[u64],
+    universe: usize,
+    exec: &Exec,
+) -> (Vec<u64>, bool) {
     assert!(universe <= 64, "hitting-set universe capped at 64");
     // Reduce to inclusion-minimal family members: hitting a subset implies
     // hitting its supersets.
@@ -25,10 +40,10 @@ pub fn minimal_hitting_sets(family: &[u64], universe: usize) -> Vec<u64> {
     }
     if minimal_family.contains(&0) {
         // An empty set can never be hit.
-        return Vec::new();
+        return (Vec::new(), true);
     }
     let mut out: Vec<u64> = Vec::new();
-    dfs(&minimal_family, 0u64, &mut out);
+    let complete = dfs(&minimal_family, 0u64, &mut out, exec);
     // The DFS can emit non-minimal sets via different branch orders;
     // filter to the minimal antichain.
     out.sort_by_key(|s| s.count_ones());
@@ -39,14 +54,18 @@ pub fn minimal_hitting_sets(family: &[u64], universe: usize) -> Vec<u64> {
         }
     }
     result.sort();
-    result
+    (result, complete)
 }
 
-fn dfs(family: &[u64], chosen: u64, out: &mut Vec<u64>) {
+/// Returns false when the budget cut the search short.
+fn dfs(family: &[u64], chosen: u64, out: &mut Vec<u64>, exec: &Exec) -> bool {
+    if !exec.tick_node() {
+        return false;
+    }
     // First set not yet hit.
     let Some(&uncovered) = family.iter().find(|&&s| s & chosen == 0) else {
         out.push(chosen);
-        return;
+        return true;
     };
     // Branch on each element of the uncovered set; order by coverage of
     // remaining sets (descending) to find small covers early.
@@ -64,20 +83,21 @@ fn dfs(family: &[u64], chosen: u64, out: &mut Vec<u64>) {
         // Cheap local pruning: an already-chosen element whose hit sets
         // are all also hit by the rest of `next` makes `next` non-minimal;
         // a strict subset will be found on another branch.
-        let redundant = (0..64)
-            .filter(|&c| chosen & (1 << c) != 0)
-            .any(|c| {
-                let without = next & !(1 << c);
-                family
-                    .iter()
-                    .filter(|&&s| s & (1 << c) != 0)
-                    .all(|&s| s & without != 0)
-            });
+        let redundant = (0..64).filter(|&c| chosen & (1 << c) != 0).any(|c| {
+            let without = next & !(1 << c);
+            family
+                .iter()
+                .filter(|&&s| s & (1 << c) != 0)
+                .all(|&s| s & without != 0)
+        });
         if redundant {
             continue;
         }
-        dfs(family, next, out);
+        if !dfs(family, next, out, exec) {
+            return false;
+        }
     }
+    true
 }
 
 #[cfg(test)]

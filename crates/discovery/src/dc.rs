@@ -2,7 +2,8 @@
 //! evidence sets and minimal set covers (§4.3.4), plus the approximate
 //! variant A-FASTDC.
 
-use crate::cover::minimal_hitting_sets;
+use crate::cover::{minimal_hitting_sets, minimal_hitting_sets_bounded};
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{CmpOp, Dc, Predicate};
 use deptree_relation::{AttrId, Relation, ValueType};
 use std::collections::HashMap;
@@ -63,12 +64,30 @@ pub fn evidence_sets(
     preds: &[Predicate],
     stats: &mut FastDcStats,
 ) -> HashMap<u64, usize> {
+    evidence_sets_bounded(r, preds, stats, &Exec::unbounded()).0
+}
+
+/// Budgeted [`evidence_sets`]: each tuple pair costs one engine row tick.
+/// Returns the evidence multiset plus a completeness flag; an incomplete
+/// multiset under-constrains covers, so callers must validate candidate
+/// DCs before emitting them.
+pub fn evidence_sets_bounded(
+    r: &Relation,
+    preds: &[Predicate],
+    stats: &mut FastDcStats,
+    exec: &Exec,
+) -> (HashMap<u64, usize>, bool) {
     assert!(preds.len() <= 64, "predicate space capped at 64 bits");
     let mut evidence: HashMap<u64, usize> = HashMap::new();
-    for i in 0..r.n_rows() {
+    let mut complete = true;
+    'scan: for i in 0..r.n_rows() {
         for j in 0..r.n_rows() {
             if i == j {
                 continue;
+            }
+            if !exec.tick_rows(1) {
+                complete = false;
+                break 'scan;
             }
             stats.pairs_evaluated += 1;
             let mut bits = 0u64;
@@ -81,7 +100,7 @@ pub fn evidence_sets(
         }
     }
     stats.n_evidence_sets = evidence.len();
-    evidence
+    (evidence, complete)
 }
 
 /// BFASTDC-style evidence-set construction: instead of evaluating every
@@ -175,12 +194,23 @@ pub struct FastDcResult {
 /// With `approx_epsilon > 0` (A-FASTDC), evidence sets whose total
 /// multiplicity is within an `ε` fraction of all pairs may be left uncovered.
 pub fn discover(r: &Relation, cfg: &DcConfig) -> FastDcResult {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Run FASTDC under `exec`'s budget.
+///
+/// Anytime contract: when the evidence scan was cut short, candidate DCs
+/// are validated pair-by-pair (itself budgeted) before being emitted, so
+/// a partial result contains only DCs that hold exactly on `r`; the
+/// A-FASTDC approximate mode degrades to exact validation in that case.
+/// Completeness and minimality are forfeit on exhaustion.
+pub fn discover_bounded(r: &Relation, cfg: &DcConfig, exec: &Exec) -> Outcome<FastDcResult> {
     let preds = predicate_space(r);
     let mut stats = FastDcStats {
         n_predicates: preds.len(),
         ..Default::default()
     };
-    let evidence = evidence_sets(r, &preds, &mut stats);
+    let (evidence, evidence_complete) = evidence_sets_bounded(r, &preds, &mut stats, exec);
     let full: u64 = if preds.len() == 64 {
         u64::MAX
     } else {
@@ -206,7 +236,7 @@ pub fn discover(r: &Relation, cfg: &DcConfig) -> FastDcResult {
         .map(|&(bits, _)| full & !bits)
         .collect();
 
-    let covers = minimal_hitting_sets(&complements, preds.len());
+    let (covers, _) = minimal_hitting_sets_bounded(&complements, preds.len(), exec);
     let mut dcs = Vec::new();
     for cover in covers {
         if cover.count_ones() as usize > cfg.max_predicates || cover == 0 {
@@ -221,9 +251,33 @@ pub fn discover(r: &Relation, cfg: &DcConfig) -> FastDcResult {
         if is_contradictory(&chosen) {
             continue;
         }
+        // With a truncated evidence scan the cover is only a candidate:
+        // validate before emitting so partial results stay sound.
+        if !evidence_complete && !matches!(validate_bounded(r, &chosen, exec), Some(true)) {
+            continue;
+        }
         dcs.push(Dc::new(r.schema(), chosen));
     }
-    FastDcResult { dcs, stats }
+    exec.finish(FastDcResult { dcs, stats })
+}
+
+/// Does `¬(⋀ preds)` hold on every ordered tuple pair? `None` when the
+/// budget died before the scan finished.
+fn validate_bounded(r: &Relation, preds: &[Predicate], exec: &Exec) -> Option<bool> {
+    for i in 0..r.n_rows() {
+        for j in 0..r.n_rows() {
+            if i == j {
+                continue;
+            }
+            if !exec.tick_rows(1) {
+                return None;
+            }
+            if preds.iter().all(|p| p.eval(r, i, j)) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
 }
 
 /// Hydra-style discovery (Bleifuß et al., §4.3.4): avoid building the
@@ -383,7 +437,13 @@ mod tests {
         // implying it, but with max_predicates 2 the exact one appears).
         let r = hotels_r7();
         let s = r.schema();
-        let result = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.0 });
+        let result = discover(
+            &r,
+            &DcConfig {
+                max_predicates: 2,
+                approx_epsilon: 0.0,
+            },
+        );
         let target = Dc::new(
             s,
             vec![
@@ -392,7 +452,10 @@ mod tests {
             ],
         );
         assert!(
-            result.dcs.iter().any(|dc| dc.to_string() == target.to_string()),
+            result
+                .dcs
+                .iter()
+                .any(|dc| dc.to_string() == target.to_string()),
             "{:?}",
             result.dcs.iter().map(|d| d.to_string()).collect::<Vec<_>>()
         );
@@ -437,14 +500,29 @@ mod tests {
             ],
         );
         assert!(!target.holds(&r));
-        let exact = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.0 });
+        let exact = discover(
+            &r,
+            &DcConfig {
+                max_predicates: 2,
+                approx_epsilon: 0.0,
+            },
+        );
         assert!(!exact
             .dcs
             .iter()
             .any(|dc| dc.to_string() == target.to_string()));
-        let approx = discover(&r, &DcConfig { max_predicates: 2, approx_epsilon: 0.15 });
+        let approx = discover(
+            &r,
+            &DcConfig {
+                max_predicates: 2,
+                approx_epsilon: 0.15,
+            },
+        );
         assert!(
-            approx.dcs.iter().any(|dc| dc.to_string() == target.to_string()),
+            approx
+                .dcs
+                .iter()
+                .any(|dc| dc.to_string() == target.to_string()),
             "{:?}",
             approx.dcs.iter().map(|d| d.to_string()).collect::<Vec<_>>()
         );

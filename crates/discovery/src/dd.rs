@@ -2,6 +2,7 @@
 //! distance thresholds from the data's distance distribution, then search
 //! the interval lattice for minimal DDs with subsumption pruning.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dd, DiffAtom};
 use deptree_metrics::{DistRange, Metric};
 use deptree_relation::{AttrId, Relation};
@@ -32,12 +33,7 @@ impl Default for DdConfig {
 
 /// Candidate thresholds for `attr`: distinct quantiles of the observed
 /// pairwise distances (the data-driven threshold determination step).
-pub fn candidate_thresholds(
-    r: &Relation,
-    attr: AttrId,
-    metric: &Metric,
-    k: usize,
-) -> Vec<f64> {
+pub fn candidate_thresholds(r: &Relation, attr: AttrId, metric: &Metric, k: usize) -> Vec<f64> {
     let mut dists: Vec<f64> = r
         .row_pairs()
         .map(|(i, j)| metric.dist(r.value(i, attr), r.value(j, attr)))
@@ -62,6 +58,14 @@ pub fn candidate_thresholds(
 /// discovered DD subsumes it: looser LHS (accepts more pairs) and tighter
 /// or equal RHS.
 pub fn discover(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per (LHS-combo, RHS) candidate and
+/// one row tick per pair scanned. The RHS bound of every emitted DD was
+/// computed from a *complete* pair scan (the candidate is skipped if the
+/// budget dies mid-scan), so partial results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &DdConfig, exec: &Exec) -> Outcome<Vec<Dd>> {
     let schema = r.schema();
     let attrs: Vec<AttrId> = schema.ids().collect();
     let metrics: Vec<Metric> = attrs
@@ -75,7 +79,7 @@ pub fn discover(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
 
     let mut out: Vec<Dd> = Vec::new();
     // LHS: single attributes and pairs (bounded by max_lhs).
-    for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+    'search: for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
         let lhs_attrs = lhs_set.to_vec();
         // Threshold combinations for the LHS attributes.
         let mut combos: Vec<Vec<f64>> = vec![vec![]];
@@ -100,16 +104,24 @@ pub fn discover(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
                 if lhs_set.contains(rhs_attr) {
                     continue;
                 }
+                if !exec.tick_node() {
+                    break 'search;
+                }
                 // Tightest valid RHS bound: max RHS distance over
                 // LHS-compatible pairs.
                 let mut support = 0usize;
                 let mut max_rhs: f64 = 0.0;
                 for (i, j) in r.row_pairs() {
+                    if !exec.tick_rows(1) {
+                        // Bound computed from a partial scan would be
+                        // unsound; drop the candidate and stop.
+                        break 'search;
+                    }
                     let compat = lhs.iter().all(|atom| atom.compatible(r, i, j));
                     if compat {
                         support += 1;
-                        let d = metrics[rhs_attr.0]
-                            .dist(r.value(i, rhs_attr), r.value(j, rhs_attr));
+                        let d =
+                            metrics[rhs_attr.0].dist(r.value(i, rhs_attr), r.value(j, rhs_attr));
                         max_rhs = max_rhs.max(d);
                     }
                 }
@@ -132,7 +144,7 @@ pub fn discover(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 /// Does `a` subsume `b`: same attributes, every `b`-LHS atom implies the
@@ -189,7 +201,13 @@ mod tests {
         // Shrinking any RHS bound must break the DD (tightness of the
         // computed σ).
         let r = hotels_r6();
-        let found = discover(&r, &DdConfig { max_lhs: 1, ..Default::default() });
+        let found = discover(
+            &r,
+            &DdConfig {
+                max_lhs: 1,
+                ..Default::default()
+            },
+        );
         for dd in found.iter().take(10) {
             let atom = &dd.rhs()[0];
             let sigma = atom.range.max();
@@ -229,7 +247,13 @@ mod tests {
         // small RHS bound for the tight name LHS.
         let r = hotels_r6();
         let s = r.schema();
-        let found = discover(&r, &DdConfig { max_lhs: 1, ..Default::default() });
+        let found = discover(
+            &r,
+            &DdConfig {
+                max_lhs: 1,
+                ..Default::default()
+            },
+        );
         let tight = found.iter().find(|dd| {
             dd.lhs().len() == 1
                 && dd.lhs()[0].attr == s.id("name")

@@ -4,6 +4,7 @@
 //! value quantiles — under which an embedded FD holds that fails
 //! unconditionally.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{CmpOp, Dependency, ECfd, Fd, PatternOp};
 use deptree_relation::{AttrId, AttrSet, Relation, Value, ValueType};
 
@@ -43,6 +44,13 @@ fn numeric_constants(r: &Relation, attr: AttrId, k: usize) -> Vec<Value> {
 /// Discover eCFDs `(cond_attr op c), X → A` whose embedded FD fails
 /// without the condition (the conditional rules that add information).
 pub fn discover(r: &Relation, cfg: &ECfdConfig) -> Vec<ECfd> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per candidate rule, row ticks for
+/// each validation scan. eCFDs are emitted only after `holds`, so partial
+/// results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &ECfdConfig, exec: &Exec) -> Outcome<Vec<ECfd>> {
     let schema = r.schema();
     let numeric: Vec<AttrId> = schema
         .iter()
@@ -50,7 +58,7 @@ pub fn discover(r: &Relation, cfg: &ECfdConfig) -> Vec<ECfd> {
         .map(|(id, _)| id)
         .collect();
     let mut out = Vec::new();
-    for &cond in &numeric {
+    'search: for &cond in &numeric {
         let constants = numeric_constants(r, cond, cfg.constants_per_attr);
         for c in &constants {
             for op in [CmpOp::Leq, CmpOp::Gt] {
@@ -58,6 +66,9 @@ pub fn discover(r: &Relation, cfg: &ECfdConfig) -> Vec<ECfd> {
                     for rhs in schema.ids() {
                         if vars.contains(rhs) || rhs == cond {
                             continue;
+                        }
+                        if !exec.tick_node() || !exec.tick_rows(2 * r.n_rows() as u64) {
+                            break 'search;
                         }
                         // Skip when the unconditioned FD already holds —
                         // the condition then adds nothing.
@@ -79,7 +90,7 @@ pub fn discover(r: &Relation, cfg: &ECfdConfig) -> Vec<ECfd> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 #[cfg(test)]
@@ -100,7 +111,11 @@ mod tests {
                 && e.rhs() == AttrSet::single(s.id("address"))
                 && matches!(e.cell(s.id("rate")), PatternOp::Cmp(CmpOp::Leq, _))
         });
-        assert!(hit.is_some(), "{:?}", found.iter().map(|e| e.to_string()).collect::<Vec<_>>());
+        assert!(
+            hit.is_some(),
+            "{:?}",
+            found.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -121,8 +136,7 @@ mod tests {
         let s = r.schema();
         let found = discover(&r, &ECfdConfig::default());
         assert!(!found.iter().any(|e| {
-            e.rhs() == AttrSet::single(s.id("name"))
-                && e.lhs().contains(s.id("address"))
+            e.rhs() == AttrSet::single(s.id("name")) && e.lhs().contains(s.id("address"))
         }));
     }
 

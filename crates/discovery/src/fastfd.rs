@@ -4,8 +4,9 @@
 //! scales with tuples-squared but not with the attribute lattice, so the
 //! two cross over on wide-vs-long relations (an ablation bench).
 
-use crate::cover::minimal_hitting_sets;
-use deptree_core::Fd;
+use crate::cover::minimal_hitting_sets_bounded;
+use deptree_core::engine::{Exec, Outcome};
+use deptree_core::{Dependency, Fd};
 use deptree_relation::{AttrSet, Relation, StrippedPartition};
 use std::collections::HashSet;
 
@@ -36,15 +37,32 @@ pub struct FastFdResult {
 /// attribute, plus a sample of fully-disagreeing pairs which contribute
 /// the universe set.
 pub fn difference_sets(r: &Relation, stats: &mut FastFdStats) -> Vec<AttrSet> {
+    difference_sets_bounded(r, stats, &Exec::unbounded()).0
+}
+
+/// Budgeted [`difference_sets`]: each tuple pair costs one engine row
+/// tick. Returns the sets found plus a completeness flag; an incomplete
+/// collection under-constrains covers, so callers must verify candidate
+/// FDs before emitting them.
+pub fn difference_sets_bounded(
+    r: &Relation,
+    stats: &mut FastFdStats,
+    exec: &Exec,
+) -> (Vec<AttrSet>, bool) {
     let all = r.all_attrs();
     let mut seen: HashSet<AttrSet> = HashSet::new();
+    let mut complete = true;
     // Pairs agreeing somewhere: walk each attribute's partition classes.
     let mut visited_pairs: HashSet<(usize, usize)> = HashSet::new();
-    for a in r.schema().ids() {
+    'scan: for a in r.schema().ids() {
         let p = StrippedPartition::from_column(r, a);
         for class in p.classes() {
             for (i, &t1) in class.iter().enumerate() {
                 for &t2 in class.iter().skip(i + 1) {
+                    if !exec.tick_rows(1) {
+                        complete = false;
+                        break 'scan;
+                    }
                     if !visited_pairs.insert((t1, t2)) {
                         continue;
                     }
@@ -70,15 +88,27 @@ pub fn difference_sets(r: &Relation, stats: &mut FastFdStats) -> Vec<AttrSet> {
     stats.difference_sets = seen.len();
     let mut v: Vec<AttrSet> = seen.into_iter().collect();
     v.sort();
-    v
+    (v, complete)
 }
 
-/// Run FastFD on `r`.
+/// Run FastFD on `r` to completion (no resource limits).
 pub fn discover(r: &Relation) -> FastFdResult {
+    discover_bounded(r, &Exec::unbounded()).result
+}
+
+/// Run FastFD on `r` under `exec`'s budget.
+///
+/// Anytime contract: when the difference-set scan was cut short the
+/// hitting-set covers it implies are *not* trustworthy (missing
+/// difference sets mean missing constraints), so every candidate FD is
+/// re-verified against the relation before being emitted. A partial
+/// result therefore contains only FDs that hold; completeness — and,
+/// when the cover search itself was truncated, minimality — is forfeit.
+pub fn discover_bounded(r: &Relation, exec: &Exec) -> Outcome<FastFdResult> {
     let mut stats = FastFdStats::default();
-    let diffs = difference_sets(r, &mut stats);
+    let (diffs, diffs_complete) = difference_sets_bounded(r, &mut stats, exec);
     let mut fds = Vec::new();
-    for rhs in r.schema().ids() {
+    'emit: for rhs in r.schema().ids() {
         // FDs X → rhs: X must intersect every difference set containing
         // rhs, using only attributes ≠ rhs.
         let relevant: Vec<u64> = diffs
@@ -90,13 +120,22 @@ pub fn discover(r: &Relation) -> FastFdResult {
             // Some pair differs ONLY on rhs: no FD with this RHS exists.
             continue;
         }
-        for cover in minimal_hitting_sets(&relevant, r.n_attrs()) {
+        let (covers, _) = minimal_hitting_sets_bounded(&relevant, r.n_attrs(), exec);
+        for cover in covers {
             let lhs = AttrSet::from_bits(cover);
-            fds.push(Fd::new(r.schema(), lhs, AttrSet::single(rhs)));
+            let fd = Fd::new(r.schema(), lhs, AttrSet::single(rhs));
+            // With a truncated pair scan the cover is only a candidate:
+            // verify before emitting so partial results stay sound.
+            if diffs_complete || fd.holds(r) {
+                fds.push(fd);
+            }
+            if !exec.tick() {
+                break 'emit;
+            }
         }
     }
     fds.sort_by_key(|fd| (fd.lhs().len(), fd.lhs(), fd.rhs()));
-    FastFdResult { fds, stats }
+    exec.finish(FastFdResult { fds, stats })
 }
 
 #[cfg(test)]
@@ -171,10 +210,40 @@ mod tests {
         let r = hotels_r5();
         let result = discover(&r);
         assert!(
-            !result.fds.iter().any(|fd| fd.rhs() == AttrSet::single(r.schema().id("region"))),
+            !result
+                .fds
+                .iter()
+                .any(|fd| fd.rhs() == AttrSet::single(r.schema().id("region"))),
             "{:?}",
             result.fds
         );
+    }
+
+    #[test]
+    fn bounded_run_verifies_partial_covers() {
+        use deptree_core::engine::Budget;
+        let cfg = CategoricalConfig {
+            n_rows: 150,
+            n_key_attrs: 2,
+            n_dep_attrs: 3,
+            domain: 6,
+            error_rate: 0.1,
+            seed: 11,
+        };
+        let data = categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let r = &data.relation;
+        // Row budget far below the pair count truncates the scan; the
+        // partial result must still be sound.
+        let exec = Exec::new(Budget::new().with_max_rows(50));
+        let out = discover_bounded(r, &exec);
+        assert!(!out.complete);
+        for fd in &out.result.fds {
+            assert!(fd.holds(r), "{fd} unsound under row budget");
+        }
+        // Determinism for a fixed budget.
+        let again = discover_bounded(r, &Exec::new(Budget::new().with_max_rows(50)));
+        let names = |fds: &[Fd]| fds.iter().map(|f| f.to_string()).collect::<Vec<_>>();
+        assert_eq!(names(&out.result.fds), names(&again.result.fds));
     }
 
     #[test]

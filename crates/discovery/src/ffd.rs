@@ -2,6 +2,7 @@
 //! fuzzy functional dependencies with a single right-hand attribute,
 //! checking every tuple pair against the μ_EQ monotonicity condition.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Ffd};
 use deptree_metrics::Resemblance;
 use deptree_relation::{AttrId, Relation, ValueType};
@@ -41,23 +42,29 @@ pub fn default_resemblance(ty: ValueType, beta: f64) -> Resemblance {
 /// every superset of `X` also yields a valid FFD and only the minimal `X`
 /// is reported (the small-to-large pruning of the mining algorithm).
 pub fn discover(r: &Relation, cfg: &FfdConfig) -> Vec<Ffd> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per candidate, row ticks for the
+/// validation scan. FFDs are emitted only after `holds`, so partial
+/// results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &FfdConfig, exec: &Exec) -> Outcome<Vec<Ffd>> {
     let schema = r.schema();
     let res = |a: AttrId| default_resemblance(schema.ty(a), cfg.numeric_beta);
     let mut out: Vec<Ffd> = Vec::new();
     let mut found: Vec<(deptree_relation::AttrSet, AttrId)> = Vec::new();
-    for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+    'search: for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
         for rhs in schema.ids() {
             if lhs_set.contains(rhs) {
                 continue;
             }
-            if found
-                .iter()
-                .any(|(l, a)| l.is_subset(lhs_set) && *a == rhs)
-            {
+            if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                break 'search;
+            }
+            if found.iter().any(|(l, a)| l.is_subset(lhs_set) && *a == rhs) {
                 continue; // implied by monotonicity of the min-combination
             }
-            let lhs: Vec<(AttrId, Resemblance)> =
-                lhs_set.iter().map(|a| (a, res(a))).collect();
+            let lhs: Vec<(AttrId, Resemblance)> = lhs_set.iter().map(|a| (a, res(a))).collect();
             let ffd = Ffd::new(schema, lhs, vec![(rhs, res(rhs))]);
             if ffd.holds(r) {
                 found.push((lhs_set, rhs));
@@ -65,7 +72,7 @@ pub fn discover(r: &Relation, cfg: &FfdConfig) -> Vec<Ffd> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 #[cfg(test)]
@@ -90,7 +97,13 @@ mod tests {
         let r = hotels_r6();
         let schema = r.schema();
         let res = |a: AttrId| default_resemblance(schema.ty(a), 1.0);
-        for base in discover(&r, &FfdConfig { max_lhs: 1, numeric_beta: 1.0 }) {
+        for base in discover(
+            &r,
+            &FfdConfig {
+                max_lhs: 1,
+                numeric_beta: 1.0,
+            },
+        ) {
             let (lhs_attr, _) = base.lhs()[0].clone();
             let (rhs_attr, _) = base.rhs()[0].clone();
             for extra in schema.ids() {
@@ -110,7 +123,13 @@ mod tests {
     #[test]
     fn minimal_lhs_only() {
         let r = hotels_r5();
-        let found = discover(&r, &FfdConfig { max_lhs: 2, numeric_beta: 1.0 });
+        let found = discover(
+            &r,
+            &FfdConfig {
+                max_lhs: 2,
+                numeric_beta: 1.0,
+            },
+        );
         for ffd in found.iter().filter(|f| f.lhs().len() == 2) {
             let rhs_attr = ffd.rhs()[0].0;
             for (a, _) in ffd.lhs() {
@@ -132,7 +151,13 @@ mod tests {
         // must not be discovered.
         let r = hotels_r6();
         let s = r.schema();
-        let found = discover(&r, &FfdConfig { max_lhs: 2, numeric_beta: 1.0 });
+        let found = discover(
+            &r,
+            &FfdConfig {
+                max_lhs: 2,
+                numeric_beta: 1.0,
+            },
+        );
         let target_lhs = AttrSet::from_ids([s.id("name"), s.id("price")]);
         assert!(!found.iter().any(|f| {
             let lhs: AttrSet = f.lhs().iter().map(|(a, _)| *a).collect();

@@ -2,6 +2,7 @@
 //! search over the similarity predicate space, relative candidate keys,
 //! and the greedy concise matching-key cover.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::Md;
 use deptree_metrics::Metric;
 use deptree_relation::{AttrId, AttrSet, Relation};
@@ -48,10 +49,22 @@ pub struct ScoredMd {
 /// dropping any atom (or loosening it to the next threshold) violates the
 /// confidence bar.
 pub fn discover(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
+    discover_bounded(r, rhs, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per threshold combination, row
+/// ticks for each support/confidence pair scan. MDs are emitted only
+/// after clearing both bars, so partial results are sound.
+pub fn discover_bounded(
+    r: &Relation,
+    rhs: AttrSet,
+    cfg: &MdConfig,
+    exec: &Exec,
+) -> Outcome<Vec<ScoredMd>> {
     let schema = r.schema();
     let candidates: Vec<AttrId> = schema.ids().filter(|a| !rhs.contains(*a)).collect();
     let mut out: Vec<ScoredMd> = Vec::new();
-    for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
+    'search: for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
         let lhs_attrs = lhs_set.to_vec();
         // Threshold combinations.
         let thresholds: Vec<Vec<f64>> = lhs_attrs
@@ -78,6 +91,10 @@ pub fn discover(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
             combos = next;
         }
         for combo in combos {
+            let n = r.n_rows() as u64;
+            if !exec.tick_node() || !exec.tick_rows(n * n.saturating_sub(1) / 2) {
+                break 'search;
+            }
             let lhs: Vec<(AttrId, Metric, f64)> = lhs_attrs
                 .iter()
                 .zip(&combo)
@@ -102,7 +119,7 @@ pub fn discover(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
         }
     }
     out.sort_by(|a, b| b.support.total_cmp(&a.support));
-    out
+    exec.finish(out)
 }
 
 /// `a` dominates `b` when `a`'s LHS attributes ⊆ `b`'s with thresholds ≥
@@ -125,8 +142,7 @@ pub fn concise_matching_keys(
     same: &dyn Fn(usize, usize) -> bool,
     target_recall: f64,
 ) -> Vec<ScoredMd> {
-    let dup_pairs: Vec<(usize, usize)> =
-        r.row_pairs().filter(|&(i, j)| same(i, j)).collect();
+    let dup_pairs: Vec<(usize, usize)> = r.row_pairs().filter(|&(i, j)| same(i, j)).collect();
     if dup_pairs.is_empty() {
         return Vec::new();
     }
@@ -149,7 +165,7 @@ pub fn concise_matching_keys(
                 (idx, gain)
             })
             .max_by_key(|&(_, gain)| gain)
-            .expect("non-empty");
+            .unwrap_or((0, 0));
         if best_gain == 0 {
             break;
         }

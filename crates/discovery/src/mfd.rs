@@ -6,6 +6,7 @@
 //! diameter within a factor 2 in linear time (an ablation bench compares
 //! the two).
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::Mfd;
 use deptree_metrics::Metric;
 use deptree_relation::{AttrId, AttrSet, Relation};
@@ -101,17 +102,27 @@ impl Default for MfdConfig {
 /// dependent attribute (with its type's default metric), propose
 /// `lhs →^δmin attr` when `δmin ≤ max_delta` and the LHS is minimal.
 pub fn discover(r: &Relation, cfg: &MfdConfig) -> Vec<(Mfd, f64)> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per candidate, row ticks for the
+/// per-group diameter scans. Each emitted MFD carries its fully-computed
+/// minimal threshold, so partial results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &MfdConfig, exec: &Exec) -> Outcome<Vec<(Mfd, f64)>> {
     let mut out: Vec<(Mfd, f64)> = Vec::new();
     let mut found: Vec<(AttrSet, AttrId)> = Vec::new();
     let all = r.all_attrs();
     let sets = crate::mvd_subsets(all, cfg.max_lhs);
-    for lhs in sets {
+    'search: for lhs in sets {
         for attr in r.schema().ids() {
             if lhs.contains(attr) {
                 continue;
             }
             if found.iter().any(|(l, a)| l.is_subset(lhs) && *a == attr) {
                 continue;
+            }
+            if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                break 'search;
             }
             let metric = Metric::default_for(r.schema().ty(attr));
             let delta = minimal_delta(r, lhs, attr, &metric);
@@ -124,7 +135,7 @@ pub fn discover(r: &Relation, cfg: &MfdConfig) -> Vec<(Mfd, f64)> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 #[cfg(test)]
@@ -152,7 +163,13 @@ mod tests {
     #[test]
     fn discovered_mfds_hold_with_their_delta() {
         let r = hotels_r6();
-        for (mfd, _) in discover(&r, &MfdConfig { max_delta: 50.0, max_lhs: 2 }) {
+        for (mfd, _) in discover(
+            &r,
+            &MfdConfig {
+                max_delta: 50.0,
+                max_lhs: 2,
+            },
+        ) {
             assert!(mfd.holds(&r), "{mfd}");
         }
     }
@@ -192,7 +209,13 @@ mod tests {
     fn empty_group_edge_cases() {
         let r = hotels_r1();
         let s = r.schema();
-        assert_eq!(pivot_radius(&r, &[], s.id("region"), &Metric::Levenshtein), 0.0);
-        assert_eq!(exact_diameter(&r, &[3], s.id("region"), &Metric::Levenshtein), 0.0);
+        assert_eq!(
+            pivot_radius(&r, &[], s.id("region"), &Metric::Levenshtein),
+            0.0
+        );
+        assert_eq!(
+            exact_diameter(&r, &[3], s.id("region"), &Metric::Levenshtein),
+            0.0
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! MVD discovery (Savnik–Flach): level-wise search of the hypothesis
 //! space with augmentation-based pruning (§2.6.3).
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Mvd};
 use deptree_relation::{AttrSet, Relation};
 
@@ -29,13 +30,20 @@ impl Default for MvdConfig {
 /// `X ↠ Z` are the same constraint): only the variant whose smallest
 /// member is smaller than the complement's is enumerated.
 pub fn discover(r: &Relation, cfg: &MvdConfig) -> Vec<Mvd> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per `(X, Y)` candidate, row ticks
+/// for the validation scan. MVDs are emitted only after `holds`, so
+/// partial results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &MvdConfig, exec: &Exec) -> Outcome<Vec<Mvd>> {
     let all = r.all_attrs();
     let n = r.n_attrs();
     let mut found: Vec<Mvd> = Vec::new();
     // Enumerate X by increasing size, starting from the empty determinant
     // (∅ ↠ Y: the relation is a cross product of π_Y and π_Z).
     let x_sets = std::iter::once(AttrSet::empty()).chain(subsets_up_to(all, cfg.max_x.min(n)));
-    for x in x_sets {
+    'search: for x in x_sets {
         let rest = all.difference(x);
         if rest.len() < 2 {
             continue; // Y or Z would be empty → trivial.
@@ -55,11 +63,11 @@ pub fn discover(r: &Relation, cfg: &MvdConfig) -> Vec<Mvd> {
             }
             // Augmentation pruning: a found MVD with X' ⊆ X and the same Y
             // implies this one.
-            if found
-                .iter()
-                .any(|m| m.x().is_subset(x) && m.y() == y)
-            {
+            if found.iter().any(|m| m.x().is_subset(x) && m.y() == y) {
                 continue;
+            }
+            if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                break 'search;
             }
             let mvd = Mvd::new(r.schema(), x, y);
             if mvd.holds(r) {
@@ -67,7 +75,7 @@ pub fn discover(r: &Relation, cfg: &MvdConfig) -> Vec<Mvd> {
             }
         }
     }
-    found
+    exec.finish(found)
 }
 
 /// All subsets of `universe` with `1 ≤ |S| ≤ k`, ordered by size then bits.

@@ -3,6 +3,7 @@
 //! support and confidence. The problem is NP-hard in the number of
 //! attributes; the standard practical attack is greedy/beam search.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Ned, NedAtom};
 use deptree_metrics::Metric;
 use deptree_relation::{AttrSet, Relation};
@@ -37,6 +38,19 @@ impl Default for NedConfig {
 /// Greedy/beam search for a left-hand predicate given the target RHS.
 /// Returns the best NED meeting both bars, or `None`.
 pub fn discover_lhs(r: &Relation, rhs: Vec<NedAtom>, cfg: &NedConfig) -> Option<Ned> {
+    discover_lhs_bounded(r, rhs, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover_lhs`]: one node tick per beam expansion, row ticks
+/// for each scoring scan. The best rule found before exhaustion is
+/// returned (it has verified support/confidence), so partial results are
+/// sound.
+pub fn discover_lhs_bounded(
+    r: &Relation,
+    rhs: Vec<NedAtom>,
+    cfg: &NedConfig,
+    exec: &Exec,
+) -> Outcome<Option<Ned>> {
     assert!(!rhs.is_empty(), "target RHS predicate required");
     let rhs_attrs: AttrSet = rhs.iter().map(|a| a.attr).collect();
     // Candidate atoms: every non-RHS attribute × candidate thresholds.
@@ -56,12 +70,16 @@ pub fn discover_lhs(r: &Relation, rhs: Vec<NedAtom>, cfg: &NedConfig) -> Option<
     };
     let mut beam: Vec<Vec<NedAtom>> = vec![vec![]];
     let mut best: Option<(Vec<NedAtom>, usize, f64)> = None;
-    for _ in 0..cfg.max_lhs {
+    'search: for _ in 0..cfg.max_lhs {
         let mut expansions: Vec<(Vec<NedAtom>, usize, f64)> = Vec::new();
         for base in &beam {
             for atom in &atoms {
                 if base.iter().any(|b| b.attr == atom.attr) {
                     continue;
+                }
+                let n = r.n_rows() as u64;
+                if !exec.tick_node() || !exec.tick_rows(n * n.saturating_sub(1) / 2) {
+                    break 'search;
                 }
                 let mut lhs = base.clone();
                 lhs.push(atom.clone());
@@ -88,7 +106,7 @@ pub fn discover_lhs(r: &Relation, rhs: Vec<NedAtom>, cfg: &NedConfig) -> Option<
         }
         beam = expansions.into_iter().map(|(l, _, _)| l).collect();
     }
-    best.map(|(lhs, _, _)| Ned::new(r.schema(), lhs, rhs))
+    exec.finish(best.map(|(lhs, _, _)| Ned::new(r.schema(), lhs, rhs)))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! the derivation cost the survey's query-optimization application (§2.4.3)
 //! relies on.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::Nud;
 use deptree_relation::{AttrSet, Relation};
 
@@ -18,7 +19,10 @@ pub struct NudConfig {
 
 impl Default for NudConfig {
     fn default() -> Self {
-        NudConfig { max_lhs: 2, max_k: 5 }
+        NudConfig {
+            max_lhs: 2,
+            max_k: 5,
+        }
     }
 }
 
@@ -27,11 +31,21 @@ impl Default for NudConfig {
 /// have smaller-or-equal fan-out, so supersets are reported only when they
 /// strictly lower `k`.
 pub fn discover(r: &Relation, cfg: &NudConfig) -> Vec<Nud> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per candidate, one row tick per
+/// row scanned. NUDs are emitted with their verified minimal weight, so
+/// partial results are sound.
+pub fn discover_bounded(r: &Relation, cfg: &NudConfig, exec: &Exec) -> Outcome<Vec<Nud>> {
     let mut out: Vec<Nud> = Vec::new();
-    for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+    'search: for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
         for rhs in r.schema().ids() {
             if lhs.contains(rhs) {
                 continue;
+            }
+            if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                break 'search;
             }
             let probe = Nud::new(r.schema(), lhs, AttrSet::single(rhs), 1);
             let k = probe.max_fanout(r).max(1);
@@ -39,15 +53,15 @@ pub fn discover(r: &Relation, cfg: &NudConfig) -> Vec<Nud> {
                 continue;
             }
             // Keep only if no reported subset-LHS NUD has k' ≤ k.
-            let dominated = out.iter().any(|n| {
-                n.rhs() == AttrSet::single(rhs) && n.lhs().is_subset(lhs) && n.k() <= k
-            });
+            let dominated = out
+                .iter()
+                .any(|n| n.rhs() == AttrSet::single(rhs) && n.lhs().is_subset(lhs) && n.k() <= k);
             if !dominated {
                 out.push(Nud::new(r.schema(), lhs, AttrSet::single(rhs), k));
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 #[cfg(test)]
@@ -63,7 +77,8 @@ mod tests {
         let s = r.schema();
         let found = discover(&r, &NudConfig::default());
         let target = found.iter().find(|n| {
-            n.lhs() == AttrSet::single(s.id("address")) && n.rhs() == AttrSet::single(s.id("region"))
+            n.lhs() == AttrSet::single(s.id("address"))
+                && n.rhs() == AttrSet::single(s.id("region"))
         });
         assert_eq!(target.map(Nud::k), Some(2));
     }
@@ -83,14 +98,26 @@ mod tests {
     #[test]
     fn max_k_filter() {
         let r = hotels_r5();
-        let found = discover(&r, &NudConfig { max_lhs: 1, max_k: 1 });
+        let found = discover(
+            &r,
+            &NudConfig {
+                max_lhs: 1,
+                max_k: 1,
+            },
+        );
         assert!(found.iter().all(|n| n.k() == 1));
     }
 
     #[test]
     fn superset_lhs_only_when_strictly_better() {
         let r = hotels_r5();
-        let found = discover(&r, &NudConfig { max_lhs: 2, max_k: 10 });
+        let found = discover(
+            &r,
+            &NudConfig {
+                max_lhs: 2,
+                max_k: 10,
+            },
+        );
         for n in found.iter().filter(|n| n.lhs().len() == 2) {
             for a in n.lhs().iter() {
                 let sub = n.lhs().remove(a);

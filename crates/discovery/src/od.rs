@@ -2,6 +2,7 @@
 //! validates candidate ODs on sorted partitions in `O(n log n)` per
 //! candidate, over the direction combinations of marked attributes.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Direction, Od};
 use deptree_relation::{AttrId, AttrSet, Relation, Value};
 
@@ -59,14 +60,24 @@ pub fn validate_single(r: &Relation, a: AttrId, da: Direction, b: AttrId, db: Di
 /// pairs, canonicalized so the LHS mark is always ascending
 /// (`A^≥ → B^d` equals `A^≤ → B^d̄`).
 pub fn discover(r: &Relation, cfg: &OdConfig) -> Vec<Od> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: each candidate OD costs one node tick plus one
+/// row tick per row validated. ODs are emitted only after validation, so
+/// partial results are sound; unvisited candidates are forfeit.
+pub fn discover_bounded(r: &Relation, cfg: &OdConfig, exec: &Exec) -> Outcome<Vec<Od>> {
     let mut out = Vec::new();
     let attrs: Vec<AttrId> = r.schema().ids().collect();
-    for &a in &attrs {
+    'single: for &a in &attrs {
         for &b in &attrs {
             if a == b {
                 continue;
             }
             for db in [Direction::Asc, Direction::Desc] {
+                if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                    break 'single;
+                }
                 if validate_single(r, a, Direction::Asc, b, db) {
                     out.push(Od::new(
                         r.schema(),
@@ -79,7 +90,7 @@ pub fn discover(r: &Relation, cfg: &OdConfig) -> Vec<Od> {
     }
     // Compound LHS (lexicographic-style pointwise lists) when requested.
     if cfg.max_lhs >= 2 {
-        for &a1 in &attrs {
+        'compound: for &a1 in &attrs {
             for &a2 in &attrs {
                 if a1 >= a2 {
                     continue;
@@ -89,6 +100,9 @@ pub fn discover(r: &Relation, cfg: &OdConfig) -> Vec<Od> {
                         continue;
                     }
                     for db in [Direction::Asc, Direction::Desc] {
+                        if !exec.tick_node() || !exec.tick_rows(3 * r.n_rows() as u64) {
+                            break 'compound;
+                        }
                         // Only report if neither single-attribute premise
                         // already suffices (minimality).
                         if validate_single(r, a1, Direction::Asc, b, db)
@@ -109,7 +123,7 @@ pub fn discover(r: &Relation, cfg: &OdConfig) -> Vec<Od> {
             }
         }
     }
-    out
+    exec.finish(out)
 }
 
 #[cfg(test)]
@@ -146,9 +160,9 @@ mod tests {
         let s = r.schema();
         let found = discover(&r, &OdConfig::default());
         let has = |lhs: &str, rhs: &str, d: Direction| {
-            found.iter().any(|od| {
-                od.lhs() == [(s.id(lhs), Direction::Asc)] && od.rhs() == [(s.id(rhs), d)]
-            })
+            found
+                .iter()
+                .any(|od| od.lhs() == [(s.id(lhs), Direction::Asc)] && od.rhs() == [(s.id(rhs), d)])
         };
         // od1: nights^≤ → avg/night^≥ and ofd1-as-od: subtotal^≤ → taxes^≤.
         assert!(has("nights", "avg/night", Direction::Desc));
@@ -170,7 +184,13 @@ mod tests {
             .build()
             .unwrap();
         let s = r.schema();
-        assert!(!validate_single(&r, s.id("a"), Direction::Asc, s.id("b"), Direction::Asc));
+        assert!(!validate_single(
+            &r,
+            s.id("a"),
+            Direction::Asc,
+            s.id("b"),
+            Direction::Asc
+        ));
     }
 
     #[test]
@@ -188,8 +208,20 @@ mod tests {
             .build()
             .unwrap();
         let s = r.schema();
-        assert!(!validate_single(&r, s.id("a1"), Direction::Asc, s.id("b"), Direction::Asc));
-        assert!(!validate_single(&r, s.id("a2"), Direction::Asc, s.id("b"), Direction::Asc));
+        assert!(!validate_single(
+            &r,
+            s.id("a1"),
+            Direction::Asc,
+            s.id("b"),
+            Direction::Asc
+        ));
+        assert!(!validate_single(
+            &r,
+            s.id("a2"),
+            Direction::Asc,
+            s.id("b"),
+            Direction::Asc
+        ));
         let found = discover(&r, &OdConfig { max_lhs: 2 });
         let compound = found
             .iter()

@@ -52,11 +52,7 @@ fn quantile(mut xs: Vec<f64>, q: f64) -> Option<f64> {
 /// ε from the conditional RHS distribution, δ from the measured
 /// probability minus the margin. `None` when the data gives no usable
 /// distances.
-pub fn instantiate(
-    train: &Relation,
-    template: &PacTemplate,
-    cfg: &PacManConfig,
-) -> Option<Pac> {
+pub fn instantiate(train: &Relation, template: &PacTemplate, cfg: &PacManConfig) -> Option<Pac> {
     let metric = Metric::AbsDiff;
     // Δ per LHS attribute.
     let mut lhs = Vec::with_capacity(template.lhs.len());
@@ -124,7 +120,11 @@ mod tests {
                 .attr("tax", ValueType::Numeric);
             for i in 0..30i64 {
                 let price = 100 + i * 10;
-                let tax = if broken && i % 2 == 0 { 999 } else { price / 10 };
+                let tax = if broken && i % 2 == 0 {
+                    999
+                } else {
+                    price / 10
+                };
                 b = b.row(vec![price.into(), tax.into()]);
             }
             b.build().unwrap()

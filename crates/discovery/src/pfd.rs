@@ -1,6 +1,7 @@
 //! PFD discovery (Wang et al.): counting-based probability computation,
 //! for one table and merged across heterogeneous sources (§2.2.3).
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Fd, Pfd};
 use deptree_relation::{AttrSet, Relation};
 
@@ -26,6 +27,13 @@ impl Default for PfdConfig {
 /// the first counting algorithm of Wang et al.: merge tuples per distinct
 /// `X`-value and average the modal-value fractions.
 pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Budgeted [`discover`]: one node tick per candidate, row ticks for the
+/// counting scan. PFDs are emitted only after `holds`, so partial results
+/// are sound.
+pub fn discover_bounded(r: &Relation, cfg: &PfdConfig, exec: &Exec) -> Outcome<Vec<Pfd>> {
     let mut out = Vec::new();
     let mut level: Vec<AttrSet> = r.schema().ids().map(AttrSet::single).collect();
     let mut depth = 1usize;
@@ -34,11 +42,14 @@ pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
     // (probability is not monotone, but reporting minimal LHS matches the
     // paper's output form).
     let mut found: Vec<(AttrSet, AttrSet)> = Vec::new();
-    while depth <= cfg.max_lhs {
+    'search: while depth <= cfg.max_lhs {
         for &lhs in &level {
             for rhs in r.schema().ids() {
                 if lhs.contains(rhs) {
                     continue;
+                }
+                if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+                    break 'search;
                 }
                 let rhs_set = AttrSet::single(rhs);
                 if found
@@ -47,10 +58,7 @@ pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
                 {
                     continue;
                 }
-                let pfd = Pfd::new(
-                    Fd::new(r.schema(), lhs, rhs_set),
-                    cfg.min_probability,
-                );
+                let pfd = Pfd::new(Fd::new(r.schema(), lhs, rhs_set), cfg.min_probability);
                 if pfd.holds(r) {
                     found.push((lhs, rhs_set));
                     out.push(pfd);
@@ -70,7 +78,7 @@ pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
         level = next;
         depth += 1;
     }
-    out
+    exec.finish(out)
 }
 
 /// Merge PFD probabilities across sources — the second algorithm of Wang
@@ -124,13 +132,25 @@ mod tests {
     fn r5_probabilities_drive_discovery() {
         // P(address → region) = 3/4: discovered at p = 0.7, not at 0.8.
         let r = hotels_r5();
-        let loose = discover(&r, &PfdConfig { min_probability: 0.7, max_lhs: 1 });
+        let loose = discover(
+            &r,
+            &PfdConfig {
+                min_probability: 0.7,
+                max_lhs: 1,
+            },
+        );
         let addr = AttrSet::single(r.schema().id("address"));
         let region = AttrSet::single(r.schema().id("region"));
         assert!(loose
             .iter()
             .any(|p| p.embedded().lhs() == addr && p.embedded().rhs() == region));
-        let strict = discover(&r, &PfdConfig { min_probability: 0.8, max_lhs: 1 });
+        let strict = discover(
+            &r,
+            &PfdConfig {
+                min_probability: 0.8,
+                max_lhs: 1,
+            },
+        );
         assert!(!strict
             .iter()
             .any(|p| p.embedded().lhs() == addr && p.embedded().rhs() == region));
@@ -147,7 +167,13 @@ mod tests {
     #[test]
     fn minimal_lhs_reported() {
         let r = hotels_r5();
-        let res = discover(&r, &PfdConfig { min_probability: 0.7, max_lhs: 2 });
+        let res = discover(
+            &r,
+            &PfdConfig {
+                min_probability: 0.7,
+                max_lhs: 2,
+            },
+        );
         for p in &res {
             if p.embedded().lhs().len() == 2 {
                 // No reported 1-attribute subset with the same RHS.
@@ -183,8 +209,16 @@ mod tests {
         let p = merged_probability(&[s1.clone(), s2.clone()], a, b);
         // 1.0 * 4/6 + 0.5 * 2/6 = 5/6.
         assert!((p - 5.0 / 6.0).abs() < 1e-12);
-        let found = discover_multi_source(&[s1, s2], &PfdConfig { min_probability: 0.8, max_lhs: 1 });
-        assert!(found.iter().any(|(fd, pp)| fd.lhs() == a && fd.rhs() == b && *pp > 0.8));
+        let found = discover_multi_source(
+            &[s1, s2],
+            &PfdConfig {
+                min_probability: 0.8,
+                max_lhs: 1,
+            },
+        );
+        assert!(found
+            .iter()
+            .any(|(fd, pp)| fd.lhs() == a && fd.rhs() == b && *pp > 0.8));
     }
 
     #[test]

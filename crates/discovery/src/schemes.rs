@@ -134,9 +134,12 @@ mod tests {
         let r = emp_rel(true);
         let s = r.schema();
         let found = discover_fhds(&r, &SchemeConfig::default());
-        assert!(found.iter().any(|f| {
-            f.x() == AttrSet::single(s.id("emp")) && f.ys().len() == 2
-        }), "{found:?}");
+        assert!(
+            found
+                .iter()
+                .any(|f| { f.x() == AttrSet::single(s.id("emp")) && f.ys().len() == 2 }),
+            "{found:?}"
+        );
         for f in &found {
             assert!(f.holds(&r));
         }
@@ -146,8 +149,20 @@ mod tests {
     fn amvd_tolerates_missing_recombination() {
         let dirty = emp_rel(false); // one missing tuple: 1 spurious in 4
         let s = dirty.schema();
-        let exact = discover_amvds(&dirty, &SchemeConfig { max_x: 1, epsilon: 0.0 });
-        let loose = discover_amvds(&dirty, &SchemeConfig { max_x: 1, epsilon: 0.3 });
+        let exact = discover_amvds(
+            &dirty,
+            &SchemeConfig {
+                max_x: 1,
+                epsilon: 0.0,
+            },
+        );
+        let loose = discover_amvds(
+            &dirty,
+            &SchemeConfig {
+                max_x: 1,
+                epsilon: 0.3,
+            },
+        );
         // `emp` is constant in this instance, so the minimal determinant
         // is ∅ (⊆ {emp}) — accept either.
         let hit = |res: &[(Amvd, f64)]| {
@@ -174,10 +189,12 @@ mod tests {
         // ascending); avg/night is anti-ordered with them, so it appears
         // in no pointwise OFD.
         assert!(found.iter().any(|o| {
-            o.lhs() == AttrSet::single(s.id("nights")) && o.rhs() == AttrSet::single(s.id("subtotal"))
+            o.lhs() == AttrSet::single(s.id("nights"))
+                && o.rhs() == AttrSet::single(s.id("subtotal"))
         }));
         assert!(!found.iter().any(|o| {
-            o.lhs() == AttrSet::single(s.id("nights")) && o.rhs() == AttrSet::single(s.id("avg/night"))
+            o.lhs() == AttrSet::single(s.id("nights"))
+                && o.rhs() == AttrSet::single(s.id("avg/night"))
         }));
         for o in &found {
             assert!(o.holds(&r));

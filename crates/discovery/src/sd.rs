@@ -3,6 +3,7 @@
 //! discovery problem (Fig. 3): an exact dynamic program quadratic in the
 //! number of candidate intervals.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Csd, CsdRow, Interval, Sd};
 use deptree_relation::{AttrId, AttrSet, Relation};
 
@@ -32,12 +33,7 @@ pub fn suggest_gap(
 
 /// Discover an SD `on →g target` whose suggested gap band reaches the
 /// required confidence; `None` when the data is too irregular.
-pub fn discover_sd(
-    r: &Relation,
-    on: AttrId,
-    target: AttrId,
-    min_confidence: f64,
-) -> Option<Sd> {
+pub fn discover_sd(r: &Relation, on: AttrId, target: AttrId, min_confidence: f64) -> Option<Sd> {
     let gap = suggest_gap(r, on, target, 0.05, 0.95)?;
     let sd = Sd::new(r.schema(), on, target, gap);
     (sd.confidence(r) >= min_confidence).then_some(sd)
@@ -59,8 +55,7 @@ fn gap_sequence(r: &Relation, on: AttrId, target: AttrId) -> GapSeq {
     let mut x = Vec::new();
     let mut ys = Vec::new();
     for &row in &order {
-        if let (Some(xv), Some(yv)) = (r.value(row, on).as_f64(), r.value(row, target).as_f64())
-        {
+        if let (Some(xv), Some(yv)) = (r.value(row, on).as_f64(), r.value(row, target).as_f64()) {
             // Equal-X duplicates collapse to their first occurrence,
             // matching Sd::consecutive_gaps' tie skipping.
             if x.last() != Some(&xv) {
@@ -85,10 +80,26 @@ pub fn csd_tableau(
     g: Interval,
     min_confidence: f64,
 ) -> Csd {
+    csd_tableau_bounded(r, on, target, g, min_confidence, &Exec::unbounded()).result
+}
+
+/// Budgeted [`csd_tableau`]: each DP window check costs one node tick.
+/// On exhaustion the DP stops at the last completed position and
+/// reconstructs from there — every emitted tableau row still satisfies
+/// the gap constraint with the required confidence over its scope, so a
+/// partial tableau is sound (merely sub-optimal in coverage).
+pub fn csd_tableau_bounded(
+    r: &Relation,
+    on: AttrId,
+    target: AttrId,
+    g: Interval,
+    min_confidence: f64,
+    exec: &Exec,
+) -> Outcome<Csd> {
     let seq = gap_sequence(r, on, target);
     let m = seq.gap.len();
     if m == 0 {
-        return Csd::new(
+        return exec.finish(Csd::new(
             r.schema(),
             on,
             target,
@@ -96,7 +107,7 @@ pub fn csd_tableau(
                 scope: Interval::all(),
                 gap: g,
             }],
-        );
+        ));
     }
     // ok_prefix[i..j]: #steps in g within window — O(1) via prefix sums.
     let mut prefix_ok = vec![0usize; m + 1];
@@ -113,9 +124,13 @@ pub fn csd_tableau(
     // chosen window ending at j−1 (or None for "skip step j−1").
     let mut dp = vec![0usize; m + 1];
     let mut choice: Vec<Option<usize>> = vec![None; m + 1];
-    for j in 1..=m {
+    let mut completed = 0usize;
+    'dp: for j in 1..=m {
         dp[j] = dp[j - 1];
         for i in 0..j {
+            if !exec.tick_node() {
+                break 'dp;
+            }
             if let Some(gain) = window_gain(i, j - 1) {
                 if dp[i] + gain > dp[j] {
                     dp[j] = dp[i] + gain;
@@ -123,10 +138,12 @@ pub fn csd_tableau(
                 }
             }
         }
+        completed = j;
     }
-    // Reconstruct the chosen windows.
+    // Reconstruct the chosen windows (from the last completed DP
+    // position when the budget cut the table short).
     let mut rows = Vec::new();
-    let mut j = m;
+    let mut j = completed;
     while j > 0 {
         match choice[j] {
             Some(i) => {
@@ -146,7 +163,7 @@ pub fn csd_tableau(
             gap: g,
         });
     }
-    Csd::new(r.schema(), on, target, rows)
+    exec.finish(Csd::new(r.schema(), on, target, rows))
 }
 
 /// The DP's objective value: total in-gap steps covered by the tableau —
@@ -246,8 +263,20 @@ mod tests {
         };
         let data = numerical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
         let s = data.relation.schema();
-        let strict = csd_tableau(&data.relation, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0), 1.0);
-        let slack = csd_tableau(&data.relation, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0), 0.9);
+        let strict = csd_tableau(
+            &data.relation,
+            s.id("seq"),
+            s.id("y"),
+            Interval::new(9.0, 11.0),
+            1.0,
+        );
+        let slack = csd_tableau(
+            &data.relation,
+            s.id("seq"),
+            s.id("y"),
+            Interval::new(9.0, 11.0),
+            0.9,
+        );
         // Slack merges windows across isolated spikes: fewer, longer rows
         // covering at least as many good steps.
         assert!(slack.tableau().len() <= strict.tableau().len());
@@ -319,7 +348,13 @@ mod tests {
         // Two rows → one gap → suggest works; single row → None.
         let single = r.select_rows(&[0]);
         assert!(suggest_gap(&single, s.id("nights"), s.id("subtotal"), 0.0, 1.0).is_none());
-        let csd = csd_tableau(&single, s.id("nights"), s.id("subtotal"), Interval::all(), 1.0);
+        let csd = csd_tableau(
+            &single,
+            s.id("nights"),
+            s.id("subtotal"),
+            Interval::all(),
+            1.0,
+        );
         assert!(csd.holds(&single));
     }
 }

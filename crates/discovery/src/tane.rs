@@ -2,6 +2,7 @@
 //! partitions. The canonical lattice algorithm most later discovery
 //! methods extend (CTANE, PFD mining, FFD mining, …).
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::Fd;
 use deptree_relation::{AttrSet, Relation, StrippedPartition};
 use std::collections::HashMap;
@@ -47,8 +48,20 @@ pub struct TaneResult {
     pub stats: TaneStats,
 }
 
-/// Run TANE on `r`.
+/// Run TANE on `r` to completion (no resource limits).
 pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
+    discover_bounded(r, cfg, &Exec::unbounded()).result
+}
+
+/// Run TANE on `r` under `exec`'s budget.
+///
+/// Anytime contract: every FD in the result holds on `r` (with
+/// `g3 ≤ max_error` in approximate mode) even when the run was stopped
+/// early — FDs are only emitted after their partition check passes. What
+/// an exhausted run forfeits is *completeness*: unvisited lattice nodes
+/// may hide further (and, for FDs whose minimality pruning depended on
+/// them, smaller) dependencies.
+pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<TaneResult> {
     let n_attrs = r.n_attrs();
     let all = r.all_attrs();
     let approx = cfg.max_error > 0.0;
@@ -59,7 +72,10 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
     let mut partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
     partitions.insert(AttrSet::empty(), StrippedPartition::identity(r.n_rows()));
     for a in r.schema().ids() {
-        partitions.insert(AttrSet::single(a), StrippedPartition::from_column(r, a));
+        let p = StrippedPartition::from_column(r, a);
+        exec.alloc_partition(p.approx_bytes());
+        exec.tick_rows(r.n_rows() as u64);
+        partitions.insert(AttrSet::single(a), p);
     }
 
     // C+ candidate RHS sets per node.
@@ -73,9 +89,12 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
     }
 
     let mut depth = 1usize;
-    while !level.is_empty() && depth <= cfg.max_lhs.saturating_add(1).min(n_attrs) {
+    'search: while !level.is_empty() && depth <= cfg.max_lhs.saturating_add(1).min(n_attrs) {
         // compute_dependencies
         for &x in &level {
+            if !exec.tick_node() {
+                break 'search;
+            }
             stats.nodes_visited += 1;
             // C+(X) = ∩_{A ∈ X} C+(X \ {A})
             let mut cx = all;
@@ -88,12 +107,13 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
             }
             for a in x.intersect(cx).iter() {
                 let lhs = x.remove(a);
-                let px = partitions.get(&lhs).expect("parent partition");
-                let pxa = partitions.get(&x).expect("own partition");
+                let (Some(px), Some(pxa)) = (partitions.get(&lhs), partitions.get(&x)) else {
+                    continue;
+                };
                 let valid = if approx {
-                    let pa = partitions
-                        .get(&AttrSet::single(a))
-                        .expect("singleton partition");
+                    let Some(pa) = partitions.get(&AttrSet::single(a)) else {
+                        continue;
+                    };
                     px.g3_error(pa) <= cfg.max_error
                 } else {
                     px.refines(pxa)
@@ -120,7 +140,7 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
             }
             // Key pruning: if X is a (super)key, emit X → A for remaining
             // candidates outside X and stop expanding.
-            if !approx && partitions.get(&x).expect("partition").error() == 0 {
+            if !approx && partitions.get(&x).is_some_and(|p| p.error() == 0) {
                 if x.len() <= cfg.max_lhs {
                     for a in cx.difference(x).iter() {
                         // TANE's minimality condition for key-derived FDs:
@@ -161,12 +181,22 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
                     continue;
                 }
                 seen.insert(union, ());
-                let pa = partitions.get(&a).expect("level partition");
-                let pb = partitions.get(&b).expect("level partition");
+                let (Some(pa), Some(pb)) = (partitions.get(&a), partitions.get(&b)) else {
+                    continue;
+                };
                 stats.partition_products += 1;
-                partitions.insert(union, pa.product(pb));
+                let prod = pa.product(pb);
+                let live = exec.tick_rows(prod.n_rows() as u64)
+                    && exec.alloc_partition(prod.approx_bytes());
+                partitions.insert(union, prod);
                 cplus.entry(union).or_insert(all);
                 next.push(union);
+                if !live {
+                    // Memory/row budget hit while materializing the next
+                    // level: stop generating, process nothing further.
+                    next.clear();
+                    break 'search;
+                }
             }
         }
 
@@ -177,8 +207,12 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
                 .iter()
                 .flat_map(|x| x.iter().map(move |a| x.remove(a)))
                 .collect();
-            partitions.retain(|k, _| {
-                k.len() != depth - 1 || keep.contains(k) || k.len() <= 1
+            partitions.retain(|k, p| {
+                let kept = k.len() != depth - 1 || keep.contains(k) || k.len() <= 1;
+                if !kept {
+                    exec.free_partition(p.approx_bytes());
+                }
+                kept
             });
         }
 
@@ -188,7 +222,7 @@ pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
 
     fds.sort_by_key(|fd| (fd.lhs().len(), fd.lhs(), fd.rhs()));
     stats.fds_found = fds.len();
-    TaneResult { fds, stats }
+    exec.finish(TaneResult { fds, stats })
 }
 
 /// Look up `C+(set)`, computing it on demand through the TANE recurrence
@@ -213,8 +247,8 @@ fn cplus_of(set: AttrSet, cplus: &mut HashMap<AttrSet, AttrSet>, all: AttrSet) -
 mod tests {
     use super::*;
     use deptree_core::Dependency;
-    use deptree_relation::AttrId;
     use deptree_relation::examples::{hotels_r5, hotels_r7};
+    use deptree_relation::AttrId;
     use deptree_synth::{categorical, CategoricalConfig};
 
     #[test]
@@ -296,9 +330,69 @@ mod tests {
     #[test]
     fn lattice_depth_bound_respected() {
         let r = hotels_r5();
-        let shallow = discover(&r, &TaneConfig { max_lhs: 1, max_error: 0.0 });
+        let shallow = discover(
+            &r,
+            &TaneConfig {
+                max_lhs: 1,
+                max_error: 0.0,
+            },
+        );
         assert!(shallow.fds.iter().all(|fd| fd.lhs().len() <= 1));
         assert!(shallow.stats.nodes_visited <= r.n_attrs() * 2);
+    }
+
+    #[test]
+    fn bounded_run_is_sound_and_deterministic() {
+        use deptree_core::engine::Budget;
+        let cfg = CategoricalConfig {
+            n_rows: 200,
+            n_key_attrs: 3,
+            n_dep_attrs: 3,
+            domain: 8,
+            error_rate: 0.0,
+            seed: 7,
+        };
+        let data = categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let r = &data.relation;
+        let full = discover(r, &TaneConfig::default());
+        // A node budget far below the full lattice forces a partial run.
+        let budget = Budget::new().with_max_nodes(4);
+        let partial = discover_bounded(r, &TaneConfig::default(), &Exec::new(budget.clone()));
+        assert!(!partial.complete);
+        assert!(partial.result.fds.len() < full.fds.len());
+        // Sound: every FD in the partial result holds.
+        for fd in &partial.result.fds {
+            assert!(fd.holds(r), "{fd} unsound under budget");
+        }
+        // Deterministic: a second identical run returns the same FDs.
+        let again = discover_bounded(r, &TaneConfig::default(), &Exec::new(budget));
+        let names = |fds: &[Fd]| fds.iter().map(|f| f.to_string()).collect::<Vec<_>>();
+        assert_eq!(names(&partial.result.fds), names(&again.result.fds));
+    }
+
+    #[test]
+    fn memory_budget_stops_lattice_growth() {
+        use deptree_core::engine::{Budget, BudgetKind};
+        let r = hotels_r5();
+        let exec = Exec::new(Budget::new().with_max_partition_bytes(1));
+        let out = discover_bounded(&r, &TaneConfig::default(), &exec);
+        assert!(!out.complete);
+        assert!(matches!(
+            out.exhausted,
+            Some(BudgetKind::Memory | BudgetKind::Rows)
+        ));
+        for fd in &out.result.fds {
+            assert!(fd.holds(&r));
+        }
+    }
+
+    #[test]
+    fn unbounded_exec_reports_complete() {
+        let r = hotels_r5();
+        let out = discover_bounded(&r, &TaneConfig::default(), &Exec::unbounded());
+        assert!(out.complete);
+        assert_eq!(out.exhausted, None);
+        assert!(out.stats.nodes_visited > 0);
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
         let a = DistRange::at_most(5.0);
         let b = DistRange::at_least(3.0);
         assert_eq!(a.intersect(&b), Some(DistRange::between(3.0, 5.0)));
-        assert_eq!(DistRange::at_most(1.0).intersect(&DistRange::at_least(2.0)), None);
+        assert_eq!(
+            DistRange::at_most(1.0).intersect(&DistRange::at_least(2.0)),
+            None
+        );
     }
 
     #[test]

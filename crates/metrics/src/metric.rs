@@ -86,9 +86,7 @@ impl Metric {
                     }
                 }
             },
-            Metric::Levenshtein => {
-                string::levenshtein(&a.render(), &b.render()) as f64
-            }
+            Metric::Levenshtein => string::levenshtein(&a.render(), &b.render()) as f64,
             Metric::JaroWinkler => 1.0 - string::jaro_winkler(&a.render(), &b.render()),
             Metric::QGram(q) => 1.0 - string::qgram_jaccard(&a.render(), &b.render(), *q),
             Metric::Custom(_, f) => f(a, b),
@@ -193,7 +191,10 @@ mod tests {
 
     #[test]
     fn defaults_per_type() {
-        assert_eq!(Metric::default_for(ValueType::Categorical), Metric::Equality);
+        assert_eq!(
+            Metric::default_for(ValueType::Categorical),
+            Metric::Equality
+        );
         assert_eq!(Metric::default_for(ValueType::Text), Metric::Levenshtein);
         assert_eq!(Metric::default_for(ValueType::Numeric), Metric::AbsDiff);
     }

@@ -10,6 +10,7 @@
 //! of a single FD (where minimal repairs keep, per conflicting group, a
 //! maximal agreeing subset).
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Fd};
 use deptree_relation::{Relation, Value};
 use std::collections::HashSet;
@@ -17,13 +18,34 @@ use std::collections::HashSet;
 /// Rows not involved in any violation witness — the *core* every
 /// deletion-minimal repair retains (sound, possibly incomplete).
 pub fn consistent_rows(r: &Relation, rules: &[Box<dyn Dependency>]) -> Vec<usize> {
+    consistent_rows_bounded(r, rules, &Exec::unbounded()).result
+}
+
+/// Budgeted [`consistent_rows`]: one node tick plus a full-relation row
+/// tick per rule checked. A row can only be *certified* consistent once
+/// every rule has been checked against it — an unprocessed rule could
+/// conflict any row — so on exhaustion the sound answer is the empty set:
+/// no row is certified, and `complete == false` tells the caller why.
+pub fn consistent_rows_bounded(
+    r: &Relation,
+    rules: &[Box<dyn Dependency>],
+    exec: &Exec,
+) -> Outcome<Vec<usize>> {
     let mut conflicted: HashSet<usize> = HashSet::new();
     for rule in rules {
+        if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
+            // Certification requires all rules; nothing can be claimed.
+            return exec.finish(Vec::new());
+        }
         for v in rule.violations(r) {
             conflicted.extend(v.rows.iter().copied());
         }
     }
-    (0..r.n_rows()).filter(|row| !conflicted.contains(row)).collect()
+    exec.finish(
+        (0..r.n_rows())
+            .filter(|row| !conflicted.contains(row))
+            .collect(),
+    )
 }
 
 /// A selection query `σ_{attr = value}` projected onto `output`.
@@ -53,7 +75,22 @@ pub fn consistent_answers(
     rules: &[Box<dyn Dependency>],
     q: &SelectQuery,
 ) -> HashSet<Value> {
-    q.answers_from(r, &consistent_rows(r, rules))
+    consistent_answers_bounded(r, rules, q, &Exec::unbounded()).result
+}
+
+/// Budgeted [`consistent_answers`]: inherits the certification semantics
+/// of [`consistent_rows_bounded`] — on exhaustion the answer set is empty
+/// (the empty set is always a sound under-approximation of the certain
+/// answers) and `complete == false`.
+pub fn consistent_answers_bounded(
+    r: &Relation,
+    rules: &[Box<dyn Dependency>],
+    q: &SelectQuery,
+    exec: &Exec,
+) -> Outcome<HashSet<Value>> {
+    let rows = consistent_rows_bounded(r, rules, exec);
+    let answers = q.answers_from(r, &rows.result);
+    exec.finish(answers)
 }
 
 /// Exact consistent answers for a *single FD*: the minimal repairs keep,
@@ -85,11 +122,8 @@ pub fn consistent_answers_fd(r: &Relation, fd: &Fd, q: &SelectQuery) -> HashSet<
         } else {
             // Minimal repairs keep one maximum-cardinality subset; all
             // tied maxima are alternatives.
-            let max = by_rhs.values().map(Vec::len).max().expect("non-empty");
-            let alts: Vec<Vec<usize>> = by_rhs
-                .into_values()
-                .filter(|v| v.len() == max)
-                .collect();
+            let max = by_rhs.values().map(Vec::len).max().unwrap_or(0);
+            let alts: Vec<Vec<usize>> = by_rhs.into_values().filter(|v| v.len() == max).collect();
             alternatives.push(alts);
         }
     }
@@ -133,8 +167,7 @@ mod tests {
         // are unconflicted w.r.t. address → region; answer "Jackson" is
         // consistent.
         let r = hotels_r5();
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
         let query = q(&r, "address", "175 North Jackson Street", "region");
         let answers = consistent_answers(&r, std::slice::from_ref(&fd), &query);
         assert_eq!(answers, HashSet::from([Value::str("Jackson")]));
@@ -145,8 +178,7 @@ mod tests {
         // Regions at "6030 Gateway Boulevard E": t3 says El Paso, t4 says
         // El Paso, TX — neither is in every repair.
         let r = hotels_r5();
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
         let query = q(&r, "address", "6030 Gateway Boulevard E", "region");
         let answers = consistent_answers(&r, std::slice::from_ref(&fd), &query);
         assert!(answers.is_empty());
@@ -181,11 +213,27 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cqa_certifies_nothing_on_exhaustion() {
+        use deptree_core::engine::{Budget, Exec};
+        let r = hotels_r5();
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        // Zero-node budget: the single rule cannot be checked.
+        let exec = Exec::new(Budget::default().with_max_nodes(0));
+        let rows = consistent_rows_bounded(&r, std::slice::from_ref(&fd), &exec);
+        assert!(!rows.complete);
+        assert!(rows.result.is_empty());
+        let query = q(&r, "address", "175 North Jackson Street", "region");
+        let exec2 = Exec::new(Budget::default().with_max_nodes(0));
+        let answers = consistent_answers_bounded(&r, std::slice::from_ref(&fd), &query, &exec2);
+        assert!(!answers.complete);
+        assert!(answers.result.is_empty());
+    }
+
+    #[test]
     fn consistent_rows_shrink_with_rules() {
         let r = hotels_r5();
         assert_eq!(consistent_rows(&r, &[]).len(), 4);
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
         let rows = consistent_rows(&r, std::slice::from_ref(&fd));
         assert_eq!(rows, vec![0, 1]);
     }

@@ -2,6 +2,7 @@
 //! §3.7.4): MD-similar pairs are merge candidates; transitive closure via
 //! union–find yields entity clusters.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::Md;
 use deptree_relation::Relation;
 
@@ -67,13 +68,30 @@ impl Clustering {
 /// Cluster rows: any MD-similar pair is merged; clusters are the
 /// connected components.
 pub fn cluster(r: &Relation, mds: &[Md]) -> Clustering {
+    cluster_bounded(r, mds, &Exec::unbounded()).result
+}
+
+/// Budgeted [`cluster`]: each MD's pair scan is charged as row ticks up
+/// front, and each merge costs a node tick. On exhaustion remaining MDs
+/// (or merges) are skipped: every union already performed is witnessed by
+/// a genuine MD-similar pair, so a partial clustering only
+/// *under*-merges — it never places two rows in the same cluster without
+/// evidence (`complete == false` signals possible over-segmentation).
+pub fn cluster_bounded(r: &Relation, mds: &[Md], exec: &Exec) -> Outcome<Clustering> {
     let mut uf = UnionFind::new(r.n_rows());
-    for md in mds {
+    let n = r.n_rows() as u64;
+    'rules: for md in mds {
+        if !exec.tick_rows(n * n.saturating_sub(1) / 2) {
+            break 'rules;
+        }
         for (i, j) in md.matching_pairs(r) {
+            if !exec.tick_node() {
+                break 'rules;
+            }
             uf.union(i, j);
         }
     }
-    canonicalize(&mut uf, r.n_rows())
+    exec.finish(canonicalize(&mut uf, r.n_rows()))
 }
 
 fn canonicalize(uf: &mut UnionFind, n: usize) -> Clustering {
@@ -85,7 +103,10 @@ fn canonicalize(uf: &mut UnionFind, n: usize) -> Clustering {
         *slot = rep;
     }
     let n_clusters = canon.len();
-    Clustering { cluster, n_clusters }
+    Clustering {
+        cluster,
+        n_clusters,
+    }
 }
 
 /// Pairwise precision/recall of a clustering against ground truth labels.
@@ -187,6 +208,32 @@ mod tests {
         // Zips can collide across entities (modular arithmetic), so allow
         // slight precision loss.
         assert!(precision >= 0.9, "precision {precision}");
+    }
+
+    #[test]
+    fn bounded_cluster_only_under_merges() {
+        use deptree_core::engine::{Budget, Exec};
+        let r = hotels_r1();
+        let s = r.schema();
+        let md = Md::new(
+            s,
+            vec![(s.id("address"), Metric::Levenshtein, 4.0)],
+            AttrSet::single(s.id("name")),
+        );
+        let full = cluster(&r, std::slice::from_ref(&md));
+        let exec = Exec::new(Budget::default().with_max_nodes(2));
+        let partial = cluster_bounded(&r, std::slice::from_ref(&md), &exec);
+        assert!(!partial.complete);
+        // Every merge in the partial clustering also exists in the full
+        // one: budget exhaustion can only over-segment, never over-merge.
+        for i in 0..r.n_rows() {
+            for j in (i + 1)..r.n_rows() {
+                if partial.result.same(i, j) {
+                    assert!(full.same(i, j), "spurious merge {i},{j}");
+                }
+            }
+        }
+        assert!(partial.result.n_clusters >= full.n_clusters);
     }
 
     #[test]

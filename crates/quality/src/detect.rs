@@ -134,8 +134,7 @@ mod tests {
         // region cell each; we mark both rows' region cells as candidates).
         let truth = vec![(3usize, region), (7usize, region)];
 
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(s, "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(s, "address -> region").unwrap());
         let fd_report = run(&r, std::slice::from_ref(&fd));
         let fd_score = score_cells(&fd_report, &truth);
 
@@ -150,7 +149,10 @@ mod tests {
         // The FD misses t7/t8 entirely: recall ≤ 1/2.
         assert!(fd_score.recall <= 0.5, "{fd_score:?}");
         // The MD finds both errors: strictly better recall.
-        assert!(md_score.recall > fd_score.recall, "{md_score:?} vs {fd_score:?}");
+        assert!(
+            md_score.recall > fd_score.recall,
+            "{md_score:?} vs {fd_score:?}"
+        );
         assert!(md_score.f1() > fd_score.f1());
     }
 
@@ -212,8 +214,7 @@ mod tests {
     #[test]
     fn report_flagging_helpers() {
         let r = hotels_r1();
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
         let report = run(&r, std::slice::from_ref(&fd));
         assert_eq!(report.len(), 2);
         assert_eq!(report.flagged_rows(), HashSet::from([2, 3, 4, 5]));

@@ -47,8 +47,9 @@ pub fn saturate(r: &Relation, mvd: &Mvd) -> (Relation, usize) {
                 for (i, a) in z.iter().enumerate() {
                     tuple[a.index()] = zv[i].clone();
                 }
-                rel.push_row(tuple).expect("schema arity");
-                inserted += 1;
+                if rel.push_row(tuple).is_ok() {
+                    inserted += 1;
+                }
             }
         }
     }
@@ -72,10 +73,12 @@ pub fn prune(r: &Relation, mvd: &Mvd) -> (Relation, Vec<usize>) {
         for &t in rows {
             blocks.entry(r.project_row(t, mvd.y())).or_default().push(t);
         }
-        let (_, keep_rows) = blocks
+        let Some((_, keep_rows)) = blocks
             .iter()
             .max_by(|a, b| a.1.len().cmp(&b.1.len()).then_with(|| b.0.cmp(a.0)))
-            .expect("non-empty group");
+        else {
+            continue; // unreachable: every group has at least one row
+        };
         let keep_set: HashSet<usize> = keep_rows.iter().copied().collect();
         for &t in rows {
             if keep_set.contains(&t) {
@@ -114,7 +117,11 @@ mod tests {
 
     fn fairness_mvd(r: &Relation) -> Mvd {
         let s = r.schema();
-        Mvd::new(s, AttrSet::single(s.id("dept")), AttrSet::single(s.id("gender")))
+        Mvd::new(
+            s,
+            AttrSet::single(s.id("dept")),
+            AttrSet::single(s.id("gender")),
+        )
     }
 
     #[test]

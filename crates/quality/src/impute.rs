@@ -21,10 +21,7 @@ pub fn p_neighborhood_predict(
         if other == row {
             continue;
         }
-        let pair_ok = ned
-            .lhs()
-            .iter()
-            .all(|atom| atom.agrees(r, row, other));
+        let pair_ok = ned.lhs().iter().all(|atom| atom.agrees(r, row, other));
         if pair_ok {
             let v = r.value(other, target);
             if !v.is_null() {
@@ -66,17 +63,11 @@ pub fn dd_candidates(r: &Relation, dd: &Dd, row: usize, target: AttrId) -> Vec<(
 /// `A` among the rows sharing the tuple's `X`-values. Sorted by
 /// probability (descending), probabilities sum to 1; empty when the tuple
 /// has no informative neighbors.
-pub fn afd_value_distribution(
-    r: &Relation,
-    afd: &Afd,
-    row: usize,
-) -> Vec<(Value, f64)> {
+pub fn afd_value_distribution(r: &Relation, afd: &Afd, row: usize) -> Vec<(Value, f64)> {
     let lhs = afd.embedded().lhs();
-    let target = afd
-        .embedded()
-        .rhs()
-        .min()
-        .expect("AFD has a dependent attribute");
+    let Some(target) = afd.embedded().rhs().min() else {
+        return Vec::new(); // no dependent attribute, nothing to impute
+    };
     let mut counts: HashMap<&Value, usize> = HashMap::new();
     let mut total = 0usize;
     for other in 0..r.n_rows() {

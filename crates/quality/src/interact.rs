@@ -63,11 +63,13 @@ fn match_pass(r: &mut Relation, mds: &[Md]) -> usize {
                 for &row in rows {
                     *counts.entry(r.value(row, attr)).or_default() += 1;
                 }
-                let modal = counts
+                let Some(modal) = counts
                     .into_iter()
                     .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
                     .map(|(v, _)| v.clone())
-                    .expect("non-empty cluster");
+                else {
+                    continue; // unreachable: the cluster has rows
+                };
                 for &row in rows {
                     if r.value(row, attr) != &modal {
                         r.set_value(row, attr, modal.clone());
@@ -81,12 +83,7 @@ fn match_pass(r: &mut Relation, mds: &[Md]) -> usize {
 }
 
 /// Run the interaction to a fixpoint (or `max_rounds`).
-pub fn interact(
-    r: &Relation,
-    mds: &[Md],
-    fds: &[Fd],
-    max_rounds: usize,
-) -> InteractionResult {
+pub fn interact(r: &Relation, mds: &[Md], fds: &[Fd], max_rounds: usize) -> InteractionResult {
     let mut rel = r.clone();
     let mut match_changes = Vec::new();
     let mut repair_changes = Vec::new();

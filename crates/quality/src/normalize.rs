@@ -209,8 +209,13 @@ pub fn is_lossless(r: &Relation, fragments: &[AttrSet]) -> bool {
             for p in &proj {
                 // Check agreement on common attributes.
                 let agree = common.iter().all(|a| {
-                    let ji = joined_attrs.iter().position(|x| x == a).expect("present");
-                    let pi = frag.iter().position(|x| x == a).expect("present");
+                    // `common` is the intersection, so both positions hit.
+                    let (Some(ji), Some(pi)) = (
+                        joined_attrs.iter().position(|x| x == a),
+                        frag.iter().position(|x| x == a),
+                    ) else {
+                        return false;
+                    };
                     j.get(ji) == p.get(pi)
                 });
                 if agree {
@@ -277,8 +282,7 @@ pub fn decompose_mvd(all: AttrSet, mvd: &Mvd) -> Decomposition {
 /// Hierarchical decomposition along an FHD: `X ∪ Y₁`, …, `X ∪ Yₖ`,
 /// `X ∪ rest`.
 pub fn decompose_fhd(r: &Relation, fhd: &Fhd) -> Decomposition {
-    let mut fragments: Vec<AttrSet> =
-        fhd.ys().iter().map(|&y| fhd.x().union(y)).collect();
+    let mut fragments: Vec<AttrSet> = fhd.ys().iter().map(|&y| fhd.x().union(y)).collect();
     let rest = fhd.rest(r);
     if !rest.is_empty() {
         fragments.push(fhd.x().union(rest));
@@ -339,7 +343,9 @@ mod tests {
             Fd::parse(&s, "A, B -> C").unwrap(),
         ];
         let cover2 = minimal_cover(&s, &fds2);
-        assert!(cover2.iter().any(|fd| fd.lhs().len() == 1 && fd.rhs() == AttrSet::single(s.id("C"))));
+        assert!(cover2
+            .iter()
+            .any(|fd| fd.lhs().len() == 1 && fd.rhs() == AttrSet::single(s.id("C"))));
     }
 
     #[test]
@@ -354,8 +360,12 @@ mod tests {
         let fds = vec![Fd::parse(&s, "A -> B").unwrap()];
         let d = bcnf_decompose(AttrSet::full(3), &fds);
         assert_eq!(d.fragments.len(), 2);
-        assert!(d.fragments.contains(&AttrSet::from_ids([s.id("A"), s.id("B")])));
-        assert!(d.fragments.contains(&AttrSet::from_ids([s.id("A"), s.id("C")])));
+        assert!(d
+            .fragments
+            .contains(&AttrSet::from_ids([s.id("A"), s.id("B")])));
+        assert!(d
+            .fragments
+            .contains(&AttrSet::from_ids([s.id("A"), s.id("C")])));
     }
 
     #[test]
@@ -392,7 +402,10 @@ mod tests {
             Fd::parse(&s, "B -> C").unwrap(),
         ];
         let d = synthesize_3nf(&s, AttrSet::full(4), &fds);
-        let union = d.fragments.iter().fold(AttrSet::empty(), |a, f| a.union(*f));
+        let union = d
+            .fragments
+            .iter()
+            .fold(AttrSet::empty(), |a, f| a.union(*f));
         assert_eq!(union, AttrSet::full(4));
         // A key fragment {A, D} must exist.
         assert!(d
@@ -416,7 +429,11 @@ mod tests {
             .build()
             .unwrap();
         let s = r.schema();
-        let mvd = Mvd::new(s, AttrSet::single(s.id("course")), AttrSet::single(s.id("teacher")));
+        let mvd = Mvd::new(
+            s,
+            AttrSet::single(s.id("course")),
+            AttrSet::single(s.id("teacher")),
+        );
         assert!(mvd.holds(&r));
         assert!(violates_4nf(r.all_attrs(), &mvd, &[]));
         let d = decompose_mvd(r.all_attrs(), &mvd);
@@ -475,7 +492,10 @@ mod tests {
         let fhd = Fhd::new(
             s,
             AttrSet::single(s.id("emp")),
-            vec![AttrSet::single(s.id("project")), AttrSet::single(s.id("skill"))],
+            vec![
+                AttrSet::single(s.id("project")),
+                AttrSet::single(s.id("skill")),
+            ],
         );
         assert!(fhd.holds(&r));
         let d = decompose_fhd(&r, &fhd);

@@ -13,6 +13,7 @@
 //!   (the SCREEN-style speed-constraint repair of Song et al.): clamp each
 //!   value into the window its predecessor admits.
 
+use deptree_core::engine::{Exec, Outcome};
 use deptree_core::{Dependency, Fd, Interval, Sd};
 use deptree_relation::{Relation, Value};
 use std::collections::HashMap;
@@ -35,14 +36,35 @@ pub struct RepairResult {
 /// only reduces the number of distinct RHS values per group; `max_iters`
 /// bounds pathological rule interactions.
 pub fn repair_fds(r: &Relation, fds: &[Fd], max_iters: usize) -> RepairResult {
+    repair_fds_bounded(r, fds, max_iters, &Exec::unbounded()).result
+}
+
+/// Budgeted [`repair_fds`]: one node tick per equal-LHS group examined,
+/// row ticks for the grouping scan. On exhaustion the repair stops
+/// mid-fixpoint; every change already applied is a legitimate
+/// modal-overwrite step of the greedy trajectory, so the partial instance
+/// is a valid intermediate repair state — only full consistency
+/// (`complete == true`) is forfeit.
+pub fn repair_fds_bounded(
+    r: &Relation,
+    fds: &[Fd],
+    max_iters: usize,
+    exec: &Exec,
+) -> Outcome<RepairResult> {
     let mut rel = r.clone();
     let mut changes = Vec::new();
     let mut iterations = 0;
-    for _ in 0..max_iters {
+    'search: for _ in 0..max_iters {
         iterations += 1;
         let mut changed = false;
         for fd in fds {
+            if !exec.tick_rows(rel.n_rows() as u64) {
+                break 'search;
+            }
             for rows in rel.group_by(fd.lhs()).values() {
+                if !exec.tick_node() {
+                    break 'search;
+                }
                 if rows.len() < 2 {
                     continue;
                 }
@@ -54,10 +76,12 @@ pub fn repair_fds(r: &Relation, fds: &[Fd], max_iters: usize) -> RepairResult {
                 if counts.len() <= 1 {
                     continue;
                 }
-                let (modal, _) = counts
+                let Some((modal, _)) = counts
                     .into_iter()
                     .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-                    .expect("non-empty");
+                else {
+                    continue;
+                };
                 for &row in rows {
                     for (attr, target) in fd.rhs().iter().zip(&modal) {
                         if rel.value(row, attr) != target {
@@ -73,11 +97,11 @@ pub fn repair_fds(r: &Relation, fds: &[Fd], max_iters: usize) -> RepairResult {
             break;
         }
     }
-    RepairResult {
+    exec.finish(RepairResult {
         relation: rel,
         changes,
         iterations,
-    }
+    })
 }
 
 /// Outcome of a deletion repair.
@@ -94,10 +118,31 @@ pub struct DeletionRepair {
 /// vertex cover on the conflict graph, generalized to hyperedges from any
 /// dependency's witnesses.
 pub fn deletion_repair(r: &Relation, rules: &[Box<dyn Dependency>]) -> DeletionRepair {
+    deletion_repair_bounded(r, rules, &Exec::unbounded()).result
+}
+
+/// Budgeted [`deletion_repair`]: one node tick per deletion round, row
+/// ticks for each violation recomputation. On exhaustion the greedy loop
+/// stops early: every deletion already made targeted a genuine
+/// max-degree conflict tuple, so the partial result is a valid prefix of
+/// the greedy 2-approximation — the surviving instance may simply still
+/// contain violations (`complete == false`).
+pub fn deletion_repair_bounded(
+    r: &Relation,
+    rules: &[Box<dyn Dependency>],
+    exec: &Exec,
+) -> Outcome<DeletionRepair> {
     let mut alive: Vec<usize> = (0..r.n_rows()).collect();
     let mut deleted = Vec::new();
     loop {
         let current = r.select_rows(&alive);
+        let scan = (alive.len() as u64).saturating_mul(rules.len() as u64);
+        if !exec.tick_node() || !exec.tick_rows(scan) {
+            return exec.finish(DeletionRepair {
+                relation: current,
+                deleted,
+            });
+        }
         let mut degree: HashMap<usize, usize> = HashMap::new();
         for rule in rules {
             for v in rule.violations(&current) {
@@ -106,12 +151,11 @@ pub fn deletion_repair(r: &Relation, rules: &[Box<dyn Dependency>]) -> DeletionR
                 }
             }
         }
-        let Some((&victim_local, _)) = degree.iter().max_by_key(|(local, d)| (**d, **local))
-        else {
-            return DeletionRepair {
+        let Some((&victim_local, _)) = degree.iter().max_by_key(|(local, d)| (**d, **local)) else {
+            return exec.finish(DeletionRepair {
                 relation: current,
                 deleted,
-            };
+            });
         };
         deleted.push(alive.remove(victim_local));
         deleted.sort_unstable();
@@ -124,12 +168,24 @@ pub fn deletion_repair(r: &Relation, rules: &[Box<dyn Dependency>]) -> DeletionR
 /// minimum-change greedy of stream cleaning under speed constraints.
 /// Returns the repaired instance and the number of changed cells.
 pub fn repair_sequence(r: &Relation, sd: &Sd) -> (Relation, usize) {
+    repair_sequence_bounded(r, sd, &Exec::unbounded()).result
+}
+
+/// Budgeted [`repair_sequence`]: one row tick per sequence position. On
+/// exhaustion the forward pass stops: the processed prefix satisfies the
+/// speed constraint between every consecutive processed pair (each clamp
+/// is final), while the unvisited suffix is returned untouched
+/// (`complete == false`).
+pub fn repair_sequence_bounded(r: &Relation, sd: &Sd, exec: &Exec) -> Outcome<(Relation, usize)> {
     let mut rel = r.clone();
     let order = rel.sorted_rows(deptree_relation::AttrSet::single(sd.on()));
     let gap: Interval = sd.gap();
     let mut changes = 0usize;
     let mut prev: Option<f64> = None;
-    for &row in &order {
+    'scan: for &row in &order {
+        if !exec.tick_rows(1) {
+            break 'scan;
+        }
         let Some(y) = rel.value(row, sd.target()).as_f64() else {
             continue;
         };
@@ -155,7 +211,7 @@ pub fn repair_sequence(r: &Relation, sd: &Sd) -> (Relation, usize) {
             }
         }
     }
-    (rel, changes)
+    exec.finish((rel, changes))
 }
 
 #[cfg(test)]
@@ -217,8 +273,7 @@ mod tests {
     fn deletion_repair_removes_min_tuples_on_r5() {
         // g3(address → region) = 1/4: one deletion suffices.
         let r = hotels_r5();
-        let fd: Box<dyn Dependency> =
-            Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
+        let fd: Box<dyn Dependency> = Box::new(Fd::parse(r.schema(), "address -> region").unwrap());
         let result = deletion_repair(&r, std::slice::from_ref(&fd));
         assert_eq!(result.deleted.len(), 1);
         assert!(fd.holds(&result.relation));
@@ -259,7 +314,10 @@ mod tests {
         let sd = Sd::new(s, s.id("seq"), s.id("y"), Interval::new(9.0, 11.0));
         assert!(!sd.holds(&data.relation));
         let (repaired, changes) = repair_sequence(&data.relation, &sd);
-        assert!(sd.holds(&repaired), "sequence repair must reach consistency");
+        assert!(
+            sd.holds(&repaired),
+            "sequence repair must reach consistency"
+        );
         assert!(changes >= data.spike_steps.len());
     }
 
@@ -285,6 +343,60 @@ mod tests {
         let result = deletion_repair(&r, &[]);
         assert!(result.deleted.is_empty());
         assert_eq!(result.relation.n_rows(), r.n_rows());
+    }
+
+    #[test]
+    fn bounded_repair_stops_in_valid_intermediate_state() {
+        use deptree_core::engine::{Budget, Exec};
+        let cfg = CategoricalConfig {
+            n_rows: 200,
+            n_key_attrs: 1,
+            n_dep_attrs: 1,
+            domain: 10,
+            error_rate: 0.1,
+            seed: 17,
+        };
+        let data = categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let fd = Fd::new(
+            data.relation.schema(),
+            AttrSet::single(deptree_relation::AttrId(0)),
+            AttrSet::single(deptree_relation::AttrId(1)),
+        );
+        let exec = Exec::new(Budget::default().with_max_nodes(3));
+        let out = repair_fds_bounded(&data.relation, std::slice::from_ref(&fd), 10, &exec);
+        assert!(!out.complete);
+        // Every recorded change really differs from the original value and
+        // the old value is faithfully preserved.
+        for (row, attr, old) in &out.result.changes {
+            assert_eq!(data.relation.value(*row, *attr), old);
+            assert_ne!(out.result.relation.value(*row, *attr), old);
+        }
+        // Unbounded run from the same input reaches consistency.
+        let full = repair_fds(&data.relation, std::slice::from_ref(&fd), 10);
+        assert!(fd.holds(&full.relation));
+    }
+
+    #[test]
+    fn bounded_deletion_repair_prefix_is_sound() {
+        use deptree_core::engine::{Budget, Exec};
+        let r = hotels_r1();
+        let s = r.schema();
+        let rules: Vec<Box<dyn Dependency>> = vec![
+            Box::new(Fd::parse(s, "address -> region").unwrap()),
+            Box::new(Md::new(
+                s,
+                vec![(s.id("address"), Metric::Levenshtein, 4.0)],
+                AttrSet::single(s.id("region")),
+            )),
+        ];
+        let exec = Exec::new(Budget::default().with_max_nodes(2));
+        let out = deletion_repair_bounded(&r, &rules, &exec);
+        assert!(!out.complete);
+        // Deleted rows are a subset of what the unbounded greedy deletes.
+        let full = deletion_repair(&r, &rules);
+        for d in &out.result.deleted {
+            assert!(full.deleted.contains(d), "{d} not in {:?}", full.deleted);
+        }
     }
 
     /// A rule set whose only violation names a single row: deletion repair

@@ -153,10 +153,7 @@ impl AttrSet {
 
     /// Render as `{a, b, c}` using names from `schema`.
     pub fn display<'a>(&self, schema: &'a Schema) -> AttrSetDisplay<'a> {
-        AttrSetDisplay {
-            set: *self,
-            schema,
-        }
+        AttrSetDisplay { set: *self, schema }
     }
 }
 

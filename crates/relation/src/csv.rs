@@ -31,7 +31,10 @@ impl fmt::Display for CsvError {
             CsvError::MissingHeader => write!(f, "CSV input has no header row"),
             CsvError::Relation(e) => write!(f, "{e}"),
             CsvError::TypeArity { header, types } => {
-                write!(f, "header has {header} columns but {types} types were given")
+                write!(
+                    f,
+                    "header has {header} columns but {types} types were given"
+                )
             }
         }
     }
@@ -127,6 +130,107 @@ pub fn parse_csv(text: &str, types: &[ValueType]) -> Result<Relation, CsvError> 
     Ok(rel)
 }
 
+/// A non-fatal problem encountered by [`parse_csv_lossy`], pinned to its
+/// 1-based data-row number (the header is row 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseIssue {
+    /// The row had a different field count than the header; it was
+    /// dropped.
+    RaggedRow {
+        /// 1-based data-row number.
+        row: usize,
+        /// Fields the header promised.
+        expected: usize,
+        /// Fields the row carried.
+        got: usize,
+    },
+    /// A byte-order mark preceded the header and was stripped.
+    ByteOrderMark,
+}
+
+impl fmt::Display for ParseIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseIssue::RaggedRow { row, expected, got } => {
+                write!(
+                    f,
+                    "row {row}: expected {expected} fields, got {got}; row dropped"
+                )
+            }
+            ParseIssue::ByteOrderMark => write!(f, "leading byte-order mark stripped"),
+        }
+    }
+}
+
+/// The result of a lossy parse: the rows that survived plus a report of
+/// everything that was repaired or dropped along the way.
+#[derive(Debug)]
+pub struct LossyCsv {
+    /// The relation built from the well-formed rows.
+    pub relation: Relation,
+    /// Per-row problems, in input order. Empty iff the input was clean.
+    pub issues: Vec<ParseIssue>,
+}
+
+/// Parse real-world CSV, degrading instead of failing: a UTF-8 byte-order
+/// mark is stripped, CRLF line endings are accepted, and ragged data rows
+/// are dropped and reported as [`ParseIssue`]s rather than aborting the
+/// parse. Structural errors that leave nothing to salvage (no header, a
+/// type list that doesn't match the header) still fail.
+///
+/// The strict [`parse_csv`] remains the default entry point; use this one
+/// when partial ingestion with a defect report is preferable to rejection.
+///
+/// # Errors
+/// Fails only on a missing header or a header/type-list arity mismatch.
+pub fn parse_csv_lossy(text: &str, types: &[ValueType]) -> Result<LossyCsv, CsvError> {
+    let mut issues = Vec::new();
+    let text = match text.strip_prefix('\u{feff}') {
+        Some(rest) => {
+            issues.push(ParseIssue::ByteOrderMark);
+            rest
+        }
+        None => text,
+    };
+    // `str::lines` already tolerates CRLF, but quoted fields may retain a
+    // stray trailing `\r`; trim it per line before splitting.
+    let mut lines = text
+        .lines()
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names = split_line(header);
+    if names.len() != types.len() {
+        return Err(CsvError::TypeArity {
+            header: names.len(),
+            types: types.len(),
+        });
+    }
+    let schema = Schema::from_attrs(names.into_iter().zip(types.iter().copied()));
+    let mut rel = Relation::empty(schema)?;
+    for (i, line) in lines.enumerate() {
+        let fields = split_line(line);
+        if fields.len() != types.len() {
+            issues.push(ParseIssue::RaggedRow {
+                row: i + 1,
+                expected: types.len(),
+                got: fields.len(),
+            });
+            continue;
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(types)
+            .map(|(f, &ty)| parse_cell(f, ty))
+            .collect();
+        rel.push_row(row)?;
+    }
+    Ok(LossyCsv {
+        relation: rel,
+        issues,
+    })
+}
+
 fn quote(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -138,11 +242,7 @@ fn quote(field: &str) -> String {
 /// Serialize a relation to CSV text (header + rows).
 pub fn to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<String> = rel
-        .schema()
-        .iter()
-        .map(|(_, a)| quote(&a.name))
-        .collect();
+    let header: Vec<String> = rel.schema().iter().map(|(_, a)| quote(&a.name)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in 0..rel.n_rows() {
@@ -208,5 +308,61 @@ mod tests {
     fn type_arity_checked() {
         let err = parse_csv("a,b\nx,y\n", &[ValueType::Text]).unwrap_err();
         assert!(matches!(err, CsvError::TypeArity { .. }));
+    }
+
+    #[test]
+    fn lossy_strips_bom_and_crlf() {
+        let text = "\u{feff}a,b\r\nx,y\r\n1,2\r\n";
+        let out = parse_csv_lossy(text, &[ValueType::Text, ValueType::Text]).unwrap();
+        assert_eq!(out.relation.n_rows(), 2);
+        assert_eq!(out.relation.schema().name(crate::AttrId(0)), "a");
+        assert_eq!(out.issues, vec![ParseIssue::ByteOrderMark]);
+        assert_eq!(out.relation.value(0, crate::AttrId(0)), &Value::str("x"));
+    }
+
+    #[test]
+    fn lossy_drops_and_reports_ragged_rows() {
+        let text = "a,b\nx,y\nonly-one\np,q,extra\nz,w\n";
+        let out = parse_csv_lossy(text, &[ValueType::Text, ValueType::Text]).unwrap();
+        assert_eq!(out.relation.n_rows(), 2);
+        assert_eq!(
+            out.issues,
+            vec![
+                ParseIssue::RaggedRow {
+                    row: 2,
+                    expected: 2,
+                    got: 1
+                },
+                ParseIssue::RaggedRow {
+                    row: 3,
+                    expected: 2,
+                    got: 3
+                },
+            ]
+        );
+        // The strict parser rejects the same input outright.
+        assert!(parse_csv(text, &[ValueType::Text, ValueType::Text]).is_err());
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let text = "name,price\nHyatt,230\nRegis,319.5\n";
+        let types = [ValueType::Text, ValueType::Numeric];
+        let strict = parse_csv(text, &types).unwrap();
+        let lossy = parse_csv_lossy(text, &types).unwrap();
+        assert_eq!(strict, lossy.relation);
+        assert!(lossy.issues.is_empty());
+    }
+
+    #[test]
+    fn lossy_still_fails_without_salvageable_structure() {
+        assert!(matches!(
+            parse_csv_lossy("", &[ValueType::Text]),
+            Err(CsvError::MissingHeader)
+        ));
+        assert!(matches!(
+            parse_csv_lossy("a,b\nx,y\n", &[ValueType::Text]),
+            Err(CsvError::TypeArity { .. })
+        ));
     }
 }

@@ -4,6 +4,11 @@
 //! 3/4, `g3 = 1/4`, the PAC 8/11 confidence, the FFD μ-computations, …) is
 //! checked as a unit test against these relations in `deptree-core`.
 
+// Static literal fixtures: each builder call is over fixed data whose
+// arity is visible on the page, so `expect` is a compile-time-checked
+// invariant rather than a reachable error path.
+#![allow(clippy::expect_used)]
+
 use crate::relation::{Relation, RelationBuilder};
 use crate::schema::ValueType;
 use crate::value::Value;
@@ -23,13 +28,55 @@ pub fn hotels_r1() -> Relation {
         .attr("star", ValueType::Numeric)
         .attr("price", ValueType::Numeric)
         .row(row5("New Center", "No.5, Central Park", "New York", 3, 299))
-        .row(row5("New Center Hotel", "No.5, Central Park", "New York", 3, 299))
-        .row(row5("St. Regis Hotel", "#3, West Lake Rd.", "Boston", 3, 319))
-        .row(row5("St. Regis", "#3, West Lake Rd.", "Chicago, MA", 3, 319))
-        .row(row5("West Wood Hotel", "Fifth Avenue, 61st Street", "Chicago", 4, 499))
-        .row(row5("West Wood", "Fifth Avenue, 61st Street", "Chicago, IL", 4, 499))
-        .row(row5("Christina Hotel", "No.7, West Lake Rd.", "Boston, MA", 5, 599))
-        .row(row5("Christina", "#7, West Lake Rd.", "San Francisco", 5, 0))
+        .row(row5(
+            "New Center Hotel",
+            "No.5, Central Park",
+            "New York",
+            3,
+            299,
+        ))
+        .row(row5(
+            "St. Regis Hotel",
+            "#3, West Lake Rd.",
+            "Boston",
+            3,
+            319,
+        ))
+        .row(row5(
+            "St. Regis",
+            "#3, West Lake Rd.",
+            "Chicago, MA",
+            3,
+            319,
+        ))
+        .row(row5(
+            "West Wood Hotel",
+            "Fifth Avenue, 61st Street",
+            "Chicago",
+            4,
+            499,
+        ))
+        .row(row5(
+            "West Wood",
+            "Fifth Avenue, 61st Street",
+            "Chicago, IL",
+            4,
+            499,
+        ))
+        .row(row5(
+            "Christina Hotel",
+            "No.7, West Lake Rd.",
+            "Boston, MA",
+            5,
+            599,
+        ))
+        .row(row5(
+            "Christina",
+            "#7, West Lake Rd.",
+            "San Francisco",
+            5,
+            0,
+        ))
         .build()
         .expect("static example data")
 }
@@ -45,7 +92,12 @@ pub fn hotels_r5() -> Relation {
         .row(row4("Hyatt", "175 North Jackson Street", "Jackson", 230))
         .row(row4("Hyatt", "175 North Jackson Street", "Jackson", 250))
         .row(row4("Hyatt", "6030 Gateway Boulevard E", "El Paso", 189))
-        .row(row4("Hyatt", "6030 Gateway Boulevard E", "El Paso, TX", 189))
+        .row(row4(
+            "Hyatt",
+            "6030 Gateway Boulevard E",
+            "El Paso, TX",
+            189,
+        ))
         .build()
         .expect("static example data")
 }
@@ -62,12 +114,66 @@ pub fn hotels_r6() -> Relation {
         .attr("zip", ValueType::Categorical)
         .attr("price", ValueType::Numeric)
         .attr("tax", ValueType::Numeric)
-        .row(r6_row("s1", "NC", "CPark", "#5, Central Park", "New York", "10041", 299, 29))
-        .row(r6_row("s2", "NC", "12th St.", "#2 Ave, 12th St.", "San Jose", "95102", 300, 20))
-        .row(r6_row("s1", "Regis", "CPark", "#9, Central Park", "New York", "10041", 319, 31))
-        .row(r6_row("s2", "Chris", "61st St.", "#5 Ave, 61st St.", "Chicago", "60601", 499, 49))
-        .row(r6_row("s2", "WD", "12th St.", "#6 Ave, 12th St.", "San Jose", "95102", 399, 27))
-        .row(r6_row("s1", "NC", "12th Str", "#2 Aven, 12th St.", "San Jose", "95102", 300, 20))
+        .row(r6_row(
+            "s1",
+            "NC",
+            "CPark",
+            "#5, Central Park",
+            "New York",
+            "10041",
+            299,
+            29,
+        ))
+        .row(r6_row(
+            "s2",
+            "NC",
+            "12th St.",
+            "#2 Ave, 12th St.",
+            "San Jose",
+            "95102",
+            300,
+            20,
+        ))
+        .row(r6_row(
+            "s1",
+            "Regis",
+            "CPark",
+            "#9, Central Park",
+            "New York",
+            "10041",
+            319,
+            31,
+        ))
+        .row(r6_row(
+            "s2",
+            "Chris",
+            "61st St.",
+            "#5 Ave, 61st St.",
+            "Chicago",
+            "60601",
+            499,
+            49,
+        ))
+        .row(r6_row(
+            "s2",
+            "WD",
+            "12th St.",
+            "#6 Ave, 12th St.",
+            "San Jose",
+            "95102",
+            399,
+            27,
+        ))
+        .row(r6_row(
+            "s1",
+            "NC",
+            "12th Str",
+            "#2 Aven, 12th St.",
+            "San Jose",
+            "95102",
+            300,
+            20,
+        ))
         .build()
         .expect("static example data")
 }

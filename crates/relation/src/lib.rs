@@ -28,8 +28,8 @@ mod schema;
 mod value;
 
 pub use attrset::AttrSet;
-pub use csv::{parse_csv, to_csv};
+pub use csv::{parse_csv, parse_csv_lossy, to_csv, CsvError, LossyCsv, ParseIssue};
 pub use partition::StrippedPartition;
 pub use relation::{Relation, RelationBuilder, RelationError};
 pub use schema::{AttrId, Attribute, Schema, ValueType};
-pub use value::{F64, Value};
+pub use value::{Value, F64};

@@ -94,6 +94,20 @@ impl StrippedPartition {
         self.n_rows - self.covered_rows() + self.classes.len()
     }
 
+    /// Rough in-memory footprint in bytes, used by the execution engine's
+    /// partition-memory budget. Counts the row indices plus per-class and
+    /// per-partition overhead; an estimate, not an allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        const WORD: u64 = std::mem::size_of::<usize>() as u64;
+        const VEC_OVERHEAD: u64 = 3 * WORD;
+        VEC_OVERHEAD
+            + self
+                .classes
+                .iter()
+                .map(|c| VEC_OVERHEAD + c.len() as u64 * WORD)
+                .sum::<u64>()
+    }
+
     /// TANE's error `e(π) = (‖π‖ − |π|)`: the minimum number of rows to
     /// remove so every remaining class is a singleton. Divided by `n`,
     /// this is the key-ness error used for key pruning.
@@ -228,8 +242,7 @@ mod tests {
         let pa = StrippedPartition::from_column(&r, s.id("a"));
         let pb = StrippedPartition::from_column(&r, s.id("b"));
         let prod = pa.product(&pb);
-        let direct =
-            StrippedPartition::from_attrs(&r, AttrSet::from_ids([s.id("a"), s.id("b")]));
+        let direct = StrippedPartition::from_attrs(&r, AttrSet::from_ids([s.id("a"), s.id("b")]));
         assert_eq!(prod, direct);
         // Commutativity.
         assert_eq!(pb.product(&pa), prod);

@@ -158,7 +158,9 @@ impl Relation {
 
     /// Do two rows agree (are equal) on every attribute in `attrs`?
     pub fn rows_agree(&self, r1: usize, r2: usize, attrs: AttrSet) -> bool {
-        attrs.iter().all(|a| self.cols[a.0][r1] == self.cols[a.0][r2])
+        attrs
+            .iter()
+            .all(|a| self.cols[a.0][r1] == self.cols[a.0][r2])
     }
 
     /// Group rows by their values on `attrs`.
@@ -236,11 +238,7 @@ impl Relation {
 
     /// Render the relation as an aligned ASCII table (for examples/demos).
     pub fn to_ascii_table(&self) -> String {
-        let headers: Vec<String> = self
-            .schema
-            .iter()
-            .map(|(_, a)| a.name.clone())
-            .collect();
+        let headers: Vec<String> = self.schema.iter().map(|(_, a)| a.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let rendered: Vec<Vec<String>> = (0..self.n_rows)
             .map(|r| {

@@ -137,10 +137,7 @@ impl Schema {
 
     /// Look up an attribute id by name.
     pub fn attr_id(&self, name: &str) -> Option<AttrId> {
-        self.attrs
-            .iter()
-            .position(|a| a.name == name)
-            .map(AttrId)
+        self.attrs.iter().position(|a| a.name == name).map(AttrId)
     }
 
     /// Look up an attribute id by name, panicking with a helpful message if

@@ -260,8 +260,14 @@ mod tests {
         assert_eq!(Value::int(2).cmp(&Value::float(2.0)), Ordering::Less);
         assert_ne!(Value::int(2), Value::float(2.0));
         // …while numeric_cmp gives value semantics.
-        assert_eq!(Value::int(2).numeric_cmp(&Value::float(2.0)), Ordering::Equal);
-        assert_eq!(Value::str("a").numeric_cmp(&Value::str("a")), Ordering::Equal);
+        assert_eq!(
+            Value::int(2).numeric_cmp(&Value::float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::str("a").numeric_cmp(&Value::str("a")),
+            Ordering::Equal
+        );
     }
 
     #[test]

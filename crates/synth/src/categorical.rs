@@ -1,8 +1,7 @@
 //! Relations with planted functional dependencies and injected errors.
 
+use crate::rng::Rng;
 use deptree_relation::{AttrId, Relation, RelationBuilder, Value, ValueType};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone)]
@@ -60,7 +59,7 @@ fn dep_value(key: usize, attr_salt: usize) -> usize {
 /// Generate a relation where each dependent attribute is functionally
 /// determined by one key attribute, then inject `error_rate` noise into
 /// dependent cells.
-pub fn generate(cfg: &CategoricalConfig, rng: &mut StdRng) -> PlantedRelation {
+pub fn generate(cfg: &CategoricalConfig, rng: &mut Rng) -> PlantedRelation {
     assert!(cfg.n_key_attrs >= 1, "need at least one key attribute");
     assert!(cfg.domain >= 2, "domain must have at least two values");
     let mut builder = RelationBuilder::new();
@@ -73,7 +72,11 @@ pub fn generate(cfg: &CategoricalConfig, rng: &mut StdRng) -> PlantedRelation {
 
     let mut keys: Vec<Vec<usize>> = Vec::with_capacity(cfg.n_rows);
     for _ in 0..cfg.n_rows {
-        keys.push((0..cfg.n_key_attrs).map(|_| rng.random_range(0..cfg.domain)).collect());
+        keys.push(
+            (0..cfg.n_key_attrs)
+                .map(|_| rng.random_range(0..cfg.domain))
+                .collect(),
+        );
     }
 
     let mut dirty_cells = Vec::new();
@@ -85,7 +88,7 @@ pub fn generate(cfg: &CategoricalConfig, rng: &mut StdRng) -> PlantedRelation {
             if cfg.error_rate > 0.0 && rng.random::<f64>() < cfg.error_rate {
                 // Perturb to a value outside the planted image with high
                 // probability.
-                v = v.wrapping_add(1 + rng.random_range(0..1_000));
+                v = v.wrapping_add(1 + rng.random_range(0..1_000usize));
                 dirty_cells.push((row, AttrId(cfg.n_key_attrs + d)));
             }
             cells.push(Value::str(format!("d{v}")));
@@ -93,7 +96,10 @@ pub fn generate(cfg: &CategoricalConfig, rng: &mut StdRng) -> PlantedRelation {
         builder = builder.row(cells);
     }
 
-    let relation = builder.build().expect("generator arity is consistent");
+    let relation = match builder.build() {
+        Ok(r) => r,
+        Err(e) => unreachable!("generator rows share one arity: {e}"),
+    };
     let planted_fds = (0..cfg.n_dep_attrs)
         .map(|d| (AttrId(d % cfg.n_key_attrs), AttrId(cfg.n_key_attrs + d)))
         .collect();

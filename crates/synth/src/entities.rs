@@ -2,9 +2,8 @@
 //! for matching-dependency deduplication experiments (§3.7, Table 3).
 
 use crate::noise;
+use crate::rng::Rng;
 use deptree_relation::{Relation, RelationBuilder, Value, ValueType};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone)]
@@ -47,14 +46,7 @@ pub struct EntityData {
 }
 
 const REGION_POOL: [&str; 8] = [
-    "New York",
-    "Boston",
-    "Chicago",
-    "San Jose",
-    "El Paso",
-    "Seattle",
-    "Austin",
-    "Denver",
+    "New York", "Boston", "Chicago", "San Jose", "El Paso", "Seattle", "Austin", "Denver",
 ];
 
 const STREET_POOL: [&str; 6] = [
@@ -68,7 +60,7 @@ const STREET_POOL: [&str; 6] = [
 
 /// Generate hotel-like entity records. Each entity has a canonical record;
 /// duplicates re-render its text fields with [`noise::vary`].
-pub fn generate(cfg: &EntitiesConfig, rng: &mut StdRng) -> EntityData {
+pub fn generate(cfg: &EntitiesConfig, rng: &mut Rng) -> EntityData {
     let mut builder = RelationBuilder::new()
         .attr("name", ValueType::Text)
         .attr("address", ValueType::Text)
@@ -80,11 +72,7 @@ pub fn generate(cfg: &EntitiesConfig, rng: &mut StdRng) -> EntityData {
     let mut row = 0usize;
     for e in 0..cfg.n_entities {
         let name = format!("Hotel {} {}", REGION_POOL[e % REGION_POOL.len()], e);
-        let address = format!(
-            "No.{}, {}",
-            1 + e % 97,
-            STREET_POOL[e % STREET_POOL.len()]
-        );
+        let address = format!("No.{}, {}", 1 + e % 97, STREET_POOL[e % STREET_POOL.len()]);
         let region = REGION_POOL[(e / REGION_POOL.len()) % REGION_POOL.len()];
         let zip = format!("{:05}", 10_000 + e * 13 % 89_999);
         let price = 100 + (e % 40) as i64 * 10;
@@ -102,7 +90,7 @@ pub fn generate(cfg: &EntitiesConfig, rng: &mut StdRng) -> EntityData {
             }
             let mut p = price;
             if rng.random::<f64>() < cfg.error_rate {
-                p += 500 + rng.random_range(0..500);
+                p += 500 + rng.random_range(0..500i64);
                 dirty_rows.push(row);
             }
             builder = builder.row(vec![
@@ -117,7 +105,10 @@ pub fn generate(cfg: &EntitiesConfig, rng: &mut StdRng) -> EntityData {
         }
     }
     EntityData {
-        relation: builder.build().expect("consistent arity"),
+        relation: match builder.build() {
+            Ok(r) => r,
+            Err(e) => unreachable!("generator rows share one arity: {e}"),
+        },
         cluster,
         dirty_rows,
     }

@@ -1,0 +1,432 @@
+//! Seeded, deterministic fault injection — the veracity stress harness.
+//!
+//! The survey's premise is that dependencies must stay useful on dirty,
+//! erroneous data. This module turns that premise into a reusable test
+//! harness: a [`FaultPlan`] describes *which* corruption classes to apply
+//! and at *what* rate, and applies them deterministically from a seed, so
+//! a failing resilience test reproduces exactly.
+//!
+//! Two surfaces are covered:
+//!
+//! * [`FaultPlan::apply`] corrupts a typed [`Relation`] in place-ish
+//!   (returning a new instance plus ground truth about every injected
+//!   fault) — cell corruption, null storms, row duplication, garbled
+//!   encodings, schema drift;
+//! * [`FaultPlan::apply_csv`] corrupts raw CSV *text* — BOM, CRLF,
+//!   ragged rows, mojibake — the faults only a parser ever sees.
+
+use crate::noise;
+use crate::rng::Rng;
+use deptree_relation::{AttrId, Relation, RelationBuilder, Value, ValueType};
+
+/// One class of injected corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Overwrite a fraction of cells with type-inconsistent garbage
+    /// (strings in numeric columns, absurd magnitudes, empty strings).
+    CellCorruption {
+        /// Fraction of cells corrupted (0..=1).
+        rate: f64,
+    },
+    /// Set a fraction of cells to [`Value::Null`] — the missing-data storm
+    /// real extraction pipelines produce.
+    NullStorm {
+        /// Fraction of cells nulled (0..=1).
+        rate: f64,
+    },
+    /// Append duplicate copies of a fraction of rows (exact duplicates,
+    /// the deduplication workload's worst case).
+    RowDuplication {
+        /// Expected duplicates per row (0..=1 duplicates each row at most
+        /// once; the harness draws per row).
+        rate: f64,
+    },
+    /// Replace string cells with garbled re-encodings: mojibake sequences,
+    /// embedded control characters, zero-width junk.
+    GarbledEncoding {
+        /// Fraction of string cells garbled (0..=1).
+        rate: f64,
+    },
+    /// Schema drift between sources: every attribute is renamed and its
+    /// declared type rotated (`Categorical → Text → Numeric → …`), the
+    /// values left as-is — type advice now lies about the data.
+    SchemaDrift,
+}
+
+/// The names of all fault classes, for enumerating scenarios in tests.
+pub const FAULT_CLASSES: [&str; 5] = [
+    "cell-corruption",
+    "null-storm",
+    "row-duplication",
+    "garbled-encoding",
+    "schema-drift",
+];
+
+/// A deterministic corruption recipe: a seed plus an ordered list of
+/// faults, applied in sequence.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; equal plans applied to equal relations yield equal output.
+    pub seed: u64,
+    /// Faults to apply, in order.
+    pub faults: Vec<Fault>,
+}
+
+/// Ground truth about what a [`FaultPlan`] did to a relation.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The corrupted instance.
+    pub relation: Relation,
+    /// Cells overwritten with garbage by [`Fault::CellCorruption`].
+    pub corrupted_cells: Vec<(usize, AttrId)>,
+    /// Cells nulled by [`Fault::NullStorm`].
+    pub nulled_cells: Vec<(usize, AttrId)>,
+    /// Source row index of every appended duplicate, in append order.
+    pub duplicated_rows: Vec<usize>,
+    /// Cells garbled by [`Fault::GarbledEncoding`].
+    pub garbled_cells: Vec<(usize, AttrId)>,
+    /// Whether [`Fault::SchemaDrift`] rewrote the schema.
+    pub drifted_schema: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Append one fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// One plan per fault class, each at `rate` — the scenario matrix the
+    /// resilience suite iterates.
+    pub fn scenarios(seed: u64, rate: f64) -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            (
+                "cell-corruption",
+                FaultPlan::new(seed).with(Fault::CellCorruption { rate }),
+            ),
+            (
+                "null-storm",
+                FaultPlan::new(seed).with(Fault::NullStorm { rate }),
+            ),
+            (
+                "row-duplication",
+                FaultPlan::new(seed).with(Fault::RowDuplication { rate }),
+            ),
+            (
+                "garbled-encoding",
+                FaultPlan::new(seed).with(Fault::GarbledEncoding { rate }),
+            ),
+            (
+                "schema-drift",
+                FaultPlan::new(seed).with(Fault::SchemaDrift),
+            ),
+            (
+                "everything-at-once",
+                FaultPlan::new(seed)
+                    .with(Fault::CellCorruption { rate })
+                    .with(Fault::NullStorm { rate })
+                    .with(Fault::GarbledEncoding { rate })
+                    .with(Fault::RowDuplication { rate })
+                    .with(Fault::SchemaDrift),
+            ),
+        ]
+    }
+
+    /// Apply the plan to a relation, returning the corrupted instance and
+    /// the ground truth of every injected fault.
+    pub fn apply(&self, r: &Relation) -> FaultReport {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut rel = r.clone();
+        let mut report = FaultReport {
+            relation: Relation::empty(r.schema().clone()).unwrap_or_else(|_| r.clone()),
+            corrupted_cells: Vec::new(),
+            nulled_cells: Vec::new(),
+            duplicated_rows: Vec::new(),
+            garbled_cells: Vec::new(),
+            drifted_schema: false,
+        };
+        for fault in &self.faults {
+            match *fault {
+                Fault::CellCorruption { rate } => {
+                    for row in 0..rel.n_rows() {
+                        for a in rel.schema().ids() {
+                            if rng.random_bool(rate) {
+                                rel.set_value(row, a, garbage_value(&mut rng));
+                                report.corrupted_cells.push((row, a));
+                            }
+                        }
+                    }
+                }
+                Fault::NullStorm { rate } => {
+                    for row in 0..rel.n_rows() {
+                        for a in rel.schema().ids() {
+                            if rng.random_bool(rate) {
+                                rel.set_value(row, a, Value::Null);
+                                report.nulled_cells.push((row, a));
+                            }
+                        }
+                    }
+                }
+                Fault::RowDuplication { rate } => {
+                    let n = rel.n_rows();
+                    for row in 0..n {
+                        if rng.random_bool(rate) {
+                            let copy = rel.row(row);
+                            if rel.push_row(copy).is_ok() {
+                                report.duplicated_rows.push(row);
+                            }
+                        }
+                    }
+                }
+                Fault::GarbledEncoding { rate } => {
+                    for row in 0..rel.n_rows() {
+                        for a in rel.schema().ids() {
+                            let garble = match rel.value(row, a) {
+                                Value::Str(_) => rng.random_bool(rate),
+                                _ => false,
+                            };
+                            if garble {
+                                let s = rel.value(row, a).render().into_owned();
+                                rel.set_value(row, a, Value::str(garble_text(&s, &mut rng)));
+                                report.garbled_cells.push((row, a));
+                            }
+                        }
+                    }
+                }
+                Fault::SchemaDrift => {
+                    rel = drift_schema(&rel, &mut rng);
+                    report.drifted_schema = true;
+                }
+            }
+        }
+        report.relation = rel;
+        report
+    }
+
+    /// Apply text-level faults to raw CSV: a UTF-8 BOM, CRLF line endings,
+    /// ragged rows (a dropped or extra trailing field), and mojibake in a
+    /// fraction of lines. Always deterministic in the seed.
+    pub fn apply_csv(&self, csv: &str) -> String {
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xC5_F0_0D);
+        let rate = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CellCorruption { rate }
+                | Fault::GarbledEncoding { rate }
+                | Fault::NullStorm { rate } => Some(rate),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max)
+            .max(0.05);
+        let mut out = String::from("\u{feff}");
+        for (i, line) in csv.lines().enumerate() {
+            let mut line = line.to_owned();
+            if i > 0 && rng.random_bool(rate) {
+                // Ragged: drop the last field or append a stray one.
+                if rng.random_bool(0.5) {
+                    if let Some(pos) = line.rfind(',') {
+                        line.truncate(pos);
+                    }
+                } else {
+                    line.push_str(",stray");
+                }
+            }
+            if i > 0 && rng.random_bool(rate) {
+                line = garble_text(&line, &mut rng);
+            }
+            out.push_str(&line);
+            // Mixed line endings, CRLF-heavy.
+            out.push_str(if rng.random_bool(0.7) { "\r\n" } else { "\n" });
+        }
+        out
+    }
+}
+
+/// A type-inconsistent garbage value.
+fn garbage_value(rng: &mut Rng) -> Value {
+    match rng.random_range(0..5u8) {
+        0 => Value::str(""),
+        1 => Value::int(i64::MAX - rng.random_range(0..1000i64)),
+        2 => Value::float(f64::MAX / 2.0),
+        3 => Value::str("NaN;DROP TABLE--"),
+        _ => Value::str(format!("??{}", rng.random_range(0..1_000_000usize))),
+    }
+}
+
+/// Garble a string: mojibake substitution, control characters, zero-width
+/// junk, or a typo pile-up.
+fn garble_text(s: &str, rng: &mut Rng) -> String {
+    const MOJIBAKE: [&str; 4] = ["Ã©", "â€™", "ï¿½", "Ð–"];
+    match rng.random_range(0..4u8) {
+        0 => {
+            // Replace a slice with a mojibake sequence.
+            let moji = MOJIBAKE[rng.random_range(0..MOJIBAKE.len())];
+            let mut out: String = s.chars().collect();
+            if let Some(pos) = out
+                .char_indices()
+                .nth(rng.random_range(0..s.chars().count().max(1)))
+            {
+                out.replace_range(pos.0..pos.0 + pos.1.len_utf8(), moji);
+            }
+            out
+        }
+        1 => format!("\u{0000}{s}\u{0007}"),
+        2 => format!("{s}\u{200b}\u{200d}"),
+        _ => {
+            let mut out = s.to_owned();
+            for _ in 0..3 {
+                out = noise::typo(&out, rng);
+            }
+            out
+        }
+    }
+}
+
+/// Rename every attribute and rotate its declared type.
+fn drift_schema(r: &Relation, rng: &mut Rng) -> Relation {
+    let mut builder = RelationBuilder::new();
+    for (i, (_, attr)) in r.schema().iter().enumerate() {
+        let new_ty = match attr.ty {
+            ValueType::Categorical => ValueType::Text,
+            ValueType::Text => ValueType::Numeric,
+            ValueType::Numeric => ValueType::Categorical,
+        };
+        let new_name = match rng.random_range(0..3u8) {
+            0 => format!("{}_v2", attr.name),
+            1 => attr.name.to_uppercase() + "_",
+            _ => format!("col{i}_{}", attr.name),
+        };
+        builder = builder.attr(new_name, new_ty);
+    }
+    for row in 0..r.n_rows() {
+        builder = builder.row(r.row(row));
+    }
+    // The drifted schema has the same arity as the source relation, so
+    // rebuilding cannot fail; fall back to the original on the impossible
+    // path rather than panicking.
+    builder.build().unwrap_or_else(|_| r.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::Schema;
+
+    fn sample() -> Relation {
+        let mut b = RelationBuilder::new()
+            .attr("name", ValueType::Text)
+            .attr("city", ValueType::Categorical)
+            .attr("price", ValueType::Numeric);
+        for i in 0..40 {
+            b = b.row(vec![
+                Value::str(format!("Hotel {i}")),
+                Value::str(format!("c{}", i % 5)),
+                Value::int(100 + i),
+            ]);
+        }
+        b.build().expect("consistent")
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = sample();
+        let plan = FaultPlan::new(9)
+            .with(Fault::CellCorruption { rate: 0.2 })
+            .with(Fault::NullStorm { rate: 0.1 })
+            .with(Fault::RowDuplication { rate: 0.3 });
+        let a = plan.apply(&r);
+        let b = plan.apply(&r);
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.corrupted_cells, b.corrupted_cells);
+        assert_eq!(a.nulled_cells, b.nulled_cells);
+        assert_eq!(a.duplicated_rows, b.duplicated_rows);
+        let c = FaultPlan {
+            seed: 10,
+            ..plan.clone()
+        }
+        .apply(&r);
+        assert_ne!(a.corrupted_cells, c.corrupted_cells);
+    }
+
+    #[test]
+    fn null_storm_nulls_reported_cells() {
+        let r = sample();
+        let report = FaultPlan::new(3)
+            .with(Fault::NullStorm { rate: 0.25 })
+            .apply(&r);
+        assert!(!report.nulled_cells.is_empty());
+        for &(row, a) in &report.nulled_cells {
+            assert!(report.relation.value(row, a).is_null());
+        }
+    }
+
+    #[test]
+    fn duplication_appends_exact_copies() {
+        let r = sample();
+        let report = FaultPlan::new(5)
+            .with(Fault::RowDuplication { rate: 0.5 })
+            .apply(&r);
+        assert!(!report.duplicated_rows.is_empty());
+        assert_eq!(
+            report.relation.n_rows(),
+            r.n_rows() + report.duplicated_rows.len()
+        );
+        for (k, &src) in report.duplicated_rows.iter().enumerate() {
+            assert_eq!(report.relation.row(r.n_rows() + k), r.row(src));
+        }
+    }
+
+    #[test]
+    fn schema_drift_changes_names_and_types_only() {
+        let r = sample();
+        let report = FaultPlan::new(7).with(Fault::SchemaDrift).apply(&r);
+        assert!(report.drifted_schema);
+        assert_eq!(report.relation.n_rows(), r.n_rows());
+        assert_eq!(report.relation.n_attrs(), r.n_attrs());
+        let old: Vec<&str> = r.schema().iter().map(|(_, a)| a.name.as_str()).collect();
+        let new: Vec<&str> = report
+            .relation
+            .schema()
+            .iter()
+            .map(|(_, a)| a.name.as_str())
+            .collect();
+        assert_ne!(old, new);
+        for row in 0..r.n_rows() {
+            assert_eq!(r.row(row), report.relation.row(row));
+        }
+    }
+
+    #[test]
+    fn csv_faults_produce_hostile_text() {
+        let r = sample();
+        let clean = deptree_relation::to_csv(&r);
+        let plan = FaultPlan::new(21).with(Fault::CellCorruption { rate: 0.3 });
+        let dirty = plan.apply_csv(&clean);
+        assert!(dirty.starts_with('\u{feff}'), "BOM injected");
+        assert!(dirty.contains("\r\n"), "CRLF injected");
+        assert_eq!(dirty, plan.apply_csv(&clean), "deterministic");
+    }
+
+    #[test]
+    fn empty_relation_survives_all_faults() {
+        let r = Relation::empty(Schema::from_attrs([
+            ("a", ValueType::Text),
+            ("b", ValueType::Numeric),
+        ]))
+        .expect("small schema");
+        for (_, plan) in FaultPlan::scenarios(1, 0.5) {
+            let report = plan.apply(&r);
+            assert_eq!(report.relation.n_rows(), 0);
+        }
+    }
+}

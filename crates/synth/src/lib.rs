@@ -27,17 +27,18 @@
 pub mod armstrong;
 pub mod categorical;
 pub mod entities;
+pub mod fault;
 pub mod noise;
 pub mod numerical;
+pub mod rng;
 
 pub use categorical::{CategoricalConfig, PlantedRelation};
 pub use entities::{EntitiesConfig, EntityData};
+pub use fault::{Fault, FaultPlan, FaultReport};
 pub use numerical::{SequenceConfig, SequenceData};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub use rng::Rng;
 
 /// Create the crate's canonical RNG from a seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }

@@ -1,12 +1,11 @@
 //! The heterogeneity noise of §1.2: the same real-world value rendered in
 //! different formats by different sources.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use crate::rng::Rng;
 
 /// Append a state-style suffix: `"Chicago"` → `"Chicago, IL"` (the paper's
 /// running example of variety).
-pub fn add_suffix(s: &str, rng: &mut StdRng) -> String {
+pub fn add_suffix(s: &str, rng: &mut Rng) -> String {
     const SUFFIXES: [&str; 6] = [", IL", ", MA", ", CA", ", TX", ", NY", ", WA"];
     format!("{s}{}", SUFFIXES[rng.random_range(0..SUFFIXES.len())])
 }
@@ -16,8 +15,10 @@ pub fn add_suffix(s: &str, rng: &mut StdRng) -> String {
 pub fn abbreviate(s: &str) -> String {
     const DROPPABLE: [&str; 6] = ["Hotel", "Street", "Avenue", "Road", "Inn", "Suites"];
     let tokens: Vec<&str> = s.split_whitespace().collect();
-    if tokens.len() > 1 && DROPPABLE.contains(tokens.last().expect("non-empty")) {
-        return tokens[..tokens.len() - 1].join(" ");
+    if let [head @ .., last] = tokens.as_slice() {
+        if !head.is_empty() && DROPPABLE.contains(last) {
+            return head.join(" ");
+        }
     }
     // Otherwise abbreviate the last token to its initial.
     if tokens.len() > 1 {
@@ -32,7 +33,7 @@ pub fn abbreviate(s: &str) -> String {
 
 /// Introduce a single random typo (substitution, deletion or transposition
 /// of one character).
-pub fn typo(s: &str, rng: &mut StdRng) -> String {
+pub fn typo(s: &str, rng: &mut Rng) -> String {
     let chars: Vec<char> = s.chars().collect();
     if chars.is_empty() {
         return s.to_owned();
@@ -60,7 +61,7 @@ pub fn typo(s: &str, rng: &mut StdRng) -> String {
 
 /// Apply a random representation-variety transformation: one of the three
 /// above, chosen uniformly.
-pub fn vary(s: &str, rng: &mut StdRng) -> String {
+pub fn vary(s: &str, rng: &mut Rng) -> String {
     match rng.random_range(0..3u8) {
         0 => add_suffix(s, rng),
         1 => abbreviate(s),

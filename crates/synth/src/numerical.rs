@@ -1,8 +1,7 @@
 //! Ordered numerical sequences for OD/SD/CSD experiments (§4).
 
+use crate::rng::Rng;
 use deptree_relation::{Relation, RelationBuilder, Value, ValueType};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ pub struct SequenceData {
 
 /// Generate a monotone sequence with per-regime step distributions and
 /// occasional spikes.
-pub fn generate(cfg: &SequenceConfig, rng: &mut StdRng) -> SequenceData {
+pub fn generate(cfg: &SequenceConfig, rng: &mut Rng) -> SequenceData {
     assert!(!cfg.regimes.is_empty(), "need at least one regime");
     let mut builder = RelationBuilder::new()
         .attr("seq", ValueType::Numeric)
@@ -66,7 +65,10 @@ pub fn generate(cfg: &SequenceConfig, rng: &mut StdRng) -> SequenceData {
         y += step;
     }
     SequenceData {
-        relation: builder.build().expect("consistent arity"),
+        relation: match builder.build() {
+            Ok(r) => r,
+            Err(e) => unreachable!("generator rows share one arity: {e}"),
+        },
         spike_steps,
         regime_starts,
     }

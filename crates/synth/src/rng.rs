@@ -1,0 +1,230 @@
+//! A small, self-contained, deterministic pseudo-random number generator.
+//!
+//! The tier-1 build must work with no network access, so the workspace
+//! vendors this xoshiro256**-based generator instead of depending on the
+//! `rand` crate. The API mirrors the subset of `rand` the generators use
+//! (`random`, `random_range`, `random_bool`, `shuffle`), and every stream
+//! is fully determined by its seed, which is what the fault-injection
+//! harness and the budget-determinism tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic PRNG (xoshiro256** seeded through splitmix64).
+///
+/// Not cryptographically secure; statistical quality is more than enough
+/// for synthetic workloads and fault plans.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A sample of the "standard" distribution for `T`: `f64` in `[0, 1)`,
+    /// uniform integers over the full domain, fair `bool`.
+    pub fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from a range, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(0.5..=2.0)`. Empty integer ranges and inverted
+    /// float ranges clamp to the start bound rather than panicking.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniform in `[0, bound)`; returns 0 for bound 0.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of the fallback is irrelevant at the bounds used here.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Types with a canonical "standard" distribution for [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one sample.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut Rng) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                if self.end <= self.start {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end <= start {
+                    return start;
+                }
+                let span = (end as i128 - start as i128) as u64;
+                let draw = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.bounded(span + 1)
+                };
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        if self.end.partial_cmp(&self.start) != Some(std::cmp::Ordering::Greater) {
+            return self.start;
+        }
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
+            return start;
+        }
+        start + rng.random::<f64>() * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(va, (0..32).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let f = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.random();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(rng.random_range(5..5usize), 5);
+        assert_eq!(rng.random_range(5..3usize), 5);
+        assert_eq!(rng.random_range(2.0..2.0f64), 2.0);
+        assert_eq!(rng.random_range(9..=9u8), 9);
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

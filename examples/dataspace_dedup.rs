@@ -27,14 +27,32 @@ fn dataspace() {
     let s = r.schema();
     let cd = Cd::new(
         s,
-        vec![SimFn::new(s.id("region"), s.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0)],
-        SimFn::new(s.id("addr"), s.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0),
+        vec![SimFn::new(
+            s.id("region"),
+            s.id("city"),
+            Metric::Levenshtein,
+            5.0,
+            5.0,
+            5.0,
+        )],
+        SimFn::new(
+            s.id("addr"),
+            s.id("post"),
+            Metric::Levenshtein,
+            7.0,
+            9.0,
+            6.0,
+        ),
     );
     println!("{cd}");
     println!("holds: {}", cd.holds(&r));
     for (i, j) in r.row_pairs() {
         if cd.lhs_similar(&r, i, j) {
-            println!("  t{} ≈ t{} on θ(region, city) → addresses comparable", i + 1, j + 1);
+            println!(
+                "  t{} ≈ t{} on θ(region, city) → addresses comparable",
+                i + 1,
+                j + 1
+            );
         }
     }
     println!();
@@ -70,7 +88,10 @@ fn dedup_at_scale() {
             max_lhs: 1,
         },
     );
-    println!("discovered {} candidate matching rules; top 3:", candidates.len());
+    println!(
+        "discovered {} candidate matching rules; top 3:",
+        candidates.len()
+    );
     for smd in candidates.iter().take(3) {
         println!(
             "  {} (support {:.4}, confidence {:.2})",

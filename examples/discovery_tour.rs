@@ -28,7 +28,13 @@ fn main() {
     );
 
     println!("\n== TANE approximate mode (AFDs with g3 ≤ 0.25, r5) ==");
-    let a = tane::discover(&r5, &tane::TaneConfig { max_lhs: 2, max_error: 0.25 });
+    let a = tane::discover(
+        &r5,
+        &tane::TaneConfig {
+            max_lhs: 2,
+            max_error: 0.25,
+        },
+    );
     for fd in a.fds.iter().take(4) {
         println!("  {fd}  (g3 = {:.2})", fd.g3(&r5));
     }
@@ -36,7 +42,11 @@ fn main() {
     println!("\n== FastFD (difference sets, r1) ==");
     let r1 = hotels_r1();
     let f = fastfd::discover(&r1);
-    println!("{} FDs from {} difference sets", f.fds.len(), f.stats.difference_sets);
+    println!(
+        "{} FDs from {} difference sets",
+        f.fds.len(),
+        f.stats.difference_sets
+    );
 
     println!("\n== CORDS (sampled SFDs on synthetic 10k rows) ==");
     let cfg = CategoricalConfig {
@@ -52,14 +62,24 @@ fn main() {
     println!("sampled {} rows; {} soft FDs", c.sampled_rows, c.sfds.len());
 
     println!("\n== PFD discovery (r5) ==");
-    for p in pfd::discover(&r5, &pfd::PfdConfig { min_probability: 0.7, max_lhs: 1 }) {
+    for p in pfd::discover(
+        &r5,
+        &pfd::PfdConfig {
+            min_probability: 0.7,
+            max_lhs: 1,
+        },
+    ) {
         println!("  {p}  (P = {:.2})", p.probability(&r5));
     }
 
     println!("\n== CFDMiner + CTANE + greedy tableau (r6) ==");
     let constant = cfd::cfdminer(&r6, &cfd::CfdConfig::default());
     let general = cfd::ctane(&r6, &cfd::CfdConfig::default());
-    println!("{} constant CFDs, {} general CFDs; e.g.:", constant.len(), general.len());
+    println!(
+        "{} constant CFDs, {} general CFDs; e.g.:",
+        constant.len(),
+        general.len()
+    );
     for c in general.iter().take(3) {
         println!("  {c}");
     }
@@ -72,7 +92,10 @@ fn main() {
     );
 
     println!("\n== MVD discovery (r5) ==");
-    for m in mvd::discover(&r5, &mvd::MvdConfig::default()).iter().take(4) {
+    for m in mvd::discover(&r5, &mvd::MvdConfig::default())
+        .iter()
+        .take(4)
+    {
         println!("  {m}");
     }
 
@@ -87,14 +110,29 @@ fn main() {
     println!("minimal δ for address →^δ region: {delta}");
 
     println!("\n== DD discovery with data-driven thresholds (r6) ==");
-    for d in dd::discover(&r6, &dd::DdConfig { max_lhs: 1, ..Default::default() }).iter().take(4) {
+    for d in dd::discover(
+        &r6,
+        &dd::DdConfig {
+            max_lhs: 1,
+            ..Default::default()
+        },
+    )
+    .iter()
+    .take(4)
+    {
         println!("  {d}");
     }
 
     println!("\n== MD discovery (r6, identify zip) ==");
     let s6 = r6.schema();
-    for smd in md::discover(&r6, AttrSet::single(s6.id("zip")), &md::MdConfig::default()).iter().take(3) {
-        println!("  {} (supp {:.3}, conf {:.2})", smd.md, smd.support, smd.confidence);
+    for smd in md::discover(&r6, AttrSet::single(s6.id("zip")), &md::MdConfig::default())
+        .iter()
+        .take(3)
+    {
+        println!(
+            "  {} (supp {:.3}, conf {:.2})",
+            smd.md, smd.support, smd.confidence
+        );
     }
 
     println!("\n== NED discovery (r6, target: street closeness) ==");
@@ -104,7 +142,10 @@ fn main() {
     }
 
     println!("\n== FFD mining (r6) ==");
-    for f in ffd::discover(&r6, &ffd::FfdConfig::default()).iter().take(4) {
+    for f in ffd::discover(&r6, &ffd::FfdConfig::default())
+        .iter()
+        .take(4)
+    {
         println!("  {f}");
     }
 
@@ -132,20 +173,36 @@ fn main() {
     }
 
     println!("\n== NUD minimal-weight fitting (r5) ==");
-    for n in nud::discover(&r5, &nud::NudConfig::default()).iter().take(3) {
+    for n in nud::discover(&r5, &nud::NudConfig::default())
+        .iter()
+        .take(3)
+    {
         println!("  {n}");
     }
 
     println!("\n== eCFD condition mining (r5) ==");
-    for e in ecfd::discover(&r5, &ecfd::ECfdConfig::default()).iter().take(3) {
+    for e in ecfd::discover(&r5, &ecfd::ECfdConfig::default())
+        .iter()
+        .take(3)
+    {
         println!("  {e}");
     }
 
     println!("\n== CDD / CMD discovery over frequent conditions (r6) ==");
-    for c in conditional::discover_cdds(&r6, &conditional::ConditionalConfig::default()).iter().take(2) {
+    for c in conditional::discover_cdds(&r6, &conditional::ConditionalConfig::default())
+        .iter()
+        .take(2)
+    {
         println!("  {c}");
     }
-    for c in conditional::discover_cmds(&r6, AttrSet::single(s6.id("zip")), &conditional::ConditionalConfig::default()).iter().take(2) {
+    for c in conditional::discover_cmds(
+        &r6,
+        AttrSet::single(s6.id("zip")),
+        &conditional::ConditionalConfig::default(),
+    )
+    .iter()
+    .take(2)
+    {
         println!("  {c}");
     }
 
@@ -153,10 +210,25 @@ fn main() {
     let ds = deptree::relation::examples::dataspace_cd();
     let dss = ds.schema();
     let known = vec![deptree::core::SimFn::new(
-        dss.id("region"), dss.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0,
+        dss.id("region"),
+        dss.id("city"),
+        Metric::Levenshtein,
+        5.0,
+        5.0,
+        5.0,
     )];
-    let newly = deptree::core::SimFn::new(dss.id("addr"), dss.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0);
-    for c in cd::discover_incremental(&ds, &known, &newly, &cd::CdConfig::default()).iter().take(2) {
+    let newly = deptree::core::SimFn::new(
+        dss.id("addr"),
+        dss.id("post"),
+        Metric::Levenshtein,
+        7.0,
+        9.0,
+        6.0,
+    );
+    for c in cd::discover_incremental(&ds, &known, &newly, &cd::CdConfig::default())
+        .iter()
+        .take(2)
+    {
         println!("  {c}");
     }
 

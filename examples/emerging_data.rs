@@ -23,10 +23,7 @@ fn main() {
 /// *certain*.
 fn uncertain() {
     println!("=== §5.1 Uncertain data: horizontal & vertical FDs ===");
-    let schema = Schema::from_attrs([
-        ("address", ValueType::Text),
-        ("region", ValueType::Text),
-    ]);
+    let schema = Schema::from_attrs([("address", ValueType::Text), ("region", ValueType::Text)]);
     let mut u = UncertainRelation::new(schema);
     u.push_row(vec![
         vec!["6030 Gateway Boulevard E".into()],
@@ -40,9 +37,18 @@ fn uncertain() {
     .unwrap();
     let fd = Fd::parse(u.schema(), "address -> region").unwrap();
     println!("{} possible worlds", u.n_worlds());
-    println!("certain  (holds in all worlds): {}", holds_in_all_worlds(&u, &fd, 64));
-    println!("possible (holds in some world): {}", holds_in_some_world(&u, &fd, 64));
-    println!("vertical (or-sets as values):   {}", holds_vertically(&u, &fd));
+    println!(
+        "certain  (holds in all worlds): {}",
+        holds_in_all_worlds(&u, &fd, 64)
+    );
+    println!(
+        "possible (holds in some world): {}",
+        holds_in_some_world(&u, &fd, 64)
+    );
+    println!(
+        "vertical (or-sets as values):   {}",
+        holds_vertically(&u, &fd)
+    );
     println!();
 }
 

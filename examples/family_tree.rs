@@ -33,7 +33,10 @@ fn main() {
     println!("\n=== Fig. 1B: publications using each notation ===");
     let mut infos: Vec<_> = registry::REGISTRY.iter().collect();
     infos.sort_by_key(|n| std::cmp::Reverse(n.publications));
-    for info in infos.iter().filter(|n| n.kind != deptree::core::DepKind::Fd) {
+    for info in infos
+        .iter()
+        .filter(|n| n.kind != deptree::core::DepKind::Fd)
+    {
         let bar = "█".repeat((info.publications / 12).max(1) as usize);
         println!("{:6} {:5} {}", info.kind.acronym(), info.publications, bar);
     }

@@ -39,7 +39,11 @@ fn paper_example() {
     ));
 
     println!("=== Table 1 (8 tuples, 2 planted errors) ===");
-    for (name, rule) in [("FD (strict equality)", &fd), ("MFD (δ=4 on region)", &mfd), ("MD (≈ on address)", &md)] {
+    for (name, rule) in [
+        ("FD (strict equality)", &fd),
+        ("MFD (δ=4 on region)", &mfd),
+        ("MD (≈ on address)", &md),
+    ] {
         let report = detect::run(&r, std::slice::from_ref(rule));
         let score = detect::score_cells(&report, &truth);
         println!(
@@ -91,7 +95,11 @@ fn at_scale() {
         r.n_rows(),
         data.dirty_rows.len()
     );
-    for (name, rule) in [("FD zip→price", &fd), ("MFD zip→price (δ=50)", &mfd), ("MD name≈→price", &md)] {
+    for (name, rule) in [
+        ("FD zip→price", &fd),
+        ("MFD zip→price (δ=50)", &mfd),
+        ("MD name≈→price", &md),
+    ] {
         let report = detect::run(r, std::slice::from_ref(rule));
         let score = detect::score_cells(&report, &truth);
         println!(

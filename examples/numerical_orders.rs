@@ -43,7 +43,12 @@ fn rates() {
     println!("{dc1} holds: {}", dc1.holds(&r));
 
     // sd1: subtotal rises 100–200 per extra night.
-    let sd1 = Sd::new(s, s.id("nights"), s.id("subtotal"), Interval::new(100.0, 200.0));
+    let sd1 = Sd::new(
+        s,
+        s.id("nights"),
+        s.id("subtotal"),
+        Interval::new(100.0, 200.0),
+    );
     println!("{sd1} holds: {}", sd1.holds(&r));
 
     // Discover all single-attribute ODs.
@@ -91,7 +96,10 @@ fn regimes_and_repair() {
     let data = numerical::generate(&cfg, &mut deptree::synth::rng(cfg.seed));
     let s = data.relation.schema();
     println!("=== Regime-switching sequence: CSD tableau ===");
-    for (band, name) in [(Interval::new(1.0, 2.0), "slow regime"), (Interval::new(10.0, 12.0), "fast regime")] {
+    for (band, name) in [
+        (Interval::new(1.0, 2.0), "slow regime"),
+        (Interval::new(10.0, 12.0), "fast regime"),
+    ] {
         let csd = sd_discovery::csd_tableau(&data.relation, s.id("seq"), s.id("y"), band, 0.9);
         let covered = sd_discovery::tableau_covered_steps(&data.relation, &csd);
         println!(
@@ -103,7 +111,12 @@ fn regimes_and_repair() {
     // Repair the fast regime's stream under its gap constraint.
     let fast_rows: Vec<usize> = (200..400).collect();
     let fast = data.relation.select_rows(&fast_rows);
-    let sd = Sd::new(fast.schema(), s.id("seq"), s.id("y"), Interval::new(10.0, 12.0));
+    let sd = Sd::new(
+        fast.schema(),
+        s.id("seq"),
+        s.id("y"),
+        Interval::new(10.0, 12.0),
+    );
     let before = sd.violations(&fast).len();
     let (repaired, changes) = repair::repair_sequence(&fast, &sd);
     println!(

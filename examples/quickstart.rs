@@ -21,7 +21,11 @@ fn main() {
     let fd1 = Fd::parse(hotels.schema(), "address -> region").expect("attrs exist");
     println!("{fd1} holds: {}", fd1.holds(&hotels));
     for v in fd1.violations(&hotels) {
-        println!("  violated by tuples t{} and t{}", v.rows[0] + 1, v.rows[1] + 1);
+        println!(
+            "  violated by tuples t{} and t{}",
+            v.rows[0] + 1,
+            v.rows[1] + 1
+        );
     }
 
     // 3. The equality trap: "Chicago" vs "Chicago, IL" is variety, not an

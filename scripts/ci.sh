@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lint hygiene, and the tier-1 test suite.
+#
+#   scripts/ci.sh
+#
+# Mirrors what the repository expects before a merge:
+#   1. `cargo fmt --check`        — no unformatted code;
+#   2. `cargo clippy` on library  — panicking escape hatches (`unwrap`,
+#      crates with `-D warnings`    `expect`) are denied in library code:
+#      plus unwrap/expect denied    fallible paths must return
+#                                   `DeptreeError`, not abort;
+#   3. tier-1: release build + the root test binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy (libraries; unwrap/expect denied) =="
+cargo clippy --workspace --lib --quiet -- \
+    -D warnings \
+    -D clippy::unwrap_used \
+    -D clippy::expect_used
+
+echo "== tier-1: build =="
+cargo build --release --quiet
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "ci: all green"

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]
-//! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...]
+//!                            [--timeout-ms MS] [--max-nodes N] [--lossy]
+//! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--lossy]
 //! deptree repair  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--out repaired.csv]
+//!                            [--timeout-ms MS] [--max-nodes N] [--lossy]
 //! deptree tree
 //! ```
 //!
@@ -11,44 +13,96 @@
 //! categorical). `profile` runs approximate-FD, soft-FD, OD and DC
 //! discovery and prints a report; `detect`/`repair` work with one FD-style
 //! rule.
+//!
+//! ## Budgets and exit codes
+//!
+//! `--timeout-ms` and `--max-nodes` bound the search. When a budget runs
+//! out, the partial (still sound) results are printed and the process
+//! exits with a distinct status so scripts can tell "done" from
+//! "truncated". Exit codes: 0 success, 1 usage, 2 I/O, 3 parse,
+//! 4 relation, 5 config, 6 budget exhausted, 7 cancelled, 8 unsupported.
 
-use deptree::core::{Dependency, Fd};
+use deptree::core::engine::{Budget, BudgetKind, Exec};
+use deptree::core::{Dependency, DeptreeError, Fd};
 use deptree::discovery::{cords, dc, od, tane};
 use deptree::quality::repair;
-use deptree::relation::{parse_csv, to_csv, Relation, ValueType};
+use deptree::relation::{parse_csv, parse_csv_lossy, to_csv, Relation, ValueType};
+use std::io::Write as _;
 use std::process::ExitCode;
+
+/// Print a line to stdout; if the reader has gone away (`deptree … |
+/// head` closes the pipe), stop quietly instead of panicking on EPIPE —
+/// the consumer asked for no more output.
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    };
+}
+
+/// Print a line to stderr, ignoring a closed stream: when stderr is gone
+/// there is nobody left to warn, and dying over it would be worse.
+macro_rules! esay {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stderr(), $($arg)*);
+    };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("usage:");
-            eprintln!("  deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]");
-            eprintln!("  deptree detect  <file.csv> --rule \"a, b -> c\" [--types ...]");
-            eprintln!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
-            eprintln!("  deptree tree");
+        Err(CliError::Usage(msg)) => {
+            esay!("error: {msg}");
+            esay!();
+            esay!("usage:");
+            esay!("  deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]");
+            esay!("                             [--timeout-ms MS] [--max-nodes N] [--lossy]");
+            esay!("  deptree detect  <file.csv> --rule \"a, b -> c\" [--types ...] [--lossy]");
+            esay!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
+            esay!("                             [--timeout-ms MS] [--max-nodes N] [--lossy]");
+            esay!("  deptree tree");
             ExitCode::FAILURE
+        }
+        Err(CliError::Structured(e)) => {
+            esay!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// CLI failures: malformed invocations keep the classic exit status 1 and
+/// usage text; everything else carries a [`DeptreeError`] whose class
+/// decides the exit status.
+enum CliError {
+    Usage(String),
+    Structured(DeptreeError),
+}
+
+impl From<DeptreeError> for CliError {
+    fn from(e: DeptreeError) -> Self {
+        CliError::Structured(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("profile") => profile(&args[1..]),
         Some("detect") => detect(&args[1..]),
         Some("repair") => repair_cmd(&args[1..]),
         Some("tree") => {
-            print!(
-                "{}",
-                deptree::core::familytree::ExtensionGraph::survey().to_ascii()
-            );
+            let art = deptree::core::familytree::ExtensionGraph::survey().to_ascii();
+            // The payload carries its own trailing newline; ignore EPIPE.
+            let _ = write!(std::io::stdout(), "{art}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`")),
-        None => Err("missing command".into()),
+        Some(other) => Err(usage(format!("unknown command `{other}`"))),
+        None => Err(usage("missing command")),
     }
 }
 
@@ -59,16 +113,33 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn load(args: &[String]) -> Result<Relation, String> {
+/// Build the execution budget from `--timeout-ms` / `--max-nodes`.
+fn budget(args: &[String]) -> Result<Budget, CliError> {
+    let mut b = Budget::default();
+    if let Some(ms) = flag(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
+        b = b.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = flag(args, "--max-nodes") {
+        let n: u64 = n.parse().map_err(|_| usage("bad --max-nodes"))?;
+        b = b.with_max_nodes(n);
+    }
+    Ok(b)
+}
+
+fn load(args: &[String]) -> Result<Relation, CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
-        .ok_or("no input CSV given")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        .ok_or_else(|| usage("no input CSV given"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| DeptreeError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
     let header_cols = text
         .lines()
         .next()
-        .ok_or("empty file")?
+        .ok_or_else(|| DeptreeError::Parse(format!("{path}: empty file")))?
         .split(',')
         .count();
     let types: Vec<ValueType> = match flag(args, "--types") {
@@ -78,36 +149,76 @@ fn load(args: &[String]) -> Result<Relation, String> {
                 "c" => Ok(ValueType::Categorical),
                 "t" => Ok(ValueType::Text),
                 "n" => Ok(ValueType::Numeric),
-                other => Err(format!("unknown type `{other}` (use c, t or n)")),
+                other => Err(usage(format!("unknown type `{other}` (use c, t or n)"))),
             })
             .collect::<Result<_, _>>()?,
         None => vec![ValueType::Categorical; header_cols],
     };
-    parse_csv(&text, &types).map_err(|e| e.to_string())
+    if args.iter().any(|a| a == "--lossy") {
+        let out = parse_csv_lossy(&text, &types).map_err(DeptreeError::from)?;
+        for issue in &out.issues {
+            esay!("warning: {path}: {issue}");
+        }
+        Ok(out.relation)
+    } else {
+        Ok(parse_csv(&text, &types).map_err(DeptreeError::from)?)
+    }
 }
 
-fn profile(args: &[String]) -> Result<(), String> {
+/// After printing partial results, surface the truncation as the exit
+/// status (code 6) so callers can distinguish complete from partial runs.
+fn check_complete(exhausted: Option<BudgetKind>) -> Result<(), CliError> {
+    match exhausted {
+        None => Ok(()),
+        Some(BudgetKind::Cancelled) => Err(DeptreeError::Cancelled.into()),
+        Some(kind) => {
+            esay!("note: {kind} exhausted — results above are sound but partial");
+            Err(DeptreeError::BudgetExhausted(kind).into())
+        }
+    }
+}
+
+fn profile(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
     let max_lhs: usize = flag(args, "--max-lhs")
-        .map(|v| v.parse().map_err(|_| "bad --max-lhs"))
+        .map(|v| v.parse().map_err(|_| usage("bad --max-lhs")))
         .transpose()?
         .unwrap_or(2);
     let error: f64 = flag(args, "--error")
-        .map(|v| v.parse().map_err(|_| "bad --error"))
+        .map(|v| v.parse().map_err(|_| usage("bad --error")))
         .transpose()?
         .unwrap_or(0.0);
+    let budget = budget(args)?;
+    let mut exhausted: Option<BudgetKind> = None;
 
-    println!("{} rows × {} columns", r.n_rows(), r.n_attrs());
-    println!();
+    say!("{} rows × {} columns", r.n_rows(), r.n_attrs());
+    say!();
 
-    let kind = if error > 0.0 { "approximate FDs" } else { "exact FDs" };
-    let t = tane::discover(&r, &tane::TaneConfig { max_lhs, max_error: error });
-    println!("== {kind} (TANE, max LHS {max_lhs}) — {} found ==", t.fds.len());
-    for fd in t.fds.iter().take(25) {
-        println!("  {fd}");
+    let kind = if error > 0.0 {
+        "approximate FDs"
+    } else {
+        "exact FDs"
+    };
+    let exec = Exec::new(budget.clone());
+    let t = tane::discover_bounded(
+        &r,
+        &tane::TaneConfig {
+            max_lhs,
+            max_error: error,
+        },
+        &exec,
+    );
+    exhausted = exhausted.or(t.exhausted);
+    say!(
+        "== {kind} (TANE, max LHS {max_lhs}) — {} found{} ==",
+        t.result.fds.len(),
+        if t.complete { "" } else { ", search truncated" }
+    );
+    for fd in t.result.fds.iter().take(25) {
+        say!("  {fd}");
     }
-    if t.fds.len() > 25 {
-        println!("  … and {} more", t.fds.len() - 25);
+    if t.result.fds.len() > 25 {
+        say!("  … and {} more", t.result.fds.len() - 25);
     }
 
     let c = cords::discover(
@@ -117,13 +228,13 @@ fn profile(args: &[String]) -> Result<(), String> {
             ..Default::default()
         },
     );
-    println!(
+    say!(
         "\n== soft FDs (CORDS, strength ≥ 0.8 on {}-row sample) — {} found ==",
         c.sampled_rows,
         c.sfds.len()
     );
     for sfd in c.sfds.iter().take(10) {
-        println!("  {sfd} (strength {:.2})", sfd.strength(&r));
+        say!("  {sfd} (strength {:.2})", sfd.strength(&r));
     }
 
     let numeric = r
@@ -132,56 +243,86 @@ fn profile(args: &[String]) -> Result<(), String> {
         .filter(|(_, a)| a.ty == ValueType::Numeric)
         .count();
     if numeric >= 2 {
-        let ods = od::discover(&r, &od::OdConfig::default());
-        println!("\n== order dependencies — {} found ==", ods.len());
-        for o in ods.iter().take(10) {
-            println!("  {o}");
+        let exec = Exec::new(budget.clone());
+        let ods = od::discover_bounded(&r, &od::OdConfig::default(), &exec);
+        exhausted = exhausted.or(ods.exhausted);
+        say!(
+            "\n== order dependencies — {} found{} ==",
+            ods.result.len(),
+            if ods.complete {
+                ""
+            } else {
+                ", search truncated"
+            }
+        );
+        for o in ods.result.iter().take(10) {
+            say!("  {o}");
         }
-        if r.n_rows() <= 500 {
-            let d = dc::discover(&r, &dc::DcConfig::default());
-            println!("\n== denial constraints (FASTDC) — {} found ==", d.dcs.len());
-            for rule in d.dcs.iter().take(10) {
-                println!("  {rule}");
+        if r.n_rows() <= 500 || !budget.is_unlimited() {
+            let exec = Exec::new(budget.clone());
+            let d = dc::discover_bounded(&r, &dc::DcConfig::default(), &exec);
+            exhausted = exhausted.or(d.exhausted);
+            say!(
+                "\n== denial constraints (FASTDC) — {} found{} ==",
+                d.result.dcs.len(),
+                if d.complete { "" } else { ", search truncated" }
+            );
+            for rule in d.result.dcs.iter().take(10) {
+                say!("  {rule}");
             }
         } else {
-            println!("\n(skipping FASTDC: {} rows > 500; sample the file first)", r.n_rows());
+            say!(
+                "\n(skipping FASTDC: {} rows > 500; sample the file or pass --timeout-ms)",
+                r.n_rows()
+            );
         }
     }
-    Ok(())
+    check_complete(exhausted)
 }
 
-fn parse_rule(args: &[String], r: &Relation) -> Result<Fd, String> {
-    let rule = flag(args, "--rule").ok_or("missing --rule \"lhs -> rhs\"")?;
-    Fd::parse(r.schema(), &rule).ok_or_else(|| format!("cannot parse rule `{rule}` against the header"))
+fn parse_rule(args: &[String], r: &Relation) -> Result<Fd, CliError> {
+    let rule = flag(args, "--rule").ok_or_else(|| usage("missing --rule \"lhs -> rhs\""))?;
+    Fd::parse(r.schema(), &rule).ok_or_else(|| {
+        DeptreeError::Parse(format!("cannot parse rule `{rule}` against the header")).into()
+    })
 }
 
-fn detect(args: &[String]) -> Result<(), String> {
+fn detect(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
     let fd = parse_rule(args, &r)?;
     let violations = fd.violations(&r);
-    println!("{fd}: {} violation witness(es), g3 = {:.4}", violations.len(), fd.g3(&r));
+    say!(
+        "{fd}: {} violation witness(es), g3 = {:.4}",
+        violations.len(),
+        fd.g3(&r)
+    );
     for v in violations.iter().take(50) {
         let rows: Vec<String> = v.rows.iter().map(|row| format!("#{}", row + 1)).collect();
-        println!("  rows {}", rows.join(" / "));
+        say!("  rows {}", rows.join(" / "));
     }
     if violations.len() > 50 {
-        println!("  … and {} more", violations.len() - 50);
+        say!("  … and {} more", violations.len() - 50);
     }
     Ok(())
 }
 
-fn repair_cmd(args: &[String]) -> Result<(), String> {
+fn repair_cmd(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
     let fd = parse_rule(args, &r)?;
-    let result = repair::repair_fds(&r, std::slice::from_ref(&fd), 10);
-    println!(
+    let exec = Exec::new(budget(args)?);
+    let out_come = repair::repair_fds_bounded(&r, std::slice::from_ref(&fd), 10, &exec);
+    let result = &out_come.result;
+    say!(
         "repaired in {} iteration(s), {} cell(s) changed; rule now holds: {}",
         result.iterations,
         result.changes.len(),
         fd.holds(&result.relation)
     );
     let out = flag(args, "--out").unwrap_or_else(|| "repaired.csv".into());
-    std::fs::write(&out, to_csv(&result.relation)).map_err(|e| format!("{out}: {e}"))?;
-    println!("wrote {out}");
-    Ok(())
+    std::fs::write(&out, to_csv(&result.relation)).map_err(|e| DeptreeError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
+    say!("wrote {out}");
+    check_complete(out_come.exhausted)
 }

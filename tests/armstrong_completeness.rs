@@ -9,14 +9,8 @@ use deptree::quality::normalize;
 use deptree::relation::{AttrId, AttrSet};
 use deptree::synth::armstrong::armstrong_relation;
 
-fn sigma_to_fds(
-    schema: &deptree::relation::Schema,
-    sigma: &[(AttrSet, AttrSet)],
-) -> Vec<Fd> {
-    sigma
-        .iter()
-        .map(|&(l, r)| Fd::new(schema, l, r))
-        .collect()
+fn sigma_to_fds(schema: &deptree::relation::Schema, sigma: &[(AttrSet, AttrSet)]) -> Vec<Fd> {
+    sigma.iter().map(|&(l, r)| Fd::new(schema, l, r)).collect()
 }
 
 fn check_sigma(n_attrs: usize, sigma: Vec<(AttrSet, AttrSet)>) {

@@ -1,0 +1,276 @@
+//! Engine-level guarantees of the anytime contract:
+//!
+//! * budget exhaustion is **deterministic** — a fixed seed and a fixed
+//!   node budget reproduce the identical sound prefix;
+//! * deadlines are **respected** — adversarially wide searches return
+//!   within twice the requested wall-clock budget with `complete ==
+//!   false` and only sound dependencies;
+//! * **no public library function panics** on arbitrary relations.
+
+mod common;
+
+use deptree::core::engine::{Budget, BudgetKind, CancelToken, Exec};
+use deptree::core::{Dependency, Fd, Interval, NedAtom, SimFn};
+use deptree::discovery::{
+    cd, cfd, conditional, cords, dc, dd, ecfd, fastfd, ffd, md, mfd, mvd, ned, nud, od, pacman,
+    pfd, schemes, sd, tane,
+};
+use deptree::metrics::Metric;
+use deptree::quality::{cqa, dedup, detect, repair};
+use deptree::relation::{AttrId, AttrSet, Relation, RelationBuilder, Value, ValueType};
+use deptree::synth::Rng;
+use std::time::{Duration, Instant};
+
+/// A wide, collision-rich relation whose FD lattice is far too large to
+/// exhaust within a tight budget.
+fn wide_relation(n_attrs: usize, n_rows: usize, seed: u64) -> Relation {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new();
+    for a in 0..n_attrs {
+        b = b.attr(format!("w{a}"), ValueType::Categorical);
+    }
+    for _ in 0..n_rows {
+        b = b.row(
+            (0..n_attrs)
+                .map(|_| Value::str(format!("v{}", rng.random_range(0..3u8))))
+                .collect(),
+        );
+    }
+    b.build().expect("consistent arity")
+}
+
+/// A relation with *planted* FDs: two random key columns plus derived
+/// columns that are deterministic functions of the keys, so
+/// `{k0,k1} -> d_i` (and various derived-to-derived FDs) are guaranteed
+/// to hold while the rest of the lattice still needs searching.
+fn planted_relation(n_derived: usize, n_rows: usize, seed: u64) -> Relation {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new()
+        .attr("k0", ValueType::Categorical)
+        .attr("k1", ValueType::Categorical);
+    for d in 0..n_derived {
+        b = b.attr(format!("d{d}"), ValueType::Categorical);
+    }
+    for _ in 0..n_rows {
+        let k0 = rng.random_range(0..5u8) as usize;
+        let k1 = rng.random_range(0..5u8) as usize;
+        let mut row = vec![Value::str(format!("k{k0}")), Value::str(format!("k{k1}"))];
+        for d in 0..n_derived {
+            // Deterministic in (k0, k1): the planted FDs cannot break.
+            row.push(Value::str(format!("v{}", (k0 * 7 + k1 * 3 + d) % 4)));
+        }
+        b = b.row(row);
+    }
+    b.build().expect("consistent arity")
+}
+
+#[test]
+fn node_budget_exhaustion_is_deterministic_with_sound_prefix() {
+    let r = planted_relation(8, 80, 0xDE7E);
+    let full = tane::discover(
+        &r,
+        &tane::TaneConfig {
+            max_lhs: 4,
+            max_error: 0.0,
+        },
+    );
+    assert!(!full.fds.is_empty(), "fixture must admit some FDs");
+    // Scan budgets upward until the partial prefix is non-empty while the
+    // search is still truncated — the anytime sweet spot must exist.
+    let mut witnessed = false;
+    for budget in [8u64, 16, 32, 64, 128, 256, 512] {
+        let run = |_: ()| {
+            tane::discover_bounded(
+                &r,
+                &tane::TaneConfig {
+                    max_lhs: 4,
+                    max_error: 0.0,
+                },
+                &Exec::new(Budget::default().with_max_nodes(budget)),
+            )
+        };
+        let a = run(());
+        let b = run(());
+        // Determinism: identical budget → identical outcome, bit for bit.
+        assert_eq!(
+            a.result.fds, b.result.fds,
+            "budget {budget} not deterministic"
+        );
+        assert_eq!(a.complete, b.complete);
+        assert_eq!(a.stats.nodes_visited, b.stats.nodes_visited);
+        if !a.complete {
+            assert_eq!(a.exhausted, Some(BudgetKind::Nodes));
+            // Amortized polling checks the budget every 64 ticks, so the
+            // count may overshoot by at most one poll interval.
+            assert!(a.stats.nodes_visited <= budget + 64);
+            // Soundness: every emitted FD genuinely holds.
+            for fd in &a.result.fds {
+                assert!(fd.holds(&r), "unsound partial FD {fd}");
+            }
+            // Prefix property: partial results are a subset of the full run.
+            for fd in &a.result.fds {
+                assert!(full.fds.contains(fd), "{fd} not in the complete result");
+            }
+            if !a.result.fds.is_empty() {
+                witnessed = true;
+            }
+        }
+    }
+    assert!(
+        witnessed,
+        "no budget produced a non-empty truncated prefix — fixture too easy"
+    );
+}
+
+/// Acceptance criterion: an adversarial wide relation with a 50 ms
+/// deadline must return within twice the deadline, report
+/// `complete == false`, and emit only sound dependencies.
+#[test]
+fn deadline_is_respected_on_adversarial_width() {
+    let r = wide_relation(14, 120, 0x71DE);
+    let deadline = Duration::from_millis(50);
+
+    // TANE: exponential lattice in max_lhs.
+    let t0 = Instant::now();
+    let t = tane::discover_bounded(
+        &r,
+        &tane::TaneConfig {
+            max_lhs: 8,
+            max_error: 0.0,
+        },
+        &Exec::new(Budget::default().with_deadline(deadline)),
+    );
+    let tane_elapsed = t0.elapsed();
+    assert!(
+        tane_elapsed < deadline * 2,
+        "TANE took {tane_elapsed:?} against a {deadline:?} deadline"
+    );
+    assert!(!t.complete, "the lattice cannot finish in 50ms");
+    assert_eq!(t.exhausted, Some(BudgetKind::Deadline));
+    for fd in &t.result.fds {
+        assert!(fd.holds(&r), "unsound FD {fd} under deadline pressure");
+    }
+
+    // FastFD: quadratic pair scan + exponential cover search.
+    let t0 = Instant::now();
+    let f = fastfd::discover_bounded(&r, &Exec::new(Budget::default().with_deadline(deadline)));
+    let fastfd_elapsed = t0.elapsed();
+    assert!(
+        fastfd_elapsed < deadline * 2,
+        "FastFD took {fastfd_elapsed:?} against a {deadline:?} deadline"
+    );
+    for fd in &f.result.fds {
+        assert!(fd.holds(&r), "unsound FD {fd} under deadline pressure");
+    }
+    if !f.complete {
+        assert_eq!(f.exhausted, Some(BudgetKind::Deadline));
+    }
+}
+
+#[test]
+fn cancellation_token_stops_discovery() {
+    let r = wide_relation(10, 60, 0xCA);
+    let token = CancelToken::new();
+    token.cancel();
+    let out = tane::discover_bounded(
+        &r,
+        &tane::TaneConfig {
+            max_lhs: 4,
+            max_error: 0.0,
+        },
+        &Exec::with_cancel(Budget::default(), token),
+    );
+    assert!(!out.complete);
+    assert_eq!(out.exhausted, Some(BudgetKind::Cancelled));
+}
+
+/// Sweep every public library entry point over adversarial relation
+/// shapes (empty, single-row, all-null columns, mixed types, garbled
+/// strings): none may panic. Budgets keep each case cheap.
+#[test]
+fn no_public_function_panics_on_arbitrary_relations() {
+    let mut rng = Rng::seed_from_u64(0x5AFE);
+    for case in 0..common::CASES {
+        let r = common::arbitrary_relation(&mut rng);
+        let exec = || Exec::new(Budget::default().with_max_nodes(500));
+        let attrs: Vec<AttrId> = r.schema().ids().collect();
+        let (a0, a1) = (attrs[0], attrs[attrs.len() - 1]);
+        let m0 = Metric::default_for(r.schema().ty(a0));
+        let m1 = Metric::default_for(r.schema().ty(a1));
+
+        // Discovery, all families.
+        let t = tane::discover_bounded(
+            &r,
+            &tane::TaneConfig {
+                max_lhs: 2,
+                max_error: 0.1,
+            },
+            &exec(),
+        );
+        let _ = fastfd::discover_bounded(&r, &exec());
+        let _ = cords::discover(&r, &cords::CordsConfig::default());
+        let _ = pfd::discover_bounded(&r, &pfd::PfdConfig::default(), &exec());
+        let _ = nud::discover_bounded(&r, &nud::NudConfig::default(), &exec());
+        let _ = cfd::ctane_bounded(&r, &cfd::CfdConfig::default(), &exec());
+        let _ = ecfd::discover_bounded(&r, &ecfd::ECfdConfig::default(), &exec());
+        let _ = mvd::discover_bounded(&r, &mvd::MvdConfig::default(), &exec());
+        let _ = schemes::discover_fhds(&r, &schemes::SchemeConfig::default());
+        let _ = schemes::discover_amvds(&r, &schemes::SchemeConfig::default());
+        let _ = schemes::discover_ofds(&r);
+        let _ = mfd::discover_bounded(&r, &mfd::MfdConfig::default(), &exec());
+        let _ = ned::discover_lhs_bounded(
+            &r,
+            vec![NedAtom::new(a1, m1.clone(), 1.0)],
+            &ned::NedConfig::default(),
+            &exec(),
+        );
+        let _ = dd::discover_bounded(&r, &dd::DdConfig::default(), &exec());
+        let _ = conditional::discover_cdds(&r, &conditional::ConditionalConfig::default());
+        let _ = conditional::discover_cmds(
+            &r,
+            AttrSet::single(a1),
+            &conditional::ConditionalConfig::default(),
+        );
+        let _ = cd::discover_incremental(
+            &r,
+            &[SimFn::single(a0, m0, 1.0)],
+            &SimFn::single(a1, m1, 1.0),
+            &cd::CdConfig::default(),
+        );
+        let _ = pacman::instantiate(
+            &r,
+            &pacman::PacTemplate {
+                lhs: vec![a0],
+                rhs: vec![a1],
+            },
+            &pacman::PacManConfig::default(),
+        );
+        let _ = ffd::discover_bounded(&r, &ffd::FfdConfig::default(), &exec());
+        let mds = md::discover_bounded(&r, AttrSet::single(a1), &md::MdConfig::default(), &exec());
+        let _ = od::discover_bounded(&r, &od::OdConfig::default(), &exec());
+        let _ = dc::discover_bounded(&r, &dc::DcConfig::default(), &exec());
+        let _ = sd::discover_sd(&r, a0, a1, 0.8);
+        let _ = sd::csd_tableau_bounded(&r, a0, a1, Interval::new(-2.0, 2.0), 0.8, &exec());
+
+        // Quality, over whatever the discoveries produced.
+        if r.n_attrs() >= 2 {
+            let fd = Fd::new(r.schema(), AttrSet::single(a0), AttrSet::single(a1));
+            let rules: Vec<Box<dyn Dependency>> = vec![Box::new(fd.clone())];
+            let _ = detect::run(&r, &rules);
+            let _ = repair::repair_fds_bounded(&r, std::slice::from_ref(&fd), 5, &exec());
+            let _ = repair::deletion_repair_bounded(&r, &rules, &exec());
+            let _ = cqa::consistent_rows_bounded(&r, &rules, &exec());
+            let md_rules: Vec<deptree::core::Md> = mds.result.into_iter().map(|s| s.md).collect();
+            let _ = dedup::cluster_bounded(&r, &md_rules, &exec());
+        }
+
+        // Serialization round trip never panics either.
+        let _ = deptree::relation::to_csv(&r);
+
+        // Sound prefixes even on garbage: spot-check TANE's output.
+        for fd in t.result.fds.iter().take(3) {
+            let _ = fd.holds(&r);
+        }
+        let _ = case;
+    }
+}

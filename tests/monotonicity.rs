@@ -2,91 +2,123 @@
 //! must be *monotone in its own threshold* — loosening the parameter can
 //! only preserve satisfaction. These are the laws that make threshold
 //! discovery (binary search / quantile grids) meaningful.
+//!
+//! Seeded deterministic case loops replace proptest (offline build).
 
+mod common;
+
+use common::{mixed_relation, CASES};
 use deptree::core::*;
 use deptree::metrics::Metric;
-use deptree::relation::{AttrId, AttrSet, Relation, RelationBuilder, Value, ValueType};
-use proptest::prelude::*;
+use deptree::relation::{AttrId, AttrSet};
+use deptree::synth::Rng;
 
-fn mixed_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=8).prop_flat_map(|n_rows| {
-        proptest::collection::vec((0u8..4, 0u8..4, -10i64..10), n_rows..=n_rows).prop_map(
-            |rows| {
-                let mut b = RelationBuilder::new()
-                    .attr("c", ValueType::Categorical)
-                    .attr("t", ValueType::Text)
-                    .attr("n", ValueType::Numeric);
-                for (c, t, n) in rows {
-                    b = b.row(vec![
-                        Value::str(format!("c{c}")),
-                        Value::str(format!("word{t}")),
-                        Value::int(n),
-                    ]);
-                }
-                b.build().expect("consistent arity")
-            },
-        )
-    })
+fn cases(base: u64) -> impl Iterator<Item = (Rng, u64)> {
+    (0..CASES).map(move |i| (Rng::seed_from_u64(0xABCD + base * 1000 + i), i))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// SFD/PFD: higher threshold is harder; AFD/NUD/MFD/PAC: higher
-    /// threshold is easier. Check adjacent parameter pairs.
-    #[test]
-    fn statistical_thresholds_monotone(r in mixed_relation(), lo in 0.1f64..0.9) {
+/// SFD/PFD: higher threshold is harder; AFD: higher threshold is easier.
+#[test]
+fn statistical_thresholds_monotone() {
+    for (mut rng, case) in cases(1) {
+        let r = mixed_relation(&mut rng);
+        let lo = rng.random_range(0.1..0.9f64);
         let hi = lo + 0.1;
-        let fd = Fd::new(r.schema(), AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1)));
+        let fd = Fd::new(
+            r.schema(),
+            AttrSet::single(AttrId(0)),
+            AttrSet::single(AttrId(1)),
+        );
         // Strength/probability: holds at hi ⇒ holds at lo.
         if Sfd::new(fd.clone(), hi).holds(&r) {
-            prop_assert!(Sfd::new(fd.clone(), lo).holds(&r));
+            assert!(Sfd::new(fd.clone(), lo).holds(&r), "case {case}");
         }
         if Pfd::new(fd.clone(), hi).holds(&r) {
-            prop_assert!(Pfd::new(fd.clone(), lo).holds(&r));
+            assert!(Pfd::new(fd.clone(), lo).holds(&r), "case {case}");
         }
         // Error: holds at lo ⇒ holds at hi.
         if Afd::new(fd.clone(), lo).holds(&r) {
-            prop_assert!(Afd::new(fd.clone(), hi).holds(&r));
+            assert!(Afd::new(fd.clone(), hi).holds(&r), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn nud_monotone_in_k(r in mixed_relation(), k in 1usize..4) {
+#[test]
+fn nud_monotone_in_k() {
+    for (mut rng, case) in cases(2) {
+        let r = mixed_relation(&mut rng);
+        let k = rng.random_range(1..4usize);
         let s = r.schema();
         let nud_k = Nud::new(s, AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1)), k);
-        let nud_k1 = Nud::new(s, AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1)), k + 1);
+        let nud_k1 = Nud::new(
+            s,
+            AttrSet::single(AttrId(0)),
+            AttrSet::single(AttrId(1)),
+            k + 1,
+        );
         if nud_k.holds(&r) {
-            prop_assert!(nud_k1.holds(&r));
+            assert!(nud_k1.holds(&r), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn mfd_monotone_in_delta(r in mixed_relation(), d in 0.0f64..10.0) {
+#[test]
+fn mfd_monotone_in_delta() {
+    for (mut rng, case) in cases(3) {
+        let r = mixed_relation(&mut rng);
+        let d = rng.random_range(0.0..10.0f64);
         let s = r.schema();
-        let tight = Mfd::new(s, AttrSet::single(AttrId(0)), vec![(AttrId(2), Metric::AbsDiff, d)]);
-        let loose = Mfd::new(s, AttrSet::single(AttrId(0)), vec![(AttrId(2), Metric::AbsDiff, d + 1.0)]);
+        let tight = Mfd::new(
+            s,
+            AttrSet::single(AttrId(0)),
+            vec![(AttrId(2), Metric::AbsDiff, d)],
+        );
+        let loose = Mfd::new(
+            s,
+            AttrSet::single(AttrId(0)),
+            vec![(AttrId(2), Metric::AbsDiff, d + 1.0)],
+        );
         if tight.holds(&r) {
-            prop_assert!(loose.holds(&r));
+            assert!(loose.holds(&r), "case {case}");
         }
     }
+}
 
-    /// MD: loosening the LHS threshold makes the premise fire on more
-    /// pairs — satisfaction is *anti*-monotone in the LHS threshold.
-    #[test]
-    fn md_antimonotone_in_lhs_threshold(r in mixed_relation(), t in 0.0f64..4.0) {
+/// MD: loosening the LHS threshold makes the premise fire on more pairs —
+/// satisfaction is *anti*-monotone in the LHS threshold.
+#[test]
+fn md_antimonotone_in_lhs_threshold() {
+    for (mut rng, case) in cases(4) {
+        let r = mixed_relation(&mut rng);
+        let t = rng.random_range(0.0..4.0f64);
         let s = r.schema();
-        let tight = Md::new(s, vec![(AttrId(1), Metric::Levenshtein, t)], AttrSet::single(AttrId(0)));
-        let loose = Md::new(s, vec![(AttrId(1), Metric::Levenshtein, t + 1.0)], AttrSet::single(AttrId(0)));
+        let tight = Md::new(
+            s,
+            vec![(AttrId(1), Metric::Levenshtein, t)],
+            AttrSet::single(AttrId(0)),
+        );
+        let loose = Md::new(
+            s,
+            vec![(AttrId(1), Metric::Levenshtein, t + 1.0)],
+            AttrSet::single(AttrId(0)),
+        );
         if loose.holds(&r) {
-            prop_assert!(tight.holds(&r), "loose premise holds but tight fails");
+            assert!(
+                tight.holds(&r),
+                "case {case}: loose premise holds but tight fails"
+            );
         }
     }
+}
 
-    /// PAC: probability is monotone in the RHS tolerance and the
-    /// constraint anti-monotone in δ.
-    #[test]
-    fn pac_monotonicities(r in mixed_relation(), eps in 0.0f64..8.0, delta in 0.2f64..0.9) {
+/// PAC: probability is monotone in the RHS tolerance and the constraint
+/// anti-monotone in δ.
+#[test]
+fn pac_monotonicities() {
+    for (mut rng, case) in cases(5) {
+        let r = mixed_relation(&mut rng);
+        let eps = rng.random_range(0.0..8.0f64);
+        let delta = rng.random_range(0.2..0.9f64);
         let s = r.schema();
         let p_tight = Pac::new(
             s,
@@ -100,7 +132,10 @@ proptest! {
             vec![(AttrId(2), Metric::AbsDiff, eps + 1.0)],
             delta,
         );
-        prop_assert!(p_loose.probability(&r) >= p_tight.probability(&r) - 1e-12);
+        assert!(
+            p_loose.probability(&r) >= p_tight.probability(&r) - 1e-12,
+            "case {case}"
+        );
         let stricter_conf = Pac::new(
             s,
             vec![(AttrId(2), Metric::AbsDiff, 5.0)],
@@ -108,37 +143,56 @@ proptest! {
             (delta + 0.1).min(1.0),
         );
         if stricter_conf.holds(&r) {
-            prop_assert!(p_tight.holds(&r));
+            assert!(p_tight.holds(&r), "case {case}");
         }
     }
+}
 
-    /// AMVD: accuracy error fixed, threshold loosening preserves holds.
-    #[test]
-    fn amvd_monotone_in_epsilon(r in mixed_relation(), e in 0.0f64..0.8) {
+/// AMVD: accuracy error fixed, threshold loosening preserves holds.
+#[test]
+fn amvd_monotone_in_epsilon() {
+    for (mut rng, case) in cases(6) {
+        let r = mixed_relation(&mut rng);
+        let e = rng.random_range(0.0..0.8f64);
         let s = r.schema();
         let mvd = Mvd::new(s, AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1)));
         let tight = Amvd::new(mvd.clone(), e);
         let loose = Amvd::new(mvd, (e + 0.1).min(0.99));
         if tight.holds(&r) {
-            prop_assert!(loose.holds(&r));
+            assert!(loose.holds(&r), "case {case}");
         }
     }
+}
 
-    /// SD: widening the gap interval preserves satisfaction.
-    #[test]
-    fn sd_monotone_in_interval(r in mixed_relation(), lo in -5.0f64..0.0, w in 0.0f64..8.0) {
+/// SD: widening the gap interval preserves satisfaction.
+#[test]
+fn sd_monotone_in_interval() {
+    for (mut rng, case) in cases(7) {
+        let r = mixed_relation(&mut rng);
+        let lo = rng.random_range(-5.0..0.0f64);
+        let w = rng.random_range(0.0..8.0f64);
         let s = r.schema();
         let tight = Sd::new(s, AttrId(2), AttrId(0), Interval::new(lo, lo + w));
-        let loose = Sd::new(s, AttrId(2), AttrId(0), Interval::new(lo - 1.0, lo + w + 1.0));
+        let loose = Sd::new(
+            s,
+            AttrId(2),
+            AttrId(0),
+            Interval::new(lo - 1.0, lo + w + 1.0),
+        );
         if tight.holds(&r) {
-            prop_assert!(loose.holds(&r));
+            assert!(loose.holds(&r), "case {case}");
         }
     }
+}
 
-    /// DD: loosening the RHS range or tightening the LHS range preserves
-    /// satisfaction (the subsumption order used by discovery pruning).
-    #[test]
-    fn dd_subsumption_order(r in mixed_relation(), l in 0.0f64..4.0, h in 0.0f64..6.0) {
+/// DD: loosening the RHS range or tightening the LHS range preserves
+/// satisfaction (the subsumption order used by discovery pruning).
+#[test]
+fn dd_subsumption_order() {
+    for (mut rng, case) in cases(8) {
+        let r = mixed_relation(&mut rng);
+        let l = rng.random_range(0.0..4.0f64);
+        let h = rng.random_range(0.0..6.0f64);
         let s = r.schema();
         let base = Dd::new(
             s,
@@ -147,7 +201,11 @@ proptest! {
         );
         let tighter_lhs = Dd::new(
             s,
-            vec![DiffAtom::at_most(AttrId(1), Metric::Levenshtein, (l - 1.0).max(0.0))],
+            vec![DiffAtom::at_most(
+                AttrId(1),
+                Metric::Levenshtein,
+                (l - 1.0).max(0.0),
+            )],
             vec![DiffAtom::at_most(AttrId(2), Metric::AbsDiff, h)],
         );
         let looser_rhs = Dd::new(
@@ -156,17 +214,19 @@ proptest! {
             vec![DiffAtom::at_most(AttrId(2), Metric::AbsDiff, h + 1.0)],
         );
         if base.holds(&r) {
-            prop_assert!(tighter_lhs.holds(&r));
-            prop_assert!(looser_rhs.holds(&r));
+            assert!(tighter_lhs.holds(&r), "case {case}");
+            assert!(looser_rhs.holds(&r), "case {case}");
         }
     }
+}
 
-    /// FFD: scaling β up makes numeric values "less equal" on both sides
-    /// symmetrically — but on the RHS only, a smaller β (more equal) can
-    /// only help.
-    #[test]
-    fn ffd_monotone_in_rhs_beta(r in mixed_relation(), beta in 0.5f64..4.0) {
-        use deptree::metrics::Resemblance;
+/// FFD: on the RHS only, a smaller β (more equal) can only help.
+#[test]
+fn ffd_monotone_in_rhs_beta() {
+    use deptree::metrics::Resemblance;
+    for (mut rng, case) in cases(9) {
+        let r = mixed_relation(&mut rng);
+        let beta = rng.random_range(0.5..4.0f64);
         let s = r.schema();
         let strict = Ffd::new(
             s,
@@ -179,7 +239,7 @@ proptest! {
             vec![(AttrId(2), Resemblance::InverseNumeric(beta / 2.0))],
         );
         if strict.holds(&r) {
-            prop_assert!(relaxed.holds(&r));
+            assert!(relaxed.holds(&r), "case {case}");
         }
     }
 }

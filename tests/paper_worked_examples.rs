@@ -57,7 +57,12 @@ mod section_2_categorical {
     fn nud1_k2() {
         let r = hotels_r5();
         let s = r.schema();
-        let nud = Nud::new(s, AttrSet::single(s.id("address")), AttrSet::single(s.id("region")), 2);
+        let nud = Nud::new(
+            s,
+            AttrSet::single(s.id("address")),
+            AttrSet::single(s.id("region")),
+            2,
+        );
         assert!(nud.holds(&r));
     }
 
@@ -148,8 +153,16 @@ mod section_3_heterogeneous {
         assert!(dd1.holds(&r));
         let dd2 = Dd::new(
             s,
-            vec![DiffAtom::at_least(s.id("street"), Metric::Levenshtein, 10.0)],
-            vec![DiffAtom::at_least(s.id("address"), Metric::Levenshtein, 5.0)],
+            vec![DiffAtom::at_least(
+                s.id("street"),
+                Metric::Levenshtein,
+                10.0,
+            )],
+            vec![DiffAtom::at_least(
+                s.id("address"),
+                Metric::Levenshtein,
+                5.0,
+            )],
         );
         assert!(dd2.holds(&r)); // dissimilar streets ⇒ dissimilar addresses
     }
@@ -160,8 +173,22 @@ mod section_3_heterogeneous {
         let s = r.schema();
         let cd = Cd::new(
             s,
-            vec![SimFn::new(s.id("region"), s.id("city"), Metric::Levenshtein, 5.0, 5.0, 5.0)],
-            SimFn::new(s.id("addr"), s.id("post"), Metric::Levenshtein, 7.0, 9.0, 6.0),
+            vec![SimFn::new(
+                s.id("region"),
+                s.id("city"),
+                Metric::Levenshtein,
+                5.0,
+                5.0,
+                5.0,
+            )],
+            SimFn::new(
+                s.id("addr"),
+                s.id("post"),
+                Metric::Levenshtein,
+                7.0,
+                9.0,
+                6.0,
+            ),
         );
         assert!(cd.holds(&r));
     }
@@ -222,7 +249,11 @@ mod section_4_numerical {
     fn ofd1_subtotal_taxes() {
         let r = hotels_r7();
         let s = r.schema();
-        let ofd = Ofd::pointwise(s, AttrSet::single(s.id("subtotal")), AttrSet::single(s.id("taxes")));
+        let ofd = Ofd::pointwise(
+            s,
+            AttrSet::single(s.id("subtotal")),
+            AttrSet::single(s.id("taxes")),
+        );
         assert!(ofd.holds(&r));
     }
 
@@ -256,12 +287,26 @@ mod section_4_numerical {
     fn sd1_and_sd2() {
         let r = hotels_r7();
         let s = r.schema();
-        let sd1 = Sd::new(s, s.id("nights"), s.id("subtotal"), Interval::new(100.0, 200.0));
+        let sd1 = Sd::new(
+            s,
+            s.id("nights"),
+            s.id("subtotal"),
+            Interval::new(100.0, 200.0),
+        );
         assert!(sd1.holds(&r));
         // Gaps are exactly 180, 170, 160 — e.g. 540 − 370 = 170 per §4.4.1.
-        let gaps: Vec<f64> = sd1.consecutive_gaps(&r).iter().map(|(_, _, g)| *g).collect();
+        let gaps: Vec<f64> = sd1
+            .consecutive_gaps(&r)
+            .iter()
+            .map(|(_, _, g)| *g)
+            .collect();
         assert_eq!(gaps, vec![180.0, 170.0, 160.0]);
-        let sd2 = Sd::new(s, s.id("nights"), s.id("avg/night"), Interval::non_increasing());
+        let sd2 = Sd::new(
+            s,
+            s.id("nights"),
+            s.id("avg/night"),
+            Interval::non_increasing(),
+        );
         assert!(sd2.holds(&r));
     }
 }
@@ -319,7 +364,9 @@ mod expressive_power {
         for r in [hotels_r1(), hotels_r5(), hotels_r6()] {
             let s = r.schema();
             for text in ["name -> address", "address -> region"] {
-                let Some(fd) = Fd::parse(s, text) else { continue };
+                let Some(fd) = Fd::parse(s, text) else {
+                    continue;
+                };
                 assert_eq!(fd.holds(&r), Mfd::from_fd(s, &fd).holds(&r));
                 assert_eq!(fd.holds(&r), Md::from_fd(s, &fd).holds(&r));
                 assert_eq!(fd.holds(&r), Ffd::from_fd(s, &fd).holds(&r));
@@ -341,7 +388,11 @@ mod expressive_power {
         let dissimilar = Dd::new(
             &s,
             vec![DiffAtom::at_least(s.id("street"), Metric::Levenshtein, 6.0)],
-            vec![DiffAtom::at_least(s.id("address"), Metric::Levenshtein, 3.0)],
+            vec![DiffAtom::at_least(
+                s.id("address"),
+                Metric::Levenshtein,
+                3.0,
+            )],
         );
         let dist = Metric::Levenshtein.dist(r.value(0, s.id("street")), r.value(1, s.id("street")));
         assert!(dist >= 6.0, "premise must apply: {dist}");
@@ -350,7 +401,11 @@ mod expressive_power {
         // never fires for this pair.
         let similar = Dd::new(
             &s,
-            vec![DiffAtom::new(s.id("street"), Metric::Levenshtein, DistRange::at_most(5.0))],
+            vec![DiffAtom::new(
+                s.id("street"),
+                Metric::Levenshtein,
+                DistRange::at_most(5.0),
+            )],
             vec![DiffAtom::at_most(s.id("address"), Metric::Levenshtein, 5.0)],
         );
         assert!(!similar.lhs_compatible(&r, 0, 1));
@@ -376,7 +431,13 @@ mod survey_artifacts {
 
     #[test]
     fn every_example_relation_is_well_formed() {
-        for r in [hotels_r1(), hotels_r5(), hotels_r6(), hotels_r7(), dataspace_cd()] {
+        for r in [
+            hotels_r1(),
+            hotels_r5(),
+            hotels_r6(),
+            hotels_r7(),
+            dataspace_cd(),
+        ] {
             assert!(r.n_rows() > 0);
             assert!(r.n_attrs() > 0);
             let _ = r.to_ascii_table();

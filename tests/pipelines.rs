@@ -5,7 +5,9 @@ use deptree::core::{Dependency, Fd, Interval, Sd};
 use deptree::discovery::{md as md_disc, sd as sd_disc, tane};
 use deptree::quality::{dedup, detect, repair};
 use deptree::relation::AttrSet;
-use deptree::synth::{categorical, entities, numerical, CategoricalConfig, EntitiesConfig, SequenceConfig};
+use deptree::synth::{
+    categorical, entities, numerical, CategoricalConfig, EntitiesConfig, SequenceConfig,
+};
 
 /// Categorical pipeline: plant FDs + errors, rediscover the rules with
 /// approximate TANE, detect, repair, and confirm the exact rules hold.
@@ -23,12 +25,20 @@ fn categorical_discover_detect_repair() {
     let r = &data.relation;
 
     // 1. Discover approximate FDs tolerant to the injected noise.
-    let found = tane::discover(r, &tane::TaneConfig { max_lhs: 2, max_error: 0.05 });
+    let found = tane::discover(
+        r,
+        &tane::TaneConfig {
+            max_lhs: 2,
+            max_error: 0.05,
+        },
+    );
     // The planted single-attribute rules are among them.
     for &(lhs, rhs) in &data.planted_fds {
         assert!(
-            found.fds.iter().any(|fd| fd.lhs() == AttrSet::single(lhs)
-                && fd.rhs() == AttrSet::single(rhs)),
+            found
+                .fds
+                .iter()
+                .any(|fd| fd.lhs() == AttrSet::single(lhs) && fd.rhs() == AttrSet::single(rhs)),
             "planted FD missing from discovery"
         );
     }
@@ -88,12 +98,8 @@ fn heterogeneous_discover_and_dedup() {
     assert!(!candidates.is_empty());
 
     let truth = data.cluster.clone();
-    let keys = md_disc::concise_matching_keys(
-        r,
-        &candidates,
-        &move |i, j| truth[i] == truth[j],
-        0.7,
-    );
+    let keys =
+        md_disc::concise_matching_keys(r, &candidates, &move |i, j| truth[i] == truth[j], 0.7);
     let mds: Vec<_> = keys.iter().map(|k| k.md.clone()).collect();
     let clustering = dedup::cluster(r, &mds);
     let (precision, recall) = dedup::pairwise_score(&clustering, &data.cluster);

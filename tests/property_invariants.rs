@@ -1,34 +1,18 @@
 //! Property-based invariants over randomly generated relations: measure
 //! bounds, family-tree embedding laws, discovery soundness, partition
 //! algebra — the "does the theory hold off the happy path" suite.
+//!
+//! Runs seeded deterministic case loops (see `common`) instead of proptest
+//! so the suite works with no external dev-dependencies.
 
+mod common;
+
+use common::{numeric_relation, small_relation, CASES};
 use deptree::core::*;
-use deptree::relation::{AttrId, AttrSet, Relation, RelationBuilder, StrippedPartition, Value, ValueType};
-use proptest::prelude::*;
+use deptree::relation::{AttrId, AttrSet, Relation, StrippedPartition};
+use deptree::synth::Rng;
 
-/// Strategy: small random categorical relations (2–4 attrs, 0–14 rows,
-/// tiny domains so collisions — and therefore dependencies — happen).
-fn small_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=4, 0usize..=14).prop_flat_map(|(n_attrs, n_rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..4, n_attrs),
-            n_rows..=n_rows,
-        )
-        .prop_map(move |rows| {
-            let mut b = RelationBuilder::new();
-            for a in 0..n_attrs {
-                b = b.attr(format!("a{a}"), ValueType::Categorical);
-            }
-            for row in rows {
-                b = b.row(row.into_iter().map(|v| Value::str(format!("v{v}"))).collect());
-            }
-            b.build().expect("consistent arity")
-        })
-    })
-}
-
-/// Strategy: a random single-attr→single-attr FD for a relation with
-/// `n_attrs` attributes.
+/// A random single-attr→single-attr FD for `r`.
 fn fd_for(r: &Relation, lhs: usize, rhs: usize) -> Fd {
     let n = r.n_attrs();
     Fd::new(
@@ -38,135 +22,203 @@ fn fd_for(r: &Relation, lhs: usize, rhs: usize) -> Fd {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn cases(base: u64) -> impl Iterator<Item = (Rng, u64)> {
+    (0..CASES).map(move |i| (Rng::seed_from_u64(base.wrapping_mul(1000) + i), i))
+}
 
-    #[test]
-    fn measures_are_bounded(r in small_relation(), l in 0usize..4, h in 0usize..4) {
+#[test]
+fn measures_are_bounded() {
+    for (mut rng, case) in cases(1) {
+        let r = small_relation(&mut rng);
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
         let g3 = fd.g3(&r);
-        prop_assert!((0.0..=1.0).contains(&g3));
+        assert!((0.0..=1.0).contains(&g3), "case {case}: g3 {g3}");
         let sfd = Sfd::from_fd(fd.clone());
         let s = sfd.strength(&r);
-        prop_assert!(s > 0.0 && s <= 1.0);
+        assert!(s > 0.0 && s <= 1.0, "case {case}: strength {s}");
         let pfd = Pfd::from_fd(fd.clone());
         let p = pfd.probability(&r);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "case {case}: probability {p}");
     }
+}
 
-    /// The statistical embeddings are exact at their degenerate points:
-    /// FD ⇔ SFD(1) ⇔ PFD(1) ⇔ AFD(0) ⇔ NUD(1) ⇔ CFD(no constants).
-    #[test]
-    fn fd_embeddings_agree(r in small_relation(), l in 0usize..4, h in 0usize..4) {
+/// The statistical embeddings are exact at their degenerate points:
+/// FD ⇔ SFD(1) ⇔ PFD(1) ⇔ AFD(0) ⇔ NUD(1) ⇔ CFD(no constants).
+#[test]
+fn fd_embeddings_agree() {
+    for (mut rng, case) in cases(2) {
+        let r = small_relation(&mut rng);
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
         let expected = fd.holds(&r);
-        prop_assert_eq!(Sfd::from_fd(fd.clone()).holds(&r), expected);
-        prop_assert_eq!(Pfd::from_fd(fd.clone()).holds(&r), expected);
-        prop_assert_eq!(Afd::from_fd(fd.clone()).holds(&r), expected);
-        prop_assert_eq!(Nud::from_fd(r.schema(), &fd).holds(&r), expected);
-        prop_assert_eq!(Cfd::from_fd(r.schema(), &fd).holds(&r), expected);
-        prop_assert_eq!(Mfd::from_fd(r.schema(), &fd).holds(&r), expected);
-        prop_assert_eq!(Md::from_fd(r.schema(), &fd).holds(&r), expected);
-        prop_assert_eq!(Ffd::from_fd(r.schema(), &fd).holds(&r), expected);
+        assert_eq!(Sfd::from_fd(fd.clone()).holds(&r), expected, "case {case}");
+        assert_eq!(Pfd::from_fd(fd.clone()).holds(&r), expected, "case {case}");
+        assert_eq!(Afd::from_fd(fd.clone()).holds(&r), expected, "case {case}");
+        assert_eq!(
+            Nud::from_fd(r.schema(), &fd).holds(&r),
+            expected,
+            "case {case}"
+        );
+        assert_eq!(
+            Cfd::from_fd(r.schema(), &fd).holds(&r),
+            expected,
+            "case {case}"
+        );
+        assert_eq!(
+            Mfd::from_fd(r.schema(), &fd).holds(&r),
+            expected,
+            "case {case}"
+        );
+        assert_eq!(
+            Md::from_fd(r.schema(), &fd).holds(&r),
+            expected,
+            "case {case}"
+        );
+        assert_eq!(
+            Ffd::from_fd(r.schema(), &fd).holds(&r),
+            expected,
+            "case {case}"
+        );
         // FD ⇒ MVD (one-directional).
         if expected {
-            prop_assert!(Mvd::from_fd(r.schema(), &fd).holds(&r));
+            assert!(Mvd::from_fd(r.schema(), &fd).holds(&r), "case {case}");
         }
     }
+}
 
-    /// `holds ⇔ violations().is_empty()` for the exact notations.
-    #[test]
-    fn holds_iff_no_violations(r in small_relation(), l in 0usize..4, h in 0usize..4) {
+/// `holds ⇔ violations().is_empty()` for the exact notations.
+#[test]
+fn holds_iff_no_violations() {
+    for (mut rng, case) in cases(3) {
+        let r = small_relation(&mut rng);
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
-        prop_assert_eq!(fd.holds(&r), fd.violations(&r).is_empty());
+        assert_eq!(fd.holds(&r), fd.violations(&r).is_empty(), "case {case}");
         let mvd = Mvd::from_fd(r.schema(), &fd);
-        prop_assert_eq!(mvd.holds(&r), mvd.violations(&r).is_empty());
+        assert_eq!(mvd.holds(&r), mvd.violations(&r).is_empty(), "case {case}");
         let md = Md::from_fd(r.schema(), &fd);
-        prop_assert_eq!(md.holds(&r), md.violations(&r).is_empty());
+        assert_eq!(md.holds(&r), md.violations(&r).is_empty(), "case {case}");
     }
+}
 
-    /// Partition algebra: product is commutative, idempotent, matches
-    /// direct grouping, and num_classes is monotone under refinement.
-    #[test]
-    fn partition_laws(r in small_relation()) {
-        prop_assume!(r.n_attrs() >= 2);
+/// Partition algebra: product is commutative, idempotent, matches direct
+/// grouping, and num_classes is monotone under refinement.
+#[test]
+fn partition_laws() {
+    for (mut rng, case) in cases(4) {
+        let r = small_relation(&mut rng);
         let a = AttrId(0);
         let b = AttrId(1);
         let pa = StrippedPartition::from_column(&r, a);
         let pb = StrippedPartition::from_column(&r, b);
         let prod = pa.product(&pb);
-        prop_assert_eq!(&prod, &pb.product(&pa));
-        prop_assert_eq!(&prod, &StrippedPartition::from_attrs(&r, AttrSet::from_ids([a, b])));
-        prop_assert_eq!(&pa.product(&pa), &pa);
-        prop_assert!(prod.num_classes() >= pa.num_classes());
-        prop_assert!(prod.error() <= pa.error());
+        assert_eq!(prod, pb.product(&pa), "case {case}");
+        assert_eq!(
+            prod,
+            StrippedPartition::from_attrs(&r, AttrSet::from_ids([a, b])),
+            "case {case}"
+        );
+        assert_eq!(pa.product(&pa), pa, "case {case}");
+        assert!(prod.num_classes() >= pa.num_classes(), "case {case}");
+        assert!(prod.error() <= pa.error(), "case {case}");
     }
+}
 
-    /// TANE and FastFD return identical minimal covers on random data.
-    #[test]
-    fn tane_equals_fastfd(r in small_relation()) {
-        use deptree::discovery::{fastfd, tane};
-        let t = tane::discover(&r, &tane::TaneConfig { max_lhs: r.n_attrs(), max_error: 0.0 });
+/// TANE and FastFD return identical minimal covers on random data.
+#[test]
+fn tane_equals_fastfd() {
+    use deptree::discovery::{fastfd, tane};
+    for (mut rng, case) in cases(5) {
+        let r = small_relation(&mut rng);
+        let t = tane::discover(
+            &r,
+            &tane::TaneConfig {
+                max_lhs: r.n_attrs(),
+                max_error: 0.0,
+            },
+        );
         let f = fastfd::discover(&r);
         let ts: std::collections::BTreeSet<String> =
             t.fds.iter().map(|fd| fd.to_string()).collect();
         let fs: std::collections::BTreeSet<String> =
             f.fds.iter().map(|fd| fd.to_string()).collect();
-        prop_assert_eq!(ts, fs);
+        assert_eq!(ts, fs, "case {case}");
     }
+}
 
-    /// Discovery soundness: everything TANE returns holds; everything it
-    /// returns is minimal.
-    #[test]
-    fn tane_sound_and_minimal(r in small_relation()) {
-        use deptree::discovery::tane;
-        let t = tane::discover(&r, &tane::TaneConfig { max_lhs: r.n_attrs(), max_error: 0.0 });
+/// Discovery soundness: everything TANE returns holds and is minimal.
+#[test]
+fn tane_sound_and_minimal() {
+    use deptree::discovery::tane;
+    for (mut rng, case) in cases(6) {
+        let r = small_relation(&mut rng);
+        let t = tane::discover(
+            &r,
+            &tane::TaneConfig {
+                max_lhs: r.n_attrs(),
+                max_error: 0.0,
+            },
+        );
         for fd in &t.fds {
-            prop_assert!(fd.holds(&r), "{} does not hold", fd);
+            assert!(fd.holds(&r), "case {case}: {fd} does not hold");
             for a in fd.lhs().iter() {
                 let smaller = Fd::new(r.schema(), fd.lhs().remove(a), fd.rhs());
-                prop_assert!(!smaller.holds(&r), "{} not minimal", fd);
+                assert!(!smaller.holds(&r), "case {case}: {fd} not minimal");
             }
         }
     }
+}
 
-    /// FD repair converges and reaches consistency.
-    #[test]
-    fn fd_repair_reaches_fixpoint(r in small_relation(), l in 0usize..4, h in 0usize..4) {
-        use deptree::quality::repair;
+/// FD repair converges and reaches consistency.
+#[test]
+fn fd_repair_reaches_fixpoint() {
+    use deptree::quality::repair;
+    for (mut rng, case) in cases(7) {
+        let r = small_relation(&mut rng);
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
-        prop_assume!(!fd.is_trivial());
+        if fd.is_trivial() {
+            continue;
+        }
         let result = repair::repair_fds(&r, std::slice::from_ref(&fd), 20);
-        prop_assert!(fd.holds(&result.relation));
+        assert!(fd.holds(&result.relation), "case {case}");
     }
+}
 
-    /// Deletion repair always reaches consistency and never deletes more
-    /// rows than the relation has.
-    #[test]
-    fn deletion_repair_terminates(r in small_relation(), l in 0usize..4, h in 0usize..4) {
-        use deptree::quality::repair;
+/// Deletion repair always reaches consistency and never deletes more rows
+/// than the relation has.
+#[test]
+fn deletion_repair_terminates() {
+    use deptree::quality::repair;
+    for (mut rng, case) in cases(8) {
+        let r = small_relation(&mut rng);
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
         let rules: Vec<Box<dyn Dependency>> = vec![Box::new(fd)];
         let result = repair::deletion_repair(&r, &rules);
-        prop_assert!(rules[0].holds(&result.relation));
-        prop_assert!(result.deleted.len() <= r.n_rows());
+        assert!(rules[0].holds(&result.relation), "case {case}");
+        assert!(result.deleted.len() <= r.n_rows(), "case {case}");
     }
+}
 
-    /// The g3 interpretation: g3·n is the *minimum* number of deletions,
-    /// so any repair that reaches consistency deletes at least that many
-    /// rows. (The max-degree greedy has no constant approximation
-    /// guarantee — subgroup sizes like {3,1} make it delete from the
-    /// majority side — so only the lower bound is asserted.)
-    #[test]
-    fn g3_lower_bounds_deletion_repair(r in small_relation(), l in 0usize..4, h in 0usize..4) {
-        use deptree::quality::repair;
+/// The g3 interpretation: g3·n is the *minimum* number of deletions, so
+/// any repair that reaches consistency deletes at least that many rows.
+#[test]
+fn g3_lower_bounds_deletion_repair() {
+    use deptree::quality::repair;
+    for (mut rng, case) in cases(9) {
+        let r = small_relation(&mut rng);
+        if r.n_rows() == 0 {
+            continue;
+        }
+        let (l, h) = (rng.random_range(0..4usize), rng.random_range(0..4usize));
         let fd = fd_for(&r, l, h);
-        prop_assume!(r.n_rows() > 0);
         let optimal = (fd.g3(&r) * r.n_rows() as f64).round() as usize;
         let rules: Vec<Box<dyn Dependency>> = vec![Box::new(fd)];
         let result = repair::deletion_repair(&r, &rules);
-        prop_assert!(result.deleted.len() >= optimal);
-        prop_assert!(result.deleted.len() <= r.n_rows());
+        assert!(result.deleted.len() >= optimal, "case {case}");
+        assert!(result.deleted.len() <= r.n_rows(), "case {case}");
     }
 }
 
@@ -174,73 +226,78 @@ proptest! {
 mod numeric {
     use super::*;
 
-    fn numeric_relation() -> impl Strategy<Value = Relation> {
-        (2usize..=3, 2usize..=12).prop_flat_map(|(n_attrs, n_rows)| {
-            proptest::collection::vec(
-                proptest::collection::vec(-20i64..20, n_attrs),
-                n_rows..=n_rows,
-            )
-            .prop_map(move |rows| {
-                let mut b = RelationBuilder::new();
-                for a in 0..n_attrs {
-                    b = b.attr(format!("n{a}"), ValueType::Numeric);
-                }
-                for row in rows {
-                    b = b.row(row.into_iter().map(Value::int).collect());
-                }
-                b.build().expect("consistent arity")
-            })
-        })
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
-
-        /// OD ⇔ the conjunction of its Dc::from_od images.
-        #[test]
-        fn od_dc_equivalence(r in numeric_relation(), d1 in 0usize..2, d2 in 0usize..2) {
+    #[test]
+    fn od_dc_equivalence() {
+        for (mut rng, case) in cases(10) {
+            let r = numeric_relation(&mut rng);
             let s = r.schema();
-            let dir = |i| if i == 0 { Direction::Asc } else { Direction::Desc };
+            let dir = |i: u8| {
+                if i == 0 {
+                    Direction::Asc
+                } else {
+                    Direction::Desc
+                }
+            };
             let od = Od::new(
                 s,
-                vec![(AttrId(0), dir(d1))],
-                vec![(AttrId(1), dir(d2))],
+                vec![(AttrId(0), dir(rng.random_range(0..2u8)))],
+                vec![(AttrId(1), dir(rng.random_range(0..2u8)))],
             );
             let dcs = Dc::from_od(s, &od);
-            prop_assert_eq!(od.holds(&r), dcs.iter().all(|d| d.holds(&r)));
+            assert_eq!(od.holds(&r), dcs.iter().all(|d| d.holds(&r)), "case {case}");
         }
+    }
 
-        /// OD ⇒ SD under the from_od embedding.
-        #[test]
-        fn od_implies_sd(r in numeric_relation(), d2 in 0usize..2) {
+    /// OD ⇒ SD under the from_od embedding.
+    #[test]
+    fn od_implies_sd() {
+        for (mut rng, case) in cases(11) {
+            let r = numeric_relation(&mut rng);
             let s = r.schema();
-            let dir = if d2 == 0 { Direction::Asc } else { Direction::Desc };
+            let dir = if rng.random_range(0..2u8) == 0 {
+                Direction::Asc
+            } else {
+                Direction::Desc
+            };
             let od = Od::new(s, vec![(AttrId(0), Direction::Asc)], vec![(AttrId(1), dir)]);
             if let Some(sd) = Sd::from_od(s, &od) {
                 if od.holds(&r) {
-                    prop_assert!(sd.holds(&r));
+                    assert!(sd.holds(&r), "case {case}");
                 }
             }
         }
+    }
 
-        /// The single-attribute OD validator agrees with pairwise holds.
-        #[test]
-        fn od_validator_correct(r in numeric_relation(), d2 in 0usize..2) {
-            use deptree::discovery::od::validate_single;
+    /// The single-attribute OD validator agrees with pairwise holds.
+    #[test]
+    fn od_validator_correct() {
+        use deptree::discovery::od::validate_single;
+        for (mut rng, case) in cases(12) {
+            let r = numeric_relation(&mut rng);
             let s = r.schema();
-            let dir = if d2 == 0 { Direction::Asc } else { Direction::Desc };
+            let dir = if rng.random_range(0..2u8) == 0 {
+                Direction::Asc
+            } else {
+                Direction::Desc
+            };
             let od = Od::new(s, vec![(AttrId(0), Direction::Asc)], vec![(AttrId(1), dir)]);
-            prop_assert_eq!(
+            assert_eq!(
                 validate_single(&r, AttrId(0), Direction::Asc, AttrId(1), dir),
-                od.holds(&r)
+                od.holds(&r),
+                "case {case}"
             );
         }
+    }
 
-        /// Sequence repair under an SD always reaches consistency.
-        #[test]
-        fn sequence_repair_total(r in numeric_relation(), lo in -5i64..0, width in 0i64..8) {
-            use deptree::quality::repair;
+    /// Sequence repair under an SD always reaches consistency.
+    #[test]
+    fn sequence_repair_total() {
+        use deptree::quality::repair;
+        for (mut rng, case) in cases(13) {
+            let r = numeric_relation(&mut rng);
             let s = r.schema();
+            let lo = rng.random_range(-5..0i64);
+            let width = rng.random_range(0..8i64);
             let sd = Sd::new(
                 s,
                 AttrId(0),
@@ -248,16 +305,25 @@ mod numeric {
                 Interval::new(lo as f64, (lo + width) as f64),
             );
             let (repaired, _) = repair::repair_sequence(&r, &sd);
-            prop_assert!(sd.holds(&repaired));
+            assert!(sd.holds(&repaired), "case {case}");
         }
+    }
 
-        /// FASTDC soundness: every discovered DC holds.
-        #[test]
-        fn fastdc_sound(r in numeric_relation()) {
-            use deptree::discovery::dc;
-            let result = dc::discover(&r, &dc::DcConfig { max_predicates: 2, approx_epsilon: 0.0 });
+    /// FASTDC soundness: every discovered DC holds.
+    #[test]
+    fn fastdc_sound() {
+        use deptree::discovery::dc;
+        for (mut rng, case) in cases(14).take(96) {
+            let r = numeric_relation(&mut rng);
+            let result = dc::discover(
+                &r,
+                &dc::DcConfig {
+                    max_predicates: 2,
+                    approx_epsilon: 0.0,
+                },
+            );
             for rule in &result.dcs {
-                prop_assert!(rule.holds(&r), "{} fails", rule);
+                assert!(rule.holds(&r), "case {case}: {rule} fails");
             }
         }
     }
