@@ -18,22 +18,42 @@
 //!   flip at any time.
 //! * [`Exec`] — the per-run execution context that algorithms *tick*
 //!   from their hot loops. Ticks are counters plus an occasional clock
-//!   poll, so instrumentation costs nanoseconds per node.
+//!   poll, so instrumentation costs nanoseconds per node. `Exec` is
+//!   `Sync`: all counters are atomics, so the worker threads of the
+//!   [`pool`] tick the same context concurrently and a budget exhausted
+//!   by any worker stops all of them.
 //! * [`Outcome`] — what every bounded entry point returns: the result,
 //!   whether it is complete, which budget (if any) was exhausted, and
 //!   [`EngineStats`] describing the work performed.
+//! * [`pool`] — a scoped work-stealing thread pool used by the parallel
+//!   discovery executors; [`Exec::threads`] carries the requested worker
+//!   count through every bounded entry point.
 //!
 //! The contract every bounded algorithm in this workspace upholds: when
 //! `complete == false`, the partial result is still **sound** — every
 //! dependency reported holds on the input; every repair step applied is
 //! valid — it is only *completeness* (minimality of covers, exhaustiveness
 //! of search) that is forfeited.
+//!
+//! ## Deterministic parallel budgets
+//!
+//! Parallel executors must return the *same* anytime prefix at every
+//! thread count. Per-candidate ticking from racing workers would make the
+//! cut-off point depend on scheduling, so level-wise miners instead
+//! *reserve* budget up front with [`Exec::try_reserve_nodes`] /
+//! [`Exec::try_reserve_rows`]: the reservation atomically grants the
+//! longest prefix of the candidate batch that fits the remaining budget,
+//! the granted candidates are evaluated in parallel, and their results are
+//! merged in canonical (input) order. The processed prefix — and therefore
+//! the emitted dependency set — is identical to what the serial
+//! tick-per-candidate loop would have processed.
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod pool;
 
 /// Which resource limit stopped a bounded run early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +68,30 @@ pub enum BudgetKind {
     Memory,
     /// The [`CancelToken`] was flipped by the caller.
     Cancelled,
+}
+
+impl BudgetKind {
+    /// Dense encoding for the atomic exhaustion flag (0 = live).
+    fn code(self) -> u8 {
+        match self {
+            BudgetKind::Deadline => 1,
+            BudgetKind::Nodes => 2,
+            BudgetKind::Rows => 3,
+            BudgetKind::Memory => 4,
+            BudgetKind::Cancelled => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(BudgetKind::Deadline),
+            2 => Some(BudgetKind::Nodes),
+            3 => Some(BudgetKind::Rows),
+            4 => Some(BudgetKind::Memory),
+            5 => Some(BudgetKind::Cancelled),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BudgetKind {
@@ -197,9 +241,25 @@ impl<T> Outcome<T> {
 /// so those are amortized over this many ticks.
 const POLL_INTERVAL: u64 = 64;
 
-/// Per-run execution context. Cheap to construct; uses interior
-/// mutability so algorithms can tick from `&self` contexts and helper
-/// functions without threading `&mut` everywhere.
+/// Environment variable consulted for the default worker-thread count.
+pub const THREADS_ENV: &str = "DEPTREE_THREADS";
+
+/// Default number of worker threads: `DEPTREE_THREADS` when set to a
+/// positive integer, otherwise 1 (serial). The conservative default keeps
+/// single-machine runs deterministic-by-default and lets CI gate both
+/// modes by exporting the variable.
+pub fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Per-run execution context. Cheap to construct. All counters are
+/// atomics, so `Exec` is `Sync` and one context can be shared by every
+/// worker of a parallel run: any worker exhausting a budget stops all of
+/// them, and counters aggregate across threads.
 ///
 /// Hot-loop protocol:
 ///
@@ -222,12 +282,13 @@ pub struct Exec {
     budget: Budget,
     cancel: CancelToken,
     start: Instant,
-    nodes: Cell<u64>,
-    rows: Cell<u64>,
-    partition_bytes: Cell<u64>,
-    partition_peak: Cell<u64>,
-    since_poll: Cell<u64>,
-    exhausted: Cell<Option<BudgetKind>>,
+    threads: usize,
+    nodes: AtomicU64,
+    rows: AtomicU64,
+    partition_bytes: AtomicU64,
+    partition_peak: AtomicU64,
+    since_poll: AtomicU64,
+    exhausted: AtomicU8,
 }
 
 impl Default for Exec {
@@ -248,18 +309,31 @@ impl Exec {
             budget,
             cancel,
             start: Instant::now(),
-            nodes: Cell::new(0),
-            rows: Cell::new(0),
-            partition_bytes: Cell::new(0),
-            partition_peak: Cell::new(0),
-            since_poll: Cell::new(0),
-            exhausted: Cell::new(None),
+            threads: default_threads(),
+            nodes: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            partition_bytes: AtomicU64::new(0),
+            partition_peak: AtomicU64::new(0),
+            since_poll: AtomicU64::new(0),
+            exhausted: AtomicU8::new(0),
         }
     }
 
     /// Context with no limits — bounded entry points run to completion.
     pub fn unbounded() -> Self {
         Exec::new(Budget::new())
+    }
+
+    /// Set the worker-thread count for parallel discovery executors.
+    /// Clamped to at least 1; 1 means fully serial execution.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads parallel executors should use (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The budget this context enforces.
@@ -270,20 +344,20 @@ impl Exec {
     /// Which budget has been exhausted, if any. Sticky: once set it stays
     /// set, so partial-result wind-down code can re-check freely.
     pub fn exhausted(&self) -> Option<BudgetKind> {
-        self.exhausted.get()
+        BudgetKind::from_code(self.exhausted.load(Ordering::Relaxed))
     }
 
     /// True while no budget has been exhausted.
     pub fn is_live(&self) -> bool {
-        self.exhausted.get().is_none()
+        self.exhausted.load(Ordering::Relaxed) == 0
     }
 
     /// Record one search-node visit; returns false when the run must stop.
     #[inline]
     pub fn tick_node(&self) -> bool {
-        self.nodes.set(self.nodes.get() + 1);
+        let now = self.nodes.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = self.budget.max_nodes {
-            if self.nodes.get() > max {
+            if now > max {
                 self.exhaust(BudgetKind::Nodes);
                 return false;
             }
@@ -294,9 +368,9 @@ impl Exec {
     /// Record `n` rows processed; returns false when the run must stop.
     #[inline]
     pub fn tick_rows(&self, n: u64) -> bool {
-        self.rows.set(self.rows.get() + n);
+        let now = self.rows.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(max) = self.budget.max_rows {
-            if self.rows.get() > max {
+            if now > max {
                 self.exhaust(BudgetKind::Rows);
                 return false;
             }
@@ -304,26 +378,116 @@ impl Exec {
         self.tick()
     }
 
+    /// Atomically reserve up to `want` node visits, granting the longest
+    /// prefix the node budget still allows. When fewer than `want` are
+    /// granted the node budget is marked exhausted, mirroring what `want`
+    /// sequential [`Exec::tick_node`] calls would have done. A failed
+    /// deadline/cancellation poll grants zero.
+    ///
+    /// This is the primitive behind deterministic parallel budgets: a
+    /// level-wise miner reserves a whole candidate batch, evaluates
+    /// exactly the granted prefix in parallel and merges in input order,
+    /// so the processed set matches the serial path bit for bit.
+    pub fn try_reserve_nodes(&self, want: u64) -> u64 {
+        if !self.poll() {
+            return 0;
+        }
+        let granted = Self::reserve_counter(&self.nodes, self.budget.max_nodes, want);
+        if granted < want {
+            self.exhaust(BudgetKind::Nodes);
+        }
+        granted
+    }
+
+    /// Atomically reserve up to `want` row ticks; the row-budget analogue
+    /// of [`Exec::try_reserve_nodes`], with the same exhaustion contract.
+    pub fn try_reserve_rows(&self, want: u64) -> u64 {
+        if !self.poll() {
+            return 0;
+        }
+        let granted = Self::reserve_counter(&self.rows, self.budget.max_rows, want);
+        if granted < want {
+            self.exhaust(BudgetKind::Rows);
+        }
+        granted
+    }
+
+    /// Reserve up to `want` candidates that each cost one node tick plus
+    /// `rows_per_item` row ticks — the shape of a level-wise miner's
+    /// candidate loop (`tick_node() && tick_rows(k)` per candidate). The
+    /// grant is the longest candidate prefix BOTH budgets allow, exactly
+    /// where the serial tick-per-candidate loop would have stopped; a
+    /// short grant marks the binding budget(s) exhausted, node budget
+    /// first to mirror the serial short-circuit order.
+    ///
+    /// The two single-budget reservations cannot be composed for this
+    /// (`try_reserve_nodes` then `try_reserve_rows`): the first short
+    /// grant marks the run exhausted, making the second reservation
+    /// return zero instead of its own prefix.
+    pub fn try_reserve_batch(&self, want: u64, rows_per_item: u64) -> u64 {
+        if !self.poll() {
+            return 0;
+        }
+        let by_nodes = Self::reserve_counter(&self.nodes, self.budget.max_nodes, want);
+        let rows_granted = Self::reserve_counter(
+            &self.rows,
+            self.budget.max_rows,
+            want.saturating_mul(rows_per_item),
+        );
+        // Zero-cost items (empty relation) are bounded by nodes alone.
+        let by_rows = rows_granted.checked_div(rows_per_item).unwrap_or(want);
+        if by_nodes < want {
+            self.exhaust(BudgetKind::Nodes);
+        }
+        if by_rows < want {
+            self.exhaust(BudgetKind::Rows);
+        }
+        by_nodes.min(by_rows)
+    }
+
+    /// Lock-free longest-prefix grant against one budget counter: adds up
+    /// to `want` to `counter`, stopping at `max`. Exhaustion marking is
+    /// the caller's job — this must stay side-effect-free so combined
+    /// reservations can probe several budgets before deciding which one
+    /// was binding.
+    fn reserve_counter(counter: &AtomicU64, max: Option<u64>, want: u64) -> u64 {
+        match max {
+            None => {
+                counter.fetch_add(want, Ordering::Relaxed);
+                want
+            }
+            Some(max) => loop {
+                let cur = counter.load(Ordering::Relaxed);
+                let grant = want.min(max.saturating_sub(cur));
+                if counter
+                    .compare_exchange(cur, cur + grant, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break grant;
+                }
+            },
+        }
+    }
+
     /// Cheap liveness poll for loops that don't map naturally onto nodes
     /// or rows; returns false when the run must stop.
     #[inline]
     pub fn tick(&self) -> bool {
-        if self.exhausted.get().is_some() {
+        if self.exhausted.load(Ordering::Relaxed) != 0 {
             return false;
         }
-        let since = self.since_poll.get() + 1;
+        let since = self.since_poll.fetch_add(1, Ordering::Relaxed) + 1;
         if since < POLL_INTERVAL {
-            self.since_poll.set(since);
             return true;
         }
-        self.since_poll.set(0);
+        self.since_poll.store(0, Ordering::Relaxed);
         self.poll()
     }
 
     /// Immediate (non-amortized) deadline + cancellation check. Use at
     /// phase boundaries where stale liveness would waste a whole phase.
     pub fn poll(&self) -> bool {
-        if self.exhausted.get().is_some() {
+        if self.exhausted.load(Ordering::Relaxed) != 0 {
             return false;
         }
         if self.cancel.is_cancelled() {
@@ -339,14 +503,36 @@ impl Exec {
         true
     }
 
+    /// Active cancellation/deadline check for pool workers draining an
+    /// already-reserved candidate batch. The deterministic budget kinds
+    /// (nodes, rows, memory) must NOT abort the batch — the reservation
+    /// fixed exactly which candidates get evaluated, at every thread
+    /// count — but deadline expiry and external cancellation are
+    /// timing-dependent by nature, so workers honor them promptly even
+    /// mid-batch instead of finishing the whole grant. Marks the
+    /// exhaustion it detects; sticky like [`Exec::poll`].
+    pub fn interrupted(&self) -> bool {
+        if let Some(BudgetKind::Deadline | BudgetKind::Cancelled) = self.exhausted() {
+            return true;
+        }
+        if self.cancel.is_cancelled() {
+            self.exhaust(BudgetKind::Cancelled);
+            return true;
+        }
+        if let Some(d) = self.budget.deadline {
+            if self.start.elapsed() > d {
+                self.exhaust(BudgetKind::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Track growth of partition state; returns false when the estimate
     /// exceeds the memory cap.
     pub fn alloc_partition(&self, bytes: u64) -> bool {
-        let now = self.partition_bytes.get() + bytes;
-        self.partition_bytes.set(now);
-        if now > self.partition_peak.get() {
-            self.partition_peak.set(now);
-        }
+        let now = self.partition_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.partition_peak.fetch_max(now, Ordering::Relaxed);
         if let Some(max) = self.budget.max_partition_bytes {
             if now > max {
                 self.exhaust(BudgetKind::Memory);
@@ -358,29 +544,41 @@ impl Exec {
 
     /// Track release of partition state.
     pub fn free_partition(&self, bytes: u64) {
-        self.partition_bytes
-            .set(self.partition_bytes.get().saturating_sub(bytes));
+        // Saturating subtract via CAS: a release racing a larger release
+        // must not wrap the counter.
+        loop {
+            let cur = self.partition_bytes.load(Ordering::Relaxed);
+            let next = cur.saturating_sub(bytes);
+            if self
+                .partition_bytes
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
     }
 
     fn exhaust(&self, kind: BudgetKind) {
-        if self.exhausted.get().is_none() {
-            self.exhausted.set(Some(kind));
-        }
+        // First exhaustion wins; later ones keep the original cause.
+        let _ =
+            self.exhausted
+                .compare_exchange(0, kind.code(), Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// Snapshot the work counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            nodes_visited: self.nodes.get(),
-            rows_processed: self.rows.get(),
-            partition_bytes_peak: self.partition_peak.get(),
+            nodes_visited: self.nodes.load(Ordering::Relaxed),
+            rows_processed: self.rows.load(Ordering::Relaxed),
+            partition_bytes_peak: self.partition_peak.load(Ordering::Relaxed),
             elapsed: self.start.elapsed(),
         }
     }
 
     /// Package a result with this context's completion state and stats.
     pub fn finish<T>(&self, result: T) -> Outcome<T> {
-        let exhausted = self.exhausted.get();
+        let exhausted = self.exhausted();
         Outcome {
             result,
             complete: exhausted.is_none(),
@@ -493,5 +691,69 @@ mod tests {
         assert_eq!(out.result, 6);
         assert!(!out.complete);
         assert_eq!(out.exhausted, Some(BudgetKind::Nodes));
+    }
+
+    #[test]
+    fn exec_is_sync_and_shareable() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Exec>();
+        // Concurrent ticking from multiple threads aggregates counters.
+        let exec = Exec::unbounded();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        assert!(exec.tick_node());
+                    }
+                });
+            }
+        });
+        assert_eq!(exec.stats().nodes_visited, 4000);
+    }
+
+    #[test]
+    fn reserve_nodes_grants_exact_prefix() {
+        let exec = Exec::new(Budget::new().with_max_nodes(10));
+        assert_eq!(exec.try_reserve_nodes(4), 4);
+        assert!(exec.is_live());
+        assert_eq!(exec.try_reserve_nodes(8), 6);
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Nodes));
+        assert_eq!(exec.try_reserve_nodes(1), 0);
+    }
+
+    #[test]
+    fn reserve_rows_matches_serial_tick_semantics() {
+        // Serial: with max_rows = 100, ticking 30 rows at a time succeeds
+        // 3 times then fails. Reservation grants 100 across batches.
+        let exec = Exec::new(Budget::new().with_max_rows(100));
+        assert_eq!(exec.try_reserve_rows(30), 30);
+        assert_eq!(exec.try_reserve_rows(30), 30);
+        assert_eq!(exec.try_reserve_rows(30), 30);
+        assert_eq!(exec.try_reserve_rows(30), 10);
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Rows));
+    }
+
+    #[test]
+    fn reserve_unlimited_grants_all() {
+        let exec = Exec::unbounded();
+        assert_eq!(exec.try_reserve_nodes(1_000_000), 1_000_000);
+        assert_eq!(exec.stats().nodes_visited, 1_000_000);
+    }
+
+    #[test]
+    fn reserve_zero_after_cancellation() {
+        let token = CancelToken::new();
+        let exec = Exec::with_cancel(Budget::new(), token.clone());
+        token.cancel();
+        assert_eq!(exec.try_reserve_nodes(5), 0);
+        assert_eq!(exec.exhausted(), Some(BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn threads_knob_clamps_to_one() {
+        let exec = Exec::unbounded().with_threads(0);
+        assert_eq!(exec.threads(), 1);
+        let exec = Exec::unbounded().with_threads(8);
+        assert_eq!(exec.threads(), 8);
     }
 }

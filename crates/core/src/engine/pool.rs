@@ -1,0 +1,205 @@
+//! A small scoped work-stealing thread pool for parallel discovery.
+//!
+//! Level-wise lattice miners produce batches of independent candidate
+//! checks (one per lattice node) whose costs vary wildly — a partition
+//! product over a near-key node is orders of magnitude cheaper than one
+//! over a low-cardinality node. Static chunking would leave workers idle
+//! behind the slowest chunk, so each worker owns a deque of candidate
+//! indices and **steals the back half** of a victim's deque when its own
+//! runs dry — the classic work-stealing discipline, scoped to one call so
+//! the pool borrows the caller's data without `'static` bounds or any
+//! non-std dependency.
+//!
+//! Determinism: [`map`] always returns results **in input order**
+//! regardless of which worker evaluated which item, so parallel miners
+//! can merge candidate verdicts exactly as their serial loops would.
+//!
+//! Budget integration happens one level up: miners reserve node/row
+//! budget for a whole batch (see [`super::Exec::try_reserve_nodes`])
+//! before dispatching it here, which keeps the anytime prefix identical
+//! at every thread count. Worker closures are free to poll the shared
+//! [`super::Exec`] for deadline/cancellation liveness — it is `Sync`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Evaluate `f` over `items` with up to `threads` workers, returning the
+/// results in input order. With `threads <= 1` (or fewer than two items)
+/// this degenerates to a plain serial loop with zero threading overhead,
+/// so callers can use one code path for both modes.
+///
+/// Panics in `f` are propagated to the caller after all workers stop
+/// (the standard scoped-thread contract).
+///
+/// ```
+/// use deptree_core::engine::pool;
+/// let squares = pool::map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Each worker starts with a contiguous block of indices (cache-friendly
+    // and deterministic); imbalance is corrected by stealing at runtime.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((n * w / workers..n * (w + 1) / workers).collect()))
+        .collect();
+
+    let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|s| {
+        let queues = &queues;
+        let f = &f;
+        let handles: Vec<_> = (1..workers)
+            .map(|w| s.spawn(move || run_worker(w, queues, items, f)))
+            .collect();
+        // The calling thread is worker 0 — no thread is left idle waiting.
+        partials.push(run_worker(0, queues, items, f));
+        for h in handles {
+            match h.join() {
+                Ok(part) => partials.push(part),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in partials.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Some(r) => r,
+            // Every index lives in exactly one deque until claimed and is
+            // then evaluated by its claimant; a hole is impossible unless
+            // a worker panicked, which was re-raised above.
+            None => unreachable!("work-stealing pool lost an item"),
+        })
+        .collect()
+}
+
+fn run_worker<T, R, F>(
+    me: usize,
+    queues: &[Mutex<VecDeque<usize>>],
+    items: &[T],
+    f: &F,
+) -> Vec<(usize, R)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out = Vec::new();
+    while let Some(i) = next_index(me, queues) {
+        out.push((i, f(i, &items[i])));
+    }
+    out
+}
+
+/// Pop from our own deque, or steal the back half of the fullest-available
+/// victim's. `None` once every deque is empty (remaining in-flight items
+/// are owned by the workers that claimed them).
+fn next_index(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(i) = lock(&queues[me]).pop_front() {
+        return Some(i);
+    }
+    let workers = queues.len();
+    for off in 1..workers {
+        let victim = (me + off) % workers;
+        let mut q = lock(&queues[victim]);
+        let len = q.len();
+        if len == 0 {
+            continue;
+        }
+        let take = len.div_ceil(2);
+        let mut stolen = q.split_off(len - take);
+        drop(q);
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            lock(&queues[me]).append(&mut stolen);
+        }
+        return first;
+    }
+    None
+}
+
+/// Locks are held only for deque surgery, never across `f`, so poisoning
+/// can only come from a panicking sibling — in which case the queue state
+/// is still consistent and draining it remains correct.
+fn lock<'a>(m: &'a Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'a, VecDeque<usize>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_evaluated_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..257).collect();
+        map(8, &items, |_, &x| counts[x].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn unbalanced_work_is_stolen() {
+        // Front-loaded costs: worker 0's block is by far the slowest, so
+        // with stealing the others must pick up its tail. We can't observe
+        // scheduling directly; assert correctness under the imbalance.
+        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 200 } else { 1 }).collect();
+        let out = map(4, &items, |_, &cost| {
+            let mut acc = 0u64;
+            for i in 0..cost * 1000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(map(8, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            map(4, &items, |_, &x| {
+                assert!(x != 50, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -2,7 +2,7 @@
 //! level-wise search for general CFDs, and the Golab et al. greedy
 //! algorithm for near-optimal tableaux of a given embedded FD.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::{Cfd, Dependency, Fd, Pattern, PatternCell};
 use deptree_relation::{AttrSet, Relation, Value};
 
@@ -93,7 +93,15 @@ pub fn ctane(r: &Relation, cfg: &CfdConfig) -> Vec<Cfd> {
 /// Budgeted [`ctane`]: one node tick per pattern candidate, row ticks for
 /// each support/validity scan. CFDs are emitted only after `holds`, so
 /// partial results are sound.
+///
+/// The support/validity scans for one embedded FD's pattern space run
+/// concurrently on the engine pool (budget reserved for the whole space
+/// up front, so the evaluated prefix is thread-count-independent); the
+/// generalization filter replays serially in the CTANE level order, which
+/// keeps the emitted tableau identical to the serial walk.
 pub fn ctane_bounded(r: &Relation, cfg: &CfdConfig, exec: &Exec) -> Outcome<Vec<Cfd>> {
+    let threads = exec.threads();
+    let row_cost = 2 * r.n_rows() as u64;
     let mut out: Vec<Cfd> = Vec::new();
     'search: for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
         for rhs in r.schema().ids() {
@@ -131,9 +139,14 @@ pub fn ctane_bounded(r: &Relation, cfg: &CfdConfig, exec: &Exec) -> Outcome<Vec<
                 patterns = next;
             }
             patterns.sort_by_key(|p| p.iter().flatten().count());
-            for p in patterns {
-                if !exec.tick_node() || !exec.tick_rows(2 * r.n_rows() as u64) {
-                    break 'search;
+            let want = patterns.len() as u64;
+            let prefix = exec.try_reserve_batch(want, row_cost) as usize;
+            let batch = &patterns[..prefix];
+            let verdicts = pool::map(threads, batch, |_, p| {
+                if exec.interrupted() {
+                    // Deadline/cancellation only; deterministic budgets
+                    // never cut the granted batch.
+                    return None;
                 }
                 let mut pattern = Pattern::all_any(lhs.union(rhs_set));
                 for (i, cell) in p.iter().enumerate() {
@@ -142,14 +155,20 @@ pub fn ctane_bounded(r: &Relation, cfg: &CfdConfig, exec: &Exec) -> Outcome<Vec<
                     }
                 }
                 let cand = Cfd::new(r.schema(), lhs, rhs_set, pattern);
-                if cand.matching_rows(r).len() < cfg.min_support || !cand.holds(r) {
-                    continue;
-                }
-                // Minimality against already-emitted generalizations.
+                (cand.matching_rows(r).len() >= cfg.min_support && cand.holds(r)).then_some(cand)
+            });
+            for cand in verdicts.into_iter().flatten() {
+                // Minimality against already-emitted generalizations;
+                // candidates arrive in constant-count order, so a
+                // generalization is always merged before its
+                // specializations — exactly the serial CTANE order.
                 let redundant = out.iter().any(|prev| generalizes(prev, &cand));
                 if !redundant {
                     out.push(cand);
                 }
+            }
+            if prefix < patterns.len() {
+                break 'search;
             }
         }
     }

@@ -4,7 +4,7 @@
 //! value quantiles — under which an embedded FD holds that fails
 //! unconditionally.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::{CmpOp, Dependency, ECfd, Fd, PatternOp};
 use deptree_relation::{AttrId, AttrSet, Relation, Value, ValueType};
 
@@ -50,15 +50,23 @@ pub fn discover(r: &Relation, cfg: &ECfdConfig) -> Vec<ECfd> {
 /// Budgeted [`discover`]: one node tick per candidate rule, row ticks for
 /// each validation scan. eCFDs are emitted only after `holds`, so partial
 /// results are sound.
+/// Candidates are enumerated in the canonical (condition attribute,
+/// constant, operator, variable set, RHS) order, the node/row budget is
+/// reserved for the whole batch — cutting it to the same prefix the
+/// serial tick-per-candidate loop would process — and the validation
+/// scans run concurrently on the engine pool. There is no minimality
+/// filter, so the surviving rules are merged straight back in order.
 pub fn discover_bounded(r: &Relation, cfg: &ECfdConfig, exec: &Exec) -> Outcome<Vec<ECfd>> {
     let schema = r.schema();
+    let threads = exec.threads();
+    let row_cost = 2 * r.n_rows() as u64;
     let numeric: Vec<AttrId> = schema
         .iter()
         .filter(|(_, a)| a.ty == ValueType::Numeric)
         .map(|(id, _)| id)
         .collect();
-    let mut out = Vec::new();
-    'search: for &cond in &numeric {
+    let mut candidates: Vec<(AttrId, Value, CmpOp, AttrSet, AttrId)> = Vec::new();
+    for &cond in &numeric {
         let constants = numeric_constants(r, cond, cfg.constants_per_attr);
         for c in &constants {
             for op in [CmpOp::Leq, CmpOp::Gt] {
@@ -67,29 +75,36 @@ pub fn discover_bounded(r: &Relation, cfg: &ECfdConfig, exec: &Exec) -> Outcome<
                         if vars.contains(rhs) || rhs == cond {
                             continue;
                         }
-                        if !exec.tick_node() || !exec.tick_rows(2 * r.n_rows() as u64) {
-                            break 'search;
-                        }
-                        // Skip when the unconditioned FD already holds —
-                        // the condition then adds nothing.
-                        let plain = Fd::new(schema, vars, AttrSet::single(rhs));
-                        if plain.holds(r) {
-                            continue;
-                        }
-                        let ecfd = ECfd::new(
-                            schema,
-                            vars.insert(cond),
-                            AttrSet::single(rhs),
-                            vec![(cond, PatternOp::Cmp(op, c.clone()))],
-                        );
-                        if ecfd.matching_rows(r).len() >= cfg.min_support && ecfd.holds(r) {
-                            out.push(ecfd);
-                        }
+                        candidates.push((cond, c.clone(), op, vars, rhs));
                     }
                 }
             }
         }
     }
+    let want = candidates.len() as u64;
+    let prefix = exec.try_reserve_batch(want, row_cost) as usize;
+    let batch = &candidates[..prefix];
+    let verdicts = pool::map(threads, batch, |_, (cond, c, op, vars, rhs)| {
+        if exec.interrupted() {
+            // Deadline/cancellation only; deterministic budgets never cut
+            // the granted batch.
+            return None;
+        }
+        // Skip when the unconditioned FD already holds — the condition
+        // then adds nothing.
+        let plain = Fd::new(schema, *vars, AttrSet::single(*rhs));
+        if plain.holds(r) {
+            return None;
+        }
+        let ecfd = ECfd::new(
+            schema,
+            vars.insert(*cond),
+            AttrSet::single(*rhs),
+            vec![(*cond, PatternOp::Cmp(*op, c.clone()))],
+        );
+        (ecfd.matching_rows(r).len() >= cfg.min_support && ecfd.holds(r)).then_some(ecfd)
+    });
+    let out: Vec<ECfd> = verdicts.into_iter().flatten().collect();
     exec.finish(out)
 }
 

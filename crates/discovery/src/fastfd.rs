@@ -5,7 +5,7 @@
 //! two cross over on wide-vs-long relations (an ablation bench).
 
 use crate::cover::minimal_hitting_sets_bounded;
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::{Dependency, Fd};
 use deptree_relation::{AttrSet, Relation, StrippedPartition};
 use std::collections::HashSet;
@@ -44,38 +44,83 @@ pub fn difference_sets(r: &Relation, stats: &mut FastFdStats) -> Vec<AttrSet> {
 /// tick. Returns the sets found plus a completeness flag; an incomplete
 /// collection under-constrains covers, so callers must verify candidate
 /// FDs before emitting them.
+///
+/// The pairwise value comparisons — the quadratic heart of FastFD — run
+/// on the work-stealing pool, one task per partition class. The row
+/// budget is *reserved* class-by-class in canonical scan order before the
+/// parallel phase, so the set of pairs compared (and hence the anytime
+/// result under an exhausted budget) is identical at every thread count.
 pub fn difference_sets_bounded(
     r: &Relation,
     stats: &mut FastFdStats,
     exec: &Exec,
 ) -> (Vec<AttrSet>, bool) {
     let all = r.all_attrs();
+    let threads = exec.threads();
     let mut seen: HashSet<AttrSet> = HashSet::new();
     let mut complete = true;
     // Pairs agreeing somewhere: walk each attribute's partition classes.
     let mut visited_pairs: HashSet<(usize, usize)> = HashSet::new();
     'scan: for a in r.schema().ids() {
         let p = StrippedPartition::from_column(r, a);
+        // Reserve row budget per class in scan order; a short grant cuts
+        // the last class to a pair-prefix, exactly where the serial
+        // tick-per-pair loop would have stopped.
+        let mut jobs: Vec<(Vec<usize>, usize)> = Vec::new();
+        let mut truncated = false;
         for class in p.classes() {
-            for (i, &t1) in class.iter().enumerate() {
+            let want = (class.len() * (class.len() - 1) / 2) as u64;
+            let granted = exec.try_reserve_rows(want) as usize;
+            if granted > 0 {
+                jobs.push((class.to_vec(), granted));
+            }
+            if (granted as u64) < want {
+                truncated = true;
+                break;
+            }
+        }
+        // Pure phase: compare the granted pairs concurrently. A pair the
+        // scan already visited through an earlier attribute is compared
+        // redundantly here and discarded in the merge below — wasted
+        // work, never a different answer.
+        let batches = pool::map(threads, &jobs, |_, (class, limit)| {
+            let mut out: Vec<((usize, usize), AttrSet)> = Vec::with_capacity(*limit);
+            'pairs: for (i, &t1) in class.iter().enumerate() {
                 for &t2 in class.iter().skip(i + 1) {
-                    if !exec.tick_rows(1) {
-                        complete = false;
-                        break 'scan;
+                    if out.len() == *limit {
+                        break 'pairs;
                     }
-                    if !visited_pairs.insert((t1, t2)) {
-                        continue;
+                    // Amortized deadline/cancel check: deterministic
+                    // budgets never cut a granted job, but wall-clock
+                    // expiry must not wait for the whole class.
+                    if out.len().is_multiple_of(64) && exec.interrupted() {
+                        break 'pairs;
                     }
-                    stats.pairs_compared += 1;
                     let diff: AttrSet = all
                         .iter()
                         .filter(|&b| r.value(t1, b) != r.value(t2, b))
                         .collect();
-                    if !diff.is_empty() {
-                        seen.insert(diff);
-                    }
+                    out.push(((t1, t2), diff));
                 }
             }
+            out
+        });
+        // Serial merge in class order: dedup against pairs from earlier
+        // attributes and record the fresh difference sets.
+        for ((t1, t2), diff) in batches.into_iter().flatten() {
+            if !visited_pairs.insert((t1, t2)) {
+                continue;
+            }
+            stats.pairs_compared += 1;
+            if !diff.is_empty() {
+                seen.insert(diff);
+            }
+        }
+        if truncated || exec.interrupted() {
+            // A short row grant or a mid-batch deadline/cancellation both
+            // leave the pair scan partial: downstream covers must verify.
+            complete = false;
+            break 'scan;
         }
     }
     // Pairs agreeing nowhere have difference set = all attributes; one

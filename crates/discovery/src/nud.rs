@@ -3,7 +3,7 @@
 //! the derivation cost the survey's query-optimization application (§2.4.3)
 //! relies on.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::Nud;
 use deptree_relation::{AttrSet, Relation};
 
@@ -37,28 +37,46 @@ pub fn discover(r: &Relation, cfg: &NudConfig) -> Vec<Nud> {
 /// Budgeted [`discover`]: one node tick per candidate, one row tick per
 /// row scanned. NUDs are emitted with their verified minimal weight, so
 /// partial results are sound.
+///
+/// The fan-out scans — pure in the candidate — run concurrently on the
+/// engine pool over the budget-reserved candidate prefix; the dominance
+/// filter then replays serially in enumeration order, so the result is
+/// identical at every thread count.
 pub fn discover_bounded(r: &Relation, cfg: &NudConfig, exec: &Exec) -> Outcome<Vec<Nud>> {
+    let threads = exec.threads();
+    let row_cost = r.n_rows() as u64;
+    let candidates: Vec<(AttrSet, AttrSet)> = crate::mvd_subsets(r.all_attrs(), cfg.max_lhs)
+        .into_iter()
+        .flat_map(|lhs| {
+            r.schema()
+                .ids()
+                .filter(move |&rhs| !lhs.contains(rhs))
+                .map(move |rhs| (lhs, AttrSet::single(rhs)))
+        })
+        .collect();
+    let want = candidates.len() as u64;
+    let prefix = exec.try_reserve_batch(want, row_cost) as usize;
+    let batch = &candidates[..prefix];
+    let fanouts = pool::map(threads, batch, |_, &(lhs, rhs)| {
+        if exec.interrupted() {
+            // Deadline/cancellation only; deterministic budgets never cut
+            // the granted batch. No fake weight is ever merged.
+            return None;
+        }
+        Some(Nud::new(r.schema(), lhs, rhs, 1).max_fanout(r).max(1))
+    });
     let mut out: Vec<Nud> = Vec::new();
-    'search: for lhs in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
-        for rhs in r.schema().ids() {
-            if lhs.contains(rhs) {
-                continue;
-            }
-            if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
-                break 'search;
-            }
-            let probe = Nud::new(r.schema(), lhs, AttrSet::single(rhs), 1);
-            let k = probe.max_fanout(r).max(1);
-            if k > cfg.max_k {
-                continue;
-            }
-            // Keep only if no reported subset-LHS NUD has k' ≤ k.
-            let dominated = out
-                .iter()
-                .any(|n| n.rhs() == AttrSet::single(rhs) && n.lhs().is_subset(lhs) && n.k() <= k);
-            if !dominated {
-                out.push(Nud::new(r.schema(), lhs, AttrSet::single(rhs), k));
-            }
+    for (&(lhs, rhs), k) in batch.iter().zip(fanouts) {
+        let Some(k) = k else { continue };
+        if k > cfg.max_k {
+            continue;
+        }
+        // Keep only if no reported subset-LHS NUD has k' ≤ k.
+        let dominated = out
+            .iter()
+            .any(|n| n.rhs() == rhs && n.lhs().is_subset(lhs) && n.k() <= k);
+        if !dominated {
+            out.push(Nud::new(r.schema(), lhs, rhs, k));
         }
     }
     exec.finish(out)

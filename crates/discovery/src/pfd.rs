@@ -1,7 +1,7 @@
 //! PFD discovery (Wang et al.): counting-based probability computation,
 //! for one table and merged across heterogeneous sources (§2.2.3).
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::{Dependency, Fd, Pfd};
 use deptree_relation::{AttrSet, Relation};
 
@@ -33,7 +33,15 @@ pub fn discover(r: &Relation, cfg: &PfdConfig) -> Vec<Pfd> {
 /// Budgeted [`discover`]: one node tick per candidate, row ticks for the
 /// counting scan. PFDs are emitted only after `holds`, so partial results
 /// are sound.
+///
+/// Each level's candidates are evaluated concurrently on the engine pool:
+/// the node/row budget is reserved for the whole level up front (so the
+/// processed prefix is thread-count-independent), the probability scans —
+/// the pure, expensive part — run in parallel, and minimality filtering
+/// replays serially in candidate order.
 pub fn discover_bounded(r: &Relation, cfg: &PfdConfig, exec: &Exec) -> Outcome<Vec<Pfd>> {
+    let threads = exec.threads();
+    let row_cost = r.n_rows() as u64;
     let mut out = Vec::new();
     let mut level: Vec<AttrSet> = r.schema().ids().map(AttrSet::single).collect();
     let mut depth = 1usize;
@@ -43,27 +51,46 @@ pub fn discover_bounded(r: &Relation, cfg: &PfdConfig, exec: &Exec) -> Outcome<V
     // paper's output form).
     let mut found: Vec<(AttrSet, AttrSet)> = Vec::new();
     'search: while depth <= cfg.max_lhs {
-        for &lhs in &level {
-            for rhs in r.schema().ids() {
-                if lhs.contains(rhs) {
-                    continue;
-                }
-                if !exec.tick_node() || !exec.tick_rows(r.n_rows() as u64) {
-                    break 'search;
-                }
-                let rhs_set = AttrSet::single(rhs);
-                if found
-                    .iter()
-                    .any(|(l, rr)| l.is_subset(lhs) && *rr == rhs_set)
-                {
-                    continue;
-                }
-                let pfd = Pfd::new(Fd::new(r.schema(), lhs, rhs_set), cfg.min_probability);
-                if pfd.holds(r) {
-                    found.push((lhs, rhs_set));
-                    out.push(pfd);
-                }
+        let candidates: Vec<(AttrSet, AttrSet)> = level
+            .iter()
+            .flat_map(|&lhs| {
+                r.schema()
+                    .ids()
+                    .filter(move |&rhs| !lhs.contains(rhs))
+                    .map(move |rhs| (lhs, AttrSet::single(rhs)))
+            })
+            .collect();
+        let want = candidates.len() as u64;
+        let prefix = exec.try_reserve_batch(want, row_cost) as usize;
+        let batch = &candidates[..prefix];
+        // Pure phase: the per-candidate probability scan. The minimality
+        // check is deferred to the serial merge — within a level all LHS
+        // sets have equal size, so no same-level emission can dominate
+        // another candidate, and evaluating a to-be-dominated candidate
+        // here costs nothing the serial path didn't also pay.
+        let verdicts = pool::map(threads, batch, |_, &(lhs, rhs_set)| {
+            if exec.interrupted() {
+                // Deadline/cancellation only; deterministic budgets never
+                // cut the granted batch.
+                return None;
             }
+            let pfd = Pfd::new(Fd::new(r.schema(), lhs, rhs_set), cfg.min_probability);
+            pfd.holds(r).then_some(pfd)
+        });
+        for (&(lhs, rhs_set), pfd) in batch.iter().zip(verdicts) {
+            if found
+                .iter()
+                .any(|(l, rr)| l.is_subset(lhs) && *rr == rhs_set)
+            {
+                continue;
+            }
+            if let Some(pfd) = pfd {
+                found.push((lhs, rhs_set));
+                out.push(pfd);
+            }
+        }
+        if prefix < candidates.len() {
+            break 'search;
         }
         // Next level: all (depth+1)-sets built from current level.
         let mut next = Vec::new();

@@ -1,11 +1,21 @@
 //! TANE (Huhtala et al.): level-wise FD discovery with stripped
 //! partitions. The canonical lattice algorithm most later discovery
 //! methods extend (CTANE, PFD mining, FFD mining, …).
+//!
+//! This implementation is the repo's flagship *parallel* lattice walk:
+//! each level's candidate nodes are evaluated concurrently on the
+//! work-stealing pool (`deptree_core::engine::pool`) against a shared
+//! [`PartitionCache`], with node/row budget *reserved* per batch so the
+//! emitted dependency set — including the anytime prefix under an
+//! exhausted budget — is bit-identical at every thread count (see
+//! `Exec::try_reserve_nodes`). Candidate verdicts are merged in canonical
+//! lattice order, and the final FD list is sorted, so output order never
+//! depends on scheduling.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::Fd;
-use deptree_relation::{AttrSet, Relation, StrippedPartition};
-use std::collections::HashMap;
+use deptree_relation::{AttrSet, PartitionCache, Relation};
+use std::collections::{HashMap, HashSet};
 
 /// Configuration for [`discover`].
 #[derive(Debug, Clone)]
@@ -32,10 +42,14 @@ impl Default for TaneConfig {
 pub struct TaneStats {
     /// Lattice nodes visited.
     pub nodes_visited: usize,
-    /// Partition products computed.
+    /// Partition products computed (lattice nodes materialized).
     pub partition_products: usize,
     /// FDs emitted.
     pub fds_found: usize,
+    /// Partition-cache hits over the whole run.
+    pub cache_hits: u64,
+    /// Partition-cache misses over the whole run.
+    pub cache_misses: u64,
 }
 
 /// The result of a TANE run.
@@ -48,34 +62,60 @@ pub struct TaneResult {
     pub stats: TaneStats,
 }
 
-/// Run TANE on `r` to completion (no resource limits).
+/// Run TANE on `r` to completion (no resource limits). Thread count comes
+/// from the `DEPTREE_THREADS` environment default.
 pub fn discover(r: &Relation, cfg: &TaneConfig) -> TaneResult {
     discover_bounded(r, cfg, &Exec::unbounded()).result
 }
 
-/// Run TANE on `r` under `exec`'s budget.
+/// Run TANE on `r` under `exec`'s budget, with `exec.threads()` workers
+/// and a run-private partition cache (capacity = the budget's
+/// partition-memory cap, when set).
 ///
 /// Anytime contract: every FD in the result holds on `r` (with
 /// `g3 ≤ max_error` in approximate mode) even when the run was stopped
 /// early — FDs are only emitted after their partition check passes. What
 /// an exhausted run forfeits is *completeness*: unvisited lattice nodes
 /// may hide further (and, for FDs whose minimality pruning depended on
-/// them, smaller) dependencies.
+/// them, smaller) dependencies. Under node/row budgets the anytime prefix
+/// is additionally *deterministic across thread counts*; deadline and
+/// memory budgets cut off at a timing-dependent point by nature.
 pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<TaneResult> {
+    let cache = match exec.budget().max_partition_bytes {
+        Some(cap) => PartitionCache::with_capacity_bytes(cap),
+        None => PartitionCache::new(),
+    };
+    discover_with_cache(r, cfg, exec, &cache)
+}
+
+/// [`discover_bounded`] against a caller-provided [`PartitionCache`],
+/// sharing interned partitions with other discovery runs over the same
+/// relation (the CLI's `profile` pipelines do this). The cache must only
+/// hold partitions of `r`.
+pub fn discover_with_cache(
+    r: &Relation,
+    cfg: &TaneConfig,
+    exec: &Exec,
+    cache: &PartitionCache,
+) -> Outcome<TaneResult> {
     let n_attrs = r.n_attrs();
     let all = r.all_attrs();
     let approx = cfg.max_error > 0.0;
+    let threads = exec.threads();
     let mut stats = TaneStats::default();
     let mut fds = Vec::new();
+    let cache_hits0 = cache.hits();
+    let cache_misses0 = cache.misses();
 
-    // Partitions per lattice node, kept for the current and next level.
-    let mut partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
-    partitions.insert(AttrSet::empty(), StrippedPartition::identity(r.n_rows()));
+    // Materialize the base partitions (π_∅ is implicit in the cache).
     for a in r.schema().ids() {
-        let p = StrippedPartition::from_column(r, a);
-        exec.alloc_partition(p.approx_bytes());
+        let (p, delta) = cache.get_or_compute(r, AttrSet::single(a));
+        exec.free_partition(delta.evicted_bytes);
+        if delta.inserted_bytes > 0 {
+            exec.alloc_partition(delta.inserted_bytes);
+        }
         exec.tick_rows(r.n_rows() as u64);
-        partitions.insert(AttrSet::single(a), p);
+        drop(p);
     }
 
     // C+ candidate RHS sets per node.
@@ -87,39 +127,56 @@ pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<
     for &x in &level {
         cplus.insert(x, all);
     }
+    // The previous level's node sets, releasable after the next one is
+    // generated (singletons are kept for approximate checks).
+    let mut prev_level: Vec<AttrSet> = Vec::new();
 
     let mut depth = 1usize;
     'search: while !level.is_empty() && depth <= cfg.max_lhs.saturating_add(1).min(n_attrs) {
-        // compute_dependencies
-        for &x in &level {
-            if !exec.tick_node() {
-                break 'search;
+        // compute_dependencies: reserve the level's node budget up front,
+        // evaluate the granted prefix in parallel, merge in lattice order.
+        let granted = exec.try_reserve_nodes(level.len() as u64) as usize;
+        let batch = &level[..granted];
+        let verdicts: Vec<(AttrSet, AttrSet)> = pool::map(threads, batch, |_, &x| {
+            if exec.interrupted() {
+                // Deadline/cancellation fired mid-batch: stop evaluating.
+                // (Deterministic budgets — nodes/rows/memory — never abort
+                // the granted batch; it runs to completion so the output
+                // is identical at every thread count.)
+                return (AttrSet::empty(), AttrSet::empty());
             }
-            stats.nodes_visited += 1;
-            // C+(X) = ∩_{A ∈ X} C+(X \ {A})
+            // C+(X) = ∩_{A ∈ X} C+(X \ {A}) — reads only previous-level
+            // entries, all inserted before this batch was dispatched.
             let mut cx = all;
             for a in x.iter() {
-                if let Some(&c) = cplus.get(&x.remove(a)) {
-                    cx = cx.intersect(c);
-                } else {
-                    cx = AttrSet::empty();
+                match cplus.get(&x.remove(a)) {
+                    Some(&c) => cx = cx.intersect(c),
+                    None => cx = AttrSet::empty(),
                 }
             }
+            let mut valid = AttrSet::empty();
             for a in x.intersect(cx).iter() {
                 let lhs = x.remove(a);
-                let (Some(px), Some(pxa)) = (partitions.get(&lhs), partitions.get(&x)) else {
-                    continue;
-                };
-                let valid = if approx {
-                    let Some(pa) = partitions.get(&AttrSet::single(a)) else {
-                        continue;
-                    };
-                    px.g3_error(pa) <= cfg.max_error
+                let (px, _) = cache.get_or_compute(r, lhs);
+                let holds = if approx {
+                    let (pa, _) = cache.get_or_compute(r, AttrSet::single(a));
+                    px.g3_error(&pa) <= cfg.max_error
                 } else {
-                    px.refines(pxa)
+                    let (pxa, _) = cache.get_or_compute(r, x);
+                    px.refines(&pxa)
                 };
-                if valid {
-                    fds.push(Fd::new(r.schema(), lhs, AttrSet::single(a)));
+                if holds {
+                    valid = valid.insert(a);
+                }
+            }
+            (cx, valid)
+        });
+        for (&x, &(cx0, valid)) in batch.iter().zip(&verdicts) {
+            stats.nodes_visited += 1;
+            let mut cx = cx0;
+            for a in x.intersect(cx0).iter() {
+                if valid.contains(a) {
+                    fds.push(Fd::new(r.schema(), x.remove(a), AttrSet::single(a)));
                     cx = cx.remove(a);
                     // Remove all B ∈ R \ X from C+(X): no FD with a larger
                     // RHS candidate through this node stays minimal.
@@ -129,6 +186,9 @@ pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<
                 }
             }
             cplus.insert(x, cx);
+        }
+        if granted < level.len() {
+            break 'search;
         }
 
         // prune
@@ -140,7 +200,7 @@ pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<
             }
             // Key pruning: if X is a (super)key, emit X → A for remaining
             // candidates outside X and stop expanding.
-            if !approx && partitions.get(&x).is_some_and(|p| p.error() == 0) {
+            if !approx && cache.get_or_compute(r, x).0.error() == 0 {
                 if x.len() <= cfg.max_lhs {
                     for a in cx.difference(x).iter() {
                         // TANE's minimality condition for key-derived FDs:
@@ -162,66 +222,61 @@ pub fn discover_bounded(r: &Relation, cfg: &TaneConfig, exec: &Exec) -> Outcome<
         }
         level = survivors;
 
-        // generate_next_level: join nodes sharing a (|X|−1)-prefix.
-        let mut next: Vec<AttrSet> = Vec::new();
-        let mut seen: HashMap<AttrSet, ()> = HashMap::new();
+        // generate_next_level: join nodes sharing a (|X|−1)-prefix. The
+        // union list is assembled serially (cheap bitset algebra), the
+        // partition products are computed in parallel through the shared
+        // cache, and budget charges replay serially in canonical order so
+        // row/memory exhaustion cuts at the same union at every thread
+        // count.
+        let mut unions: Vec<AttrSet> = Vec::new();
+        let mut seen: HashSet<AttrSet> = HashSet::new();
         for i in 0..level.len() {
             for j in (i + 1)..level.len() {
-                let a = level[i];
-                let b = level[j];
-                let union = a.union(b);
-                if union.len() != depth + 1 || seen.contains_key(&union) {
+                let union = level[i].union(level[j]);
+                if union.len() != depth + 1 || !seen.insert(union) {
                     continue;
                 }
                 // All |X|−1 subsets must survive in the current (pruned)
                 // level for the node to be generable — children of pruned
                 // nodes are implied or hopeless (standard TANE test).
                 let all_parents = union.iter().all(|c| level.contains(&union.remove(c)));
-                if !all_parents {
-                    continue;
-                }
-                seen.insert(union, ());
-                let (Some(pa), Some(pb)) = (partitions.get(&a), partitions.get(&b)) else {
-                    continue;
-                };
-                stats.partition_products += 1;
-                let prod = pa.product(pb);
-                let live = exec.tick_rows(prod.n_rows() as u64)
-                    && exec.alloc_partition(prod.approx_bytes());
-                partitions.insert(union, prod);
-                cplus.entry(union).or_insert(all);
-                next.push(union);
-                if !live {
-                    // Memory/row budget hit while materializing the next
-                    // level: stop generating, process nothing further.
-                    next.clear();
-                    break 'search;
+                if all_parents {
+                    unions.push(union);
                 }
             }
         }
-
-        // Drop partitions of the completed level that the next level no
-        // longer needs (keep singletons for approximate checks).
-        if depth > 1 {
-            let keep: Vec<AttrSet> = next
-                .iter()
-                .flat_map(|x| x.iter().map(move |a| x.remove(a)))
-                .collect();
-            partitions.retain(|k, p| {
-                let kept = k.len() != depth - 1 || keep.contains(k) || k.len() <= 1;
-                if !kept {
-                    exec.free_partition(p.approx_bytes());
-                }
-                kept
-            });
+        let deltas = pool::map(threads, &unions, |_, &u| cache.get_or_compute(r, u).1);
+        let mut next: Vec<AttrSet> = Vec::with_capacity(unions.len());
+        for (&union, delta) in unions.iter().zip(&deltas) {
+            stats.partition_products += 1;
+            exec.free_partition(delta.evicted_bytes);
+            let live = exec.tick_rows(r.n_rows() as u64)
+                && (delta.inserted_bytes == 0 || exec.alloc_partition(delta.inserted_bytes));
+            cplus.entry(union).or_insert(all);
+            next.push(union);
+            if !live {
+                // Memory/row budget hit while materializing the next
+                // level: stop generating, process nothing further.
+                next.clear();
+                break 'search;
+            }
         }
 
+        // Release partitions of the level before last — the next level no
+        // longer needs them as parents (keep singletons for approximate
+        // checks and cross-run sharing).
+        for &s in prev_level.iter().filter(|s| s.len() > 1) {
+            exec.free_partition(cache.remove(s));
+        }
+        prev_level = std::mem::take(&mut level);
         level = next;
         depth += 1;
     }
 
     fds.sort_by_key(|fd| (fd.lhs().len(), fd.lhs(), fd.rhs()));
     stats.fds_found = fds.len();
+    stats.cache_hits = cache.hits().saturating_sub(cache_hits0);
+    stats.cache_misses = cache.misses().saturating_sub(cache_misses0);
     exec.finish(TaneResult { fds, stats })
 }
 
@@ -393,6 +448,52 @@ mod tests {
         assert!(out.complete);
         assert_eq!(out.exhausted, None);
         assert!(out.stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let cfg = CategoricalConfig {
+            n_rows: 250,
+            n_key_attrs: 2,
+            n_dep_attrs: 3,
+            domain: 6,
+            error_rate: 0.05,
+            seed: 13,
+        };
+        let data = categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let r = &data.relation;
+        let names = |res: &TaneResult| res.fds.iter().map(|f| f.to_string()).collect::<Vec<_>>();
+        let serial = discover_bounded(
+            r,
+            &TaneConfig::default(),
+            &Exec::unbounded().with_threads(1),
+        );
+        for threads in [2, 4, 8] {
+            let par = discover_bounded(
+                r,
+                &TaneConfig::default(),
+                &Exec::unbounded().with_threads(threads),
+            );
+            assert_eq!(
+                names(&serial.result),
+                names(&par.result),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuses_partitions_across_runs() {
+        let r = hotels_r5();
+        let cache = PartitionCache::new();
+        let first = discover_with_cache(&r, &TaneConfig::default(), &Exec::unbounded(), &cache);
+        let warm = discover_with_cache(&r, &TaneConfig::default(), &Exec::unbounded(), &cache);
+        let names = |res: &TaneResult| res.fds.iter().map(|f| f.to_string()).collect::<Vec<_>>();
+        assert_eq!(names(&first.result), names(&warm.result));
+        // The warm run found every partition it asked for in the cache...
+        // except the intermediates the first run released level-by-level.
+        assert!(warm.result.stats.cache_hits > 0);
+        assert!(warm.result.stats.cache_misses <= first.result.stats.cache_misses);
     }
 
     #[test]

@@ -151,6 +151,16 @@ impl AttrSet {
         }
     }
 
+    /// Largest member, if any.
+    #[inline]
+    pub fn max(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(AttrId(63 - self.0.leading_zeros() as usize))
+        }
+    }
+
     /// Render as `{a, b, c}` using names from `schema`.
     pub fn display<'a>(&self, schema: &'a Schema) -> AttrSetDisplay<'a> {
         AttrSetDisplay { set: *self, schema }
@@ -275,7 +285,10 @@ mod tests {
         assert_eq!(s.to_vec(), vec![AttrId(1), AttrId(4), AttrId(7)]);
         assert_eq!(s.iter().len(), 3);
         assert_eq!(s.min(), Some(AttrId(1)));
+        assert_eq!(s.max(), Some(AttrId(7)));
         assert_eq!(AttrSet::empty().min(), None);
+        assert_eq!(AttrSet::empty().max(), None);
+        assert_eq!(AttrSet::full(64).max(), Some(AttrId(63)));
     }
 
     #[test]

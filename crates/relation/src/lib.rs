@@ -12,6 +12,9 @@
 //!   distinct-counting helpers;
 //! * [`StrippedPartition`] — equivalence-class partitions with the product
 //!   operation, the core data structure of partition-based discovery;
+//! * [`PartitionCache`] — a sharded, memoized, LRU-bounded interner of
+//!   stripped partitions shared across lattice levels, dependency classes
+//!   and worker threads;
 //! * [`examples`] — the running example instances of the survey (Tables 1,
 //!   5, 6 and 7), reproduced verbatim so that every worked computation in
 //!   the paper can be checked as a unit test.
@@ -20,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 mod attrset;
+mod cache;
 mod csv;
 pub mod examples;
 mod partition;
@@ -28,8 +32,9 @@ mod schema;
 mod value;
 
 pub use attrset::AttrSet;
+pub use cache::{CacheDelta, PartitionCache};
 pub use csv::{parse_csv, parse_csv_lossy, to_csv, CsvError, LossyCsv, ParseIssue};
-pub use partition::StrippedPartition;
+pub use partition::{ProductScratch, StrippedPartition};
 pub use relation::{Relation, RelationBuilder, RelationError};
 pub use schema::{AttrId, Attribute, Schema, ValueType};
 pub use value::{Value, F64};

@@ -118,29 +118,75 @@ impl StrippedPartition {
     /// Partition product: `π_self · π_other = π_{X ∪ Y}`.
     ///
     /// Linear in `‖π_self‖` using the probe-table scheme from the TANE
-    /// paper.
+    /// paper. Allocates fresh scratch buffers; the hot paths of the
+    /// lattice miners should prefer [`StrippedPartition::product_with`],
+    /// which reuses one [`ProductScratch`] across calls.
     pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        self.product_with(other, &mut ProductScratch::new())
+    }
+
+    /// [`StrippedPartition::product`] with caller-owned scratch buffers.
+    ///
+    /// The product sits in the innermost loop of every lattice miner —
+    /// one per generated lattice node — and the naive formulation
+    /// reallocates an `n_rows`-sized probe table plus hash buckets per
+    /// call. This variant keeps both in `scratch`: the probe table is
+    /// grown once and selectively reset (only rows actually labelled are
+    /// touched), and bucket vectors are recycled. Results are identical
+    /// to [`StrippedPartition::product`].
+    pub fn product_with(
+        &self,
+        other: &StrippedPartition,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
         assert_eq!(
             self.n_rows, other.n_rows,
             "partition product over different relations"
         );
-        // probe[row] = index of the other-partition class containing row.
-        let mut probe: Vec<Option<u32>> = vec![None; self.n_rows];
+        // probe[row] = label of the other-partition class containing row,
+        // or NO_LABEL. Grow once; stale entries from earlier calls were
+        // reset via the touched list before the previous call returned.
+        const NO_LABEL: u32 = u32::MAX;
+        if scratch.probe.len() < self.n_rows {
+            scratch.probe.resize(self.n_rows, NO_LABEL);
+        }
+        scratch.touched.clear();
         for (i, cls) in other.classes.iter().enumerate() {
             for &row in cls {
-                probe[row] = Some(i as u32);
+                scratch.probe[row] = i as u32;
+                scratch.touched.push(row);
             }
         }
         let mut out: Vec<Vec<usize>> = Vec::new();
-        let mut buckets: HashMap<u32, Vec<usize>> = HashMap::new();
         for cls in &self.classes {
-            buckets.clear();
             for &row in cls {
-                if let Some(label) = probe[row] {
-                    buckets.entry(label).or_default().push(row);
+                let label = scratch.probe[row];
+                if label == NO_LABEL {
+                    continue;
+                }
+                while scratch.buckets.len() <= label as usize {
+                    scratch.buckets.push(Vec::new());
+                }
+                let bucket = &mut scratch.buckets[label as usize];
+                if bucket.is_empty() {
+                    scratch.used_labels.push(label);
+                }
+                bucket.push(row);
+            }
+            for &label in &scratch.used_labels {
+                let bucket = &mut scratch.buckets[label as usize];
+                if bucket.len() >= 2 {
+                    out.push(std::mem::take(bucket));
+                } else {
+                    bucket.clear();
                 }
             }
-            out.extend(buckets.drain().map(|(_, v)| v).filter(|v| v.len() >= 2));
+            scratch.used_labels.clear();
+        }
+        // Reset only the probe entries this call labelled, so the next
+        // call starts clean without an O(n_rows) wipe.
+        for &row in &scratch.touched {
+            scratch.probe[row] = NO_LABEL;
         }
         Self::from_groups(out, self.n_rows)
     }
@@ -194,6 +240,31 @@ impl StrippedPartition {
             violations += cls.len() - max_keep;
         }
         violations
+    }
+}
+
+/// Reusable scratch buffers for [`StrippedPartition::product_with`].
+///
+/// One scratch per thread of execution: the parallel lattice executors
+/// give each pool worker its own (see `PartitionCache`), and serial
+/// callers keep one per run. Memory grows to the largest product computed
+/// and is then recycled for every subsequent call.
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    /// Row → other-partition class label (`u32::MAX` = unlabelled).
+    probe: Vec<u32>,
+    /// Rows labelled by the current call, for selective reset.
+    touched: Vec<usize>,
+    /// Recycled per-label row buckets.
+    buckets: Vec<Vec<usize>>,
+    /// Labels with a non-empty bucket for the class being split.
+    used_labels: Vec<u32>,
+}
+
+impl ProductScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        ProductScratch::default()
     }
 }
 
@@ -309,6 +380,33 @@ mod tests {
         let super_key = StrippedPartition::from_attrs(&r, r.all_attrs());
         // {a,b,c} is not a key: rows 0 and 1 are full duplicates.
         assert_eq!(super_key.error(), 1);
+    }
+
+    #[test]
+    fn product_scratch_reuse_matches_fresh_products() {
+        // One scratch across many products of different shapes and row
+        // counts must give bit-identical results to fresh computations.
+        let r = rel();
+        let s = r.schema();
+        let pa = StrippedPartition::from_column(&r, s.id("a"));
+        let pb = StrippedPartition::from_column(&r, s.id("b"));
+        let pc = StrippedPartition::from_column(&r, s.id("c"));
+        let id5 = StrippedPartition::identity(r.n_rows());
+        let tiny = StrippedPartition::from_labels(&["x", "x", "y"]);
+        let tiny2 = StrippedPartition::from_labels(&[1, 2, 2]);
+        let mut scratch = ProductScratch::new();
+        for (x, y) in [
+            (&pa, &pb),
+            (&pb, &pa),
+            (&pa, &pc),
+            (&pc, &pb),
+            (&id5, &pa),
+            (&tiny, &tiny2),
+            (&tiny2, &tiny),
+            (&pa, &pa),
+        ] {
+            assert_eq!(x.product_with(y, &mut scratch), x.product(y));
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 #      crates with `-D warnings`    `expect`) are denied in library code:
 #      plus unwrap/expect denied    fallible paths must return
 #                                   `DeptreeError`, not abort;
-#   3. tier-1: release build + the root test binaries.
+#   3. tier-1: release build + the root test binaries, run twice — once
+#      serial (DEPTREE_THREADS=1) and once on an 8-worker pool
+#      (DEPTREE_THREADS=8) — so the thread-count-independence contract of
+#      the parallel miners is exercised on every gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,7 +28,10 @@ cargo clippy --workspace --lib --quiet -- \
 echo "== tier-1: build =="
 cargo build --release --quiet
 
-echo "== tier-1: tests =="
-cargo test -q
+echo "== tier-1: tests (serial, DEPTREE_THREADS=1) =="
+DEPTREE_THREADS=1 cargo test -q
+
+echo "== tier-1: tests (parallel, DEPTREE_THREADS=8) =="
+DEPTREE_THREADS=8 cargo test -q
 
 echo "ci: all green"

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]
-//!                            [--timeout-ms MS] [--max-nodes N] [--lossy]
+//!                            [--timeout-ms MS] [--max-nodes N] [--threads T] [--lossy]
 //! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--lossy]
 //! deptree repair  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--out repaired.csv]
-//!                            [--timeout-ms MS] [--max-nodes N] [--lossy]
+//!                            [--timeout-ms MS] [--max-nodes N] [--threads T] [--lossy]
 //! deptree tree
 //! ```
 //!
@@ -21,6 +21,13 @@
 //! exits with a distinct status so scripts can tell "done" from
 //! "truncated". Exit codes: 0 success, 1 usage, 2 I/O, 3 parse,
 //! 4 relation, 5 config, 6 budget exhausted, 7 cancelled, 8 unsupported.
+//!
+//! ## Parallelism
+//!
+//! `--threads T` runs the discovery searches on `T` worker threads
+//! (default: the `DEPTREE_THREADS` environment variable, else 1). Results
+//! are identical at every thread count — parallelism changes wall-clock
+//! time, never output.
 
 use deptree::core::engine::{Budget, BudgetKind, Exec};
 use deptree::core::{Dependency, DeptreeError, Fd};
@@ -58,10 +65,12 @@ fn main() -> ExitCode {
             esay!();
             esay!("usage:");
             esay!("  deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]");
-            esay!("                             [--timeout-ms MS] [--max-nodes N] [--lossy]");
+            esay!("                             [--timeout-ms MS] [--max-nodes N] [--threads T]");
+            esay!("                             [--lossy]");
             esay!("  deptree detect  <file.csv> --rule \"a, b -> c\" [--types ...] [--lossy]");
             esay!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
-            esay!("                             [--timeout-ms MS] [--max-nodes N] [--lossy]");
+            esay!("                             [--timeout-ms MS] [--max-nodes N] [--threads T]");
+            esay!("                             [--lossy]");
             esay!("  deptree tree");
             ExitCode::FAILURE
         }
@@ -127,6 +136,18 @@ fn budget(args: &[String]) -> Result<Budget, CliError> {
     Ok(b)
 }
 
+/// Worker-thread count: `--threads` wins, else the `DEPTREE_THREADS`
+/// environment default (else 1). Zero is clamped up to one worker.
+fn threads(args: &[String]) -> Result<usize, CliError> {
+    match flag(args, "--threads") {
+        Some(t) => {
+            let t: usize = t.parse().map_err(|_| usage("bad --threads"))?;
+            Ok(t.max(1))
+        }
+        None => Ok(deptree::core::engine::default_threads()),
+    }
+}
+
 fn load(args: &[String]) -> Result<Relation, CliError> {
     let path = args
         .iter()
@@ -189,6 +210,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
         .transpose()?
         .unwrap_or(0.0);
     let budget = budget(args)?;
+    let threads = threads(args)?;
     let mut exhausted: Option<BudgetKind> = None;
 
     say!("{} rows × {} columns", r.n_rows(), r.n_attrs());
@@ -199,7 +221,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     } else {
         "exact FDs"
     };
-    let exec = Exec::new(budget.clone());
+    let exec = Exec::new(budget.clone()).with_threads(threads);
     let t = tane::discover_bounded(
         &r,
         &tane::TaneConfig {
@@ -243,7 +265,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
         .filter(|(_, a)| a.ty == ValueType::Numeric)
         .count();
     if numeric >= 2 {
-        let exec = Exec::new(budget.clone());
+        let exec = Exec::new(budget.clone()).with_threads(threads);
         let ods = od::discover_bounded(&r, &od::OdConfig::default(), &exec);
         exhausted = exhausted.or(ods.exhausted);
         say!(
@@ -259,7 +281,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
             say!("  {o}");
         }
         if r.n_rows() <= 500 || !budget.is_unlimited() {
-            let exec = Exec::new(budget.clone());
+            let exec = Exec::new(budget.clone()).with_threads(threads);
             let d = dc::discover_bounded(&r, &dc::DcConfig::default(), &exec);
             exhausted = exhausted.or(d.exhausted);
             say!(
@@ -309,7 +331,7 @@ fn detect(args: &[String]) -> Result<(), CliError> {
 fn repair_cmd(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
     let fd = parse_rule(args, &r)?;
-    let exec = Exec::new(budget(args)?);
+    let exec = Exec::new(budget(args)?).with_threads(threads(args)?);
     let out_come = repair::repair_fds_bounded(&r, std::slice::from_ref(&fd), 10, &exec);
     let result = &out_come.result;
     say!(

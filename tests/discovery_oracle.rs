@@ -1,0 +1,212 @@
+//! Differential oracle for FD/AFD discovery.
+//!
+//! A brute-force oracle enumerates *every* candidate `X → A` with
+//! `|X| ≤ 3` and decides it directly from stripped partitions — no
+//! lattice pruning, no candidate propagation, nothing shared with the
+//! miners under test. TANE and FastFD must reproduce the oracle's minimal
+//! cover exactly, serially and at every thread count, on the paper's
+//! built-in tables and on seeded synthetic relations.
+
+mod common;
+
+use deptree::core::engine::Exec;
+use deptree::core::Fd;
+use deptree::discovery::{fastfd, tane};
+use deptree::relation::examples::{hotels_r1, hotels_r5, hotels_r6, hotels_r7};
+use deptree::relation::{AttrSet, Relation, StrippedPartition};
+use deptree::synth::{categorical, CategoricalConfig};
+
+const MAX_LHS: usize = 3;
+
+/// All attribute subsets of size ≤ `max`, smallest first.
+fn subsets(all: AttrSet, max: usize) -> Vec<AttrSet> {
+    let attrs = all.to_vec();
+    let mut out: Vec<AttrSet> = (0..1u64 << attrs.len())
+        .map(|mask| {
+            attrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &a)| a)
+                .collect()
+        })
+        .filter(|s: &AttrSet| s.len() <= max)
+        .collect();
+    out.sort_by_key(|s| (s.len(), *s));
+    out
+}
+
+/// Brute-force minimal dependencies with `g3 ≤ max_error` and `|X| ≤ 3`,
+/// rendered in the miners' display form for comparison. The decision for
+/// each candidate comes straight from `g3` over materialized partitions
+/// (`g3 = 0` ⟺ the FD holds exactly); minimality re-tests every proper
+/// subset the same way. `X = ∅` is included — an empty LHS determines
+/// exactly the constant columns.
+fn oracle(r: &Relation, max_error: f64) -> Vec<String> {
+    let all = r.all_attrs();
+    let sets = subsets(all, MAX_LHS);
+    let parts: Vec<(AttrSet, StrippedPartition)> = sets
+        .iter()
+        .map(|&s| (s, StrippedPartition::from_attrs(r, s)))
+        .collect();
+    let holds = |lhs: AttrSet, rhs: AttrSet| -> bool {
+        let px = parts
+            .iter()
+            .find(|(s, _)| *s == lhs)
+            .map(|(_, p)| p)
+            .expect("subset enumerated");
+        let pa = StrippedPartition::from_attrs(r, rhs);
+        px.g3_error(&pa) <= max_error
+    };
+    let mut out = Vec::new();
+    for &lhs in &sets {
+        for a in all.difference(lhs).iter() {
+            let rhs = AttrSet::single(a);
+            if !holds(lhs, rhs) {
+                continue;
+            }
+            let minimal = lhs.iter().all(|b| !holds(lhs.remove(b), rhs));
+            if minimal {
+                out.push(Fd::new(r.schema(), lhs, rhs).to_string());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn tane_fds(r: &Relation, max_error: f64, threads: usize) -> Vec<String> {
+    let cfg = tane::TaneConfig {
+        max_lhs: MAX_LHS,
+        max_error,
+    };
+    let out = tane::discover_bounded(r, &cfg, &Exec::unbounded().with_threads(threads));
+    assert!(out.complete, "unbounded run must complete");
+    let mut v: Vec<String> = out.result.fds.iter().map(|f| f.to_string()).collect();
+    v.sort();
+    v
+}
+
+fn fastfd_fds(r: &Relation, threads: usize) -> Vec<String> {
+    let out = fastfd::discover_bounded(r, &Exec::unbounded().with_threads(threads));
+    assert!(out.complete, "unbounded run must complete");
+    let mut v: Vec<String> = out
+        .result
+        .fds
+        .iter()
+        .filter(|f| f.lhs().len() <= MAX_LHS)
+        .map(|f| f.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+fn check_exact(r: &Relation, label: &str) {
+    let want = oracle(r, 0.0);
+    for threads in [1, 8] {
+        assert_eq!(
+            tane_fds(r, 0.0, threads),
+            want,
+            "{label}: TANE vs oracle at {threads} thread(s)"
+        );
+        assert_eq!(
+            fastfd_fds(r, threads),
+            want,
+            "{label}: FastFD vs oracle at {threads} thread(s)"
+        );
+    }
+}
+
+fn synthetic(seed: u64, n_rows: usize, error_rate: f64) -> Relation {
+    let cfg = CategoricalConfig {
+        n_rows,
+        n_key_attrs: 2,
+        n_dep_attrs: 3,
+        domain: 6,
+        error_rate,
+        seed,
+    };
+    categorical::generate(&cfg, &mut deptree::synth::rng(seed)).relation
+}
+
+#[test]
+fn oracle_agrees_on_paper_tables() {
+    for (label, r) in [
+        ("r1", hotels_r1()),
+        ("r5", hotels_r5()),
+        ("r6", hotels_r6()),
+        ("r7", hotels_r7()),
+    ] {
+        check_exact(&r, label);
+    }
+}
+
+#[test]
+fn oracle_agrees_on_seeded_synthetics() {
+    for (i, &(seed, rows, err)) in [
+        (11u64, 60usize, 0.0f64),
+        (23, 90, 0.05),
+        (37, 120, 0.0),
+        (59, 150, 0.1),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let r = synthetic(seed, rows, err);
+        check_exact(&r, &format!("synthetic #{i} (seed {seed})"));
+    }
+}
+
+#[test]
+fn oracle_agrees_on_random_small_relations() {
+    let mut rng = deptree::synth::rng(0xD1FF);
+    for case in 0..32 {
+        let r = common::small_relation(&mut rng);
+        if r.n_rows() == 0 {
+            continue;
+        }
+        check_exact(&r, &format!("small case {case}"));
+    }
+}
+
+#[test]
+fn afd_oracle_agrees_with_approximate_tane() {
+    // AFDs: g3 ≤ ε, still minimal-LHS. FastFD has no approximate mode, so
+    // only TANE is differential here.
+    for (label, r, eps) in [
+        ("r1 ε=0.2", hotels_r1(), 0.2),
+        ("r5 ε=0.25", hotels_r5(), 0.25),
+        ("r6 ε=0.1", hotels_r6(), 0.1),
+        ("synthetic ε=0.05", synthetic(101, 200, 0.02), 0.05),
+    ] {
+        let want = oracle(&r, eps);
+        for threads in [1, 8] {
+            assert_eq!(
+                tane_fds(&r, eps, threads),
+                want,
+                "{label}: approximate TANE vs oracle at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn g3_is_monotone_in_lhs_growth() {
+    // The property the AFD oracle's minimality definition rests on:
+    // growing the LHS never increases g3.
+    let r = synthetic(7, 100, 0.1);
+    let all = r.all_attrs();
+    for lhs in subsets(all, MAX_LHS) {
+        for a in all.difference(lhs).iter() {
+            let pa = StrippedPartition::from_attrs(&r, AttrSet::single(a));
+            let base = StrippedPartition::from_attrs(&r, lhs).g3_error(&pa);
+            for b in all.difference(lhs.insert(a)).iter() {
+                let grown = StrippedPartition::from_attrs(&r, lhs.insert(b)).g3_error(&pa);
+                assert!(
+                    grown <= base + 1e-12,
+                    "g3 grew: {lhs:?}+{b:?} -> {a:?} ({grown} > {base})"
+                );
+            }
+        }
+    }
+}

@@ -328,3 +328,93 @@ mod numeric {
         }
     }
 }
+
+/// [`PartitionCache`] invariants under random workloads: a hit is
+/// bit-identical to a fresh computation, the reported byte deltas account
+/// exactly for the resident estimate, and LRU eviction under capacity
+/// pressure is invisible to callers.
+mod partition_cache {
+    use super::*;
+    use deptree::relation::{CacheDelta, PartitionCache};
+
+    /// A random (possibly empty) attribute subset of `r`.
+    fn random_set(rng: &mut Rng, r: &Relation) -> AttrSet {
+        AttrSet::from_bits(rng.random_range(0..(1u64 << r.n_attrs())))
+    }
+
+    /// Every lookup — first (miss) and second (hit) — equals a fresh
+    /// from-scratch partition computation.
+    #[test]
+    fn hit_equals_fresh_computation() {
+        for (mut rng, case) in cases(20) {
+            let r = small_relation(&mut rng);
+            let cache = PartitionCache::new();
+            for _ in 0..12 {
+                let set = random_set(&mut rng, &r);
+                let fresh = StrippedPartition::from_attrs(&r, set);
+                let (miss, _) = cache.get_or_compute(&r, set);
+                assert_eq!(*miss, fresh, "case {case}: miss differs for {set:?}");
+                let (hit, d) = cache.get_or_compute(&r, set);
+                assert_eq!(*hit, fresh, "case {case}: hit differs for {set:?}");
+                assert_eq!(d, CacheDelta::default(), "case {case}: hit charged bytes");
+            }
+        }
+    }
+
+    /// Replaying every reported delta (inserted − evicted − removed)
+    /// reproduces `mem_estimate` exactly, and the running ledger never
+    /// goes negative — the accounting a miner charges to the engine's
+    /// memory budget is self-consistent at every step.
+    #[test]
+    fn delta_ledger_matches_mem_estimate() {
+        for (mut rng, case) in cases(21) {
+            let r = small_relation(&mut rng);
+            let cache = PartitionCache::new();
+            let mut ledger: i64 = 0;
+            for step in 0..40 {
+                let set = random_set(&mut rng, &r);
+                if rng.random_range(0..4u8) == 0 {
+                    ledger -= cache.remove(set) as i64;
+                } else {
+                    let (_, d) = cache.get_or_compute(&r, set);
+                    ledger += d.inserted_bytes as i64;
+                    ledger -= d.evicted_bytes as i64;
+                }
+                assert!(ledger >= 0, "case {case} step {step}: negative ledger");
+                assert_eq!(
+                    ledger as u64,
+                    cache.mem_estimate(),
+                    "case {case} step {step}: ledger drifted from mem_estimate"
+                );
+            }
+            ledger -= cache.clear() as i64;
+            assert_eq!(ledger, 0, "case {case}: clear() released a different total");
+            assert_eq!(cache.mem_estimate(), 0, "case {case}");
+        }
+    }
+
+    /// A capacity-starved cache (constant eviction churn) returns the same
+    /// partition as an unbounded one and as a fresh computation, across a
+    /// long random access sequence.
+    #[test]
+    fn eviction_never_changes_results() {
+        for (mut rng, case) in cases(22) {
+            let r = small_relation(&mut rng);
+            // Tiny capacity: essentially every multi-attribute insert
+            // triggers eviction; singletons stay pinned.
+            let tight = PartitionCache::with_capacity_bytes(rng.random_range(1..256u64));
+            let roomy = PartitionCache::new();
+            for _ in 0..30 {
+                let set = random_set(&mut rng, &r);
+                let (a, _) = tight.get_or_compute(&r, set);
+                let (b, _) = roomy.get_or_compute(&r, set);
+                assert_eq!(*a, *b, "case {case}: eviction changed {set:?}");
+                assert_eq!(
+                    *a,
+                    StrippedPartition::from_attrs(&r, set),
+                    "case {case}: cached result differs from fresh for {set:?}"
+                );
+            }
+        }
+    }
+}
