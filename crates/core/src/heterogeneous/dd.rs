@@ -3,6 +3,7 @@
 use crate::dep::{DepKind, Dependency, Violation};
 use crate::heterogeneous::Ned;
 use deptree_metrics::{DistRange, Metric};
+use deptree_relation::pairgen::{self, PairSpec};
 use deptree_relation::{AttrId, AttrSet, Relation, Schema};
 use std::fmt;
 
@@ -54,6 +55,35 @@ impl DiffAtom {
     /// discovery (§3.3.3).
     pub fn subsumes(&self, other: &DiffAtom) -> bool {
         self.attr == other.attr && self.metric == other.metric && other.range.implies(&self.range)
+    }
+
+    /// Candidate-generation spec: a superset of the atom's compatible pairs.
+    ///
+    /// Sound because `dist ∈ [min, max] ⟹ dist ≤ max` and
+    /// `Metric::pair_spec` is complete for `dist ≤ max`; dissimilarity lower
+    /// bounds are left to verification, and an unbounded range degrades to
+    /// the full scan.
+    pub fn pair_spec(&self) -> (AttrId, PairSpec) {
+        let max = self.range.max();
+        let spec = if max.is_infinite() {
+            PairSpec::All
+        } else {
+            self.metric.pair_spec(max)
+        };
+        (self.attr, spec)
+    }
+
+    /// The spec when it is *equivalent* to the atom (an exactly countable
+    /// similarity range `[0, max]`), else `None`.
+    fn exact_spec(&self) -> Option<(AttrId, PairSpec)> {
+        if self.range.min() != 0.0 {
+            return None;
+        }
+        let (attr, spec) = self.pair_spec();
+        match spec {
+            PairSpec::Eq | PairSpec::Band(_) | PairSpec::Empty => Some((attr, spec)),
+            PairSpec::Edit(_) | PairSpec::All => None,
+        }
     }
 }
 
@@ -120,7 +150,59 @@ impl Dd {
     /// `(support, confidence)` over all pairs, as used by DD discovery:
     /// pairs matching the LHS, and the fraction of those satisfying the
     /// RHS.
+    ///
+    /// Similarity-range conjunctions are counted analytically when possible;
+    /// otherwise candidates from the most selective LHS index are verified.
+    /// Equals [`Dd::support_confidence_naive`] either way.
     pub fn support_confidence(&self, r: &Relation) -> (usize, f64) {
+        let counted = (|| {
+            let lhs_specs: Vec<_> = self
+                .lhs
+                .iter()
+                .map(DiffAtom::exact_spec)
+                .collect::<Option<_>>()?;
+            let rhs_specs: Vec<_> = self
+                .rhs
+                .iter()
+                .map(DiffAtom::exact_spec)
+                .collect::<Option<_>>()?;
+            let mut both = lhs_specs.clone();
+            both.extend(rhs_specs);
+            Some((
+                pairgen::count_pairs(r, &lhs_specs)?,
+                pairgen::count_pairs(r, &both)?,
+            ))
+        })();
+        let (matched, ok) = match counted {
+            Some((m, s)) => (m as usize, s as usize),
+            None => {
+                let specs: Vec<_> = self.lhs.iter().map(DiffAtom::pair_spec).collect();
+                let idx = pairgen::best_index(r, &specs);
+                let mut m = 0usize;
+                let mut s = 0usize;
+                idx.for_each_candidate(|i, j| {
+                    if self.lhs_compatible(r, i, j) {
+                        m += 1;
+                        if self.rhs_compatible(r, i, j) {
+                            s += 1;
+                        }
+                    }
+                    true
+                });
+                (m, s)
+            }
+        };
+        let conf = if matched == 0 {
+            1.0
+        } else {
+            ok as f64 / matched as f64
+        };
+        (matched, conf)
+    }
+
+    /// Reference full-scan implementation of [`Dd::support_confidence`];
+    /// kept as the differential-test and benchmark baseline.
+    pub fn support_confidence_naive(&self, r: &Relation) -> (usize, f64) {
         let mut matched = 0usize;
         let mut ok = 0usize;
         for (i, j) in r.row_pairs() {
@@ -146,24 +228,34 @@ impl Dependency for Dd {
     }
 
     fn holds(&self, r: &Relation) -> bool {
-        r.row_pairs()
-            .all(|(i, j)| !self.lhs_compatible(r, i, j) || self.rhs_compatible(r, i, j))
+        let specs: Vec<_> = self.lhs.iter().map(DiffAtom::pair_spec).collect();
+        let idx = pairgen::best_index(r, &specs);
+        idx.for_each_candidate(|i, j| !self.lhs_compatible(r, i, j) || self.rhs_compatible(r, i, j))
     }
 
     fn violations(&self, r: &Relation) -> Vec<Violation> {
-        let mut out = Vec::new();
-        for (i, j) in r.row_pairs() {
+        let specs: Vec<_> = self.lhs.iter().map(DiffAtom::pair_spec).collect();
+        let idx = pairgen::best_index(r, &specs);
+        let mut found: Vec<(usize, usize)> = Vec::new();
+        idx.for_each_candidate(|i, j| {
             if self.lhs_compatible(r, i, j) && !self.rhs_compatible(r, i, j) {
+                found.push((i, j));
+            }
+            true
+        });
+        found.sort_unstable();
+        found
+            .into_iter()
+            .map(|(i, j)| {
                 let bad: AttrSet = self
                     .rhs
                     .iter()
                     .filter(|a| !a.compatible(r, i, j))
                     .map(|a| a.attr)
                     .collect();
-                out.push(Violation::pair(i, j, bad));
-            }
-        }
-        out
+                Violation::pair(i, j, bad)
+            })
+            .collect()
     }
 }
 

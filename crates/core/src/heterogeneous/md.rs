@@ -79,10 +79,44 @@ impl Md {
     }
 
     /// All LHS-similar pairs — the candidates a record matcher identifies.
+    ///
+    /// Enumerates candidates from the most selective similarity index of the
+    /// LHS (equality blocking / band join / q-gram filter) and verifies each
+    /// against the exact metrics; the result is identical to
+    /// [`Md::matching_pairs_naive`].
     pub fn matching_pairs(&self, r: &Relation) -> Vec<(usize, usize)> {
+        let idx = crate::pairs::best_index(r, &self.lhs);
+        let mut out = Vec::new();
+        idx.for_each_candidate(|i, j| {
+            if self.lhs_similar(r, i, j) {
+                out.push((i, j));
+            }
+            true
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Reference full-scan implementation of [`Md::matching_pairs`]; kept as
+    /// the differential-test and benchmark baseline.
+    pub fn matching_pairs_naive(&self, r: &Relation) -> Vec<(usize, usize)> {
         r.row_pairs()
             .filter(|&(i, j)| self.lhs_similar(r, i, j))
             .collect()
+    }
+
+    /// Visit LHS-similar pairs in the candidate index's deterministic order
+    /// (unsorted), stopping early when `f` returns `false`; returns `false`
+    /// iff stopped.  Streams — nothing is materialized.
+    pub fn for_each_matching(&self, r: &Relation, mut f: impl FnMut(usize, usize) -> bool) -> bool {
+        let idx = crate::pairs::best_index(r, &self.lhs);
+        idx.for_each_candidate(|i, j| {
+            if self.lhs_similar(r, i, j) {
+                f(i, j)
+            } else {
+                true
+            }
+        })
     }
 
     /// Syntactic deduction (the reasoning mechanism of §3.7.4): does this
@@ -104,7 +138,52 @@ impl Md {
     /// `(support, confidence)` as used by MD discovery (§3.7.3): support is
     /// the fraction of pairs that are LHS-similar, confidence the fraction
     /// of those already identified on `Y`.
+    ///
+    /// When the LHS is a conjunction of equality atoms plus at most one
+    /// numeric band, both counts are computed analytically (grouping + a
+    /// two-pointer band sweep) without touching a single pair; otherwise
+    /// candidates from the most selective index are verified.  Either way
+    /// the result equals [`Md::support_confidence_naive`].
     pub fn support_confidence(&self, r: &Relation) -> (f64, f64) {
+        let n = r.n_rows() as u64;
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        if n_pairs == 0 {
+            return (0.0, 1.0);
+        }
+        let counted = match (
+            crate::pairs::count_matching(r, &self.lhs),
+            crate::pairs::count_matching_agreeing(r, &self.lhs, self.rhs),
+        ) {
+            (Some(m), Some(id)) => Some((m, id)),
+            _ => None,
+        };
+        let (matched, identified) = counted.unwrap_or_else(|| {
+            let idx = crate::pairs::best_index(r, &self.lhs);
+            let mut m = 0u64;
+            let mut id = 0u64;
+            idx.for_each_candidate(|i, j| {
+                if self.lhs_similar(r, i, j) {
+                    m += 1;
+                    if r.rows_agree(i, j, self.rhs) {
+                        id += 1;
+                    }
+                }
+                true
+            });
+            (m, id)
+        });
+        let support = matched as f64 / n_pairs as f64;
+        let confidence = if matched == 0 {
+            1.0
+        } else {
+            identified as f64 / matched as f64
+        };
+        (support, confidence)
+    }
+
+    /// Reference full-scan implementation of [`Md::support_confidence`];
+    /// kept as the differential-test and benchmark baseline.
+    pub fn support_confidence_naive(&self, r: &Relation) -> (f64, f64) {
         let n_pairs = r.n_rows() * r.n_rows().saturating_sub(1) / 2;
         if n_pairs == 0 {
             return (0.0, 1.0);
@@ -135,23 +214,31 @@ impl Dependency for Md {
     }
 
     fn holds(&self, r: &Relation) -> bool {
-        r.row_pairs()
-            .all(|(i, j)| !self.lhs_similar(r, i, j) || r.rows_agree(i, j, self.rhs))
+        let idx = crate::pairs::best_index(r, &self.lhs);
+        idx.for_each_candidate(|i, j| !self.lhs_similar(r, i, j) || r.rows_agree(i, j, self.rhs))
     }
 
     fn violations(&self, r: &Relation) -> Vec<Violation> {
-        let mut out = Vec::new();
-        for (i, j) in r.row_pairs() {
+        let idx = crate::pairs::best_index(r, &self.lhs);
+        let mut found: Vec<(usize, usize)> = Vec::new();
+        idx.for_each_candidate(|i, j| {
             if self.lhs_similar(r, i, j) && !r.rows_agree(i, j, self.rhs) {
+                found.push((i, j));
+            }
+            true
+        });
+        found.sort_unstable();
+        found
+            .into_iter()
+            .map(|(i, j)| {
                 let bad: AttrSet = self
                     .rhs
                     .iter()
                     .filter(|&a| r.value(i, a) != r.value(j, a))
                     .collect();
-                out.push(Violation::pair(i, j, bad));
-            }
-        }
-        out
+                Violation::pair(i, j, bad)
+            })
+            .collect()
     }
 }
 
@@ -319,5 +406,65 @@ mod tests {
         let r = hotels_r6();
         let s = r.schema();
         Md::new(s, vec![], AttrSet::single(s.id("zip")));
+    }
+
+    #[test]
+    fn indexed_paths_match_naive() {
+        let r6 = hotels_r6();
+        let s6 = r6.schema();
+        let r1 = hotels_r1();
+        let s1 = r1.schema();
+        let cases = vec![
+            (&r6, md1(&r6)),
+            (
+                &r6,
+                Md::new(
+                    s6,
+                    vec![(s6.id("region"), Metric::Equality, 0.0)],
+                    AttrSet::single(s6.id("zip")),
+                ),
+            ),
+            (
+                &r6,
+                Md::new(
+                    s6,
+                    vec![(s6.id("name"), Metric::JaroWinkler, 0.3)],
+                    AttrSet::single(s6.id("region")),
+                ),
+            ),
+            (
+                &r1,
+                Md::new(
+                    s1,
+                    vec![(s1.id("address"), Metric::Levenshtein, 4.0)],
+                    AttrSet::single(s1.id("region")),
+                ),
+            ),
+        ];
+        {
+            for (r, md) in &cases {
+                let r = (*r).clone();
+                assert_eq!(md.matching_pairs(&r), md.matching_pairs_naive(&r), "{md}");
+                assert_eq!(
+                    md.support_confidence(&r),
+                    md.support_confidence_naive(&r),
+                    "{md}"
+                );
+                let naive_viols: Vec<Violation> = r
+                    .row_pairs()
+                    .filter(|&(i, j)| md.lhs_similar(&r, i, j) && !r.rows_agree(i, j, md.rhs()))
+                    .map(|(i, j)| {
+                        let bad: AttrSet = md
+                            .rhs()
+                            .iter()
+                            .filter(|&a| r.value(i, a) != r.value(j, a))
+                            .collect();
+                        Violation::pair(i, j, bad)
+                    })
+                    .collect();
+                assert_eq!(md.violations(&r), naive_viols, "{md}");
+                assert_eq!(md.holds(&r), naive_viols.is_empty(), "{md}");
+            }
+        }
     }
 }

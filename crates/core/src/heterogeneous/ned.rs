@@ -106,11 +106,59 @@ impl Ned {
         self.rhs.iter().all(|a| a.agrees(r, t1, t2))
     }
 
+    fn atoms_as_tuples(atoms: &[NedAtom]) -> Vec<crate::pairs::MetricAtom> {
+        atoms
+            .iter()
+            .map(|a| (a.attr, a.metric.clone(), a.threshold))
+            .collect()
+    }
+
     /// Support and confidence over all pairs: how many pairs match the LHS,
     /// and what fraction of those also satisfy the RHS. NED discovery
     /// searches for predicates with sufficient support and confidence
     /// (§3.2.3).
+    ///
+    /// Counts analytically (grouping / band sweep) when both the LHS and the
+    /// LHS∧RHS conjunctions are countable; otherwise verifies candidates
+    /// from the most selective LHS index.  Equals
+    /// [`Ned::support_confidence_naive`] either way.
     pub fn support_confidence(&self, r: &Relation) -> (usize, f64) {
+        let lhs_atoms = Self::atoms_as_tuples(&self.lhs);
+        let mut both_atoms = lhs_atoms.clone();
+        both_atoms.extend(Self::atoms_as_tuples(&self.rhs));
+        let counted = match (
+            crate::pairs::count_matching(r, &lhs_atoms),
+            crate::pairs::count_matching(r, &both_atoms),
+        ) {
+            (Some(m), Some(s)) => Some((m as usize, s as usize)),
+            _ => None,
+        };
+        let (matched, satisfied) = counted.unwrap_or_else(|| {
+            let idx = crate::pairs::best_index(r, &lhs_atoms);
+            let mut m = 0usize;
+            let mut s = 0usize;
+            idx.for_each_candidate(|i, j| {
+                if self.lhs_agrees(r, i, j) {
+                    m += 1;
+                    if self.rhs_agrees(r, i, j) {
+                        s += 1;
+                    }
+                }
+                true
+            });
+            (m, s)
+        });
+        let conf = if matched == 0 {
+            1.0
+        } else {
+            satisfied as f64 / matched as f64
+        };
+        (matched, conf)
+    }
+
+    /// Reference full-scan implementation of [`Ned::support_confidence`];
+    /// kept as the differential-test and benchmark baseline.
+    pub fn support_confidence_naive(&self, r: &Relation) -> (usize, f64) {
         let mut matched = 0usize;
         let mut satisfied = 0usize;
         for (i, j) in r.row_pairs() {
@@ -136,24 +184,32 @@ impl Dependency for Ned {
     }
 
     fn holds(&self, r: &Relation) -> bool {
-        r.row_pairs()
-            .all(|(i, j)| !self.lhs_agrees(r, i, j) || self.rhs_agrees(r, i, j))
+        let idx = crate::pairs::best_index(r, &Self::atoms_as_tuples(&self.lhs));
+        idx.for_each_candidate(|i, j| !self.lhs_agrees(r, i, j) || self.rhs_agrees(r, i, j))
     }
 
     fn violations(&self, r: &Relation) -> Vec<Violation> {
-        let mut out = Vec::new();
-        for (i, j) in r.row_pairs() {
+        let idx = crate::pairs::best_index(r, &Self::atoms_as_tuples(&self.lhs));
+        let mut found: Vec<(usize, usize)> = Vec::new();
+        idx.for_each_candidate(|i, j| {
             if self.lhs_agrees(r, i, j) && !self.rhs_agrees(r, i, j) {
+                found.push((i, j));
+            }
+            true
+        });
+        found.sort_unstable();
+        found
+            .into_iter()
+            .map(|(i, j)| {
                 let bad: AttrSet = self
                     .rhs
                     .iter()
                     .filter(|a| !a.agrees(r, i, j))
                     .map(|a| a.attr)
                     .collect();
-                out.push(Violation::pair(i, j, bad));
-            }
-        }
-        out
+                Violation::pair(i, j, bad)
+            })
+            .collect()
     }
 }
 
@@ -257,5 +313,40 @@ mod tests {
             vec![NedAtom::new(s.id("price"), Metric::AbsDiff, 50.0)],
         );
         assert!(!tight.holds(&r));
+    }
+
+    #[test]
+    fn indexed_support_matches_naive() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let neds = vec![
+            ned1(&r),
+            Ned::new(
+                s,
+                vec![NedAtom::new(s.id("region"), Metric::Equality, 0.0)],
+                vec![NedAtom::new(s.id("price"), Metric::AbsDiff, 100.0)],
+            ),
+            Ned::new(
+                s,
+                vec![],
+                vec![NedAtom::new(s.id("price"), Metric::AbsDiff, 50.0)],
+            ),
+            Ned::new(
+                s,
+                vec![NedAtom::new(s.id("name"), Metric::JaroWinkler, 0.4)],
+                vec![NedAtom::new(s.id("street"), Metric::Levenshtein, 5.0)],
+            ),
+        ];
+        for n in &neds {
+            assert_eq!(
+                n.support_confidence(&r),
+                n.support_confidence_naive(&r),
+                "{n}"
+            );
+            let naive_holds = r
+                .row_pairs()
+                .all(|(i, j)| !n.lhs_agrees(&r, i, j) || n.rhs_agrees(&r, i, j));
+            assert_eq!(n.holds(&r), naive_holds, "{n}");
+        }
     }
 }

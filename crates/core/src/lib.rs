@@ -40,6 +40,7 @@ pub mod familytree;
 pub mod heterogeneous;
 pub mod numerical;
 pub mod op;
+pub mod pairs;
 pub mod uncertain;
 
 pub use dep::{DepKind, Dependency, Violation};

@@ -99,6 +99,66 @@ impl Od {
     pub fn pair_ok(&self, r: &Relation, t1: usize, t2: usize) -> bool {
         !Self::precedes(r, t1, t2, &self.lhs) || Self::precedes(r, t1, t2, &self.rhs)
     }
+
+    /// `O(n log n)` check for the single-atom case `A^da → B^db`.
+    ///
+    /// Sort rows by `A` in the marked direction.  Within a run of
+    /// `A`-equal rows both pair orientations fire the premise, forcing
+    /// numeric `B`-equality; across runs `A` strictly precedes, so `B`
+    /// must be monotone in the marked direction — and since `numeric_cmp`
+    /// is a total order, checking consecutive run representatives suffices
+    /// by transitivity.  Returns `None` when either side is compound.
+    fn holds_sorted(&self, r: &Relation) -> Option<bool> {
+        let &[(a, da)] = &self.lhs[..] else {
+            return None;
+        };
+        let &[(b, db)] = &self.rhs[..] else {
+            return None;
+        };
+        let ca = r.column(a);
+        let cb = r.column(b);
+        let n = r.n_rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&i, &j| {
+            let ord = ca[i].numeric_cmp(&ca[j]);
+            match da {
+                Direction::Asc => ord,
+                Direction::Desc => ord.reverse(),
+            }
+        });
+        let mut start = 0;
+        let mut prev_rep: Option<usize> = None;
+        while start < n {
+            let head = order[start];
+            let mut end = start + 1;
+            while end < n && ca[head].numeric_cmp(&ca[order[end]]) == Ordering::Equal {
+                if cb[head].numeric_cmp(&cb[order[end]]) != Ordering::Equal {
+                    return Some(false);
+                }
+                end += 1;
+            }
+            if let Some(p) = prev_rep {
+                let ord = cb[p].numeric_cmp(&cb[head]);
+                let ok = match db {
+                    Direction::Asc => ord != Ordering::Greater,
+                    Direction::Desc => ord != Ordering::Less,
+                };
+                if !ok {
+                    return Some(false);
+                }
+            }
+            prev_rep = Some(head);
+            start = end;
+        }
+        Some(true)
+    }
+
+    /// Reference all-pairs check; kept as the differential-test baseline
+    /// for the sorted fast path of [`Dependency::holds`].
+    pub fn holds_naive(&self, r: &Relation) -> bool {
+        r.row_pairs()
+            .all(|(i, j)| self.pair_ok(r, i, j) && self.pair_ok(r, j, i))
+    }
 }
 
 impl Dependency for Od {
@@ -107,11 +167,18 @@ impl Dependency for Od {
     }
 
     fn holds(&self, r: &Relation) -> bool {
-        r.row_pairs()
-            .all(|(i, j)| self.pair_ok(r, i, j) && self.pair_ok(r, j, i))
+        match self.holds_sorted(r) {
+            Some(ans) => ans,
+            None => self.holds_naive(r),
+        }
     }
 
     fn violations(&self, r: &Relation) -> Vec<Violation> {
+        // On clean single-atom data the sorted check settles it in
+        // O(n log n); the pair scan only runs when violations exist.
+        if self.holds_sorted(r) == Some(true) {
+            return Vec::new();
+        }
         let rhs_attrs: AttrSet = self.rhs.iter().map(|(a, _)| *a).collect();
         let mut out = Vec::new();
         for (i, j) in r.row_pairs() {
@@ -214,5 +281,33 @@ mod tests {
     fn direction_reverse() {
         assert_eq!(Direction::Asc.reverse(), Direction::Desc);
         assert_eq!(Direction::Desc.reverse(), Direction::Asc);
+    }
+
+    #[test]
+    fn sorted_check_matches_naive_on_all_single_atom_ods() {
+        // Every (A^da → B^db) combination over r7 and perturbations of it:
+        // the sorted fast path must agree with the all-pairs check.
+        let base = hotels_r7();
+        let s = base.schema().clone();
+        let mut variants = vec![base.clone()];
+        for row in 0..base.n_rows() {
+            let mut v = base.clone();
+            let attr = s.ids().nth(row % s.len()).expect("attr");
+            let donor = (row + 1) % base.n_rows();
+            v.set_value(row, attr, base.value(donor, attr).clone());
+            variants.push(v);
+        }
+        for r in &variants {
+            for a in s.ids() {
+                for b in s.ids() {
+                    for da in [Direction::Asc, Direction::Desc] {
+                        for db in [Direction::Asc, Direction::Desc] {
+                            let od = Od::new(&s, vec![(a, da)], vec![(b, db)]);
+                            assert_eq!(od.holds(r), od.holds_naive(r), "{od}");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! variant A-FASTDC.
 
 use crate::cover::{minimal_hitting_sets, minimal_hitting_sets_bounded};
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::{CmpOp, Dc, Predicate};
 use deptree_relation::{AttrId, Relation, ValueType};
 use std::collections::HashMap;
@@ -97,6 +97,94 @@ pub fn evidence_sets_bounded(
                 }
             }
             *evidence.entry(bits).or_default() += 1;
+        }
+    }
+    stats.n_evidence_sets = evidence.len();
+    (evidence, complete)
+}
+
+/// Blocked evidence-set construction: group rows into distinct-tuple
+/// classes first, evaluate predicates once per ordered class pair, and
+/// account each result with the class-product multiplicity. An evidence
+/// bitset is a pure function of the two tuples' values, so rows within a
+/// class are interchangeable and the multiset equals [`evidence_sets`]'s
+/// exactly — in `O(d²·|P|)` for `d` distinct tuples instead of
+/// `O(n²·|P|)`. This is the default path of [`discover_bounded`].
+///
+/// Budgeted like [`evidence_sets_bounded`]: every *represented* ordered
+/// pair costs one engine row tick (`Σ = n(n−1)` when complete, matching
+/// the naive scan). Ticks are charged block-by-block — one block per left
+/// class, granted as a serial prefix so the grant is identical at any
+/// thread count — then blocks are evaluated in parallel and merged in
+/// class order. An incomplete multiset under-constrains covers, so
+/// callers must validate candidate DCs before emitting them.
+pub fn evidence_sets_blocked(
+    r: &Relation,
+    preds: &[Predicate],
+    stats: &mut FastDcStats,
+    exec: &Exec,
+) -> (HashMap<u64, usize>, bool) {
+    assert!(preds.len() <= 64, "predicate space capped at 64 bits");
+    let mut classes: Vec<Vec<usize>> = r.group_by(r.all_attrs()).into_values().collect();
+    for c in &mut classes {
+        c.sort_unstable();
+    }
+    classes.sort_unstable();
+    // Serial prefix grant: block b covers the intra pairs of class b plus
+    // both orientations against every later class.
+    let mut granted = 0usize;
+    let mut complete = true;
+    for (b, c1) in classes.iter().enumerate() {
+        let s1 = c1.len();
+        let later: usize = classes[b + 1..].iter().map(Vec::len).sum();
+        let cost = s1 * (s1 - 1) + 2 * s1 * later;
+        if !exec.tick_rows(cost as u64) {
+            complete = false;
+            break;
+        }
+        granted = b + 1;
+    }
+    let blocks: Vec<usize> = (0..granted).collect();
+    let results = pool::map(exec.threads(), &blocks, |_, &b| {
+        if exec.interrupted() {
+            return None;
+        }
+        let bits = |i: usize, j: usize| -> u64 {
+            let mut bits = 0u64;
+            for (k, p) in preds.iter().enumerate() {
+                if p.eval(r, i, j) {
+                    bits |= 1 << k;
+                }
+            }
+            bits
+        };
+        let c1 = &classes[b];
+        let rep1 = c1[0];
+        let s1 = c1.len();
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        if s1 > 1 {
+            // All intra-class ordered pairs relate identical tuples and
+            // share one evidence set.
+            out.push((bits(rep1, c1[1]), s1 * (s1 - 1)));
+        }
+        for c2 in &classes[b + 1..] {
+            let mult = s1 * c2.len();
+            out.push((bits(rep1, c2[0]), mult));
+            out.push((bits(c2[0], rep1), mult));
+        }
+        Some(out)
+    });
+    let mut evidence: HashMap<u64, usize> = HashMap::new();
+    for block in results {
+        let Some(entries) = block else {
+            // Deadline/cancel hit mid-batch; everything merged so far came
+            // from fully evaluated blocks, so it stays.
+            complete = false;
+            break;
+        };
+        for (bits, mult) in entries {
+            stats.pairs_evaluated += mult;
+            *evidence.entry(bits).or_default() += mult;
         }
     }
     stats.n_evidence_sets = evidence.len();
@@ -210,7 +298,7 @@ pub fn discover_bounded(r: &Relation, cfg: &DcConfig, exec: &Exec) -> Outcome<Fa
         n_predicates: preds.len(),
         ..Default::default()
     };
-    let (evidence, evidence_complete) = evidence_sets_bounded(r, &preds, &mut stats, exec);
+    let (evidence, evidence_complete) = evidence_sets_blocked(r, &preds, &mut stats, exec);
     let full: u64 = if preds.len() == 64 {
         u64::MAX
     } else {
@@ -566,6 +654,44 @@ mod tests {
             let naive = evidence_sets(&r, &preds, &mut s1);
             let grouped = evidence_sets_grouped(&r, &preds, &mut s2);
             assert_eq!(naive, grouped);
+            assert_eq!(s1.pairs_evaluated, s2.pairs_evaluated);
+        }
+    }
+
+    #[test]
+    fn blocked_evidence_equals_naive() {
+        use deptree_synth::{categorical, CategoricalConfig};
+        // Small-domain synthetics have many duplicate tuples, exercising
+        // the multiplicity accounting; a duplicated-row instance makes the
+        // intra-class branch explicit.
+        let cfg = CategoricalConfig {
+            n_rows: 40,
+            n_key_attrs: 2,
+            n_dep_attrs: 1,
+            domain: 3,
+            error_rate: 0.1,
+            seed: 9,
+        };
+        let mut b = RelationBuilder::new()
+            .attr("x", ValueType::Numeric)
+            .attr("y", ValueType::Numeric);
+        for i in 0..12 {
+            b = b.row(vec![(i % 3).into(), (i % 2).into()]);
+        }
+        let relations = [
+            hotels_r7(),
+            categorical::generate(&cfg, &mut deptree_synth::rng(cfg.seed)).relation,
+            b.build().unwrap(),
+        ];
+        for r in relations {
+            let preds = predicate_space(&r);
+            let mut s1 = FastDcStats::default();
+            let mut s2 = FastDcStats::default();
+            let naive = evidence_sets(&r, &preds, &mut s1);
+            let (blocked, complete) =
+                evidence_sets_blocked(&r, &preds, &mut s2, &Exec::unbounded());
+            assert!(complete);
+            assert_eq!(naive, blocked);
             assert_eq!(s1.pairs_evaluated, s2.pairs_evaluated);
         }
     }

@@ -31,14 +31,34 @@ impl Default for DdConfig {
     }
 }
 
+/// Row cap for threshold derivation: relations larger than this use a
+/// deterministic strided sample of rows, bounding the distance
+/// distribution pass at `O(SAMPLE²)` instead of `O(n²)`. The sample is a
+/// pure function of `n_rows`, so every discovery path (naive or indexed)
+/// derives identical thresholds.
+const THRESHOLD_SAMPLE_ROWS: usize = 512;
+
 /// Candidate thresholds for `attr`: distinct quantiles of the observed
 /// pairwise distances (the data-driven threshold determination step).
+/// On relations above [`THRESHOLD_SAMPLE_ROWS`] rows the distribution is
+/// taken over a deterministic strided row sample.
 pub fn candidate_thresholds(r: &Relation, attr: AttrId, metric: &Metric, k: usize) -> Vec<f64> {
-    let mut dists: Vec<f64> = r
-        .row_pairs()
-        .map(|(i, j)| metric.dist(r.value(i, attr), r.value(j, attr)))
-        .filter(|d| d.is_finite())
-        .collect();
+    let n = r.n_rows();
+    let sample: Vec<usize> = if n <= THRESHOLD_SAMPLE_ROWS {
+        (0..n).collect()
+    } else {
+        let stride = n / THRESHOLD_SAMPLE_ROWS;
+        (0..THRESHOLD_SAMPLE_ROWS).map(|i| i * stride).collect()
+    };
+    let mut dists: Vec<f64> = Vec::new();
+    for (si, &i) in sample.iter().enumerate() {
+        for &j in &sample[si + 1..] {
+            let d = metric.dist(r.value(i, attr), r.value(j, attr));
+            if d.is_finite() {
+                dists.push(d);
+            }
+        }
+    }
     if dists.is_empty() {
         return vec![0.0];
     }
@@ -61,10 +81,18 @@ pub fn discover(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
     discover_bounded(r, cfg, &Exec::unbounded()).result
 }
 
-/// Budgeted [`discover`]: one node tick per (LHS-combo, RHS) candidate and
-/// one row tick per pair scanned. The RHS bound of every emitted DD was
-/// computed from a *complete* pair scan (the candidate is skipped if the
-/// budget dies mid-scan), so partial results are sound.
+/// Budgeted [`discover`]: the row budget is charged up front per LHS
+/// combo (one tick per candidate pair the index will enumerate) and one
+/// node tick is charged per (LHS-combo, RHS) emission. The RHS bound of
+/// every emitted DD was computed from a *complete* candidate scan (the
+/// whole combo is dropped if its scan cannot be afforded), so partial
+/// results are sound.
+///
+/// Scoring runs one scan per LHS combo over the candidates of the most
+/// selective [`deptree_core::pairs::best_index`] for the combo's atoms,
+/// accumulating support plus the max RHS distance for *every* non-LHS
+/// attribute simultaneously (support depends only on the LHS, so it is
+/// shared). Output is identical to [`discover_naive`].
 pub fn discover_bounded(r: &Relation, cfg: &DdConfig, exec: &Exec) -> Outcome<Vec<Dd>> {
     let schema = r.schema();
     let attrs: Vec<AttrId> = schema.ids().collect();
@@ -94,6 +122,99 @@ pub fn discover_bounded(r: &Relation, cfg: &DdConfig, exec: &Exec) -> Outcome<Ve
             }
             combos = next;
         }
+        let rhs_attrs: Vec<AttrId> = attrs
+            .iter()
+            .copied()
+            .filter(|&a| !lhs_set.contains(a))
+            .collect();
+        for combo in combos {
+            let lhs: Vec<DiffAtom> = lhs_attrs
+                .iter()
+                .zip(&combo)
+                .map(|(&a, &t)| DiffAtom::at_most(a, metrics[a.0].clone(), t))
+                .collect();
+            let lhs_atoms: Vec<deptree_core::pairs::MetricAtom> = lhs_attrs
+                .iter()
+                .zip(&combo)
+                .map(|(&a, &t)| (a, metrics[a.0].clone(), t))
+                .collect();
+            let idx = deptree_core::pairs::best_index(r, &lhs_atoms);
+            if !exec.tick_rows(idx.n_candidates()) {
+                // A bound computed from a partial scan would be unsound;
+                // drop the whole combo and stop.
+                break 'search;
+            }
+            // Tightest valid RHS bound per attribute: max RHS distance
+            // over LHS-compatible pairs, accumulated in one pass.
+            let mut support = 0usize;
+            let mut max_rhs: Vec<f64> = vec![0.0; rhs_attrs.len()];
+            idx.for_each_candidate(|i, j| {
+                if lhs.iter().all(|atom| atom.compatible(r, i, j)) {
+                    support += 1;
+                    for (k, &b) in rhs_attrs.iter().enumerate() {
+                        let d = metrics[b.0].dist(r.value(i, b), r.value(j, b));
+                        max_rhs[k] = max_rhs[k].max(d);
+                    }
+                }
+                true
+            });
+            for (k, &rhs_attr) in rhs_attrs.iter().enumerate() {
+                if !exec.tick_node() {
+                    break 'search;
+                }
+                if support < cfg.min_support || !max_rhs[k].is_finite() {
+                    continue;
+                }
+                let cand = Dd::new(
+                    schema,
+                    lhs.clone(),
+                    vec![DiffAtom::new(
+                        rhs_attr,
+                        metrics[rhs_attr.0].clone(),
+                        DistRange::at_most(max_rhs[k]),
+                    )],
+                );
+                if !out.iter().any(|prev| subsumes(prev, &cand)) {
+                    out.retain(|prev| !subsumes(&cand, prev));
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    exec.finish(out)
+}
+
+/// Reference full-scan discovery: same search order, thresholds, and
+/// subsumption pruning as [`discover`], but every (LHS-combo, RHS)
+/// candidate is scored with an `O(n²)` pair scan. Kept as the
+/// differential-test and benchmark baseline for the indexed path.
+pub fn discover_naive(r: &Relation, cfg: &DdConfig) -> Vec<Dd> {
+    let schema = r.schema();
+    let attrs: Vec<AttrId> = schema.ids().collect();
+    let metrics: Vec<Metric> = attrs
+        .iter()
+        .map(|&a| Metric::default_for(schema.ty(a)))
+        .collect();
+    let thresholds: Vec<Vec<f64>> = attrs
+        .iter()
+        .map(|&a| candidate_thresholds(r, a, &metrics[a.0], cfg.thresholds_per_attr))
+        .collect();
+
+    let mut out: Vec<Dd> = Vec::new();
+    for lhs_set in crate::mvd_subsets(r.all_attrs(), cfg.max_lhs) {
+        let lhs_attrs = lhs_set.to_vec();
+        let mut combos: Vec<Vec<f64>> = vec![vec![]];
+        for &a in &lhs_attrs {
+            let mut next = Vec::new();
+            for c in &combos {
+                for &t in &thresholds[a.0] {
+                    let mut c2 = c.clone();
+                    c2.push(t);
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
         for combo in combos {
             let lhs: Vec<DiffAtom> = lhs_attrs
                 .iter()
@@ -104,21 +225,10 @@ pub fn discover_bounded(r: &Relation, cfg: &DdConfig, exec: &Exec) -> Outcome<Ve
                 if lhs_set.contains(rhs_attr) {
                     continue;
                 }
-                if !exec.tick_node() {
-                    break 'search;
-                }
-                // Tightest valid RHS bound: max RHS distance over
-                // LHS-compatible pairs.
                 let mut support = 0usize;
                 let mut max_rhs: f64 = 0.0;
                 for (i, j) in r.row_pairs() {
-                    if !exec.tick_rows(1) {
-                        // Bound computed from a partial scan would be
-                        // unsound; drop the candidate and stop.
-                        break 'search;
-                    }
-                    let compat = lhs.iter().all(|atom| atom.compatible(r, i, j));
-                    if compat {
+                    if lhs.iter().all(|atom| atom.compatible(r, i, j)) {
                         support += 1;
                         let d =
                             metrics[rhs_attr.0].dist(r.value(i, rhs_attr), r.value(j, rhs_attr));
@@ -144,7 +254,7 @@ pub fn discover_bounded(r: &Relation, cfg: &DdConfig, exec: &Exec) -> Outcome<Ve
             }
         }
     }
-    exec.finish(out)
+    out
 }
 
 /// Does `a` subsume `b`: same attributes, every `b`-LHS atom implies the
@@ -224,6 +334,25 @@ mod tests {
                 )],
             );
             assert!(!tighter.holds(&r), "σ not tight for {dd}");
+        }
+    }
+
+    #[test]
+    fn indexed_discovery_matches_naive() {
+        let r = hotels_r6();
+        let cfgs = [
+            DdConfig::default(),
+            DdConfig {
+                thresholds_per_attr: 3,
+                min_support: 1,
+                max_lhs: 1,
+            },
+        ];
+        for cfg in &cfgs {
+            let fast = discover(&r, cfg);
+            let slow = discover_naive(&r, cfg);
+            let render = |v: &[Dd]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>();
+            assert_eq!(render(&fast), render(&slow));
         }
     }
 

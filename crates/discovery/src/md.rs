@@ -2,10 +2,11 @@
 //! search over the similarity predicate space, relative candidate keys,
 //! and the greedy concise matching-key cover.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{pool, Exec, Outcome};
 use deptree_core::Md;
 use deptree_metrics::Metric;
 use deptree_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashSet;
 
 /// Configuration for [`discover`].
 #[derive(Debug, Clone)]
@@ -52,9 +53,15 @@ pub fn discover(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
     discover_bounded(r, rhs, cfg, &Exec::unbounded()).result
 }
 
-/// Budgeted [`discover`]: one node tick per threshold combination, row
-/// ticks for each support/confidence pair scan. MDs are emitted only
-/// after clearing both bars, so partial results are sound.
+/// Budgeted [`discover`]: one node tick plus a linear row charge per
+/// threshold combination (scoring is index-based, not a pair scan). MDs
+/// are emitted only after clearing both bars, so partial results are
+/// sound.
+///
+/// Combinations of one LHS attribute set are scored in parallel via
+/// `pool::map` (scoring is pure), with budget *reservation* up front and a
+/// serial in-order merge replaying the domination pruning — output is
+/// identical at any thread count, and equal to [`discover_naive`].
 pub fn discover_bounded(
     r: &Relation,
     rhs: AttrSet,
@@ -66,60 +73,114 @@ pub fn discover_bounded(
     let mut out: Vec<ScoredMd> = Vec::new();
     'search: for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
         let lhs_attrs = lhs_set.to_vec();
-        // Threshold combinations.
-        let thresholds: Vec<Vec<f64>> = lhs_attrs
-            .iter()
-            .map(|&a| {
-                crate::dd::candidate_thresholds(
-                    r,
-                    a,
-                    &Metric::default_for(schema.ty(a)),
-                    cfg.thresholds_per_attr,
-                )
-            })
-            .collect();
-        let mut combos: Vec<Vec<f64>> = vec![vec![]];
-        for t in &thresholds {
-            let mut next = Vec::new();
-            for c in &combos {
-                for &v in t {
-                    let mut c2 = c.clone();
-                    c2.push(v);
-                    next.push(c2);
+        let combos = threshold_combos(r, &lhs_attrs, cfg);
+        let n = r.n_rows() as u64;
+        let granted = exec.try_reserve_batch(combos.len() as u64, n.max(1)) as usize;
+        let scored: Vec<Option<ScoredMd>> =
+            pool::map(exec.threads(), &combos[..granted], |_, combo| {
+                if exec.interrupted() {
+                    return None;
                 }
-            }
-            combos = next;
+                let lhs: Vec<(AttrId, Metric, f64)> = lhs_attrs
+                    .iter()
+                    .zip(combo)
+                    .map(|(&a, &t)| (a, Metric::default_for(schema.ty(a)), t))
+                    .collect();
+                let md = Md::new(schema, lhs, rhs);
+                let (support, confidence) = md.support_confidence(r);
+                Some(ScoredMd {
+                    md,
+                    support,
+                    confidence,
+                })
+            });
+        for smd in scored {
+            let Some(smd) = smd else { break 'search };
+            merge_scored(&mut out, smd, cfg);
         }
-        for combo in combos {
-            let n = r.n_rows() as u64;
-            if !exec.tick_node() || !exec.tick_rows(n * n.saturating_sub(1) / 2) {
-                break 'search;
-            }
-            let lhs: Vec<(AttrId, Metric, f64)> = lhs_attrs
-                .iter()
-                .zip(&combo)
-                .map(|(&a, &t)| (a, Metric::default_for(schema.ty(a)), t))
-                .collect();
-            let md = Md::new(schema, lhs, rhs);
-            let (support, confidence) = md.support_confidence(r);
-            if support >= cfg.min_support && confidence >= cfg.min_confidence {
-                // RCK-style minimality: an already-found MD whose LHS uses
-                // a subset of attributes with looser-or-equal thresholds
-                // dominates this one (same rule, more matches).
-                let dominated = out.iter().any(|prev| dominates(&prev.md, &md));
-                if !dominated {
-                    out.retain(|prev| !dominates(&md, &prev.md));
-                    out.push(ScoredMd {
-                        md,
-                        support,
-                        confidence,
-                    });
-                }
-            }
+        if granted < combos.len() {
+            break 'search;
         }
     }
     out.sort_by(|a, b| b.support.total_cmp(&a.support));
     exec.finish(out)
+}
+
+/// Reference serial implementation scoring every combination with the
+/// full `O(n²)` pair scan; kept as the differential-test and benchmark
+/// baseline for [`discover`].
+pub fn discover_naive(r: &Relation, rhs: AttrSet, cfg: &MdConfig) -> Vec<ScoredMd> {
+    let schema = r.schema();
+    let candidates: Vec<AttrId> = schema.ids().filter(|a| !rhs.contains(*a)).collect();
+    let mut out: Vec<ScoredMd> = Vec::new();
+    for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
+        let lhs_attrs = lhs_set.to_vec();
+        for combo in &threshold_combos(r, &lhs_attrs, cfg) {
+            let lhs: Vec<(AttrId, Metric, f64)> = lhs_attrs
+                .iter()
+                .zip(combo)
+                .map(|(&a, &t)| (a, Metric::default_for(schema.ty(a)), t))
+                .collect();
+            let md = Md::new(schema, lhs, rhs);
+            let (support, confidence) = md.support_confidence_naive(r);
+            merge_scored(
+                &mut out,
+                ScoredMd {
+                    md,
+                    support,
+                    confidence,
+                },
+                cfg,
+            );
+        }
+    }
+    out.sort_by(|a, b| b.support.total_cmp(&a.support));
+    out
+}
+
+/// Threshold combinations (cartesian product of per-attribute candidate
+/// thresholds) for one LHS attribute set.
+fn threshold_combos(r: &Relation, lhs_attrs: &[AttrId], cfg: &MdConfig) -> Vec<Vec<f64>> {
+    let schema = r.schema();
+    let thresholds: Vec<Vec<f64>> = lhs_attrs
+        .iter()
+        .map(|&a| {
+            crate::dd::candidate_thresholds(
+                r,
+                a,
+                &Metric::default_for(schema.ty(a)),
+                cfg.thresholds_per_attr,
+            )
+        })
+        .collect();
+    let mut combos: Vec<Vec<f64>> = vec![vec![]];
+    for t in &thresholds {
+        let mut next = Vec::new();
+        for c in &combos {
+            for &v in t {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Serial merge step: keep `smd` only if it clears the bars and is not
+/// dominated; evict rules it dominates (RCK-style minimality — an MD
+/// whose LHS uses a subset of attributes with looser-or-equal thresholds
+/// matches strictly more pairs, making the tighter rule redundant).
+fn merge_scored(out: &mut Vec<ScoredMd>, smd: ScoredMd, cfg: &MdConfig) {
+    if smd.support < cfg.min_support || smd.confidence < cfg.min_confidence {
+        return;
+    }
+    if out.iter().any(|prev| dominates(&prev.md, &smd.md)) {
+        return;
+    }
+    out.retain(|prev| !dominates(&smd.md, &prev.md));
+    out.push(smd);
 }
 
 /// `a` dominates `b` when `a`'s LHS attributes ⊆ `b`'s with thresholds ≥
@@ -142,26 +203,36 @@ pub fn concise_matching_keys(
     same: &dyn Fn(usize, usize) -> bool,
     target_recall: f64,
 ) -> Vec<ScoredMd> {
-    let dup_pairs: Vec<(usize, usize)> = r.row_pairs().filter(|&(i, j)| same(i, j)).collect();
-    if dup_pairs.is_empty() {
+    // One O(1)-memory counting pass fixes the recall target; duplicate
+    // pairs are never materialized.  Gains stream each candidate's
+    // LHS-similar pairs out of its similarity index, so an MD's cost is
+    // proportional to its match count, not to n².
+    let mut total_dups = 0usize;
+    for (i, j) in r.row_pairs() {
+        if same(i, j) {
+            total_dups += 1;
+        }
+    }
+    if total_dups == 0 {
         return Vec::new();
     }
-    let target = (target_recall * dup_pairs.len() as f64).ceil() as usize;
-    let mut covered = vec![false; dup_pairs.len()];
-    let mut n_covered = 0usize;
+    let target = (target_recall * total_dups as f64).ceil() as usize;
+    let mut covered: HashSet<(usize, usize)> = HashSet::new();
     let mut picked = Vec::new();
     let mut remaining: Vec<&ScoredMd> = candidates.iter().collect();
-    while n_covered < target && !remaining.is_empty() {
+    while covered.len() < target && !remaining.is_empty() {
         // Greedy: the MD covering the most uncovered duplicate pairs.
         let (best_idx, best_gain) = remaining
             .iter()
             .enumerate()
             .map(|(idx, smd)| {
-                let gain = dup_pairs
-                    .iter()
-                    .enumerate()
-                    .filter(|(k, &(i, j))| !covered[*k] && smd.md.lhs_similar(r, i, j))
-                    .count();
+                let mut gain = 0usize;
+                smd.md.for_each_matching(r, |i, j| {
+                    if same(i, j) && !covered.contains(&(i, j)) {
+                        gain += 1;
+                    }
+                    true
+                });
                 (idx, gain)
             })
             .max_by_key(|&(_, gain)| gain)
@@ -170,12 +241,12 @@ pub fn concise_matching_keys(
             break;
         }
         let chosen = remaining.remove(best_idx);
-        for (k, &(i, j)) in dup_pairs.iter().enumerate() {
-            if !covered[k] && chosen.md.lhs_similar(r, i, j) {
-                covered[k] = true;
-                n_covered += 1;
+        chosen.md.for_each_matching(r, |i, j| {
+            if same(i, j) {
+                covered.insert((i, j));
             }
-        }
+            true
+        });
         picked.push(chosen.clone());
     }
     picked
@@ -205,6 +276,22 @@ mod tests {
         assert!(found
             .iter()
             .any(|smd| smd.md.lhs().iter().any(|(a, _, _)| *a == s.id("street"))));
+    }
+
+    #[test]
+    fn indexed_discovery_matches_naive() {
+        let r = hotels_r6();
+        let s = r.schema();
+        let rhs = AttrSet::single(s.id("zip"));
+        let cfg = MdConfig::default();
+        let fast = discover(&r, rhs, &cfg);
+        let naive = discover_naive(&r, rhs, &cfg);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert_eq!(a.md, b.md);
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.confidence, b.confidence);
+        }
     }
 
     #[test]

@@ -42,9 +42,11 @@ pub fn discover_lhs(r: &Relation, rhs: Vec<NedAtom>, cfg: &NedConfig) -> Option<
 }
 
 /// Budgeted [`discover_lhs`]: one node tick per beam expansion, row ticks
-/// for each scoring scan. The best rule found before exhaustion is
-/// returned (it has verified support/confidence), so partial results are
-/// sound.
+/// for each scoring scan (charged at the all-pairs worst case, though
+/// scoring itself runs through [`Ned::support_confidence`]'s indexed or
+/// analytic counting path and usually touches far fewer pairs). The best
+/// rule found before exhaustion is returned (it has verified
+/// support/confidence), so partial results are sound.
 pub fn discover_lhs_bounded(
     r: &Relation,
     rhs: Vec<NedAtom>,

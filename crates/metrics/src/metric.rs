@@ -1,6 +1,7 @@
 //! Per-attribute distance metrics.
 
 use crate::string;
+use deptree_relation::pairgen::PairSpec;
 use deptree_relation::{Value, ValueType};
 use std::fmt;
 use std::sync::Arc;
@@ -97,6 +98,57 @@ impl Metric {
     /// equal to 1 exactly when the distance is 0.
     pub fn similarity(&self, a: &Value, b: &Value) -> f64 {
         1.0 / (1.0 + self.dist(a, b))
+    }
+
+    /// The candidate-generation class of the predicate `dist(a, b) ≤ t`.
+    ///
+    /// Completeness contract: every value pair with distance ≤ `t` under this
+    /// metric matches the returned [`PairSpec`] (the spec may admit more —
+    /// candidates are verified against the exact metric).  Unindexable
+    /// metrics map to [`PairSpec::All`], the full-scan fallback; an
+    /// unsatisfiable threshold maps to [`PairSpec::Empty`].
+    pub fn pair_spec(&self, t: f64) -> PairSpec {
+        if t.is_nan() {
+            // dist ≤ NaN never holds
+            return PairSpec::Empty;
+        }
+        match self {
+            Metric::Equality => {
+                if t < 0.0 {
+                    PairSpec::Empty
+                } else if t < 1.0 {
+                    PairSpec::Eq
+                } else {
+                    // every pair, even unequal ones, sits within the threshold
+                    PairSpec::All
+                }
+            }
+            Metric::AbsDiff => {
+                if t < 0.0 {
+                    PairSpec::Empty
+                } else {
+                    PairSpec::Band(t)
+                }
+            }
+            Metric::Levenshtein => {
+                if t < 0.0 {
+                    PairSpec::Empty
+                } else if t >= usize::MAX as f64 {
+                    PairSpec::All
+                } else {
+                    PairSpec::Edit(t as usize)
+                }
+            }
+            Metric::JaroWinkler | Metric::QGram(_) => {
+                if t < 0.0 {
+                    PairSpec::Empty
+                } else {
+                    PairSpec::All
+                }
+            }
+            // a custom distance may return anything, including negatives
+            Metric::Custom(..) => PairSpec::All,
+        }
     }
 }
 
@@ -197,5 +249,20 @@ mod tests {
         );
         assert_eq!(Metric::default_for(ValueType::Text), Metric::Levenshtein);
         assert_eq!(Metric::default_for(ValueType::Numeric), Metric::AbsDiff);
+    }
+
+    #[test]
+    fn pair_specs_per_metric() {
+        assert_eq!(Metric::Equality.pair_spec(-0.5), PairSpec::Empty);
+        assert_eq!(Metric::Equality.pair_spec(0.0), PairSpec::Eq);
+        assert_eq!(Metric::Equality.pair_spec(0.9), PairSpec::Eq);
+        assert_eq!(Metric::Equality.pair_spec(1.0), PairSpec::All);
+        assert_eq!(Metric::AbsDiff.pair_spec(2.5), PairSpec::Band(2.5));
+        assert_eq!(Metric::AbsDiff.pair_spec(-1.0), PairSpec::Empty);
+        assert_eq!(Metric::Levenshtein.pair_spec(2.7), PairSpec::Edit(2));
+        assert_eq!(Metric::Levenshtein.pair_spec(0.0), PairSpec::Edit(0));
+        assert_eq!(Metric::Levenshtein.pair_spec(f64::NAN), PairSpec::Empty);
+        assert_eq!(Metric::JaroWinkler.pair_spec(0.2), PairSpec::All);
+        assert_eq!(Metric::QGram(2).pair_spec(0.2), PairSpec::All);
     }
 }

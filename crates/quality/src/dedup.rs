@@ -3,8 +3,9 @@
 //! union–find yields entity clusters.
 
 use deptree_core::engine::{Exec, Outcome};
-use deptree_core::Md;
-use deptree_relation::Relation;
+use deptree_core::{pairs, Md};
+use deptree_relation::pairgen::PairSpec;
+use deptree_relation::{AttrSet, Relation, StrippedPartition};
 
 /// Disjoint-set forest over row indices.
 #[derive(Debug, Clone)]
@@ -71,27 +72,87 @@ pub fn cluster(r: &Relation, mds: &[Md]) -> Clustering {
     cluster_bounded(r, mds, &Exec::unbounded()).result
 }
 
-/// Budgeted [`cluster`]: each MD's pair scan is charged as row ticks up
-/// front, and each merge costs a node tick. On exhaustion remaining MDs
-/// (or merges) are skipped: every union already performed is witnessed by
-/// a genuine MD-similar pair, so a partial clustering only
+/// Budgeted [`cluster`]: each MD's scan is charged as row ticks up front
+/// (one per candidate pair its index enumerates, or one per row for the
+/// partition fast path), and each merge costs a node tick. On exhaustion
+/// remaining MDs (or merges) are skipped: every union already performed is
+/// witnessed by a genuine MD-similar pair, so a partial clustering only
 /// *under*-merges — it never places two rows in the same cluster without
 /// evidence (`complete == false` signals possible over-segmentation).
+///
+/// An MD whose LHS atoms are all plain equality is resolved without pair
+/// enumeration at all: its matching pairs are exactly the classes of the
+/// LHS partition, and a spanning chain per class (`c − 1` unions instead
+/// of `c(c−1)/2`) produces the same connected components. Everything else
+/// streams candidates from the most selective
+/// [`deptree_core::pairs::best_index`]. Full (unbudgeted) results equal
+/// [`cluster_naive`]'s exactly.
 pub fn cluster_bounded(r: &Relation, mds: &[Md], exec: &Exec) -> Outcome<Clustering> {
     let mut uf = UnionFind::new(r.n_rows());
-    let n = r.n_rows() as u64;
     'rules: for md in mds {
-        if !exec.tick_rows(n * n.saturating_sub(1) / 2) {
-            break 'rules;
-        }
-        for (i, j) in md.matching_pairs(r) {
-            if !exec.tick_node() {
+        if let Some(part) = eq_lhs_partition(r, md) {
+            if !exec.tick_rows(r.n_rows() as u64) {
                 break 'rules;
             }
-            uf.union(i, j);
+            for class in part.classes() {
+                for w in class.windows(2) {
+                    if !exec.tick_node() {
+                        break 'rules;
+                    }
+                    uf.union(w[0], w[1]);
+                }
+            }
+            continue;
+        }
+        let idx = pairs::best_index(r, md.lhs());
+        if !exec.tick_rows(idx.n_candidates()) {
+            break 'rules;
+        }
+        let mut exhausted = false;
+        idx.for_each_candidate(|i, j| {
+            if md.lhs_similar(r, i, j) {
+                if !exec.tick_node() {
+                    exhausted = true;
+                    return false;
+                }
+                uf.union(i, j);
+            }
+            true
+        });
+        if exhausted {
+            break 'rules;
         }
     }
     exec.finish(canonicalize(&mut uf, r.n_rows()))
+}
+
+/// The LHS partition when every determinant atom is plain structural
+/// equality (its pair spec is [`PairSpec::Eq`]); `None` otherwise, or for
+/// an empty LHS (which matches *all* pairs, not just within-class ones).
+fn eq_lhs_partition(r: &Relation, md: &Md) -> Option<StrippedPartition> {
+    if md.lhs().is_empty() {
+        return None;
+    }
+    let mut attrs = AttrSet::empty();
+    for (a, m, t) in md.lhs() {
+        if !matches!(m.pair_spec(*t), PairSpec::Eq) {
+            return None;
+        }
+        attrs = attrs.insert(*a);
+    }
+    Some(StrippedPartition::from_attrs(r, attrs))
+}
+
+/// Reference clustering over the full `O(n²)` pair scan; kept as the
+/// differential-test and benchmark baseline for [`cluster`].
+pub fn cluster_naive(r: &Relation, mds: &[Md]) -> Clustering {
+    let mut uf = UnionFind::new(r.n_rows());
+    for md in mds {
+        for (i, j) in md.matching_pairs_naive(r) {
+            uf.union(i, j);
+        }
+    }
+    canonicalize(&mut uf, r.n_rows())
 }
 
 fn canonicalize(uf: &mut UnionFind, n: usize) -> Clustering {
@@ -109,24 +170,32 @@ fn canonicalize(uf: &mut UnionFind, n: usize) -> Clustering {
     }
 }
 
+/// Visit every unordered row pair `(i, j)`, `i < j`, of an `n`-row
+/// domain. The single home for the clustering-audit pair loop (scoring
+/// and the under-merge checks in tests).
+pub fn for_each_row_pair(n: usize, mut f: impl FnMut(usize, usize)) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            f(i, j);
+        }
+    }
+}
+
 /// Pairwise precision/recall of a clustering against ground truth labels.
 pub fn pairwise_score(clustering: &Clustering, truth: &[usize]) -> (f64, f64) {
-    let n = truth.len();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let pred = clustering.same(i, j);
-            let real = truth[i] == truth[j];
-            match (pred, real) {
-                (true, true) => tp += 1,
-                (true, false) => fp += 1,
-                (false, true) => fn_ += 1,
-                (false, false) => {}
-            }
+    for_each_row_pair(truth.len(), |i, j| {
+        let pred = clustering.same(i, j);
+        let real = truth[i] == truth[j];
+        match (pred, real) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
         }
-    }
+    });
     let precision = if tp + fp == 0 {
         1.0
     } else {
@@ -226,14 +295,58 @@ mod tests {
         assert!(!partial.complete);
         // Every merge in the partial clustering also exists in the full
         // one: budget exhaustion can only over-segment, never over-merge.
-        for i in 0..r.n_rows() {
-            for j in (i + 1)..r.n_rows() {
-                if partial.result.same(i, j) {
-                    assert!(full.same(i, j), "spurious merge {i},{j}");
-                }
+        for_each_row_pair(r.n_rows(), |i, j| {
+            if partial.result.same(i, j) {
+                assert!(full.same(i, j), "spurious merge {i},{j}");
             }
-        }
+        });
         assert!(partial.result.n_clusters >= full.n_clusters);
+    }
+
+    #[test]
+    fn indexed_cluster_matches_naive() {
+        // Covers the partition fast path (all-equality LHS), the edit
+        // distance index, and a multi-rule mix.
+        let r = hotels_r1();
+        let s = r.schema();
+        let eq_md = Md::new(
+            s,
+            vec![(s.id("region"), Metric::Equality, 0.0)],
+            AttrSet::single(s.id("name")),
+        );
+        let edit_md = Md::new(
+            s,
+            vec![(s.id("address"), Metric::Levenshtein, 4.0)],
+            AttrSet::single(s.id("name")),
+        );
+        let rule_sets: Vec<Vec<Md>> = vec![
+            vec![eq_md.clone()],
+            vec![edit_md.clone()],
+            vec![eq_md, edit_md],
+        ];
+        for mds in &rule_sets {
+            let fast = cluster(&r, mds);
+            let slow = cluster_naive(&r, mds);
+            assert_eq!(fast.cluster, slow.cluster);
+            assert_eq!(fast.n_clusters, slow.n_clusters);
+        }
+        let cfg = EntitiesConfig {
+            n_entities: 30,
+            max_duplicates: 3,
+            variety: 0.7,
+            error_rate: 0.1,
+            seed: 17,
+        };
+        let data = entities::generate(&cfg, &mut deptree_synth::rng(cfg.seed));
+        let s = data.relation.schema();
+        let mds = vec![Md::new(
+            s,
+            vec![(s.id("zip"), Metric::Equality, 0.0)],
+            AttrSet::single(s.id("name")),
+        )];
+        let fast = cluster(&data.relation, &mds);
+        let slow = cluster_naive(&data.relation, &mds);
+        assert_eq!(fast.cluster, slow.cluster);
     }
 
     #[test]

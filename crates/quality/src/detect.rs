@@ -58,6 +58,11 @@ impl Report {
 }
 
 /// Run every rule against the instance.
+///
+/// Each rule's [`Dependency::violations`] does its own candidate
+/// generation: the MD/NED/DD implementations enumerate from blocking or
+/// similarity indexes and the OD check is sorted, so detection inherits
+/// the sub-quadratic paths without any work here.
 pub fn run(r: &Relation, rules: &[Box<dyn Dependency>]) -> Report {
     let mut findings = Vec::new();
     for (idx, rule) in rules.iter().enumerate() {

@@ -26,6 +26,7 @@ mod attrset;
 mod cache;
 mod csv;
 pub mod examples;
+pub mod pairgen;
 mod partition;
 mod relation;
 mod schema;

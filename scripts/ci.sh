@@ -12,7 +12,10 @@
 #   3. tier-1: release build + the root test binaries, run twice — once
 #      serial (DEPTREE_THREADS=1) and once on an 8-worker pool
 #      (DEPTREE_THREADS=8) — so the thread-count-independence contract of
-#      the parallel miners is exercised on every gate.
+#      the parallel miners is exercised on every gate;
+#   4. pairwise_scaling --smoke — tiny-size run of the blocking/index
+#      benchmark that asserts indexed candidate generation reproduces the
+#      naive pair scans exactly (MD discovery, DC evidence, dedup).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +36,8 @@ DEPTREE_THREADS=1 cargo test -q
 
 echo "== tier-1: tests (parallel, DEPTREE_THREADS=8) =="
 DEPTREE_THREADS=8 cargo test -q
+
+echo "== pairwise_scaling smoke (indexed ≡ naive) =="
+cargo run --release --quiet --bin pairwise_scaling -- --smoke
 
 echo "ci: all green"

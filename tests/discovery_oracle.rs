@@ -9,12 +9,13 @@
 
 mod common;
 
-use deptree::core::engine::Exec;
-use deptree::core::Fd;
-use deptree::discovery::{fastfd, tane};
+use deptree::core::engine::{Budget, Exec};
+use deptree::core::{Dependency, Direction, Fd, Ned, NedAtom, Od};
+use deptree::discovery::{dc, dd, fastfd, md, ned, od, tane};
+use deptree::metrics::Metric;
 use deptree::relation::examples::{hotels_r1, hotels_r5, hotels_r6, hotels_r7};
 use deptree::relation::{AttrSet, Relation, StrippedPartition};
-use deptree::synth::{categorical, CategoricalConfig};
+use deptree::synth::{categorical, entities, CategoricalConfig, EntitiesConfig};
 
 const MAX_LHS: usize = 3;
 
@@ -186,6 +187,324 @@ fn afd_oracle_agrees_with_approximate_tane() {
                 want,
                 "{label}: approximate TANE vs oracle at {threads} thread(s)"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise differential oracles (MD/DD/NED/OD/DC): the blocking/index-based
+// candidate generation must reproduce the frozen naive `row_pairs()` paths
+// exactly — on the paper's tables and seeded synthetics, at every thread
+// count, and soundly (verified results only) under tight budgets.
+// ---------------------------------------------------------------------------
+
+const PAIR_THREADS: [usize; 3] = [1, 2, 8];
+
+fn entities_relation(seed: u64, n_entities: usize) -> Relation {
+    let cfg = EntitiesConfig {
+        n_entities,
+        max_duplicates: 3,
+        variety: 0.5,
+        error_rate: 0.05,
+        seed,
+    };
+    entities::generate(&cfg, &mut deptree::synth::rng(seed)).relation
+}
+
+/// Render discovered MDs with bit-exact scores for comparison.
+fn render_scored_mds(v: &[md::ScoredMd]) -> Vec<String> {
+    v.iter()
+        .map(|s| {
+            format!(
+                "{} s={:016x} c={:016x}",
+                s.md,
+                s.support.to_bits(),
+                s.confidence.to_bits()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn md_indexed_discovery_matches_naive_oracle() {
+    // Text attributes exercise the q-gram edit-distance index, numeric ones
+    // the band join, categorical ones equality blocking and (via thresholds
+    // that reach 1.0 on Equality) the conservative full-scan fallback.
+    let cases = [
+        ("r1", hotels_r1(), "region"),
+        ("r6", hotels_r6(), "region"),
+        ("entities", entities_relation(41, 40), "name"),
+        ("categorical", synthetic(43, 60, 0.05), "D0"),
+    ];
+    let cfg = md::MdConfig {
+        min_support: 0.0,
+        min_confidence: 0.5,
+        thresholds_per_attr: 2,
+        max_lhs: 2,
+    };
+    for (label, r, rhs_name) in cases {
+        let rhs = AttrSet::single(r.schema().id(rhs_name));
+        let want = render_scored_mds(&md::discover_naive(&r, rhs, &cfg));
+        for threads in PAIR_THREADS {
+            let out = md::discover_bounded(&r, rhs, &cfg, &Exec::unbounded().with_threads(threads));
+            assert!(out.complete, "{label}: unbounded run must complete");
+            assert_eq!(
+                render_scored_mds(&out.result),
+                want,
+                "{label}: indexed MD discovery vs naive at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn md_partial_results_sound_under_budget() {
+    let r = entities_relation(77, 50);
+    let rhs = AttrSet::single(r.schema().id("name"));
+    let cfg = md::MdConfig {
+        min_support: 0.0,
+        min_confidence: 0.5,
+        thresholds_per_attr: 2,
+        max_lhs: 2,
+    };
+    for budget in [
+        Budget::new().with_max_rows(200),
+        Budget::new().with_max_rows(5_000),
+        Budget::new().with_max_nodes(3),
+    ] {
+        for threads in PAIR_THREADS {
+            let exec = Exec::new(budget.clone()).with_threads(threads);
+            let out = md::discover_bounded(&r, rhs, &cfg, &exec);
+            // Whatever survives the budget must carry exact naive scores and
+            // meet both bars — never a half-scanned estimate.
+            for s in &out.result {
+                let (sup, conf) = s.md.support_confidence_naive(&r);
+                assert_eq!(sup.to_bits(), s.support.to_bits(), "{}", s.md);
+                assert_eq!(conf.to_bits(), s.confidence.to_bits(), "{}", s.md);
+                assert!(conf >= cfg.min_confidence, "{}", s.md);
+            }
+        }
+    }
+}
+
+#[test]
+fn dd_indexed_discovery_matches_naive_oracle() {
+    let cases = [
+        ("r6", hotels_r6()),
+        ("entities", entities_relation(53, 35)),
+        ("categorical", synthetic(61, 50, 0.05)),
+    ];
+    let cfg = dd::DdConfig {
+        thresholds_per_attr: 3,
+        min_support: 2,
+        max_lhs: 1,
+    };
+    for (label, r) in cases {
+        let want: Vec<String> = dd::discover_naive(&r, &cfg)
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        for threads in PAIR_THREADS {
+            let out = dd::discover_bounded(&r, &cfg, &Exec::unbounded().with_threads(threads));
+            assert!(out.complete, "{label}: unbounded run must complete");
+            let got: Vec<String> = out.result.iter().map(|d| d.to_string()).collect();
+            assert_eq!(
+                got, want,
+                "{label}: indexed DD discovery vs naive at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn dd_partial_results_sound_under_budget() {
+    let r = entities_relation(67, 45);
+    let cfg = dd::DdConfig {
+        thresholds_per_attr: 3,
+        min_support: 2,
+        max_lhs: 1,
+    };
+    for budget in [
+        Budget::new().with_max_rows(300),
+        Budget::new().with_max_nodes(4),
+    ] {
+        for threads in PAIR_THREADS {
+            let exec = Exec::new(budget.clone()).with_threads(threads);
+            let out = dd::discover_bounded(&r, &cfg, &exec);
+            for d in &out.result {
+                let (sup, conf) = d.support_confidence_naive(&r);
+                // Emitted DDs are fully verified: the RHS threshold is the
+                // exact max over LHS-compatible pairs, so confidence is 1.
+                assert!(sup >= cfg.min_support, "{d}");
+                assert_eq!(conf.to_bits(), 1.0f64.to_bits(), "{d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ned_indexed_scoring_matches_naive_on_paper_tables() {
+    // Every single-atom NED over data-driven thresholds: the counting /
+    // index-backed scorer must agree bit-for-bit with the pair scan.
+    for (label, r) in [("r1", hotels_r1()), ("r6", hotels_r6())] {
+        let s = r.schema();
+        let attrs: Vec<_> = s.ids().collect();
+        for &a in &attrs {
+            for &b in &attrs {
+                if a == b {
+                    continue;
+                }
+                let ma = Metric::default_for(s.ty(a));
+                let mb = Metric::default_for(s.ty(b));
+                for ta in dd::candidate_thresholds(&r, a, &ma, 3) {
+                    for tb in dd::candidate_thresholds(&r, b, &mb, 2) {
+                        let ned = Ned::new(
+                            s,
+                            vec![NedAtom::new(a, ma.clone(), ta)],
+                            vec![NedAtom::new(b, mb.clone(), tb)],
+                        );
+                        let fast = ned.support_confidence(&r);
+                        let slow = ned.support_confidence_naive(&r);
+                        assert_eq!(fast.0, slow.0, "{label}: support of {ned}");
+                        assert_eq!(
+                            fast.1.to_bits(),
+                            slow.1.to_bits(),
+                            "{label}: confidence of {ned}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ned_discovery_deterministic_across_threads() {
+    let r = entities_relation(59, 40);
+    let s = r.schema();
+    let name = s.id("name");
+    let rhs = vec![NedAtom::new(name, Metric::default_for(s.ty(name)), 2.0)];
+    let cfg = ned::NedConfig::default();
+    let render = |n: &Option<Ned>| n.as_ref().map(|n| n.to_string());
+    let base =
+        ned::discover_lhs_bounded(&r, rhs.clone(), &cfg, &Exec::unbounded().with_threads(1)).result;
+    for threads in [2, 8] {
+        let got = ned::discover_lhs_bounded(
+            &r,
+            rhs.clone(),
+            &cfg,
+            &Exec::unbounded().with_threads(threads),
+        )
+        .result;
+        assert_eq!(render(&got), render(&base), "NED at {threads} thread(s)");
+    }
+    if let Some(n) = &base {
+        let fast = n.support_confidence(&r);
+        let slow = n.support_confidence_naive(&r);
+        assert_eq!(fast.0, slow.0);
+        assert_eq!(fast.1.to_bits(), slow.1.to_bits());
+    }
+}
+
+#[test]
+fn od_sorted_validation_matches_naive_pair_scan() {
+    let mut cases = vec![("r7".to_string(), hotels_r7())];
+    let mut rng = deptree::synth::rng(0x0D0D);
+    for case in 0..24 {
+        cases.push((
+            format!("numeric case {case}"),
+            common::numeric_relation(&mut rng),
+        ));
+    }
+    for (label, r) in &cases {
+        let s = r.schema();
+        let attrs: Vec<_> = s.ids().collect();
+        for &a in &attrs {
+            for &b in &attrs {
+                if a == b {
+                    continue;
+                }
+                for db in [Direction::Asc, Direction::Desc] {
+                    let o = Od::new(s, vec![(a, Direction::Asc)], vec![(b, db)]);
+                    assert_eq!(o.holds(r), o.holds_naive(r), "{label}: {o}");
+                }
+            }
+        }
+    }
+    // Discovery (incl. compound LHS with its sampling prefilter) emits only
+    // ODs the naive scan confirms, even under tight budgets.
+    let r = hotels_r7();
+    let cfg = od::OdConfig { max_lhs: 2 };
+    for budget in [Budget::new(), Budget::new().with_max_nodes(9)] {
+        let out = od::discover_bounded(&r, &cfg, &Exec::new(budget));
+        for o in &out.result {
+            assert!(o.holds_naive(&r), "{o}");
+        }
+    }
+}
+
+#[test]
+fn dc_blocked_evidence_matches_naive_at_all_thread_counts() {
+    let mut cases = vec![
+        ("r7".to_string(), hotels_r7()),
+        ("categorical".to_string(), synthetic(13, 80, 0.05)),
+    ];
+    let mut rng = deptree::synth::rng(0xDCDC);
+    for case in 0..12 {
+        cases.push((
+            format!("numeric case {case}"),
+            common::numeric_relation(&mut rng),
+        ));
+    }
+    for (label, r) in &cases {
+        let preds = dc::predicate_space(r);
+        let mut nstats = dc::FastDcStats::default();
+        let want = dc::evidence_sets(r, &preds, &mut nstats);
+        for threads in PAIR_THREADS {
+            let mut stats = dc::FastDcStats::default();
+            let (got, complete) = dc::evidence_sets_blocked(
+                r,
+                &preds,
+                &mut stats,
+                &Exec::unbounded().with_threads(threads),
+            );
+            assert!(complete, "{label}: unbounded run must complete");
+            assert_eq!(
+                got, want,
+                "{label}: blocked evidence at {threads} thread(s)"
+            );
+            assert_eq!(
+                stats.pairs_evaluated, nstats.pairs_evaluated,
+                "{label}: multiplicity accounting at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn dc_partial_evidence_is_submultiset_under_budget() {
+    let r = synthetic(29, 120, 0.05);
+    let preds = dc::predicate_space(&r);
+    let mut nstats = dc::FastDcStats::default();
+    let full = dc::evidence_sets(&r, &preds, &mut nstats);
+    for max_rows in [10u64, 500, 5_000] {
+        for threads in PAIR_THREADS {
+            let mut stats = dc::FastDcStats::default();
+            let exec = Exec::new(Budget::new().with_max_rows(max_rows)).with_threads(threads);
+            let (partial, complete) = dc::evidence_sets_blocked(&r, &preds, &mut stats, &exec);
+            assert!(
+                !complete,
+                "row budget {max_rows} should not cover all {} pairs",
+                nstats.pairs_evaluated
+            );
+            for (bits, mult) in &partial {
+                let cap = full.get(bits).copied().unwrap_or(0);
+                assert!(
+                    *mult <= cap,
+                    "partial evidence {bits:#x} has multiplicity {mult} > full {cap}"
+                );
+            }
+            assert!(stats.pairs_evaluated <= nstats.pairs_evaluated);
         }
     }
 }

@@ -418,3 +418,132 @@ mod partition_cache {
         }
     }
 }
+
+/// Candidate-generation invariants for the blocking/similarity indexes:
+/// over random (including adversarial mixed-type) relations and random
+/// indexable predicates, the candidate set must contain every truly
+/// matching pair, stay inside the i<j pair universe without duplicates,
+/// be exactly the matching set when the index claims exactness, and agree
+/// with its own counting and block-decomposed forms.
+mod pairgen_properties {
+    use super::*;
+    use common::arbitrary_relation;
+    use deptree::core::pairs::{self, MetricAtom};
+    use deptree::metrics::Metric;
+    use deptree::relation::ValueType;
+    use std::collections::BTreeSet;
+
+    /// 1–2 atoms on distinct attrs with the type's default metric and a
+    /// threshold drawn from a spread that hits the degenerate points:
+    /// 0 (pure equality), small bands/edit radii, and — on categorical
+    /// attrs — threshold 1, which maps to the conservative full-scan
+    /// fallback (`PairSpec::All`).
+    fn random_atoms(rng: &mut Rng, r: &Relation) -> Vec<MetricAtom> {
+        let n_atoms = rng.random_range(1..=r.n_attrs().min(2));
+        let mut ids: Vec<AttrId> = r.schema().ids().collect();
+        for k in 0..n_atoms {
+            let pick = rng.random_range(k..ids.len());
+            ids.swap(k, pick);
+        }
+        ids.truncate(n_atoms);
+        ids.iter()
+            .map(|&a| {
+                let t = match r.schema().ty(a) {
+                    ValueType::Numeric => [0.0, 0.5, 1.0, 3.0, 10.0][rng.random_range(0..5usize)],
+                    ValueType::Text => [0.0, 1.0, 2.0, 4.0][rng.random_range(0..4usize)],
+                    _ => [0.0, 1.0][rng.random_range(0..2usize)],
+                };
+                (a, Metric::default_for(r.schema().ty(a)), t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn candidate_set_complete_and_sane() {
+        for (mut rng, case) in cases(31) {
+            let r = arbitrary_relation(&mut rng);
+            let n = r.n_rows();
+            let atoms = random_atoms(&mut rng, &r);
+            let md = Md::new(r.schema(), atoms.clone(), AttrSet::single(AttrId(0)));
+            let mut truth = BTreeSet::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if md.lhs_similar(&r, i, j) {
+                        truth.insert((i, j));
+                    }
+                }
+            }
+            let idx = pairs::best_index(&r, &atoms);
+            let mut cands = Vec::new();
+            assert!(
+                idx.for_each_candidate(|i, j| {
+                    cands.push((i, j));
+                    true
+                }),
+                "case {case}: uninterrupted enumeration must report completion"
+            );
+            let cand_set: BTreeSet<(usize, usize)> = cands.iter().copied().collect();
+            assert_eq!(
+                cand_set.len(),
+                cands.len(),
+                "case {case}: duplicate candidates"
+            );
+            assert!(
+                cands.iter().all(|&(i, j)| i < j && j < n),
+                "case {case}: candidate outside the i<j pair universe"
+            );
+            assert_eq!(
+                idx.n_candidates(),
+                cands.len() as u64,
+                "case {case}: n_candidates disagrees with enumeration"
+            );
+            assert!(
+                truth.iter().all(|p| cand_set.contains(p)),
+                "case {case}: candidate set missed a matching pair (incomplete blocking)"
+            );
+            // Exactness is per-atom: it promises candidates equal the match
+            // set only when the whole conjunction is that one atom.
+            if idx.is_exact() && atoms.len() == 1 {
+                assert_eq!(
+                    cand_set, truth,
+                    "case {case}: exact index must equal the matching set"
+                );
+            }
+            // The fixed block decomposition enumerates the same sequence.
+            let mut by_block = Vec::new();
+            for b in 0..idx.n_blocks() {
+                let before = by_block.len() as u64;
+                idx.for_each_in_block(b, &mut |i, j| {
+                    by_block.push((i, j));
+                    true
+                });
+                assert_eq!(
+                    by_block.len() as u64 - before,
+                    idx.block_pairs(b),
+                    "case {case}: block {b} size mismatch"
+                );
+            }
+            assert_eq!(
+                by_block, cands,
+                "case {case}: block order differs from serial order"
+            );
+            // The closed-form count, when claimed, is the true match count.
+            if let Some(c) = pairs::count_matching(&r, &atoms) {
+                assert_eq!(
+                    c,
+                    truth.len() as u64,
+                    "case {case}: closed-form count wrong"
+                );
+            }
+            // Early stop is honored and reported.
+            if !cands.is_empty() {
+                let mut seen = 0usize;
+                let done = idx.for_each_candidate(|_, _| {
+                    seen += 1;
+                    false
+                });
+                assert!(!done && seen == 1, "case {case}: early stop not honored");
+            }
+        }
+    }
+}
