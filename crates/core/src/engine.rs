@@ -54,6 +54,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod pool;
+pub mod signal;
 
 /// Which resource limit stopped a bounded run early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,197 @@
+//! Admission control: a bounded hand-off queue with explicit load
+//! shedding.
+//!
+//! The accept loop never buffers work it cannot bound. Each accepted
+//! socket must clear two gates before a worker sees it:
+//!
+//! 1. a **connection cap** — the total number of sockets the server holds
+//!    (queued + being served) stays below `max_active`;
+//! 2. a **bounded queue** — `queue_depth` slots between the accept loop
+//!    and the worker pool.
+//!
+//! When either gate fails the socket is handed back to the caller, which
+//! answers `429 overloaded` and closes — *shedding* the load instead of
+//! growing a queue without limit. Shed counts are kept so operators (and
+//! the fault-injection suite) can observe the policy working.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// The active-connection claim; dropping it releases the slot.
+struct Slot {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One admitted connection. Holds the active-connection slot; dropping
+/// the `Conn` (worker done, or socket closed early) releases it.
+pub struct Conn {
+    /// The client socket.
+    pub stream: TcpStream,
+    slot: Slot,
+}
+
+/// Counters exposed by the admission gate.
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    /// Connections handed to the worker pool.
+    pub admitted: AtomicU64,
+    /// Connections shed with `429` (either gate).
+    pub shed: AtomicU64,
+}
+
+/// Why a connection was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The connection cap was reached.
+    Connections,
+    /// The hand-off queue was full.
+    Queue,
+    /// The worker pool is gone (server shutting down).
+    Closed,
+}
+
+/// The accept-side of the gate.
+pub struct Admission {
+    tx: SyncSender<Conn>,
+    active: Arc<AtomicUsize>,
+    max_active: usize,
+    /// Shed/admit counters (shared with the router for introspection).
+    pub stats: Arc<AdmissionStats>,
+}
+
+impl Admission {
+    /// Build the gate; returns the worker-side receiver alongside.
+    pub fn new(queue_depth: usize, max_active: usize) -> (Admission, Receiver<Conn>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth.max(1));
+        (
+            Admission {
+                tx,
+                active: Arc::new(AtomicUsize::new(0)),
+                max_active: max_active.max(1),
+                stats: Arc::new(AdmissionStats::default()),
+            },
+            rx,
+        )
+    }
+
+    /// Try to admit a socket. On failure the socket is returned so the
+    /// caller can answer `429` before closing it.
+    pub fn try_admit(&self, stream: TcpStream) -> Result<(), (TcpStream, ShedReason)> {
+        // Optimistically claim a slot; the queue push below can still
+        // fail, in which case the Conn drop releases the claim.
+        let claimed = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        let conn = Conn {
+            stream,
+            slot: Slot {
+                active: Arc::clone(&self.active),
+            },
+        };
+        if claimed > self.max_active {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(take_stream(conn, ShedReason::Connections));
+        }
+        match self.tx.try_send(conn) {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(conn)) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(take_stream(conn, ShedReason::Queue))
+            }
+            Err(TrySendError::Disconnected(conn)) => Err(take_stream(conn, ShedReason::Closed)),
+        }
+    }
+
+    /// Connections currently held (queued + in service).
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+/// Unwrap the socket from a rejected `Conn`, releasing its slot.
+fn take_stream(conn: Conn, reason: ShedReason) -> (TcpStream, ShedReason) {
+    let Conn { stream, slot } = conn;
+    drop(slot);
+    (stream, reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpListener, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        (listener, client)
+    }
+
+    #[test]
+    fn queue_depth_sheds_beyond_capacity() {
+        let (admission, _rx) = Admission::new(2, 100);
+        let mut keep = Vec::new();
+        let mut shed = 0;
+        for _ in 0..5 {
+            let (l, c) = pair();
+            keep.push(l);
+            match admission.try_admit(c) {
+                Ok(()) => {}
+                Err((_, reason)) => {
+                    assert_eq!(reason, ShedReason::Queue);
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!(shed, 3);
+        assert_eq!(admission.stats.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(admission.stats.shed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn connection_cap_sheds_first() {
+        let (admission, _rx) = Admission::new(100, 1);
+        let (_l1, c1) = pair();
+        let (_l2, c2) = pair();
+        assert!(admission.try_admit(c1).is_ok());
+        match admission.try_admit(c2) {
+            Err((_, ShedReason::Connections)) => {}
+            other => panic!("expected connection-cap shed, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(admission.active(), 1);
+    }
+
+    #[test]
+    fn dropping_conn_releases_the_slot() {
+        let (admission, rx) = Admission::new(4, 2);
+        let (_l1, c1) = pair();
+        let (_l2, c2) = pair();
+        assert!(admission.try_admit(c1).is_ok());
+        assert!(admission.try_admit(c2).is_ok());
+        assert_eq!(admission.active(), 2);
+        drop(rx.recv().unwrap());
+        assert_eq!(admission.active(), 1);
+        let (_l3, c3) = pair();
+        assert!(admission.try_admit(c3).is_ok());
+    }
+
+    #[test]
+    fn disconnected_pool_reports_closed() {
+        let (admission, rx) = Admission::new(2, 2);
+        drop(rx);
+        let (_l, c) = pair();
+        match admission.try_admit(c) {
+            Err((_, ShedReason::Closed)) => {}
+            other => panic!("expected closed, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The `deptree query` client: one JSON request with retry, jittered
+//! exponential backoff, and the retryable/terminal distinction.
+//!
+//! Retry policy: only pure load/timing failures are retried — connect
+//! refused (server restarting behind the same address), socket timeouts,
+//! and responses carrying a retryable [`ErrorCode`] (`overloaded`,
+//! `draining`, `timeout`). Anything else (parse errors, unknown
+//! datasets, budget exhaustion, internal errors) would fail identically
+//! on the next attempt, so it is terminal on the first.
+//!
+//! Backoff between attempts is `min(max, base · 2^attempt)` scaled by a
+//! uniform jitter in `[0.5, 1.0]`, drawn from the vendored deterministic
+//! PRNG so tests can pin the schedule with a seed.
+
+use crate::json::Json;
+use crate::protocol::{read_head, ErrorCode, ProtoError};
+use deptree_synth::Rng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7411`.
+    pub addr: String,
+    /// Attempts beyond the first (3 retries = up to 4 attempts).
+    pub retries: u32,
+    /// First backoff step.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout per attempt (covers server compute, so
+    /// it should exceed the request's `timeout_ms`).
+    pub io_timeout: Duration,
+    /// Jitter seed; equal seeds give equal backoff schedules.
+    pub seed: u64,
+    /// Cap on the response body the client will buffer.
+    pub max_response_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7411".to_owned(),
+            retries: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(75),
+            seed: 0x5eed,
+            max_response_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A decoded server response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Json,
+    /// Attempts it took (1 = first try).
+    pub attempts: u32,
+}
+
+/// A request that failed for good.
+#[derive(Debug)]
+pub struct ClientError {
+    /// The terminal error class (drives the exit code).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}, after {} attempt(s))",
+            self.message,
+            self.code.wire(),
+            self.attempts
+        )
+    }
+}
+
+/// One attempt's outcome, before retry policy is applied.
+enum Attempt {
+    /// Got a well-formed response frame.
+    Done(u16, Json),
+    /// Failed in a way worth retrying.
+    Retryable(String),
+    /// Failed for good.
+    Terminal(ErrorCode, String),
+}
+
+/// Send `body` to `POST {path}` (or GET when `body` is `None`), retrying
+/// retryable failures with jittered exponential backoff.
+pub fn query(
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<Response, ClientError> {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut last_retryable = String::new();
+    let attempts_max = config.retries.saturating_add(1);
+    for attempt in 0..attempts_max {
+        if attempt > 0 {
+            std::thread::sleep(backoff(config, attempt - 1, &mut rng));
+        }
+        match one_attempt(config, method, path, body) {
+            Attempt::Done(status, json) => {
+                // A retryable error body still counts against the retry
+                // budget: the server answered, but only to say "not now".
+                if let Some(code) = response_error_code(status, &json) {
+                    if code.retryable() && attempt + 1 < attempts_max {
+                        last_retryable = format!("server answered {} ({})", status, code.wire());
+                        continue;
+                    }
+                    let message = json
+                        .get("error")
+                        .and_then(|e| e.str_field("message"))
+                        .unwrap_or("request failed")
+                        .to_owned();
+                    return Err(ClientError {
+                        code,
+                        message,
+                        attempts: attempt + 1,
+                    });
+                }
+                return Ok(Response {
+                    status,
+                    body: json,
+                    attempts: attempt + 1,
+                });
+            }
+            Attempt::Retryable(msg) => {
+                last_retryable = msg;
+            }
+            Attempt::Terminal(code, message) => {
+                return Err(ClientError {
+                    code,
+                    message,
+                    attempts: attempt + 1,
+                });
+            }
+        }
+    }
+    Err(ClientError {
+        code: ErrorCode::Io,
+        message: format!("retries exhausted; last failure: {last_retryable}"),
+        attempts: attempts_max,
+    })
+}
+
+/// The jittered exponential backoff before retry number `retry` (0-based):
+/// `min(max, base · 2^retry) · uniform[0.5, 1.0]`.
+pub fn backoff(config: &ClientConfig, retry: u32, rng: &mut Rng) -> Duration {
+    let exp = config
+        .base_backoff
+        .saturating_mul(2u32.saturating_pow(retry.min(16)))
+        .min(config.max_backoff);
+    exp.mul_f64(rng.random_range(0.5..=1.0))
+}
+
+/// The error class of a response, if it is an error at all.
+fn response_error_code(status: u16, body: &Json) -> Option<ErrorCode> {
+    if let Some(code) = body
+        .get("error")
+        .and_then(|e| e.str_field("code"))
+        .and_then(ErrorCode::from_wire)
+    {
+        return Some(code);
+    }
+    match status {
+        200 => None,
+        408 => Some(ErrorCode::Timeout),
+        429 => Some(ErrorCode::Overloaded),
+        503 => Some(ErrorCode::Draining),
+        _ => Some(ErrorCode::Internal),
+    }
+}
+
+fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Json>) -> Attempt {
+    let addrs: Vec<SocketAddr> = match config.addr.to_socket_addrs() {
+        Ok(a) => a.collect(),
+        Err(e) => {
+            return Attempt::Terminal(
+                ErrorCode::InvalidConfig,
+                format!("cannot resolve `{}`: {e}", config.addr),
+            )
+        }
+    };
+    let Some(addr) = addrs.first() else {
+        return Attempt::Terminal(
+            ErrorCode::InvalidConfig,
+            format!("`{}` resolves to nothing", config.addr),
+        );
+    };
+    // Connect refused / timed out: the server may be mid-restart or
+    // draining behind a balancer — worth retrying.
+    let mut stream = match TcpStream::connect_timeout(addr, config.connect_timeout) {
+        Ok(s) => s,
+        Err(e) => return Attempt::Retryable(format!("connect to {addr}: {e}")),
+    };
+    if let Err(e) = stream
+        .set_read_timeout(Some(config.io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(config.io_timeout)))
+    {
+        return Attempt::Retryable(format!("socket setup: {e}"));
+    }
+
+    let payload = body.map(Json::render).unwrap_or_default();
+    let frame = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        config.addr,
+        payload.len(),
+    );
+    if let Err(e) = stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+    {
+        return Attempt::Retryable(format!("send: {e}"));
+    }
+
+    match read_response(&mut stream, config.max_response_bytes) {
+        Ok((status, json)) => Attempt::Done(status, json),
+        // A malformed or truncated response is indistinguishable from a
+        // server killed mid-write; retrying is safe (requests are
+        // read-only or idempotent) and usually lands on a healthy serve.
+        Err(ProtoError::Timeout) => Attempt::Retryable("response timed out".into()),
+        Err(ProtoError::Closed) => Attempt::Retryable("connection closed mid-response".into()),
+        Err(ProtoError::Malformed(m)) => Attempt::Retryable(format!("bad response: {m}")),
+        Err(ProtoError::TooLarge(what)) => {
+            Attempt::Terminal(ErrorCode::TooLarge, format!("response {what} too large"))
+        }
+        Err(ProtoError::Io(m)) => Attempt::Retryable(format!("i/o: {m}")),
+    }
+}
+
+/// Read one response frame: status line, headers, `Content-Length` body.
+fn read_response(stream: &mut TcpStream, max_body: usize) -> Result<(u16, Json), ProtoError> {
+    let (head, leftover) = read_head(stream, 8 * 1024)?;
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ProtoError::Malformed(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ProtoError::Malformed(format!("bad header `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ProtoError::Malformed(format!("bad content-length `{value}`")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(ProtoError::TooLarge("body".into()));
+    }
+    let mut body = leftover;
+    body.truncate(content_length);
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtoError::Timeout,
+            _ => ProtoError::Closed,
+        })?;
+        if n == 0 {
+            return Err(ProtoError::Closed);
+        }
+        let take = n.min(content_length - body.len());
+        body.extend_from_slice(&chunk[..take]);
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| ProtoError::Malformed("response body is not UTF-8".into()))?;
+    let json = Json::parse(text).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok((status, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(addr: &str) -> ClientConfig {
+        ClientConfig {
+            addr: addr.to_owned(),
+            retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            connect_timeout: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_is_jittered_exponential_and_capped() {
+        let config = ClientConfig {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(350),
+            ..ClientConfig::default()
+        };
+        let mut rng = Rng::seed_from_u64(1);
+        for retry in 0..8 {
+            let cap = Duration::from_millis(100)
+                .saturating_mul(2u32.pow(retry))
+                .min(Duration::from_millis(350));
+            let b = backoff(&config, retry, &mut rng);
+            assert!(b <= cap, "retry {retry}: {b:?} > {cap:?}");
+            assert!(b >= cap.mul_f64(0.5), "retry {retry}: {b:?} too small");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let config = ClientConfig::default();
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
+        for retry in 0..5 {
+            assert_eq!(
+                backoff(&config, retry, &mut a),
+                backoff(&config, retry, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn connect_refused_exhausts_retries_as_io() {
+        // Bind-then-drop guarantees a port with nothing listening.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = query(&cfg(&format!("127.0.0.1:{port}")), "GET", "/healthz", None).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Io);
+        assert_eq!(err.attempts, 3); // 1 + 2 retries
+        assert!(err.message.contains("retries exhausted"), "{err}");
+    }
+
+    #[test]
+    fn error_code_classification_prefers_the_body() {
+        let body = Json::parse(r#"{"error":{"code":"parse","message":"x"}}"#).unwrap();
+        assert_eq!(response_error_code(400, &body), Some(ErrorCode::Parse));
+        // No body code: fall back on the status.
+        let empty = Json::obj();
+        assert_eq!(
+            response_error_code(429, &empty),
+            Some(ErrorCode::Overloaded)
+        );
+        assert_eq!(response_error_code(503, &empty), Some(ErrorCode::Draining));
+        assert_eq!(response_error_code(200, &empty), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Graceful drain: the controlled path from "serving" to "exited 0".
+//!
+//! Drain is a two-phase protocol driven by [`run_drain`]:
+//!
+//! 1. **Soft phase** — [`DrainState::begin`] flips the readiness probe
+//!    (`/readyz` → 503) and makes the router refuse *new* task work with
+//!    `draining`, while in-flight requests keep running. The accept loop
+//!    stays up so health checks and already-queued clients still get
+//!    answers.
+//! 2. **Hard phase** — after the grace period, any work still in flight
+//!    is cancelled through the shared [`CancelToken`]; thanks to the
+//!    anytime contract each request winds down promptly and responds with
+//!    its sound partial (`partial: true`, `exhausted: "cancelled"`).
+//!
+//! When the last in-flight request finishes, [`DrainState::finish`] lets
+//! the accept loop exit, the worker pool drains its queue and joins, and
+//! the process can exit 0.
+
+use deptree_core::engine::CancelToken;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared lifecycle flags for one server instance.
+#[derive(Debug, Default)]
+pub struct DrainState {
+    draining: AtomicBool,
+    finished: AtomicBool,
+    inflight: AtomicUsize,
+    cancel: CancelToken,
+}
+
+/// Decrements the in-flight counter on drop; returned by
+/// [`DrainState::track`] so request accounting survives panics.
+pub struct InflightGuard<'a> {
+    state: &'a DrainState,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.state.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl DrainState {
+    /// A fresh, serving state.
+    pub fn new() -> Arc<DrainState> {
+        Arc::new(DrainState::default())
+    }
+
+    /// Has drain been requested (soft phase entered)?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Has drain completed (accept loop may exit)?
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Enter the soft phase. Idempotent.
+    pub fn begin(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Mark drain complete; the accept loop exits on its next poll.
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// The token every request `Exec` observes; cancelled in the hard
+    /// phase.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Register one in-flight request; drop the guard when it completes.
+    pub fn track(&self) -> InflightGuard<'_> {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { state: self }
+    }
+
+    /// Requests currently executing.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// Poll interval for the drain coordinator.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Hard upper bound on the post-cancel wait. Cancelled requests wind down
+/// in milliseconds under the anytime contract; this cap only guards
+/// against a wedged socket write (itself bounded by the write timeout).
+const HARD_CAP: Duration = Duration::from_secs(30);
+
+/// Run the drain protocol to completion (blocking). `grace` is how long
+/// in-flight work may keep running before the hard cancel.
+pub fn run_drain(state: &DrainState, grace: Duration) {
+    state.begin();
+    let soft_deadline = Instant::now() + grace;
+    while state.inflight() > 0 && Instant::now() < soft_deadline {
+        std::thread::sleep(POLL);
+    }
+    if state.inflight() > 0 {
+        state.cancel_token().cancel();
+    }
+    let hard_deadline = Instant::now() + HARD_CAP;
+    while state.inflight() > 0 && Instant::now() < hard_deadline {
+        std::thread::sleep(POLL);
+    }
+    state.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_without_load_finishes_immediately() {
+        let state = DrainState::new();
+        run_drain(&state, Duration::from_millis(200));
+        assert!(state.is_draining());
+        assert!(state.is_finished());
+        assert!(!state.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn drain_under_load_cancels_after_grace() {
+        let state = DrainState::new();
+        let worker_state = Arc::clone(&state);
+        let worker = std::thread::spawn(move || {
+            let _guard = worker_state.track();
+            // Simulate a long request that honors cancellation.
+            while !worker_state.cancel_token().is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        while state.inflight() == 0 {
+            std::thread::yield_now();
+        }
+        run_drain(&state, Duration::from_millis(20));
+        assert!(state.is_finished());
+        assert!(state.cancel_token().is_cancelled());
+        worker.join().ok();
+    }
+
+    #[test]
+    fn guard_releases_on_drop_even_mid_drain() {
+        let state = DrainState::new();
+        {
+            let _g = state.track();
+            assert_eq!(state.inflight(), 1);
+        }
+        assert_eq!(state.inflight(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! `deptree-serve`: the hardened dependency-service daemon behind
+//! `deptree serve`, plus the `deptree query` client.
+//!
+//! The crate turns the workspace's anytime discovery/quality engine into
+//! a long-running network service without weakening any of its
+//! robustness guarantees. The load-bearing properties, and where they
+//! live:
+//!
+//! - **Bounded everything** — [`protocol::Limits`] caps header and body
+//!   bytes; socket read/write timeouts bound slow peers; the
+//!   [`admission`] gate bounds queued and in-service connections and
+//!   sheds the rest with `429 overloaded`. No input can make the server
+//!   buffer without limit.
+//! - **One deadline per request** — [`router`] maps `timeout_ms` /
+//!   `max_nodes` / `max_rows` onto a single `Exec` budget spanning the
+//!   whole task; a request killed by its deadline still answers `200`
+//!   with a *sound partial* and `partial: true`.
+//! - **Graceful drain** — [`drain`] implements the two-phase protocol:
+//!   readiness flips and new work is refused, in-flight work gets a
+//!   grace period, stragglers are cancelled through the shared
+//!   `CancelToken`, and the process exits 0.
+//! - **One rendering path** — [`tasks`] is shared by the CLI and the
+//!   server, so a server `report` is byte-identical to the CLI's stdout
+//!   for the same request, at any thread count.
+//! - **Structured failure** — every error travels as
+//!   `{"error":{"code","message"}}` with a [`protocol::ErrorCode`] whose
+//!   exit-code mapping matches the CLI's (DESIGN.md §10); the
+//!   [`client`] retries only the codes that are genuinely retryable.
+//!
+//! Std-only by design: the HTTP/1.1 subset, JSON codec, thread pool, and
+//! signal handling are all in-tree, so the tier-1 build needs no network.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod drain;
+pub mod json;
+pub mod listener;
+pub mod protocol;
+pub mod router;
+pub mod tasks;
+
+pub use client::{query, ClientConfig, ClientError, Response};
+pub use drain::DrainState;
+pub use json::Json;
+pub use listener::{spawn, ServeConfig, ServerHandle};
+pub use protocol::{ErrorCode, Limits};
+pub use router::AppState;
+pub use tasks::{ProfileOpts, TaskReport};

@@ -1,0 +1,309 @@
+//! The server proper: accept loop, worker pool, and lifecycle handle.
+//!
+//! Thread layout for one server:
+//!
+//! ```text
+//! accept thread ──try_admit──▶ bounded queue ──recv──▶ worker 0..N
+//!      │  (shed: answer 429 inline, close)                  │
+//!      │                                                    ▼
+//!      └── polls DrainState::is_finished ──▶ exit     route + respond
+//! ```
+//!
+//! The accept loop is nonblocking so it can interleave accepting with the
+//! drain flag; accepted sockets are switched back to blocking with read
+//! and write timeouts before any framing happens, which is the slow-loris
+//! bound. A worker holds exactly one connection at a time, so `workers`
+//! is also the in-service concurrency cap; `queue_depth` bounds the wait
+//! line behind them, and everything past that is shed at accept time.
+
+use crate::admission::{Admission, AdmissionStats, ShedReason};
+use crate::drain::{run_drain, DrainState};
+use crate::protocol::{error_body, read_request, write_response, ErrorCode, Limits};
+use crate::router::{handle, AppState};
+use deptree_core::DeptreeError;
+use deptree_relation::Relation;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a server instance needs to start.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Named datasets, preloaded by the caller.
+    pub datasets: Vec<(String, Relation)>,
+    /// Connection cap (queued + in service); excess is shed with 429.
+    pub max_connections: usize,
+    /// Accept→worker hand-off queue depth; excess is shed with 429.
+    pub queue_depth: usize,
+    /// Worker threads; also the in-service concurrency cap.
+    pub workers: usize,
+    /// Socket read timeout (slow-loris bound).
+    pub read_timeout: Duration,
+    /// Socket write timeout (stuck-peer bound).
+    pub write_timeout: Duration,
+    /// Header/body byte caps.
+    pub limits: Limits,
+    /// Deadline for requests that do not name one.
+    pub default_deadline: Duration,
+    /// Cap on any requested deadline.
+    pub max_deadline: Duration,
+    /// Engine threads available to each request.
+    pub threads: usize,
+    /// Soft-drain grace before in-flight work is cancelled.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            datasets: Vec::new(),
+            max_connections: 64,
+            queue_depth: 16,
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            threads: 1,
+            drain_grace: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::drain`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    drain: Arc<DrainState>,
+    drain_grace: Duration,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<AdmissionStats>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The lifecycle state, for wiring signal handlers.
+    pub fn drain_state(&self) -> &Arc<DrainState> {
+        &self.drain
+    }
+
+    /// Connections shed so far.
+    pub fn shed(&self) -> u64 {
+        self.stats.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.stats.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Run the graceful-drain protocol to completion (blocking): flip
+    /// readiness, wait out the grace, cancel stragglers, stop accepting.
+    pub fn drain(&self) {
+        run_drain(&self.drain, self.drain_grace);
+    }
+
+    /// Wait for the accept loop and every worker to exit. Call after
+    /// [`ServerHandle::drain`]; joining a serving handle blocks forever.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind, spawn the accept loop and worker pool, and return the handle.
+pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| DeptreeError::Io {
+        path: config.addr.clone(),
+        message: format!("bind failed: {e}"),
+    })?;
+    let addr = listener.local_addr().map_err(|e| DeptreeError::Io {
+        path: config.addr.clone(),
+        message: format!("local_addr failed: {e}"),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DeptreeError::Io {
+            path: config.addr.clone(),
+            message: format!("set_nonblocking failed: {e}"),
+        })?;
+
+    let drain = DrainState::new();
+    let mut datasets = BTreeMap::new();
+    for (name, r) in config.datasets {
+        datasets.insert(name, r);
+    }
+    let app = Arc::new(AppState {
+        datasets,
+        drain: Arc::clone(&drain),
+        threads: config.threads.max(1),
+        default_deadline: config.default_deadline,
+        max_deadline: config.max_deadline,
+    });
+
+    let (admission, rx) = Admission::new(config.queue_depth, config.max_connections);
+    let stats = Arc::clone(&admission.stats);
+    let rx = Arc::new(Mutex::new(rx));
+    let io = IoConfig {
+        read_timeout: config.read_timeout,
+        write_timeout: config.write_timeout,
+        limits: config.limits,
+    };
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let app = Arc::clone(&app);
+        let rx = Arc::clone(&rx);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("deptree-worker-{i}"))
+                .spawn(move || worker_loop(&app, &rx, &io))
+                .map_err(|e| DeptreeError::Io {
+                    path: "worker".into(),
+                    message: e.to_string(),
+                })?,
+        );
+    }
+
+    let accept_drain = Arc::clone(&drain);
+    let accept = std::thread::Builder::new()
+        .name("deptree-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &admission, &accept_drain, &io))
+        .map_err(|e| DeptreeError::Io {
+            path: "accept".into(),
+            message: e.to_string(),
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        drain,
+        drain_grace: config.drain_grace,
+        accept: Some(accept),
+        workers,
+        stats,
+    })
+}
+
+/// Per-connection I/O settings shared by accept and worker threads.
+#[derive(Debug, Clone, Copy)]
+struct IoConfig {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    limits: Limits,
+}
+
+/// How long the accept loop sleeps when there is nothing to accept.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+fn accept_loop(listener: &TcpListener, admission: &Admission, drain: &DrainState, io: &IoConfig) {
+    while !drain.is_finished() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is nonblocking; the accepted socket must
+                // not be, or every worker read would spin on WouldBlock.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if let Err((stream, reason)) = admission.try_admit(stream) {
+                    shed(stream, reason, io);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake);
+                // back off briefly instead of spinning.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    // Dropping `admission` here closes the queue; workers drain what is
+    // left and exit on the disconnect.
+}
+
+/// Answer a shed connection with `429 overloaded` (best effort) and
+/// close it. Runs on the accept thread, so it must stay cheap: a short
+/// write timeout bounds it.
+fn shed(mut stream: TcpStream, reason: ShedReason, io: &IoConfig) {
+    let _ = stream.set_write_timeout(Some(io.write_timeout.min(Duration::from_millis(500))));
+    let (code, detail) = match reason {
+        ShedReason::Connections => (ErrorCode::Overloaded, "connection cap reached"),
+        ShedReason::Queue => (ErrorCode::Overloaded, "request queue full"),
+        ShedReason::Closed => (ErrorCode::Draining, "server is shutting down"),
+    };
+    let _ = write_response(&mut stream, code.http_status(), &error_body(code, detail));
+}
+
+/// How long a worker blocks on the queue before re-checking liveness.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+fn worker_loop(app: &AppState, rx: &Mutex<Receiver<crate::admission::Conn>>, io: &IoConfig) {
+    loop {
+        // Hold the lock only for the timed receive, never while serving.
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv_timeout(WORKER_POLL)
+        };
+        match conn {
+            Ok(conn) => serve_conn(app, conn, io),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection: frame, route, respond, close.
+fn serve_conn(app: &AppState, mut conn: crate::admission::Conn, io: &IoConfig) {
+    // `conn` stays whole for the duration: its admission slot is the
+    // "in service" claim and must not release until the socket closes.
+    let stream = &mut conn.stream;
+    if stream.set_read_timeout(Some(io.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(io.write_timeout)).is_err()
+    {
+        return;
+    }
+    let (status, body) = match read_request(stream, &io.limits) {
+        Ok(req) => {
+            // Last-resort panic barrier: a handler bug must cost one
+            // request, not the worker thread (and with it 1/N of the
+            // server's capacity).
+            match catch_unwind(AssertUnwindSafe(|| handle(app, &req))) {
+                Ok(resp) => resp,
+                Err(_) => (
+                    ErrorCode::Internal.http_status(),
+                    error_body(ErrorCode::Internal, "request handler panicked"),
+                ),
+            }
+        }
+        Err(e) => {
+            if e == crate::protocol::ProtoError::Closed {
+                return; // nobody to answer
+            }
+            let code = e.code();
+            (code.http_status(), error_body(code, &e.message()))
+        }
+    };
+    // Best effort: the peer may have hung up mid-response.
+    let _ = write_response(stream, status, &body);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    // `conn` drops here, releasing its admission slot.
+}

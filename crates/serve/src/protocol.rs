@@ -1,0 +1,499 @@
+//! Wire protocol: bounded HTTP/1.1 framing and the service error-code
+//! table.
+//!
+//! The server speaks a deliberately small slice of HTTP/1.1 — one request
+//! per connection, `Content-Length` bodies only, `Connection: close` on
+//! every response — because every feature dropped is a failure mode
+//! removed. Every read is bounded twice: by the socket read timeout
+//! (slow-loris protection) and by byte caps on the header block and body
+//! ([`Limits`]). Anything outside the slice is answered with a structured
+//! JSON error, never a panic and never an unbounded buffer.
+//!
+//! The [`ErrorCode`] table is the protocol face of
+//! [`deptree_core::DeptreeError`]: each code carries the HTTP status it
+//! travels with, the CLI exit code `deptree query` maps it back onto
+//! (kept in sync with `DeptreeError::exit_code`, see DESIGN.md §10), and
+//! whether a client may retry it.
+
+use crate::json::Json;
+use deptree_core::engine::BudgetKind;
+use deptree_core::DeptreeError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Byte caps applied while reading a request or response.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_header_bytes: usize,
+    /// Maximum body bytes (the declared `Content-Length` is checked
+    /// before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token.
+    pub method: String,
+    /// Request target (path + optional query, as sent).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer closed the connection before sending anything useful.
+    Closed,
+    /// A socket read/write timed out (slow client).
+    Timeout,
+    /// A byte cap was exceeded; the payload names which.
+    TooLarge(String),
+    /// The bytes received do not form a valid frame.
+    Malformed(String),
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl ProtoError {
+    /// The error code this frame failure is reported as.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ProtoError::Closed => ErrorCode::BadRequest,
+            ProtoError::Timeout => ErrorCode::Timeout,
+            ProtoError::TooLarge(_) => ErrorCode::TooLarge,
+            ProtoError::Malformed(_) => ErrorCode::BadRequest,
+            ProtoError::Io(_) => ErrorCode::Io,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            ProtoError::Closed => "connection closed".into(),
+            ProtoError::Timeout => "timed out reading the request".into(),
+            ProtoError::TooLarge(what) => format!("{what} exceeds the configured limit"),
+            ProtoError::Malformed(what) => format!("malformed request: {what}"),
+            ProtoError::Io(m) => format!("i/o error: {m}"),
+        }
+    }
+}
+
+fn classify_io(e: &std::io::Error) -> ProtoError {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        WouldBlock | TimedOut => ProtoError::Timeout,
+        ConnectionReset | ConnectionAborted | BrokenPipe | UnexpectedEof => ProtoError::Closed,
+        _ => ProtoError::Io(e.to_string()),
+    }
+}
+
+/// Read bytes until the blank line ending an HTTP head, returning
+/// `(head, leftover)` where `leftover` is any body prefix already pulled
+/// off the socket. Bounded by `max_head` bytes and the socket timeout.
+pub fn read_head(
+    stream: &mut TcpStream,
+    max_head: usize,
+) -> Result<(Vec<u8>, Vec<u8>), ProtoError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = find(&buf, b"\r\n\r\n") {
+            let rest = buf.split_off(pos + 4);
+            buf.truncate(pos);
+            return Ok((buf, rest));
+        }
+        if buf.len() > max_head {
+            return Err(ProtoError::TooLarge("header block".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                ProtoError::Closed
+            } else {
+                ProtoError::Malformed("connection closed mid-header".into())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, ProtoError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ProtoError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok(headers)
+}
+
+/// Read the fixed-length remainder of a body, `already` holding any bytes
+/// pulled past the head. Bounded by `want` and the socket timeout.
+fn read_body(
+    stream: &mut TcpStream,
+    mut already: Vec<u8>,
+    want: usize,
+) -> Result<Vec<u8>, ProtoError> {
+    already.truncate(want);
+    let mut chunk = [0u8; 4096];
+    while already.len() < want {
+        let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(ProtoError::Malformed("connection closed mid-body".into()));
+        }
+        let take = n.min(want - already.len());
+        already.extend_from_slice(&chunk[..take]);
+    }
+    Ok(already)
+}
+
+/// Read one request frame off the socket under the given limits.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ProtoError> {
+    let (head, leftover) = read_head(stream, limits.max_header_bytes)?;
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ProtoError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtoError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let headers = parse_headers(lines)?;
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(ProtoError::Malformed(
+            "transfer-encoding is not supported; send content-length".into(),
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ProtoError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ProtoError::TooLarge("request body".into()));
+    }
+    let body = read_body(stream, leftover, content_length)?;
+    Ok(Request { body, ..request })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response frame (best effort; callers ignore the result
+/// when the peer is already gone).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.render();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Every failure class the protocol can report. The table is the service
+/// mirror of the CLI exit codes (0–8): `exit_code` says what
+/// `deptree query` exits with when the error is terminal, `retryable`
+/// whether the client's backoff loop may try again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or body was malformed.
+    BadRequest,
+    /// Unknown route or dataset.
+    NotFound,
+    /// Known route, wrong method.
+    MethodNotAllowed,
+    /// The client was too slow producing its request.
+    Timeout,
+    /// A header/body byte cap was exceeded.
+    TooLarge,
+    /// Admission control shed the request (queue or connection cap).
+    Overloaded,
+    /// The server is draining and no longer takes work.
+    Draining,
+    /// Server-side I/O failure.
+    Io,
+    /// Rule or input text failed to parse.
+    Parse,
+    /// A relation-level invariant was violated.
+    Relation,
+    /// Configuration out of range.
+    InvalidConfig,
+    /// Unknown notation name.
+    UnknownNotation,
+    /// A budget was exhausted where a complete answer was required.
+    BudgetExhausted,
+    /// The request was cancelled (drain hard-stop).
+    Cancelled,
+    /// The feature combination is not supported.
+    Unsupported,
+    /// A bug: the handler panicked and was caught.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name carried in `error.code`.
+    pub fn wire(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Io => "io",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Relation => "relation",
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::UnknownNotation => "unknown_notation",
+            ErrorCode::BudgetExhausted => "budget_exhausted",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`ErrorCode::wire`].
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "not_found" => ErrorCode::NotFound,
+            "method_not_allowed" => ErrorCode::MethodNotAllowed,
+            "timeout" => ErrorCode::Timeout,
+            "too_large" => ErrorCode::TooLarge,
+            "overloaded" => ErrorCode::Overloaded,
+            "draining" => ErrorCode::Draining,
+            "io" => ErrorCode::Io,
+            "parse" => ErrorCode::Parse,
+            "relation" => ErrorCode::Relation,
+            "invalid_config" => ErrorCode::InvalidConfig,
+            "unknown_notation" => ErrorCode::UnknownNotation,
+            "budget_exhausted" => ErrorCode::BudgetExhausted,
+            "cancelled" => ErrorCode::Cancelled,
+            "unsupported" => ErrorCode::Unsupported,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The HTTP status this code travels with.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest
+            | ErrorCode::Parse
+            | ErrorCode::Relation
+            | ErrorCode::InvalidConfig
+            | ErrorCode::Unsupported => 400,
+            ErrorCode::NotFound | ErrorCode::UnknownNotation => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::Timeout => 408,
+            ErrorCode::TooLarge => 413,
+            ErrorCode::Overloaded => 429,
+            ErrorCode::Draining | ErrorCode::Cancelled | ErrorCode::BudgetExhausted => 503,
+            ErrorCode::Io | ErrorCode::Internal => 500,
+        }
+    }
+
+    /// The CLI exit status `deptree query` uses when this error is final —
+    /// the same classes the local CLI uses (DESIGN.md §8/§10).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest | ErrorCode::MethodNotAllowed | ErrorCode::Internal => 1,
+            ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Overloaded | ErrorCode::Draining => 2,
+            ErrorCode::Parse | ErrorCode::TooLarge => 3,
+            ErrorCode::Relation => 4,
+            ErrorCode::NotFound | ErrorCode::InvalidConfig | ErrorCode::UnknownNotation => 5,
+            ErrorCode::BudgetExhausted => 6,
+            ErrorCode::Cancelled => 7,
+            ErrorCode::Unsupported => 8,
+        }
+    }
+
+    /// May a client retry after backoff? Only pure load/timing conditions
+    /// qualify; everything else would fail identically again.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Timeout | ErrorCode::Overloaded | ErrorCode::Draining
+        )
+    }
+}
+
+/// Map a library error onto its protocol code.
+pub fn code_for(e: &DeptreeError) -> ErrorCode {
+    match e {
+        DeptreeError::Io { .. } => ErrorCode::Io,
+        DeptreeError::Parse(_) => ErrorCode::Parse,
+        DeptreeError::Relation(_) => ErrorCode::Relation,
+        DeptreeError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+        DeptreeError::UnknownNotation(_) => ErrorCode::UnknownNotation,
+        DeptreeError::BudgetExhausted(_) => ErrorCode::BudgetExhausted,
+        DeptreeError::Cancelled => ErrorCode::Cancelled,
+        DeptreeError::Unsupported(_) => ErrorCode::Unsupported,
+    }
+}
+
+/// The standard error body: `{"error":{"code":…,"message":…}}`.
+pub fn error_body(code: ErrorCode, message: &str) -> Json {
+    Json::obj().set(
+        "error",
+        Json::obj().set("code", code.wire()).set("message", message),
+    )
+}
+
+/// Stable wire token for a budget kind (`exhausted` response field).
+pub fn budget_wire(kind: BudgetKind) -> &'static str {
+    match kind {
+        BudgetKind::Deadline => "deadline",
+        BudgetKind::Nodes => "nodes",
+        BudgetKind::Rows => "rows",
+        BudgetKind::Memory => "memory",
+        BudgetKind::Cancelled => "cancelled",
+    }
+}
+
+/// Inverse of [`budget_wire`].
+pub fn budget_from_wire(s: &str) -> Option<BudgetKind> {
+    Some(match s {
+        "deadline" => BudgetKind::Deadline,
+        "nodes" => BudgetKind::Nodes,
+        "rows" => BudgetKind::Rows,
+        "memory" => BudgetKind::Memory,
+        "cancelled" => BudgetKind::Cancelled,
+        _ => None?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_match_the_cli_table() {
+        // The protocol table must agree with DeptreeError::exit_code for
+        // every library error class.
+        let cases: Vec<DeptreeError> = vec![
+            DeptreeError::Io {
+                path: "x".into(),
+                message: "gone".into(),
+            },
+            DeptreeError::Parse("p".into()),
+            DeptreeError::InvalidConfig("c".into()),
+            DeptreeError::UnknownNotation("n".into()),
+            DeptreeError::BudgetExhausted(BudgetKind::Deadline),
+            DeptreeError::Cancelled,
+            DeptreeError::Unsupported("u".into()),
+        ];
+        for e in &cases {
+            assert_eq!(code_for(e).exit_code(), e.exit_code(), "{e}");
+        }
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::NotFound,
+            ErrorCode::MethodNotAllowed,
+            ErrorCode::Timeout,
+            ErrorCode::TooLarge,
+            ErrorCode::Overloaded,
+            ErrorCode::Draining,
+            ErrorCode::Io,
+            ErrorCode::Parse,
+            ErrorCode::Relation,
+            ErrorCode::InvalidConfig,
+            ErrorCode::UnknownNotation,
+            ErrorCode::BudgetExhausted,
+            ErrorCode::Cancelled,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.wire()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("nope"), None);
+    }
+
+    #[test]
+    fn budget_wire_round_trips() {
+        for kind in [
+            BudgetKind::Deadline,
+            BudgetKind::Nodes,
+            BudgetKind::Rows,
+            BudgetKind::Memory,
+            BudgetKind::Cancelled,
+        ] {
+            assert_eq!(budget_from_wire(budget_wire(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn retryable_is_load_only() {
+        assert!(ErrorCode::Overloaded.retryable());
+        assert!(ErrorCode::Draining.retryable());
+        assert!(ErrorCode::Timeout.retryable());
+        assert!(!ErrorCode::Parse.retryable());
+        assert!(!ErrorCode::Cancelled.retryable());
+        assert!(!ErrorCode::Internal.retryable());
+    }
+}

@@ -1,0 +1,384 @@
+//! Request routing: paths → tasks, budgets → `Exec`, errors → codes.
+//!
+//! The router is a pure function from a parsed [`Request`] and the shared
+//! [`AppState`] to `(status, body)`. All state mutation is confined to
+//! the in-flight counter (for drain) and the engine's own atomics, so the
+//! router can be driven concurrently by every worker thread.
+//!
+//! Endpoints:
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET  | `/healthz`     | liveness (200 while the process serves) |
+//! | GET  | `/readyz`      | readiness (503 once draining) |
+//! | GET  | `/v1/datasets` | preloaded dataset catalogue |
+//! | POST | `/v1/discover` | discovery profile (TANE/CORDS/OD/FASTDC) |
+//! | POST | `/v1/validate` | does one rule hold (+ g3)? |
+//! | POST | `/v1/detect`   | violation witnesses of one rule |
+//! | POST | `/v1/repair`   | FD repair; returns repaired CSV |
+//! | POST | `/v1/dedup`    | exact-key duplicate clustering |
+//!
+//! Task bodies share the envelope `{dataset, timeout_ms?, max_nodes?,
+//! max_rows?}` plus per-task fields; task responses share `{task,
+//! dataset, report, partial, exhausted?, stats}`. A request truncated by
+//! its deadline or by drain cancellation still answers `200` with
+//! `partial: true` — the sound-partial anytime contract carried over the
+//! wire.
+
+use crate::drain::DrainState;
+use crate::json::Json;
+use crate::protocol::{budget_wire, code_for, error_body, ErrorCode, Request};
+use crate::tasks;
+use deptree_core::engine::{Budget, Exec};
+use deptree_core::DeptreeError;
+use deptree_relation::{to_csv, Relation};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Immutable per-server state shared by all workers.
+pub struct AppState {
+    /// Named, preloaded datasets.
+    pub datasets: BTreeMap<String, Relation>,
+    /// Lifecycle flags; the router refuses task work while draining.
+    pub drain: Arc<DrainState>,
+    /// Worker threads each request's `Exec` may use.
+    pub threads: usize,
+    /// Deadline applied when the request names none.
+    pub default_deadline: Duration,
+    /// Hard cap on any requested deadline.
+    pub max_deadline: Duration,
+}
+
+/// Dispatch one request. Infallible: every failure becomes a structured
+/// error response.
+pub fn handle(app: &AppState, req: &Request) -> (u16, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            Json::obj()
+                .set("status", "ok")
+                .set("draining", app.drain.is_draining())
+                .set("inflight", app.drain.inflight() as u64),
+        ),
+        ("GET", "/readyz") => {
+            if app.drain.is_draining() {
+                (
+                    503,
+                    Json::obj()
+                        .set("ready", false)
+                        .set("error", draining_error()),
+                )
+            } else {
+                (200, Json::obj().set("ready", true))
+            }
+        }
+        ("GET", "/v1/datasets") => {
+            let list: Vec<Json> = app
+                .datasets
+                .iter()
+                .map(|(name, r)| {
+                    Json::obj()
+                        .set("name", name.as_str())
+                        .set("rows", r.n_rows())
+                        .set("columns", r.n_attrs())
+                })
+                .collect();
+            (200, Json::obj().set("datasets", list))
+        }
+        ("POST", "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup") => {
+            task(app, req)
+        }
+        (_, "/healthz" | "/readyz" | "/v1/datasets") => err(
+            ErrorCode::MethodNotAllowed,
+            &format!("{} not allowed here", req.method),
+        ),
+        (
+            "GET" | "HEAD",
+            "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup",
+        ) => err(ErrorCode::MethodNotAllowed, "use POST with a JSON body"),
+        _ => err(ErrorCode::NotFound, &format!("no route for {}", req.path)),
+    }
+}
+
+fn err(code: ErrorCode, message: &str) -> (u16, Json) {
+    (code.http_status(), error_body(code, message))
+}
+
+fn err_for(e: &DeptreeError) -> (u16, Json) {
+    let code = code_for(e);
+    (code.http_status(), error_body(code, &e.to_string()))
+}
+
+fn draining_error() -> Json {
+    Json::obj()
+        .set("code", ErrorCode::Draining.wire())
+        .set("message", "server is draining; retry elsewhere")
+}
+
+/// Execute one task endpoint under admission + drain + budget rules.
+fn task(app: &AppState, req: &Request) -> (u16, Json) {
+    // Count the request as in flight *before* the drain check so the
+    // drain coordinator can never miss work that raced past the flag.
+    let _inflight = app.drain.track();
+    if app.drain.is_draining() {
+        return err(ErrorCode::Draining, "server is draining");
+    }
+
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return err(ErrorCode::Parse, &msg),
+    };
+    let Some(name) = body.str_field("dataset") else {
+        return err(ErrorCode::BadRequest, "missing `dataset` field");
+    };
+    let Some(relation) = app.datasets.get(name) else {
+        return err(ErrorCode::NotFound, &format!("unknown dataset `{name}`"));
+    };
+
+    let exec = match exec_for(app, &body) {
+        Ok(exec) => exec,
+        Err(msg) => return err(ErrorCode::InvalidConfig, &msg),
+    };
+
+    let task_name = req.path.trim_start_matches("/v1/");
+    let rendered = match task_name {
+        "discover" => {
+            let opts = tasks::ProfileOpts {
+                max_lhs: body.u64_field("max_lhs").unwrap_or(2) as usize,
+                error: body.f64_field("error").unwrap_or(0.0),
+            };
+            Ok((tasks::profile(relation, &opts, &exec), None))
+        }
+        "validate" => rule_of(&body)
+            .and_then(|rule| tasks::validate(relation, rule))
+            .map(|r| (r, None)),
+        "detect" => rule_of(&body)
+            .and_then(|rule| tasks::detect(relation, rule))
+            .map(|r| (r, None)),
+        "repair" => rule_of(&body)
+            .and_then(|rule| tasks::repair(relation, rule, &exec))
+            .map(|(r, repaired)| (r, Some(to_csv(&repaired)))),
+        "dedup" => {
+            let keys: Vec<String> = body
+                .get("keys")
+                .and_then(Json::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default();
+            tasks::dedup(relation, &keys, &exec).map(|r| (r, None))
+        }
+        _ => Err(DeptreeError::Unsupported(format!(
+            "task `{task_name}` is not implemented"
+        ))),
+    };
+
+    match rendered {
+        Err(e) => err_for(&e),
+        Ok((report, csv)) => {
+            let stats = exec.stats();
+            let mut resp = Json::obj()
+                .set("task", task_name)
+                .set("dataset", name)
+                .set("report", report.text)
+                .set("partial", report.exhausted.is_some());
+            if let Some(kind) = report.exhausted {
+                resp = resp.set("exhausted", budget_wire(kind));
+            }
+            if let Some(csv) = csv {
+                resp = resp.set("csv", csv);
+            }
+            resp = resp.set(
+                "stats",
+                Json::obj()
+                    .set("nodes", stats.nodes_visited)
+                    .set("rows", stats.rows_processed)
+                    .set("elapsed_ms", stats.elapsed.as_millis() as u64),
+            );
+            (200, resp)
+        }
+    }
+}
+
+fn rule_of(body: &Json) -> Result<&str, DeptreeError> {
+    body.str_field("rule")
+        .ok_or_else(|| DeptreeError::InvalidConfig("missing `rule` field".into()))
+}
+
+/// Build the per-request execution context: requested deadline clamped to
+/// the server cap, optional node/row budgets, the drain cancel token, and
+/// the server's thread count.
+fn exec_for(app: &AppState, body: &Json) -> Result<Exec, String> {
+    let deadline = match body.get("timeout_ms") {
+        None => app.default_deadline,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Duration::from_millis(ms).min(app.max_deadline),
+            None => return Err("bad `timeout_ms` (want a non-negative integer)".into()),
+        },
+    };
+    let mut budget = Budget::new().with_deadline(deadline);
+    if let Some(v) = body.get("max_nodes") {
+        match v.as_u64() {
+            Some(n) => budget = budget.with_max_nodes(n),
+            None => return Err("bad `max_nodes` (want a non-negative integer)".into()),
+        }
+    }
+    if let Some(v) = body.get("max_rows") {
+        match v.as_u64() {
+            Some(n) => budget = budget.with_max_rows(n),
+            None => return Err("bad `max_rows` (want a non-negative integer)".into()),
+        }
+    }
+    Ok(Exec::with_cancel(budget, app.drain.cancel_token().clone()).with_threads(app.threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r1;
+
+    fn app() -> AppState {
+        let mut datasets = BTreeMap::new();
+        datasets.insert("hotels".to_owned(), hotels_r1());
+        AppState {
+            datasets,
+            drain: DrainState::new(),
+            threads: 1,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(30),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn health_and_ready_flip_on_drain() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/healthz")).0, 200);
+        assert_eq!(handle(&app, &get("/readyz")).0, 200);
+        app.drain.begin();
+        assert_eq!(handle(&app, &get("/healthz")).0, 200);
+        let (status, body) = handle(&app, &get("/readyz"));
+        assert_eq!(status, 503);
+        assert_eq!(
+            body.get("error").and_then(|e| e.str_field("code")),
+            Some("draining")
+        );
+        // Task traffic is refused while draining.
+        let (status, _) = handle(&app, &post("/v1/detect", r#"{"dataset":"hotels"}"#));
+        assert_eq!(status, 503);
+    }
+
+    #[test]
+    fn detect_round_trip() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/v1/detect",
+                r#"{"dataset":"hotels","rule":"address -> region"}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        let report = body.str_field("report").unwrap();
+        assert!(report.contains("2 violation witness(es)"), "{report}");
+        assert_eq!(body.bool_field("partial"), Some(false));
+    }
+
+    #[test]
+    fn unknown_dataset_is_404() {
+        let app = app();
+        let (status, body) = handle(&app, &post("/v1/detect", r#"{"dataset":"nope"}"#));
+        assert_eq!(status, 404);
+        assert_eq!(
+            body.get("error").and_then(|e| e.str_field("code")),
+            Some("not_found")
+        );
+    }
+
+    #[test]
+    fn bad_json_is_a_parse_error() {
+        let app = app();
+        let (status, body) = handle(&app, &post("/v1/discover", "{not json"));
+        assert_eq!(status, 400);
+        assert_eq!(
+            body.get("error").and_then(|e| e.str_field("code")),
+            Some("parse")
+        );
+    }
+
+    #[test]
+    fn wrong_method_and_unknown_route() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/v1/discover")).0, 405);
+        assert_eq!(handle(&app, &post("/healthz", "")).0, 405);
+        assert_eq!(handle(&app, &get("/nope")).0, 404);
+    }
+
+    #[test]
+    fn node_budget_yields_partial_with_cause() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post("/v1/discover", r#"{"dataset":"hotels","max_nodes":1}"#),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("partial"), Some(true));
+        assert_eq!(body.str_field("exhausted"), Some("nodes"));
+    }
+
+    #[test]
+    fn repair_ships_csv() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/v1/repair",
+                r#"{"dataset":"hotels","rule":"address -> region"}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        let csv = body.str_field("csv").unwrap();
+        assert!(csv.contains("name"), "{csv}");
+        let report = body.str_field("report").unwrap();
+        assert!(report.contains("rule now holds: true"), "{report}");
+    }
+
+    #[test]
+    fn bad_budget_fields_are_invalid_config() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post("/v1/discover", r#"{"dataset":"hotels","timeout_ms":-5}"#),
+        );
+        assert_eq!(status, 400);
+        assert_eq!(
+            body.get("error").and_then(|e| e.str_field("code")),
+            Some("invalid_config")
+        );
+    }
+}

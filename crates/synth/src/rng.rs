@@ -203,6 +203,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the reversal is the point
     fn degenerate_ranges_do_not_panic() {
         let mut rng = Rng::seed_from_u64(1);
         assert_eq!(rng.random_range(5..5usize), 5);

@@ -5,28 +5,33 @@
 #
 # Mirrors what the repository expects before a merge:
 #   1. `cargo fmt --check`        — no unformatted code;
-#   2. `cargo clippy` on library  — panicking escape hatches (`unwrap`,
-#      crates with `-D warnings`    `expect`) are denied in library code:
-#      plus unwrap/expect denied    fallible paths must return
-#                                   `DeptreeError`, not abort;
+#   2. `cargo clippy` twice       — libraries *and binaries* with
+#      `unwrap`/`expect` denied (fallible paths must return
+#      `DeptreeError`, not abort), then every target (tests, examples,
+#      benches) with `-D warnings`;
 #   3. tier-1: release build + the root test binaries, run twice — once
 #      serial (DEPTREE_THREADS=1) and once on an 8-worker pool
 #      (DEPTREE_THREADS=8) — so the thread-count-independence contract of
 #      the parallel miners is exercised on every gate;
 #   4. pairwise_scaling --smoke — tiny-size run of the blocking/index
 #      benchmark that asserts indexed candidate generation reproduces the
-#      naive pair scans exactly (MD discovery, DC evidence, dedup).
+#      naive pair scans exactly (MD discovery, DC evidence, dedup);
+#   5. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
+#      a `deptree query`, SIGTERM it, and require a graceful exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== fmt =="
 cargo fmt --check
 
-echo "== clippy (libraries; unwrap/expect denied) =="
-cargo clippy --workspace --lib --quiet -- \
+echo "== clippy (libraries + binaries; unwrap/expect denied) =="
+cargo clippy --workspace --lib --bins --quiet -- \
     -D warnings \
     -D clippy::unwrap_used \
     -D clippy::expect_used
+
+echo "== clippy (all targets) =="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "== tier-1: build =="
 cargo build --release --quiet
@@ -39,5 +44,25 @@ DEPTREE_THREADS=8 cargo test -q
 
 echo "== pairwise_scaling smoke (indexed ≡ naive) =="
 cargo run --release --quiet --bin pairwise_scaling -- --smoke
+
+echo "== serve smoke (boot, query round trip, drain to exit 0) =="
+serve_log="$(mktemp)"
+trap 'rm -f "$serve_log"' EXIT
+target/release/deptree serve --data hotels=data/hotels.csv:t,t,t,n,n \
+    --addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never reported its address"; cat "$serve_log"; exit 1; }
+target/release/deptree query datasets --addr "$addr"
+target/release/deptree query detect --addr "$addr" --dataset hotels \
+    --rule "address -> region" >/dev/null
+kill -TERM "$serve_pid"
+wait "$serve_pid"   # set -e: non-zero (ungraceful) drain fails the gate
 
 echo "ci: all green"

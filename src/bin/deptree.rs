@@ -1,4 +1,4 @@
-//! `deptree` — command-line data-dependency profiler and cleaner.
+//! `deptree` — command-line data-dependency profiler, cleaner and server.
 //!
 //! ```text
 //! deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]
@@ -6,21 +6,31 @@
 //! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--lossy]
 //! deptree repair  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--out repaired.csv]
 //!                            [--timeout-ms MS] [--max-nodes N] [--threads T] [--lossy]
+//! deptree serve   --data name=path[:types] [--data ...] [--addr HOST:PORT]
+//!                            [--workers N] [--queue-depth N] [--max-conns N]
+//!                            [--default-timeout-ms MS] [--max-timeout-ms MS]
+//!                            [--drain-grace-ms MS] [--threads T] [--lossy]
+//! deptree query   <discover|validate|detect|repair|dedup|datasets> --addr HOST:PORT
+//!                            [--dataset NAME] [--rule "..."] [--keys a,b] [--max-lhs K]
+//!                            [--error E] [--timeout-ms MS] [--max-nodes N] [--max-rows N]
+//!                            [--retries N] [--seed S] [--out FILE]
 //! deptree tree
 //! ```
 //!
 //! Column types: `c` categorical, `t` text, `n` numeric (default: all
 //! categorical). `profile` runs approximate-FD, soft-FD, OD and DC
 //! discovery and prints a report; `detect`/`repair` work with one FD-style
-//! rule.
+//! rule. `serve` exposes the same tasks over HTTP against preloaded
+//! datasets (see DESIGN.md §10); `query` is the matching retry client.
 //!
-//! ## Budgets and exit codes
+//! ## Budgets, cancellation and exit codes
 //!
 //! `--timeout-ms` and `--max-nodes` bound the search. When a budget runs
-//! out, the partial (still sound) results are printed and the process
-//! exits with a distinct status so scripts can tell "done" from
-//! "truncated". Exit codes: 0 success, 1 usage, 2 I/O, 3 parse,
-//! 4 relation, 5 config, 6 budget exhausted, 7 cancelled, 8 unsupported.
+//! out — or Ctrl-C arrives mid-search — the partial (still sound) results
+//! are printed and the process exits with a distinct status so scripts
+//! can tell "done" from "truncated". Exit codes: 0 success, 1 usage,
+//! 2 I/O, 3 parse, 4 relation, 5 config, 6 budget exhausted,
+//! 7 cancelled, 8 unsupported. A second Ctrl-C force-exits (130).
 //!
 //! ## Parallelism
 //!
@@ -29,13 +39,14 @@
 //! are identical at every thread count — parallelism changes wall-clock
 //! time, never output.
 
-use deptree::core::engine::{Budget, BudgetKind, Exec};
-use deptree::core::{Dependency, DeptreeError, Fd};
-use deptree::discovery::{cords, dc, od, tane};
-use deptree::quality::repair;
+use deptree::core::engine::{signal, Budget, BudgetKind, CancelToken, Exec};
+use deptree::core::DeptreeError;
 use deptree::relation::{parse_csv, parse_csv_lossy, to_csv, Relation, ValueType};
+use deptree::serve::protocol::budget_from_wire;
+use deptree::serve::{tasks, ClientConfig, Json, ServeConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Print a line to stdout; if the reader has gone away (`deptree … |
 /// head` closes the pipe), stop quietly instead of panicking on EPIPE —
@@ -56,6 +67,14 @@ macro_rules! esay {
     };
 }
 
+/// Print an already-rendered (newline-terminated) report to stdout with
+/// the same EPIPE policy as [`say!`].
+fn emit(text: &str) {
+    if write!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -71,6 +90,15 @@ fn main() -> ExitCode {
             esay!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
             esay!("                             [--timeout-ms MS] [--max-nodes N] [--threads T]");
             esay!("                             [--lossy]");
+            esay!("  deptree serve   --data name=path[:types] [--addr HOST:PORT] [--workers N]");
+            esay!("                             [--queue-depth N] [--max-conns N] [--threads T]");
+            esay!("                             [--default-timeout-ms MS] [--max-timeout-ms MS]");
+            esay!("                             [--drain-grace-ms MS] [--lossy]");
+            esay!("  deptree query   <discover|validate|detect|repair|dedup|datasets>");
+            esay!(
+                "                             --addr HOST:PORT [--dataset NAME] [--rule \"...\"]"
+            );
+            esay!("                             [--keys a,b] [--timeout-ms MS] [--retries N]");
             esay!("  deptree tree");
             ExitCode::FAILURE
         }
@@ -78,15 +106,21 @@ fn main() -> ExitCode {
             esay!("error: {e}");
             ExitCode::from(e.exit_code())
         }
+        Err(CliError::Exit(code, msg)) => {
+            esay!("error: {msg}");
+            ExitCode::from(code)
+        }
     }
 }
 
 /// CLI failures: malformed invocations keep the classic exit status 1 and
-/// usage text; everything else carries a [`DeptreeError`] whose class
-/// decides the exit status.
+/// usage text; library failures carry a [`DeptreeError`] whose class
+/// decides the exit status; remote failures already arrive as an exit
+/// code + message from the protocol's error table.
 enum CliError {
     Usage(String),
     Structured(DeptreeError),
+    Exit(u8, String),
 }
 
 impl From<DeptreeError> for CliError {
@@ -104,6 +138,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("profile") => profile(&args[1..]),
         Some("detect") => detect(&args[1..]),
         Some("repair") => repair_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("query") => query_cmd(&args[1..]),
         Some("tree") => {
             let art = deptree::core::familytree::ExtensionGraph::survey().to_ascii();
             // The payload carries its own trailing newline; ignore EPIPE.
@@ -122,15 +158,24 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parse an optional integer-valued flag.
+fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| usage(format!("bad {name}"))),
+    }
+}
+
 /// Build the execution budget from `--timeout-ms` / `--max-nodes`.
 fn budget(args: &[String]) -> Result<Budget, CliError> {
     let mut b = Budget::default();
-    if let Some(ms) = flag(args, "--timeout-ms") {
-        let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
-        b = b.with_deadline(std::time::Duration::from_millis(ms));
+    if let Some(ms) = num_flag(args, "--timeout-ms")? {
+        b = b.with_deadline(Duration::from_millis(ms));
     }
-    if let Some(n) = flag(args, "--max-nodes") {
-        let n: u64 = n.parse().map_err(|_| usage("bad --max-nodes"))?;
+    if let Some(n) = num_flag(args, "--max-nodes")? {
         b = b.with_max_nodes(n);
     }
     Ok(b)
@@ -148,13 +193,32 @@ fn threads(args: &[String]) -> Result<usize, CliError> {
     }
 }
 
-fn load(args: &[String]) -> Result<Relation, CliError> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
-        .ok_or_else(|| usage("no input CSV given"))?;
+/// An `Exec` whose budget is also released by Ctrl-C: the first signal
+/// cancels the token (the search winds down to its sound partial, the
+/// process exits 7), a second force-exits.
+fn interruptible_exec(args: &[String]) -> Result<Exec, CliError> {
+    let token = CancelToken::new();
+    signal::cancel_on_signal(token.clone());
+    Ok(Exec::with_cancel(budget(args)?, token).with_threads(threads(args)?))
+}
+
+/// Parse a `--types` spec (`c,t,n,...`) into column types.
+fn parse_types(spec: &str) -> Result<Vec<ValueType>, CliError> {
+    spec.split(',')
+        .map(|t| match t.trim() {
+            "c" => Ok(ValueType::Categorical),
+            "t" => Ok(ValueType::Text),
+            "n" => Ok(ValueType::Numeric),
+            other => Err(usage(format!("unknown type `{other}` (use c, t or n)"))),
+        })
+        .collect()
+}
+
+/// Load one CSV file with an optional type spec; `lossy` downgrades cell
+/// errors to stderr warnings.
+fn load_csv_file(path: &str, types_spec: Option<&str>, lossy: bool) -> Result<Relation, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| DeptreeError::Io {
-        path: path.clone(),
+        path: path.to_owned(),
         message: e.to_string(),
     })?;
     let header_cols = text
@@ -163,19 +227,11 @@ fn load(args: &[String]) -> Result<Relation, CliError> {
         .ok_or_else(|| DeptreeError::Parse(format!("{path}: empty file")))?
         .split(',')
         .count();
-    let types: Vec<ValueType> = match flag(args, "--types") {
-        Some(spec) => spec
-            .split(',')
-            .map(|t| match t.trim() {
-                "c" => Ok(ValueType::Categorical),
-                "t" => Ok(ValueType::Text),
-                "n" => Ok(ValueType::Numeric),
-                other => Err(usage(format!("unknown type `{other}` (use c, t or n)"))),
-            })
-            .collect::<Result<_, _>>()?,
+    let types = match types_spec {
+        Some(spec) => parse_types(spec)?,
         None => vec![ValueType::Categorical; header_cols],
     };
-    if args.iter().any(|a| a == "--lossy") {
+    if lossy {
         let out = parse_csv_lossy(&text, &types).map_err(DeptreeError::from)?;
         for issue in &out.issues {
             esay!("warning: {path}: {issue}");
@@ -186,12 +242,28 @@ fn load(args: &[String]) -> Result<Relation, CliError> {
     }
 }
 
+fn load(args: &[String]) -> Result<Relation, CliError> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
+        .ok_or_else(|| usage("no input CSV given"))?;
+    load_csv_file(
+        path,
+        flag(args, "--types").as_deref(),
+        args.iter().any(|a| a == "--lossy"),
+    )
+}
+
 /// After printing partial results, surface the truncation as the exit
-/// status (code 6) so callers can distinguish complete from partial runs.
+/// status (code 6, or 7 when cancelled) so callers can distinguish
+/// complete from partial runs.
 fn check_complete(exhausted: Option<BudgetKind>) -> Result<(), CliError> {
     match exhausted {
         None => Ok(()),
-        Some(BudgetKind::Cancelled) => Err(DeptreeError::Cancelled.into()),
+        Some(BudgetKind::Cancelled) => {
+            esay!("note: cancelled — results above are sound but partial");
+            Err(DeptreeError::Cancelled.into())
+        }
         Some(kind) => {
             esay!("note: {kind} exhausted — results above are sound but partial");
             Err(DeptreeError::BudgetExhausted(kind).into())
@@ -201,150 +273,253 @@ fn check_complete(exhausted: Option<BudgetKind>) -> Result<(), CliError> {
 
 fn profile(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
-    let max_lhs: usize = flag(args, "--max-lhs")
-        .map(|v| v.parse().map_err(|_| usage("bad --max-lhs")))
-        .transpose()?
-        .unwrap_or(2);
-    let error: f64 = flag(args, "--error")
-        .map(|v| v.parse().map_err(|_| usage("bad --error")))
-        .transpose()?
-        .unwrap_or(0.0);
-    let budget = budget(args)?;
-    let threads = threads(args)?;
-    let mut exhausted: Option<BudgetKind> = None;
-
-    say!("{} rows × {} columns", r.n_rows(), r.n_attrs());
-    say!();
-
-    let kind = if error > 0.0 {
-        "approximate FDs"
-    } else {
-        "exact FDs"
+    let opts = tasks::ProfileOpts {
+        max_lhs: num_flag(args, "--max-lhs")?.unwrap_or(2) as usize,
+        error: flag(args, "--error")
+            .map(|v| v.parse().map_err(|_| usage("bad --error")))
+            .transpose()?
+            .unwrap_or(0.0),
     };
-    let exec = Exec::new(budget.clone()).with_threads(threads);
-    let t = tane::discover_bounded(
-        &r,
-        &tane::TaneConfig {
-            max_lhs,
-            max_error: error,
-        },
-        &exec,
-    );
-    exhausted = exhausted.or(t.exhausted);
-    say!(
-        "== {kind} (TANE, max LHS {max_lhs}) — {} found{} ==",
-        t.result.fds.len(),
-        if t.complete { "" } else { ", search truncated" }
-    );
-    for fd in t.result.fds.iter().take(25) {
-        say!("  {fd}");
-    }
-    if t.result.fds.len() > 25 {
-        say!("  … and {} more", t.result.fds.len() - 25);
-    }
-
-    let c = cords::discover(
-        &r,
-        &cords::CordsConfig {
-            min_strength: 0.8,
-            ..Default::default()
-        },
-    );
-    say!(
-        "\n== soft FDs (CORDS, strength ≥ 0.8 on {}-row sample) — {} found ==",
-        c.sampled_rows,
-        c.sfds.len()
-    );
-    for sfd in c.sfds.iter().take(10) {
-        say!("  {sfd} (strength {:.2})", sfd.strength(&r));
-    }
-
-    let numeric = r
-        .schema()
-        .iter()
-        .filter(|(_, a)| a.ty == ValueType::Numeric)
-        .count();
-    if numeric >= 2 {
-        let exec = Exec::new(budget.clone()).with_threads(threads);
-        let ods = od::discover_bounded(&r, &od::OdConfig::default(), &exec);
-        exhausted = exhausted.or(ods.exhausted);
-        say!(
-            "\n== order dependencies — {} found{} ==",
-            ods.result.len(),
-            if ods.complete {
-                ""
-            } else {
-                ", search truncated"
-            }
-        );
-        for o in ods.result.iter().take(10) {
-            say!("  {o}");
-        }
-        if r.n_rows() <= 500 || !budget.is_unlimited() {
-            let exec = Exec::new(budget.clone()).with_threads(threads);
-            let d = dc::discover_bounded(&r, &dc::DcConfig::default(), &exec);
-            exhausted = exhausted.or(d.exhausted);
-            say!(
-                "\n== denial constraints (FASTDC) — {} found{} ==",
-                d.result.dcs.len(),
-                if d.complete { "" } else { ", search truncated" }
-            );
-            for rule in d.result.dcs.iter().take(10) {
-                say!("  {rule}");
-            }
-        } else {
-            say!(
-                "\n(skipping FASTDC: {} rows > 500; sample the file or pass --timeout-ms)",
-                r.n_rows()
-            );
-        }
-    }
-    check_complete(exhausted)
+    let exec = interruptible_exec(args)?;
+    let report = tasks::profile(&r, &opts, &exec);
+    emit(&report.text);
+    check_complete(report.exhausted)
 }
 
-fn parse_rule(args: &[String], r: &Relation) -> Result<Fd, CliError> {
-    let rule = flag(args, "--rule").ok_or_else(|| usage("missing --rule \"lhs -> rhs\""))?;
-    Fd::parse(r.schema(), &rule).ok_or_else(|| {
-        DeptreeError::Parse(format!("cannot parse rule `{rule}` against the header")).into()
-    })
+/// The `--rule` flag (shared by detect/repair/validate-style commands).
+fn rule_flag(args: &[String]) -> Result<String, CliError> {
+    flag(args, "--rule").ok_or_else(|| usage("missing --rule \"lhs -> rhs\""))
 }
 
 fn detect(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
-    let fd = parse_rule(args, &r)?;
-    let violations = fd.violations(&r);
-    say!(
-        "{fd}: {} violation witness(es), g3 = {:.4}",
-        violations.len(),
-        fd.g3(&r)
-    );
-    for v in violations.iter().take(50) {
-        let rows: Vec<String> = v.rows.iter().map(|row| format!("#{}", row + 1)).collect();
-        say!("  rows {}", rows.join(" / "));
-    }
-    if violations.len() > 50 {
-        say!("  … and {} more", violations.len() - 50);
-    }
+    let report = tasks::detect(&r, &rule_flag(args)?)?;
+    emit(&report.text);
     Ok(())
 }
 
 fn repair_cmd(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
-    let fd = parse_rule(args, &r)?;
-    let exec = Exec::new(budget(args)?).with_threads(threads(args)?);
-    let out_come = repair::repair_fds_bounded(&r, std::slice::from_ref(&fd), 10, &exec);
-    let result = &out_come.result;
-    say!(
-        "repaired in {} iteration(s), {} cell(s) changed; rule now holds: {}",
-        result.iterations,
-        result.changes.len(),
-        fd.holds(&result.relation)
-    );
+    let rule = rule_flag(args)?;
+    let exec = interruptible_exec(args)?;
+    let (report, repaired) = tasks::repair(&r, &rule, &exec)?;
+    emit(&report.text);
     let out = flag(args, "--out").unwrap_or_else(|| "repaired.csv".into());
-    std::fs::write(&out, to_csv(&result.relation)).map_err(|e| DeptreeError::Io {
+    std::fs::write(&out, to_csv(&repaired)).map_err(|e| DeptreeError::Io {
         path: out.clone(),
         message: e.to_string(),
     })?;
     say!("wrote {out}");
-    check_complete(out_come.exhausted)
+    check_complete(report.exhausted)
+}
+
+/// Parse one `--data name=path[:types]` spec. The `:types` suffix is
+/// only treated as a type list when it looks like one (`c`/`t`/`n`,
+/// comma-separated), so paths containing `:` keep working.
+fn parse_data_spec(spec: &str) -> Result<(String, String, Option<String>), CliError> {
+    let Some((name, rest)) = spec.split_once('=') else {
+        return Err(usage(format!(
+            "bad --data `{spec}` (want name=path[:types])"
+        )));
+    };
+    if name.is_empty() {
+        return Err(usage(format!("bad --data `{spec}`: empty dataset name")));
+    }
+    if let Some((path, types)) = rest.rsplit_once(':') {
+        let is_types = !types.is_empty() && types.split(',').all(|t| matches!(t, "c" | "t" | "n"));
+        if is_types {
+            return Ok((name.to_owned(), path.to_owned(), Some(types.to_owned())));
+        }
+    }
+    Ok((name.to_owned(), rest.to_owned(), None))
+}
+
+/// All occurrences of a repeatable flag.
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `deptree serve`: preload datasets, run the daemon, drain gracefully on
+/// SIGINT/SIGTERM and exit 0.
+fn serve_cmd(args: &[String]) -> Result<(), CliError> {
+    let specs = flag_all(args, "--data");
+    if specs.is_empty() {
+        return Err(usage("serve needs at least one --data name=path[:types]"));
+    }
+    let lossy = args.iter().any(|a| a == "--lossy");
+    let mut datasets = Vec::new();
+    for spec in &specs {
+        let (name, path, types) = parse_data_spec(spec)?;
+        let r = load_csv_file(&path, types.as_deref(), lossy)?;
+        esay!(
+            "loaded `{name}`: {} rows × {} columns",
+            r.n_rows(),
+            r.n_attrs()
+        );
+        datasets.push((name, r));
+    }
+
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        datasets,
+        max_connections: num_flag(args, "--max-conns")?
+            .map_or(defaults.max_connections, |n| n as usize),
+        queue_depth: num_flag(args, "--queue-depth")?.map_or(defaults.queue_depth, |n| n as usize),
+        workers: num_flag(args, "--workers")?.map_or(defaults.workers, |n| n as usize),
+        read_timeout: num_flag(args, "--read-timeout-ms")?
+            .map_or(defaults.read_timeout, Duration::from_millis),
+        write_timeout: num_flag(args, "--write-timeout-ms")?
+            .map_or(defaults.write_timeout, Duration::from_millis),
+        default_deadline: num_flag(args, "--default-timeout-ms")?
+            .map_or(defaults.default_deadline, Duration::from_millis),
+        max_deadline: num_flag(args, "--max-timeout-ms")?
+            .map_or(defaults.max_deadline, Duration::from_millis),
+        drain_grace: num_flag(args, "--drain-grace-ms")?
+            .map_or(defaults.drain_grace, Duration::from_millis),
+        threads: threads(args)?,
+        limits: defaults.limits,
+    };
+
+    let handle = deptree::serve::spawn(config).map_err(CliError::from)?;
+    say!("listening on {}", handle.addr());
+
+    // First signal → graceful drain; second → force exit. The handler
+    // only counts; this loop acts.
+    signal::install();
+    while signal::received() == 0 {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    esay!(
+        "signal received — draining (in-flight: {})",
+        handle.drain_state().inflight()
+    );
+    let force = std::thread::Builder::new()
+        .name("deptree-force-exit".to_owned())
+        .spawn(|| loop {
+            if signal::received() >= 2 {
+                std::process::exit(130);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    drop(force);
+    handle.drain();
+    handle.join();
+    esay!("drained; exiting");
+    Ok(())
+}
+
+/// `deptree query`: one request to a running `deptree serve`, with retry
+/// and jittered backoff for retryable failures.
+fn query_cmd(args: &[String]) -> Result<(), CliError> {
+    let Some(task) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(usage(
+            "query needs a task: discover|validate|detect|repair|dedup|datasets",
+        ));
+    };
+    let addr = flag(args, "--addr").ok_or_else(|| usage("missing --addr HOST:PORT"))?;
+    let defaults = ClientConfig::default();
+    let config = ClientConfig {
+        addr,
+        retries: num_flag(args, "--retries")?.map_or(defaults.retries, |n| n as u32),
+        seed: num_flag(args, "--seed")?.unwrap_or(defaults.seed),
+        ..defaults
+    };
+
+    let (method, path, body) = match task.as_str() {
+        "datasets" => ("GET", "/v1/datasets".to_owned(), None),
+        "discover" | "validate" | "detect" | "repair" | "dedup" => {
+            let dataset = flag(args, "--dataset").ok_or_else(|| usage("missing --dataset"))?;
+            let mut body = Json::obj().set("dataset", dataset.as_str());
+            match task.as_str() {
+                "validate" | "detect" | "repair" => {
+                    body = body.set("rule", rule_flag(args)?.as_str());
+                }
+                "dedup" => {
+                    let keys = flag(args, "--keys")
+                        .ok_or_else(|| usage("missing --keys a,b for dedup"))?;
+                    let keys: Vec<Json> = keys.split(',').map(|k| Json::from(k.trim())).collect();
+                    body = body.set("keys", keys);
+                }
+                _ => {
+                    if let Some(k) = num_flag(args, "--max-lhs")? {
+                        body = body.set("max_lhs", k);
+                    }
+                    if let Some(e) = flag(args, "--error") {
+                        let e: f64 = e.parse().map_err(|_| usage("bad --error"))?;
+                        body = body.set("error", e);
+                    }
+                }
+            }
+            if let Some(ms) = num_flag(args, "--timeout-ms")? {
+                body = body.set("timeout_ms", ms);
+            }
+            if let Some(n) = num_flag(args, "--max-nodes")? {
+                body = body.set("max_nodes", n);
+            }
+            if let Some(n) = num_flag(args, "--max-rows")? {
+                body = body.set("max_rows", n);
+            }
+            ("POST", format!("/v1/{task}"), Some(body))
+        }
+        other => {
+            return Err(usage(format!(
+                "unknown query task `{other}` (use discover|validate|detect|repair|dedup|datasets)"
+            )))
+        }
+    };
+
+    let resp = deptree::serve::query(&config, method, &path, body.as_ref())
+        .map_err(|e| CliError::Exit(e.code.exit_code(), e.to_string()))?;
+
+    if task == "datasets" {
+        for d in resp
+            .body
+            .get("datasets")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            say!(
+                "{}: {} rows × {} columns",
+                d.str_field("name").unwrap_or("?"),
+                d.u64_field("rows").unwrap_or(0),
+                d.u64_field("columns").unwrap_or(0)
+            );
+        }
+        return Ok(());
+    }
+
+    if let Some(report) = resp.body.str_field("report") {
+        emit(report);
+    }
+    if let Some(csv) = resp.body.str_field("csv") {
+        if let Some(out) = flag(args, "--out") {
+            std::fs::write(&out, csv).map_err(|e| DeptreeError::Io {
+                path: out.clone(),
+                message: e.to_string(),
+            })?;
+            say!("wrote {out}");
+        }
+    }
+    if resp.body.bool_field("partial") == Some(true) {
+        let kind = resp
+            .body
+            .str_field("exhausted")
+            .and_then(budget_from_wire)
+            .unwrap_or(BudgetKind::Deadline);
+        return check_complete(Some(kind));
+    }
+    Ok(())
 }

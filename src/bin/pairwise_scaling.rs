@@ -61,7 +61,10 @@ fn main() {
         println!("{json}");
         println!("smoke: indexed ≡ naive on every workload");
     } else {
-        std::fs::write("BENCH_pairwise.json", &json).expect("write BENCH_pairwise.json");
+        if let Err(e) = std::fs::write("BENCH_pairwise.json", &json) {
+            eprintln!("error: cannot write BENCH_pairwise.json: {e}");
+            std::process::exit(2);
+        }
         println!("wrote BENCH_pairwise.json");
     }
 }
@@ -72,13 +75,25 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn push_metric(obj: &mut String, name: &str, naive_ms: Option<f64>, indexed_ms: f64) {
     let speedup = naive_ms.map(|nv| nv / indexed_ms.max(1e-9));
-    write!(
+    // Writing into a String is infallible.
+    let _ = write!(
         obj,
         ",\n      \"{name}\": {{\"naive_ms\": {}, \"indexed_ms\": {indexed_ms:.3}, \"speedup\": {}, \"identical\": true}}",
         naive_ms.map_or("null".into(), |v| format!("{v:.3}")),
         speedup.map_or("null".into(), |v| format!("{v:.2}")),
-    )
-    .expect("write json");
+    );
+}
+
+/// Finish a builder whose shape is fixed by the code above it; arity
+/// mistakes are programmer errors, reported without a panic/backtrace.
+fn built(b: RelationBuilder) -> Relation {
+    match b.build() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: internal workload builder produced an invalid relation: {e}");
+            std::process::exit(4);
+        }
+    }
 }
 
 /// Two selective numeric key columns plus a correlated dependent column —
@@ -95,7 +110,7 @@ fn md_relation(n: usize) -> Relation {
             Value::int((i % 50) * 2 + i % 7),
         ]);
     }
-    b.build().expect("valid relation")
+    built(b)
 }
 
 fn render_mds(found: &[md::ScoredMd]) -> Vec<(String, u64, u64)> {
@@ -157,7 +172,7 @@ fn dc_relation(n: usize) -> Relation {
     for i in 0..n as i64 {
         b = b.row(vec![Value::int(i % 40), Value::int((i * 7) % 25)]);
     }
-    b.build().expect("valid relation")
+    built(b)
 }
 
 fn bench_dc(n: usize, obj: &mut String) {
@@ -197,12 +212,11 @@ fn bench_dc(n: usize, obj: &mut String) {
         blocked.len()
     );
     push_metric(obj, "dc_evidence", naive_ms, indexed_ms);
-    write!(
+    let _ = write!(
         obj,
         ",\n      \"dc_evidence_plain_ms\": {}",
         plain_ms.map_or("null".into(), |v| format!("{v:.3}")),
-    )
-    .expect("write json");
+    );
 }
 
 fn bench_dedup(n: usize, obj: &mut String) {
@@ -253,5 +267,5 @@ fn bench_dedup(n: usize, obj: &mut String) {
         fast.n_clusters
     );
     push_metric(obj, "dedup_cluster", naive_ms, indexed_ms);
-    write!(obj, ",\n      \"dedup_rows\": {}", r.n_rows()).expect("write json");
+    let _ = write!(obj, ",\n      \"dedup_rows\": {}", r.n_rows());
 }

@@ -31,7 +31,10 @@
 //!   FASTOD-lite, the CSD tableau DP, and friends;
 //! * [`quality`] — violation detection, repairing, deduplication,
 //!   imputation, consistent query answering, normalization, optimizer
-//!   statistics, fairness repair.
+//!   statistics, fairness repair;
+//! * [`serve`] — the hardened network daemon behind `deptree serve`
+//!   (admission control, deadlines, graceful drain) and the
+//!   `deptree query` retry client.
 
 #![warn(missing_docs)]
 
@@ -40,4 +43,5 @@ pub use deptree_discovery as discovery;
 pub use deptree_metrics as metrics;
 pub use deptree_quality as quality;
 pub use deptree_relation as relation;
+pub use deptree_serve as serve;
 pub use deptree_synth as synth;

@@ -16,7 +16,7 @@ use deptree::discovery::{
     pfd, schemes, sd, tane,
 };
 use deptree::metrics::Metric;
-use deptree::quality::{cqa, dedup, detect, repair};
+use deptree::quality::{cqa, dedup, detect, repair, stream};
 use deptree::relation::{AttrId, AttrSet, Relation, RelationBuilder, Value, ValueType};
 use deptree::synth::Rng;
 use std::time::{Duration, Instant};
@@ -262,6 +262,22 @@ fn no_public_function_panics_on_arbitrary_relations() {
             let _ = cqa::consistent_rows_bounded(&r, &rules, &exec());
             let md_rules: Vec<deptree::core::Md> = mds.result.into_iter().map(|s| s.md).collect();
             let _ = dedup::cluster_bounded(&r, &md_rules, &exec());
+        }
+
+        // Streaming speed constraints are total on adversarial shapes
+        // too (empty series, all-null columns, duplicate timestamps).
+        let numeric: Vec<AttrId> = r
+            .schema()
+            .iter()
+            .filter(|(_, a)| a.ty == ValueType::Numeric)
+            .map(|(id, _)| id)
+            .collect();
+        if let (Some(&t), Some(&y)) = (numeric.first(), numeric.last()) {
+            let sc = stream::SpeedConstraint::symmetric(2.0);
+            let _ = stream::speed_violations(&r, t, y, sc);
+            let (repaired, changed) = stream::screen_repair(&r, t, y, sc);
+            assert_eq!(repaired.n_rows(), r.n_rows());
+            assert!(changed.iter().all(|&row| row < r.n_rows()));
         }
 
         // Serialization round trip never panics either.

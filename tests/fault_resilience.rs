@@ -18,7 +18,7 @@ use deptree::discovery::{
     pfd, schemes, sd, tane,
 };
 use deptree::metrics::Metric;
-use deptree::quality::{cqa, dedup, repair};
+use deptree::quality::{cqa, dedup, repair, stream};
 use deptree::relation::{parse_csv_lossy, to_csv, AttrId, AttrSet, Relation, ValueType};
 use deptree::synth::fault::{FaultPlan, FAULT_CLASSES};
 use deptree::synth::Rng;
@@ -176,6 +176,28 @@ fn exercise_quality(r: &Relation) {
     let rules: Vec<Box<dyn Dependency>> = vec![Box::new(fd.clone())];
     let _ = repair::deletion_repair_bounded(r, &rules, &exec());
     let _ = cqa::consistent_rows_bounded(r, &rules, &exec());
+
+    // Streaming speed constraints (SCREEN) must be total on faulted data
+    // too: nulls, mixed-type cells and duplicate timestamps all flow
+    // through `series`, never panic, and repair deterministically.
+    let numeric: Vec<AttrId> = r
+        .schema()
+        .iter()
+        .filter(|(_, a)| a.ty == ValueType::Numeric)
+        .map(|(id, _)| id)
+        .collect();
+    if let (Some(&t), Some(&y)) = (numeric.first(), numeric.last()) {
+        let sc = stream::SpeedConstraint::symmetric(1.5);
+        let v1 = stream::speed_violations(r, t, y, sc);
+        let v2 = stream::speed_violations(r, t, y, sc);
+        assert_eq!(v1, v2, "speed_violations must be deterministic");
+        let (repaired, changed) = stream::screen_repair(r, t, y, sc);
+        let (repaired2, changed2) = stream::screen_repair(r, t, y, sc);
+        assert_eq!(changed, changed2, "screen_repair must be deterministic");
+        assert_eq!(repaired, repaired2, "screen_repair must be deterministic");
+        assert_eq!(repaired.n_rows(), r.n_rows(), "repair must not drop rows");
+        assert!(changed.iter().all(|&row| row < r.n_rows()));
+    }
 }
 
 /// The full matrix: every fault scenario × every registered dependency
@@ -239,5 +261,54 @@ fn empty_plan_is_identity() {
     assert!(report.nulled_cells.is_empty());
     for kind in DepKind::ALL {
         exercise(kind, &report.relation);
+    }
+}
+
+/// SCREEN on a planted time series: spikes are real violations before the
+/// repair and gone after it — and the repaired stream survives the whole
+/// fault matrix without panicking.
+#[test]
+fn screen_repair_enforces_the_speed_constraint() {
+    use deptree::relation::{RelationBuilder, Value};
+
+    // A sensor ramp (slope 1) with two planted spikes at rows 4 and 9.
+    let mut b = RelationBuilder::new()
+        .attr("t", ValueType::Numeric)
+        .attr("y", ValueType::Numeric);
+    for i in 0..16i64 {
+        let y = match i {
+            4 => 100.0,
+            9 => -80.0,
+            _ => i as f64,
+        };
+        b = b.row(vec![Value::int(i), Value::float(y)]);
+    }
+    let r = b.build().unwrap_or_else(|e| panic!("builder: {e}"));
+    let schema = r.schema();
+    let (t, y) = (schema.id("t"), schema.id("y"));
+    let sc = stream::SpeedConstraint::symmetric(1.5);
+
+    let before = stream::speed_violations(&r, t, y, sc);
+    assert!(!before.is_empty(), "planted spikes must violate the bound");
+
+    let (repaired, changed) = stream::screen_repair(&r, t, y, sc);
+    assert!(
+        stream::speed_violations(&repaired, t, y, sc).is_empty(),
+        "SCREEN must leave no residual speed violations"
+    );
+    assert!(changed.contains(&4) && changed.contains(&9), "{changed:?}");
+    // Rows inside the bound keep their original values.
+    for row in 0..r.n_rows() {
+        if !changed.contains(&row) {
+            assert_eq!(repaired.value(row, y), r.value(row, y), "row {row}");
+        }
+    }
+
+    // The repaired series through every fault scenario: still total.
+    for (name, plan) in FaultPlan::scenarios(0x5C4EE7, 0.4) {
+        let faulted = plan.apply(&repaired).relation;
+        let _ = stream::speed_violations(&faulted, t, y, sc);
+        let (again, _) = stream::screen_repair(&faulted, t, y, sc);
+        assert_eq!(again.n_rows(), faulted.n_rows(), "scenario {name}");
     }
 }

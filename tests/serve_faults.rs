@@ -1,0 +1,604 @@
+//! Fault-injection suite for `deptree serve`: drives the real server —
+//! in-process for the protocol/load/drain scenarios, as a child process
+//! for the SIGTERM one — through malformed frames, truncated frames,
+//! oversized bodies, slow clients, mid-response disconnects, queue
+//! overflow and drain-under-load.
+//!
+//! The standing assertions across every scenario:
+//!
+//! - **zero panics** — a worker that panics would poison its admission
+//!   slot and show up as a hung `join`; every test ends with a clean
+//!   drain + join;
+//! - **bounded memory** — oversized headers/bodies are rejected from
+//!   their declared sizes, before the bytes are buffered;
+//! - **byte identity** — the server's `report` for a request equals the
+//!   CLI's stdout for the same task, at thread counts 1 and 8.
+
+use deptree::relation::examples::hotels_r1;
+use deptree::relation::{Relation, RelationBuilder, Value, ValueType};
+use deptree::serve::protocol::Limits;
+use deptree::serve::{spawn, ClientConfig, ErrorCode, Json, ServeConfig, ServerHandle};
+use deptree::synth::Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A relation wide enough that a TANE sweep at max LHS 8 cannot finish
+/// inside a tight deadline — the reproducible "slow request".
+fn wide_relation(n_attrs: usize, n_rows: usize, seed: u64) -> Relation {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new();
+    for a in 0..n_attrs {
+        b = b.attr(format!("w{a}"), ValueType::Categorical);
+    }
+    for _ in 0..n_rows {
+        b = b.row(
+            (0..n_attrs)
+                .map(|_| Value::str(format!("v{}", rng.random_range(0..3u8))))
+                .collect(),
+        );
+    }
+    b.build().expect("consistent arity")
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        datasets: vec![
+            ("hotels".to_owned(), hotels_r1()),
+            ("wide".to_owned(), wide_relation(14, 120, 7)),
+        ],
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        drain_grace: Duration::from_millis(100),
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> ServerHandle {
+    spawn(config).expect("server should bind an ephemeral port")
+}
+
+fn stop(handle: ServerHandle) {
+    handle.drain();
+    handle.join();
+}
+
+fn client(handle: &ServerHandle) -> ClientConfig {
+    ClientConfig {
+        addr: handle.addr().to_string(),
+        retries: 0,
+        io_timeout: Duration::from_secs(30),
+        ..ClientConfig::default()
+    }
+}
+
+/// Send raw bytes on a fresh connection; return the raw response text
+/// (may be empty when the server just closes).
+fn raw(handle: &ServerHandle, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s.write_all(bytes).expect("send");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+fn body_of(response: &str) -> Json {
+    let payload = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no body in response: {response:?}"));
+    Json::parse(payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"))
+}
+
+fn error_code_of(response: &str) -> String {
+    body_of(response)
+        .get("error")
+        .and_then(|e| e.str_field("code"))
+        .unwrap_or_else(|| panic!("no error code in {response:?}"))
+        .to_owned()
+}
+
+fn discover_body(dataset: &str) -> Json {
+    Json::obj().set("dataset", dataset).set("max_lhs", 2u64)
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_server_survives() {
+    let handle = start(test_config());
+
+    // Not HTTP at all.
+    let resp = raw(&handle, b"THIS IS NOT HTTP\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+    assert_eq!(error_code_of(&resp), "bad_request");
+
+    // Unsupported transfer encoding.
+    let resp = raw(
+        &handle,
+        b"POST /v1/detect HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+
+    // Unparseable content length.
+    let resp = raw(
+        &handle,
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+
+    // Bad JSON in an otherwise fine frame.
+    let resp = raw(
+        &handle,
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+    assert_eq!(error_code_of(&resp), "parse");
+
+    // The server still serves after all of that.
+    let resp = deptree::serve::query(&client(&handle), "GET", "/healthz", None)
+        .expect("healthz after malformed frames");
+    assert_eq!(resp.status, 200);
+    stop(handle);
+}
+
+#[test]
+fn truncated_frames_do_not_wedge_workers() {
+    let handle = start(test_config());
+
+    // Header cut off mid-line, then the client vanishes.
+    {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        s.write_all(b"POST /v1/dete").expect("send");
+    } // dropped: close mid-header
+
+    // Body shorter than its declared Content-Length, then close.
+    {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        s.write_all(b"POST /v1/detect HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"da")
+            .expect("send");
+    } // dropped: close mid-body
+
+    // Both workers must still be alive and serving.
+    for _ in 0..3 {
+        let resp = deptree::serve::query(
+            &client(&handle),
+            "POST",
+            "/v1/detect",
+            Some(
+                &Json::obj()
+                    .set("dataset", "hotels")
+                    .set("rule", "address -> region"),
+            ),
+        )
+        .expect("detect after truncated frames");
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .body
+            .str_field("report")
+            .expect("report")
+            .contains("2 violation witness(es)"),);
+    }
+    stop(handle);
+}
+
+#[test]
+fn oversized_headers_and_bodies_are_rejected_from_their_declared_size() {
+    let config = ServeConfig {
+        limits: Limits {
+            max_header_bytes: 512,
+            max_body_bytes: 1024,
+        },
+        ..test_config()
+    };
+    let handle = start(config);
+
+    // Body rejected on Content-Length alone — the server answers 413
+    // without reading (or buffering) the payload.
+    let resp = raw(
+        &handle,
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+    assert_eq!(error_code_of(&resp), "too_large");
+
+    // Header block over the cap.
+    let mut frame = b"POST /v1/detect HTTP/1.1\r\n".to_vec();
+    frame.extend_from_slice(format!("X-Padding: {}\r\n\r\n", "y".repeat(2048)).as_bytes());
+    let resp = raw(&handle, &frame);
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+
+    let ok = deptree::serve::query(&client(&handle), "GET", "/readyz", None)
+        .expect("readyz after oversized frames");
+    assert_eq!(ok.status, 200);
+    stop(handle);
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_timeout() {
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(100),
+        ..test_config()
+    };
+    let handle = start(config);
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    // Drip half a request and stall past the read timeout.
+    s.write_all(b"POST /v1/detect HTT").expect("send");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 408"), "{out:?}");
+    assert_eq!(error_code_of(&out), "timeout");
+
+    let ok = deptree::serve::query(&client(&handle), "GET", "/healthz", None)
+        .expect("healthz after slow loris");
+    assert_eq!(ok.status, 200);
+    stop(handle);
+}
+
+#[test]
+fn mid_response_disconnects_are_absorbed() {
+    let handle = start(test_config());
+
+    // Fire requests and hang up without reading the answer.
+    for _ in 0..5 {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        let body = discover_body("hotels").render();
+        let frame = format!(
+            "POST /v1/discover HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(frame.as_bytes()).expect("send");
+        drop(s); // vanish before the response is written
+    }
+
+    let resp = deptree::serve::query(
+        &client(&handle),
+        "POST",
+        "/v1/discover",
+        Some(&discover_body("hotels")),
+    )
+    .expect("discover after mid-response disconnects");
+    assert_eq!(resp.status, 200);
+    stop(handle);
+}
+
+#[test]
+fn queue_overflow_sheds_with_429_under_concurrent_load() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.addr().to_string();
+
+    // Six concurrent slow requests against one worker and one queue
+    // slot: some must be shed, and the shed ones answer 429 — they are
+    // not silently dropped, and the server does not fall over.
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    addr,
+                    retries: 0,
+                    io_timeout: Duration::from_secs(30),
+                    seed: i as u64,
+                    ..ClientConfig::default()
+                };
+                let body = Json::obj()
+                    .set("dataset", "wide")
+                    .set("max_lhs", 8u64)
+                    .set("timeout_ms", 300u64);
+                deptree::serve::query(&config, "POST", "/v1/discover", Some(&body))
+            })
+        })
+        .collect();
+
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for c in clients {
+        match c.join().expect("client thread must not panic") {
+            Ok(resp) => {
+                assert_eq!(resp.status, 200);
+                ok += 1;
+            }
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded, "{e}");
+                shed += 1;
+            }
+        }
+    }
+    assert!(
+        ok >= 1,
+        "at least one request should be served (ok={ok}, shed={shed})"
+    );
+    assert!(
+        shed >= 1,
+        "at least one request should be shed (ok={ok}, shed={shed})"
+    );
+    assert_eq!(ok + shed, 6);
+    assert_eq!(handle.shed() as u32, shed);
+    stop(handle);
+}
+
+#[test]
+fn drain_under_load_cancels_to_sound_partials_and_exits_clean() {
+    let config = ServeConfig {
+        drain_grace: Duration::from_millis(50),
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.addr().to_string();
+
+    // A request slow enough to still be running when drain begins.
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let config = ClientConfig {
+                addr,
+                retries: 0,
+                io_timeout: Duration::from_secs(30),
+                ..ClientConfig::default()
+            };
+            let body = Json::obj()
+                .set("dataset", "wide")
+                .set("max_lhs", 8u64)
+                .set("timeout_ms", 10_000u64);
+            deptree::serve::query(&config, "POST", "/v1/discover", Some(&body))
+        })
+    };
+
+    // Wait until the request is actually in flight.
+    let mut waited = 0;
+    while handle.drain_state().inflight() == 0 && waited < 5_000 {
+        std::thread::sleep(Duration::from_millis(5));
+        waited += 5;
+    }
+    assert!(
+        handle.drain_state().inflight() > 0,
+        "slow request never started"
+    );
+
+    // Soft phase: begin the drain on a side thread so we can probe
+    // readiness while it runs.
+    let drainer = {
+        let state = std::sync::Arc::clone(handle.drain_state());
+        // A 300ms grace keeps the soft phase open long enough for the
+        // readiness probes below even on a loaded CI machine.
+        std::thread::spawn(move || {
+            deptree::serve::drain::run_drain(&state, Duration::from_millis(300))
+        })
+    };
+    while !handle.drain_state().is_draining() {
+        std::thread::yield_now();
+    }
+
+    // Readiness flips while the process still accepts connections…
+    let probe = ClientConfig {
+        addr: addr.clone(),
+        retries: 0,
+        ..ClientConfig::default()
+    };
+    let ready = deptree::serve::query(&probe, "GET", "/readyz", None);
+    match ready {
+        Err(e) => assert_eq!(e.code, ErrorCode::Draining, "{e}"),
+        Ok(r) => panic!("readyz should refuse during drain, got {}", r.status),
+    }
+    // …and new task work is refused with `draining`.
+    let refused = deptree::serve::query(
+        &probe,
+        "POST",
+        "/v1/discover",
+        Some(&discover_body("hotels")),
+    );
+    match refused {
+        Err(e) => assert_eq!(e.code, ErrorCode::Draining, "{e}"),
+        Ok(r) => panic!("task work should be refused during drain, got {}", r.status),
+    }
+
+    // The in-flight request is hard-cancelled after the grace period and
+    // still answers 200 with its sound partial.
+    let resp = slow
+        .join()
+        .expect("slow client must not panic")
+        .expect("cancelled request still gets its partial");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body.bool_field("partial"), Some(true));
+    assert_eq!(resp.body.str_field("exhausted"), Some("cancelled"));
+
+    drainer.join().expect("drain coordinator must not panic");
+    handle.join();
+
+    // Fully stopped: new connections are refused.
+    assert!(
+        TcpStream::connect_timeout(&addr.parse().expect("addr"), Duration::from_millis(500))
+            .is_err()
+    );
+}
+
+#[test]
+fn sigterm_drains_the_real_binary_to_exit_zero() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_deptree"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "serve",
+            "--data",
+            "hotels=data/hotels.csv:t,t,t,n,n",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn deptree serve");
+
+    // Scrape the bound address off the first stdout line.
+    let mut stdout = child.stdout.take().expect("stdout");
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while stdout.read(&mut byte).unwrap_or(0) == 1 && byte[0] != b'\n' {
+        line.push(byte[0]);
+    }
+    let line = String::from_utf8_lossy(&line).into_owned();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_owned();
+
+    // One real round trip through the child server.
+    let config = ClientConfig {
+        addr,
+        retries: 2,
+        ..ClientConfig::default()
+    };
+    let resp = deptree::serve::query(
+        &config,
+        "POST",
+        "/v1/detect",
+        Some(
+            &Json::obj()
+                .set("dataset", "hotels")
+                .set("rule", "address -> region"),
+        ),
+    )
+    .expect("detect against child server");
+    assert_eq!(resp.status, 200);
+
+    // SIGTERM → graceful drain → exit 0.
+    let pid = child.id();
+    let kill = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {pid}")])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    let mut waited = 0;
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "server should exit 0, got {status:?}");
+                break;
+            }
+            None if waited > 10_000 => {
+                let _ = child.kill();
+                panic!("server did not exit within 10s of SIGTERM");
+            }
+            None => {
+                std::thread::sleep(Duration::from_millis(25));
+                waited += 25;
+            }
+        }
+    }
+}
+
+/// Run the CLI binary and return its stdout.
+fn cli_stdout(args: &[&str]) -> String {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_deptree"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(args)
+        .output()
+        .expect("run deptree");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn server_reports_are_byte_identical_to_the_cli_at_any_thread_count() {
+    for threads in [1usize, 8] {
+        let config = ServeConfig {
+            threads,
+            ..test_config()
+        };
+        let handle = start(config);
+        let client = client(&handle);
+        let t = threads.to_string();
+
+        // profile / discover
+        let cli = cli_stdout(&[
+            "profile",
+            "data/hotels.csv",
+            "--types",
+            "t,t,t,n,n",
+            "--max-lhs",
+            "2",
+            "--threads",
+            &t,
+        ]);
+        let resp = deptree::serve::query(
+            &client,
+            "POST",
+            "/v1/discover",
+            Some(&discover_body("hotels")),
+        )
+        .expect("discover");
+        assert_eq!(
+            resp.body.str_field("report").expect("report"),
+            cli,
+            "discover report diverges from CLI stdout at {threads} thread(s)"
+        );
+
+        // detect
+        let cli = cli_stdout(&[
+            "detect",
+            "data/hotels.csv",
+            "--types",
+            "t,t,t,n,n",
+            "--rule",
+            "address -> region",
+        ]);
+        let resp = deptree::serve::query(
+            &client,
+            "POST",
+            "/v1/detect",
+            Some(
+                &Json::obj()
+                    .set("dataset", "hotels")
+                    .set("rule", "address -> region"),
+            ),
+        )
+        .expect("detect");
+        assert_eq!(
+            resp.body.str_field("report").expect("report"),
+            cli,
+            "detect report diverges from CLI stdout at {threads} thread(s)"
+        );
+
+        stop(handle);
+    }
+}
+
+#[test]
+fn retryable_draining_exhausts_the_retry_budget() {
+    let handle = start(test_config());
+    handle.drain_state().begin(); // soft drain: readyz 503, tasks refused
+
+    let config = ClientConfig {
+        addr: handle.addr().to_string(),
+        retries: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        ..ClientConfig::default()
+    };
+    let err = deptree::serve::query(
+        &config,
+        "POST",
+        "/v1/discover",
+        Some(&discover_body("hotels")),
+    )
+    .expect_err("draining server must not serve task work");
+    // All attempts consumed on the retryable `draining` answer; the last
+    // answer's code is surfaced as the terminal error (exit 2 class).
+    assert_eq!(err.attempts, 3);
+    assert_eq!(err.code, ErrorCode::Draining, "{err}");
+    assert_eq!(err.code.exit_code(), 2);
+
+    stop(handle);
+}
