@@ -239,8 +239,11 @@ impl<T> Outcome<T> {
 /// How many ticks pass between clock/cancellation polls. Counter limits
 /// are checked on every tick (they are just integer compares); the
 /// deadline requires `Instant::now()` and the cancel flag an atomic load,
-/// so those are amortized over this many ticks.
-const POLL_INTERVAL: u64 = 64;
+/// so those are amortized over this many ticks. The interval bounds how
+/// far a run can overshoot its deadline — one interval of node work —
+/// so it is kept small relative to per-node cost (a clock read is tens
+/// of nanoseconds; a node visit is microseconds).
+const POLL_INTERVAL: u64 = 16;
 
 /// Environment variable consulted for the default worker-thread count.
 pub const THREADS_ENV: &str = "DEPTREE_THREADS";
@@ -641,7 +644,7 @@ mod tests {
         let exec = Exec::new(Budget::new().with_deadline(Duration::from_millis(5)));
         std::thread::sleep(Duration::from_millis(10));
         let mut stopped = false;
-        // Poll interval is 64, so within ~2·64 ticks the deadline fires.
+        // Poll interval is 16, so within a few intervals the deadline fires.
         for _ in 0..200 {
             if !exec.tick_node() {
                 stopped = true;

@@ -245,7 +245,17 @@ pub fn discover_with_cache(
                 }
             }
         }
-        let deltas = pool::map(threads, &unions, |_, &u| cache.get_or_compute(r, u).1);
+        let deltas = pool::map(threads, &unions, |_, &u| {
+            if exec.interrupted() {
+                // Deadline/cancellation mid-generation: stop computing
+                // partition products; the serial replay below sees the
+                // sticky exhaustion on its first tick and winds down.
+                // (Deterministic budgets never abort here — see the
+                // compute_dependencies batch above.)
+                return deptree_relation::CacheDelta::default();
+            }
+            cache.get_or_compute(r, u).1
+        });
         let mut next: Vec<AttrSet> = Vec::with_capacity(unions.len());
         for (&union, delta) in unions.iter().zip(&deltas) {
             stats.partition_products += 1;

@@ -13,9 +13,9 @@
 //! PRNG so tests can pin the schedule with a seed.
 
 use crate::json::Json;
-use crate::protocol::{read_head, ErrorCode, ProtoError};
+use crate::protocol::{read_body, read_head, ErrorCode, FrameClock, ProtoError};
 use deptree_synth::Rng;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -35,6 +35,9 @@ pub struct ClientConfig {
     /// Socket read/write timeout per attempt (covers server compute, so
     /// it should exceed the request's `timeout_ms`).
     pub io_timeout: Duration,
+    /// Absolute cap on reading one whole response frame, however slowly
+    /// its bytes arrive (`io_timeout` bounds each individual read).
+    pub frame_timeout: Duration,
     /// Jitter seed; equal seeds give equal backoff schedules.
     pub seed: u64,
     /// Cap on the response body the client will buffer.
@@ -50,6 +53,7 @@ impl Default for ClientConfig {
             max_backoff: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(75),
+            frame_timeout: Duration::from_secs(90),
             seed: 0x5eed,
             max_response_bytes: 16 * 1024 * 1024,
         }
@@ -198,17 +202,31 @@ fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Js
             )
         }
     };
-    let Some(addr) = addrs.first() else {
+    if addrs.is_empty() {
         return Attempt::Terminal(
             ErrorCode::InvalidConfig,
             format!("`{}` resolves to nothing", config.addr),
         );
-    };
-    // Connect refused / timed out: the server may be mid-restart or
-    // draining behind a balancer — worth retrying.
-    let mut stream = match TcpStream::connect_timeout(addr, config.connect_timeout) {
-        Ok(s) => s,
-        Err(e) => return Attempt::Retryable(format!("connect to {addr}: {e}")),
+    }
+    // Try every resolved address within the attempt: a hostname often
+    // resolves to both an IPv6 and an IPv4 address while the server
+    // listens on only one family, and retrying a single dead address
+    // would burn the whole retry budget. Connect refused / timed out on
+    // all of them: the server may be mid-restart or draining behind a
+    // balancer — worth retrying.
+    let mut stream = None;
+    let mut connect_failures = Vec::new();
+    for addr in &addrs {
+        match TcpStream::connect_timeout(addr, config.connect_timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => connect_failures.push(format!("connect to {addr}: {e}")),
+        }
+    }
+    let Some(mut stream) = stream else {
+        return Attempt::Retryable(connect_failures.join("; "));
     };
     if let Err(e) = stream
         .set_read_timeout(Some(config.io_timeout))
@@ -230,7 +248,11 @@ fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Js
         return Attempt::Retryable(format!("send: {e}"));
     }
 
-    match read_response(&mut stream, config.max_response_bytes) {
+    // The whole response frame gets one absolute budget on top of the
+    // per-read io timeout, so a drip-feeding server cannot hold the
+    // client forever.
+    let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
+    match read_response(&mut stream, config.max_response_bytes, &clock) {
         Ok((status, json)) => Attempt::Done(status, json),
         // A malformed or truncated response is indistinguishable from a
         // server killed mid-write; retrying is safe (requests are
@@ -246,8 +268,12 @@ fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Js
 }
 
 /// Read one response frame: status line, headers, `Content-Length` body.
-fn read_response(stream: &mut TcpStream, max_body: usize) -> Result<(u16, Json), ProtoError> {
-    let (head, leftover) = read_head(stream, 8 * 1024)?;
+fn read_response(
+    stream: &mut TcpStream,
+    max_body: usize,
+    clock: &FrameClock,
+) -> Result<(u16, Json), ProtoError> {
+    let (head, leftover) = read_head(stream, 8 * 1024, clock)?;
     let head = String::from_utf8_lossy(&head).into_owned();
     let mut lines = head.lines();
     let status_line = lines.next().unwrap_or_default();
@@ -271,20 +297,7 @@ fn read_response(stream: &mut TcpStream, max_body: usize) -> Result<(u16, Json),
     if content_length > max_body {
         return Err(ProtoError::TooLarge("body".into()));
     }
-    let mut body = leftover;
-    body.truncate(content_length);
-    let mut chunk = [0u8; 4096];
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| match e.kind() {
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtoError::Timeout,
-            _ => ProtoError::Closed,
-        })?;
-        if n == 0 {
-            return Err(ProtoError::Closed);
-        }
-        let take = n.min(content_length - body.len());
-        body.extend_from_slice(&chunk[..take]);
-    }
+    let body = read_body(stream, leftover, content_length, clock)?;
     let text = std::str::from_utf8(&body)
         .map_err(|_| ProtoError::Malformed("response body is not UTF-8".into()))?;
     let json = Json::parse(text).map_err(|e| ProtoError::Malformed(e.to_string()))?;

@@ -416,16 +416,19 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar; input is a &str so the
-                    // boundary math cannot go wrong.
+                    // Bulk-copy the run up to the next quote or escape.
+                    // Both delimiters are ASCII, so in valid UTF-8 the
+                    // run ends on a character boundary; validating only
+                    // the run keeps the whole string scan linear.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s = std::str::from_utf8(&rest[..run])
                         .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
-                    let Some(c) = s.chars().next() else {
-                        return Err(JsonError("unterminated string".into()));
-                    };
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }
@@ -491,6 +494,21 @@ mod tests {
             Json::parse(r#""\ud83d\ude00""#).unwrap(),
             Json::Str("\u{1F600}".into())
         );
+    }
+
+    #[test]
+    fn long_strings_parse_with_bulk_runs_intact() {
+        // Exercises the bulk-copy fast path: long unescaped runs (with
+        // multi-byte chars) interleaved with escapes, ending on both a
+        // run and an escape.
+        let body = format!(
+            "{}\n{}\"{}é",
+            "x".repeat(10_000),
+            "y".repeat(3),
+            "z".repeat(5_000)
+        );
+        let v = Json::Str(body);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
     }
 
     #[test]

@@ -10,15 +10,16 @@
 //! ```
 //!
 //! The accept loop is nonblocking so it can interleave accepting with the
-//! drain flag; accepted sockets are switched back to blocking with read
-//! and write timeouts before any framing happens, which is the slow-loris
-//! bound. A worker holds exactly one connection at a time, so `workers`
+//! drain flag; accepted sockets are switched back to blocking, and every
+//! request frame is read under both a per-read socket timeout (stalled
+//! peer) and an absolute frame deadline (drip-feeding peer) — together
+//! the slow-loris bound. A worker holds exactly one connection at a time, so `workers`
 //! is also the in-service concurrency cap; `queue_depth` bounds the wait
 //! line behind them, and everything past that is shed at accept time.
 
 use crate::admission::{Admission, AdmissionStats, ShedReason};
 use crate::drain::{run_drain, DrainState};
-use crate::protocol::{error_body, read_request, write_response, ErrorCode, Limits};
+use crate::protocol::{error_body, read_request, write_response, ErrorCode, FrameClock, Limits};
 use crate::router::{handle, AppState};
 use deptree_core::DeptreeError;
 use deptree_relation::Relation;
@@ -44,8 +45,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Worker threads; also the in-service concurrency cap.
     pub workers: usize,
-    /// Socket read timeout (slow-loris bound).
+    /// Per-read socket timeout (fully-stalled-peer bound).
     pub read_timeout: Duration,
+    /// Absolute cap on reading one whole request frame, however slowly
+    /// the bytes arrive (drip-feeding-peer bound).
+    pub frame_timeout: Duration,
     /// Socket write timeout (stuck-peer bound).
     pub write_timeout: Duration,
     /// Header/body byte caps.
@@ -69,6 +73,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             workers: 4,
             read_timeout: Duration::from_secs(5),
+            frame_timeout: Duration::from_secs(15),
             write_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             default_deadline: Duration::from_secs(10),
@@ -164,6 +169,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
     let rx = Arc::new(Mutex::new(rx));
     let io = IoConfig {
         read_timeout: config.read_timeout,
+        frame_timeout: config.frame_timeout,
         write_timeout: config.write_timeout,
         limits: config.limits,
     };
@@ -206,6 +212,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
 #[derive(Debug, Clone, Copy)]
 struct IoConfig {
     read_timeout: Duration,
+    frame_timeout: Duration,
     write_timeout: Duration,
     limits: Limits,
 }
@@ -276,12 +283,13 @@ fn serve_conn(app: &AppState, mut conn: crate::admission::Conn, io: &IoConfig) {
     // `conn` stays whole for the duration: its admission slot is the
     // "in service" claim and must not release until the socket closes.
     let stream = &mut conn.stream;
-    if stream.set_read_timeout(Some(io.read_timeout)).is_err()
-        || stream.set_write_timeout(Some(io.write_timeout)).is_err()
-    {
+    if stream.set_write_timeout(Some(io.write_timeout)).is_err() {
         return;
     }
-    let (status, body) = match read_request(stream, &io.limits) {
+    // The clock re-arms the read timeout before every read, bounding the
+    // whole frame no matter how slowly its bytes drip in.
+    let clock = FrameClock::start(io.read_timeout, io.frame_timeout);
+    let (status, body) = match read_request(stream, &io.limits, &clock) {
         Ok(req) => {
             // Last-resort panic barrier: a handler bug must cost one
             // request, not the worker thread (and with it 1/N of the

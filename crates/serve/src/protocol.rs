@@ -4,10 +4,13 @@
 //! The server speaks a deliberately small slice of HTTP/1.1 — one request
 //! per connection, `Content-Length` bodies only, `Connection: close` on
 //! every response — because every feature dropped is a failure mode
-//! removed. Every read is bounded twice: by the socket read timeout
-//! (slow-loris protection) and by byte caps on the header block and body
-//! ([`Limits`]). Anything outside the slice is answered with a structured
-//! JSON error, never a panic and never an unbounded buffer.
+//! removed. Every read is bounded three ways: by the per-read socket
+//! timeout (a fully stalled peer), by an absolute per-frame deadline
+//! ([`FrameClock`] — a peer dripping one byte per interval would reset a
+//! per-read timeout forever, so the whole frame also gets a fixed budget),
+//! and by byte caps on the header block and body ([`Limits`]). Anything
+//! outside the slice is answered with a structured JSON error, never a
+//! panic and never an unbounded buffer.
 //!
 //! The [`ErrorCode`] table is the protocol face of
 //! [`deptree_core::DeptreeError`]: each code carries the HTTP status it
@@ -20,6 +23,7 @@ use deptree_core::engine::BudgetKind;
 use deptree_core::DeptreeError;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Byte caps applied while reading a request or response.
 #[derive(Debug, Clone, Copy)]
@@ -112,12 +116,54 @@ fn classify_io(e: &std::io::Error) -> ProtoError {
     }
 }
 
+/// Absolute budget for reading one whole frame.
+///
+/// The per-read socket timeout alone is not slow-loris protection: a
+/// peer dripping one byte per interval resets it on every read and can
+/// hold a worker indefinitely. The clock fixes a deadline at frame start
+/// and re-arms the socket timeout before each read to
+/// `min(per_read, remaining)`, so the total frame read is bounded no
+/// matter how the bytes arrive; an exhausted budget reads as
+/// [`ProtoError::Timeout`] (408).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameClock {
+    deadline: Instant,
+    per_read: Duration,
+}
+
+impl FrameClock {
+    /// Start the clock for one frame: `per_read` bounds each individual
+    /// read, `total` the whole frame.
+    pub fn start(per_read: Duration, total: Duration) -> FrameClock {
+        FrameClock {
+            deadline: Instant::now() + total,
+            per_read,
+        }
+    }
+
+    /// Set the socket read timeout to the smaller of the per-read
+    /// timeout and the remaining frame budget; errors with `Timeout`
+    /// once the budget is spent.
+    fn arm(&self, stream: &TcpStream) -> Result<(), ProtoError> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ProtoError::Timeout);
+        }
+        // `set_read_timeout(Some(0))` is an error in std; clamp up.
+        let timeout = self.per_read.min(remaining).max(Duration::from_millis(1));
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| classify_io(&e))
+    }
+}
+
 /// Read bytes until the blank line ending an HTTP head, returning
 /// `(head, leftover)` where `leftover` is any body prefix already pulled
-/// off the socket. Bounded by `max_head` bytes and the socket timeout.
+/// off the socket. Bounded by `max_head` bytes and the frame clock.
 pub fn read_head(
     stream: &mut TcpStream,
     max_head: usize,
+    clock: &FrameClock,
 ) -> Result<(Vec<u8>, Vec<u8>), ProtoError> {
     let mut buf: Vec<u8> = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
@@ -130,6 +176,7 @@ pub fn read_head(
         if buf.len() > max_head {
             return Err(ProtoError::TooLarge("header block".into()));
         }
+        clock.arm(stream)?;
         let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
         if n == 0 {
             return Err(if buf.is_empty() {
@@ -158,15 +205,17 @@ fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, Pr
 }
 
 /// Read the fixed-length remainder of a body, `already` holding any bytes
-/// pulled past the head. Bounded by `want` and the socket timeout.
-fn read_body(
+/// pulled past the head. Bounded by `want` and the frame clock.
+pub fn read_body(
     stream: &mut TcpStream,
     mut already: Vec<u8>,
     want: usize,
+    clock: &FrameClock,
 ) -> Result<Vec<u8>, ProtoError> {
     already.truncate(want);
     let mut chunk = [0u8; 4096];
     while already.len() < want {
+        clock.arm(stream)?;
         let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
         if n == 0 {
             return Err(ProtoError::Malformed("connection closed mid-body".into()));
@@ -177,9 +226,14 @@ fn read_body(
     Ok(already)
 }
 
-/// Read one request frame off the socket under the given limits.
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ProtoError> {
-    let (head, leftover) = read_head(stream, limits.max_header_bytes)?;
+/// Read one request frame off the socket under the given limits and
+/// frame budget.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    clock: &FrameClock,
+) -> Result<Request, ProtoError> {
+    let (head, leftover) = read_head(stream, limits.max_header_bytes, clock)?;
     let head = String::from_utf8_lossy(&head).into_owned();
     let mut lines = head.lines();
     let request_line = lines.next().unwrap_or_default();
@@ -217,7 +271,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
     if content_length > limits.max_body_bytes {
         return Err(ProtoError::TooLarge("request body".into()));
     }
-    let body = read_body(stream, leftover, content_length)?;
+    let body = read_body(stream, leftover, content_length, clock)?;
     Ok(Request { body, ..request })
 }
 

@@ -381,6 +381,8 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
         workers: num_flag(args, "--workers")?.map_or(defaults.workers, |n| n as usize),
         read_timeout: num_flag(args, "--read-timeout-ms")?
             .map_or(defaults.read_timeout, Duration::from_millis),
+        frame_timeout: num_flag(args, "--frame-timeout-ms")?
+            .map_or(defaults.frame_timeout, Duration::from_millis),
         write_timeout: num_flag(args, "--write-timeout-ms")?
             .map_or(defaults.write_timeout, Duration::from_millis),
         default_deadline: num_flag(args, "--default-timeout-ms")?
@@ -505,7 +507,11 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         emit(report);
     }
     if let Some(csv) = resp.body.str_field("csv") {
-        if let Some(out) = flag(args, "--out") {
+        // Repair defaults its output file like the local command does —
+        // silently dropping the repaired CSV would be data loss.
+        let out =
+            flag(args, "--out").or_else(|| (task == "repair").then(|| "repaired.csv".to_owned()));
+        if let Some(out) = out {
             std::fs::write(&out, csv).map_err(|e| DeptreeError::Io {
                 path: out.clone(),
                 message: e.to_string(),

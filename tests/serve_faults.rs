@@ -241,6 +241,40 @@ fn slow_loris_is_cut_off_by_the_read_timeout() {
 }
 
 #[test]
+fn drip_fed_slow_loris_is_cut_off_by_the_frame_deadline() {
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(120),
+        frame_timeout: Duration::from_millis(400),
+        ..test_config()
+    };
+    let handle = start(config);
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    // Drip one header byte every 40 ms: each byte resets a naive
+    // per-read timeout, so only the absolute frame deadline can end
+    // this. Keep dripping well past the deadline, then collect the 408.
+    let started = std::time::Instant::now();
+    s.write_all(b"POST /v1/detect HTTP/1.1\r\n").expect("send");
+    while started.elapsed() < Duration::from_millis(900) {
+        if s.write_all(b"x").is_err() {
+            break; // the server already hung up on us — expected
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 408"), "{out:?}");
+    assert_eq!(error_code_of(&out), "timeout");
+
+    let ok = deptree::serve::query(&client(&handle), "GET", "/healthz", None)
+        .expect("healthz after drip-fed slow loris");
+    assert_eq!(ok.status, 200);
+    stop(handle);
+}
+
+#[test]
 fn mid_response_disconnects_are_absorbed() {
     let handle = start(test_config());
 
