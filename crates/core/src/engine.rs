@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod obs;
 pub mod pool;
 pub mod signal;
 
@@ -293,6 +294,7 @@ pub struct Exec {
     partition_peak: AtomicU64,
     since_poll: AtomicU64,
     exhausted: AtomicU8,
+    tracer: Option<Arc<obs::Tracer>>,
 }
 
 impl Default for Exec {
@@ -320,6 +322,7 @@ impl Exec {
             partition_peak: AtomicU64::new(0),
             since_poll: AtomicU64::new(0),
             exhausted: AtomicU8::new(0),
+            tracer: None,
         }
     }
 
@@ -338,6 +341,26 @@ impl Exec {
     /// Worker threads parallel executors should use (≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attach a span tracer. Tracing is observation-only: algorithms
+    /// record phase boundaries into it but never read it back, so an
+    /// attached tracer cannot change any result byte.
+    pub fn with_tracer(mut self, tracer: Arc<obs::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<obs::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Open a named span. With no tracer attached this is a no-op guard
+    /// costing one branch, so phase boundaries can be instrumented
+    /// unconditionally.
+    pub fn span(&self, name: &'static str) -> obs::SpanGuard<'_> {
+        obs::SpanGuard::new(self.tracer.as_deref(), name)
     }
 
     /// The budget this context enforces.
@@ -565,9 +588,13 @@ impl Exec {
 
     fn exhaust(&self, kind: BudgetKind) {
         // First exhaustion wins; later ones keep the original cause.
-        let _ =
-            self.exhausted
-                .compare_exchange(0, kind.code(), Ordering::Relaxed, Ordering::Relaxed);
+        if self
+            .exhausted
+            .compare_exchange(0, kind.code(), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            obs::engine_metrics().budget_exhausted(kind).inc();
+        }
     }
 
     /// Snapshot the work counters.

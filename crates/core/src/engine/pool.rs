@@ -21,7 +21,10 @@
 //! [`super::Exec`] for deadline/cancellation liveness — it is `Sync`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use super::obs;
 
 /// Evaluate `f` over `items` with up to `threads` workers, returning the
 /// results in input order. With `threads <= 1` (or fewer than two items)
@@ -48,22 +51,29 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let m = obs::engine_metrics();
+    m.pool_batches.inc();
+    m.pool_items.add(n as u64);
+    m.pool_queue_depth.set(n.div_ceil(workers) as i64);
+
     // Each worker starts with a contiguous block of indices (cache-friendly
     // and deterministic); imbalance is corrected by stealing at runtime.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((n * w / workers..n * (w + 1) / workers).collect()))
         .collect();
 
+    let steals = AtomicU64::new(0);
     let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let queues = &queues;
         let f = &f;
+        let steals = &steals;
         let handles: Vec<_> = (1..workers)
-            .map(|w| s.spawn(move || run_worker(w, queues, items, f)))
+            .map(|w| s.spawn(move || run_worker(w, queues, steals, items, f)))
             .collect();
         // The calling thread is worker 0 — no thread is left idle waiting.
-        partials.push(run_worker(0, queues, items, f));
+        partials.push(run_worker(0, queues, steals, items, f));
         for h in handles {
             match h.join() {
                 Ok(part) => partials.push(part),
@@ -71,6 +81,7 @@ where
             }
         }
     });
+    m.pool_steals.add(steals.load(Ordering::Relaxed));
     if let Some(payload) = panicked {
         std::panic::resume_unwind(payload);
     }
@@ -94,6 +105,7 @@ where
 fn run_worker<T, R, F>(
     me: usize,
     queues: &[Mutex<VecDeque<usize>>],
+    steals: &AtomicU64,
     items: &[T],
     f: &F,
 ) -> Vec<(usize, R)>
@@ -103,7 +115,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let mut out = Vec::new();
-    while let Some(i) = next_index(me, queues) {
+    while let Some(i) = next_index(me, queues, steals) {
         out.push((i, f(i, &items[i])));
     }
     out
@@ -111,8 +123,9 @@ where
 
 /// Pop from our own deque, or steal the back half of the fullest-available
 /// victim's. `None` once every deque is empty (remaining in-flight items
-/// are owned by the workers that claimed them).
-fn next_index(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+/// are owned by the workers that claimed them). Each successful raid bumps
+/// `steals`, published to the metrics registry when the batch completes.
+fn next_index(me: usize, queues: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
     if let Some(i) = lock(&queues[me]).pop_front() {
         return Some(i);
     }
@@ -127,6 +140,7 @@ fn next_index(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
         let take = len.div_ceil(2);
         let mut stolen = q.split_off(len - take);
         drop(q);
+        steals.fetch_add(1, Ordering::Relaxed);
         let first = stolen.pop_front();
         if !stolen.is_empty() {
             lock(&queues[me]).append(&mut stolen);

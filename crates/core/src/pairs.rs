@@ -11,7 +11,7 @@ use deptree_metrics::Metric;
 use deptree_relation::pairgen::{self, PairIndex, PairSpec};
 use deptree_relation::{AttrId, Relation};
 
-use crate::engine::{pool, Exec};
+use crate::engine::{obs, pool, Exec};
 
 /// A similarity atom `dist_metric(t[A], u[A]) ≤ threshold`, the shared LHS
 /// shape of MDs and NEDs.
@@ -49,8 +49,21 @@ pub fn count_matching_agreeing(
 /// The most selective single-atom index for a conjunction of metric atoms
 /// (full scan when nothing is indexable).  Candidates are a superset of the
 /// pairs satisfying the whole conjunction.
+///
+/// Every index built publishes its pruning power to the global metrics
+/// registry: blocks, candidates emitted, and pairs skipped relative to the
+/// naive n(n−1)/2 scan it replaces. Analytic, so later interruption of the
+/// enumeration cannot skew the numbers.
 pub fn best_index(r: &Relation, atoms: &[MetricAtom]) -> PairIndex {
-    pairgen::best_index(r, &atom_specs(atoms))
+    let idx = pairgen::best_index(r, &atom_specs(atoms));
+    let candidates = idx.n_candidates();
+    let n = idx.n_rows() as u64;
+    let naive = n * n.saturating_sub(1) / 2;
+    let m = obs::engine_metrics();
+    m.pairgen_blocks.add(idx.n_blocks() as u64);
+    m.pairgen_candidate_pairs.add(candidates);
+    m.pairgen_pruned_pairs.add(naive.saturating_sub(candidates));
+    idx
 }
 
 /// Scan an index's candidate pairs in parallel, keeping only those `verify`
@@ -68,6 +81,9 @@ pub fn collect_matching(
     verify: impl Fn(usize, usize) -> bool + Sync,
 ) -> (Vec<(usize, usize)>, bool) {
     let blocks: Vec<usize> = (0..index.n_blocks()).collect();
+    let mut span = exec.span("pairs.blocks");
+    span.attr("blocks", blocks.len() as u64);
+    span.attr("candidates", index.n_candidates());
     let per_block: Vec<Option<Vec<(usize, usize)>>> =
         pool::map(exec.threads(), &blocks, |_, &b| {
             if exec.interrupted() {
@@ -83,13 +99,18 @@ pub fn collect_matching(
             Some(hits)
         });
     let mut out = Vec::new();
+    let mut complete = true;
     for hits in per_block {
         match hits {
             Some(mut h) => out.append(&mut h),
-            None => return (out, false),
+            None => {
+                complete = false;
+                break;
+            }
         }
     }
-    (out, true)
+    span.attr("matched", out.len() as u64);
+    (out, complete)
 }
 
 #[cfg(test)]

@@ -125,6 +125,7 @@ pub fn evidence_sets_blocked(
     exec: &Exec,
 ) -> (HashMap<u64, usize>, bool) {
     assert!(preds.len() <= 64, "predicate space capped at 64 bits");
+    let mut span = exec.span("dc.evidence");
     let mut classes: Vec<Vec<usize>> = r.group_by(r.all_attrs()).into_values().collect();
     for c in &mut classes {
         c.sort_unstable();
@@ -188,6 +189,8 @@ pub fn evidence_sets_blocked(
         }
     }
     stats.n_evidence_sets = evidence.len();
+    span.attr("blocks", granted as u64);
+    span.attr("evidence_sets", evidence.len() as u64);
     (evidence, complete)
 }
 

@@ -151,7 +151,12 @@ pub fn discover(r: &Relation) -> FastFdResult {
 /// when the cover search itself was truncated, minimality — is forfeit.
 pub fn discover_bounded(r: &Relation, exec: &Exec) -> Outcome<FastFdResult> {
     let mut stats = FastFdStats::default();
+    let mut diff_span = exec.span("fastfd.difference_sets");
     let (diffs, diffs_complete) = difference_sets_bounded(r, &mut stats, exec);
+    diff_span.attr("sets", diffs.len() as u64);
+    diff_span.attr("pairs", stats.pairs_compared as u64);
+    drop(diff_span);
+    let mut cover_span = exec.span("fastfd.covers");
     let mut fds = Vec::new();
     'emit: for rhs in r.schema().ids() {
         // FDs X → rhs: X must intersect every difference set containing
@@ -180,6 +185,8 @@ pub fn discover_bounded(r: &Relation, exec: &Exec) -> Outcome<FastFdResult> {
         }
     }
     fds.sort_by_key(|fd| (fd.lhs().len(), fd.lhs(), fd.rhs()));
+    cover_span.attr("fds", fds.len() as u64);
+    drop(cover_span);
     exec.finish(FastFdResult { fds, stats })
 }
 

@@ -71,7 +71,10 @@ pub fn discover_bounded(
     let schema = r.schema();
     let candidates: Vec<AttrId> = schema.ids().filter(|a| !rhs.contains(*a)).collect();
     let mut out: Vec<ScoredMd> = Vec::new();
+    let mut span = exec.span("md.discover");
+    let mut lhs_sets = 0u64;
     'search: for lhs_set in crate::mvd_subsets(candidates.iter().copied().collect(), cfg.max_lhs) {
+        lhs_sets += 1;
         let lhs_attrs = lhs_set.to_vec();
         let combos = threshold_combos(r, &lhs_attrs, cfg);
         let n = r.n_rows() as u64;
@@ -103,6 +106,9 @@ pub fn discover_bounded(
         }
     }
     out.sort_by(|a, b| b.support.total_cmp(&a.support));
+    span.attr("lhs_sets", lhs_sets);
+    span.attr("emitted", out.len() as u64);
+    drop(span);
     exec.finish(out)
 }
 

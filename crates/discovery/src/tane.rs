@@ -12,7 +12,7 @@
 //! lattice order, and the final FD list is sorted, so output order never
 //! depends on scheduling.
 
-use deptree_core::engine::{pool, Exec, Outcome};
+use deptree_core::engine::{obs, pool, Exec, Outcome};
 use deptree_core::Fd;
 use deptree_relation::{AttrSet, PartitionCache, Relation};
 use std::collections::{HashMap, HashSet};
@@ -106,17 +106,24 @@ pub fn discover_with_cache(
     let mut fds = Vec::new();
     let cache_hits0 = cache.hits();
     let cache_misses0 = cache.misses();
+    let cache_evictions0 = cache.evictions();
 
     // Materialize the base partitions (π_∅ is implicit in the cache).
+    let mut base_span = exec.span("tane.base_partitions");
+    base_span.attr("attrs", n_attrs as u64);
     for a in r.schema().ids() {
         let (p, delta) = cache.get_or_compute(r, AttrSet::single(a));
         exec.free_partition(delta.evicted_bytes);
+        obs::engine_metrics()
+            .cache_inserted_bytes
+            .add(delta.inserted_bytes);
         if delta.inserted_bytes > 0 {
             exec.alloc_partition(delta.inserted_bytes);
         }
         exec.tick_rows(r.n_rows() as u64);
         drop(p);
     }
+    drop(base_span);
 
     // C+ candidate RHS sets per node.
     let mut cplus: HashMap<AttrSet, AttrSet> = HashMap::new();
@@ -133,9 +140,13 @@ pub fn discover_with_cache(
 
     let mut depth = 1usize;
     'search: while !level.is_empty() && depth <= cfg.max_lhs.saturating_add(1).min(n_attrs) {
+        let mut level_span = exec.span("tane.level");
+        level_span.attr("level", depth as u64);
+        level_span.attr("candidates", level.len() as u64);
         // compute_dependencies: reserve the level's node budget up front,
         // evaluate the granted prefix in parallel, merge in lattice order.
         let granted = exec.try_reserve_nodes(level.len() as u64) as usize;
+        level_span.attr("granted", granted as u64);
         let batch = &level[..granted];
         let verdicts: Vec<(AttrSet, AttrSet)> = pool::map(threads, batch, |_, &x| {
             if exec.interrupted() {
@@ -245,6 +256,9 @@ pub fn discover_with_cache(
                 }
             }
         }
+        let mut product_span = exec.span("tane.products");
+        product_span.attr("level", depth as u64);
+        product_span.attr("products", unions.len() as u64);
         let deltas = pool::map(threads, &unions, |_, &u| {
             if exec.interrupted() {
                 // Deadline/cancellation mid-generation: stop computing
@@ -257,9 +271,12 @@ pub fn discover_with_cache(
             cache.get_or_compute(r, u).1
         });
         let mut next: Vec<AttrSet> = Vec::with_capacity(unions.len());
+        let m = obs::engine_metrics();
         for (&union, delta) in unions.iter().zip(&deltas) {
             stats.partition_products += 1;
             exec.free_partition(delta.evicted_bytes);
+            m.cache_evicted_bytes.add(delta.evicted_bytes);
+            m.cache_inserted_bytes.add(delta.inserted_bytes);
             let live = exec.tick_rows(r.n_rows() as u64)
                 && (delta.inserted_bytes == 0 || exec.alloc_partition(delta.inserted_bytes));
             cplus.entry(union).or_insert(all);
@@ -271,6 +288,7 @@ pub fn discover_with_cache(
                 break 'search;
             }
         }
+        drop(product_span);
 
         // Release partitions of the level before last — the next level no
         // longer needs them as parents (keep singletons for approximate
@@ -287,6 +305,14 @@ pub fn discover_with_cache(
     stats.fds_found = fds.len();
     stats.cache_hits = cache.hits().saturating_sub(cache_hits0);
     stats.cache_misses = cache.misses().saturating_sub(cache_misses0);
+    // Publish the run's cache traffic to the global registry — the cache
+    // itself lives in `relation`, below the engine, so callers surface its
+    // counters.
+    let m = obs::engine_metrics();
+    m.cache_hits.add(stats.cache_hits);
+    m.cache_misses.add(stats.cache_misses);
+    m.cache_evictions
+        .add(cache.evictions().saturating_sub(cache_evictions0));
     exec.finish(TaneResult { fds, stats })
 }
 

@@ -2,7 +2,7 @@
 //! §3.7.4): MD-similar pairs are merge candidates; transitive closure via
 //! union–find yields entity clusters.
 
-use deptree_core::engine::{Exec, Outcome};
+use deptree_core::engine::{obs, Exec, Outcome};
 use deptree_core::{pairs, Md};
 use deptree_relation::pairgen::PairSpec;
 use deptree_relation::{AttrSet, Relation, StrippedPartition};
@@ -89,11 +89,28 @@ pub fn cluster(r: &Relation, mds: &[Md]) -> Clustering {
 /// [`cluster_naive`]'s exactly.
 pub fn cluster_bounded(r: &Relation, mds: &[Md], exec: &Exec) -> Outcome<Clustering> {
     let mut uf = UnionFind::new(r.n_rows());
+    let mut span = exec.span("dedup.rules");
+    span.attr("rules", mds.len() as u64);
     'rules: for md in mds {
         if let Some(part) = eq_lhs_partition(r, md) {
             if !exec.tick_rows(r.n_rows() as u64) {
                 break 'rules;
             }
+            // The partition fast path is blocking too: each LHS class is a
+            // block and only within-class pairs are candidates. Publish the
+            // same pruning-power counters the index path reports, computed
+            // analytically up front so interruption below cannot skew them.
+            let candidates: u64 = part
+                .classes()
+                .iter()
+                .map(|c| (c.len() as u64) * (c.len() as u64 - 1) / 2)
+                .sum();
+            let n = r.n_rows() as u64;
+            let naive = n * n.saturating_sub(1) / 2;
+            let m = obs::engine_metrics();
+            m.pairgen_blocks.add(part.classes().len() as u64);
+            m.pairgen_candidate_pairs.add(candidates);
+            m.pairgen_pruned_pairs.add(naive.saturating_sub(candidates));
             for class in part.classes() {
                 for w in class.windows(2) {
                     if !exec.tick_node() {

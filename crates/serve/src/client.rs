@@ -95,9 +95,9 @@ impl std::fmt::Display for ClientError {
 }
 
 /// One attempt's outcome, before retry policy is applied.
-enum Attempt {
+enum Attempt<T> {
     /// Got a well-formed response frame.
-    Done(u16, Json),
+    Done(u16, T),
     /// Failed in a way worth retrying.
     Retryable(String),
     /// Failed for good.
@@ -192,28 +192,28 @@ fn response_error_code(status: u16, body: &Json) -> Option<ErrorCode> {
     }
 }
 
-fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Json>) -> Attempt {
+/// Resolve and connect, trying every resolved address within the
+/// attempt: a hostname often resolves to both an IPv6 and an IPv4
+/// address while the server listens on only one family, and retrying a
+/// single dead address would burn the whole retry budget. Connect
+/// refused / timed out on all of them: the server may be mid-restart or
+/// draining behind a balancer — worth retrying.
+fn connect<T>(config: &ClientConfig) -> Result<TcpStream, Attempt<T>> {
     let addrs: Vec<SocketAddr> = match config.addr.to_socket_addrs() {
         Ok(a) => a.collect(),
         Err(e) => {
-            return Attempt::Terminal(
+            return Err(Attempt::Terminal(
                 ErrorCode::InvalidConfig,
                 format!("cannot resolve `{}`: {e}", config.addr),
-            )
+            ))
         }
     };
     if addrs.is_empty() {
-        return Attempt::Terminal(
+        return Err(Attempt::Terminal(
             ErrorCode::InvalidConfig,
             format!("`{}` resolves to nothing", config.addr),
-        );
+        ));
     }
-    // Try every resolved address within the attempt: a hostname often
-    // resolves to both an IPv6 and an IPv4 address while the server
-    // listens on only one family, and retrying a single dead address
-    // would burn the whole retry budget. Connect refused / timed out on
-    // all of them: the server may be mid-restart or draining behind a
-    // balancer — worth retrying.
     let mut stream = None;
     let mut connect_failures = Vec::new();
     for addr in &addrs {
@@ -225,16 +225,28 @@ fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Js
             Err(e) => connect_failures.push(format!("connect to {addr}: {e}")),
         }
     }
-    let Some(mut stream) = stream else {
-        return Attempt::Retryable(connect_failures.join("; "));
+    let Some(stream) = stream else {
+        return Err(Attempt::Retryable(connect_failures.join("; ")));
     };
     if let Err(e) = stream
         .set_read_timeout(Some(config.io_timeout))
         .and_then(|()| stream.set_write_timeout(Some(config.io_timeout)))
     {
-        return Attempt::Retryable(format!("socket setup: {e}"));
+        return Err(Attempt::Retryable(format!("socket setup: {e}")));
     }
+    Ok(stream)
+}
 
+fn one_attempt(
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Attempt<Json> {
+    let mut stream = match connect(config) {
+        Ok(s) => s,
+        Err(a) => return a,
+    };
     let payload = body.map(Json::render).unwrap_or_default();
     let frame = format!(
         "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -250,20 +262,77 @@ fn one_attempt(config: &ClientConfig, method: &str, path: &str, body: Option<&Js
 
     // The whole response frame gets one absolute budget on top of the
     // per-read io timeout, so a drip-feeding server cannot hold the
-    // client forever.
+    // client forever. A malformed or truncated response is
+    // indistinguishable from a server killed mid-write; retrying is safe
+    // (requests are read-only or idempotent) and usually lands on a
+    // healthy serve.
     let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
     match read_response(&mut stream, config.max_response_bytes, &clock) {
         Ok((status, json)) => Attempt::Done(status, json),
-        // A malformed or truncated response is indistinguishable from a
-        // server killed mid-write; retrying is safe (requests are
-        // read-only or idempotent) and usually lands on a healthy serve.
-        Err(ProtoError::Timeout) => Attempt::Retryable("response timed out".into()),
-        Err(ProtoError::Closed) => Attempt::Retryable("connection closed mid-response".into()),
-        Err(ProtoError::Malformed(m)) => Attempt::Retryable(format!("bad response: {m}")),
-        Err(ProtoError::TooLarge(what)) => {
+        Err(e) => attempt_of_proto(e),
+    }
+}
+
+/// Fetch a non-JSON endpoint — the Prometheus `/metrics` exposition — as
+/// raw text, with the same connect/retry/backoff machinery as [`query`].
+pub fn fetch_text(config: &ClientConfig, path: &str) -> Result<(u16, String), ClientError> {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut last_retryable = String::new();
+    let attempts_max = config.retries.saturating_add(1);
+    for attempt in 0..attempts_max {
+        if attempt > 0 {
+            std::thread::sleep(backoff(config, attempt - 1, &mut rng));
+        }
+        match one_text_attempt(config, path) {
+            Attempt::Done(status, text) => return Ok((status, text)),
+            Attempt::Retryable(msg) => last_retryable = msg,
+            Attempt::Terminal(code, message) => {
+                return Err(ClientError {
+                    code,
+                    message,
+                    attempts: attempt + 1,
+                })
+            }
+        }
+    }
+    Err(ClientError {
+        code: ErrorCode::Io,
+        message: format!("retries exhausted; last failure: {last_retryable}"),
+        attempts: attempts_max,
+    })
+}
+
+fn one_text_attempt(config: &ClientConfig, path: &str) -> Attempt<String> {
+    let mut stream = match connect(config) {
+        Ok(s) => s,
+        Err(a) => return a,
+    };
+    let frame = format!(
+        "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+        config.addr,
+    );
+    if let Err(e) = stream.write_all(frame.as_bytes()) {
+        return Attempt::Retryable(format!("send: {e}"));
+    }
+    let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
+    match read_raw_response(&mut stream, config.max_response_bytes, &clock) {
+        Ok((status, body)) => match String::from_utf8(body) {
+            Ok(text) => Attempt::Done(status, text),
+            Err(_) => Attempt::Retryable("response body is not UTF-8".into()),
+        },
+        Err(e) => attempt_of_proto(e),
+    }
+}
+
+fn attempt_of_proto<T>(e: ProtoError) -> Attempt<T> {
+    match e {
+        ProtoError::Timeout => Attempt::Retryable("response timed out".into()),
+        ProtoError::Closed => Attempt::Retryable("connection closed mid-response".into()),
+        ProtoError::Malformed(m) => Attempt::Retryable(format!("bad response: {m}")),
+        ProtoError::TooLarge(what) => {
             Attempt::Terminal(ErrorCode::TooLarge, format!("response {what} too large"))
         }
-        Err(ProtoError::Io(m)) => Attempt::Retryable(format!("i/o: {m}")),
+        ProtoError::Io(m) => Attempt::Retryable(format!("i/o: {m}")),
     }
 }
 
@@ -273,6 +342,19 @@ fn read_response(
     max_body: usize,
     clock: &FrameClock,
 ) -> Result<(u16, Json), ProtoError> {
+    let (status, body) = read_raw_response(stream, max_body, clock)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| ProtoError::Malformed("response body is not UTF-8".into()))?;
+    let json = Json::parse(text).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok((status, json))
+}
+
+/// Read one response frame without interpreting the body.
+fn read_raw_response(
+    stream: &mut TcpStream,
+    max_body: usize,
+    clock: &FrameClock,
+) -> Result<(u16, Vec<u8>), ProtoError> {
     let (head, leftover) = read_head(stream, 8 * 1024, clock)?;
     let head = String::from_utf8_lossy(&head).into_owned();
     let mut lines = head.lines();
@@ -298,10 +380,7 @@ fn read_response(
         return Err(ProtoError::TooLarge("body".into()));
     }
     let body = read_body(stream, leftover, content_length, clock)?;
-    let text = std::str::from_utf8(&body)
-        .map_err(|_| ProtoError::Malformed("response body is not UTF-8".into()))?;
-    let json = Json::parse(text).map_err(|e| ProtoError::Malformed(e.to_string()))?;
-    Ok((status, json))
+    Ok((status, body))
 }
 
 #[cfg(test)]

@@ -97,12 +97,14 @@ const HARD_CAP: Duration = Duration::from_secs(30);
 /// Run the drain protocol to completion (blocking). `grace` is how long
 /// in-flight work may keep running before the hard cancel.
 pub fn run_drain(state: &DrainState, grace: Duration) {
+    crate::telemetry::serve_metrics().drains.inc();
     state.begin();
     let soft_deadline = Instant::now() + grace;
     while state.inflight() > 0 && Instant::now() < soft_deadline {
         std::thread::sleep(POLL);
     }
     if state.inflight() > 0 {
+        crate::telemetry::serve_metrics().drain_cancels.inc();
         state.cancel_token().cancel();
     }
     let hard_deadline = Instant::now() + HARD_CAP;

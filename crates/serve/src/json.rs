@@ -132,9 +132,15 @@ impl Json {
     }
 
     /// The numeric payload as a non-negative integer, if it is one.
+    ///
+    /// The bound is *strictly* below 2^53: every u64 in `[0, 2^53)` has a
+    /// unique f64 representation, while at 2^53 and above distinct
+    /// integers collapse onto the same float (`9007199254740993` parses
+    /// to the same f64 as `9007199254740992`), so accepting them would
+    /// silently honor a different number than the client sent.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < (1u64 << 53) as f64 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -209,7 +215,7 @@ impl Json {
                 use fmt::Write as _;
                 if !n.is_finite() {
                     out.push_str("null");
-                } else if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 {
+                } else if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -548,5 +554,42 @@ mod tests {
         assert_eq!(v.u64_field("f"), None);
         assert_eq!(v.u64_field("neg"), None);
         assert_eq!(v.f64_field("f"), Some(1.5));
+    }
+
+    #[test]
+    fn as_u64_rejects_non_round_tripping_integers() {
+        // 2^53 - 1 is the largest u64 every f64 can represent uniquely.
+        let max_exact = (1u64 << 53) - 1;
+        let v = Json::parse(&format!("{max_exact}")).unwrap();
+        assert_eq!(v.as_u64(), Some(max_exact));
+        // 2^53 itself is ambiguous: 2^53 + 1 parses to the same f64, so a
+        // client sending either would be silently granted the other.
+        let v = Json::parse("9007199254740992").unwrap();
+        assert_eq!(v.as_u64(), None);
+        let v = Json::parse("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), None, "2^53+1 rounds to 2^53 — must not pass");
+    }
+
+    #[test]
+    fn render_floats_numbers_at_and_above_2_53() {
+        // Below the bound: integer formatting.
+        assert_eq!(
+            Json::Num(((1u64 << 53) - 1) as f64).render(),
+            "9007199254740991"
+        );
+        // At the bound the integer is no longer uniquely representable;
+        // the float path still round-trips the f64 exactly.
+        let at = Json::Num((1u64 << 53) as f64).render();
+        assert_eq!(
+            Json::parse(&at).unwrap().as_f64(),
+            Some((1u64 << 53) as f64)
+        );
+        assert_eq!(
+            Json::Num(-((1u64 << 53) as f64) - 2.0)
+                .render()
+                .parse::<f64>()
+                .ok(),
+            Some(-((1u64 << 53) as f64) - 2.0)
+        );
     }
 }

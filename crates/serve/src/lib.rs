@@ -40,8 +40,9 @@ pub mod listener;
 pub mod protocol;
 pub mod router;
 pub mod tasks;
+pub mod telemetry;
 
-pub use client::{query, ClientConfig, ClientError, Response};
+pub use client::{fetch_text, query, ClientConfig, ClientError, Response};
 pub use drain::DrainState;
 pub use json::Json;
 pub use listener::{spawn, ServeConfig, ServerHandle};

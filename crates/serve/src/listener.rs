@@ -19,8 +19,11 @@
 
 use crate::admission::{Admission, AdmissionStats, ShedReason};
 use crate::drain::{run_drain, DrainState};
-use crate::protocol::{error_body, read_request, write_response, ErrorCode, FrameClock, Limits};
+use crate::protocol::{
+    error_body, read_request, write_response, write_text_response, ErrorCode, FrameClock, Limits,
+};
 use crate::router::{handle, AppState};
+use crate::telemetry;
 use deptree_core::DeptreeError;
 use deptree_relation::Relation;
 use std::collections::BTreeMap;
@@ -151,6 +154,10 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
             message: format!("set_nonblocking failed: {e}"),
         })?;
 
+    // Register every metric family before the first request, so an early
+    // scrape (or the CI smoke) sees all required series at zero.
+    let _ = telemetry::serve_metrics();
+
     let drain = DrainState::new();
     let mut datasets = BTreeMap::new();
     for (name, r) in config.datasets {
@@ -251,6 +258,7 @@ fn accept_loop(listener: &TcpListener, admission: &Admission, drain: &DrainState
 /// close it. Runs on the accept thread, so it must stay cheap: a short
 /// write timeout bounds it.
 fn shed(mut stream: TcpStream, reason: ShedReason, io: &IoConfig) {
+    telemetry::serve_metrics().shed(reason).inc();
     let _ = stream.set_write_timeout(Some(io.write_timeout.min(Duration::from_millis(500))));
     let (code, detail) = match reason {
         ShedReason::Connections => (ErrorCode::Overloaded, "connection cap reached"),
@@ -289,24 +297,41 @@ fn serve_conn(app: &AppState, mut conn: crate::admission::Conn, io: &IoConfig) {
     // The clock re-arms the read timeout before every read, bounding the
     // whole frame no matter how slowly its bytes drip in.
     let clock = FrameClock::start(io.read_timeout, io.frame_timeout);
+    let metrics = telemetry::serve_metrics();
+    metrics.admitted.inc();
     let (status, body) = match read_request(stream, &io.limits, &clock) {
+        Ok(req) if req.method == "GET" && req.path == "/metrics" => {
+            // Exposition is text, not JSON, so it bypasses the router.
+            let started = std::time::Instant::now();
+            let text = telemetry::render(app.drain.inflight());
+            let _ = write_text_response(stream, 200, &text);
+            metrics.latency.observe_duration(started.elapsed());
+            metrics.requests(&req.path, 200).inc();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
         Ok(req) => {
+            let started = std::time::Instant::now();
             // Last-resort panic barrier: a handler bug must cost one
             // request, not the worker thread (and with it 1/N of the
             // server's capacity).
-            match catch_unwind(AssertUnwindSafe(|| handle(app, &req))) {
+            let resp = match catch_unwind(AssertUnwindSafe(|| handle(app, &req))) {
                 Ok(resp) => resp,
                 Err(_) => (
                     ErrorCode::Internal.http_status(),
                     error_body(ErrorCode::Internal, "request handler panicked"),
                 ),
-            }
+            };
+            metrics.latency.observe_duration(started.elapsed());
+            metrics.requests(&req.path, resp.0).inc();
+            resp
         }
         Err(e) => {
             if e == crate::protocol::ProtoError::Closed {
                 return; // nobody to answer
             }
             let code = e.code();
+            metrics.requests("other", code.http_status()).inc();
             (code.http_status(), error_body(code, &e.message()))
         }
     };

@@ -293,14 +293,33 @@ fn reason(status: u16) -> &'static str {
 /// Write a JSON response frame (best effort; callers ignore the result
 /// when the peer is already gone).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    let payload = body.render();
+    write_raw_response(stream, status, "application/json", body.render().as_bytes())
+}
+
+/// Like [`write_response`] but for non-JSON payloads — the `/metrics`
+/// endpoint answers Prometheus text exposition (version 0.0.4).
+pub fn write_text_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_raw_response(
+        stream,
+        status,
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.as_bytes(),
+    )
+}
+
+fn write_raw_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    payload: &[u8],
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         payload.len(),
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(payload.as_bytes())?;
+    stream.write_all(payload)?;
     stream.flush()
 }
 

@@ -381,4 +381,23 @@ mod tests {
             Some("invalid_config")
         );
     }
+
+    #[test]
+    fn budget_fields_beyond_f64_precision_are_invalid_config() {
+        // 2^53 + 1 is not representable as f64; accepting it would
+        // silently run with a different budget than the client asked for.
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/v1/discover",
+                r#"{"dataset":"hotels","max_nodes":9007199254740993}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert_eq!(
+            body.get("error").and_then(|e| e.str_field("code")),
+            Some("invalid_config")
+        );
+    }
 }

@@ -71,6 +71,7 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
     } else {
         "exact FDs"
     };
+    let mut span = exec.span("profile.tane");
     let t = tane::discover_bounded(
         r,
         &tane::TaneConfig {
@@ -79,6 +80,8 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
         },
         exec,
     );
+    span.attr("fds", t.result.fds.len() as u64);
+    drop(span);
     exhausted = exhausted.or(t.exhausted);
     line!(
         buf,
@@ -94,6 +97,7 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
         line!(buf, "  … and {} more", t.result.fds.len() - 25);
     }
 
+    let mut span = exec.span("profile.cords");
     let c = cords::discover(
         r,
         &cords::CordsConfig {
@@ -101,6 +105,8 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
             ..Default::default()
         },
     );
+    span.attr("sfds", c.sfds.len() as u64);
+    drop(span);
     line!(
         buf,
         "\n== soft FDs (CORDS, strength ≥ 0.8 on {}-row sample) — {} found ==",
@@ -117,7 +123,10 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
         .filter(|(_, a)| a.ty == ValueType::Numeric)
         .count();
     if numeric >= 2 {
+        let mut span = exec.span("profile.od");
         let ods = od::discover_bounded(r, &od::OdConfig::default(), exec);
+        span.attr("ods", ods.result.len() as u64);
+        drop(span);
         exhausted = exhausted.or(ods.exhausted);
         line!(
             buf,
@@ -133,7 +142,10 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
             line!(buf, "  {o}");
         }
         if r.n_rows() <= 500 || !exec.budget().is_unlimited() {
+            let mut span = exec.span("profile.fastdc");
             let d = dc::discover_bounded(r, &dc::DcConfig::default(), exec);
+            span.attr("dcs", d.result.dcs.len() as u64);
+            drop(span);
             exhausted = exhausted.or(d.exhausted);
             line!(
                 buf,
@@ -209,8 +221,12 @@ pub fn repair(
     exec: &Exec,
 ) -> Result<(TaskReport, Relation), DeptreeError> {
     let fd = parse_rule(r, rule)?;
+    let mut span = exec.span("repair.fds");
     let outcome = repair::repair_fds_bounded(r, std::slice::from_ref(&fd), 10, exec);
     let result = outcome.result;
+    span.attr("iterations", result.iterations as u64);
+    span.attr("changes", result.changes.len() as u64);
+    drop(span);
     let mut buf = String::new();
     line!(
         buf,
@@ -258,8 +274,11 @@ pub fn dedup(r: &Relation, keys: &[String], exec: &Exec) -> Result<TaskReport, D
         ));
     }
     let md = Md::new(schema, lhs, rhs);
+    let mut span = exec.span("dedup.cluster");
     let outcome = dedup::cluster_bounded(r, std::slice::from_ref(&md), exec);
     let clustering = outcome.result;
+    span.attr("clusters", clustering.n_clusters as u64);
+    drop(span);
     let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for (row, &rep) in clustering.cluster.iter().enumerate() {
         groups.entry(rep).or_default().push(row);

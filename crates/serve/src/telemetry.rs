@@ -1,0 +1,176 @@
+//! Server-side metrics: request accounting, shed/drain counters and the
+//! `/metrics` exposition.
+//!
+//! All series live in the engine's global registry
+//! ([`deptree_core::engine::obs::registry`]), so one scrape covers the
+//! HTTP layer and the engine internals (cache traffic, pool stealing,
+//! budget exhaustions) alike. Handles are resolved once at first use;
+//! the per-request cost is atomic adds plus one registry lock to intern
+//! the `(route, status)` counter — negligible next to a discovery run.
+
+use deptree_core::engine::obs::{self, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+use crate::admission::ShedReason;
+
+/// Pre-registered handles for the serve-layer series.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Request latency from frame parse to response hand-off, seconds.
+    pub latency: Arc<Histogram>,
+    /// Requests currently executing (sampled from the drain tracker).
+    pub inflight: Arc<Gauge>,
+    /// Connections admitted past admission control.
+    pub admitted: Arc<Counter>,
+    /// Drain protocols started.
+    pub drains: Arc<Counter>,
+    /// Drains that had to hard-cancel in-flight work after the grace.
+    pub drain_cancels: Arc<Counter>,
+    shed: [Arc<Counter>; 3],
+}
+
+const REQUESTS_NAME: &str = "deptree_requests_total";
+const REQUESTS_HELP: &str = "Requests answered, by route and status.";
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let reg = obs::registry();
+        // Eagerly register the engine families and seed the dynamic
+        // request family, so a scrape before any traffic still exposes
+        // every required series (at zero).
+        let _ = obs::engine_metrics();
+        let _ = reg.counter(
+            REQUESTS_NAME,
+            REQUESTS_HELP,
+            &[("route", "/healthz"), ("status", "200")],
+        );
+        let shed = |reason: &'static str| {
+            reg.counter(
+                "deptree_shed_total",
+                "Connections shed by admission control, by reason.",
+                &[("reason", reason)],
+            )
+        };
+        ServeMetrics {
+            latency: reg.histogram(
+                "deptree_request_duration_seconds",
+                "Request latency from parsed frame to response hand-off.",
+                &[],
+                obs::LATENCY_BUCKETS,
+            ),
+            inflight: reg.gauge(
+                "deptree_inflight_requests",
+                "Task requests currently executing.",
+                &[],
+            ),
+            admitted: reg.counter(
+                "deptree_admitted_total",
+                "Connections admitted past admission control.",
+                &[],
+            ),
+            drains: reg.counter("deptree_drains_total", "Drain protocols started.", &[]),
+            drain_cancels: reg.counter(
+                "deptree_drain_cancels_total",
+                "Drains that hard-cancelled in-flight work after the grace period.",
+                &[],
+            ),
+            shed: [shed("connections"), shed("queue"), shed("closed")],
+        }
+    }
+
+    /// The shed counter for one admission-refusal reason.
+    pub fn shed(&self, reason: ShedReason) -> &Counter {
+        match reason {
+            ShedReason::Connections => &self.shed[0],
+            ShedReason::Queue => &self.shed[1],
+            ShedReason::Closed => &self.shed[2],
+        }
+    }
+
+    /// The `(route, status)` request counter. Routes are normalized to
+    /// the known endpoint set so a path-scanning client cannot inflate
+    /// series cardinality.
+    pub fn requests(&self, path: &str, status: u16) -> Arc<Counter> {
+        obs::registry().counter(
+            REQUESTS_NAME,
+            REQUESTS_HELP,
+            &[
+                ("route", normalize_route(path)),
+                ("status", status_str(status)),
+            ],
+        )
+    }
+}
+
+/// The serve-layer metric handles, registered in the global registry on
+/// first use. [`crate::spawn`] touches this at boot so every required
+/// series exists (at zero) before the first request arrives.
+pub fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(ServeMetrics::new)
+}
+
+fn normalize_route(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/metrics" => "/metrics",
+        "/v1/datasets" => "/v1/datasets",
+        "/v1/discover" => "/v1/discover",
+        "/v1/validate" => "/v1/validate",
+        "/v1/detect" => "/v1/detect",
+        "/v1/repair" => "/v1/repair",
+        "/v1/dedup" => "/v1/dedup",
+        _ => "other",
+    }
+}
+
+fn status_str(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        413 => "413",
+        429 => "429",
+        500 => "500",
+        503 => "503",
+        _ => "other",
+    }
+}
+
+/// Render the whole registry as Prometheus text, refreshing the sampled
+/// gauges first.
+pub fn render(inflight: usize) -> String {
+    let m = serve_metrics();
+    m.inflight.set(inflight as i64);
+    obs::registry().render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_series_exist_at_boot() {
+        let text = render(0);
+        for series in [
+            "deptree_requests_total",
+            "deptree_shed_total",
+            "deptree_request_duration_seconds",
+            "deptree_inflight_requests",
+            "deptree_cache_hits_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_collapse_to_other() {
+        let c = serve_metrics().requests("/etc/passwd", 404);
+        let before = c.get();
+        serve_metrics().requests("/../../x", 404).inc();
+        assert_eq!(c.get(), before + 1, "both paths intern to the same series");
+    }
+}

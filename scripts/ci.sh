@@ -12,12 +12,16 @@
 #   3. tier-1: release build + the root test binaries, run twice — once
 #      serial (DEPTREE_THREADS=1) and once on an 8-worker pool
 #      (DEPTREE_THREADS=8) — so the thread-count-independence contract of
-#      the parallel miners is exercised on every gate;
+#      the parallel miners is exercised on every gate; then the serial
+#      suite once more back-to-back, so a test that only passes on a
+#      fresh process (ordering or leftover-state luck) is caught here
+#      and not on a busy CI box;
 #   4. pairwise_scaling --smoke — tiny-size run of the blocking/index
 #      benchmark that asserts indexed candidate generation reproduces the
 #      naive pair scans exactly (MD discovery, DC evidence, dedup);
 #   5. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
-#      a `deptree query`, SIGTERM it, and require a graceful exit 0.
+#      `deptree query` calls, scrape /metrics and require every load-
+#      bearing series, SIGTERM it, and require a graceful exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +46,9 @@ DEPTREE_THREADS=1 cargo test -q
 echo "== tier-1: tests (parallel, DEPTREE_THREADS=8) =="
 DEPTREE_THREADS=8 cargo test -q
 
+echo "== tier-1: tests (repeat run, flake gate) =="
+DEPTREE_THREADS=1 cargo test -q
+
 echo "== pairwise_scaling smoke (indexed ≡ naive) =="
 cargo run --release --quiet --bin pairwise_scaling -- --smoke
 
@@ -62,6 +69,26 @@ done
 target/release/deptree query datasets --addr "$addr"
 target/release/deptree query detect --addr "$addr" --dataset hotels \
     --rule "address -> region" >/dev/null
+# A discover round trip moves the engine counters (partition-cache
+# hits/misses), so the scrape below checks real numbers, not zeros.
+target/release/deptree query discover --addr "$addr" --dataset hotels \
+    --max-lhs 2 >/dev/null
+
+echo "== metrics scrape (required series present) =="
+metrics="$(target/release/deptree query metrics --addr "$addr")"
+for series in \
+    'deptree_requests_total{route="/v1/discover",status="200"}' \
+    deptree_shed_total \
+    deptree_request_duration_seconds_bucket \
+    deptree_inflight_requests \
+    deptree_cache_hits_total; do
+    if ! grep -qF "$series" <<<"$metrics"; then
+        echo "missing required metrics series: $series"
+        echo "$metrics"
+        exit 1
+    fi
+done
+
 kill -TERM "$serve_pid"
 wait "$serve_pid"   # set -e: non-zero (ungraceful) drain fails the gate
 

@@ -3,14 +3,16 @@
 //! ```text
 //! deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]
 //!                            [--timeout-ms MS] [--max-nodes N] [--threads T] [--lossy]
+//!                            [--trace-out spans.jsonl]
 //! deptree detect  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--lossy]
 //! deptree repair  <file.csv> --rule "<lhs> -> <rhs>" [--types ...] [--out repaired.csv]
 //!                            [--timeout-ms MS] [--max-nodes N] [--threads T] [--lossy]
+//!                            [--trace-out spans.jsonl]
 //! deptree serve   --data name=path[:types] [--data ...] [--addr HOST:PORT]
 //!                            [--workers N] [--queue-depth N] [--max-conns N]
 //!                            [--default-timeout-ms MS] [--max-timeout-ms MS]
 //!                            [--drain-grace-ms MS] [--threads T] [--lossy]
-//! deptree query   <discover|validate|detect|repair|dedup|datasets> --addr HOST:PORT
+//! deptree query   <discover|validate|detect|repair|dedup|datasets|metrics> --addr HOST:PORT
 //!                            [--dataset NAME] [--rule "..."] [--keys a,b] [--max-lhs K]
 //!                            [--error E] [--timeout-ms MS] [--max-nodes N] [--max-rows N]
 //!                            [--retries N] [--seed S] [--out FILE]
@@ -39,6 +41,7 @@
 //! are identical at every thread count — parallelism changes wall-clock
 //! time, never output.
 
+use deptree::core::engine::obs::Tracer;
 use deptree::core::engine::{signal, Budget, BudgetKind, CancelToken, Exec};
 use deptree::core::DeptreeError;
 use deptree::relation::{parse_csv, parse_csv_lossy, to_csv, Relation, ValueType};
@@ -46,6 +49,7 @@ use deptree::serve::protocol::budget_from_wire;
 use deptree::serve::{tasks, ClientConfig, Json, ServeConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Print a line to stdout; if the reader has gone away (`deptree … |
@@ -85,16 +89,16 @@ fn main() -> ExitCode {
             esay!("usage:");
             esay!("  deptree profile <file.csv> [--types c,t,n,...] [--max-lhs K] [--error E]");
             esay!("                             [--timeout-ms MS] [--max-nodes N] [--threads T]");
-            esay!("                             [--lossy]");
+            esay!("                             [--lossy] [--trace-out spans.jsonl]");
             esay!("  deptree detect  <file.csv> --rule \"a, b -> c\" [--types ...] [--lossy]");
             esay!("  deptree repair  <file.csv> --rule \"a, b -> c\" [--types ...] [--out FILE]");
             esay!("                             [--timeout-ms MS] [--max-nodes N] [--threads T]");
-            esay!("                             [--lossy]");
+            esay!("                             [--lossy] [--trace-out spans.jsonl]");
             esay!("  deptree serve   --data name=path[:types] [--addr HOST:PORT] [--workers N]");
             esay!("                             [--queue-depth N] [--max-conns N] [--threads T]");
             esay!("                             [--default-timeout-ms MS] [--max-timeout-ms MS]");
             esay!("                             [--drain-grace-ms MS] [--lossy]");
-            esay!("  deptree query   <discover|validate|detect|repair|dedup|datasets>");
+            esay!("  deptree query   <discover|validate|detect|repair|dedup|datasets|metrics>");
             esay!(
                 "                             --addr HOST:PORT [--dataset NAME] [--rule \"...\"]"
             );
@@ -202,6 +206,33 @@ fn interruptible_exec(args: &[String]) -> Result<Exec, CliError> {
     Ok(Exec::with_cancel(budget(args)?, token).with_threads(threads(args)?))
 }
 
+/// Attach a tracer to `exec` when `--trace-out <path>` is given. The
+/// returned handle flushes the recorded spans as JSONL after the run.
+fn with_trace(args: &[String], exec: Exec) -> (Exec, Option<(Arc<Tracer>, String)>) {
+    match flag(args, "--trace-out") {
+        Some(path) => {
+            let tracer = Arc::new(Tracer::new());
+            let exec = exec.with_tracer(Arc::clone(&tracer));
+            (exec, Some((tracer, path)))
+        }
+        None => (exec, None),
+    }
+}
+
+/// Write the spans collected by [`with_trace`] to the requested file.
+/// Tracing is observation-only: a failed flush is an I/O error, but the
+/// report already printed is complete and correct.
+fn flush_trace(trace: Option<(Arc<Tracer>, String)>) -> Result<(), CliError> {
+    if let Some((tracer, path)) = trace {
+        std::fs::write(&path, tracer.to_jsonl()).map_err(|e| DeptreeError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        esay!("wrote {} trace spans to {path}", tracer.spans().len());
+    }
+    Ok(())
+}
+
 /// Parse a `--types` spec (`c,t,n,...`) into column types.
 fn parse_types(spec: &str) -> Result<Vec<ValueType>, CliError> {
     spec.split(',')
@@ -280,9 +311,11 @@ fn profile(args: &[String]) -> Result<(), CliError> {
             .transpose()?
             .unwrap_or(0.0),
     };
-    let exec = interruptible_exec(args)?;
+    let (exec, trace) = with_trace(args, interruptible_exec(args)?);
     let report = tasks::profile(&r, &opts, &exec);
     emit(&report.text);
+    drop(exec);
+    flush_trace(trace)?;
     check_complete(report.exhausted)
 }
 
@@ -301,9 +334,11 @@ fn detect(args: &[String]) -> Result<(), CliError> {
 fn repair_cmd(args: &[String]) -> Result<(), CliError> {
     let r = load(args)?;
     let rule = rule_flag(args)?;
-    let exec = interruptible_exec(args)?;
+    let (exec, trace) = with_trace(args, interruptible_exec(args)?);
     let (report, repaired) = tasks::repair(&r, &rule, &exec)?;
     emit(&report.text);
+    drop(exec);
+    flush_trace(trace)?;
     let out = flag(args, "--out").unwrap_or_else(|| "repaired.csv".into());
     std::fs::write(&out, to_csv(&repaired)).map_err(|e| DeptreeError::Io {
         path: out.clone(),
@@ -395,12 +430,15 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
         limits: defaults.limits,
     };
 
+    // Install the signal handler *before* announcing the listener: a
+    // supervisor that reacts to "listening on" with an immediate SIGTERM
+    // must find the counting handler in place, not the default one.
+    signal::install();
     let handle = deptree::serve::spawn(config).map_err(CliError::from)?;
     say!("listening on {}", handle.addr());
 
     // First signal → graceful drain; second → force exit. The handler
     // only counts; this loop acts.
-    signal::install();
     while signal::received() == 0 {
         std::thread::sleep(Duration::from_millis(25));
     }
@@ -428,7 +466,7 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
 fn query_cmd(args: &[String]) -> Result<(), CliError> {
     let Some(task) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(usage(
-            "query needs a task: discover|validate|detect|repair|dedup|datasets",
+            "query needs a task: discover|validate|detect|repair|dedup|datasets|metrics",
         ));
     };
     let addr = flag(args, "--addr").ok_or_else(|| usage("missing --addr HOST:PORT"))?;
@@ -439,6 +477,21 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         seed: num_flag(args, "--seed")?.unwrap_or(defaults.seed),
         ..defaults
     };
+
+    if task == "metrics" {
+        // `/metrics` is Prometheus text, not JSON — fetch and print raw
+        // so scrapers and CI can grep it without an HTTP client.
+        let (status, text) = deptree::serve::fetch_text(&config, "/metrics")
+            .map_err(|e| CliError::Exit(e.code.exit_code(), e.to_string()))?;
+        if status != 200 {
+            return Err(CliError::Exit(
+                DeptreeError::Unsupported(String::new()).exit_code(),
+                format!("/metrics answered HTTP {status}"),
+            ));
+        }
+        emit(&text);
+        return Ok(());
+    }
 
     let (method, path, body) = match task.as_str() {
         "datasets" => ("GET", "/v1/datasets".to_owned(), None),
@@ -478,7 +531,7 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         }
         other => {
             return Err(usage(format!(
-                "unknown query task `{other}` (use discover|validate|detect|repair|dedup|datasets)"
+                "unknown query task `{other}` (use discover|validate|detect|repair|dedup|datasets|metrics)"
             )))
         }
     };

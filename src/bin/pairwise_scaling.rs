@@ -8,7 +8,11 @@
 //! ```sh
 //! cargo run --release --bin pairwise_scaling             # 10k/50k/100k
 //! cargo run --release --bin pairwise_scaling -- --smoke  # tiny, CI gate
+//! cargo run --release --bin pairwise_scaling -- --smoke --trace-out spans.jsonl
 //! ```
+//!
+//! `--trace-out` attaches a tracer to the timed indexed runs and writes
+//! their phase spans (`pairs.blocks` etc.) as JSONL.
 //!
 //! Every indexed result is asserted byte-identical to its naive baseline
 //! (and identical at 1 vs 8 threads); the run aborts on any mismatch.
@@ -19,6 +23,7 @@
 //! while the plain per-predicate scan is additionally timed up to
 //! [`PLAIN_DC_CAP`] rows.
 
+use deptree::core::engine::obs::Tracer;
 use deptree::core::engine::Exec;
 use deptree::core::Md;
 use deptree::discovery::dc::{self, FastDcStats};
@@ -28,6 +33,7 @@ use deptree::quality::dedup;
 use deptree::relation::{AttrSet, Relation, RelationBuilder, Value, ValueType};
 use deptree::synth::{entities, EntitiesConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Largest size the naive baselines run at.
@@ -36,7 +42,14 @@ const NAIVE_CAP: usize = 50_000;
 const PLAIN_DC_CAP: usize = 10_000;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let tracer = trace_out.as_ref().map(|_| Arc::new(Tracer::new()));
     let sizes: &[usize] = if smoke {
         &[300, 800]
     } else {
@@ -46,11 +59,18 @@ fn main() {
     for &n in sizes {
         println!("== {n} rows ==");
         let mut obj = format!("    {{\n      \"rows\": {n}");
-        bench_md(n, &mut obj);
-        bench_dc(n, &mut obj);
-        bench_dedup(n, &mut obj);
+        bench_md(n, &mut obj, tracer.as_ref());
+        bench_dc(n, &mut obj, tracer.as_ref());
+        bench_dedup(n, &mut obj, tracer.as_ref());
         obj.push_str("\n    }");
         rows_json.push(obj);
+    }
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {} trace spans to {path}", tracer.spans().len());
     }
     let json = format!(
         "{{\n  \"bench\": \"pairwise_scaling\",\n  \"mode\": \"{}\",\n  \"naive_cap_rows\": {NAIVE_CAP},\n  \"sizes\": [\n{}\n  ]\n}}\n",
@@ -82,6 +102,16 @@ fn push_metric(obj: &mut String, name: &str, naive_ms: Option<f64>, indexed_ms: 
         naive_ms.map_or("null".into(), |v| format!("{v:.3}")),
         speedup.map_or("null".into(), |v| format!("{v:.2}")),
     );
+}
+
+/// The indexed runs' executor, with the shared tracer attached when
+/// `--trace-out` asked for one.
+fn exec_with(threads: usize, tracer: Option<&Arc<Tracer>>) -> Exec {
+    let exec = Exec::unbounded().with_threads(threads);
+    match tracer {
+        Some(t) => exec.with_tracer(Arc::clone(t)),
+        None => exec,
+    }
 }
 
 /// Finish a builder whose shape is fixed by the code above it; arity
@@ -126,7 +156,7 @@ fn render_mds(found: &[md::ScoredMd]) -> Vec<(String, u64, u64)> {
         .collect()
 }
 
-fn bench_md(n: usize, obj: &mut String) {
+fn bench_md(n: usize, obj: &mut String, tracer: Option<&Arc<Tracer>>) {
     let r = md_relation(n);
     let rhs = AttrSet::single(r.schema().id("c"));
     let cfg = MdConfig {
@@ -136,7 +166,7 @@ fn bench_md(n: usize, obj: &mut String) {
         max_lhs: 1,
     };
     let t0 = Instant::now();
-    let fast = md::discover_bounded(&r, rhs, &cfg, &Exec::unbounded().with_threads(1)).result;
+    let fast = md::discover_bounded(&r, rhs, &cfg, &exec_with(1, tracer)).result;
     let indexed_ms = ms(t0.elapsed());
     let fast8 = md::discover_bounded(&r, rhs, &cfg, &Exec::unbounded().with_threads(8)).result;
     assert_eq!(
@@ -175,13 +205,13 @@ fn dc_relation(n: usize) -> Relation {
     built(b)
 }
 
-fn bench_dc(n: usize, obj: &mut String) {
+fn bench_dc(n: usize, obj: &mut String, tracer: Option<&Arc<Tracer>>) {
     let r = dc_relation(n);
     let preds = dc::predicate_space(&r);
     let mut stats = FastDcStats::default();
     let t0 = Instant::now();
     let (blocked, complete) =
-        dc::evidence_sets_blocked(&r, &preds, &mut stats, &Exec::unbounded().with_threads(1));
+        dc::evidence_sets_blocked(&r, &preds, &mut stats, &exec_with(1, tracer));
     let indexed_ms = ms(t0.elapsed());
     assert!(complete);
     let mut stats8 = FastDcStats::default();
@@ -219,7 +249,7 @@ fn bench_dc(n: usize, obj: &mut String) {
     );
 }
 
-fn bench_dedup(n: usize, obj: &mut String) {
+fn bench_dedup(n: usize, obj: &mut String, tracer: Option<&Arc<Tracer>>) {
     let cfg = EntitiesConfig {
         n_entities: (n / 2).max(4),
         max_duplicates: 3,
@@ -245,7 +275,7 @@ fn bench_dedup(n: usize, obj: &mut String) {
     let t0 = Instant::now();
     let fast = dedup::cluster(r, &mds);
     let indexed_ms = ms(t0.elapsed());
-    let fast2 = dedup::cluster_bounded(r, &mds, &Exec::unbounded().with_threads(8)).result;
+    let fast2 = dedup::cluster_bounded(r, &mds, &exec_with(8, tracer)).result;
     assert_eq!(
         fast.cluster, fast2.cluster,
         "dedup differs at 1 vs 8 threads"

@@ -6,19 +6,29 @@
 //! ```sh
 //! cargo run --release --bin parallel_scaling              # 100k rows, 8 threads
 //! cargo run --release --bin parallel_scaling -- 200000 4  # rows, threads
+//! cargo run --release --bin parallel_scaling -- 100000 8 --trace-out spans.jsonl
 //! ```
 //!
 //! On a single-core machine the speedup is ~1×; the identity assertion is
 //! the part that must hold everywhere, and the workload is reproducible
-//! (fixed seed) for machines with more cores.
+//! (fixed seed) for machines with more cores. `--trace-out` records the
+//! engine's phase spans (base partitions, lattice levels, products) for
+//! the *last* configuration as JSONL.
 
+use deptree::core::engine::obs::Tracer;
 use deptree::core::engine::Exec;
 use deptree::discovery::tane::{self, TaneConfig};
 use deptree::synth::{categorical, CategoricalConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let rows: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let threads: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
 
@@ -45,8 +55,14 @@ fn main() {
         max_error: 0.0,
     };
     let mut fd_sets: Vec<Vec<String>> = Vec::new();
+    let mut last_trace: Option<Arc<Tracer>> = None;
     for t in [1, threads] {
-        let exec = Exec::unbounded().with_threads(t);
+        let mut exec = Exec::unbounded().with_threads(t);
+        if trace_out.is_some() {
+            let tracer = Arc::new(Tracer::new());
+            exec = exec.with_tracer(Arc::clone(&tracer));
+            last_trace = Some(tracer);
+        }
         let start = Instant::now();
         let out = tane::discover_bounded(r, &tane_cfg, &exec);
         let elapsed = start.elapsed();
@@ -64,4 +80,11 @@ fn main() {
         "FD sets differ across thread counts"
     );
     println!("identical FD sets at 1 and {threads} threads");
+    if let (Some(path), Some(tracer)) = (trace_out, last_trace) {
+        if let Err(e) = std::fs::write(&path, tracer.to_jsonl()) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {} trace spans to {path}", tracer.spans().len());
+    }
 }

@@ -419,6 +419,104 @@ mod partition_cache {
     }
 }
 
+/// Observability is observation-only: attaching a tracer (which also
+/// exercises the global metrics registry on every code path) must change
+/// no output byte, at any thread count.
+mod observability_invariance {
+    use super::*;
+    use deptree::core::engine::obs::Tracer;
+    use deptree::core::engine::Exec;
+    use deptree::discovery::tane::{self, TaneConfig};
+    use deptree::serve::tasks::{self, ProfileOpts};
+    use std::sync::Arc;
+
+    /// TANE's full rendered FD list is identical across
+    /// {1, 8} threads × {untraced, traced} — four runs, one answer.
+    #[test]
+    fn tracing_changes_no_discovery_output() {
+        for (mut rng, case) in cases(40).take(24) {
+            let r = small_relation(&mut rng);
+            let cfg = TaneConfig {
+                max_lhs: r.n_attrs(),
+                max_error: 0.0,
+            };
+            let mut renders: Vec<Vec<String>> = Vec::new();
+            for threads in [1usize, 8] {
+                for traced in [false, true] {
+                    let mut exec = Exec::unbounded().with_threads(threads);
+                    let tracer = traced.then(|| Arc::new(Tracer::new()));
+                    if let Some(t) = &tracer {
+                        exec = exec.with_tracer(Arc::clone(t));
+                    }
+                    let started = std::time::Instant::now();
+                    let out = tane::discover_bounded(&r, &cfg, &exec);
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    renders.push(out.result.fds.iter().map(|f| f.to_string()).collect());
+                    if let Some(t) = tracer {
+                        let spans = t.spans();
+                        assert!(
+                            !spans.is_empty(),
+                            "case {case}: traced run recorded nothing"
+                        );
+                        // Every span fits inside the run's wall time, and
+                        // the top-level phases together do too (products
+                        // are nested inside their level, so they are
+                        // excluded from the sum).
+                        let mut phase_sum = 0u64;
+                        for s in &spans {
+                            assert!(
+                                s.dur_us <= wall_us + 1_000,
+                                "case {case}: span {} ({}us) exceeds wall time {}us",
+                                s.name,
+                                s.dur_us,
+                                wall_us
+                            );
+                            if s.name == "tane.base_partitions" || s.name == "tane.level" {
+                                phase_sum += s.dur_us;
+                            }
+                        }
+                        assert!(
+                            phase_sum <= wall_us + 1_000,
+                            "case {case}: phase durations ({phase_sum}us) exceed wall time ({wall_us}us)"
+                        );
+                    }
+                }
+            }
+            assert!(
+                renders.windows(2).all(|w| w[0] == w[1]),
+                "case {case}: output differs across thread counts / tracing"
+            );
+        }
+    }
+
+    /// The end-to-end profile report (the bytes the CLI prints and the
+    /// server returns) is byte-identical with and without a tracer.
+    #[test]
+    fn tracing_changes_no_profile_report_bytes() {
+        for (mut rng, case) in cases(41).take(8) {
+            let r = small_relation(&mut rng);
+            let opts = ProfileOpts {
+                max_lhs: 2,
+                error: 0.0,
+            };
+            let mut texts = Vec::new();
+            for threads in [1usize, 8] {
+                for traced in [false, true] {
+                    let mut exec = Exec::unbounded().with_threads(threads);
+                    if traced {
+                        exec = exec.with_tracer(Arc::new(Tracer::new()));
+                    }
+                    texts.push(tasks::profile(&r, &opts, &exec).text);
+                }
+            }
+            assert!(
+                texts.windows(2).all(|w| w[0] == w[1]),
+                "case {case}: profile report differs across thread counts / tracing"
+            );
+        }
+    }
+}
+
 /// Candidate-generation invariants for the blocking/similarity indexes:
 /// over random (including adversarial mixed-type) relations and random
 /// indexable predicates, the candidate set must contain every truly

@@ -226,9 +226,10 @@ fn slow_loris_is_cut_off_by_the_read_timeout() {
     let mut s = TcpStream::connect(handle.addr()).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
-    // Drip half a request and stall past the read timeout.
+    // Drip half a request and then just wait for the answer: the server's
+    // read timeout fires on its own, so no fixed client-side sleep is
+    // needed — `read_to_string` blocks until the 408 + close arrive.
     s.write_all(b"POST /v1/detect HTT").expect("send");
-    std::thread::sleep(Duration::from_millis(300));
     let mut out = String::new();
     let _ = s.read_to_string(&mut out);
     assert!(out.starts_with("HTTP/1.1 408"), "{out:?}");
@@ -365,6 +366,10 @@ fn queue_overflow_sheds_with_429_under_concurrent_load() {
 fn drain_under_load_cancels_to_sound_partials_and_exits_clean() {
     let config = ServeConfig {
         drain_grace: Duration::from_millis(50),
+        // A lattice big enough (C(18,≤8) ≈ 10⁵ nodes) that the slow
+        // request is still running when the 2s drain grace below expires,
+        // even on a fast machine.
+        datasets: vec![("wide".to_owned(), wide_relation(18, 200, 7))],
         ..test_config()
     };
     let handle = start(config);
@@ -403,10 +408,12 @@ fn drain_under_load_cancels_to_sound_partials_and_exits_clean() {
     // readiness while it runs.
     let drainer = {
         let state = std::sync::Arc::clone(handle.drain_state());
-        // A 300ms grace keeps the soft phase open long enough for the
-        // readiness probes below even on a loaded CI machine.
+        // A 2s grace keeps the soft phase open long enough for the
+        // readiness probes below even on a heavily loaded CI machine;
+        // the in-flight request is cancelled the moment it expires, so
+        // the test still finishes promptly.
         std::thread::spawn(move || {
-            deptree::serve::drain::run_drain(&state, Duration::from_millis(300))
+            deptree::serve::drain::run_drain(&state, Duration::from_millis(2_000))
         })
     };
     while !handle.drain_state().is_draining() {
@@ -470,7 +477,7 @@ fn sigterm_drains_the_real_binary_to_exit_zero() {
             "127.0.0.1:0",
         ])
         .stdout(Stdio::piped())
-        .stderr(Stdio::null())
+        .stderr(Stdio::piped())
         .spawn()
         .expect("spawn deptree serve");
 
@@ -488,11 +495,41 @@ fn sigterm_drains_the_real_binary_to_exit_zero() {
         .trim()
         .to_owned();
 
-    // One real round trip through the child server.
+    // Drain the child's stderr on a side thread so the pipe can never
+    // fill up and wedge the server mid-drain.
+    let mut stderr = child.stderr.take().expect("stderr");
+    let stderr_reader = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+
+    // Wait until the server answers /readyz 200 before doing anything
+    // else: this pins "fully up" to an observed fact rather than a guess,
+    // so the signal handler is provably installed (it goes in before the
+    // listener is even announced) and the round trips below cannot race
+    // server startup under load.
     let config = ClientConfig {
         addr,
-        retries: 2,
+        retries: 0,
         ..ClientConfig::default()
+    };
+    let ready_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match deptree::serve::query(&config, "GET", "/readyz", None) {
+            Ok(resp) if resp.status == 200 => break,
+            _ if std::time::Instant::now() > ready_deadline => {
+                let _ = child.kill();
+                panic!("server never became ready within 10s");
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+
+    // One real round trip through the child server.
+    let config = ClientConfig {
+        retries: 2,
+        ..config
     };
     let resp = deptree::serve::query(
         &config,
@@ -507,6 +544,20 @@ fn sigterm_drains_the_real_binary_to_exit_zero() {
     .expect("detect against child server");
     assert_eq!(resp.status, 200);
 
+    // The black box is lit: /metrics on the real binary counts the
+    // round trips we just made.
+    let (status, metrics) =
+        deptree::serve::fetch_text(&config, "/metrics").expect("metrics from child server");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("deptree_requests_total{route=\"/v1/detect\",status=\"200\"}"),
+        "metrics missing the detect round trip:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("deptree_requests_total{route=\"/readyz\",status=\"200\"}"),
+        "metrics missing the readiness polls:\n{metrics}"
+    );
+
     // SIGTERM → graceful drain → exit 0.
     let pid = child.id();
     let kill = Command::new("sh")
@@ -515,23 +566,107 @@ fn sigterm_drains_the_real_binary_to_exit_zero() {
         .expect("send SIGTERM");
     assert!(kill.success());
 
-    let mut waited = 0;
+    let exit_deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         match child.try_wait().expect("try_wait") {
             Some(status) => {
                 assert!(status.success(), "server should exit 0, got {status:?}");
                 break;
             }
-            None if waited > 10_000 => {
+            None if std::time::Instant::now() > exit_deadline => {
                 let _ = child.kill();
                 panic!("server did not exit within 10s of SIGTERM");
             }
-            None => {
-                std::thread::sleep(Duration::from_millis(25));
-                waited += 25;
-            }
+            None => std::thread::sleep(Duration::from_millis(25)),
         }
     }
+
+    // The drain actually ran (and said so), rather than the process
+    // dying some other way that happens to exit 0.
+    let stderr = stderr_reader.join().expect("stderr reader");
+    assert!(
+        stderr.contains("signal received — draining"),
+        "expected drain banner in stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("drained; exiting"),
+        "expected drain completion in stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn metrics_scrape_under_load_exposes_the_required_series() {
+    let config = ServeConfig {
+        workers: 2,
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.addr().to_string();
+
+    // Concurrent task traffic while we scrape: the endpoint must answer
+    // correctly mid-flight, not just on an idle server.
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    addr,
+                    retries: 1,
+                    io_timeout: Duration::from_secs(30),
+                    seed: i as u64,
+                    ..ClientConfig::default()
+                };
+                let body = discover_body("hotels");
+                deptree::serve::query(&config, "POST", "/v1/discover", Some(&body))
+            })
+        })
+        .collect();
+
+    let (status, text) =
+        deptree::serve::fetch_text(&client(&handle), "/metrics").expect("scrape under load");
+    assert_eq!(status, 200);
+
+    for c in clients {
+        let resp = c
+            .join()
+            .expect("client thread must not panic")
+            .expect("discover under scrape");
+        assert_eq!(resp.status, 200);
+    }
+
+    // A second scrape after the traffic settles: every required family
+    // must be present, and the exposition must be structurally sane.
+    let (status, text2) =
+        deptree::serve::fetch_text(&client(&handle), "/metrics").expect("scrape after load");
+    assert_eq!(status, 200);
+    for series in [
+        "deptree_requests_total",
+        "deptree_shed_total",
+        "deptree_request_duration_seconds_bucket",
+        "deptree_request_duration_seconds_sum",
+        "deptree_request_duration_seconds_count",
+        "deptree_inflight_requests",
+        "deptree_cache_hits_total",
+        "deptree_cache_misses_total",
+    ] {
+        assert!(text2.contains(series), "missing {series} in:\n{text2}");
+    }
+    assert!(
+        text2.contains("deptree_requests_total{route=\"/v1/discover\",status=\"200\"}"),
+        "discover traffic not counted:\n{text2}"
+    );
+    // Both scrapes are well-formed: every non-comment line is
+    // `name{labels} value` or `name value` with a parseable float.
+    for scrape in [&text, &text2] {
+        for line in scrape.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses as f64");
+        }
+    }
+    stop(handle);
 }
 
 /// Run the CLI binary and return its stdout.
