@@ -74,6 +74,12 @@ impl Fd {
         self.rhs.is_subset(self.lhs)
     }
 
+    /// The rule in the `"a, b -> c"` form accepted by [`Fd::parse`], so
+    /// an FD can round-trip through a wire protocol as plain text.
+    pub fn rule(&self) -> &str {
+        &self.display
+    }
+
     /// The `g3` error (Kivinen–Mannila): fraction of rows to remove so the
     /// FD holds exactly. This is the measure AFDs threshold (§2.3.1).
     pub fn g3(&self, r: &Relation) -> f64 {
@@ -161,6 +167,14 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].rows, vec![2, 3]); // t3, t4 — true violation
         assert_eq!(v[1].rows, vec![4, 5]); // t5, t6 — spurious violation
+    }
+
+    #[test]
+    fn rule_round_trips_through_parse() {
+        let r = hotels_r1();
+        let fd = Fd::parse(r.schema(), "name ,  address->  region").unwrap();
+        assert_eq!(fd.rule(), "name, address -> region");
+        assert_eq!(Fd::parse(r.schema(), fd.rule()).unwrap(), fd);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! datasets, budget exhaustion, internal errors) would fail identically
 //! on the next attempt, so it is terminal on the first.
 //!
+//! A refused connection is deliberately in the *retryable* class, on
+//! par with a `draining` response: a supervised worker that crashed is
+//! respawned behind the same address within its backoff budget, and a
+//! gateway (or a plain `deptree query`) that hard-failed on the first
+//! `ECONNREFUSED` would turn every respawn window into user-visible
+//! errors. `refused_connection_is_ridden_out_across_a_respawn_window`
+//! pins this contract.
+//!
 //! Backoff between attempts is `min(max, base · 2^attempt)` scaled by a
 //! uniform jitter in `[0.5, 1.0]`, drawn from the vendored deterministic
 //! PRNG so tests can pin the schedule with a seed.
@@ -273,6 +281,117 @@ fn one_attempt(
     }
 }
 
+/// A response frame kept verbatim, for a proxy that must not rewrite
+/// what the worker produced.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// HTTP status.
+    pub status: u16,
+    /// Body bytes, exactly as received.
+    pub body: Vec<u8>,
+    /// Attempts it took (1 = first try).
+    pub attempts: u32,
+}
+
+/// Send one request and return the response frame *verbatim* — status
+/// and body bytes untouched — with the same connect/retry/backoff
+/// machinery as [`query`].
+///
+/// This is the gateway's proxy path: forwarding the worker's bytes
+/// unmodified is what makes gateway↔worker byte-identity checkable.
+/// Responses whose status or embedded error code is retryable
+/// (`timeout`, `overloaded`, `draining`) are retried like transport
+/// failures; any other response — including errors — is returned as-is,
+/// because classifying it is the end client's business, not the proxy's.
+pub fn forward(
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<RawResponse, ClientError> {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut last_retryable = String::new();
+    let attempts_max = config.retries.saturating_add(1);
+    for attempt in 0..attempts_max {
+        if attempt > 0 {
+            std::thread::sleep(backoff(config, attempt - 1, &mut rng));
+        }
+        match one_raw_attempt(config, method, path, body) {
+            Attempt::Done(status, bytes) => {
+                if attempt + 1 < attempts_max {
+                    if let Some(code) = raw_error_code(status, &bytes) {
+                        if code.retryable() {
+                            last_retryable = format!("server answered {status} ({})", code.wire());
+                            continue;
+                        }
+                    }
+                }
+                return Ok(RawResponse {
+                    status,
+                    body: bytes,
+                    attempts: attempt + 1,
+                });
+            }
+            Attempt::Retryable(msg) => last_retryable = msg,
+            Attempt::Terminal(code, message) => {
+                return Err(ClientError {
+                    code,
+                    message,
+                    attempts: attempt + 1,
+                })
+            }
+        }
+    }
+    Err(ClientError {
+        code: ErrorCode::Io,
+        message: format!("retries exhausted; last failure: {last_retryable}"),
+        attempts: attempts_max,
+    })
+}
+
+/// Classify a raw response for the proxy's retry decision without
+/// disturbing the bytes: prefer the JSON `error.code`, fall back on the
+/// status line.
+fn raw_error_code(status: u16, body: &[u8]) -> Option<ErrorCode> {
+    if status == 200 {
+        return None;
+    }
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .unwrap_or_else(Json::obj);
+    response_error_code(status, &parsed)
+}
+
+fn one_raw_attempt(
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Attempt<Vec<u8>> {
+    let mut stream = match connect(config) {
+        Ok(s) => s,
+        Err(a) => return a,
+    };
+    let payload = body.unwrap_or_default();
+    let frame = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        config.addr,
+        payload.len(),
+    );
+    if let Err(e) = stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.write_all(payload))
+    {
+        return Attempt::Retryable(format!("send: {e}"));
+    }
+    let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
+    match read_raw_response(&mut stream, config.max_response_bytes, &clock) {
+        Ok((status, bytes)) => Attempt::Done(status, bytes),
+        Err(e) => attempt_of_proto(e),
+    }
+}
+
 /// Fetch a non-JSON endpoint — the Prometheus `/metrics` exposition — as
 /// raw text, with the same connect/retry/backoff machinery as [`query`].
 pub fn fetch_text(config: &ClientConfig, path: &str) -> Result<(u16, String), ClientError> {
@@ -441,6 +560,58 @@ mod tests {
         assert_eq!(err.code, ErrorCode::Io);
         assert_eq!(err.attempts, 3); // 1 + 2 retries
         assert!(err.message.contains("retries exhausted"), "{err}");
+    }
+
+    #[test]
+    fn refused_connection_is_ridden_out_across_a_respawn_window() {
+        // Satellite of the gateway PR: while a supervised worker is
+        // being respawned, its address answers ECONNREFUSED. The client
+        // must treat that window like `draining` — retryable with
+        // backoff — so the request lands once the worker is back,
+        // instead of hard-failing mid-restart.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            // The "respawn": the server only comes up after the client
+            // has already eaten at least one refused connect.
+            std::thread::sleep(Duration::from_millis(300));
+            crate::listener::spawn(crate::listener::ServeConfig {
+                addr: server_addr,
+                ..Default::default()
+            })
+            .unwrap()
+        });
+        let config = ClientConfig {
+            addr,
+            retries: 30,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(100),
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        };
+        let resp = query(&config, "GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.attempts > 1,
+            "the respawn window must have cost at least one retry"
+        );
+        let handle = server.join().unwrap();
+        handle.drain();
+        handle.join();
+    }
+
+    #[test]
+    fn forward_keeps_error_bodies_verbatim_and_classifies_for_retry() {
+        let body = br#"{"error":{"code":"not_found","message":"x"}}"#;
+        assert_eq!(raw_error_code(404, body), Some(ErrorCode::NotFound));
+        assert_eq!(raw_error_code(200, b"anything"), None);
+        // Unparseable error bodies still classify from the status line.
+        assert_eq!(raw_error_code(503, b"<html>"), Some(ErrorCode::Draining));
     }
 
     #[test]

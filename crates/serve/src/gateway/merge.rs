@@ -1,0 +1,282 @@
+//! Fan-out merging: union the shards' candidates, re-validate on the
+//! full snapshot, degrade — never fail — on missing shards.
+//!
+//! ## Why intersection would be wrong
+//!
+//! An FD can hold on every row shard yet fail on their union (two shards
+//! can each be internally consistent but disagree with each other), so
+//! neither intersection nor union of per-shard results is sound on its
+//! own. The merge is instead **union + re-validation**: every candidate
+//! any shard reports is checked against the *full* relation the gateway
+//! kept in memory (`holds` for exact discovery, `g3 ≤ error` for
+//! approximate). Only verified dependencies are returned, so the merged
+//! answer is sound regardless of which shards answered.
+//!
+//! ## Why the merge stays inside the from-scratch answer
+//!
+//! A dependency minimal on a shard and holding on the full data is also
+//! minimal on the full data: any smaller LHS that held on the full data
+//! would hold on every subset of its rows, including that shard — so the
+//! shard's level-wise search would have returned the smaller LHS
+//! instead. Verified candidates are therefore a subset of what a
+//! from-scratch run over the full data returns; losing a shard can only
+//! shrink the answer, never corrupt it. That is the degraded-partial
+//! contract: a dead or timed-out worker yields `partial: true` plus a
+//! `degraded` detail, with every returned dependency still true.
+
+use crate::json::Json;
+use deptree_core::{Dependency, Fd};
+use deptree_relation::Relation;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// What one shard contributed: a worker's parsed response body, or the
+/// reason it could not answer (already a human-readable detail).
+pub(crate) struct ShardReply {
+    /// Which worker slot the shard lives on.
+    pub worker: usize,
+    /// `Ok(body)` from the worker, or the degradation detail.
+    pub outcome: Result<Json, String>,
+}
+
+/// The merged fan-out result, always HTTP 200.
+pub(crate) struct FanoutOutcome {
+    /// Response body for the client.
+    pub body: Json,
+    /// Whether any shard was missing (drives the degraded counter).
+    pub degraded: bool,
+}
+
+/// Tolerance when comparing a g3 score against the requested error
+/// bound: shards compute g3 on different row counts, so exact float
+/// equality at the boundary is not meaningful.
+const G3_EPS: f64 = 1e-9;
+
+/// Merge the shards' discovery replies into one sound response.
+pub(crate) fn merge_discover(
+    dataset: &str,
+    full: &Relation,
+    error: f64,
+    shards: usize,
+    replies: &[ShardReply],
+    elapsed: Duration,
+) -> FanoutOutcome {
+    let mut candidates: BTreeSet<String> = BTreeSet::new();
+    let mut degraded: Vec<String> = Vec::new();
+    let mut partial = false;
+    let mut exhausted: Option<String> = None;
+    let mut answered = 0usize;
+    let (mut nodes, mut rows) = (0u64, 0u64);
+    for reply in replies {
+        match &reply.outcome {
+            Ok(body) => {
+                answered += 1;
+                if body.bool_field("partial") == Some(true) {
+                    partial = true;
+                    if exhausted.is_none() {
+                        exhausted = body.str_field("exhausted").map(str::to_owned);
+                    }
+                }
+                if let Some(fds) = body.get("fds").and_then(Json::as_arr) {
+                    for fd in fds {
+                        if let Some(rule) = fd.as_str() {
+                            candidates.insert(rule.to_owned());
+                        }
+                    }
+                }
+                if let Some(stats) = body.get("stats") {
+                    nodes += stats.u64_field("nodes").unwrap_or(0);
+                    rows += stats.u64_field("rows").unwrap_or(0);
+                }
+            }
+            Err(detail) => {
+                partial = true;
+                degraded.push(format!("worker {}: {detail}", reply.worker));
+            }
+        }
+    }
+
+    // Union + re-validation on the full snapshot: only candidates that
+    // genuinely hold on all rows survive.
+    let verified: Vec<String> = candidates
+        .iter()
+        .filter(|rule| {
+            Fd::parse(full.schema(), rule).is_some_and(|fd| {
+                if error > 0.0 {
+                    fd.g3(full) <= error + G3_EPS
+                } else {
+                    fd.holds(full)
+                }
+            })
+        })
+        .cloned()
+        .collect();
+
+    let mut text = format!(
+        "{} rows × {} columns across {shards} shard(s); {answered} answered\n\n",
+        full.n_rows(),
+        full.n_attrs(),
+    );
+    let kind = if error > 0.0 {
+        format!("approximate FDs (g3 ≤ {error})")
+    } else {
+        "exact FDs".to_owned()
+    };
+    text.push_str(&format!(
+        "== merged {kind} — {} of {} candidate(s) verified on the full snapshot ==\n",
+        verified.len(),
+        candidates.len(),
+    ));
+    const SHOW: usize = 25;
+    for rule in verified.iter().take(SHOW) {
+        text.push_str(&format!("  {rule}\n"));
+    }
+    if verified.len() > SHOW {
+        text.push_str(&format!("  … and {} more\n", verified.len() - SHOW));
+    }
+    if !degraded.is_empty() {
+        text.push_str("\ndegraded:\n");
+        for d in &degraded {
+            text.push_str(&format!("  - {d}\n"));
+        }
+    }
+
+    let mut body = Json::obj()
+        .set("task", "discover")
+        .set("dataset", dataset)
+        .set("report", text)
+        .set("partial", partial);
+    if let Some(kind) = &exhausted {
+        body = body.set("exhausted", kind.as_str());
+    }
+    let is_degraded = !degraded.is_empty();
+    if is_degraded {
+        let details: Vec<Json> = degraded.iter().map(|d| Json::from(d.as_str())).collect();
+        body = body.set("degraded", details);
+    }
+    let fds: Vec<Json> = verified.iter().map(|s| Json::from(s.as_str())).collect();
+    body = body
+        .set("fds", fds)
+        .set(
+            "stats",
+            Json::obj()
+                .set("nodes", nodes)
+                .set("rows", rows)
+                .set("elapsed_ms", elapsed.as_millis() as u64),
+        )
+        .set(
+            "shards",
+            Json::obj()
+                .set("total", shards as u64)
+                .set("answered", answered as u64)
+                .set("degraded", degraded.len() as u64),
+        );
+    FanoutOutcome {
+        body,
+        degraded: is_degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deptree_relation::examples::hotels_r1;
+
+    fn reply(worker: usize, fds: &[&str], partial: bool) -> ShardReply {
+        let list: Vec<Json> = fds.iter().map(|s| Json::from(*s)).collect();
+        let body = Json::obj()
+            .set("partial", partial)
+            .set("fds", list)
+            .set("stats", Json::obj().set("nodes", 3u64).set("rows", 10u64));
+        ShardReply {
+            worker,
+            outcome: Ok(body),
+        }
+    }
+
+    #[test]
+    fn shard_local_fds_that_fail_on_the_union_are_filtered() {
+        // `address -> region` famously has two violations in hotels_r1 —
+        // a shard that never pairs the conflicting rows would report it,
+        // and the merge must throw it out. `name -> name` always holds.
+        let r = hotels_r1();
+        let out = merge_discover(
+            "hotels",
+            &r,
+            0.0,
+            2,
+            &[
+                reply(0, &["address -> region", "name -> name"], false),
+                reply(1, &["name -> name"], false),
+            ],
+            Duration::from_millis(5),
+        );
+        let fds = out.body.get("fds").and_then(Json::as_arr).unwrap();
+        let rules: Vec<&str> = fds.iter().filter_map(Json::as_str).collect();
+        assert!(rules.contains(&"name -> name"), "{rules:?}");
+        assert!(!rules.contains(&"address -> region"), "{rules:?}");
+        assert!(!out.degraded);
+        assert_eq!(out.body.bool_field("partial"), Some(false));
+    }
+
+    #[test]
+    fn a_dead_shard_degrades_but_keeps_the_answer_sound() {
+        let r = hotels_r1();
+        let out = merge_discover(
+            "hotels",
+            &r,
+            0.0,
+            2,
+            &[
+                reply(0, &["name -> name"], false),
+                ShardReply {
+                    worker: 1,
+                    outcome: Err("down (respawning)".into()),
+                },
+            ],
+            Duration::from_millis(5),
+        );
+        assert!(out.degraded);
+        assert_eq!(out.body.bool_field("partial"), Some(true));
+        let details = out.body.get("degraded").and_then(Json::as_arr).unwrap();
+        assert_eq!(details.len(), 1);
+        assert!(
+            details[0].as_str().unwrap().contains("worker 1"),
+            "{:?}",
+            details[0].as_str()
+        );
+        let shards = out.body.get("shards").unwrap();
+        assert_eq!(shards.u64_field("answered"), Some(1));
+        assert_eq!(shards.u64_field("degraded"), Some(1));
+    }
+
+    #[test]
+    fn approximate_merge_uses_the_g3_bound() {
+        // address -> region has g3 = 2/n on hotels_r1; a generous bound
+        // admits it, a zero bound rejects it (exercised above).
+        let r = hotels_r1();
+        let out = merge_discover(
+            "hotels",
+            &r,
+            0.5,
+            1,
+            &[reply(0, &["address -> region"], false)],
+            Duration::from_millis(5),
+        );
+        let fds = out.body.get("fds").and_then(Json::as_arr).unwrap();
+        assert_eq!(fds.len(), 1, "{:?}", out.body.render());
+    }
+
+    #[test]
+    fn worker_partials_propagate_exhausted() {
+        let r = hotels_r1();
+        let mut shard = reply(0, &["name -> name"], true);
+        if let Ok(body) = &mut shard.outcome {
+            *body = body.clone().set("exhausted", "nodes");
+        }
+        let out = merge_discover("hotels", &r, 0.0, 1, &[shard], Duration::from_millis(5));
+        assert_eq!(out.body.bool_field("partial"), Some(true));
+        assert_eq!(out.body.str_field("exhausted"), Some("nodes"));
+        assert!(!out.degraded, "a budget partial is not a degradation");
+    }
+}

@@ -1,0 +1,639 @@
+//! `deptree gateway`: a supervising front for a fleet of `deptree serve`
+//! workers — sharding, health-probed respawn, and degraded-partial
+//! fan-out (DESIGN.md §12).
+//!
+//! The gateway is one process that:
+//!
+//! - **spawns and supervises** N worker processes on ephemeral ports
+//!   ([`supervisor`]): crash → exponential-backoff respawn, crash loop →
+//!   quarantine, wedged worker → `/readyz` probes declare it dead;
+//! - **places datasets** ([`shard`]): whole datasets get a digest-stable
+//!   home worker (plus optional replicas), sharded datasets are split
+//!   into contiguous row slices with the full snapshot retained in the
+//!   gateway for merging;
+//! - **routes requests**: single-dataset requests are proxied to the
+//!   home worker byte-for-byte (replica failover on refusal), discovery
+//!   over a sharded dataset fans out to every slice under a split budget
+//!   and merges with full-snapshot re-validation ([`merge`]) — a dead or
+//!   slow worker degrades the answer (`partial: true` + `degraded`
+//!   detail), it never fails the request;
+//! - **front-ends with the same hardened listener** as `deptree serve`
+//!   ([`crate::listener`]): admission control, slow-loris bounds, panic
+//!   barrier, and the two-phase drain all apply unchanged.
+//!
+//! Lifecycle on SIGTERM: stop accepting, drain in-flight fan-outs,
+//! SIGTERM every worker, reap each under a grace (SIGKILL past it),
+//! exit 0 — see [`GatewayHandle::drain_and_join`].
+
+mod merge;
+mod shard;
+mod supervisor;
+
+pub use shard::DatasetSpec;
+
+use crate::client::{self, ClientConfig};
+use crate::drain::DrainState;
+use crate::json::Json;
+use crate::listener::{spawn_service, ListenOpts, ServerHandle, Service, ServiceReply};
+use crate::protocol::{error_body, ErrorCode, Request};
+use crate::router::{self, AppState};
+use crate::telemetry;
+use deptree_core::engine::Budget;
+use deptree_core::DeptreeError;
+use merge::ShardReply;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use supervisor::{log, Supervisor, SupervisorConfig};
+
+/// Everything `spawn_gateway` needs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// The worker binary; normally the running `deptree` binary itself.
+    pub worker_bin: PathBuf,
+    /// How many workers to supervise.
+    pub workers: usize,
+    /// Extra copies of each non-sharded dataset on successor workers,
+    /// used for proxy failover while the home worker respawns.
+    pub replicas: usize,
+    /// Datasets to place, from `--data` / `--shard`.
+    pub datasets: Vec<DatasetSpec>,
+    /// Parse CSVs leniently (drop bad rows with a warning).
+    pub lossy: bool,
+    /// Engine threads per worker (and for the gateway's local tasks).
+    pub worker_threads: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard cap on any requested deadline.
+    pub max_deadline: Duration,
+    /// Base respawn delay after a worker crash.
+    pub respawn_base: Duration,
+    /// Cap on the exponential respawn delay.
+    pub respawn_max: Duration,
+    /// Uptime below this counts as a fast crash (quarantine fuel).
+    pub fast_crash: Duration,
+    /// Consecutive fast crashes before a worker is quarantined.
+    pub quarantine_after: u32,
+    /// How long a quarantined worker sits out before probation.
+    pub quarantine_cooldown: Duration,
+    /// How often each Up worker's `/readyz` is probed.
+    pub probe_interval: Duration,
+    /// Consecutive failed probes before a worker is declared dead.
+    pub probe_failures: u32,
+    /// How long a starting worker may take to announce its address.
+    pub spawn_timeout: Duration,
+    /// SIGTERM→SIGKILL grace per worker at shutdown.
+    pub child_grace: Duration,
+    /// Front-end transport knobs (bind address, admission, timeouts).
+    pub listen: ListenOpts,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            worker_bin: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("deptree")),
+            workers: 4,
+            replicas: 0,
+            datasets: Vec::new(),
+            lossy: false,
+            worker_threads: 1,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            respawn_base: Duration::from_millis(500),
+            respawn_max: Duration::from_secs(15),
+            fast_crash: Duration::from_secs(1),
+            quarantine_after: 3,
+            quarantine_cooldown: Duration::from_secs(30),
+            probe_interval: Duration::from_millis(500),
+            probe_failures: 3,
+            spawn_timeout: Duration::from_secs(10),
+            child_grace: Duration::from_secs(5),
+            listen: ListenOpts::default(),
+        }
+    }
+}
+
+/// The gateway's [`Service`]: routing on top of the shared listener.
+struct GatewayState {
+    supervisor: Arc<Supervisor>,
+    /// Full snapshots of sharded datasets; answers non-discovery tasks
+    /// locally and re-validates merged candidates.
+    local: AppState,
+    /// Sharded dataset → workers holding a slice.
+    shard_workers: BTreeMap<String, Vec<usize>>,
+    /// Whole dataset → candidate workers (home first, then replicas).
+    homes: BTreeMap<String, Vec<usize>>,
+    drain: Arc<DrainState>,
+    default_deadline: Duration,
+    max_deadline: Duration,
+}
+
+impl Service for GatewayState {
+    fn respond(&self, req: &Request) -> ServiceReply {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => ServiceReply::Text(200, self.aggregated_metrics()),
+            ("GET", "/healthz") => ServiceReply::Json(200, self.healthz()),
+            ("GET", "/readyz") => {
+                let (status, body) = self.readyz();
+                ServiceReply::Json(status, body)
+            }
+            ("GET", "/v1/datasets") => ServiceReply::Json(200, self.catalogue()),
+            (
+                "POST",
+                "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup",
+            ) => self.task(req),
+            // Everything else (method mismatches, unknown routes) gets the
+            // router's own answers, byte-identical to a single worker's.
+            _ => {
+                let (status, body) = router::handle(&self.local, req);
+                ServiceReply::Json(status, body)
+            }
+        }
+    }
+
+    fn drain_handle(&self) -> &Arc<DrainState> {
+        &self.drain
+    }
+}
+
+impl GatewayState {
+    fn healthz(&self) -> Json {
+        Json::obj()
+            .set("status", "ok")
+            .set("draining", self.drain.is_draining())
+            .set("inflight", self.drain.inflight() as u64)
+            .set("workers", self.supervisor.status_json())
+            .set("quarantined", self.supervisor.quarantined_count() as u64)
+    }
+
+    fn readyz(&self) -> (u16, Json) {
+        if self.drain.is_draining() {
+            return (
+                503,
+                Json::obj().set("ready", false).set(
+                    "error",
+                    Json::obj()
+                        .set("code", ErrorCode::Draining.wire())
+                        .set("message", "server is draining; retry elsewhere"),
+                ),
+            );
+        }
+        let up = self.supervisor.live_count();
+        if up == 0 {
+            return (
+                503,
+                Json::obj().set("ready", false).set(
+                    "error",
+                    Json::obj()
+                        .set("code", ErrorCode::Overloaded.wire())
+                        .set("message", "no live workers"),
+                ),
+            );
+        }
+        (
+            200,
+            Json::obj().set("ready", true).set("workers_up", up as u64),
+        )
+    }
+
+    /// Union catalogue: sharded datasets from the local snapshots (full
+    /// row counts, not slice counts), whole datasets from their home
+    /// worker's own catalogue. Unreachable datasets are omitted; they
+    /// reappear when a home or replica comes back.
+    fn catalogue(&self) -> Json {
+        let mut entries: BTreeMap<String, (u64, u64)> = self
+            .local
+            .datasets
+            .iter()
+            .map(|(name, r)| (name.clone(), (r.n_rows() as u64, r.n_attrs() as u64)))
+            .collect();
+        let mut fetched: BTreeMap<usize, Option<Json>> = BTreeMap::new();
+        for (name, holders) in &self.homes {
+            for &w in holders {
+                let Some(addr) = self.supervisor.worker_addr(w) else {
+                    continue;
+                };
+                let body = fetched.entry(w).or_insert_with(|| {
+                    client::query(
+                        &self.worker_client(&addr, 0, Duration::from_secs(5)),
+                        "GET",
+                        "/v1/datasets",
+                        None,
+                    )
+                    .ok()
+                    .map(|r| r.body)
+                });
+                let Some(body) = body else { continue };
+                let found = body
+                    .get("datasets")
+                    .and_then(Json::as_arr)
+                    .and_then(|list| {
+                        list.iter()
+                            .find(|d| d.str_field("name") == Some(name.as_str()))
+                            .map(|d| {
+                                (
+                                    d.u64_field("rows").unwrap_or(0),
+                                    d.u64_field("columns").unwrap_or(0),
+                                )
+                            })
+                    });
+                if let Some(dims) = found {
+                    entries.insert(name.clone(), dims);
+                    break;
+                }
+            }
+        }
+        let list: Vec<Json> = entries
+            .iter()
+            .map(|(name, (rows, columns))| {
+                Json::obj()
+                    .set("name", name.as_str())
+                    .set("rows", *rows)
+                    .set("columns", *columns)
+            })
+            .collect();
+        Json::obj().set("datasets", list)
+    }
+
+    /// Gateway registry first, then every live worker's exposition with
+    /// a `worker="N"` label injected so same-named series stay apart.
+    fn aggregated_metrics(&self) -> String {
+        let mut out = telemetry::render(self.drain.inflight());
+        for (w, addr) in self.supervisor.live() {
+            let cfg = self.worker_client(&addr, 0, Duration::from_secs(5));
+            if let Ok((200, text)) = client::fetch_text(&cfg, "/metrics") {
+                out.push_str(&telemetry::relabel_worker(&text, w));
+            }
+        }
+        out
+    }
+
+    fn task(&self, req: &Request) -> ServiceReply {
+        // Track before the drain check, like the router: the drain
+        // coordinator must never miss a fan-out that raced past the flag.
+        let _inflight = self.drain.track();
+        if self.drain.is_draining() {
+            return reply_err(ErrorCode::Draining, "server is draining");
+        }
+        let body = match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_owned())
+            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(msg) => return reply_err(ErrorCode::Parse, &msg),
+        };
+        let Some(name) = body.str_field("dataset") else {
+            return reply_err(ErrorCode::BadRequest, "missing `dataset` field");
+        };
+        if self.local.datasets.contains_key(name) {
+            if req.path == "/v1/discover" {
+                return self.fan_out(name, &body);
+            }
+            // Validate/detect/repair/dedup on a sharded dataset: answer
+            // from the full local snapshot through the shared router, so
+            // the rendering path (and therefore the bytes) match a
+            // single worker holding the whole dataset.
+            let (status, body) = router::handle(&self.local, req);
+            return ServiceReply::Json(status, body);
+        }
+        let name = name.to_owned();
+        match self.homes.get(&name) {
+            Some(holders) => self.proxy(req, &name, holders),
+            None => reply_err(ErrorCode::NotFound, &format!("unknown dataset `{name}`")),
+        }
+    }
+
+    /// Proxy a whole-dataset request to its home worker, failing over to
+    /// replicas in digest order. The worker's response body is forwarded
+    /// byte-for-byte.
+    fn proxy(&self, req: &Request, name: &str, holders: &[usize]) -> ServiceReply {
+        let deadline = self.deadline_of(req);
+        let mut last: Option<client::ClientError> = None;
+        for &w in holders {
+            let Some(addr) = self.supervisor.worker_addr(w) else {
+                continue;
+            };
+            let cfg = self.worker_client(&addr, 1, deadline);
+            match client::forward(&cfg, &req.method, &req.path, Some(&req.body)) {
+                Ok(raw) => {
+                    telemetry::gateway_metrics().proxied.inc();
+                    return ServiceReply::Bytes(raw.status, raw.body);
+                }
+                Err(e) => {
+                    log(&format!(
+                        "proxy of `{name}` to worker {w} failed ({}): failing over",
+                        e.code.wire()
+                    ));
+                    last = Some(e);
+                }
+            }
+        }
+        match last {
+            Some(e) => reply_err(
+                e.code,
+                &format!("every holder of `{name}` failed; last: {}", e.message),
+            ),
+            None => reply_err(
+                ErrorCode::Overloaded,
+                &format!("no live worker holds `{name}` (respawning); retry"),
+            ),
+        }
+    }
+
+    /// Row-sharded discovery: scatter to every slice holder under a
+    /// split budget, then union + re-validate on the full snapshot.
+    /// Always 200 — a missing shard degrades the merge, never the
+    /// request.
+    fn fan_out(&self, name: &str, body: &Json) -> ServiceReply {
+        let started = Instant::now();
+        let Some(holders) = self.shard_workers.get(name) else {
+            return reply_err(ErrorCode::Internal, "sharded dataset lost its plan");
+        };
+        let Some(full) = self.local.datasets.get(name) else {
+            return reply_err(ErrorCode::Internal, "sharded dataset lost its snapshot");
+        };
+        let shards = holders.len().max(1);
+
+        // One request budget, split into per-shard shares. Counter caps
+        // divide (ceil); the wall-clock deadline is shared because the
+        // shards run concurrently.
+        let deadline = match body.get("timeout_ms") {
+            None => self.default_deadline,
+            Some(v) => match v.as_u64() {
+                Some(ms) => Duration::from_millis(ms).min(self.max_deadline),
+                None => {
+                    return reply_err(
+                        ErrorCode::InvalidConfig,
+                        "bad `timeout_ms` (want a non-negative integer)",
+                    )
+                }
+            },
+        };
+        let mut budget = Budget::new().with_deadline(deadline);
+        for (field, setter) in [
+            (
+                "max_nodes",
+                Budget::with_max_nodes as fn(Budget, u64) -> Budget,
+            ),
+            ("max_rows", Budget::with_max_rows),
+        ] {
+            if let Some(v) = body.get(field) {
+                match v.as_u64() {
+                    Some(n) => budget = setter(budget, n),
+                    None => {
+                        return reply_err(
+                            ErrorCode::InvalidConfig,
+                            &format!("bad `{field}` (want a non-negative integer)"),
+                        )
+                    }
+                }
+            }
+        }
+        let share = budget.split(shards);
+        let error = body.f64_field("error").unwrap_or(0.0);
+        let mut wbody = Json::obj()
+            .set("dataset", name)
+            .set("max_lhs", body.u64_field("max_lhs").unwrap_or(2))
+            .set("error", error)
+            .set("timeout_ms", deadline.as_millis() as u64);
+        if let Some(n) = share.max_nodes {
+            wbody = wbody.set("max_nodes", n);
+        }
+        if let Some(n) = share.max_rows {
+            wbody = wbody.set("max_rows", n);
+        }
+        let mut replies: Vec<ShardReply> = Vec::with_capacity(shards);
+        let mut joins = Vec::new();
+        for &w in holders {
+            match self.supervisor.worker_addr(w) {
+                None => replies.push(ShardReply {
+                    worker: w,
+                    outcome: Err("down (respawning)".into()),
+                }),
+                Some(addr) => {
+                    let cfg = self.worker_client(&addr, 1, deadline);
+                    let payload = wbody.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("deptree-fanout-{w}"))
+                        .spawn(move || client::query(&cfg, "POST", "/v1/discover", Some(&payload)));
+                    match handle {
+                        Ok(h) => joins.push((w, h)),
+                        Err(e) => replies.push(ShardReply {
+                            worker: w,
+                            outcome: Err(format!("fan-out thread failed to spawn: {e}")),
+                        }),
+                    }
+                }
+            }
+        }
+        for (w, h) in joins {
+            let outcome = match h.join() {
+                Ok(Ok(resp)) => Ok(resp.body),
+                Ok(Err(e)) => Err(format!(
+                    "{} after {} attempt(s): {}",
+                    e.code.wire(),
+                    e.attempts,
+                    e.message
+                )),
+                Err(_) => Err("fan-out thread panicked".into()),
+            };
+            replies.push(ShardReply { worker: w, outcome });
+        }
+
+        let out = merge::merge_discover(name, full, error, shards, &replies, started.elapsed());
+        let m = telemetry::gateway_metrics();
+        m.fanout_latency.observe_duration(started.elapsed());
+        if out.degraded {
+            m.degraded.inc();
+        }
+        ServiceReply::Json(200, out.body)
+    }
+
+    /// The deadline a proxied request is working under, for sizing the
+    /// gateway→worker I/O timeouts around it.
+    fn deadline_of(&self, req: &Request) -> Duration {
+        std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|t| Json::parse(t).ok())
+            .and_then(|b| b.u64_field("timeout_ms"))
+            .map_or(self.default_deadline, |ms| {
+                Duration::from_millis(ms).min(self.max_deadline)
+            })
+    }
+
+    /// Client config for one gateway→worker call: generous I/O timeouts
+    /// beyond the task deadline (the worker enforces the real budget),
+    /// retries only for the transient codes the client already knows.
+    fn worker_client(&self, addr: &str, retries: u32, deadline: Duration) -> ClientConfig {
+        ClientConfig {
+            addr: addr.to_owned(),
+            retries,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: deadline + Duration::from_secs(10),
+            frame_timeout: deadline + Duration::from_secs(15),
+            seed: shard::fnv1a64(addr),
+            max_response_bytes: 64 << 20,
+        }
+    }
+}
+
+fn reply_err(code: ErrorCode, message: &str) -> ServiceReply {
+    ServiceReply::Json(code.http_status(), error_body(code, message))
+}
+
+/// A running gateway: front-end server plus the supervised fleet.
+pub struct GatewayHandle {
+    server: ServerHandle,
+    supervisor: Arc<Supervisor>,
+    slice_dir: PathBuf,
+}
+
+impl GatewayHandle {
+    /// The gateway's bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The lifecycle state, for wiring signal handlers.
+    pub fn drain_state(&self) -> &Arc<DrainState> {
+        self.server.drain_state()
+    }
+
+    /// Current worker pids, one entry per slot (`None` while down).
+    pub fn worker_pids(&self) -> Vec<Option<u32>> {
+        self.supervisor.pids()
+    }
+
+    /// Total worker respawns so far (initial spawns not counted).
+    pub fn worker_restarts(&self) -> u64 {
+        self.supervisor.restarts()
+    }
+
+    /// The orderly exit: stop accepting, drain in-flight fan-outs
+    /// (cancelling stragglers past the grace), then SIGTERM every worker
+    /// and reap it — SIGKILL past the child grace — and remove the slice
+    /// files. No zombies survive this call.
+    pub fn drain_and_join(self) {
+        self.server.drain();
+        self.server.join();
+        self.supervisor.shutdown();
+        let _ = std::fs::remove_dir_all(&self.slice_dir);
+    }
+}
+
+/// Build the placement, boot the fleet, and bind the front end.
+pub fn spawn_gateway(config: GatewayConfig) -> Result<GatewayHandle, DeptreeError> {
+    static SLICE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let slice_dir = std::env::temp_dir().join(format!(
+        "deptree-gateway-{}-{}",
+        std::process::id(),
+        SLICE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&slice_dir).map_err(|e| DeptreeError::Io {
+        path: slice_dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let plan = match shard::build_plan(
+        &config.datasets,
+        config.workers,
+        config.replicas,
+        &slice_dir,
+        config.lossy,
+    ) {
+        Ok(plan) => plan,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&slice_dir);
+            return Err(e);
+        }
+    };
+    for warning in &plan.warnings {
+        log(&format!("warning: {warning}"));
+    }
+
+    let worker_args: Vec<Vec<String>> = plan
+        .worker_specs
+        .iter()
+        .map(|specs| {
+            let mut args = vec![
+                "serve".to_owned(),
+                "--addr".to_owned(),
+                "127.0.0.1:0".to_owned(),
+                "--threads".to_owned(),
+                config.worker_threads.max(1).to_string(),
+                "--default-timeout-ms".to_owned(),
+                config.default_deadline.as_millis().to_string(),
+                "--max-timeout-ms".to_owned(),
+                config.max_deadline.as_millis().to_string(),
+            ];
+            for spec in specs {
+                args.push("--data".to_owned());
+                args.push(spec.clone());
+            }
+            if config.lossy {
+                args.push("--lossy".to_owned());
+            }
+            args
+        })
+        .collect();
+
+    // Register every gateway series before the first scrape, so the CI
+    // smoke sees them at zero.
+    let _ = telemetry::gateway_metrics();
+    for w in 0..config.workers.max(1) {
+        let _ = telemetry::worker_up(w);
+        let _ = telemetry::worker_restarts(w);
+    }
+
+    let supervisor = Supervisor::start(SupervisorConfig {
+        worker_bin: config.worker_bin.clone(),
+        worker_args,
+        respawn_base: config.respawn_base,
+        respawn_max: config.respawn_max,
+        fast_crash: config.fast_crash,
+        quarantine_after: config.quarantine_after.max(1),
+        quarantine_cooldown: config.quarantine_cooldown,
+        probe_interval: config.probe_interval,
+        probe_failures: config.probe_failures.max(1),
+        spawn_timeout: config.spawn_timeout,
+        child_grace: config.child_grace,
+    });
+
+    let drain = DrainState::new();
+    let mut datasets = BTreeMap::new();
+    for (name, r) in plan.sharded {
+        datasets.insert(name, r);
+    }
+    let local = AppState {
+        datasets,
+        drain: Arc::clone(&drain),
+        threads: config.worker_threads.max(1),
+        default_deadline: config.default_deadline,
+        max_deadline: config.max_deadline,
+    };
+    let state = Arc::new(GatewayState {
+        supervisor: Arc::clone(&supervisor),
+        local,
+        shard_workers: plan.shard_workers,
+        homes: plan.homes,
+        drain,
+        default_deadline: config.default_deadline,
+        max_deadline: config.max_deadline,
+    });
+    match spawn_service(config.listen, state) {
+        Ok(server) => Ok(GatewayHandle {
+            server,
+            supervisor,
+            slice_dir,
+        }),
+        Err(e) => {
+            supervisor.shutdown();
+            let _ = std::fs::remove_dir_all(&slice_dir);
+            Err(e)
+        }
+    }
+}

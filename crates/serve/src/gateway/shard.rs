@@ -1,0 +1,309 @@
+//! Dataset placement: digest homes for whole datasets, contiguous row
+//! slices for sharded ones.
+//!
+//! The gateway distinguishes two placements:
+//!
+//! - **Non-sharded** datasets live whole on one *home* worker (plus
+//!   `replicas` successors), picked by an FNV-1a digest of the dataset
+//!   name so placement is stable across restarts and independent of the
+//!   order `--data` flags appear in.
+//! - **Sharded** datasets are split into contiguous row ranges, one
+//!   slice file per worker, written under the gateway's private temp
+//!   directory. The gateway also keeps the *full* relation in memory:
+//!   the fan-out merger re-validates every candidate dependency on the
+//!   full snapshot (see [`super::merge`]), and non-discovery tasks on a
+//!   sharded dataset are answered locally from the same snapshot.
+//!
+//! Every worker must end up with at least one `--data` spec (the worker
+//! binary refuses to start empty), so workers the digest left bare are
+//! topped up: first with every non-sharded dataset (making them spare
+//! replicas), else with a full copy of the first sharded dataset (a warm
+//! spare that takes no fan-out traffic).
+
+use deptree_core::DeptreeError;
+use deptree_relation::{parse_csv, parse_csv_lossy, to_csv, Relation, ValueType};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One `--data` entry as the gateway CLI parsed it.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name exposed to clients.
+    pub name: String,
+    /// CSV path on disk.
+    pub path: String,
+    /// Optional `c,t,n` column-type spec (default: all categorical).
+    pub types: Option<String>,
+    /// Shard rows across all workers instead of homing the whole file.
+    pub shard: bool,
+}
+
+/// The computed placement: who holds what, and the full snapshots the
+/// gateway keeps for merging.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// Full in-memory snapshots of every sharded dataset.
+    pub sharded: Vec<(String, Relation)>,
+    /// Sharded dataset → workers holding a (non-empty) slice.
+    pub shard_workers: BTreeMap<String, Vec<usize>>,
+    /// Non-sharded dataset → ordered candidates (home first, then replicas).
+    pub homes: BTreeMap<String, Vec<usize>>,
+    /// Per-worker `name=path[:types]` specs for the worker command line.
+    pub worker_specs: Vec<Vec<String>>,
+    /// Lossy-parse warnings worth surfacing to the operator.
+    pub warnings: Vec<String>,
+}
+
+/// 64-bit FNV-1a over the dataset name: a stable, dependency-free digest
+/// for home assignment.
+pub(crate) fn fnv1a64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn render_spec(name: &str, path: &str, types: Option<&str>) -> String {
+    match types {
+        Some(t) => format!("{name}={path}:{t}"),
+        None => format!("{name}={path}"),
+    }
+}
+
+fn parse_types(spec: &str) -> Result<Vec<ValueType>, DeptreeError> {
+    spec.split(',')
+        .map(|t| match t.trim() {
+            "c" => Ok(ValueType::Categorical),
+            "t" => Ok(ValueType::Text),
+            "n" => Ok(ValueType::Numeric),
+            other => Err(DeptreeError::InvalidConfig(format!(
+                "bad column type `{other}` (want c, t or n)"
+            ))),
+        })
+        .collect()
+}
+
+fn load_relation(
+    path: &str,
+    types_spec: Option<&str>,
+    lossy: bool,
+    warnings: &mut Vec<String>,
+) -> Result<Relation, DeptreeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DeptreeError::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })?;
+    let header_cols = text
+        .lines()
+        .next()
+        .ok_or_else(|| DeptreeError::Parse(format!("{path}: empty file")))?
+        .split(',')
+        .count();
+    let types = match types_spec {
+        Some(spec) => parse_types(spec)?,
+        None => vec![ValueType::Categorical; header_cols],
+    };
+    if lossy {
+        let out = parse_csv_lossy(&text, &types).map_err(DeptreeError::from)?;
+        for issue in &out.issues {
+            warnings.push(format!("{path}: {issue}"));
+        }
+        Ok(out.relation)
+    } else {
+        parse_csv(&text, &types).map_err(DeptreeError::from)
+    }
+}
+
+/// The contiguous row range worker `i` of `workers` owns out of `rows`.
+fn slice_range(rows: usize, workers: usize, i: usize) -> (usize, usize) {
+    let base = rows / workers;
+    let rem = rows % workers;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (start, len)
+}
+
+/// Compute the placement and write slice files under `slice_dir`.
+pub(crate) fn build_plan(
+    datasets: &[DatasetSpec],
+    workers: usize,
+    replicas: usize,
+    slice_dir: &Path,
+    lossy: bool,
+) -> Result<Plan, DeptreeError> {
+    if datasets.is_empty() {
+        return Err(DeptreeError::InvalidConfig(
+            "gateway needs at least one --data name=path[:types]".into(),
+        ));
+    }
+    let workers = workers.max(1);
+    let mut plan = Plan {
+        sharded: Vec::new(),
+        shard_workers: BTreeMap::new(),
+        homes: BTreeMap::new(),
+        worker_specs: vec![Vec::new(); workers],
+        warnings: Vec::new(),
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in datasets {
+        if !seen.insert(spec.name.as_str()) {
+            return Err(DeptreeError::InvalidConfig(format!(
+                "duplicate dataset name `{}`",
+                spec.name
+            )));
+        }
+        if spec.shard {
+            let relation =
+                load_relation(&spec.path, spec.types.as_deref(), lossy, &mut plan.warnings)?;
+            let mut holders = Vec::new();
+            for i in 0..workers {
+                let (start, len) = slice_range(relation.n_rows(), workers, i);
+                if len == 0 {
+                    continue; // an empty slice would only yield vacuous FDs
+                }
+                let rows: Vec<usize> = (start..start + len).collect();
+                let slice = relation.select_rows(&rows);
+                let path = slice_dir.join(format!("{}.{i}.csv", spec.name));
+                std::fs::write(&path, to_csv(&slice)).map_err(|e| DeptreeError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                plan.worker_specs[i].push(render_spec(
+                    &spec.name,
+                    &path.display().to_string(),
+                    spec.types.as_deref(),
+                ));
+                holders.push(i);
+            }
+            plan.shard_workers.insert(spec.name.clone(), holders);
+            plan.sharded.push((spec.name.clone(), relation));
+        } else {
+            let home = (fnv1a64(&spec.name) % workers as u64) as usize;
+            let mut holders = Vec::new();
+            for k in 0..=replicas.min(workers - 1) {
+                let w = (home + k) % workers;
+                holders.push(w);
+                plan.worker_specs[w].push(render_spec(
+                    &spec.name,
+                    &spec.path,
+                    spec.types.as_deref(),
+                ));
+            }
+            plan.homes.insert(spec.name.clone(), holders);
+        }
+    }
+    // Top up workers the digest left bare: the worker binary refuses to
+    // start with zero --data specs.
+    let whole: Vec<&DatasetSpec> = datasets.iter().filter(|s| !s.shard).collect();
+    for w in 0..workers {
+        if !plan.worker_specs[w].is_empty() {
+            continue;
+        }
+        if whole.is_empty() {
+            // All datasets are sharded and this worker got no rows: give
+            // it a full copy of the first one as a warm spare. It takes
+            // no fan-out traffic (it is not in `shard_workers`).
+            let first = &datasets[0];
+            plan.worker_specs[w].push(render_spec(
+                &first.name,
+                &first.path,
+                first.types.as_deref(),
+            ));
+        } else {
+            for spec in &whole {
+                plan.worker_specs[w].push(render_spec(
+                    &spec.name,
+                    &spec.path,
+                    spec.types.as_deref(),
+                ));
+                if let Some(holders) = plan.homes.get_mut(&spec.name) {
+                    holders.push(w);
+                }
+            }
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_spreads() {
+        assert_eq!(fnv1a64("hotels"), fnv1a64("hotels"));
+        assert_ne!(fnv1a64("hotels"), fnv1a64("flights"));
+    }
+
+    #[test]
+    fn slice_ranges_cover_exactly_once() {
+        for rows in [0usize, 1, 5, 7, 100] {
+            for workers in [1usize, 2, 3, 4, 9] {
+                let mut covered = Vec::new();
+                for i in 0..workers {
+                    let (start, len) = slice_range(rows, workers, i);
+                    covered.extend(start..start + len);
+                }
+                let want: Vec<usize> = (0..rows).collect();
+                assert_eq!(covered, want, "rows={rows} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_shards_rows_and_homes_whole_datasets() {
+        let dir = std::env::temp_dir().join(format!("deptree-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("toy.csv");
+        std::fs::write(&csv, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let specs = [
+            DatasetSpec {
+                name: "big".into(),
+                path: csv.display().to_string(),
+                types: None,
+                shard: true,
+            },
+            DatasetSpec {
+                name: "small".into(),
+                path: csv.display().to_string(),
+                types: None,
+                shard: false,
+            },
+        ];
+        let plan = build_plan(&specs, 2, 0, &dir, false).unwrap();
+        // Both workers hold a slice of `big`; exactly one is home to `small`.
+        assert_eq!(plan.shard_workers["big"], vec![0, 1]);
+        assert_eq!(plan.homes["small"].len(), 1);
+        assert_eq!(plan.sharded.len(), 1);
+        assert_eq!(plan.sharded[0].1.n_rows(), 3);
+        // Slice files exist and split 2 + 1.
+        let s0 = std::fs::read_to_string(dir.join("big.0.csv")).unwrap();
+        let s1 = std::fs::read_to_string(dir.join("big.1.csv")).unwrap();
+        assert_eq!(s0.lines().count(), 3, "{s0}"); // header + 2 rows
+        assert_eq!(s1.lines().count(), 2, "{s1}");
+        // No worker is left without data.
+        assert!(plan.worker_specs.iter().all(|s| !s.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let spec = DatasetSpec {
+            name: "x".into(),
+            path: "nope.csv".into(),
+            types: None,
+            shard: false,
+        };
+        let err = build_plan(
+            &[spec.clone(), spec],
+            2,
+            0,
+            std::path::Path::new("/tmp"),
+            false,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+}

@@ -35,6 +35,7 @@
 pub mod admission;
 pub mod client;
 pub mod drain;
+pub mod gateway;
 pub mod json;
 pub mod listener;
 pub mod protocol;
@@ -42,10 +43,11 @@ pub mod router;
 pub mod tasks;
 pub mod telemetry;
 
-pub use client::{fetch_text, query, ClientConfig, ClientError, Response};
+pub use client::{fetch_text, forward, query, ClientConfig, ClientError, RawResponse, Response};
 pub use drain::DrainState;
+pub use gateway::{spawn_gateway, DatasetSpec, GatewayConfig, GatewayHandle};
 pub use json::Json;
-pub use listener::{spawn, ServeConfig, ServerHandle};
+pub use listener::{spawn, spawn_service, ListenOpts, ServeConfig, ServerHandle, Service};
 pub use protocol::{ErrorCode, Limits};
 pub use router::AppState;
 pub use tasks::{ProfileOpts, TaskReport};

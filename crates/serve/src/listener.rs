@@ -16,11 +16,18 @@
 //! the slow-loris bound. A worker holds exactly one connection at a time, so `workers`
 //! is also the in-service concurrency cap; `queue_depth` bounds the wait
 //! line behind them, and everything past that is shed at accept time.
+//!
+//! The listener is generic over a [`Service`]: the same hardened front
+//! end (admission, framing, slow-loris bounds, panic barrier, drain)
+//! serves both the single-process task router ([`spawn`]) and the
+//! cluster gateway ([`spawn_service`] with a proxying service).
 
 use crate::admission::{Admission, AdmissionStats, ShedReason};
 use crate::drain::{run_drain, DrainState};
+use crate::json::Json;
 use crate::protocol::{
-    error_body, read_request, write_response, write_text_response, ErrorCode, FrameClock, Limits,
+    error_body, read_request, write_json_bytes_response, write_response, write_text_response,
+    ErrorCode, FrameClock, Limits, Request,
 };
 use crate::router::{handle, AppState};
 use crate::telemetry;
@@ -87,6 +94,73 @@ impl Default for ServeConfig {
     }
 }
 
+/// What a [`Service`] answers one request with.
+pub enum ServiceReply {
+    /// A JSON body (the normal task/error path).
+    Json(u16, Json),
+    /// A plain-text body (the Prometheus `/metrics` exposition).
+    Text(u16, String),
+    /// A pre-rendered JSON body forwarded byte-for-byte (the gateway's
+    /// proxy path: the worker's response must reach the client unchanged).
+    Bytes(u16, Vec<u8>),
+}
+
+/// The application half of a server: everything behind the framing.
+///
+/// The listener owns sockets, admission, timeouts and the panic
+/// barrier; the service owns routing and state. [`AppState`] implements
+/// it for the single-process daemon, the gateway for the cluster front.
+pub trait Service: Send + Sync + 'static {
+    /// Answer one parsed request. Must not panic for correctness — the
+    /// listener's catch-unwind turns a panic into one `500`, not a dead
+    /// worker — but panicking loses the request.
+    fn respond(&self, req: &Request) -> ServiceReply;
+
+    /// The lifecycle state the accept loop polls to stop.
+    fn drain_handle(&self) -> &Arc<DrainState>;
+}
+
+/// Network/framing knobs for [`spawn_service`] — the transport subset of
+/// [`ServeConfig`], shared by the daemon and the gateway front end.
+#[derive(Debug, Clone)]
+pub struct ListenOpts {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Connection cap (queued + in service); excess is shed with 429.
+    pub max_connections: usize,
+    /// Accept→worker hand-off queue depth; excess is shed with 429.
+    pub queue_depth: usize,
+    /// Worker threads; also the in-service concurrency cap.
+    pub workers: usize,
+    /// Per-read socket timeout (fully-stalled-peer bound).
+    pub read_timeout: Duration,
+    /// Absolute cap on reading one whole request frame.
+    pub frame_timeout: Duration,
+    /// Socket write timeout (stuck-peer bound).
+    pub write_timeout: Duration,
+    /// Header/body byte caps.
+    pub limits: Limits,
+    /// Soft-drain grace before in-flight work is cancelled.
+    pub drain_grace: Duration,
+}
+
+impl Default for ListenOpts {
+    fn default() -> Self {
+        let d = ServeConfig::default();
+        ListenOpts {
+            addr: d.addr,
+            max_connections: d.max_connections,
+            queue_depth: d.queue_depth,
+            workers: d.workers,
+            read_timeout: d.read_timeout,
+            frame_timeout: d.frame_timeout,
+            write_timeout: d.write_timeout,
+            limits: d.limits,
+            drain_grace: d.drain_grace,
+        }
+    }
+}
+
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`ServerHandle::drain`] then [`ServerHandle::join`].
 pub struct ServerHandle {
@@ -137,27 +211,25 @@ impl ServerHandle {
     }
 }
 
+/// The single-process daemon routes requests to [`AppState`]'s tasks;
+/// `/metrics` is text and bypasses the JSON router.
+impl Service for AppState {
+    fn respond(&self, req: &Request) -> ServiceReply {
+        if req.method == "GET" && req.path == "/metrics" {
+            ServiceReply::Text(200, telemetry::render(self.drain.inflight()))
+        } else {
+            let (status, body) = handle(self, req);
+            ServiceReply::Json(status, body)
+        }
+    }
+
+    fn drain_handle(&self) -> &Arc<DrainState> {
+        &self.drain
+    }
+}
+
 /// Bind, spawn the accept loop and worker pool, and return the handle.
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
-    let listener = TcpListener::bind(&config.addr).map_err(|e| DeptreeError::Io {
-        path: config.addr.clone(),
-        message: format!("bind failed: {e}"),
-    })?;
-    let addr = listener.local_addr().map_err(|e| DeptreeError::Io {
-        path: config.addr.clone(),
-        message: format!("local_addr failed: {e}"),
-    })?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| DeptreeError::Io {
-            path: config.addr.clone(),
-            message: format!("set_nonblocking failed: {e}"),
-        })?;
-
-    // Register every metric family before the first request, so an early
-    // scrape (or the CI smoke) sees all required series at zero.
-    let _ = telemetry::serve_metrics();
-
     let drain = DrainState::new();
     let mut datasets = BTreeMap::new();
     for (name, r) in config.datasets {
@@ -165,30 +237,71 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
     }
     let app = Arc::new(AppState {
         datasets,
-        drain: Arc::clone(&drain),
+        drain,
         threads: config.threads.max(1),
         default_deadline: config.default_deadline,
         max_deadline: config.max_deadline,
     });
-
-    let (admission, rx) = Admission::new(config.queue_depth, config.max_connections);
-    let stats = Arc::clone(&admission.stats);
-    let rx = Arc::new(Mutex::new(rx));
-    let io = IoConfig {
+    let opts = ListenOpts {
+        addr: config.addr,
+        max_connections: config.max_connections,
+        queue_depth: config.queue_depth,
+        workers: config.workers,
         read_timeout: config.read_timeout,
         frame_timeout: config.frame_timeout,
         write_timeout: config.write_timeout,
         limits: config.limits,
+        drain_grace: config.drain_grace,
+    };
+    spawn_service(opts, app)
+}
+
+/// Bind, spawn the accept loop and worker pool for an arbitrary
+/// [`Service`], and return the handle. The service's own
+/// [`DrainState`] drives the lifecycle, so one drain covers both the
+/// transport and whatever the service tracks in flight.
+pub fn spawn_service(
+    opts: ListenOpts,
+    service: Arc<impl Service>,
+) -> Result<ServerHandle, DeptreeError> {
+    let listener = TcpListener::bind(&opts.addr).map_err(|e| DeptreeError::Io {
+        path: opts.addr.clone(),
+        message: format!("bind failed: {e}"),
+    })?;
+    let addr = listener.local_addr().map_err(|e| DeptreeError::Io {
+        path: opts.addr.clone(),
+        message: format!("local_addr failed: {e}"),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DeptreeError::Io {
+            path: opts.addr.clone(),
+            message: format!("set_nonblocking failed: {e}"),
+        })?;
+
+    // Register every metric family before the first request, so an early
+    // scrape (or the CI smoke) sees all required series at zero.
+    let _ = telemetry::serve_metrics();
+
+    let drain = Arc::clone(service.drain_handle());
+    let (admission, rx) = Admission::new(opts.queue_depth, opts.max_connections);
+    let stats = Arc::clone(&admission.stats);
+    let rx = Arc::new(Mutex::new(rx));
+    let io = IoConfig {
+        read_timeout: opts.read_timeout,
+        frame_timeout: opts.frame_timeout,
+        write_timeout: opts.write_timeout,
+        limits: opts.limits,
     };
 
-    let mut workers = Vec::with_capacity(config.workers.max(1));
-    for i in 0..config.workers.max(1) {
-        let app = Arc::clone(&app);
+    let mut workers = Vec::with_capacity(opts.workers.max(1));
+    for i in 0..opts.workers.max(1) {
+        let service = Arc::clone(&service);
         let rx = Arc::clone(&rx);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("deptree-worker-{i}"))
-                .spawn(move || worker_loop(&app, &rx, &io))
+                .spawn(move || worker_loop(service.as_ref(), &rx, &io))
                 .map_err(|e| DeptreeError::Io {
                     path: "worker".into(),
                     message: e.to_string(),
@@ -208,7 +321,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
     Ok(ServerHandle {
         addr,
         drain,
-        drain_grace: config.drain_grace,
+        drain_grace: opts.drain_grace,
         accept: Some(accept),
         workers,
         stats,
@@ -271,7 +384,7 @@ fn shed(mut stream: TcpStream, reason: ShedReason, io: &IoConfig) {
 /// How long a worker blocks on the queue before re-checking liveness.
 const WORKER_POLL: Duration = Duration::from_millis(50);
 
-fn worker_loop(app: &AppState, rx: &Mutex<Receiver<crate::admission::Conn>>, io: &IoConfig) {
+fn worker_loop(service: &dyn Service, rx: &Mutex<Receiver<crate::admission::Conn>>, io: &IoConfig) {
     loop {
         // Hold the lock only for the timed receive, never while serving.
         let conn = {
@@ -279,7 +392,7 @@ fn worker_loop(app: &AppState, rx: &Mutex<Receiver<crate::admission::Conn>>, io:
             rx.recv_timeout(WORKER_POLL)
         };
         match conn {
-            Ok(conn) => serve_conn(app, conn, io),
+            Ok(conn) => serve_conn(service, conn, io),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
@@ -287,7 +400,7 @@ fn worker_loop(app: &AppState, rx: &Mutex<Receiver<crate::admission::Conn>>, io:
 }
 
 /// Serve one connection: frame, route, respond, close.
-fn serve_conn(app: &AppState, mut conn: crate::admission::Conn, io: &IoConfig) {
+fn serve_conn(service: &dyn Service, mut conn: crate::admission::Conn, io: &IoConfig) {
     // `conn` stays whole for the duration: its admission slot is the
     // "in service" claim and must not release until the socket closes.
     let stream = &mut conn.stream;
@@ -300,31 +413,37 @@ fn serve_conn(app: &AppState, mut conn: crate::admission::Conn, io: &IoConfig) {
     let metrics = telemetry::serve_metrics();
     metrics.admitted.inc();
     let (status, body) = match read_request(stream, &io.limits, &clock) {
-        Ok(req) if req.method == "GET" && req.path == "/metrics" => {
-            // Exposition is text, not JSON, so it bypasses the router.
-            let started = std::time::Instant::now();
-            let text = telemetry::render(app.drain.inflight());
-            let _ = write_text_response(stream, 200, &text);
-            metrics.latency.observe_duration(started.elapsed());
-            metrics.requests(&req.path, 200).inc();
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return;
-        }
         Ok(req) => {
             let started = std::time::Instant::now();
             // Last-resort panic barrier: a handler bug must cost one
             // request, not the worker thread (and with it 1/N of the
             // server's capacity).
-            let resp = match catch_unwind(AssertUnwindSafe(|| handle(app, &req))) {
-                Ok(resp) => resp,
-                Err(_) => (
+            let reply = match catch_unwind(AssertUnwindSafe(|| service.respond(&req))) {
+                Ok(reply) => reply,
+                Err(_) => ServiceReply::Json(
                     ErrorCode::Internal.http_status(),
                     error_body(ErrorCode::Internal, "request handler panicked"),
                 ),
             };
             metrics.latency.observe_duration(started.elapsed());
-            metrics.requests(&req.path, resp.0).inc();
-            resp
+            match reply {
+                ServiceReply::Text(status, text) => {
+                    metrics.requests(&req.path, status).inc();
+                    let _ = write_text_response(stream, status, &text);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                ServiceReply::Bytes(status, bytes) => {
+                    metrics.requests(&req.path, status).inc();
+                    let _ = write_json_bytes_response(stream, status, &bytes);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                ServiceReply::Json(status, body) => {
+                    metrics.requests(&req.path, status).inc();
+                    (status, body)
+                }
+            }
         }
         Err(e) => {
             if e == crate::protocol::ProtoError::Closed {

@@ -296,6 +296,18 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::
     write_raw_response(stream, status, "application/json", body.render().as_bytes())
 }
 
+/// Like [`write_response`] but for a body that is already rendered JSON
+/// bytes — the gateway's proxy path forwards a worker's response without
+/// re-parsing or re-serializing it, so the bytes the client sees are the
+/// bytes the worker produced.
+pub fn write_json_bytes_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write_raw_response(stream, status, "application/json", body)
+}
+
 /// Like [`write_response`] but for non-JSON payloads — the `/metrics`
 /// endpoint answers Prometheus text exposition (version 0.0.4).
 pub fn write_text_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {

@@ -196,6 +196,12 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
             if let Some(csv) = csv {
                 resp = resp.set("csv", csv);
             }
+            if task_name == "discover" {
+                // Full machine-readable FD list (the human `report`
+                // truncates at 25) — what the gateway merger consumes.
+                let fds: Vec<Json> = report.fds.iter().map(|s| Json::from(s.as_str())).collect();
+                resp = resp.set("fds", fds);
+            }
             resp = resp.set(
                 "stats",
                 Json::obj()

@@ -27,6 +27,12 @@ pub struct TaskReport {
     pub text: String,
     /// `Some(kind)` when a budget/cancellation truncated the work.
     pub exhausted: Option<BudgetKind>,
+    /// Machine-readable FD rules discovered (discovery tasks only; the
+    /// `"a, b -> c"` form accepted by `Fd::parse`). The gateway's
+    /// fan-out merger re-validates these against the full snapshot, so
+    /// they must round-trip losslessly — unlike the truncated-for-humans
+    /// listing inside `text`.
+    pub fds: Vec<String>,
 }
 
 /// Options for [`profile`].
@@ -83,6 +89,9 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
     span.attr("fds", t.result.fds.len() as u64);
     drop(span);
     exhausted = exhausted.or(t.exhausted);
+    // The machine-readable list is never truncated: soundness of a
+    // downstream merge depends on seeing everything TANE verified.
+    let fds: Vec<String> = t.result.fds.iter().map(|fd| fd.rule().to_owned()).collect();
     line!(
         buf,
         "== {kind} (TANE, max LHS {}) — {} found{} ==",
@@ -167,6 +176,7 @@ pub fn profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> TaskReport {
     TaskReport {
         text: buf,
         exhausted,
+        fds,
     }
 }
 
@@ -185,6 +195,7 @@ pub fn validate(r: &Relation, rule: &str) -> Result<TaskReport, DeptreeError> {
     Ok(TaskReport {
         text: buf,
         exhausted: None,
+        fds: Vec::new(),
     })
 }
 
@@ -209,6 +220,7 @@ pub fn detect(r: &Relation, rule: &str) -> Result<TaskReport, DeptreeError> {
     Ok(TaskReport {
         text: buf,
         exhausted: None,
+        fds: Vec::new(),
     })
 }
 
@@ -239,6 +251,7 @@ pub fn repair(
         TaskReport {
             text: buf,
             exhausted: outcome.exhausted,
+            fds: Vec::new(),
         },
         result.relation,
     ))
@@ -308,6 +321,7 @@ pub fn dedup(r: &Relation, keys: &[String], exec: &Exec) -> Result<TaskReport, D
     Ok(TaskReport {
         text: buf,
         exhausted: outcome.exhausted,
+        fds: Vec::new(),
     })
 }
 

@@ -148,6 +148,115 @@ pub fn render(inflight: usize) -> String {
     obs::registry().render()
 }
 
+/// Pre-registered handles for the gateway-layer series (cluster front).
+#[derive(Debug)]
+pub struct GatewayMetrics {
+    /// Scatter/gather latency of one sharded fan-out, seconds.
+    pub fanout_latency: Arc<Histogram>,
+    /// Merged responses that had to report a `degraded` detail.
+    pub degraded: Arc<Counter>,
+    /// Single-dataset requests proxied to a home worker.
+    pub proxied: Arc<Counter>,
+    /// Workers currently quarantined for crash-looping.
+    pub quarantined: Arc<Gauge>,
+}
+
+impl GatewayMetrics {
+    fn new() -> Self {
+        let reg = obs::registry();
+        GatewayMetrics {
+            fanout_latency: reg.histogram(
+                "deptree_gateway_fanout_duration_seconds",
+                "Latency of one sharded discovery fan-out (scatter to merge).",
+                &[],
+                obs::LATENCY_BUCKETS,
+            ),
+            degraded: reg.counter(
+                "deptree_gateway_degraded_total",
+                "Merged responses marked partial because a worker died or timed out.",
+                &[],
+            ),
+            proxied: reg.counter(
+                "deptree_gateway_proxied_total",
+                "Single-dataset requests proxied to a home worker.",
+                &[],
+            ),
+            quarantined: reg.gauge(
+                "deptree_gateway_workers_quarantined",
+                "Workers currently quarantined for crash-looping.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// The gateway metric handles, registered on first use (gateway boot).
+pub fn gateway_metrics() -> &'static GatewayMetrics {
+    static METRICS: OnceLock<GatewayMetrics> = OnceLock::new();
+    METRICS.get_or_init(GatewayMetrics::new)
+}
+
+/// Per-worker liveness gauge: `deptree_gateway_worker_up{worker="N"}`.
+pub fn worker_up(worker: usize) -> Arc<Gauge> {
+    let id = worker.to_string();
+    obs::registry().gauge(
+        "deptree_gateway_worker_up",
+        "Whether the supervised worker is up and answering /readyz.",
+        &[("worker", id.as_str())],
+    )
+}
+
+/// Per-worker respawn counter:
+/// `deptree_gateway_worker_restarts_total{worker="N"}`.
+pub fn worker_restarts(worker: usize) -> Arc<Counter> {
+    let id = worker.to_string();
+    obs::registry().counter(
+        "deptree_gateway_worker_restarts_total",
+        "Times the supervisor respawned this worker after a crash or failed probes.",
+        &[("worker", id.as_str())],
+    )
+}
+
+/// Re-emit one worker's `/metrics` exposition with a `worker="N"` label
+/// on every sample, so the gateway's aggregated scrape keeps the
+/// workers' series apart instead of colliding same-named series from
+/// different processes into one.
+///
+/// `# HELP`/`# TYPE` comment lines are dropped: the family metadata
+/// would otherwise repeat once per worker, which Prometheus parsers
+/// reject as duplicate TYPE declarations. Sample lines keep their
+/// existing labels (`le`, `route`, …) after the injected `worker`.
+pub fn relabel_worker(exposition: &str, worker: usize) -> String {
+    let mut out = String::with_capacity(exposition.len() + 64);
+    for line in exposition.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A sample is `name value`, `name{labels} value`. The metric
+        // name cannot contain '{' or ' ', so the first of either splits
+        // name from the rest.
+        let split = line.find(['{', ' ']);
+        let Some(at) = split else { continue };
+        let (name, rest) = line.split_at(at);
+        if rest.starts_with('{') {
+            let Some(close) = rest.find('}') else {
+                continue;
+            };
+            let existing = &rest[1..close];
+            let tail = &rest[close + 1..];
+            if existing.is_empty() {
+                out.push_str(&format!("{name}{{worker=\"{worker}\"}}{tail}\n"));
+            } else {
+                out.push_str(&format!("{name}{{worker=\"{worker}\",{existing}}}{tail}\n"));
+            }
+        } else {
+            out.push_str(&format!("{name}{{worker=\"{worker}\"}}{rest}\n"));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +270,87 @@ mod tests {
             "deptree_request_duration_seconds",
             "deptree_inflight_requests",
             "deptree_cache_hits_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn relabel_injects_worker_on_bare_and_labeled_samples() {
+        let exposition = "\
+# HELP deptree_requests_total Requests answered.
+# TYPE deptree_requests_total counter
+deptree_requests_total{route=\"/v1/discover\",status=\"200\"} 3
+deptree_inflight_requests 1
+deptree_request_duration_seconds_bucket{le=\"0.01\"} 2
+deptree_request_duration_seconds_sum 0.5
+";
+        let out = relabel_worker(exposition, 2);
+        assert!(
+            out.contains(
+                "deptree_requests_total{worker=\"2\",route=\"/v1/discover\",status=\"200\"} 3"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("deptree_inflight_requests{worker=\"2\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("deptree_request_duration_seconds_bucket{worker=\"2\",le=\"0.01\"} 2"),
+            "{out}"
+        );
+        // Comment lines are dropped: family metadata must not repeat
+        // once per worker in the aggregated exposition.
+        assert!(!out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn relabel_keeps_same_named_series_from_two_workers_apart() {
+        // The satellite's collision case: the same series scraped from
+        // two workers must stay two lines, not intern into one.
+        let series = "deptree_admitted_total 7\n";
+        let a = relabel_worker(series, 0);
+        let b = relabel_worker(series, 1);
+        assert_ne!(a, b);
+        let merged = format!("{a}{b}");
+        assert!(merged.contains("deptree_admitted_total{worker=\"0\"} 7"));
+        assert!(merged.contains("deptree_admitted_total{worker=\"1\"} 7"));
+    }
+
+    #[test]
+    fn per_worker_registry_handles_are_distinct_series() {
+        // Registry-level check for the label path: interning the same
+        // family under different `worker` labels yields independent
+        // handles, and both render.
+        let a = worker_restarts(90);
+        let b = worker_restarts(91);
+        a.inc();
+        b.inc();
+        b.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 2);
+        let text = obs::registry().render();
+        assert!(
+            text.contains("deptree_gateway_worker_restarts_total{worker=\"90\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("deptree_gateway_worker_restarts_total{worker=\"91\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn gateway_series_exist_at_boot() {
+        let _ = gateway_metrics();
+        let _ = worker_up(0);
+        let text = render(0);
+        for series in [
+            "deptree_gateway_fanout_duration_seconds",
+            "deptree_gateway_degraded_total",
+            "deptree_gateway_workers_quarantined",
+            "deptree_gateway_worker_up",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

@@ -21,7 +21,12 @@
 #      naive pair scans exactly (MD discovery, DC evidence, dedup);
 #   5. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
 #      `deptree query` calls, scrape /metrics and require every load-
-#      bearing series, SIGTERM it, and require a graceful exit 0.
+#      bearing series, SIGTERM it, and require a graceful exit 0;
+#   6. gateway smoke — boot `deptree gateway` with two sharded workers,
+#      round-trip a merged discover, `kill -9` one worker and require the
+#      next fan-out to be a degraded 200 (sound partial, not an error),
+#      wait for the supervisor's respawn to show in the aggregated
+#      /metrics, then SIGTERM-drain the whole fleet to exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -91,5 +96,67 @@ done
 
 kill -TERM "$serve_pid"
 wait "$serve_pid"   # set -e: non-zero (ungraceful) drain fails the gate
+
+echo "== gateway smoke (shard fan-out, worker kill → degraded 200, respawn, drain) =="
+gw_log="$(mktemp)"
+trap 'rm -f "$serve_log" "$gw_log"' EXIT
+# A wide respawn window so the post-kill discover reliably lands while
+# the shard is still down (the degraded path, not the recovered one).
+target/release/deptree gateway --data hotels=data/hotels.csv:t,t,t,n,n \
+    --shard hotels --workers 2 --respawn-base-ms 3000 \
+    --addr 127.0.0.1:0 >"$gw_log" 2>&1 &
+gw_pid=$!
+gw_addr=""
+for _ in $(seq 1 100); do
+    gw_addr="$(sed -n 's/^listening on //p' "$gw_log")"
+    [ -n "$gw_addr" ] && break
+    kill -0 "$gw_pid" 2>/dev/null || { cat "$gw_log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$gw_addr" ] || { echo "gateway never reported its address"; cat "$gw_log"; exit 1; }
+for _ in $(seq 1 100); do
+    [ "$(grep -c ') up at ' "$gw_log")" -ge 2 ] && break
+    sleep 0.1
+done
+[ "$(grep -c ') up at ' "$gw_log")" -ge 2 ] || {
+    echo "gateway workers never came up"; cat "$gw_log"; exit 1; }
+
+# A healthy merged fan-out first.
+target/release/deptree query discover --addr "$gw_addr" --dataset hotels \
+    --max-lhs 2 >/dev/null
+
+# kill -9 one worker: the next fan-out must answer 200 with a degraded,
+# still-sound merge. The CLI maps `partial: true` to exit 6 ("truncated,
+# not failed"), so that exact code is the assertion that the response
+# was a partial — any other code means the request actually failed.
+victim="$(sed -n 's/^gateway: worker 0 (pid \([0-9]*\)) up at.*/\1/p' "$gw_log" | head -n 1)"
+[ -n "$victim" ] || { echo "no worker 0 pid in gateway log"; cat "$gw_log"; exit 1; }
+kill -9 "$victim"
+set +e
+degraded_report="$(target/release/deptree query discover --addr "$gw_addr" \
+    --dataset hotels --max-lhs 2 2>/dev/null)"
+degraded_rc=$?
+set -e
+[ "$degraded_rc" -eq 6 ] || {
+    echo "expected a degraded partial (exit 6) after the worker kill, got $degraded_rc"
+    echo "$degraded_report"; cat "$gw_log"; exit 1; }
+grep -q "degraded" <<<"$degraded_report" || {
+    echo "degraded merge does not say which worker was lost:"
+    echo "$degraded_report"; cat "$gw_log"; exit 1; }
+
+# The supervisor respawns the worker, visible in the aggregated scrape.
+restarted=""
+for _ in $(seq 1 150); do
+    if target/release/deptree query metrics --addr "$gw_addr" \
+        | grep -Eq 'deptree_gateway_worker_restarts_total\{worker="0"\} [1-9]'; then
+        restarted=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$restarted" ] || { echo "worker 0 never respawned"; cat "$gw_log"; exit 1; }
+
+kill -TERM "$gw_pid"
+wait "$gw_pid"   # set -e: a fleet that does not drain to 0 fails the gate
 
 echo "ci: all green"

@@ -16,6 +16,13 @@
 //!                            [--dataset NAME] [--rule "..."] [--keys a,b] [--max-lhs K]
 //!                            [--error E] [--timeout-ms MS] [--max-nodes N] [--max-rows N]
 //!                            [--retries N] [--seed S] [--out FILE]
+//! deptree gateway --data name=path[:types] [--data ...] [--shard NAME] [--workers N]
+//!                            [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]
+//!                            [--respawn-base-ms MS] [--respawn-max-ms MS]
+//!                            [--quarantine-after K] [--quarantine-cooldown-ms MS]
+//!                            [--probe-interval-ms MS] [--default-timeout-ms MS]
+//!                            [--max-timeout-ms MS] [--drain-grace-ms MS]
+//!                            [--child-grace-ms MS] [--threads T] [--lossy]
 //! deptree tree
 //! ```
 //!
@@ -24,6 +31,9 @@
 //! discovery and prints a report; `detect`/`repair` work with one FD-style
 //! rule. `serve` exposes the same tasks over HTTP against preloaded
 //! datasets (see DESIGN.md §10); `query` is the matching retry client.
+//! `gateway` supervises a fleet of `serve` workers — crash respawn with
+//! backoff, crash-loop quarantine, digest sharding and degraded-partial
+//! fan-out (DESIGN.md §12).
 //!
 //! ## Budgets, cancellation and exit codes
 //!
@@ -46,7 +56,7 @@ use deptree::core::engine::{signal, Budget, BudgetKind, CancelToken, Exec};
 use deptree::core::DeptreeError;
 use deptree::relation::{parse_csv, parse_csv_lossy, to_csv, Relation, ValueType};
 use deptree::serve::protocol::budget_from_wire;
-use deptree::serve::{tasks, ClientConfig, Json, ServeConfig};
+use deptree::serve::{tasks, ClientConfig, DatasetSpec, GatewayConfig, Json, ServeConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -103,6 +113,10 @@ fn main() -> ExitCode {
                 "                             --addr HOST:PORT [--dataset NAME] [--rule \"...\"]"
             );
             esay!("                             [--keys a,b] [--timeout-ms MS] [--retries N]");
+            esay!("  deptree gateway --data name=path[:types] [--shard NAME] [--workers N]");
+            esay!("                             [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]");
+            esay!("                             [--respawn-base-ms MS] [--quarantine-after K]");
+            esay!("                             [--drain-grace-ms MS] [--threads T] [--lossy]");
             esay!("  deptree tree");
             ExitCode::FAILURE
         }
@@ -143,6 +157,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("detect") => detect(&args[1..]),
         Some("repair") => repair_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("gateway") => gateway_cmd(&args[1..]),
         Some("query") => query_cmd(&args[1..]),
         Some("tree") => {
             let art = deptree::core::familytree::ExtensionGraph::survey().to_ascii();
@@ -450,6 +465,10 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
         .name("deptree-force-exit".to_owned())
         .spawn(|| loop {
             if signal::received() >= 2 {
+                // The contract a supervisor can script against: a second
+                // SIGTERM mid-drain abandons in-flight work, says so on
+                // stderr, and exits 130 — never 0, never a hang.
+                esay!("forced shutdown during drain");
                 std::process::exit(130);
             }
             std::thread::sleep(Duration::from_millis(25));
@@ -457,6 +476,110 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
     drop(force);
     handle.drain();
     handle.join();
+    esay!("drained; exiting");
+    Ok(())
+}
+
+/// `deptree gateway`: supervise a fleet of `deptree serve` workers and
+/// front them with sharding, health-probed respawn and degraded-partial
+/// fan-out (DESIGN.md §12).
+fn gateway_cmd(args: &[String]) -> Result<(), CliError> {
+    let specs = flag_all(args, "--data");
+    if specs.is_empty() {
+        return Err(usage("gateway needs at least one --data name=path[:types]"));
+    }
+    let shard_names = flag_all(args, "--shard");
+    let lossy = args.iter().any(|a| a == "--lossy");
+    let mut datasets = Vec::new();
+    for spec in &specs {
+        let (name, path, types) = parse_data_spec(spec)?;
+        let shard = shard_names.iter().any(|s| s == &name);
+        datasets.push(DatasetSpec {
+            name,
+            path,
+            types,
+            shard,
+        });
+    }
+    for shard in &shard_names {
+        if !datasets.iter().any(|d| &d.name == shard) {
+            return Err(usage(format!("--shard `{shard}` names no --data dataset")));
+        }
+    }
+
+    let d = GatewayConfig::default();
+    let mut listen = d.listen.clone();
+    listen.addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    if let Some(n) = num_flag(args, "--max-conns")? {
+        listen.max_connections = n as usize;
+    }
+    if let Some(n) = num_flag(args, "--queue-depth")? {
+        listen.queue_depth = n as usize;
+    }
+    if let Some(ms) = num_flag(args, "--drain-grace-ms")? {
+        listen.drain_grace = Duration::from_millis(ms);
+    }
+    let config = GatewayConfig {
+        worker_bin: flag(args, "--worker-bin")
+            .map(std::path::PathBuf::from)
+            .unwrap_or(d.worker_bin),
+        workers: num_flag(args, "--workers")?.map_or(d.workers, |n| (n as usize).max(1)),
+        replicas: num_flag(args, "--replicas")?.map_or(d.replicas, |n| n as usize),
+        datasets,
+        lossy,
+        worker_threads: threads(args)?,
+        default_deadline: num_flag(args, "--default-timeout-ms")?
+            .map_or(d.default_deadline, Duration::from_millis),
+        max_deadline: num_flag(args, "--max-timeout-ms")?
+            .map_or(d.max_deadline, Duration::from_millis),
+        respawn_base: num_flag(args, "--respawn-base-ms")?
+            .map_or(d.respawn_base, Duration::from_millis),
+        respawn_max: num_flag(args, "--respawn-max-ms")?
+            .map_or(d.respawn_max, Duration::from_millis),
+        fast_crash: d.fast_crash,
+        quarantine_after: num_flag(args, "--quarantine-after")?
+            .map_or(d.quarantine_after, |n| (n as u32).max(1)),
+        quarantine_cooldown: num_flag(args, "--quarantine-cooldown-ms")?
+            .map_or(d.quarantine_cooldown, Duration::from_millis),
+        probe_interval: num_flag(args, "--probe-interval-ms")?
+            .map_or(d.probe_interval, Duration::from_millis),
+        probe_failures: d.probe_failures,
+        spawn_timeout: d.spawn_timeout,
+        child_grace: num_flag(args, "--child-grace-ms")?
+            .map_or(d.child_grace, Duration::from_millis),
+        listen,
+    };
+
+    // Signal handler before the announcement, same contract as `serve`:
+    // a supervisor may SIGTERM us the instant it sees "listening on".
+    signal::install();
+    let handle = deptree::serve::spawn_gateway(config).map_err(CliError::from)?;
+    say!("listening on {}", handle.addr());
+
+    while signal::received() == 0 {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    esay!(
+        "signal received — draining (in-flight: {})",
+        handle.drain_state().inflight()
+    );
+    // The force path cannot wait for the drain: pass the worker pids in,
+    // SIGTERM them directly, and exit 130. Workers drain themselves.
+    let worker_pids: Vec<u32> = handle.worker_pids().into_iter().flatten().collect();
+    let force = std::thread::Builder::new()
+        .name("deptree-force-exit".to_owned())
+        .spawn(move || loop {
+            if signal::received() >= 2 {
+                esay!("forced shutdown during drain");
+                for pid in &worker_pids {
+                    let _ = signal::send(*pid, signal::SIGTERM);
+                }
+                std::process::exit(130);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    drop(force);
+    handle.drain_and_join();
     esay!("drained; exiting");
     Ok(())
 }

@@ -14,14 +14,20 @@
 //! - **byte identity** — the server's `report` for a request equals the
 //!   CLI's stdout for the same task, at thread counts 1 and 8.
 
+use deptree::core::engine::{signal, Exec};
 use deptree::relation::examples::hotels_r1;
-use deptree::relation::{Relation, RelationBuilder, Value, ValueType};
+use deptree::relation::{to_csv, Relation, RelationBuilder, Value, ValueType};
 use deptree::serve::protocol::Limits;
-use deptree::serve::{spawn, ClientConfig, ErrorCode, Json, ServeConfig, ServerHandle};
+use deptree::serve::tasks::{profile, ProfileOpts};
+use deptree::serve::{
+    forward, spawn, spawn_gateway, ClientConfig, DatasetSpec, ErrorCode, GatewayConfig,
+    GatewayHandle, Json, ListenOpts, ServeConfig, ServerHandle,
+};
 use deptree::synth::Rng;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A relation wide enough that a TANE sweep at max LHS 8 cannot finish
 /// inside a tight deadline — the reproducible "slow request".
@@ -770,4 +776,556 @@ fn retryable_draining_exhausts_the_retry_budget() {
     assert_eq!(err.code.exit_code(), 2);
 
     stop(handle);
+}
+
+// ───────────────────────── gateway_faults ─────────────────────────
+//
+// The same standing assertions, one level up: `deptree gateway` fronts a
+// supervised fleet of `deptree serve` workers, and no worker fault —
+// SIGKILL mid-fan-out, a crash-looping binary, a dead home worker — may
+// surface as a failed request. Degradation is always a sound partial.
+
+/// Write a relation to a temp CSV the worker processes can load.
+fn write_temp_csv(tag: &str, r: &Relation) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("deptree-gwtest-{}-{tag}.csv", std::process::id()));
+    std::fs::write(&path, to_csv(r)).expect("write dataset csv");
+    path
+}
+
+/// `a -> b` holds globally — and therefore on every row slice — by
+/// construction; `c` and `d` are noise so discovery has candidates to
+/// reject as well as accept.
+fn planted_relation(n_rows: usize, seed: u64) -> Relation {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new()
+        .attr("a", ValueType::Categorical)
+        .attr("b", ValueType::Categorical)
+        .attr("c", ValueType::Categorical)
+        .attr("d", ValueType::Categorical);
+    for _ in 0..n_rows {
+        let x = rng.random_range(0..40u8);
+        b = b.row(vec![
+            Value::str(format!("v{x}")),
+            Value::str(format!("w{}", x % 10)),
+            Value::str(format!("p{}", rng.random_range(0..3u8))),
+            Value::str(format!("q{}", rng.random_range(0..3u8))),
+        ]);
+    }
+    b.build().expect("consistent arity")
+}
+
+/// Gateway config pointed at the real `deptree` binary as the worker.
+fn gateway_config(datasets: Vec<DatasetSpec>, workers: usize) -> GatewayConfig {
+    GatewayConfig {
+        worker_bin: PathBuf::from(env!("CARGO_BIN_EXE_deptree")),
+        workers,
+        datasets,
+        probe_interval: Duration::from_millis(100),
+        listen: ListenOpts {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ListenOpts::default()
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+fn gw_client(handle: &GatewayHandle) -> ClientConfig {
+    ClientConfig {
+        addr: handle.addr().to_string(),
+        retries: 0,
+        io_timeout: Duration::from_secs(30),
+        ..ClientConfig::default()
+    }
+}
+
+/// Poll the gateway's `/readyz` until at least `want` workers are up.
+fn wait_workers_up(cfg: &ClientConfig, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(resp) = deptree::serve::query(cfg, "GET", "/readyz", None) {
+            if resp.status == 200 && resp.body.u64_field("workers_up").unwrap_or(0) >= want {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway workers did not come up within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn fds_of(body: &Json) -> Vec<String> {
+    body.get("fds")
+        .and_then(Json::as_arr)
+        .map(|list| {
+            list.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Spawn the real binary, scrape `listening on ADDR` off stdout, and
+/// drain stderr on a side thread so the pipe can never wedge the child.
+fn spawn_binary(args: &[&str]) -> (std::process::Child, String, std::thread::JoinHandle<String>) {
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_deptree"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn deptree");
+    let mut stdout = child.stdout.take().expect("stdout");
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while stdout.read(&mut byte).unwrap_or(0) == 1 && byte[0] != b'\n' {
+        line.push(byte[0]);
+    }
+    let line = String::from_utf8_lossy(&line).into_owned();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_owned();
+    let mut stderr = child.stderr.take().expect("stderr");
+    let stderr_reader = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+    (child, addr, stderr_reader)
+}
+
+fn wait_exit(child: &mut std::process::Child, within: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + within;
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => return status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("child did not exit within {within:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn sh(cmd: &str) -> bool {
+    std::process::Command::new("sh")
+        .args(["-c", cmd])
+        .status()
+        .expect("run sh")
+        .success()
+}
+
+#[test]
+fn gateway_proxies_whole_dataset_requests_byte_identically() {
+    let r = planted_relation(40, 3);
+    let csv = write_temp_csv("proxy", &r);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: false,
+    };
+    let handle = spawn_gateway(gateway_config(vec![spec], 1)).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 1);
+
+    // The worker's own address, from the gateway's health report: the
+    // oracle is the very worker the proxy talks to, nothing re-rendered.
+    let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+    let workers = health
+        .body
+        .get("workers")
+        .and_then(Json::as_arr)
+        .expect("workers");
+    let waddr = workers[0]
+        .str_field("addr")
+        .expect("worker addr")
+        .to_owned();
+    let wcfg = ClientConfig {
+        addr: waddr,
+        retries: 0,
+        io_timeout: Duration::from_secs(30),
+        ..ClientConfig::default()
+    };
+
+    // A deterministic success and a deterministic error, as raw bytes.
+    let detect = Json::obj()
+        .set("dataset", "planted")
+        .set("rule", "a -> b")
+        .render()
+        .into_bytes();
+    let bad = Json::obj()
+        .set("dataset", "planted")
+        .set("timeout_ms", "banana")
+        .render()
+        .into_bytes();
+    for (path, body) in [("/v1/detect", &detect), ("/v1/discover", &bad)] {
+        let via_gateway = forward(&cfg, "POST", path, Some(body)).expect("via gateway");
+        let direct = forward(&wcfg, "POST", path, Some(body)).expect("direct to worker");
+        assert_eq!(via_gateway.status, direct.status, "{path}");
+        assert_eq!(
+            via_gateway.body, direct.body,
+            "{path}: gateway bytes diverge from the worker's own"
+        );
+    }
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn sigkill_mid_fanout_degrades_soundly_and_the_worker_respawns() {
+    let full = planted_relation(400, 7);
+    let csv = write_temp_csv("fanout", &full);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: true,
+    };
+    let config = GatewayConfig {
+        // A wide respawn window, so requests fired right after the kill
+        // reliably land while the shard is still down.
+        respawn_base: Duration::from_millis(800),
+        respawn_max: Duration::from_secs(2),
+        ..gateway_config(vec![spec], 4)
+    };
+    let handle = spawn_gateway(config).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 4);
+
+    // From-scratch ground truth on the full data: the fault gate asserts
+    // every degraded answer stays inside this set.
+    let scratch: std::collections::BTreeSet<String> = profile(
+        &full,
+        &ProfileOpts {
+            max_lhs: 2,
+            error: 0.0,
+        },
+        &Exec::unbounded(),
+    )
+    .fds
+    .into_iter()
+    .collect();
+    assert!(scratch.contains("a -> b"), "{scratch:?}");
+
+    // Healthy merge first: all four shards answer, nothing degraded.
+    let body = discover_body("planted");
+    let resp =
+        deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body)).expect("healthy discover");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body.bool_field("partial"),
+        Some(false),
+        "{}",
+        resp.body.render()
+    );
+    assert!(fds_of(&resp.body).contains(&"a -> b".to_owned()));
+
+    // SIGKILL one worker, then immediately hammer the gateway from four
+    // clients inside the respawn window.
+    let victim = handle.worker_pids()[1].expect("worker 1 pid");
+    assert!(signal::send(victim, 9), "SIGKILL worker 1");
+
+    let addr = handle.addr().to_string();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let cfg = ClientConfig {
+                    addr,
+                    retries: 0,
+                    io_timeout: Duration::from_secs(30),
+                    seed: i as u64,
+                    ..ClientConfig::default()
+                };
+                deptree::serve::query(
+                    &cfg,
+                    "POST",
+                    "/v1/discover",
+                    Some(&discover_body("planted")),
+                )
+            })
+        })
+        .collect();
+
+    let mut degraded_seen = 0usize;
+    for c in clients {
+        // The fault gate: never a non-200, and every answer is sound.
+        let resp = c
+            .join()
+            .expect("client thread")
+            .expect("a fan-out during a worker fault must still answer 200");
+        assert_eq!(resp.status, 200);
+        for rule in fds_of(&resp.body) {
+            assert!(
+                scratch.contains(&rule),
+                "merged rule `{rule}` is not in the from-scratch set {scratch:?}"
+            );
+        }
+        if resp.body.get("degraded").is_some() {
+            degraded_seen += 1;
+            assert_eq!(
+                resp.body.bool_field("partial"),
+                Some(true),
+                "{}",
+                resp.body.render()
+            );
+        }
+    }
+    assert!(
+        degraded_seen > 0,
+        "a SIGKILL inside the respawn window must degrade at least one fan-out"
+    );
+
+    // The supervisor notices and respawns within the backoff budget.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pids = handle.worker_pids();
+        if handle.worker_restarts() >= 1 && matches!(pids[1], Some(p) if p != victim) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker 1 did not respawn within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_workers_up(&cfg, 4);
+
+    // Recovered: a fresh fan-out is whole again.
+    let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+        .expect("post-respawn discover");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body.bool_field("partial"),
+        Some(false),
+        "{}",
+        resp.body.render()
+    );
+    assert!(fds_of(&resp.body).contains(&"a -> b".to_owned()));
+
+    // Shutdown reaps the whole fleet — no zombies, no orphans.
+    let last = handle.worker_pids();
+    handle.drain_and_join();
+    for pid in last.into_iter().flatten() {
+        assert!(
+            !signal::send(pid, 0),
+            "worker {pid} survived drain_and_join"
+        );
+    }
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn a_crash_looping_worker_binary_is_quarantined_not_hot_looped() {
+    let r = planted_relation(20, 5);
+    let csv = write_temp_csv("quarantine", &r);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: false,
+    };
+    let config = GatewayConfig {
+        worker_bin: PathBuf::from("false"), // exits 1 instantly, forever
+        respawn_base: Duration::from_millis(10),
+        respawn_max: Duration::from_millis(40),
+        quarantine_after: 2,
+        quarantine_cooldown: Duration::from_secs(120),
+        ..gateway_config(vec![spec], 1)
+    };
+    let handle =
+        spawn_gateway(config).expect("the gateway front must bind even when workers cannot run");
+    let cfg = gw_client(&handle);
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+        let quarantined = health.body.u64_field("quarantined").unwrap_or(0);
+        let phase = health
+            .body
+            .get("workers")
+            .and_then(Json::as_arr)
+            .and_then(|w| w.first())
+            .and_then(|w| w.str_field("phase"))
+            .map(str::to_owned);
+        if quarantined == 1 && phase.as_deref() == Some("quarantined") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker was never quarantined; last phase {phase:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Quarantine means the respawn churn actually stops...
+    let restarts = handle.worker_restarts();
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        handle.worker_restarts(),
+        restarts,
+        "respawns continued during quarantine"
+    );
+
+    // ...and readiness says so instead of pretending.
+    let err = deptree::serve::query(&cfg, "GET", "/readyz", None)
+        .expect_err("readyz must refuse with no live workers");
+    assert_eq!(err.code, ErrorCode::Overloaded, "{err}");
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn gateway_sigterm_drains_and_reaps_every_worker() {
+    let r = planted_relation(40, 9);
+    let csv = write_temp_csv("blackbox", &r);
+    let data = format!("planted={}", csv.display());
+    let (mut child, addr, stderr_reader) = spawn_binary(&[
+        "gateway",
+        "--data",
+        &data,
+        "--workers",
+        "2",
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    let cfg = ClientConfig {
+        addr,
+        retries: 0,
+        io_timeout: Duration::from_secs(30),
+        ..ClientConfig::default()
+    };
+    wait_workers_up(&cfg, 2);
+
+    // Worker pids, from the gateway's own health report.
+    let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+    let pids: Vec<u64> = health
+        .body
+        .get("workers")
+        .and_then(Json::as_arr)
+        .expect("workers")
+        .iter()
+        .filter_map(|w| w.u64_field("pid"))
+        .collect();
+    assert_eq!(pids.len(), 2, "{}", health.body.render());
+
+    // One real round trip through the proxy before the drain.
+    let resp = deptree::serve::query(
+        &cfg,
+        "POST",
+        "/v1/discover",
+        Some(&discover_body("planted")),
+    )
+    .expect("discover via gateway");
+    assert_eq!(resp.status, 200);
+
+    assert!(sh(&format!("kill -TERM {}", child.id())));
+    let status = wait_exit(&mut child, Duration::from_secs(15));
+    assert!(status.success(), "gateway should exit 0, got {status:?}");
+
+    // No zombies, no orphans: every worker pid is gone with the gateway.
+    for pid in pids {
+        assert!(
+            !sh(&format!("kill -0 {pid}")),
+            "worker {pid} outlived the gateway"
+        );
+    }
+    let stderr = stderr_reader.join().expect("stderr reader");
+    assert!(
+        stderr.contains("drained; exiting"),
+        "expected drain completion in stderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn second_sigterm_during_drain_forces_exit_130() {
+    let wide = wide_relation(18, 200, 7);
+    let csv = write_temp_csv("force", &wide);
+    let data = format!("wide={}", csv.display());
+    let (mut child, addr, stderr_reader) = spawn_binary(&[
+        "serve",
+        "--data",
+        &data,
+        "--addr",
+        "127.0.0.1:0",
+        "--drain-grace-ms",
+        "30000",
+        "--max-timeout-ms",
+        "60000",
+    ]);
+    let cfg = ClientConfig {
+        addr,
+        retries: 0,
+        io_timeout: Duration::from_secs(60),
+        ..ClientConfig::default()
+    };
+    let ready_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match deptree::serve::query(&cfg, "GET", "/readyz", None) {
+            Ok(resp) if resp.status == 200 => break,
+            _ if Instant::now() > ready_deadline => {
+                let _ = child.kill();
+                panic!("server never became ready within 10s");
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+
+    // Park a slow discover in flight so the drain genuinely blocks.
+    let slow_cfg = ClientConfig {
+        frame_timeout: Duration::from_secs(60),
+        ..cfg.clone()
+    };
+    let slow = std::thread::spawn(move || {
+        let body = Json::obj()
+            .set("dataset", "wide")
+            .set("max_lhs", 8u64)
+            .set("timeout_ms", 25_000u64);
+        let _ = deptree::serve::query(&slow_cfg, "POST", "/v1/discover", Some(&body));
+    });
+    let busy_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+        if health.body.u64_field("inflight").unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < busy_deadline,
+            "the slow discover never showed up in flight"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // First SIGTERM: the drain begins and blocks on the in-flight work.
+    // Second SIGTERM: the operator (or a supervisor) has lost patience —
+    // the contract is one explicit stderr line and exit 130, immediately.
+    let pid = child.id();
+    assert!(sh(&format!("kill -TERM {pid}")));
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(sh(&format!("kill -TERM {pid}")));
+
+    let status = wait_exit(&mut child, Duration::from_secs(10));
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "want the forced-shutdown exit code, got {status:?}"
+    );
+    let stderr = stderr_reader.join().expect("stderr reader");
+    assert!(
+        stderr.contains("forced shutdown during drain"),
+        "expected the forced-shutdown line in stderr:\n{stderr}"
+    );
+    let _ = slow.join();
+    let _ = std::fs::remove_file(&csv);
 }
