@@ -115,6 +115,63 @@ impl Od {
         let &[(b, db)] = &self.rhs[..] else {
             return None;
         };
+        if deptree_relation::compat::row_major() {
+            return self.holds_sorted_row_major(r, (a, da), (b, db));
+        }
+        // Columnar walk: each column's sorted-run index maps dictionary
+        // codes to `numeric_cmp` ranks (numerically equal entries share a
+        // rank), so the whole check is integer sorting and comparison.
+        // The within-run and cross-run logic mirrors the row-major
+        // reference below — rank (in)equality is exactly `numeric_cmp`
+        // (in)equality, and rank order is `numeric_cmp` order.
+        let ca = r.col(a);
+        let cb = r.col(b);
+        let (ia, ib) = (ca.index(), cb.index());
+        let n = r.n_rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        match da {
+            Direction::Asc => order.sort_unstable_by_key(|&i| ia.num_rank(ca.code(i))),
+            Direction::Desc => {
+                order.sort_unstable_by_key(|&i| std::cmp::Reverse(ia.num_rank(ca.code(i))))
+            }
+        }
+        let mut start = 0;
+        let mut prev_rep: Option<u32> = None;
+        while start < n {
+            let head = order[start];
+            let run_a = ia.num_rank(ca.code(head));
+            let run_b = ib.num_rank(cb.code(head));
+            let mut end = start + 1;
+            while end < n && ia.num_rank(ca.code(order[end])) == run_a {
+                if ib.num_rank(cb.code(order[end])) != run_b {
+                    return Some(false);
+                }
+                end += 1;
+            }
+            if let Some(p) = prev_rep {
+                let ord = p.cmp(&run_b);
+                let ok = match db {
+                    Direction::Asc => ord != Ordering::Greater,
+                    Direction::Desc => ord != Ordering::Less,
+                };
+                if !ok {
+                    return Some(false);
+                }
+            }
+            prev_rep = Some(run_b);
+            start = end;
+        }
+        Some(true)
+    }
+
+    /// Frozen row-major reference for [`Od::holds_sorted`], kept callable
+    /// for the differential harness and the scaling baseline.
+    fn holds_sorted_row_major(
+        &self,
+        r: &Relation,
+        (a, da): (AttrId, Direction),
+        (b, db): (AttrId, Direction),
+    ) -> Option<bool> {
         let ca = r.column(a);
         let cb = r.column(b);
         let n = r.n_rows();

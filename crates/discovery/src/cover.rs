@@ -29,8 +29,13 @@ pub fn minimal_hitting_sets_bounded(
     // Reduce to inclusion-minimal family members: hitting a subset implies
     // hitting its supersets.
     let mut minimal_family: Vec<u64> = Vec::new();
+    // The (count_ones, value) key is canonical: callers feed families out
+    // of hash maps, and under a node budget the DFS visit order decides
+    // which covers make it out before the cutoff — popcount-only sorting
+    // left ties in hash order (and could let duplicates slip past dedup,
+    // which only removes adjacent repeats).
     let mut sorted: Vec<u64> = family.to_vec();
-    sorted.sort_by_key(|s| s.count_ones());
+    sorted.sort_by_key(|s| (s.count_ones(), *s));
     sorted.dedup();
     for &s in &sorted {
         // Keep s only if no already-kept set is a subset of it.

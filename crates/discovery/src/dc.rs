@@ -312,7 +312,10 @@ pub fn discover_bounded(r: &Relation, cfg: &DcConfig, exec: &Exec) -> Outcome<Fa
     let total_pairs: usize = evidence.values().sum();
     let budget = (cfg.approx_epsilon * total_pairs as f64).floor() as usize;
     let mut sets: Vec<(u64, usize)> = evidence.into_iter().collect();
-    sets.sort_by_key(|&(_, count)| count);
+    // Tie-break equal counts by bits: the ε-drop filter below keeps a
+    // prefix of this order, so hash-order ties would make A-FASTDC drop
+    // a different evidence set on every run.
+    sets.sort_by_key(|&(bits, count)| (count, bits));
     let mut dropped = 0usize;
     let complements: Vec<u64> = sets
         .iter()

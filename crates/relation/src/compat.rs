@@ -1,0 +1,52 @@
+//! Row-major compatibility mode: a process-wide switch that routes the
+//! code-based fast paths (grouping, sorting, partitioning, pair blocking,
+//! sorted order checks) through their frozen `Value`-slice reference
+//! implementations instead.
+//!
+//! The two paths are *contractually byte-identical* — that is what
+//! `tests/columnar_equivalence.rs` proves — so flipping the switch changes
+//! performance, never results. It exists for exactly two consumers:
+//!
+//! * the differential harness, which runs every task once per mode and
+//!   compares outputs byte for byte;
+//! * `columnar_scaling`, which times the row-major baseline against the
+//!   columnar fast paths on the same build.
+//!
+//! Because results are mode-independent, concurrent tests that race on the
+//! flag can at worst run slower, never produce different answers; the
+//! equivalence harness still serializes itself so each measurement is
+//! honestly single-mode.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ROW_MAJOR: AtomicBool = AtomicBool::new(false);
+
+/// Is the row-major reference mode active?
+#[inline]
+pub fn row_major() -> bool {
+    ROW_MAJOR.load(Ordering::Relaxed)
+}
+
+/// Force (or release) row-major mode directly. Prefer the RAII
+/// [`force_row_major`] in tests.
+pub fn set_row_major(on: bool) {
+    ROW_MAJOR.store(on, Ordering::SeqCst);
+}
+
+/// Guard that restores the previous mode on drop.
+#[must_use = "the mode reverts when the guard drops"]
+pub struct RowMajorGuard {
+    prev: bool,
+}
+
+/// Switch to row-major mode until the returned guard drops.
+pub fn force_row_major() -> RowMajorGuard {
+    let prev = ROW_MAJOR.swap(true, Ordering::SeqCst);
+    RowMajorGuard { prev }
+}
+
+impl Drop for RowMajorGuard {
+    fn drop(&mut self) {
+        ROW_MAJOR.store(self.prev, Ordering::SeqCst);
+    }
+}

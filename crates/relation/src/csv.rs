@@ -6,7 +6,7 @@
 
 use crate::relation::{Relation, RelationError};
 use crate::schema::{Schema, ValueType};
-use crate::value::Value;
+use std::borrow::Cow;
 use std::fmt;
 
 /// Errors raised by [`parse_csv`].
@@ -48,48 +48,63 @@ impl From<RelationError> for CsvError {
     }
 }
 
-fn split_line(line: &str) -> Vec<String> {
-    let mut fields = Vec::new();
-    let mut cur = String::new();
-    let mut chars = line.chars().peekable();
+/// Split one CSV line into fields, borrowing from the input wherever
+/// possible: a field only costs an allocation when it contains a quote
+/// (and therefore needs unescaping). Unquoted fields — the overwhelmingly
+/// common case — are zero-copy slices, which lets the relation's
+/// dictionary interner probe them without ever building a `String` for a
+/// repeated cell.
+///
+/// Semantics are identical to the historical per-field-`String` splitter:
+/// `"` toggles quoting anywhere in a field, `""` inside quotes escapes a
+/// literal quote, and commas inside quotes do not split.
+fn split_line(line: &str) -> Vec<Cow<'_, str>> {
+    let mut fields: Vec<Cow<'_, str>> = Vec::new();
+    let bytes = line.as_bytes();
     let mut in_quotes = false;
-    while let Some(c) = chars.next() {
-        match c {
-            '"' if in_quotes => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    cur.push('"');
+    // Current field: starts at `start`; `owned` buffers it once a quote
+    // forces unescaping, with `seg` marking the verbatim run not yet
+    // copied into the buffer.
+    let mut start = 0usize;
+    let mut seg = 0usize;
+    let mut owned: Option<String> = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let buf = owned.get_or_insert_with(String::new);
+                buf.push_str(&line[seg..i]);
+                if in_quotes && bytes.get(i + 1) == Some(&b'"') {
+                    buf.push('"');
+                    i += 1;
                 } else {
-                    in_quotes = false;
+                    in_quotes = !in_quotes;
                 }
+                seg = i + 1;
             }
-            '"' => in_quotes = true,
-            ',' if !in_quotes => {
-                fields.push(std::mem::take(&mut cur));
+            b',' if !in_quotes => {
+                match owned.take() {
+                    Some(mut buf) => {
+                        buf.push_str(&line[seg..i]);
+                        fields.push(Cow::Owned(buf));
+                    }
+                    None => fields.push(Cow::Borrowed(&line[start..i])),
+                }
+                start = i + 1;
+                seg = i + 1;
             }
-            _ => cur.push(c),
+            _ => {}
         }
+        i += 1;
     }
-    fields.push(cur);
+    match owned {
+        Some(mut buf) => {
+            buf.push_str(&line[seg..]);
+            fields.push(Cow::Owned(buf));
+        }
+        None => fields.push(Cow::Borrowed(&line[start..])),
+    }
     fields
-}
-
-fn parse_cell(text: &str, ty: ValueType) -> Value {
-    if text.is_empty() {
-        return Value::Null;
-    }
-    match ty {
-        ValueType::Numeric => {
-            if let Ok(i) = text.parse::<i64>() {
-                Value::Int(i)
-            } else if let Ok(f) = text.parse::<f64>() {
-                Value::float(f)
-            } else {
-                Value::str(text)
-            }
-        }
-        _ => Value::str(text),
-    }
 }
 
 /// Parse CSV text into a relation. The first row is the header; `types`
@@ -108,24 +123,18 @@ pub fn parse_csv(text: &str, types: &[ValueType]) -> Result<Relation, CsvError> 
             types: types.len(),
         });
     }
-    let schema = Schema::from_attrs(names.into_iter().zip(types.iter().copied()));
+    let schema = Schema::from_attrs(
+        names
+            .into_iter()
+            .map(Cow::into_owned)
+            .zip(types.iter().copied()),
+    );
     let mut rel = Relation::empty(schema)?;
     for line in lines {
         let fields = split_line(line);
-        let row: Vec<Value> = fields
-            .iter()
-            .zip(types)
-            .map(|(f, &ty)| parse_cell(f, ty))
-            .collect();
-        // If a row is ragged, push_row reports the arity mismatch.
-        if fields.len() != types.len() {
-            return Err(RelationError::ArityMismatch {
-                expected: types.len(),
-                got: fields.len(),
-            }
-            .into());
-        }
-        rel.push_row(row)?;
+        // Cells intern through each column's dictionary: repeated values
+        // cost no allocation, and ragged rows surface as arity errors.
+        rel.push_row_texts(&fields)?;
     }
     Ok(rel)
 }
@@ -206,7 +215,12 @@ pub fn parse_csv_lossy(text: &str, types: &[ValueType]) -> Result<LossyCsv, CsvE
             types: types.len(),
         });
     }
-    let schema = Schema::from_attrs(names.into_iter().zip(types.iter().copied()));
+    let schema = Schema::from_attrs(
+        names
+            .into_iter()
+            .map(Cow::into_owned)
+            .zip(types.iter().copied()),
+    );
     let mut rel = Relation::empty(schema)?;
     for (i, line) in lines.enumerate() {
         let fields = split_line(line);
@@ -218,12 +232,7 @@ pub fn parse_csv_lossy(text: &str, types: &[ValueType]) -> Result<LossyCsv, CsvE
             });
             continue;
         }
-        let row: Vec<Value> = fields
-            .iter()
-            .zip(types)
-            .map(|(f, &ty)| parse_cell(f, ty))
-            .collect();
-        rel.push_row(row)?;
+        rel.push_row_texts(&fields)?;
     }
     Ok(LossyCsv {
         relation: rel,
@@ -260,6 +269,7 @@ pub fn to_csv(rel: &Relation) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Value;
 
     #[test]
     fn round_trip() {

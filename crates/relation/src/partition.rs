@@ -33,12 +33,27 @@ impl StrippedPartition {
     }
 
     /// Partition by one attribute's column.
+    ///
+    /// Buckets rows by dictionary code — structural equality of cells is
+    /// code equality — so no `Value` is hashed or compared. The frozen
+    /// row-major grouping stays reachable through
+    /// [`crate::compat::force_row_major`] for the differential harness;
+    /// both paths canonicalize through `from_groups`, so the results are
+    /// identical by construction *and* by test.
     pub fn from_column(rel: &Relation, attr: crate::AttrId) -> Self {
-        let mut groups: HashMap<&crate::Value, Vec<usize>> = HashMap::new();
-        for (row, v) in rel.column(attr).iter().enumerate() {
-            groups.entry(v).or_default().push(row);
+        if crate::compat::row_major() {
+            let mut groups: HashMap<&crate::Value, Vec<usize>> = HashMap::new();
+            for (row, v) in rel.column(attr).iter().enumerate() {
+                groups.entry(v).or_default().push(row);
+            }
+            return Self::from_groups(groups.into_values(), rel.n_rows());
         }
-        Self::from_groups(groups.into_values(), rel.n_rows())
+        let col = rel.col(attr);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); col.dict().len()];
+        for (row, &code) in col.codes().iter().enumerate() {
+            buckets[code as usize].push(row);
+        }
+        Self::from_groups(buckets, rel.n_rows())
     }
 
     /// Partition by an attribute set (grouping directly, without products).

@@ -1,6 +1,8 @@
 //! Relation instances.
 
 use crate::attrset::AttrSet;
+use crate::column::Column;
+use crate::compat;
 use crate::schema::{AttrId, Schema, ValueType};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -35,17 +37,28 @@ impl fmt::Display for RelationError {
 
 impl std::error::Error for RelationError {}
 
-/// A relation instance: a schema plus column-oriented data.
+/// A relation instance: a schema plus dictionary-encoded columnar data.
 ///
-/// Columns are `Vec<Value>`; rows are identified by index. Discovery
-/// algorithms are column-heavy (partitions, distinct counts), which makes
-/// columnar layout the natural choice; row access goes through
-/// [`Relation::value`].
-#[derive(Debug, Clone, PartialEq)]
+/// Each attribute is a [`Column`]: a `u32` code vector over a per-column
+/// dictionary of distinct [`Value`]s, a null bitmap, and lazily built
+/// sorted-run / packed-numeric / row-major views (see the [`crate::column`]
+/// module docs). Cell access through [`Relation::value`] is two array
+/// loads; the code-level accessors ([`Relation::col`]) are what the hot
+/// paths of partitioning, grouping and pair blocking consume.
+///
+/// Equality is *logical* — same schema, same cells in the same order —
+/// independent of dictionary layout, which mutation history can permute.
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    cols: Vec<Vec<Value>>,
+    cols: Vec<Column>,
     n_rows: usize,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.n_rows == other.n_rows && self.cols == other.cols
+    }
 }
 
 impl Relation {
@@ -57,7 +70,7 @@ impl Relation {
         if schema.len() > AttrSet::MAX_ATTRS {
             return Err(RelationError::TooManyAttributes(schema.len()));
         }
-        let cols = (0..schema.len()).map(|_| Vec::new()).collect();
+        let cols = (0..schema.len()).map(|_| Column::new()).collect();
         Ok(Relation {
             schema,
             cols,
@@ -80,7 +93,7 @@ impl Relation {
         Ok(rel)
     }
 
-    /// Append one row.
+    /// Append one row, interning each cell through its column's dictionary.
     ///
     /// # Errors
     /// Fails if `row.len()` differs from the schema width.
@@ -93,6 +106,46 @@ impl Relation {
         }
         for (col, v) in self.cols.iter_mut().zip(row) {
             col.push(v);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Append one row from borrowed cell texts — the CSV ingest path.
+    ///
+    /// Typed parsing matches the CSV reader's contract: an empty text is
+    /// `Null`; on a [`ValueType::Numeric`] column the text parses to
+    /// `Int`, then `Float`, then falls back to a string; other columns
+    /// keep the text as a string. Repeated string cells intern against
+    /// the column dictionary *borrowed* — no per-cell allocation.
+    ///
+    /// # Errors
+    /// Fails if `cells.len()` differs from the schema width.
+    pub fn push_row_texts(&mut self, cells: &[impl AsRef<str>]) -> Result<(), RelationError> {
+        if cells.len() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.len(),
+                got: cells.len(),
+            });
+        }
+        for (i, (col, cell)) in self.cols.iter_mut().zip(cells).enumerate() {
+            let text = cell.as_ref();
+            if text.is_empty() {
+                col.push(Value::Null);
+                continue;
+            }
+            match self.schema.ty(AttrId(i)) {
+                ValueType::Numeric => {
+                    if let Ok(v) = text.parse::<i64>() {
+                        col.push(Value::Int(v));
+                    } else if let Ok(v) = text.parse::<f64>() {
+                        col.push(Value::float(v));
+                    } else {
+                        col.push_str(text);
+                    }
+                }
+                _ => col.push_str(text),
+            }
         }
         self.n_rows += 1;
         Ok(())
@@ -128,47 +181,102 @@ impl Relation {
     /// Panics if the row or attribute is out of range.
     #[inline]
     pub fn value(&self, row: usize, attr: AttrId) -> &Value {
-        &self.cols[attr.0][row]
+        self.cols[attr.0].value(row)
     }
 
-    /// Overwrite a cell value (used by repair algorithms).
+    /// Overwrite a cell value (used by repair algorithms). The new value is
+    /// interned; the column's lazy views are invalidated.
     ///
     /// # Panics
     /// Panics if the row or attribute is out of range.
     pub fn set_value(&mut self, row: usize, attr: AttrId, v: Value) {
-        self.cols[attr.0][row] = v;
+        self.cols[attr.0].set(row, v);
     }
 
-    /// Whole column for an attribute.
+    /// The dictionary-encoded column of an attribute: code vector,
+    /// dictionary, null bitmap, sorted-run index, packed views.
+    #[inline]
+    pub fn col(&self, attr: AttrId) -> &Column {
+        &self.cols[attr.0]
+    }
+
+    /// Whole column for an attribute as a `Value` slice.
+    ///
+    /// Compatibility shim: the slice is materialized (one clone per cell)
+    /// on first use and cached until the column mutates. Hot paths should
+    /// prefer [`Relation::col`] and work on codes.
     #[inline]
     pub fn column(&self, attr: AttrId) -> &[Value] {
-        &self.cols[attr.0]
+        self.cols[attr.0].values()
     }
 
     /// Materialize one row as a vector of cloned values.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        self.cols.iter().map(|c| c[row].clone()).collect()
+        self.cols.iter().map(|c| c.value(row).clone()).collect()
     }
 
     /// Project a row onto an attribute set, cloning the values
     /// (in increasing attribute order).
     pub fn project_row(&self, row: usize, attrs: AttrSet) -> Vec<Value> {
-        attrs.iter().map(|a| self.cols[a.0][row].clone()).collect()
+        attrs
+            .iter()
+            .map(|a| self.cols[a.0].value(row).clone())
+            .collect()
     }
 
     /// Do two rows agree (are equal) on every attribute in `attrs`?
+    ///
+    /// Structural cell equality is code equality, so this is a pure
+    /// integer comparison.
     pub fn rows_agree(&self, r1: usize, r2: usize, attrs: AttrSet) -> bool {
         attrs
             .iter()
-            .all(|a| self.cols[a.0][r1] == self.cols[a.0][r2])
+            .all(|a| self.cols[a.0].code(r1) == self.cols[a.0].code(r2))
+    }
+
+    /// Group rows by their code tuples on `attrs` — the integer-keyed core
+    /// of [`Relation::group_by`]. Row lists are ascending (rows are
+    /// visited in order). Key tuples follow `attrs` in increasing
+    /// attribute order.
+    fn group_rows_by_codes(&self, attrs: AttrSet) -> HashMap<Vec<u32>, Vec<usize>> {
+        let cols: Vec<&Column> = attrs.iter().map(|a| &self.cols[a.0]).collect();
+        let mut groups: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for row in 0..self.n_rows {
+            let key: Vec<u32> = cols.iter().map(|c| c.code(row)).collect();
+            groups.entry(key).or_default().push(row);
+        }
+        groups
     }
 
     /// Group rows by their values on `attrs`.
     ///
     /// Returns a map from projected key to the (sorted) row indices holding
     /// that key. This is the workhorse behind grouping-based validation of
-    /// FDs, AFDs, PFDs, MFDs, MVDs, …
+    /// FDs, AFDs, PFDs, MFDs, MVDs, … — and, via the all-attribute
+    /// grouping, the tuple classing of FASTDC evidence sets. Grouping runs
+    /// on dictionary codes; the `Value` keys are materialized once per
+    /// distinct group, not once per row.
     pub fn group_by(&self, attrs: AttrSet) -> HashMap<Vec<Value>, Vec<usize>> {
+        if compat::row_major() {
+            return self.group_by_row_major(attrs);
+        }
+        let cols: Vec<&Column> = attrs.iter().map(|a| &self.cols[a.0]).collect();
+        self.group_rows_by_codes(attrs)
+            .into_iter()
+            .map(|(key, rows)| {
+                let vals: Vec<Value> = key
+                    .iter()
+                    .zip(&cols)
+                    .map(|(&code, c)| c.dict_value(code).clone())
+                    .collect();
+                (vals, rows)
+            })
+            .collect()
+    }
+
+    /// Frozen row-major reference for [`Relation::group_by`], kept callable
+    /// for the differential harness.
+    fn group_by_row_major(&self, attrs: AttrSet) -> HashMap<Vec<Value>, Vec<usize>> {
         let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for row in 0..self.n_rows {
             groups
@@ -185,17 +293,40 @@ impl Relation {
         if attrs.is_empty() {
             return usize::from(self.n_rows > 0);
         }
-        self.group_by(attrs).len()
+        if compat::row_major() {
+            return self.group_by_row_major(attrs).len();
+        }
+        self.group_rows_by_codes(attrs).len()
     }
 
     /// Row indices sorted by the values of `attrs` (lexicographically, in
     /// increasing attribute order). Used by order-dependency validation.
+    ///
+    /// The sort is stable (ties keep row order) and compares per-column
+    /// structural *ranks* from the sorted-run index — rank order is value
+    /// order, so the result is identical to sorting on the values.
     pub fn sorted_rows(&self, attrs: AttrSet) -> Vec<usize> {
-        let attr_list: Vec<AttrId> = attrs.to_vec();
         let mut rows: Vec<usize> = (0..self.n_rows).collect();
+        if compat::row_major() {
+            let attr_list: Vec<AttrId> = attrs.to_vec();
+            rows.sort_by(|&a, &b| {
+                for &attr in &attr_list {
+                    let ord = self.cols[attr.0].value(a).cmp(self.cols[attr.0].value(b));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            return rows;
+        }
+        let keys: Vec<(&[u32], &crate::column::ColumnIndex)> = attrs
+            .iter()
+            .map(|a| (self.cols[a.0].codes(), self.cols[a.0].index()))
+            .collect();
         rows.sort_by(|&a, &b| {
-            for &attr in &attr_list {
-                let ord = self.cols[attr.0][a].cmp(&self.cols[attr.0][b]);
+            for (codes, ix) in &keys {
+                let ord = ix.rank(codes[a]).cmp(&ix.rank(codes[b]));
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -206,12 +337,9 @@ impl Relation {
     }
 
     /// A new relation containing only the given rows (in the given order).
+    /// Dictionaries are rebuilt in first-appearance order of the selection.
     pub fn select_rows(&self, rows: &[usize]) -> Relation {
-        let cols = self
-            .cols
-            .iter()
-            .map(|c| rows.iter().map(|&r| c[r].clone()).collect())
-            .collect();
+        let cols = self.cols.iter().map(|c| c.select(rows)).collect();
         Relation {
             schema: self.schema.clone(),
             cols,
@@ -233,6 +361,27 @@ impl Relation {
             schema,
             cols,
             n_rows: self.n_rows,
+        }
+    }
+
+    /// Rough resident footprint in bytes: code vectors, dictionaries,
+    /// intern tables, null bitmaps and any lazy views already built.
+    /// The columnar analogue of `StrippedPartition::approx_bytes`.
+    pub fn approx_bytes(&self) -> u64 {
+        self.cols.iter().map(Column::approx_bytes).sum()
+    }
+
+    /// Validate every column's internal invariants (dense codes, duplicate-
+    /// free dictionary, consistent null bitmap, intact intern chains) plus
+    /// cross-column row counts. Used by the fault-resilience and property
+    /// suites.
+    ///
+    /// # Panics
+    /// Panics (with a description) on any violated invariant.
+    pub fn debug_validate(&self) {
+        for (i, c) in self.cols.iter().enumerate() {
+            assert_eq!(c.len(), self.n_rows, "column {i} row count");
+            c.debug_validate();
         }
     }
 
@@ -415,6 +564,7 @@ mod tests {
         assert_eq!(s.n_rows(), 2);
         assert_eq!(s.value(0, a), &Value::str("y"));
         assert_eq!(s.value(1, a), &Value::str("x"));
+        s.debug_validate();
     }
 
     #[test]
@@ -438,5 +588,62 @@ mod tests {
         let b = r.schema().id("b");
         r.set_value(3, b, "q".into());
         assert_eq!(r.value(3, b), &Value::str("q"));
+    }
+
+    #[test]
+    fn logical_equality_ignores_dictionary_history() {
+        let mut a = sample();
+        let mut b = sample();
+        // Give `b` a different dictionary layout via mutation round trips.
+        let attr = b.schema().id("a");
+        b.set_value(0, attr, "zzz".into());
+        b.set_value(0, attr, "x".into());
+        assert_eq!(a, b);
+        a.set_value(1, attr, "y".into());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn push_row_texts_types_cells() {
+        let mut r = Relation::empty(Schema::from_attrs([
+            ("name", ValueType::Text),
+            ("qty", ValueType::Numeric),
+        ]))
+        .unwrap();
+        r.push_row_texts(&["widget", "3"]).unwrap();
+        r.push_row_texts(&["", "2.5"]).unwrap();
+        r.push_row_texts(&["widget", "n/a"]).unwrap();
+        let name = r.schema().id("name");
+        let qty = r.schema().id("qty");
+        assert_eq!(r.value(0, name), &Value::str("widget"));
+        assert_eq!(r.value(0, qty), &Value::int(3));
+        assert!(r.value(1, name).is_null());
+        assert_eq!(r.value(1, qty), &Value::float(2.5));
+        assert_eq!(r.value(2, qty), &Value::str("n/a"));
+        // "widget" was interned once.
+        assert_eq!(r.col(name).code(0), r.col(name).code(2));
+        assert!(matches!(
+            r.push_row_texts(&["too", "many", "cells"]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_major_mode_changes_nothing() {
+        let r = sample();
+        let attrs = r.all_attrs();
+        let fast = (
+            r.group_by(attrs),
+            r.sorted_rows(attrs),
+            r.distinct_count(attrs),
+        );
+        let guard = crate::compat::force_row_major();
+        let slow = (
+            r.group_by(attrs),
+            r.sorted_rows(attrs),
+            r.distinct_count(attrs),
+        );
+        drop(guard);
+        assert_eq!(fast, slow);
     }
 }

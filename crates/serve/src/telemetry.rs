@@ -217,6 +217,18 @@ pub fn worker_restarts(worker: usize) -> Arc<Counter> {
     )
 }
 
+/// Per-dataset resident-footprint gauge:
+/// `deptree_dataset_bytes{dataset="NAME"}`. Set once at preload from the
+/// columnar `Relation::approx_bytes` estimate, so a scrape shows what
+/// each loaded table actually costs.
+pub fn dataset_bytes(dataset: &str) -> Arc<Gauge> {
+    obs::registry().gauge(
+        "deptree_dataset_bytes",
+        "Approximate resident bytes of a preloaded dataset (columnar estimate).",
+        &[("dataset", dataset)],
+    )
+}
+
 /// Re-emit one worker's `/metrics` exposition with a `worker="N"` label
 /// on every sample, so the gateway's aggregated scrape keeps the
 /// workers' series apart instead of colliding same-named series from

@@ -19,10 +19,17 @@
 #   4. pairwise_scaling --smoke — tiny-size run of the blocking/index
 #      benchmark that asserts indexed candidate generation reproduces the
 #      naive pair scans exactly (MD discovery, DC evidence, dedup);
-#   5. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
-#      `deptree query` calls, scrape /metrics and require every load-
-#      bearing series, SIGTERM it, and require a graceful exit 0;
-#   6. gateway smoke — boot `deptree gateway` with two sharded workers,
+#   5. columnar_scaling --smoke + the columnar_equivalence suite at
+#      DEPTREE_THREADS=1 and =8 — the dictionary-encoded relation core
+#      must be byte-identical to the frozen row-major reference paths on
+#      every task, and the interning CSV parse must allocate less than a
+#      row-materializing one;
+#   6. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
+#      `deptree query` calls (the discover reply must be byte-identical to
+#      the pre-columnar recorded snapshot), scrape /metrics and require
+#      every load-bearing series, SIGTERM it, and require a graceful
+#      exit 0;
+#   7. gateway smoke — boot `deptree gateway` with two sharded workers,
 #      round-trip a merged discover, `kill -9` one worker and require the
 #      next fan-out to be a degraded 200 (sound partial, not an error),
 #      wait for the supervisor's respawn to show in the aggregated
@@ -57,6 +64,13 @@ DEPTREE_THREADS=1 cargo test -q
 echo "== pairwise_scaling smoke (indexed ≡ naive) =="
 cargo run --release --quiet --bin pairwise_scaling -- --smoke
 
+echo "== columnar_scaling smoke (columnar ≡ row-major, interned parse allocates less) =="
+cargo run --release --quiet --bin columnar_scaling -- --smoke
+
+echo "== columnar equivalence suite (serial + 8-thread pools) =="
+DEPTREE_THREADS=1 cargo test -q --test columnar_equivalence
+DEPTREE_THREADS=8 cargo test -q --test columnar_equivalence
+
 echo "== serve smoke (boot, query round trip, drain to exit 0) =="
 serve_log="$(mktemp)"
 trap 'rm -f "$serve_log"' EXIT
@@ -76,8 +90,15 @@ target/release/deptree query detect --addr "$addr" --dataset hotels \
     --rule "address -> region" >/dev/null
 # A discover round trip moves the engine counters (partition-cache
 # hits/misses), so the scrape below checks real numbers, not zeros.
-target/release/deptree query discover --addr "$addr" --dataset hotels \
-    --max-lhs 2 >/dev/null
+# Its reply is also the columnar regression gate: byte-identical to the
+# reply recorded before the columnar relation core landed.
+discover_reply="$(target/release/deptree query discover --addr "$addr" \
+    --dataset hotels --max-lhs 2)"
+if ! diff <(printf '%s\n' "$discover_reply") \
+        tests/snapshots/discover_hotels_maxlhs2.txt; then
+    echo "discover reply drifted from the pre-columnar snapshot"
+    exit 1
+fi
 
 echo "== metrics scrape (required series present) =="
 metrics="$(target/release/deptree query metrics --addr "$addr")"
@@ -86,6 +107,7 @@ for series in \
     deptree_shed_total \
     deptree_request_duration_seconds_bucket \
     deptree_inflight_requests \
+    'deptree_dataset_bytes{dataset="hotels"}' \
     deptree_cache_hits_total; do
     if ! grep -qF "$series" <<<"$metrics"; then
         echo "missing required metrics series: $series"

@@ -1,0 +1,510 @@
+//! Columnar-core scaling: the dictionary-encoded column paths vs the
+//! frozen row-major reference paths (forced via
+//! [`deptree::relation::compat::force_row_major`]), on synthetic
+//! relations at 1M/3M/10M rows, for the four workloads the columnar
+//! refactor targets — stripped-partition construction, TANE level 1,
+//! MD equality/band blocking, and the sorted OD check.  Results
+//! (wall-clock, speedups, identity checks) are written to
+//! `BENCH_columnar.json`.
+//!
+//! ```sh
+//! cargo run --release --bin columnar_scaling             # 1M/3M/10M
+//! cargo run --release --bin columnar_scaling -- --smoke  # tiny, CI gate
+//! ```
+//!
+//! Every columnar result is asserted byte-identical to its row-major
+//! baseline; the run aborts on any mismatch.  Row-major baselines above
+//! [`ROW_MAJOR_CAP`] rows are skipped (recorded as `null`): the legacy
+//! path materializes every cell as a boxed [`Value`], and a 10M-row
+//! materialization exists only to be avoided.  In full mode the run
+//! additionally enforces the acceptance floors: ≥3× on partition build
+//! and ≥2× on MD blocking at 1M rows.
+//!
+//! `--smoke` also runs the parse-allocation gate: the same CSV text is
+//! ingested once through the interning `parse_csv_lossy` path and once
+//! through a replica of the pre-columnar parser (a `String` per cell, a
+//! `Vec<Value>` per column), under a counting global allocator; both the
+//! peak and the resident allocation of the interned path must come in
+//! below the row-materializing replica.
+
+use deptree::core::{Dependency, Direction, Od};
+use deptree::discovery::tane::{self, TaneConfig};
+use deptree::relation::compat;
+use deptree::relation::pairgen::{PairIndex, PairSpec};
+use deptree::relation::{
+    parse_csv_lossy, AttrId, Relation, Schema, StrippedPartition, Value, ValueType,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::time::Instant;
+
+/// Largest size the row-major baselines run at: the legacy path clones
+/// every cell into a `Vec<Value>`, which at 10M rows is pure ballast.
+const ROW_MAJOR_CAP: usize = 3_000_000;
+
+// ---------------------------------------------------------------------
+// Counting allocator: tracks resident and peak heap bytes so the smoke
+// gate can compare the interned parse against the row-major replica.
+// ---------------------------------------------------------------------
+
+static MEASURING: AtomicBool = AtomicBool::new(false);
+static NET_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        // Counting every allocation slows allocation-heavy phases several
+        // fold, so the counters are armed only inside [`measured`] windows
+        // — the wall-clock benchmarks run at native allocator speed.
+        if !MEASURING.load(Ordering::Relaxed) {
+            return;
+        }
+        let cur = NET_BYTES.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+        PEAK_BYTES.fetch_max(cur, Ordering::Relaxed);
+    }
+    fn on_dealloc(size: usize) {
+        if !MEASURING.load(Ordering::Relaxed) {
+            return;
+        }
+        NET_BYTES.fetch_sub(size as i64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the counters are advisory
+// and touched with relaxed atomics only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                Self::on_alloc(new_size - layout.size());
+            } else {
+                Self::on_dealloc(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// `(resident_delta, peak_delta)` in bytes across `f`, alongside its
+/// value. The gate closures run single-threaded, so the window is exact.
+fn measured<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
+    NET_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    MEASURING.store(true, Ordering::SeqCst);
+    let out = f();
+    MEASURING.store(false, Ordering::SeqCst);
+    let resident = NET_BYTES.load(Ordering::Relaxed).max(0) as usize;
+    let peak = PEAK_BYTES.load(Ordering::Relaxed).max(0) as usize;
+    (out, resident, peak)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[2_000, 20_000]
+    } else {
+        &[1_000_000, 3_000_000, 10_000_000]
+    };
+    let mut rows_json = Vec::new();
+    let mut floors: Vec<(String, f64, f64)> = Vec::new();
+    for &n in sizes {
+        println!("== {n} rows ==");
+        let rel = workload_relation(n);
+        let mut obj = format!("    {{\n      \"rows\": {n}");
+        let p = bench_partition(&rel, n, &mut obj);
+        bench_tane(&rel, n, &mut obj);
+        let m = bench_md_blocking(&rel, n, &mut obj);
+        bench_od(&rel, n, &mut obj);
+        let _ = write!(obj, ",\n      \"relation_bytes\": {}", rel.approx_bytes());
+        obj.push_str("\n    }");
+        rows_json.push(obj);
+        if !smoke && n == 1_000_000 {
+            if let Some(s) = p {
+                floors.push(("partition_build".into(), s, 3.0));
+            }
+            if let Some(s) = m {
+                floors.push(("md_blocking".into(), s, 2.0));
+            }
+        }
+    }
+    let alloc_json = if smoke { Some(alloc_gate()) } else { None };
+    let json = format!(
+        "{{\n  \"bench\": \"columnar_scaling\",\n  \"mode\": \"{}\",\n  \"row_major_cap_rows\": {ROW_MAJOR_CAP},\n  \"sizes\": [\n{}\n  ]{}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        rows_json.join(",\n"),
+        alloc_json.map_or(String::new(), |a| format!(",\n  \"parse_alloc\": {a}")),
+    );
+    if smoke {
+        println!("{json}");
+        println!("smoke: columnar ≡ row-major on every workload; interned parse allocates less");
+    } else {
+        for (name, got, floor) in &floors {
+            if got < floor {
+                eprintln!(
+                    "error: {name} speedup {got:.2}× at 1M rows is below the {floor:.0}× floor"
+                );
+                std::process::exit(3);
+            }
+            println!("floor ok: {name} {got:.2}× ≥ {floor:.0}×");
+        }
+        if let Err(e) = std::fs::write("BENCH_columnar.json", &json) {
+            eprintln!("error: cannot write BENCH_columnar.json: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote BENCH_columnar.json");
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn push_metric(
+    obj: &mut String,
+    name: &str,
+    row_major_ms: Option<f64>,
+    columnar_ms: f64,
+) -> Option<f64> {
+    let speedup = row_major_ms.map(|rm| rm / columnar_ms.max(1e-9));
+    // Writing into a String is infallible.
+    let _ = write!(
+        obj,
+        ",\n      \"{name}\": {{\"row_major_ms\": {}, \"columnar_ms\": {columnar_ms:.3}, \"speedup\": {}, \"identical\": true}}",
+        row_major_ms.map_or("null".into(), |v| format!("{v:.3}")),
+        speedup.map_or("null".into(), |v| format!("{v:.2}")),
+    );
+    speedup
+}
+
+fn print_line(name: &str, row_major_ms: Option<f64>, columnar_ms: f64) {
+    println!(
+        "  {name:<15}: row-major {}  columnar {columnar_ms:9.1}ms",
+        row_major_ms.map_or("   skipped".into(), |v| format!("{v:9.1}ms")),
+    );
+}
+
+/// Four columns exercising each hot path: `key` (1009 distinct ints, the
+/// blocking / partition column), `grp` (97 distinct strings, the
+/// string-hashing partition column), and `lo`/`hi` (numeric, jointly
+/// monotone so the OD `lo asc → hi asc` holds and the sorted check walks
+/// both full columns).
+fn workload_relation(n: usize) -> Relation {
+    let schema = Schema::from_attrs(vec![
+        ("key", ValueType::Numeric),
+        ("grp", ValueType::Text),
+        ("lo", ValueType::Numeric),
+        ("hi", ValueType::Numeric),
+    ]);
+    let mut rel = match Relation::empty(schema) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: internal workload schema invalid: {e}");
+            std::process::exit(4);
+        }
+    };
+    let grps: Vec<String> = (0..97).map(|g| format!("grp_{g:02}")).collect();
+    for i in 0..n {
+        let key = (i % 1009) as i64;
+        let lo = (i / 10) as i64;
+        let row_ok = rel
+            .push_row(vec![
+                Value::Int(key),
+                Value::Str(grps[i % 97].clone()),
+                Value::Int(lo),
+                Value::Int(lo * 3),
+            ])
+            .is_ok();
+        if !row_ok {
+            eprintln!("error: internal workload row has wrong arity");
+            std::process::exit(4);
+        }
+    }
+    rel
+}
+
+/// Materialize the legacy `Vec<Value>` views so row-major timings measure
+/// the algorithm, not the compatibility shim (the pre-columnar relation
+/// stored these vectors natively).
+fn prewarm_row_major(rel: &Relation) {
+    for a in rel.schema().ids() {
+        let _ = rel.column(a);
+    }
+}
+
+fn attr(rel: &Relation, name: &str) -> AttrId {
+    rel.schema().id(name)
+}
+
+fn bench_partition(rel: &Relation, n: usize, obj: &mut String) -> Option<f64> {
+    let attrs = [attr(rel, "key"), attr(rel, "grp")];
+    // Each timed run is preceded by an identical untimed pass in the same
+    // mode, so neither side pays first-touch page faults or cold-allocator
+    // costs inside its measurement window.
+    for &a in &attrs {
+        let _ = StrippedPartition::from_column(rel, a);
+    }
+    let t0 = Instant::now();
+    let fast: Vec<StrippedPartition> = attrs
+        .iter()
+        .map(|&a| StrippedPartition::from_column(rel, a))
+        .collect();
+    let columnar_ms = ms(t0.elapsed());
+    let row_major_ms = (n <= ROW_MAJOR_CAP).then(|| {
+        prewarm_row_major(rel);
+        let guard = compat::force_row_major();
+        for &a in &attrs {
+            let _ = StrippedPartition::from_column(rel, a);
+        }
+        let t0 = Instant::now();
+        let slow: Vec<StrippedPartition> = attrs
+            .iter()
+            .map(|&a| StrippedPartition::from_column(rel, a))
+            .collect();
+        let elapsed = ms(t0.elapsed());
+        drop(guard);
+        assert_eq!(fast, slow, "columnar partitions differ from row-major");
+        elapsed
+    });
+    print_line("partition_build", row_major_ms, columnar_ms);
+    push_metric(obj, "partition_build", row_major_ms, columnar_ms)
+}
+
+fn render_fds(res: &tane::TaneResult) -> Vec<String> {
+    res.fds.iter().map(|fd| fd.to_string()).collect()
+}
+
+fn bench_tane(rel: &Relation, n: usize, obj: &mut String) {
+    let cfg = TaneConfig {
+        max_lhs: 1,
+        max_error: 0.0,
+    };
+    let _ = tane::discover(rel, &cfg);
+    let t0 = Instant::now();
+    let fast = tane::discover(rel, &cfg);
+    let columnar_ms = ms(t0.elapsed());
+    let row_major_ms = (n <= ROW_MAJOR_CAP).then(|| {
+        prewarm_row_major(rel);
+        let guard = compat::force_row_major();
+        let _ = tane::discover(rel, &cfg);
+        let t0 = Instant::now();
+        let slow = tane::discover(rel, &cfg);
+        let elapsed = ms(t0.elapsed());
+        drop(guard);
+        assert_eq!(
+            render_fds(&fast),
+            render_fds(&slow),
+            "columnar TANE level-1 differs from row-major"
+        );
+        elapsed
+    });
+    print_line("tane_level1", row_major_ms, columnar_ms);
+    push_metric(obj, "tane_level1", row_major_ms, columnar_ms);
+    let _ = write!(obj, ",\n      \"tane_fds\": {}", fast.fds.len());
+}
+
+fn bench_md_blocking(rel: &Relation, n: usize, obj: &mut String) -> Option<f64> {
+    let key = attr(rel, "key");
+    let lo = attr(rel, "lo");
+    let specs = [(key, PairSpec::Eq), (lo, PairSpec::Band(5.0))];
+    for &(a, spec) in &specs {
+        let _ = PairIndex::build_attr(rel, a, spec);
+    }
+    let t0 = Instant::now();
+    let fast: Vec<PairIndex> = specs
+        .iter()
+        .map(|&(a, spec)| PairIndex::build_attr(rel, a, spec))
+        .collect();
+    let columnar_ms = ms(t0.elapsed());
+    let row_major_ms = (n <= ROW_MAJOR_CAP).then(|| {
+        prewarm_row_major(rel);
+        let guard = compat::force_row_major();
+        for &(a, spec) in &specs {
+            let _ = PairIndex::build_attr(rel, a, spec);
+        }
+        let t0 = Instant::now();
+        let slow: Vec<PairIndex> = specs
+            .iter()
+            .map(|&(a, spec)| PairIndex::build_attr(rel, a, spec))
+            .collect();
+        let elapsed = ms(t0.elapsed());
+        drop(guard);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.classes(), s.classes(), "columnar blocking classes differ");
+            assert_eq!(f.links(), s.links(), "columnar blocking links differ");
+        }
+        elapsed
+    });
+    print_line("md_blocking", row_major_ms, columnar_ms);
+    push_metric(obj, "md_blocking", row_major_ms, columnar_ms)
+}
+
+fn bench_od(rel: &Relation, n: usize, obj: &mut String) {
+    let s = rel.schema();
+    let holds = Od::new(
+        s,
+        vec![(s.id("lo"), Direction::Asc)],
+        vec![(s.id("hi"), Direction::Asc)],
+    );
+    let broken = Od::new(
+        s,
+        vec![(s.id("key"), Direction::Asc)],
+        vec![(s.id("grp"), Direction::Asc)],
+    );
+    let _ = (holds.holds(rel), broken.holds(rel));
+    let t0 = Instant::now();
+    let fast = (holds.holds(rel), broken.holds(rel));
+    let columnar_ms = ms(t0.elapsed());
+    assert!(fast.0, "monotone OD must hold on the workload");
+    let row_major_ms = (n <= ROW_MAJOR_CAP).then(|| {
+        prewarm_row_major(rel);
+        let guard = compat::force_row_major();
+        let _ = (holds.holds(rel), broken.holds(rel));
+        let t0 = Instant::now();
+        let slow = (holds.holds(rel), broken.holds(rel));
+        let elapsed = ms(t0.elapsed());
+        drop(guard);
+        assert_eq!(fast, slow, "columnar OD verdicts differ from row-major");
+        elapsed
+    });
+    print_line("od_check", row_major_ms, columnar_ms);
+    push_metric(obj, "od_check", row_major_ms, columnar_ms);
+}
+
+// ---------------------------------------------------------------------
+// Smoke-only parse-allocation gate (the pre-columnar parser replica).
+// ---------------------------------------------------------------------
+
+/// Rows in the allocation-gate CSV.
+const ALLOC_ROWS: usize = 40_000;
+
+fn alloc_csv() -> (String, Vec<ValueType>) {
+    let mut text = String::from("id,name,city,score\n");
+    for i in 0..ALLOC_ROWS {
+        let _ = writeln!(
+            text,
+            "{i},user_{:04},city_{:02},{}.5",
+            i % 500,
+            i % 50,
+            i % 100
+        );
+    }
+    (
+        text,
+        vec![
+            ValueType::Numeric,
+            ValueType::Text,
+            ValueType::Text,
+            ValueType::Numeric,
+        ],
+    )
+}
+
+/// The pre-columnar ingest, reproduced: one heap `String` per non-empty
+/// cell, one `Vec<Value>` per column — the representation the old
+/// `Relation` stored natively.
+fn parse_row_materializing(text: &str, types: &[ValueType]) -> Vec<Vec<Value>> {
+    let mut lines = text.lines();
+    let header = lines.next().map_or(0, |h| h.split(',').count());
+    let mut cols: Vec<Vec<Value>> = (0..header).map(|_| Vec::new()).collect();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        for ((cell, ty), col) in line.split(',').zip(types).zip(&mut cols) {
+            let v = if cell.is_empty() {
+                Value::Null
+            } else {
+                match ty {
+                    ValueType::Numeric => {
+                        if let Ok(n) = cell.parse::<i64>() {
+                            Value::Int(n)
+                        } else if let Ok(f) = cell.parse::<f64>() {
+                            Value::float(f)
+                        } else {
+                            Value::Str(cell.to_string())
+                        }
+                    }
+                    _ => Value::Str(cell.to_string()),
+                }
+            };
+            col.push(v);
+        }
+    }
+    cols
+}
+
+fn alloc_gate() -> String {
+    let (text, types) = alloc_csv();
+    let (interned, interned_resident, interned_peak) =
+        measured(|| match parse_csv_lossy(&text, &types) {
+            Ok(lossy) => lossy.relation,
+            Err(e) => {
+                eprintln!("error: allocation-gate CSV failed to parse: {e}");
+                std::process::exit(4);
+            }
+        });
+    let (rowwise, rowwise_resident, rowwise_peak) =
+        measured(|| parse_row_materializing(&text, &types));
+    // Outside the measured windows: fold the row-major columns back into
+    // a relation and check the two ingests agree cell-for-cell.
+    let n_rows = rowwise.first().map_or(0, Vec::len);
+    let schema = Schema::from_attrs(vec![
+        ("id", ValueType::Numeric),
+        ("name", ValueType::Text),
+        ("city", ValueType::Text),
+        ("score", ValueType::Numeric),
+    ]);
+    let rows = (0..n_rows).map(|r| rowwise.iter().map(|c| c[r].clone()).collect());
+    let via_rows = match Relation::from_rows(schema, rows) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: row-materialized parse produced invalid relation: {e}");
+            std::process::exit(4);
+        }
+    };
+    assert_eq!(
+        interned, via_rows,
+        "interned parse disagrees with the row-materializing replica"
+    );
+    println!(
+        "  parse_alloc    : row-major peak {:>9} resident {:>9}  interned peak {:>9} resident {:>9}",
+        rowwise_peak, rowwise_resident, interned_peak, interned_resident
+    );
+    assert!(
+        interned_peak < rowwise_peak,
+        "interned parse peak allocation ({interned_peak}B) must beat row-materializing ({rowwise_peak}B)"
+    );
+    assert!(
+        interned_resident < rowwise_resident,
+        "interned relation ({interned_resident}B resident) must beat row-major columns ({rowwise_resident}B)"
+    );
+    format!(
+        "{{\"rows\": {ALLOC_ROWS}, \"row_major_peak_bytes\": {rowwise_peak}, \"row_major_resident_bytes\": {rowwise_resident}, \"interned_peak_bytes\": {interned_peak}, \"interned_resident_bytes\": {interned_resident}}}"
+    )
+}

@@ -1,0 +1,390 @@
+//! Columnar ↔ row-major differential harness.
+//!
+//! The columnar relation core keeps the pre-columnar row-oriented
+//! algorithms alive behind [`compat::force_row_major`] as a frozen
+//! reference. This suite is the gate on that design: every discovery and
+//! quality task must render **byte-identical** output on the fast
+//! columnar paths and on the row-major reference — at 1/2/8 threads,
+//! under tight node and row budgets (sound partials included), across
+//! the paper's worked examples, seeded synthetics and
+//! fault-plan-corrupted CSVs. Deadline budgets cut at a
+//! timing-dependent point, so they are checked for soundness instead of
+//! bytes.
+//!
+//! The mode flag is process-global; sections that force row-major hold a
+//! lock so two tests never fight over the flag. The contract that makes
+//! a race harmless anyway — both paths produce identical bytes — is
+//! exactly what this suite proves.
+
+mod common;
+
+use deptree::core::engine::{Budget, Exec};
+use deptree::core::{Dependency, NedAtom};
+use deptree::discovery::{dc, dd, fastfd, md, ned, od, tane};
+use deptree::metrics::Metric;
+use deptree::relation::examples::{dataspace_cd, hotels_r1, hotels_r5, hotels_r6, hotels_r7};
+use deptree::relation::{compat, parse_csv_lossy, to_csv, AttrSet, Relation, ValueType};
+use deptree::serve::tasks::{self, ProfileOpts};
+use deptree::synth::fault::FaultPlan;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the row-major reference paths forced on, serialized so
+/// concurrent tests in this binary don't toggle the flag mid-run.
+fn row_major<T>(f: impl FnOnce() -> T) -> T {
+    let _lock = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _mode = compat::force_row_major();
+    f()
+}
+
+/// The core assertion: `render` must produce the same bytes on the
+/// columnar paths and the row-major reference, at every thread count.
+fn assert_equiv(label: &str, budget: &Budget, render: &dyn Fn(&Exec) -> String) {
+    let base = render(&Exec::new(budget.clone()).with_threads(1));
+    for threads in THREADS {
+        let exec = Exec::new(budget.clone()).with_threads(threads);
+        assert_eq!(
+            render(&exec),
+            base,
+            "{label}: columnar output drifts at {threads} thread(s)"
+        );
+        let slow = row_major(|| render(&Exec::new(budget.clone()).with_threads(threads)));
+        assert_eq!(
+            slow, base,
+            "{label}: row-major reference differs at {threads} thread(s)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Renderers: one string per task family, exact bytes (scores rendered
+// via to_bits where floats are involved).
+// ---------------------------------------------------------------------
+
+/// The serve `profile` task: TANE (exact + approximate), CORDS soft FDs
+/// and — on numeric schemas — OD and DC discovery, all through the one
+/// rendering path the CLI and the server share.
+fn render_profile(r: &Relation, opts: &ProfileOpts, exec: &Exec) -> String {
+    let report = tasks::profile(r, opts, exec);
+    format!(
+        "{}|exhausted={:?}|fds={:?}",
+        report.text, report.exhausted, report.fds
+    )
+}
+
+/// The direct miners the profile doesn't reach: FastFD, MD, DD, NED, OD,
+/// DC discovery, rendered with bit-exact scores.
+fn render_miners(r: &Relation, exec: &Exec) -> String {
+    let mut out = String::new();
+    let ffd = fastfd::discover_bounded(r, exec);
+    let _ = writeln!(out, "fastfd: {:?}", render_deps(&ffd.result.fds));
+    if r.n_attrs() >= 2 {
+        let s = r.schema();
+        let attrs: Vec<_> = s.ids().collect();
+        let rhs_attr = attrs[attrs.len() - 1];
+        let cfg = md::MdConfig {
+            min_support: 0.0,
+            min_confidence: 0.5,
+            thresholds_per_attr: 2,
+            max_lhs: 2,
+        };
+        let mds = md::discover_bounded(r, AttrSet::single(rhs_attr), &cfg, exec);
+        for m in &mds.result {
+            let _ = writeln!(
+                out,
+                "md: {} s={:016x} c={:016x}",
+                m.md,
+                m.support.to_bits(),
+                m.confidence.to_bits()
+            );
+        }
+        let dds = dd::discover_bounded(
+            r,
+            &dd::DdConfig {
+                thresholds_per_attr: 2,
+                min_support: 2,
+                max_lhs: 1,
+            },
+            exec,
+        );
+        let _ = writeln!(out, "dd: {:?}", render_deps(&dds.result));
+        let m1 = Metric::default_for(s.ty(rhs_attr));
+        let neds = ned::discover_lhs_bounded(
+            r,
+            vec![NedAtom::new(rhs_attr, m1, 1.0)],
+            &ned::NedConfig::default(),
+            exec,
+        );
+        let _ = writeln!(out, "ned: {:?}", neds.result.map(|n| n.to_string()));
+    }
+    let ods = od::discover_bounded(r, &od::OdConfig { max_lhs: 2 }, exec);
+    let _ = writeln!(out, "od: {:?}", render_deps(&ods.result));
+    let dcs = dc::discover_bounded(r, &dc::DcConfig::default(), exec);
+    let _ = writeln!(out, "dc: {:?}", render_deps(&dcs.result.dcs));
+    out
+}
+
+fn render_deps<D: std::fmt::Display>(v: &[D]) -> Vec<String> {
+    v.iter().map(|d| d.to_string()).collect()
+}
+
+/// The quality tasks: validate, detect, repair (report + repaired CSV)
+/// and dedup on a representative rule over the first/last attributes.
+fn render_quality(r: &Relation, exec: &Exec) -> String {
+    if r.n_attrs() < 2 || r.n_rows() == 0 {
+        return String::from("degenerate");
+    }
+    let s = r.schema();
+    let attrs: Vec<_> = s.ids().collect();
+    let rule = format!("{} -> {}", s.name(attrs[0]), s.name(attrs[attrs.len() - 1]));
+    let mut out = String::new();
+    match tasks::validate(r, &rule) {
+        Ok(rep) => out.push_str(&rep.text),
+        Err(e) => {
+            let _ = writeln!(out, "validate error: {e}");
+        }
+    }
+    match tasks::detect(r, &rule) {
+        Ok(rep) => out.push_str(&rep.text),
+        Err(e) => {
+            let _ = writeln!(out, "detect error: {e}");
+        }
+    }
+    match tasks::repair(r, &rule, exec) {
+        Ok((rep, fixed)) => {
+            out.push_str(&rep.text);
+            out.push_str(&to_csv(&fixed));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "repair error: {e}");
+        }
+    }
+    match tasks::dedup(r, &[s.name(attrs[0]).to_string()], exec) {
+        Ok(rep) => out.push_str(&rep.text),
+        Err(e) => {
+            let _ = writeln!(out, "dedup error: {e}");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Datasets.
+// ---------------------------------------------------------------------
+
+fn paper_tables() -> Vec<(String, Relation)> {
+    vec![
+        ("r1".into(), hotels_r1()),
+        ("r5".into(), hotels_r5()),
+        ("r6".into(), hotels_r6()),
+        ("r7".into(), hotels_r7()),
+        ("dataspace".into(), dataspace_cd()),
+    ]
+}
+
+fn seeded_synthetics() -> Vec<(String, Relation)> {
+    let mut rng = deptree::synth::rng(0xC01A);
+    let mut out = Vec::new();
+    for case in 0..4 {
+        out.push((format!("small #{case}"), common::small_relation(&mut rng)));
+    }
+    for case in 0..3 {
+        out.push((
+            format!("numeric #{case}"),
+            common::numeric_relation(&mut rng),
+        ));
+    }
+    for case in 0..3 {
+        out.push((format!("mixed #{case}"), common::mixed_relation(&mut rng)));
+    }
+    for case in 0..3 {
+        out.push((
+            format!("arbitrary #{case}"),
+            common::arbitrary_relation(&mut rng),
+        ));
+    }
+    out
+}
+
+/// Every fault scenario, applied at the CSV text level and re-ingested
+/// through the lossy parser — the relations the service actually sees on
+/// dirty uploads.
+fn corrupted_relations() -> Vec<(String, Relation)> {
+    let mut rng = deptree::synth::rng(0xFA0C7);
+    let base = common::mixed_relation(&mut rng);
+    let clean = to_csv(&base);
+    let types: Vec<ValueType> = base.schema().iter().map(|(_, a)| a.ty).collect();
+    FaultPlan::scenarios(0xC0DEC, 0.3)
+        .into_iter()
+        .map(|(name, plan)| {
+            let dirty = plan.apply_csv(&clean);
+            let parsed = parse_csv_lossy(&dirty, &types)
+                .unwrap_or_else(|e| panic!("lossy parse died on {name}: {e}"));
+            parsed.relation.debug_validate();
+            (format!("fault {name}"), parsed.relation)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: unbounded runs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn profile_is_byte_identical_on_paper_tables() {
+    for (label, r) in paper_tables() {
+        for opts in [
+            ProfileOpts {
+                max_lhs: 2,
+                error: 0.0,
+            },
+            ProfileOpts {
+                max_lhs: 2,
+                error: 0.1,
+            },
+        ] {
+            assert_equiv(
+                &format!("profile {label} ε={}", opts.error),
+                &Budget::default(),
+                &|exec| render_profile(&r, &opts, exec),
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_is_byte_identical_on_synthetics_and_corrupted_csvs() {
+    let opts = ProfileOpts {
+        max_lhs: 2,
+        error: 0.0,
+    };
+    for (label, r) in seeded_synthetics().into_iter().chain(corrupted_relations()) {
+        assert_equiv(&format!("profile {label}"), &Budget::default(), &|exec| {
+            render_profile(&r, &opts, exec)
+        });
+    }
+}
+
+#[test]
+fn miners_are_byte_identical_on_paper_tables() {
+    for (label, r) in paper_tables() {
+        assert_equiv(&format!("miners {label}"), &Budget::default(), &|exec| {
+            render_miners(&r, exec)
+        });
+    }
+}
+
+#[test]
+fn miners_are_byte_identical_on_synthetics_and_corrupted_csvs() {
+    for (label, r) in seeded_synthetics().into_iter().chain(corrupted_relations()) {
+        assert_equiv(&format!("miners {label}"), &Budget::default(), &|exec| {
+            render_miners(&r, exec)
+        });
+    }
+}
+
+#[test]
+fn quality_tasks_are_byte_identical_everywhere() {
+    let all = paper_tables()
+        .into_iter()
+        .chain(seeded_synthetics())
+        .chain(corrupted_relations());
+    for (label, r) in all {
+        assert_equiv(&format!("quality {label}"), &Budget::default(), &|exec| {
+            render_quality(&r, exec)
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: budget-truncated partials. Node and row budgets are
+// deterministic by the engine's reservation contract, so the *partial*
+// output must also match byte-for-byte across modes and thread counts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_truncated_partials_are_byte_identical() {
+    let opts = ProfileOpts {
+        max_lhs: 3,
+        error: 0.0,
+    };
+    let budgets = [
+        ("nodes=5", Budget::default().with_max_nodes(5)),
+        ("nodes=40", Budget::default().with_max_nodes(40)),
+        ("rows=300", Budget::default().with_max_rows(300)),
+        ("rows=2000", Budget::default().with_max_rows(2000)),
+    ];
+    let datasets = [
+        ("r6".to_string(), hotels_r6()),
+        ("r7".to_string(), hotels_r7()),
+        seeded_synthetics().swap_remove(0),
+    ];
+    for (dlabel, r) in &datasets {
+        for (blabel, budget) in &budgets {
+            assert_equiv(
+                &format!("partial profile {dlabel} {blabel}"),
+                budget,
+                &|exec| render_profile(r, &opts, exec),
+            );
+            assert_equiv(
+                &format!("partial miners {dlabel} {blabel}"),
+                budget,
+                &|exec| render_miners(r, exec),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadline budgets cut at a timing-dependent point: only soundness is
+// required, in both modes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn deadline_partials_are_sound_in_both_modes() {
+    let r = hotels_r6();
+    let check = || {
+        for deadline_ms in [0u64, 1, 5] {
+            let budget = Budget::default().with_deadline(Duration::from_millis(deadline_ms));
+            let out = tane::discover_bounded(
+                &r,
+                &tane::TaneConfig {
+                    max_lhs: 3,
+                    max_error: 0.0,
+                },
+                &Exec::new(budget.clone()),
+            );
+            for fd in &out.result.fds {
+                assert!(fd.holds(&r), "unsound FD {fd} from a deadline partial");
+            }
+            let ods = od::discover_bounded(&r, &od::OdConfig { max_lhs: 2 }, &Exec::new(budget));
+            for o in &ods.result {
+                assert!(o.holds(&r), "unsound OD {o} from a deadline partial");
+            }
+        }
+    };
+    check();
+    row_major(check);
+}
+
+// ---------------------------------------------------------------------
+// The compatibility contract itself: flipping the mode mid-stream never
+// changes what a consumer computes, only which code computed it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mode_flag_is_invisible_to_results() {
+    let mut rng = deptree::synth::rng(0x5EED);
+    for _ in 0..8 {
+        let r = common::mixed_relation(&mut rng);
+        r.debug_validate();
+        let fast = render_miners(&r, &Exec::unbounded());
+        let slow = row_major(|| render_miners(&r, &Exec::unbounded()));
+        assert_eq!(fast, slow);
+    }
+}

@@ -213,6 +213,10 @@ fn every_class_survives_every_fault_scenario() {
         for (name, plan) in scenarios {
             let report = plan.apply(&base);
             let r = &report.relation;
+            // Corruption mutates cells in place; the columnar invariants
+            // (dense codes, duplicate-free dictionaries, consistent null
+            // bitmaps, intact intern chains) must survive every scenario.
+            r.debug_validate();
             for kind in DepKind::ALL {
                 exercise(kind, r);
             }
@@ -243,9 +247,37 @@ fn csv_faults_flow_through_lossy_parse_into_every_class() {
         let dirty = plan.apply_csv(&clean);
         let parsed = parse_csv_lossy(&dirty, &types)
             .unwrap_or_else(|e| panic!("lossy parse died on {name}: {e}"));
+        // The interning parse must emit a structurally valid columnar
+        // relation no matter how garbled the text was.
+        parsed.relation.debug_validate();
         for kind in DepKind::ALL {
             exercise(kind, &parsed.relation);
         }
+    }
+}
+
+/// The same matrix with the frozen row-major reference paths forced via
+/// `compat`: every class on every scenario, no panics, sound partials —
+/// corrupted data must not be able to tell the two storage modes apart.
+#[test]
+fn every_class_survives_every_fault_scenario_in_row_major_mode() {
+    use deptree::relation::compat;
+    let _guard = compat::force_row_major();
+    let mut rng = Rng::seed_from_u64(0xFA18);
+    let base = common::mixed_relation(&mut rng);
+    for (name, plan) in FaultPlan::scenarios(0xBAD5EED, 0.4) {
+        let report = plan.apply(&base);
+        let r = &report.relation;
+        r.debug_validate();
+        for kind in DepKind::ALL {
+            exercise(kind, r);
+        }
+        exercise_quality(r);
+        assert_eq!(
+            report.relation,
+            plan.apply(&base).relation,
+            "scenario {name} must be deterministic in row-major mode"
+        );
     }
 }
 

@@ -393,6 +393,64 @@ mod partition_cache {
         }
     }
 
+    /// The same ledger law over adversarial *mutated* columnar relations:
+    /// random cell overwrites orphan dictionary entries and invalidate lazy
+    /// views, but the cache's byte accounting must stay exact and the
+    /// relation's own footprint estimate must stay monotone (mutation only
+    /// grows dictionaries; no lazy views were built to shrink).
+    #[test]
+    fn delta_ledger_holds_for_mutated_columnar_relations() {
+        use common::arbitrary_relation;
+        use deptree::relation::Value;
+        for (mut rng, case) in cases(23) {
+            let mut r = arbitrary_relation(&mut rng);
+            if r.n_rows() == 0 {
+                continue;
+            }
+            let before = r.approx_bytes();
+            for _ in 0..6 {
+                let row = rng.random_range(0..r.n_rows());
+                let attr = AttrId(rng.random_range(0..r.n_attrs()));
+                let v = match rng.random_range(0..3u8) {
+                    0 => Value::Null,
+                    1 => Value::int(rng.random_range(-3..3i64)),
+                    _ => Value::str(format!("m{}", rng.random_range(0..3u8))),
+                };
+                r.set_value(row, attr, v);
+            }
+            r.debug_validate();
+            assert!(
+                r.approx_bytes() >= before,
+                "case {case}: mutation shrank the footprint estimate"
+            );
+            let cache = PartitionCache::new();
+            let mut ledger: i64 = 0;
+            for step in 0..40 {
+                let set = random_set(&mut rng, &r);
+                if rng.random_range(0..4u8) == 0 {
+                    ledger -= cache.remove(set) as i64;
+                } else {
+                    let (p, d) = cache.get_or_compute(&r, set);
+                    assert_eq!(
+                        *p,
+                        StrippedPartition::from_attrs(&r, set),
+                        "case {case} step {step}: cached partition differs from fresh"
+                    );
+                    ledger += d.inserted_bytes as i64;
+                    ledger -= d.evicted_bytes as i64;
+                }
+                assert!(ledger >= 0, "case {case} step {step}: negative ledger");
+                assert_eq!(
+                    ledger as u64,
+                    cache.mem_estimate(),
+                    "case {case} step {step}: ledger drifted from mem_estimate"
+                );
+            }
+            ledger -= cache.clear() as i64;
+            assert_eq!(ledger, 0, "case {case}: clear() released a different total");
+        }
+    }
+
     /// A capacity-starved cache (constant eviction churn) returns the same
     /// partition as an unbounded one and as a fresh computation, across a
     /// long random access sequence.
@@ -643,5 +701,217 @@ mod pairgen_properties {
                 assert!(!done && seen == 1, "case {case}: early stop not honored");
             }
         }
+    }
+}
+
+/// Columnar-substrate invariants: the dictionary-encoded storage must be a
+/// lossless, canonical, order-faithful re-representation of the rows it
+/// was built from — the laws the row↔columnar differential harness
+/// (`columnar_equivalence`) leans on without restating them per notation.
+mod columnar {
+    use super::*;
+    use common::{arbitrary_relation, mixed_relation};
+    use deptree::relation::{parse_csv_lossy, to_csv, Column, RelationBuilder, Value, ValueType};
+    use std::collections::BTreeSet;
+
+    /// Reading every row back out and rebuilding a relation from those rows
+    /// reproduces the original exactly — dictionaries, null bitmaps and all
+    /// lazy views rebuilt from scratch. Includes NaN / ±inf / −0.0 floats
+    /// and nulls, which a lossy representation would conflate.
+    #[test]
+    fn row_columnar_round_trip_lossless() {
+        for (mut rng, case) in cases(50) {
+            let r = arbitrary_relation(&mut rng);
+            let rows: Vec<Vec<Value>> = (0..r.n_rows()).map(|i| r.row(i)).collect();
+            let rebuilt =
+                Relation::from_rows(r.schema().clone(), rows).expect("round trip rebuild");
+            assert_eq!(r, rebuilt, "case {case}: round trip changed the relation");
+            rebuilt.debug_validate();
+            for a in r.schema().ids() {
+                let col = r.col(a);
+                for i in 0..r.n_rows() {
+                    assert_eq!(r.value(i, a), col.value(i), "case {case}: accessor drift");
+                    assert_eq!(
+                        col.is_null(i),
+                        col.value(i).is_null(),
+                        "case {case}: null bitmap disagrees with cell"
+                    );
+                }
+            }
+        }
+        // Non-finite and signed-zero floats survive bit-exactly.
+        let weird = RelationBuilder::new()
+            .attr("f", ValueType::Numeric)
+            .attr("g", ValueType::Numeric)
+            .row(vec![Value::float(f64::NAN), Value::float(0.0)])
+            .row(vec![Value::float(f64::INFINITY), Value::float(-0.0)])
+            .row(vec![Value::Null, Value::float(f64::NEG_INFINITY)])
+            .build()
+            .expect("consistent arity");
+        let rows: Vec<Vec<Value>> = (0..weird.n_rows()).map(|i| weird.row(i)).collect();
+        let back = Relation::from_rows(weird.schema().clone(), rows).expect("rebuild");
+        assert_eq!(weird, back, "non-finite floats must round-trip bit-exactly");
+        assert_eq!(back.value(0, AttrId(0)), &Value::float(f64::NAN));
+        assert_ne!(
+            back.col(AttrId(1)).code(0),
+            back.col(AttrId(1)).code(1),
+            "0.0 and -0.0 are distinct dictionary entries"
+        );
+        back.debug_validate();
+    }
+
+    /// CSV round trip through the interning lossy parser: `to_csv` output
+    /// parses back to the identical relation, and CRLF line endings are
+    /// salvaged without leaking a stray `\r` into any cell.
+    #[test]
+    fn csv_round_trip_and_crlf_salvage() {
+        for (mut rng, case) in cases(51) {
+            let r = mixed_relation(&mut rng);
+            let csv = to_csv(&r);
+            let types: Vec<ValueType> = r.schema().ids().map(|a| r.schema().ty(a)).collect();
+            let lossy = parse_csv_lossy(&csv, &types).expect("round trip parse");
+            assert_eq!(lossy.relation, r, "case {case}: CSV round trip drifted");
+            lossy.relation.debug_validate();
+            let crlf = csv.replace('\n', "\r\n");
+            let salvaged = parse_csv_lossy(&crlf, &types).expect("CRLF parse");
+            assert_eq!(
+                salvaged.relation, r,
+                "case {case}: CRLF endings changed cell values"
+            );
+            salvaged.relation.debug_validate();
+        }
+    }
+
+    /// Dictionary codes of a freshly built column are *dense* (every code
+    /// addresses the dictionary and every dictionary entry is referenced by
+    /// at least one row — no orphans before mutation) and *stable*:
+    /// re-encoding the same cells in the same order reproduces codes and
+    /// dictionary exactly, which is what makes code-vector comparison a
+    /// valid equality fast path.
+    #[test]
+    fn dict_codes_dense_and_stable_under_reencode() {
+        for (mut rng, case) in cases(52) {
+            let r = arbitrary_relation(&mut rng);
+            for a in r.schema().ids() {
+                let col = r.col(a);
+                let used: BTreeSet<u32> = col.codes().iter().copied().collect();
+                assert!(
+                    col.codes().iter().all(|&c| (c as usize) < col.dict().len()),
+                    "case {case}: dangling code"
+                );
+                assert_eq!(
+                    used.len(),
+                    col.dict().len(),
+                    "case {case}: fresh column has orphaned dictionary entries"
+                );
+                let mut fresh = Column::new();
+                for i in 0..col.len() {
+                    fresh.push(col.value(i).clone());
+                }
+                assert_eq!(
+                    fresh.codes(),
+                    col.codes(),
+                    "case {case}: re-encode produced different codes"
+                );
+                assert_eq!(
+                    fresh.dict(),
+                    col.dict(),
+                    "case {case}: re-encode produced a different dictionary"
+                );
+                fresh.debug_validate();
+            }
+        }
+    }
+
+    /// When cells arrive in sorted order, first-appearance interning makes
+    /// the code sequence non-decreasing and every code equal to its own
+    /// structural rank — sorted input degenerates the dictionary into an
+    /// order-preserving encoding.
+    #[test]
+    fn codes_order_preserving_for_sorted_input() {
+        for (mut rng, case) in cases(53) {
+            let r = arbitrary_relation(&mut rng);
+            for a in r.schema().ids() {
+                let mut vals: Vec<Value> =
+                    (0..r.n_rows()).map(|i| r.col(a).value(i).clone()).collect();
+                vals.sort();
+                let mut c = Column::new();
+                for v in vals {
+                    c.push(v);
+                }
+                assert!(
+                    c.codes().windows(2).all(|w| w[0] <= w[1]),
+                    "case {case}: sorted input produced non-monotone codes"
+                );
+                let ix = c.index();
+                assert!(
+                    (0..c.dict().len() as u32).all(|code| ix.rank(code) == code),
+                    "case {case}: code ≠ rank on sorted input"
+                );
+            }
+        }
+    }
+
+    /// The lazily built sorted-run index is exactly a naive argsort:
+    /// structural ranks enumerate the dictionary in `Value`-order, numeric
+    /// ranks are order-isomorphic to `numeric_cmp` with ties collapsed, and
+    /// sorting rows by rank reproduces a stable argsort by value — over
+    /// adversarial columns including NaN, ±inf, signed zeros and Int/Float
+    /// numeric ties.
+    #[test]
+    fn sorted_run_index_matches_naive_argsort() {
+        for (mut rng, case) in cases(54) {
+            let r = arbitrary_relation(&mut rng);
+            for a in r.schema().ids() {
+                check_index_against_argsort(r.col(a), case);
+            }
+        }
+        let mut c = Column::new();
+        for v in [
+            Value::float(f64::NAN),
+            Value::float(f64::NEG_INFINITY),
+            Value::int(3),
+            Value::float(3.0),
+            Value::Null,
+            Value::float(f64::INFINITY),
+            Value::float(-0.0),
+            Value::float(0.0),
+            Value::str(""),
+            Value::int(3),
+        ] {
+            c.push(v);
+        }
+        check_index_against_argsort(&c, u64::MAX);
+    }
+
+    fn check_index_against_argsort(c: &Column, case: u64) {
+        let ix = c.index();
+        let d = c.dict();
+        let mut order: Vec<u32> = (0..d.len() as u32).collect();
+        order.sort_by(|&x, &y| d[x as usize].cmp(&d[y as usize]));
+        for (pos, &code) in order.iter().enumerate() {
+            assert_eq!(
+                ix.rank(code),
+                pos as u32,
+                "case {case}: structural rank differs from argsort position"
+            );
+        }
+        for &x in &order {
+            for &y in &order {
+                assert_eq!(
+                    ix.num_rank(x).cmp(&ix.num_rank(y)),
+                    d[x as usize].numeric_cmp(&d[y as usize]),
+                    "case {case}: num_rank not order-isomorphic to numeric_cmp"
+                );
+            }
+        }
+        let mut by_rank: Vec<usize> = (0..c.len()).collect();
+        by_rank.sort_by_key(|&i| (ix.rank(c.code(i)), i));
+        let mut by_value: Vec<usize> = (0..c.len()).collect();
+        by_value.sort_by(|&i, &j| c.value(i).cmp(c.value(j)).then(i.cmp(&j)));
+        assert_eq!(
+            by_rank, by_value,
+            "case {case}: rank argsort differs from value argsort"
+        );
     }
 }
