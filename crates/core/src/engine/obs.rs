@@ -443,6 +443,13 @@ pub struct EngineMetrics {
     pub pairgen_candidate_pairs: Arc<Counter>,
     /// Pairs pruned relative to the naive all-pairs scan.
     pub pairgen_pruned_pairs: Arc<Counter>,
+    /// Partition products computed by the radix (counting-sort) kernel.
+    pub partition_product_radix: Arc<Counter>,
+    /// Partition products computed by the probe-table hash fallback.
+    pub partition_product_hash: Arc<Counter>,
+    /// Rows whose q-gram indexing reused an already-indexed distinct
+    /// dictionary entry (distinct-value edit builds).
+    pub pairgen_distinct_gram_hits: Arc<Counter>,
     budget_exhausted: [Arc<Counter>; 5],
 }
 
@@ -514,6 +521,21 @@ impl EngineMetrics {
             pairgen_pruned_pairs: reg.counter(
                 "deptree_pairgen_pruned_pairs_total",
                 "Pairs skipped relative to the naive all-pairs scan.",
+                &[],
+            ),
+            partition_product_radix: reg.counter(
+                "deptree_partition_product_radix_total",
+                "Partition products computed by the radix (counting-sort) kernel.",
+                &[],
+            ),
+            partition_product_hash: reg.counter(
+                "deptree_partition_product_hash_total",
+                "Partition products computed by the probe-table hash fallback.",
+                &[],
+            ),
+            pairgen_distinct_gram_hits: reg.counter(
+                "deptree_pairgen_distinct_gram_hits_total",
+                "Rows whose q-gram indexing reused an already-indexed distinct dictionary entry.",
                 &[],
             ),
             budget_exhausted: [

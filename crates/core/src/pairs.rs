@@ -63,6 +63,7 @@ pub fn best_index(r: &Relation, atoms: &[MetricAtom]) -> PairIndex {
     m.pairgen_blocks.add(idx.n_blocks() as u64);
     m.pairgen_candidate_pairs.add(candidates);
     m.pairgen_pruned_pairs.add(naive.saturating_sub(candidates));
+    m.pairgen_distinct_gram_hits.add(idx.distinct_gram_hits());
     idx
 }
 

@@ -107,6 +107,8 @@ pub fn discover_with_cache(
     let cache_hits0 = cache.hits();
     let cache_misses0 = cache.misses();
     let cache_evictions0 = cache.evictions();
+    let radix_products0 = cache.radix_products();
+    let hash_products0 = cache.hash_products();
 
     // Materialize the base partitions (π_∅ is implicit in the cache).
     let mut base_span = exec.span("tane.base_partitions");
@@ -313,6 +315,10 @@ pub fn discover_with_cache(
     m.cache_misses.add(stats.cache_misses);
     m.cache_evictions
         .add(cache.evictions().saturating_sub(cache_evictions0));
+    m.partition_product_radix
+        .add(cache.radix_products().saturating_sub(radix_products0));
+    m.partition_product_hash
+        .add(cache.hash_products().saturating_sub(hash_products0));
     exec.finish(TaneResult { fds, stats })
 }
 

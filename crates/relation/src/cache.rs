@@ -89,6 +89,12 @@ pub struct PartitionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Products computed by the radix kernel
+    /// ([`StrippedPartition::product_with_column`]).
+    radix_products: AtomicU64,
+    /// Products computed by the probe-table fallback
+    /// ([`StrippedPartition::product_with`]).
+    hash_products: AtomicU64,
 }
 
 impl Default for PartitionCache {
@@ -106,6 +112,8 @@ impl std::fmt::Debug for PartitionCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("evictions", &self.evictions())
+            .field("radix_products", &self.radix_products())
+            .field("hash_products", &self.hash_products())
             .finish()
     }
 }
@@ -121,6 +129,8 @@ impl PartitionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            radix_products: AtomicU64::new(0),
+            hash_products: AtomicU64::new(0),
         }
     }
 
@@ -216,15 +226,36 @@ impl PartitionCache {
                 None => StrippedPartition::identity(r.n_rows()),
             },
             _ => {
-                // π_X = π_{X∖{a}} · π_{a}: both parents come (recursively)
-                // from the cache, so a warm level costs one product.
+                // π_X = π_{X∖{a}} · π_{a}: the left parent comes
+                // (recursively) from the cache, so a warm level costs one
+                // product. The product itself picks a strategy: the radix
+                // kernel splits the left parent directly on `a`'s code
+                // vector; when the dictionary is too wide for it (or
+                // row-major compat is forced), fall back to materializing
+                // `π_a` and the probe-table product. Both strategies are
+                // byte-identical by construction and by property test.
                 let Some(split) = attrs.max() else {
                     return (Arc::new(StrippedPartition::identity(r.n_rows())), delta);
                 };
                 let (left, d1) = self.get_or_compute(r, attrs.remove(split));
-                let (right, d2) = self.get_or_compute(r, AttrSet::single(split));
-                delta = delta.merge(d1).merge(d2);
-                SCRATCH.with(|s| left.product_with(&right, &mut s.borrow_mut()))
+                delta = delta.merge(d1);
+                let radix = if crate::compat::row_major() {
+                    None
+                } else {
+                    SCRATCH.with(|s| left.product_with_column(r.col(split), &mut s.borrow_mut()))
+                };
+                match radix {
+                    Some(p) => {
+                        self.radix_products.fetch_add(1, Ordering::Relaxed);
+                        p
+                    }
+                    None => {
+                        let (right, d2) = self.get_or_compute(r, AttrSet::single(split));
+                        delta = delta.merge(d2);
+                        self.hash_products.fetch_add(1, Ordering::Relaxed);
+                        SCRATCH.with(|s| left.product_with(&right, &mut s.borrow_mut()))
+                    }
+                }
             }
         };
         let (arc, d) = self.insert(attrs, computed);
@@ -315,6 +346,16 @@ impl PartitionCache {
     /// LRU evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Partition products computed by the radix (counting-sort) kernel.
+    pub fn radix_products(&self) -> u64 {
+        self.radix_products.load(Ordering::Relaxed)
+    }
+
+    /// Partition products computed by the probe-table (hash-fallback) path.
+    pub fn hash_products(&self) -> u64 {
+        self.hash_products.load(Ordering::Relaxed)
     }
 
     /// Drop every entry (stats are kept). Returns bytes released.
@@ -424,6 +465,29 @@ mod tests {
         for a in 0..3 {
             assert!(cache.get(ids(&[a])).is_some(), "singleton {a} evicted");
         }
+    }
+
+    #[test]
+    fn product_strategy_counters_track_paths() {
+        let _mode = crate::compat::test_mode_lock();
+        let r = rel();
+        let cache = PartitionCache::new();
+        let (p, _) = cache.get_or_compute(&r, ids(&[0, 1]));
+        assert_eq!(
+            (cache.radix_products(), cache.hash_products()),
+            (1, 0),
+            "tiny dictionaries take the radix kernel"
+        );
+        let row_major = crate::compat::force_row_major();
+        let rm_cache = PartitionCache::new();
+        let (q, _) = rm_cache.get_or_compute(&r, ids(&[0, 1]));
+        drop(row_major);
+        assert_eq!(
+            (rm_cache.radix_products(), rm_cache.hash_products()),
+            (0, 1),
+            "row-major compat forces the probe-table fallback"
+        );
+        assert_eq!(*p, *q, "both strategies produce the same partition");
     }
 
     #[test]

@@ -50,3 +50,13 @@ impl Drop for RowMajorGuard {
         ROW_MAJOR.store(self.prev, Ordering::SeqCst);
     }
 }
+
+/// Serialize unit tests that force the mode against tests whose
+/// *assertions* are mode-sensitive (e.g. kernel-strategy counters, which
+/// legitimately differ between modes even though results never do).
+#[cfg(test)]
+pub(crate) fn test_mode_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -32,10 +32,59 @@
 //! parallelised over [`PairIndex::n_blocks`] with a serial in-order merge and
 //! still produce byte-identical output.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::column::Column;
 use crate::{AttrId, Relation, StrippedPartition, Value};
+
+/// Seedless single-pass hasher for the edit-index tables: one Fibonacci
+/// multiply for packed u64 grams, FNV-1a for byte streams. Deterministic
+/// across processes (no `RandomState`), which the reproducible-enumeration
+/// contract requires, and far cheaper than SipHash on the hot gram path.
+/// Iteration order of the maps it backs is never observed.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_right(29);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(u64::from(x));
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Predicate class a candidate generator can serve.
 ///
@@ -93,6 +142,9 @@ pub struct PairIndex {
     indexed: bool,
     n_rows: usize,
     n_candidates: u64,
+    /// Rows whose q-gram work was skipped because their dictionary entry
+    /// was already indexed (distinct-value edit builds only; 0 elsewhere).
+    distinct_gram_hits: u64,
 }
 
 impl PairIndex {
@@ -144,6 +196,7 @@ impl PairIndex {
             indexed: true,
             n_rows,
             n_candidates: 0,
+            distinct_gram_hits: 0,
         }
     }
 
@@ -158,6 +211,7 @@ impl PairIndex {
             indexed: false,
             n_rows,
             n_candidates: n * n.saturating_sub(1) / 2,
+            distinct_gram_hits: 0,
         }
     }
 
@@ -195,6 +249,7 @@ impl PairIndex {
             indexed: true,
             n_rows,
             n_candidates: 0,
+            distinct_gram_hits: 0,
         };
         idx.n_candidates = (0..idx.n_blocks()).map(|b| idx.block_pairs(b)).sum();
         idx
@@ -265,30 +320,53 @@ impl PairIndex {
     fn build_edit_codes(col: &Column, k: usize) -> Self {
         // Same classes as `build_edit` — keyed on *rendered* text, so
         // distinct codes can share a class (`Int(10)` and `Str("10")`
-        // render alike) — but each distinct code is rendered once.
+        // render alike) — but built per *distinct dictionary entry*: two
+        // row passes (count, then fill into exact-capacity classes) and
+        // one render per live code. Class creation follows the first live
+        // row of each code, so class order, content and the downstream
+        // gram links are identical to the per-row reference builder.
         const NO_CLASS: u32 = u32::MAX;
         let dict = col.dict();
-        let mut class_of: Vec<u32> = vec![NO_CLASS; dict.len()];
-        let mut by_key: HashMap<Option<String>, usize> = HashMap::new();
-        let mut classes: Vec<Vec<usize>> = Vec::new();
-        let mut texts: Vec<Option<Vec<char>>> = Vec::new();
-        for (row, &code) in col.codes().iter().enumerate() {
-            let cls = if class_of[code as usize] != NO_CLASS {
-                class_of[code as usize] as usize
-            } else {
-                let v = &dict[code as usize];
-                let key = (!v.is_null()).then(|| v.render().into_owned());
-                let cls = *by_key.entry(key).or_insert_with(|| {
-                    classes.push(Vec::new());
-                    texts.push((!v.is_null()).then(|| v.render().chars().collect()));
-                    classes.len() - 1
-                });
-                class_of[code as usize] = cls as u32;
-                cls
-            };
-            classes[cls].push(row);
+        // Pass 1: first-seen live codes (in first-row order) + row counts.
+        let mut count_of: Vec<u32> = vec![0; dict.len()];
+        let mut first_seen: Vec<u32> = Vec::new();
+        for &code in col.codes() {
+            if count_of[code as usize] == 0 {
+                first_seen.push(code);
+            }
+            count_of[code as usize] += 1;
         }
-        Self::finish_edit(classes, texts, k, col.len())
+        let hits = (col.len() - first_seen.len()) as u64;
+        // Resolve every distinct entry to a rendered-text class.
+        let mut class_of: Vec<u32> = vec![NO_CLASS; dict.len()];
+        let mut by_key: FastMap<Option<String>, usize> = FastMap::default();
+        let mut class_sizes: Vec<usize> = Vec::new();
+        let mut texts: Vec<Option<Vec<char>>> = Vec::new();
+        for &code in &first_seen {
+            let v = &dict[code as usize];
+            let key = (!v.is_null()).then(|| v.render().into_owned());
+            let cls = match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let cls = texts.len();
+                    texts.push(e.key().as_ref().map(|s| s.chars().collect()));
+                    class_sizes.push(0);
+                    e.insert(cls);
+                    cls
+                }
+            };
+            class_of[code as usize] = cls as u32;
+            class_sizes[cls] += count_of[code as usize] as usize;
+        }
+        // Pass 2: fill classes in row order, no reallocation.
+        let mut classes: Vec<Vec<usize>> =
+            class_sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        for (row, &code) in col.codes().iter().enumerate() {
+            classes[class_of[code as usize] as usize].push(row);
+        }
+        let mut idx = Self::finish_edit(classes, texts, k, col.len());
+        idx.distinct_gram_hits = hits;
+        idx
     }
 
     fn build_band(col: &[Value], theta: f64) -> Self {
@@ -382,40 +460,70 @@ impl PairIndex {
         let cap = link_cap(n_rows);
         let mut links: Vec<(usize, usize)> = Vec::new();
         let mut shorts: Vec<usize> = Vec::new();
-        let mut postings: HashMap<(char, char), Vec<usize>> = HashMap::new();
+        let lens: Vec<usize> = texts
+            .iter()
+            .map(|t| t.as_ref().map_or(0, Vec::len))
+            .collect();
+        // Grams pack into one u64 (`c1 << 32 | c2`) whose numeric order is
+        // the lexicographic `(char, char)` order, so flat sorted-deduped
+        // buffers replace per-class tree sets without reordering anything.
+        //
+        // Postings are intrusive chains through one flat arena — the map
+        // holds only each gram's newest entry, so a gram costs a single
+        // hash probe (walk the chain for candidates, then prepend the
+        // current class). Chain order is newest-first, which is fine:
+        // `cand` is sorted and deduped before use. A class never chains
+        // to itself because its grams are deduped and each is prepended
+        // exactly once, after its own candidate walk.
+        const NO_ENTRY: u32 = u32::MAX;
+        if texts.len() >= NO_ENTRY as usize {
+            return Self::full_scan(n_rows);
+        }
+        let mut heads: FastMap<u64, u32> = FastMap::default();
+        let mut arena: Vec<(u32, u32)> = Vec::new(); // (class, prev entry)
+        let mut grams: Vec<u64> = Vec::new();
+        let mut cand: Vec<usize> = Vec::new();
         for (c, text) in texts.iter().enumerate() {
             let Some(chars) = text else { continue };
             let len_c = chars.len();
-            let grams: BTreeSet<(char, char)> =
-                chars.windows(QGRAM).map(|w| (w[0], w[1])).collect();
-            let mut cand: BTreeSet<usize> = BTreeSet::new();
-            for g in &grams {
-                if let Some(list) = postings.get(g) {
-                    for &e in list {
-                        let len_e = texts[e].as_ref().map_or(0, Vec::len);
-                        if len_e.abs_diff(len_c) <= k {
-                            cand.insert(e);
-                        }
+            grams.clear();
+            for w in chars.windows(QGRAM) {
+                grams.push(((w[0] as u64) << 32) | (w[1] as u64));
+            }
+            grams.sort_unstable();
+            grams.dedup();
+            cand.clear();
+            for &g in &grams {
+                let head = heads.entry(g).or_insert(NO_ENTRY);
+                let mut e = *head;
+                while e != NO_ENTRY {
+                    let (cls, prev) = arena[e as usize];
+                    if lens[cls as usize].abs_diff(len_c) <= k {
+                        cand.push(cls as usize);
                     }
+                    e = prev;
                 }
+                if arena.len() >= NO_ENTRY as usize {
+                    return Self::full_scan(n_rows);
+                }
+                arena.push((c as u32, *head));
+                *head = (arena.len() - 1) as u32;
             }
             if len_c < short_lim {
                 for &e in &shorts {
-                    let len_e = texts[e].as_ref().map_or(0, Vec::len);
-                    if len_e.abs_diff(len_c) <= k {
-                        cand.insert(e);
+                    if lens[e].abs_diff(len_c) <= k {
+                        cand.push(e);
                     }
                 }
                 shorts.push(c);
             }
-            for e in cand {
-                links.push((e, c));
-                if links.len() > cap {
-                    return Self::full_scan(n_rows);
-                }
+            cand.sort_unstable();
+            cand.dedup();
+            if links.len() + cand.len() > cap {
+                return Self::full_scan(n_rows);
             }
-            for g in grams {
-                postings.entry(g).or_default().push(c);
+            for &e in &cand {
+                links.push((e, c));
             }
         }
         let exact = links.is_empty();
@@ -450,6 +558,14 @@ impl PairIndex {
     /// Total number of candidate pairs this index generates.
     pub fn n_candidates(&self) -> u64 {
         self.n_candidates
+    }
+
+    /// Rows whose q-gram indexing was served by an already-indexed distinct
+    /// dictionary entry (the repeated-string win of the distinct-value edit
+    /// builder). 0 for every other index kind and for the row-major
+    /// reference builder.
+    pub fn distinct_gram_hits(&self) -> u64 {
+        self.distinct_gram_hits
     }
 
     /// Number of enumeration blocks (units of parallel work).
@@ -556,11 +672,13 @@ fn structural_classes(col: &[Value]) -> Vec<Vec<usize>> {
 /// [`structural_classes`] from dictionary codes: no `Value` hashing, one
 /// array slot per code.  Identical output — a code *is* a structural-
 /// equality class id, and both walks visit rows in ascending order.
+/// Narrow dictionaries stream the bit-packed code view instead of the
+/// `u32` vector; the decoded codes are identical.
 fn code_classes(col: &Column) -> Vec<Vec<usize>> {
     const NO_CLASS: u32 = u32::MAX;
     let mut class_of: Vec<u32> = vec![NO_CLASS; col.dict().len()];
     let mut classes: Vec<Vec<usize>> = Vec::new();
-    for (row, &code) in col.codes().iter().enumerate() {
+    let mut classify = |row: usize, code: u32| {
         let cls = if class_of[code as usize] != NO_CLASS {
             class_of[code as usize] as usize
         } else {
@@ -569,6 +687,18 @@ fn code_classes(col: &Column) -> Vec<Vec<usize>> {
             classes.len() - 1
         };
         classes[cls].push(row);
+    };
+    match col.packed_codes() {
+        Some(packed) => {
+            for (row, code) in packed.iter().enumerate() {
+                classify(row, code);
+            }
+        }
+        None => {
+            for (row, &code) in col.codes().iter().enumerate() {
+                classify(row, code);
+            }
+        }
     }
     classes
 }
@@ -641,19 +771,36 @@ fn band_count(col: &Column, rows: &[usize], theta: f64) -> u64 {
     let mut nulls = 0u64;
     let mut nums: Vec<f64> = Vec::new();
     let mut strs: HashMap<u32, u64> = HashMap::new();
-    for &row in rows {
-        if col.is_null(row) {
-            nulls += 1;
-            continue;
-        }
-        let code = col.code(row);
-        if let Some(x) = col.dict_value(code).as_f64() {
+    if let Some(packed) = col.packed_f64() {
+        // All-numeric column: gather straight from the packed view (null
+        // rows hold NaN there, so the bitmap check still gates them) —
+        // no dictionary indirection, and `strs` stays empty by
+        // construction.
+        for &row in rows {
+            if col.is_null(row) {
+                nulls += 1;
+                continue;
+            }
+            let x = packed[row];
             if x.is_finite() {
                 nums.push(x);
             }
-            // non-finite numerics match nothing, not even themselves
-        } else {
-            *strs.entry(code).or_insert(0) += 1;
+        }
+    } else {
+        for &row in rows {
+            if col.is_null(row) {
+                nulls += 1;
+                continue;
+            }
+            let code = col.code(row);
+            if let Some(x) = col.dict_value(code).as_f64() {
+                if x.is_finite() {
+                    nums.push(x);
+                }
+                // non-finite numerics match nothing, not even themselves
+            } else {
+                *strs.entry(code).or_insert(0) += 1;
+            }
         }
     }
     let mut total = nulls * nulls.saturating_sub(1) / 2;
@@ -661,12 +808,78 @@ fn band_count(col: &Column, rows: &[usize], theta: f64) -> u64 {
         total += c * (c - 1) / 2;
     }
     nums.sort_unstable_by(f64::total_cmp);
+    total + band_pairs_sorted(&nums, theta)
+}
+
+/// Count pairs `(j, h)` with `j < h` and `nums[h] − nums[j] ≤ θ` over an
+/// ascending slice — the counting core of the `AbsDiff` band join.
+///
+/// The classic formulation is a serial two-pointer sweep whose inner
+/// `while` advances one comparison at a time — fine while the low pointer
+/// crawls, but every step is a dependent branch when it has to sprint
+/// across a cluster gap. This kernel is that sweep with a *vectorized
+/// sprint*: each `h` first advances at most eight scalar steps; if all
+/// eight land, the pointer is mid-burst and switches to eight-lane blocks
+/// where a branch-free compare-mask sum `Σ (nums[h] − nums[lo+i] > θ)`
+/// counts the excluded lanes (autovectorizable std-only Rust). The slice
+/// is ascending and f64 subtraction is weakly monotone, so exclusion is
+/// prefix-closed within a block: a full count means the whole block is
+/// out (leap it), a partial count means the band boundary sits inside
+/// (fall back to scalar steps). Every comparison is the
+/// same `nums[h] − nums[j] > θ` expression the scalar sweep evaluates
+/// (never algebraically rearranged — f64 rounding is not associative), so
+/// the count is exactly the scalar sweep's, in linear worst-case time.
+///
+/// Returns 0 for a NaN or negative `θ` (nothing matches, matching
+/// [`PairSpec::Band`] semantics).
+pub fn band_pairs_sorted(nums: &[f64], theta: f64) -> u64 {
+    if theta.is_nan() || theta < 0.0 {
+        return 0;
+    }
+    const LANES: usize = 8;
+    let n = nums.len();
+    let mut total = 0u64;
     let mut lo = 0usize;
-    for hi in 0..nums.len() {
-        while nums[hi] - nums[lo] > theta {
+    for h in 0..n {
+        let t = nums[h];
+        // `lo` can never pass `h`: `t − nums[h] = 0 ≤ θ` stops the scalar
+        // loops, and the block loop only runs while `lo + LANES ≤ h`.
+        // The first probe is kept branch-identical to the plain sweep so
+        // a stationary pointer (the common case) pays nothing extra.
+        if t - nums[lo] > theta {
             lo += 1;
+            let mut steps = 1usize;
+            while steps < LANES && t - nums[lo] > theta {
+                lo += 1;
+                steps += 1;
+            }
+            if steps == LANES {
+                // Mid-burst: leap a whole block whenever all eight lanes
+                // are excluded. Advancing by the fixed LANES (not by the
+                // mask sum) keeps the loop-carried dependency a highly
+                // predictable *branch* rather than data flowing into the
+                // next block's address, so the loads stream speculatively
+                // just like the scalar sweep's — with an eighth of the
+                // iterations. Exclusions are prefix-closed, so a partial
+                // block means the boundary is inside it; the scalar
+                // residue below finds it.
+                while lo + LANES <= h {
+                    let mut c = 0u32;
+                    for &v in &nums[lo..lo + LANES] {
+                        c += u32::from(t - v > theta);
+                    }
+                    if c == LANES as u32 {
+                        lo += LANES;
+                    } else {
+                        break;
+                    }
+                }
+                while t - nums[lo] > theta {
+                    lo += 1;
+                }
+            }
         }
-        total += (hi - lo) as u64;
+        total += (h - lo) as u64;
     }
     total
 }
@@ -933,6 +1146,77 @@ mod tests {
         assert_eq!(idx.n_candidates(), 0, "all-distinct attr blocks everything");
         let idx = best_index(&r, &[(wide, PairSpec::All)]);
         assert!(!idx.is_indexed(), "no indexable atom → full scan");
+    }
+
+    #[test]
+    fn band_kernel_matches_scalar_sweep() {
+        // Deterministic pseudo-random values, duplicates and clusters
+        // included, across window shapes that hit the vector path, the
+        // wide-window scalar fallback, and the tail loop.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let mut vals: Vec<f64> = (0..997)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 11) % 10_000) as f64 / 10.0
+            })
+            .collect();
+        vals.sort_unstable_by(f64::total_cmp);
+        for theta in [0.0, 0.1, 1.0, 25.0, 400.0, 1e6, -1.0, f64::NAN] {
+            let want: u64 = if theta.is_nan() || theta < 0.0 {
+                0
+            } else {
+                let mut t = 0u64;
+                let mut lo = 0usize;
+                for hi in 0..vals.len() {
+                    while vals[hi] - vals[lo] > theta {
+                        lo += 1;
+                    }
+                    t += (hi - lo) as u64;
+                }
+                t
+            };
+            assert_eq!(
+                band_pairs_sorted(&vals, theta),
+                want,
+                "kernel diverged from scalar sweep at theta={theta}"
+            );
+        }
+        for n in 0..20 {
+            let tiny = &vals[..n];
+            assert_eq!(band_pairs_sorted(tiny, 3.0), {
+                let mut t = 0u64;
+                for i in 0..n {
+                    for j in i + 1..n {
+                        if (tiny[j] - tiny[i]).abs() <= 3.0 {
+                            t += 1;
+                        }
+                    }
+                }
+                t
+            });
+        }
+    }
+
+    #[test]
+    fn distinct_gram_hits_count_repeated_strings() {
+        use crate::{RelationBuilder, ValueType};
+        let _mode = crate::compat::test_mode_lock();
+        let mut b = RelationBuilder::new().attr("s", ValueType::Categorical);
+        for i in 0..40 {
+            b = b.row(vec![Value::Str(format!("name-{}", i % 8))]);
+        }
+        let r = b.build().expect("valid relation");
+        let s = r.schema().attr_id("s").expect("s");
+        let idx = PairIndex::build_attr(&r, s, PairSpec::Edit(1));
+        assert_eq!(idx.distinct_gram_hits(), 32, "40 rows over 8 distinct");
+        let row_major = crate::compat::force_row_major();
+        let reference = PairIndex::build_attr(&r, s, PairSpec::Edit(1));
+        drop(row_major);
+        assert_eq!(reference.distinct_gram_hits(), 0, "reference counts none");
+        assert_eq!(idx.classes(), reference.classes());
+        assert_eq!(idx.links(), reference.links());
     }
 
     #[test]

@@ -50,8 +50,19 @@ impl StrippedPartition {
         }
         let col = rel.col(attr);
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); col.dict().len()];
-        for (row, &code) in col.codes().iter().enumerate() {
-            buckets[code as usize].push(row);
+        // Narrow dictionaries scan through the bit-packed code view: the
+        // decoded codes are identical, only the bytes streamed differ.
+        match col.packed_codes() {
+            Some(packed) => {
+                for (row, code) in packed.iter().enumerate() {
+                    buckets[code as usize].push(row);
+                }
+            }
+            None => {
+                for (row, &code) in col.codes().iter().enumerate() {
+                    buckets[code as usize].push(row);
+                }
+            }
         }
         Self::from_groups(buckets, rel.n_rows())
     }
@@ -61,7 +72,84 @@ impl StrippedPartition {
         if attrs.is_empty() {
             return Self::identity(rel.n_rows());
         }
+        if !crate::compat::row_major() {
+            if let Some(p) = Self::from_codes_radix(rel, attrs) {
+                return p;
+            }
+        }
         Self::from_groups(rel.group_by(attrs).into_values(), rel.n_rows())
+    }
+
+    /// Counting-sort grouping over the combined dictionary code.
+    ///
+    /// When the product of the attribute dictionaries fits a dense key
+    /// space of `O(n_rows)` slots, each row's code tuple collapses (by
+    /// Horner's rule) into one `u32` key and grouping becomes two linear
+    /// counting passes over two flat arrays — no tuple hashing, no
+    /// per-group allocation beyond the exact class sizes. Returns `None`
+    /// when the combined domain is too wide (the hash fallback in
+    /// [`StrippedPartition::from_attrs`] then takes over).
+    ///
+    /// Byte-identity: classes are created in first-covered-row order and
+    /// filled ascending, which is exactly the canonical order
+    /// `from_groups` produces (disjoint ascending classes sort by their
+    /// first element).
+    fn from_codes_radix(rel: &Relation, attrs: AttrSet) -> Option<StrippedPartition> {
+        let n = rel.n_rows();
+        if n >= u32::MAX as usize {
+            return None;
+        }
+        let cols: Vec<&crate::Column> = attrs.iter().map(|a| rel.col(a)).collect();
+        let cap = n.saturating_mul(4).saturating_add(4096);
+        let mut domain = 1usize;
+        for c in &cols {
+            domain = domain.checked_mul(c.dict().len().max(1))?;
+            if domain > cap || domain > u32::MAX as usize {
+                return None;
+            }
+        }
+        // Combined key per row, built column-at-a-time for sequential
+        // access to each code vector.
+        let mut keys = vec![0u32; n];
+        for c in &cols {
+            let d = c.dict().len().max(1) as u64;
+            match c.packed_codes() {
+                Some(packed) => {
+                    for (k, code) in keys.iter_mut().zip(packed.iter()) {
+                        *k = (u64::from(*k) * d + u64::from(code)) as u32;
+                    }
+                }
+                None => {
+                    for (k, &code) in keys.iter_mut().zip(c.codes()) {
+                        *k = (u64::from(*k) * d + u64::from(code)) as u32;
+                    }
+                }
+            }
+        }
+        let mut count = vec![0u32; domain];
+        for &k in &keys {
+            count[k as usize] += 1;
+        }
+        const NO_CLASS: u32 = u32::MAX;
+        let mut class_of = vec![NO_CLASS; domain];
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for (row, &k) in keys.iter().enumerate() {
+            let c = count[k as usize];
+            if c < 2 {
+                continue;
+            }
+            let slot = class_of[k as usize];
+            let slot = if slot == NO_CLASS {
+                let s = classes.len() as u32;
+                class_of[k as usize] = s;
+                classes.push(Vec::with_capacity(c as usize));
+                s
+            } else {
+                slot
+            };
+            classes[slot as usize].push(row);
+        }
+        Some(StrippedPartition { classes, n_rows: n })
     }
 
     /// Partition from per-row labels: rows with equal labels share a class.
@@ -206,6 +294,176 @@ impl StrippedPartition {
         Self::from_groups(out, self.n_rows)
     }
 
+    /// Radix partition product against one attribute's column:
+    /// `π_self · π_{a} = π_{X ∪ {a}}` computed directly from `a`'s code
+    /// vector, without materializing `π_a` or probe-labelling its rows.
+    ///
+    /// Two counting strategies, picked by domain width. When
+    /// `num_classes · |dict|` fits the covered-row budget, rows are
+    /// labelled by left class once and then streamed *sequentially*
+    /// (count pass + exact-capacity fill pass over the combined
+    /// `label·d + code` key — no random access in the hot loops).
+    /// Otherwise each left class is split through a dense `|dict|`-slot
+    /// scratch table (selectively reset via a touched list). Returns
+    /// `None` when the dictionary alone is wide relative to the covered
+    /// rows (the conservative hash fallback: a huge slot table for a tiny
+    /// partition would trade O(‖π‖) work for O(|dict|) memory traffic).
+    ///
+    /// Byte-identity: both strategies create classes in ascending
+    /// first-covered-row order (the sequential variant by construction —
+    /// already the canonical lexicographic order of `from_groups`; the
+    /// per-class variant after its final sort by first row).
+    pub fn product_with_column(
+        &self,
+        col: &crate::Column,
+        scratch: &mut ProductScratch,
+    ) -> Option<StrippedPartition> {
+        assert_eq!(
+            self.n_rows,
+            col.len(),
+            "partition product over different relations"
+        );
+        let d = col.dict().len();
+        if d > self.covered_rows().saturating_mul(4).saturating_add(1024)
+            || self.n_rows >= u32::MAX as usize
+        {
+            return None;
+        }
+        let seq_cap = self.covered_rows().saturating_mul(4).saturating_add(4096);
+        if let Some(domain) = self.classes.len().checked_mul(d) {
+            if domain <= seq_cap && domain < u32::MAX as usize && self.n_rows < (1 << 31) {
+                return Some(self.product_sequential(col, domain, scratch));
+            }
+        }
+        const NO_SLOT: u32 = u32::MAX;
+        if scratch.code_slot.len() < d {
+            scratch.code_slot.resize(d, NO_SLOT);
+        }
+        let codes = col.codes();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for cls in &self.classes {
+            // Counting pass: assign slots in first-appearance order, count
+            // rows per slot — no allocation, no pushes.
+            let mut n_used = 0u32;
+            for &row in cls {
+                let code = codes[row] as usize;
+                let slot = scratch.code_slot[code];
+                if slot == NO_SLOT {
+                    scratch.code_slot[code] = n_used;
+                    scratch.touched_codes.push(code);
+                    if scratch.slot_counts.len() == n_used as usize {
+                        scratch.slot_counts.push(1);
+                    } else {
+                        scratch.slot_counts[n_used as usize] = 1;
+                    }
+                    n_used += 1;
+                } else {
+                    scratch.slot_counts[slot as usize] += 1;
+                }
+            }
+            // Slots with ≥2 rows become exact-capacity output classes
+            // (stripped: singletons are never allocated at all); the count
+            // entry is reused as the slot's output index.
+            for s in 0..n_used as usize {
+                let cnt = scratch.slot_counts[s];
+                if cnt >= 2 {
+                    scratch.slot_counts[s] = out.len() as u32;
+                    out.push(Vec::with_capacity(cnt as usize));
+                } else {
+                    scratch.slot_counts[s] = NO_SLOT;
+                }
+            }
+            // Fill pass, in row order within the class.
+            for &row in cls {
+                let slot = scratch.code_slot[codes[row] as usize];
+                let oi = scratch.slot_counts[slot as usize];
+                if oi != NO_SLOT {
+                    out[oi as usize].push(row);
+                }
+            }
+            for &code in &scratch.touched_codes {
+                scratch.code_slot[code] = NO_SLOT;
+            }
+            scratch.touched_codes.clear();
+        }
+        out.sort_unstable_by_key(|c| c[0]);
+        Some(StrippedPartition {
+            classes: out,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// Sequential counting-sort product: label rows by left class, then
+    /// stream the row range twice — a count pass and an exact-capacity
+    /// fill pass over the dense `label·d + code` key. Classes are created
+    /// at their first covered row, so the output is born in canonical
+    /// order and needs no sort.
+    ///
+    /// The count pass caches each covered row's combined key back into the
+    /// probe table, so the fill pass streams a single array. The slot
+    /// table does double duty: a slot holds the key's row count until the
+    /// fill pass first touches it, then (tagged with the high bit) the
+    /// output class index. Requires `n_rows < 2^31` so counts and tagged
+    /// indexes cannot collide — guaranteed by the caller's gate.
+    fn product_sequential(
+        &self,
+        col: &crate::Column,
+        domain: usize,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
+        const NO_LABEL: u32 = u32::MAX;
+        const PLACED: u32 = 1 << 31;
+        if scratch.probe.len() < self.n_rows {
+            scratch.probe.resize(self.n_rows, NO_LABEL);
+        }
+        for (i, cls) in self.classes.iter().enumerate() {
+            for &row in cls {
+                scratch.probe[row] = i as u32;
+            }
+        }
+        let d = col.dict().len() as u64;
+        let codes = col.codes();
+        let mut slots = vec![0u32; domain];
+        for (row, &code) in codes.iter().enumerate() {
+            let label = scratch.probe[row];
+            if label != NO_LABEL {
+                // `domain < u32::MAX`, so a cached key never aliases NO_LABEL.
+                let key = (u64::from(label) * d + u64::from(code)) as u32;
+                slots[key as usize] += 1;
+                scratch.probe[row] = key;
+            }
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for row in 0..self.n_rows {
+            let key = scratch.probe[row];
+            if key == NO_LABEL {
+                continue;
+            }
+            let slot = slots[key as usize];
+            if slot < 2 {
+                continue; // singleton (or null-stripped) key: never allocated
+            }
+            let cls = if slot & PLACED == 0 {
+                let idx = out.len() as u32;
+                out.push(Vec::with_capacity(slot as usize));
+                slots[key as usize] = idx | PLACED;
+                idx
+            } else {
+                slot & !PLACED
+            };
+            out[cls as usize].push(row);
+        }
+        for cls in &self.classes {
+            for &row in cls {
+                scratch.probe[row] = NO_LABEL;
+            }
+        }
+        StrippedPartition {
+            classes: out,
+            n_rows: self.n_rows,
+        }
+    }
+
     /// Does the FD `X → Y` hold, where `self = π_X` and `rhs = π_{X∪Y}`?
     ///
     /// Holds iff both partitions have the same number of classes
@@ -274,6 +532,13 @@ pub struct ProductScratch {
     buckets: Vec<Vec<usize>>,
     /// Labels with a non-empty bucket for the class being split.
     used_labels: Vec<u32>,
+    /// Dictionary code → bucket slot for the radix product
+    /// ([`StrippedPartition::product_with_column`]); `u32::MAX` = unused.
+    code_slot: Vec<u32>,
+    /// Codes assigned a slot for the class being split, for selective reset.
+    touched_codes: Vec<usize>,
+    /// Per-slot row count, then output-class index, for the counting pass.
+    slot_counts: Vec<u32>,
 }
 
 impl ProductScratch {
@@ -421,6 +686,50 @@ mod tests {
             (&pa, &pa),
         ] {
             assert_eq!(x.product_with(y, &mut scratch), x.product(y));
+        }
+    }
+
+    #[test]
+    fn product_with_column_matches_probe_product() {
+        let r = rel();
+        let s = r.schema();
+        let mut scratch = ProductScratch::new();
+        for (x, a) in [
+            ("a", "b"),
+            ("b", "a"),
+            ("a", "c"),
+            ("c", "b"),
+            ("b", "c"),
+            ("a", "a"),
+        ] {
+            let px = StrippedPartition::from_column(&r, s.id(x));
+            let pa = StrippedPartition::from_column(&r, s.id(a));
+            let radix = px
+                .product_with_column(r.col(s.id(a)), &mut scratch)
+                .expect("tiny dictionaries always take the radix path");
+            assert_eq!(radix, px.product(&pa), "radix product mismatch {x}·{a}");
+        }
+        // The identity partition splits into π_a directly.
+        let id = StrippedPartition::identity(r.n_rows());
+        let pa = StrippedPartition::from_column(&r, s.id("a"));
+        assert_eq!(
+            id.product_with_column(r.col(s.id("a")), &mut scratch),
+            Some(pa)
+        );
+    }
+
+    #[test]
+    fn radix_from_attrs_matches_hash_grouping() {
+        let r = rel();
+        let s = r.schema();
+        for set in [
+            AttrSet::from_ids([s.id("a"), s.id("b")]),
+            AttrSet::from_ids([s.id("a"), s.id("c")]),
+            AttrSet::from_ids([s.id("a"), s.id("b"), s.id("c")]),
+        ] {
+            let radix = StrippedPartition::from_codes_radix(&r, set).expect("domain fits");
+            let hash = StrippedPartition::from_groups(r.group_by(set).into_values(), r.n_rows());
+            assert_eq!(radix, hash, "from_attrs strategies disagree on {set:?}");
         }
     }
 

@@ -630,6 +630,7 @@ mod tests {
 
     #[test]
     fn row_major_mode_changes_nothing() {
+        let _mode = crate::compat::test_mode_lock();
         let r = sample();
         let attrs = r.all_attrs();
         let fast = (

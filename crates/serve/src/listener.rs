@@ -233,8 +233,9 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
     let drain = DrainState::new();
     let mut datasets = BTreeMap::new();
     for (name, r) in config.datasets {
-        // Resident-footprint gauge per table: the columnar estimate, set
-        // once at preload (datasets are immutable for the server's life).
+        // Resident-footprint gauge per table: the columnar estimate at
+        // preload. The router refreshes it after each task, when lazy
+        // views (sorted runs, bit-packed codes) have materialized.
         telemetry::dataset_bytes(&name).set(r.approx_bytes() as i64);
         datasets.insert(name, r);
     }

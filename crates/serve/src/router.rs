@@ -181,6 +181,11 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
         ))),
     };
 
+    // Lazy columnar views (sorted numeric runs, bit-packed codes, value
+    // indexes) materialize inside the task; re-read the footprint so the
+    // gauge tracks resident bytes, not just the post-load dictionary size.
+    crate::telemetry::dataset_bytes(name).set(relation.approx_bytes() as i64);
+
     match rendered {
         Err(e) => err_for(&e),
         Ok((report, csv)) => {

@@ -218,9 +218,11 @@ pub fn worker_restarts(worker: usize) -> Arc<Counter> {
 }
 
 /// Per-dataset resident-footprint gauge:
-/// `deptree_dataset_bytes{dataset="NAME"}`. Set once at preload from the
-/// columnar `Relation::approx_bytes` estimate, so a scrape shows what
-/// each loaded table actually costs.
+/// `deptree_dataset_bytes{dataset="NAME"}`. Set at preload from the
+/// columnar `Relation::approx_bytes` estimate and refreshed after each
+/// task touching the dataset, so a scrape shows what each loaded table
+/// actually costs once its lazy views (sorted runs, bit-packed codes)
+/// have materialized.
 pub fn dataset_bytes(dataset: &str) -> Arc<Gauge> {
     obs::registry().gauge(
         "deptree_dataset_bytes",

@@ -108,7 +108,10 @@ for series in \
     deptree_request_duration_seconds_bucket \
     deptree_inflight_requests \
     'deptree_dataset_bytes{dataset="hotels"}' \
-    deptree_cache_hits_total; do
+    deptree_cache_hits_total \
+    deptree_partition_product_radix_total \
+    deptree_partition_product_hash_total \
+    deptree_pairgen_distinct_gram_hits_total; do
     if ! grep -qF "$series" <<<"$metrics"; then
         echo "missing required metrics series: $series"
         echo "$metrics"

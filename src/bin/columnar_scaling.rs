@@ -30,11 +30,14 @@
 use deptree::core::{Dependency, Direction, Od};
 use deptree::discovery::tane::{self, TaneConfig};
 use deptree::relation::compat;
-use deptree::relation::pairgen::{PairIndex, PairSpec};
+use deptree::relation::pairgen::{band_pairs_sorted, PairIndex, PairSpec};
 use deptree::relation::{
-    parse_csv_lossy, AttrId, Relation, Schema, StrippedPartition, Value, ValueType,
+    parse_csv_lossy, AttrId, Column, ProductScratch, Relation, Schema, StrippedPartition, Value,
+    ValueType,
 };
+use deptree::synth::Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::Instant;
@@ -126,6 +129,10 @@ fn measured<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--kernels") {
+        run_kernels(smoke);
+        return;
+    }
     let sizes: &[usize] = if smoke {
         &[2_000, 20_000]
     } else {
@@ -154,11 +161,15 @@ fn main() {
         }
     }
     let alloc_json = if smoke { Some(alloc_gate()) } else { None };
+    // Smoke also drives the code-native kernel suite at a tiny size: the
+    // identity asserts inside are the CI gate; timings are incidental.
+    let kernel_json = smoke.then(|| kernel_suite(20_000).0);
     let json = format!(
-        "{{\n  \"bench\": \"columnar_scaling\",\n  \"mode\": \"{}\",\n  \"row_major_cap_rows\": {ROW_MAJOR_CAP},\n  \"sizes\": [\n{}\n  ]{}\n}}\n",
+        "{{\n  \"bench\": \"columnar_scaling\",\n  \"mode\": \"{}\",\n  \"row_major_cap_rows\": {ROW_MAJOR_CAP},\n  \"sizes\": [\n{}\n  ]{}{}\n}}\n",
         if smoke { "smoke" } else { "full" },
         rows_json.join(",\n"),
         alloc_json.map_or(String::new(), |a| format!(",\n  \"parse_alloc\": {a}")),
+        kernel_json.map_or(String::new(), |k| format!(",\n  \"kernels\": {k}")),
     );
     if smoke {
         println!("{json}");
@@ -183,6 +194,18 @@ fn main() {
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Best-of-`reps` wall time in ms — the sub-5ms kernels need repetition
+/// to push scheduler noise below the effect being measured.
+fn time_min_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(ms(t0.elapsed()));
+    }
+    best
 }
 
 fn push_metric(
@@ -507,4 +530,334 @@ fn alloc_gate() -> String {
     format!(
         "{{\"rows\": {ALLOC_ROWS}, \"row_major_peak_bytes\": {rowwise_peak}, \"row_major_resident_bytes\": {rowwise_resident}, \"interned_peak_bytes\": {interned_peak}, \"interned_resident_bytes\": {interned_resident}}}"
     )
+}
+
+// ---------------------------------------------------------------------
+// Code-native kernel suite: the four u32-code kernels vs in-binary
+// replicas of the paths they replaced (see DESIGN.md §14).  Every kernel
+// result is asserted identical to its replica; `--kernels` (full mode)
+// writes BENCH_kernels.json and enforces the ≥2× floors on the two
+// kernels with a like-for-like algorithmic baseline.
+// ---------------------------------------------------------------------
+
+/// Rows the full `--kernels` run measures at (the floor size).
+const KERNEL_ROWS: usize = 1_000_000;
+
+fn run_kernels(smoke: bool) {
+    let n = if smoke { 20_000 } else { KERNEL_ROWS };
+    println!("== code-native kernels, {n} rows ==");
+    let (json, floors) = kernel_suite(n);
+    let doc = format!(
+        "{{\n  \"bench\": \"columnar_kernels\",\n  \"mode\": \"{}\",\n  \"rows\": {n},\n  \"kernels\": {json}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    if smoke {
+        println!("{doc}");
+        println!("smoke: every kernel identical to its replica");
+        return;
+    }
+    for (name, got, floor) in &floors {
+        if got < floor {
+            eprintln!("error: {name} speedup {got:.2}× at {n} rows is below the {floor:.0}× floor");
+            std::process::exit(3);
+        }
+        println!("floor ok: {name} {got:.2}× ≥ {floor:.0}×");
+    }
+    if let Err(e) = std::fs::write("BENCH_kernels.json", &doc) {
+        eprintln!("error: cannot write BENCH_kernels.json: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote BENCH_kernels.json");
+}
+
+/// Run all four kernel benches on the kernel workload; returns the JSON
+/// object and the `(name, speedup, floor)` list for full-mode gating.
+fn kernel_suite(n: usize) -> (String, Vec<(String, f64, f64)>) {
+    let rel = kernel_relation(n);
+    let mut obj = String::from("{");
+    let mut floors = Vec::new();
+    let s = bench_kernel_product(&rel, &mut obj);
+    floors.push(("partition_product".to_string(), s, 2.0));
+    obj.push(',');
+    let s = bench_kernel_edit(&rel, &mut obj);
+    floors.push(("edit_index".to_string(), s, 2.0));
+    obj.push(',');
+    bench_kernel_packed(&rel, &mut obj);
+    obj.push(',');
+    bench_kernel_band(n, &mut obj);
+    obj.push('}');
+    (obj, floors)
+}
+
+/// Kernel workload: `pa`/`pb` are the partition-product pair (1009 × 601
+/// int codes — a combined domain that fits the radix gate), `cat` a
+/// 13-value column whose codes pack into 4-bit lanes, and `txt` a pool of
+/// distinct strings (≈ n/33, capped at 30k, length 12–20 over a wide
+/// codepoint alphabet so q-gram collisions stay below the link cap)
+/// repeated across rows — the distinct-value edit-index shape.
+fn kernel_relation(n: usize) -> Relation {
+    let schema = Schema::from_attrs(vec![
+        ("pa", ValueType::Numeric),
+        ("pb", ValueType::Numeric),
+        ("cat", ValueType::Text),
+        ("txt", ValueType::Text),
+    ]);
+    let mut rel = match Relation::empty(schema) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: internal kernel schema invalid: {e}");
+            std::process::exit(4);
+        }
+    };
+    let mut rng = Rng::seed_from_u64(0x6b65726e);
+    let distinct = (n / 33).clamp(64, 30_000);
+    let pool: Vec<String> = (0..distinct)
+        .map(|_| {
+            let len = rng.random_range(12..=20usize);
+            (0..len)
+                .map(|_| {
+                    // CJK block: 512 distinct chars ⇒ 262k possible grams,
+                    // so random strings rarely share one.
+                    char::from_u32(0x4E00 + rng.random_range(0..512u32)).unwrap_or('一')
+                })
+                .collect()
+        })
+        .collect();
+    let cats: Vec<String> = (0..13).map(|c| format!("cat_{c:02}")).collect();
+    for i in 0..n {
+        let row_ok = rel
+            .push_row(vec![
+                Value::Int((i % 1009) as i64),
+                Value::Int(((i * 7) % 601) as i64),
+                Value::Str(cats[i % 13].clone()),
+                Value::Str(pool[(i * 2_654_435_761) % distinct].clone()),
+            ])
+            .is_ok();
+        if !row_ok {
+            eprintln!("error: internal kernel row has wrong arity");
+            std::process::exit(4);
+        }
+    }
+    rel
+}
+
+fn push_kernel(
+    obj: &mut String,
+    name: &str,
+    baseline_ms: f64,
+    kernel_ms: f64,
+    floor: Option<f64>,
+) -> f64 {
+    let speedup = baseline_ms / kernel_ms.max(1e-9);
+    let _ = write!(
+        obj,
+        "\n    \"{name}\": {{\"baseline_ms\": {baseline_ms:.3}, \"kernel_ms\": {kernel_ms:.3}, \"speedup\": {speedup:.2}, \"floor\": {}, \"identical\": true}}",
+        floor.map_or("null".into(), |f| format!("{f:.1}")),
+    );
+    println!(
+        "  {name:<17}: baseline {baseline_ms:9.1}ms  kernel {kernel_ms:9.1}ms  ({speedup:.2}×)"
+    );
+    speedup
+}
+
+/// Radix partition product (counting over dense codes, no right-parent
+/// materialization) vs the memoized probe-table product over pre-built
+/// parent partitions — the PR 7 cache path with the parent build already
+/// paid.
+fn bench_kernel_product(rel: &Relation, obj: &mut String) -> f64 {
+    let a = attr(rel, "pa");
+    let b = attr(rel, "pb");
+    let left = StrippedPartition::from_column(rel, a);
+    let right = StrippedPartition::from_column(rel, b);
+    let mut scratch = ProductScratch::new();
+    let _ = left.product_with(&right, &mut scratch);
+    let t0 = Instant::now();
+    let hash = left.product_with(&right, &mut scratch);
+    let baseline_ms = ms(t0.elapsed());
+    let _ = left.product_with_column(rel.col(b), &mut scratch);
+    let t0 = Instant::now();
+    let radix = left.product_with_column(rel.col(b), &mut scratch);
+    let kernel_ms = ms(t0.elapsed());
+    let Some(radix) = radix else {
+        eprintln!("error: radix product refused the kernel workload domain");
+        std::process::exit(4);
+    };
+    assert_eq!(radix, hash, "radix product differs from probe product");
+    push_kernel(obj, "partition_product", baseline_ms, kernel_ms, Some(2.0))
+}
+
+/// Distinct-value q-gram edit index (flat u64 grams, vec candidates) vs a
+/// replica of the PR 7 builder: same distinct-value classing, but BTreeSet
+/// gram/candidate bookkeeping and char-tuple postings.
+fn bench_kernel_edit(rel: &Relation, obj: &mut String) -> f64 {
+    let txt = attr(rel, "txt");
+    const K: usize = 2;
+    let _ = edit_index_pr7(rel.col(txt), K);
+    let t0 = Instant::now();
+    let reference = edit_index_pr7(rel.col(txt), K);
+    let baseline_ms = ms(t0.elapsed());
+    let _ = PairIndex::build_attr(rel, txt, PairSpec::Edit(K));
+    let t0 = Instant::now();
+    let fast = PairIndex::build_attr(rel, txt, PairSpec::Edit(K));
+    let kernel_ms = ms(t0.elapsed());
+    let Some((classes, links)) = reference else {
+        eprintln!("error: PR 7 edit replica overflowed its link cap; retune the workload");
+        std::process::exit(4);
+    };
+    assert!(fast.is_indexed(), "edit kernel fell back to the full scan");
+    assert_eq!(
+        fast.classes(),
+        &classes[..],
+        "edit classes differ from PR 7 replica"
+    );
+    assert_eq!(
+        fast.links(),
+        &links[..],
+        "edit links differ from PR 7 replica"
+    );
+    push_kernel(obj, "edit_index", baseline_ms, kernel_ms, Some(2.0))
+}
+
+/// The PR 7 distinct-value edit builder, reproduced: classes keyed on
+/// rendered text, `BTreeSet<(char, char)>` grams, `BTreeSet<usize>`
+/// candidates, char-tuple postings.  Returns `None` past the link cap
+/// (where the real builder degrades to a full scan).
+#[allow(clippy::type_complexity)]
+fn edit_index_pr7(col: &Column, k: usize) -> Option<(Vec<Vec<usize>>, Vec<(usize, usize)>)> {
+    const NO_CLASS: u32 = u32::MAX;
+    let dict = col.dict();
+    let mut class_of: Vec<u32> = vec![NO_CLASS; dict.len()];
+    let mut by_key: HashMap<Option<String>, usize> = HashMap::new();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut texts: Vec<Option<Vec<char>>> = Vec::new();
+    for (row, &code) in col.codes().iter().enumerate() {
+        let cls = if class_of[code as usize] != NO_CLASS {
+            class_of[code as usize] as usize
+        } else {
+            let v = &dict[code as usize];
+            let key = (!v.is_null()).then(|| v.render().into_owned());
+            let cls = *by_key.entry(key).or_insert_with(|| {
+                classes.push(Vec::new());
+                texts.push((!v.is_null()).then(|| v.render().chars().collect()));
+                classes.len() - 1
+            });
+            class_of[code as usize] = cls as u32;
+            cls
+        };
+        classes[cls].push(row);
+    }
+    const QGRAM: usize = 2;
+    let short_lim = QGRAM * (k + 1);
+    let cap = 8 * col.len() + 1024;
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    let mut shorts: Vec<usize> = Vec::new();
+    let mut postings: HashMap<(char, char), Vec<usize>> = HashMap::new();
+    for (c, text) in texts.iter().enumerate() {
+        let Some(chars) = text else { continue };
+        let len_c = chars.len();
+        let grams: BTreeSet<(char, char)> = chars.windows(QGRAM).map(|w| (w[0], w[1])).collect();
+        let mut cand: BTreeSet<usize> = BTreeSet::new();
+        for g in &grams {
+            if let Some(list) = postings.get(g) {
+                for &e in list {
+                    let len_e = texts[e].as_ref().map_or(0, Vec::len);
+                    if len_e.abs_diff(len_c) <= k {
+                        cand.insert(e);
+                    }
+                }
+            }
+        }
+        if len_c < short_lim {
+            for &e in &shorts {
+                let len_e = texts[e].as_ref().map_or(0, Vec::len);
+                if len_e.abs_diff(len_c) <= k {
+                    cand.insert(e);
+                }
+            }
+            shorts.push(c);
+        }
+        for e in cand {
+            links.push((e, c));
+            if links.len() > cap {
+                return None;
+            }
+        }
+        for g in grams {
+            postings.entry(g).or_default().push(c);
+        }
+    }
+    Some((classes, links))
+}
+
+/// Bit-packed code lanes vs the plain u32 code vector on the counting
+/// pass every partition build starts with — the bandwidth the packing
+/// exists to save.  No floor: the win is memory-bound and machine-sized.
+fn bench_kernel_packed(rel: &Relation, obj: &mut String) {
+    let col = rel.col(attr(rel, "cat"));
+    let d = col.dict().len();
+    let Some(packed) = col.packed_codes() else {
+        eprintln!("error: kernel `cat` column refused to bit-pack");
+        std::process::exit(4);
+    };
+    let count_plain = |codes: &[u32]| {
+        let mut counts = vec![0u32; d];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    };
+    let count_packed = || {
+        let mut counts = vec![0u32; d];
+        for code in packed.iter() {
+            counts[code as usize] += 1;
+        }
+        counts
+    };
+    let plain = count_plain(col.codes());
+    let bits = count_packed();
+    let baseline_ms = time_min_ms(9, || count_plain(col.codes()));
+    let kernel_ms = time_min_ms(9, count_packed);
+    assert_eq!(plain, bits, "packed code counts differ from plain codes");
+    assert_eq!(
+        packed.width_bits(),
+        4,
+        "13-value dictionary must take 4-bit lanes"
+    );
+    push_kernel(obj, "packed_code_count", baseline_ms, kernel_ms, None);
+}
+
+/// Vectorized band probe (8-lane compare-mask burst advance) vs the PR 7
+/// scalar two-pointer sweep over the same sorted values. Clustered values
+/// (the common shape of real numeric columns: dense runs separated by
+/// gaps) make the low pointer sprint across each gap — exactly the case
+/// the kernel vectorizes. No floor: the gain is
+/// autovectorization-dependent.
+fn bench_kernel_band(n: usize, obj: &mut String) {
+    let mut rng = Rng::seed_from_u64(0x62616e64);
+    let clusters = (n / 1000).max(1);
+    let mut nums: Vec<f64> = (0..n)
+        .map(|i| {
+            let c = (i % clusters) as f64 * 1.0e4;
+            c + rng.random_range(0..8_000i64) as f64 / 1000.0
+        })
+        .collect();
+    nums.sort_unstable_by(f64::total_cmp);
+    let theta = 16.0;
+    let scalar = |nums: &[f64]| {
+        let mut total = 0u64;
+        let mut lo = 0usize;
+        for hi in 0..nums.len() {
+            while nums[hi] - nums[lo] > theta {
+                lo += 1;
+            }
+            total += (hi - lo) as u64;
+        }
+        total
+    };
+    let want = scalar(&nums);
+    let got = band_pairs_sorted(&nums, theta);
+    let baseline_ms = time_min_ms(9, || scalar(&nums));
+    let kernel_ms = time_min_ms(9, || band_pairs_sorted(&nums, theta));
+    assert_eq!(got, want, "vector band count differs from scalar sweep");
+    push_kernel(obj, "band_probe", baseline_ms, kernel_ms, None);
 }

@@ -915,3 +915,213 @@ mod columnar {
         );
     }
 }
+
+mod kernels {
+    use super::*;
+    use common::arbitrary_relation;
+    use deptree::relation::pairgen::{band_pairs_sorted, PairIndex, PairSpec};
+    use deptree::relation::{PackedCodes, PartitionCache, ProductScratch, PACKED_CODES_MAX_DICT};
+
+    /// The counting-sort (radix) partition product agrees with the
+    /// hash-probe product and with a from-scratch computation on every
+    /// attribute pair — including null classes and mixed-type columns from
+    /// the adversarial generator. The cache's strategy counters confirm
+    /// the radix path was actually exercised, not silently skipped.
+    #[test]
+    fn radix_product_equals_hash_product() {
+        let mut radix_taken = 0u64;
+        for (mut rng, case) in cases(60) {
+            let r = if case % 2 == 0 {
+                small_relation(&mut rng)
+            } else {
+                arbitrary_relation(&mut rng)
+            };
+            let mut scratch = ProductScratch::new();
+            for a in r.schema().ids() {
+                let left = StrippedPartition::from_column(&r, a);
+                for b in r.schema().ids() {
+                    if a == b {
+                        continue;
+                    }
+                    let right = StrippedPartition::from_column(&r, b);
+                    let hash = left.product_with(&right, &mut scratch);
+                    if let Some(radix) = left.product_with_column(r.col(b), &mut scratch) {
+                        assert_eq!(
+                            radix, hash,
+                            "case {case}: radix product differs on ({a:?}, {b:?})"
+                        );
+                        radix_taken += 1;
+                    }
+                    let set = AttrSet::single(a).insert(b);
+                    assert_eq!(
+                        StrippedPartition::from_attrs(&r, set),
+                        hash,
+                        "case {case}: from_attrs differs on ({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+        assert!(radix_taken > 0, "radix path never engaged on tiny domains");
+    }
+
+    /// Under a byte budget tight enough to force evictions, the memoized
+    /// cache (radix product strategy inside) still returns partitions equal
+    /// to from-scratch computations, single-attribute partitions stay
+    /// pinned through eviction pressure, and the strategy counters account
+    /// for every multi-attribute product exactly once.
+    #[test]
+    fn budgeted_cache_products_equal_fresh_and_pin_singles() {
+        for (mut rng, case) in cases(61) {
+            let r = small_relation(&mut rng);
+            let cache = PartitionCache::with_capacity_bytes(2048);
+            for a in r.schema().ids() {
+                cache.get_or_compute(&r, AttrSet::single(a));
+            }
+            let mut multi_misses = 0u64;
+            for _ in 0..20 {
+                let set = AttrSet::from_bits(rng.random_range(0..(1u64 << r.n_attrs())));
+                let misses_before = cache.misses();
+                let (got, _) = cache.get_or_compute(&r, set);
+                if set.iter().count() >= 2 {
+                    multi_misses += cache.misses() - misses_before;
+                }
+                assert_eq!(
+                    *got,
+                    StrippedPartition::from_attrs(&r, set),
+                    "case {case}: cached product differs from fresh for {set:?}"
+                );
+            }
+            for a in r.schema().ids() {
+                assert!(
+                    cache.get(AttrSet::single(a)).is_some(),
+                    "case {case}: pinned single {a:?} was evicted"
+                );
+            }
+            assert_eq!(
+                cache.radix_products() + cache.hash_products(),
+                multi_misses,
+                "case {case}: strategy counters drifted from multi-attr misses"
+            );
+        }
+    }
+
+    /// Bit-packed code vectors round-trip at every lane width, across the
+    /// dictionary-size boundaries where the width changes (255/256/257,
+    /// 65535/65536/65537), and degrade to `None` — never a wrong value —
+    /// beyond the 16-bit ceiling.
+    #[test]
+    fn packed_codes_round_trip_all_widths_and_boundaries() {
+        let boundary_dicts = [
+            1usize, 2, 3, 4, 5, 15, 16, 17, 255, 256, 257, 65535, 65536, 65537,
+        ];
+        for &d in &boundary_dicts {
+            let n = d + 37;
+            let codes: Vec<u32> = (0..n).map(|i| (i % d) as u32).collect();
+            let packed = PackedCodes::build(&codes, d);
+            if d > PACKED_CODES_MAX_DICT {
+                assert!(packed.is_none(), "dict {d}: packing beyond 16-bit ceiling");
+                continue;
+            }
+            let packed = packed.unwrap_or_else(|| panic!("dict {d}: packing refused"));
+            let expected_width = [1u32, 2, 4, 8, 16]
+                .into_iter()
+                .find(|w| (d as u64 - 1) < (1u64 << w))
+                .unwrap_or_else(|| panic!("dict {d}: no lane width"));
+            assert_eq!(packed.width_bits(), expected_width, "dict {d}: wrong lane");
+            assert_eq!(packed.len(), n, "dict {d}: length drift");
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(packed.get(i), c, "dict {d}: row {i} corrupted");
+            }
+        }
+        // Through a live column: the lazy view must agree with the plain
+        // code vector on arbitrary relations (nulls, mutation orphans).
+        for (mut rng, case) in cases(62) {
+            let r = arbitrary_relation(&mut rng);
+            for a in r.schema().ids() {
+                let col = r.col(a);
+                let Some(p) = col.packed_codes() else {
+                    continue;
+                };
+                assert_eq!(p.len(), col.len(), "case {case}: packed length");
+                for (i, &c) in col.codes().iter().enumerate() {
+                    assert_eq!(p.get(i), c, "case {case}: packed code drift at {i}");
+                }
+            }
+        }
+    }
+
+    /// The distinct-value q-gram edit index generates exactly the candidate
+    /// set of the per-row reference builder: same classes, same links, same
+    /// enumeration order — the columnar build only deduplicates *work*,
+    /// never candidates.
+    #[test]
+    fn distinct_gram_index_equals_per_row_reference() {
+        for (mut rng, case) in cases(63) {
+            let r = arbitrary_relation(&mut rng);
+            for a in r.schema().ids() {
+                for k in [0usize, 1, 2] {
+                    let fast = PairIndex::build_attr(&r, a, PairSpec::Edit(k));
+                    let reference = PairIndex::build(r.column(a), PairSpec::Edit(k));
+                    assert_eq!(
+                        fast.classes(),
+                        reference.classes(),
+                        "case {case}: classes differ for {a:?} k={k}"
+                    );
+                    assert_eq!(
+                        fast.links(),
+                        reference.links(),
+                        "case {case}: links differ for {a:?} k={k}"
+                    );
+                    assert_eq!(fast.n_candidates(), reference.n_candidates(), "case {case}");
+                    let mut got = Vec::new();
+                    fast.for_each_candidate(|i, j| {
+                        got.push((i, j));
+                        true
+                    });
+                    let mut want = Vec::new();
+                    reference.for_each_candidate(|i, j| {
+                        want.push((i, j));
+                        true
+                    });
+                    assert_eq!(got, want, "case {case}: candidate enumeration diverged");
+                }
+            }
+        }
+    }
+
+    /// The vectorized band kernel counts exactly the pairs the scalar
+    /// definition admits, on random sorted inputs of every size class the
+    /// kernel branches on (sub-lane tails, windows past the scalar-fallback
+    /// threshold) and on degenerate thresholds.
+    #[test]
+    fn band_kernel_equals_naive_pair_count() {
+        for (mut rng, case) in cases(64) {
+            let n = rng.random_range(0..200usize);
+            let mut nums: Vec<f64> = (0..n)
+                .map(|_| rng.random_range(-400..400i64) as f64 / 8.0)
+                .collect();
+            nums.sort_by(f64::total_cmp);
+            for theta in [0.0, 0.125, 1.0, 7.5, 100.0, -1.0] {
+                let mut naive = 0u64;
+                for h in 0..n {
+                    for j in 0..h {
+                        // All inputs are finite, so `≤` is exactly the
+                        // negation of the kernel's `>` exclusion test.
+                        if nums[h] - nums[j] <= theta {
+                            naive += 1;
+                        }
+                    }
+                }
+                if theta < 0.0 {
+                    naive = 0; // kernel contract: negative θ admits nothing
+                }
+                assert_eq!(
+                    band_pairs_sorted(&nums, theta),
+                    naive,
+                    "case {case}: band count drifted at n={n} theta={theta}"
+                );
+            }
+            assert_eq!(band_pairs_sorted(&nums, f64::NAN), 0, "case {case}: NaN θ");
+        }
+    }
+}
