@@ -167,7 +167,9 @@ pub fn query(
     }
     Err(ClientError {
         code: ErrorCode::Io,
-        message: format!("retries exhausted; last failure: {last_retryable}"),
+        message: format!(
+            "retries exhausted after {attempts_max} attempt(s); last failure: {last_retryable}"
+        ),
         attempts: attempts_max,
     })
 }
@@ -344,7 +346,9 @@ pub fn forward(
     }
     Err(ClientError {
         code: ErrorCode::Io,
-        message: format!("retries exhausted; last failure: {last_retryable}"),
+        message: format!(
+            "retries exhausted after {attempts_max} attempt(s); last failure: {last_retryable}"
+        ),
         attempts: attempts_max,
     })
 }
@@ -416,7 +420,9 @@ pub fn fetch_text(config: &ClientConfig, path: &str) -> Result<(u16, String), Cl
     }
     Err(ClientError {
         code: ErrorCode::Io,
-        message: format!("retries exhausted; last failure: {last_retryable}"),
+        message: format!(
+            "retries exhausted after {attempts_max} attempt(s); last failure: {last_retryable}"
+        ),
         attempts: attempts_max,
     })
 }
@@ -559,7 +565,10 @@ mod tests {
         let err = query(&cfg(&format!("127.0.0.1:{port}")), "GET", "/healthz", None).unwrap_err();
         assert_eq!(err.code, ErrorCode::Io);
         assert_eq!(err.attempts, 3); // 1 + 2 retries
-        assert!(err.message.contains("retries exhausted"), "{err}");
+        assert!(
+            err.message.contains("retries exhausted after 3 attempt(s)"),
+            "the final error must surface how many attempts were made: {err}"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ use std::time::Duration;
 /// What one shard contributed: a worker's parsed response body, or the
 /// reason it could not answer (already a human-readable detail).
 pub(crate) struct ShardReply {
-    /// Which worker slot the shard lives on.
+    /// Which slice of the dataset this reply covers.
+    pub shard: usize,
+    /// Which worker slot actually answered (or should have): with
+    /// replica reads and re-homing this is whichever copy was picked,
+    /// so degradation details name the real culprit.
     pub worker: usize,
     /// `Ok(body)` from the worker, or the degradation detail.
     pub outcome: Result<Json, String>,
@@ -91,7 +95,10 @@ pub(crate) fn merge_discover(
             }
             Err(detail) => {
                 partial = true;
-                degraded.push(format!("worker {}: {detail}", reply.worker));
+                degraded.push(format!(
+                    "shard {} (worker {}): {detail}",
+                    reply.shard, reply.worker
+                ));
             }
         }
     }
@@ -189,6 +196,7 @@ mod tests {
             .set("fds", list)
             .set("stats", Json::obj().set("nodes", 3u64).set("rows", 10u64));
         ShardReply {
+            shard: worker,
             worker,
             outcome: Ok(body),
         }
@@ -230,6 +238,7 @@ mod tests {
             &[
                 reply(0, &["name -> name"], false),
                 ShardReply {
+                    shard: 1,
                     worker: 1,
                     outcome: Err("down (respawning)".into()),
                 },

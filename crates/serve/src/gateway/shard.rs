@@ -9,10 +9,16 @@
 //!   order `--data` flags appear in.
 //! - **Sharded** datasets are split into contiguous row ranges, one
 //!   slice file per worker, written under the gateway's private temp
-//!   directory. The gateway also keeps the *full* relation in memory:
-//!   the fan-out merger re-validates every candidate dependency on the
-//!   full snapshot (see [`super::merge`]), and non-discovery tasks on a
-//!   sharded dataset are answered locally from the same snapshot.
+//!   directory. Each slice is registered on its holders under the
+//!   *slice name* `dataset#index`, so one worker can hold several
+//!   copies of several slices without name collisions — the basis for
+//!   replica reads (`--replicas` places slice `j` on the next `R`
+//!   workers too) and failover re-homing (a dead primary's slice is
+//!   POSTed to a survivor under the same slice name). The gateway also
+//!   keeps the *full* relation in memory: the fan-out merger
+//!   re-validates every candidate dependency on the full snapshot (see
+//!   [`super::merge`]), and non-discovery tasks on a sharded dataset
+//!   are answered locally from the same snapshot.
 //!
 //! Every worker must end up with at least one `--data` spec (the worker
 //! binary refuses to start empty), so workers the digest left bare are
@@ -38,14 +44,40 @@ pub struct DatasetSpec {
     pub shard: bool,
 }
 
+/// One row slice of a sharded dataset: where its copies live and what
+/// it takes to re-create one on a survivor.
+#[derive(Debug, Clone)]
+pub(crate) struct SliceRoute {
+    /// Slice index within the dataset (`0..slices`).
+    pub index: usize,
+    /// The name every holder registers the slice under
+    /// (`dataset#index`) — uniform across primary, replicas, and
+    /// re-homed copies, so the fan-out body is holder-independent.
+    pub slice_name: String,
+    /// The slice CSV file, retained under the gateway's slice dir for
+    /// its whole lifetime: re-homing reads it back and POSTs it.
+    pub path: String,
+    /// Column-type spec the slice was parsed with (re-home must match).
+    pub types: Option<String>,
+    /// The worker whose boot argv loads this slice.
+    pub primary: usize,
+    /// Boot-time replica holders (successor workers), primary excluded.
+    pub replicas: Vec<usize>,
+}
+
+/// Render the uniform slice name for slice `index` of `dataset`.
+pub(crate) fn slice_name(dataset: &str, index: usize) -> String {
+    format!("{dataset}#{index}")
+}
+
 /// The computed placement: who holds what, and the full snapshots the
 /// gateway keeps for merging.
 #[derive(Debug)]
 pub(crate) struct Plan {
     /// Full in-memory snapshots of every sharded dataset.
     pub sharded: Vec<(String, Relation)>,
-    /// Sharded dataset → workers holding a (non-empty) slice.
-    pub shard_workers: BTreeMap<String, Vec<usize>>,
+    /// Sharded dataset → its slice routes, in slice order.
+    pub slices: BTreeMap<String, Vec<SliceRoute>>,
     /// Non-sharded dataset → ordered candidates (home first, then replicas).
     pub homes: BTreeMap<String, Vec<usize>>,
     /// Per-worker `name=path[:types]` specs for the worker command line.
@@ -141,7 +173,7 @@ pub(crate) fn build_plan(
     let workers = workers.max(1);
     let mut plan = Plan {
         sharded: Vec::new(),
-        shard_workers: BTreeMap::new(),
+        slices: BTreeMap::new(),
         homes: BTreeMap::new(),
         worker_specs: vec![Vec::new(); workers],
         warnings: Vec::new(),
@@ -157,7 +189,7 @@ pub(crate) fn build_plan(
         if spec.shard {
             let relation =
                 load_relation(&spec.path, spec.types.as_deref(), lossy, &mut plan.warnings)?;
-            let mut holders = Vec::new();
+            let mut routes = Vec::new();
             for i in 0..workers {
                 let (start, len) = slice_range(relation.n_rows(), workers, i);
                 if len == 0 {
@@ -170,14 +202,27 @@ pub(crate) fn build_plan(
                     path: path.display().to_string(),
                     message: e.to_string(),
                 })?;
-                plan.worker_specs[i].push(render_spec(
-                    &spec.name,
-                    &path.display().to_string(),
-                    spec.types.as_deref(),
-                ));
-                holders.push(i);
+                let name = slice_name(&spec.name, i);
+                let path_str = path.display().to_string();
+                plan.worker_specs[i].push(render_spec(&name, &path_str, spec.types.as_deref()));
+                // Replica reads: place the same slice file on the next
+                // `replicas` workers too (distinct from the primary).
+                let mut replica_holders = Vec::new();
+                for k in 1..=replicas.min(workers - 1) {
+                    let w = (i + k) % workers;
+                    replica_holders.push(w);
+                    plan.worker_specs[w].push(render_spec(&name, &path_str, spec.types.as_deref()));
+                }
+                routes.push(SliceRoute {
+                    index: i,
+                    slice_name: name,
+                    path: path_str,
+                    types: spec.types.clone(),
+                    primary: i,
+                    replicas: replica_holders,
+                });
             }
-            plan.shard_workers.insert(spec.name.clone(), holders);
+            plan.slices.insert(spec.name.clone(), routes);
             plan.sharded.push((spec.name.clone(), relation));
         } else {
             let home = (fnv1a64(&spec.name) % workers as u64) as usize;
@@ -273,8 +318,17 @@ mod tests {
             },
         ];
         let plan = build_plan(&specs, 2, 0, &dir, false).unwrap();
-        // Both workers hold a slice of `big`; exactly one is home to `small`.
-        assert_eq!(plan.shard_workers["big"], vec![0, 1]);
+        // Both workers hold a slice of `big` under its slice name;
+        // exactly one is home to `small`.
+        let routes = &plan.slices["big"];
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].slice_name, "big#0");
+        assert_eq!(routes[0].primary, 0);
+        assert_eq!(routes[1].slice_name, "big#1");
+        assert_eq!(routes[1].primary, 1);
+        assert!(routes.iter().all(|r| r.replicas.is_empty()));
+        assert!(plan.worker_specs[0].iter().any(|s| s.starts_with("big#0=")));
+        assert!(plan.worker_specs[1].iter().any(|s| s.starts_with("big#1=")));
         assert_eq!(plan.homes["small"].len(), 1);
         assert_eq!(plan.sharded.len(), 1);
         assert_eq!(plan.sharded[0].1.n_rows(), 3);
@@ -285,6 +339,38 @@ mod tests {
         assert_eq!(s1.lines().count(), 2, "{s1}");
         // No worker is left without data.
         assert!(plan.worker_specs.iter().all(|s| !s.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicas_place_each_slice_on_successor_workers() {
+        let dir =
+            std::env::temp_dir().join(format!("deptree-shard-replica-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("toy.csv");
+        std::fs::write(&csv, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let specs = [DatasetSpec {
+            name: "big".into(),
+            path: csv.display().to_string(),
+            types: None,
+            shard: true,
+        }];
+        let plan = build_plan(&specs, 3, 1, &dir, false).unwrap();
+        let routes = &plan.slices["big"];
+        assert_eq!(routes.len(), 3);
+        for r in routes {
+            assert_eq!(r.replicas, vec![(r.primary + 1) % 3]);
+            // Holder argv: the replica loads the *same* slice file under
+            // the same slice name as the primary.
+            let spec = format!("{}={}", r.slice_name, r.path);
+            assert!(plan.worker_specs[r.primary].contains(&spec));
+            assert!(plan.worker_specs[r.replicas[0]].contains(&spec));
+        }
+        // Replica counts never exceed the worker pool.
+        let plan = build_plan(&specs, 2, 5, &dir, false).unwrap();
+        for r in &plan.slices["big"] {
+            assert_eq!(r.replicas.len(), 1, "capped at workers - 1");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

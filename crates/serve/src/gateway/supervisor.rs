@@ -1,16 +1,22 @@
-//! Worker supervision: spawn, probe, respawn with backoff, quarantine.
+//! Worker supervision: spawn, probe, respawn with backoff, quarantine,
+//! probation, and coordinated drains for rolling restarts.
 //!
 //! Each worker slot walks a small state machine:
 //!
 //! ```text
 //!          spawn ok             "listening on" scraped
-//! Down ────────────▶ Starting ─────────────────────▶ Up
-//!  ▲                    │  spawn timeout               │ exit / N failed
-//!  │                    ▼                              ▼ /readyz probes
-//!  └──── backoff ───── crash ◀─────────────────────── crash
-//!                        │ K consecutive fast crashes
-//!                        ▼
-//!                   Quarantined ── cooldown ──▶ Down (probation)
+//! Down ────────────▶ Starting ─────────────────────▶ Up ◀──────┐
+//!  ▲                    │  spawn timeout               │        │ healthy for
+//!  │                    ▼                              │        │ `fast_crash`
+//!  └──── backoff ───── crash ◀───────────────────── exit /    (probation
+//!                        │ K consecutive fast        N failed   passes, crash
+//!                        ▼ crashes                   probes     fuel := 0)
+//!                   Quarantined ── cooldown ──▶ Starting (probation)
+//!
+//!            begin_drain (SIGTERM)              child exits (or grace
+//! Up ──────────────────────────────▶ Draining ─────────────────────▶ Starting
+//!                                       │ grace expires: SIGKILL + audit
+//!                                       └──────────────────────────▶ Starting
 //! ```
 //!
 //! Respawn delay is `base · 2^consecutive_fast_crashes`, capped at
@@ -18,8 +24,14 @@
 //! resets the streak. After `quarantine_after` consecutive fast crashes
 //! the slot is **quarantined**: no respawn attempts for
 //! `quarantine_cooldown`, so a wedged binary cannot hot-loop the
-//! supervisor. Leaving quarantine is probation — one more fast crash
-//! re-quarantines immediately.
+//! supervisor. Leaving quarantine is **probation**: one more fast crash
+//! re-quarantines immediately (with a fresh cooldown), while surviving
+//! `fast_crash` of uptime resets the crash fuel to zero — a worker that
+//! recovered is indistinguishable from one that never crashed.
+//! **Draining** is the planned counterpart of a crash: the slot leaves
+//! the routable set, its child gets exactly one SIGTERM, and the respawn
+//! carries no crash accounting. The slot's lifecycle is published as the
+//! one-hot `deptree_worker_slot_state{slot,state}` gauge family.
 //!
 //! The tick thread never blocks on child I/O: worker stdout/stderr are
 //! drained by dedicated reader threads (a full pipe would otherwise wedge
@@ -77,6 +89,10 @@ pub(crate) enum Phase {
     Down,
     /// Crash-looping; respawns suspended for the cooldown.
     Quarantined,
+    /// Planned drain (rolling restart): SIGTERM sent, waiting for the
+    /// child to finish its in-flight work and exit; respawned without
+    /// crash accounting.
+    Draining,
 }
 
 impl Phase {
@@ -86,6 +102,7 @@ impl Phase {
             Phase::Up => "up",
             Phase::Down => "down",
             Phase::Quarantined => "quarantined",
+            Phase::Draining => "draining",
         }
     }
 }
@@ -102,9 +119,29 @@ struct SlotState {
     restarts: u64,
     fast_crashes: u32,
     probe_failures: u32,
+    /// Up, but fresh out of quarantine: one fast crash re-quarantines,
+    /// surviving `fast_crash` of uptime resets the crash fuel.
+    probation: bool,
     spawned_at: Instant,
     last_probe: Instant,
     retry_at: Instant,
+}
+
+/// The lifecycle state published on the wire
+/// (`deptree_worker_slot_state{state=…}` and `/healthz`).
+fn wire_state(st: &SlotState) -> &'static str {
+    match st.phase {
+        Phase::Draining => "draining",
+        Phase::Quarantined => "quarantined",
+        Phase::Up if st.probation => "probation",
+        Phase::Up => "up",
+        Phase::Starting | Phase::Down => "respawning",
+    }
+}
+
+/// Publish one slot's lifecycle to the one-hot gauge family.
+fn publish(id: usize, st: &SlotState) {
+    telemetry::set_slot_state(id, wire_state(st));
 }
 
 /// One supervised worker slot.
@@ -151,6 +188,7 @@ impl Supervisor {
                         restarts: 0,
                         fast_crashes: 0,
                         probe_failures: 0,
+                        probation: false,
                         spawned_at: now,
                         last_probe: now,
                         retry_at: now,
@@ -236,6 +274,66 @@ impl Supervisor {
             .count()
     }
 
+    /// How many worker slots the fleet has (fixed at start).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Up and past probation: the slot is a trustworthy home again.
+    /// Re-absorb (undoing a re-home) waits for this, not just Up — a
+    /// worker on probation may be about to re-quarantine.
+    pub fn settled(&self, id: usize) -> bool {
+        self.slots.get(id).is_some_and(|s| {
+            let st = lock(s);
+            st.phase == Phase::Up && !st.probation
+        })
+    }
+
+    /// The slot's current spawn epoch. A re-homed copy remembers the
+    /// epoch of the worker it was POSTed to; when that worker respawns
+    /// (epoch moves) the copy died with the old process.
+    pub fn epoch_of(&self, id: usize) -> Option<u64> {
+        self.slots.get(id).map(|s| lock(s).epoch)
+    }
+
+    /// Respawn count of one slot.
+    pub fn restarts_of(&self, id: usize) -> u64 {
+        self.slots.get(id).map_or(0, |s| lock(s).restarts)
+    }
+
+    /// Begin a planned drain of one Up slot (rolling restart): leave the
+    /// routable set, send the child its single SIGTERM, and let the tick
+    /// thread respawn it when it exits (force-killing at `child_grace`
+    /// with an audit line). Returns `false` when the slot is not Up —
+    /// the caller should skip it, the crash machinery already owns it.
+    pub fn begin_drain(&self, id: usize) -> bool {
+        let Some(slot) = self.slots.get(id) else {
+            return false;
+        };
+        let pid = {
+            let mut st = lock(slot);
+            if st.phase != Phase::Up {
+                return false;
+            }
+            let Some(pid) = st.pid else {
+                return false;
+            };
+            st.phase = Phase::Draining;
+            st.retry_at = Instant::now() + self.cfg.child_grace;
+            // Routing reads `addr` only while Up, but clear it anyway so
+            // no path can hand out a draining worker.
+            st.addr = None;
+            telemetry::worker_up(id).set(0);
+            publish(id, &st);
+            pid
+        };
+        // Exactly one SIGTERM, outside the lock: `deptree serve` treats
+        // a second one as "force exit 130".
+        signal::send(pid, signal::SIGTERM);
+        log(&format!("worker {id} (pid {pid}) draining for restart"));
+        true
+    }
+
     /// Per-worker status for `/healthz`.
     pub fn status_json(&self) -> Vec<Json> {
         self.slots
@@ -245,6 +343,7 @@ impl Supervisor {
                 let mut j = Json::obj()
                     .set("worker", s.id as u64)
                     .set("phase", st.phase.name())
+                    .set("state", wire_state(&st))
                     .set("restarts", st.restarts);
                 if let Some(addr) = &st.addr {
                     j = j.set("addr", addr.as_str());
@@ -283,6 +382,7 @@ impl Supervisor {
                 st.addr = None;
                 st.probe_failures = 0;
                 st.spawned_at = Instant::now();
+                publish(slot.id, st);
                 if let Some(out) = stdout {
                     let s = Arc::clone(slot);
                     std::thread::Builder::new()
@@ -323,6 +423,8 @@ impl Supervisor {
         st.pid = None;
         st.epoch += 1;
         st.probe_failures = 0;
+        let was_probation = st.probation;
+        st.probation = false;
         telemetry::worker_up(id).set(0);
         let fast = st.spawned_at.elapsed() < self.cfg.fast_crash;
         if fast {
@@ -332,9 +434,16 @@ impl Supervisor {
         }
         if st.fast_crashes >= self.cfg.quarantine_after {
             st.phase = Phase::Quarantined;
+            // A fresh, full cooldown every time — a probation failure is
+            // not cheaper than the original quarantine.
             st.retry_at = Instant::now() + self.cfg.quarantine_cooldown;
+            let cause = if was_probation {
+                " (probation failed)"
+            } else {
+                ""
+            };
             log(&format!(
-                "worker {id} quarantined after {} fast crashes ({why}); cooldown {:?}",
+                "worker {id} quarantined after {} fast crashes{cause} ({why}); cooldown {:?}",
                 st.fast_crashes, self.cfg.quarantine_cooldown
             ));
         } else {
@@ -348,6 +457,7 @@ impl Supervisor {
             st.retry_at = Instant::now() + backoff;
             log(&format!("worker {id} down ({why}); respawn in {backoff:?}"));
         }
+        publish(id, st);
     }
 
     fn tick(&self) {
@@ -373,14 +483,31 @@ impl Supervisor {
                         if child_exited(&mut st) {
                             self.crash(slot.id, &mut st, "exited");
                             Action::None
-                        } else if st.last_probe.elapsed() >= self.cfg.probe_interval {
-                            st.last_probe = Instant::now();
-                            match &st.addr {
-                                Some(addr) => Action::Probe(addr.clone(), st.epoch),
-                                None => Action::None,
-                            }
                         } else {
-                            Action::None
+                            // A healthy stretch pays the crash fuel back
+                            // to zero; for a probation slot that is the
+                            // one-shot probation *passing*.
+                            if st.fast_crashes > 0 && st.spawned_at.elapsed() >= self.cfg.fast_crash
+                            {
+                                st.fast_crashes = 0;
+                                if st.probation {
+                                    st.probation = false;
+                                    log(&format!(
+                                        "worker {} probation passed; crash fuel reset",
+                                        slot.id
+                                    ));
+                                }
+                                publish(slot.id, &st);
+                            }
+                            if st.last_probe.elapsed() >= self.cfg.probe_interval {
+                                st.last_probe = Instant::now();
+                                match &st.addr {
+                                    Some(addr) => Action::Probe(addr.clone(), st.epoch),
+                                    None => Action::None,
+                                }
+                            } else {
+                                Action::None
+                            }
                         }
                     }
                     Phase::Down | Phase::Quarantined => {
@@ -388,8 +515,45 @@ impl Supervisor {
                             if st.phase == Phase::Quarantined {
                                 // Probation: one more fast crash re-quarantines.
                                 st.fast_crashes = self.cfg.quarantine_after.saturating_sub(1);
+                                st.probation = true;
                                 log(&format!("worker {} leaves quarantine (probation)", slot.id));
                             }
+                            st.restarts += 1;
+                            telemetry::worker_restarts(slot.id).inc();
+                            self.spawn_worker(slot, &mut st);
+                        }
+                        Action::None
+                    }
+                    Phase::Draining => {
+                        if child_exited(&mut st) {
+                            // Planned restart: no crash accounting, no
+                            // backoff — respawn right away.
+                            st.child = None;
+                            st.pid = None;
+                            st.epoch += 1;
+                            st.fast_crashes = 0;
+                            st.probation = false;
+                            st.restarts += 1;
+                            telemetry::worker_restarts(slot.id).inc();
+                            log(&format!("worker {} drained; respawning", slot.id));
+                            self.spawn_worker(slot, &mut st);
+                        } else if Instant::now() >= st.retry_at {
+                            // The drain grace expired: force the child
+                            // down, leave an audit trail, respawn.
+                            let pid = st.pid.unwrap_or(0);
+                            if let Some(mut child) = st.child.take() {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                            }
+                            telemetry::gateway_metrics().force_kill.inc();
+                            log(&format!(
+                                "worker {} (pid {pid}) force-killed: drain grace {:?} expired",
+                                slot.id, self.cfg.child_grace
+                            ));
+                            st.pid = None;
+                            st.epoch += 1;
+                            st.fast_crashes = 0;
+                            st.probation = false;
                             st.restarts += 1;
                             telemetry::worker_restarts(slot.id).inc();
                             self.spawn_worker(slot, &mut st);
@@ -445,8 +609,19 @@ impl Supervisor {
                 // shutdown take N × grace, it just costs later (healthy,
                 // near-instant) workers their slack.
                 let grace = deadline.saturating_duration_since(Instant::now());
-                let status = signal::reap_with_grace(&mut child, grace);
-                let outcome = match status {
+                let reap = signal::reap_with_grace_report(&mut child, grace);
+                if reap.forced {
+                    // The audit trail for the satellite: which child ate
+                    // its whole grace and had to be SIGKILLed.
+                    telemetry::gateway_metrics().force_kill.inc();
+                    log(&format!(
+                        "worker {} (pid {}) force-killed: shutdown grace expired ({:?} shared)",
+                        slot.id,
+                        st.pid.unwrap_or(0),
+                        self.cfg.child_grace
+                    ));
+                }
+                let outcome = match reap.status {
                     Some(s) if s.success() => "exited cleanly".to_owned(),
                     Some(s) => format!("exited with {s}"),
                     None => "did not exit".to_owned(),
@@ -460,7 +635,9 @@ impl Supervisor {
             st.pid = None;
             st.addr = None;
             st.phase = Phase::Down;
+            st.probation = false;
             telemetry::worker_up(slot.id).set(0);
+            publish(slot.id, &st);
         }
     }
 }
@@ -502,6 +679,7 @@ fn scrape_stdout(slot: &Arc<Slot>, epoch: u64, out: ChildStdout) {
                 st.probe_failures = 0;
                 st.last_probe = Instant::now();
                 telemetry::worker_up(slot.id).set(1);
+                publish(slot.id, &st);
                 log(&format!(
                     "worker {} (pid {}) up at {}",
                     slot.id,
@@ -574,6 +752,157 @@ mod tests {
         // The spawn-fail path must count attempts, not spin: with base 20ms
         // and doubling, a hot loop would show hundreds of restarts.
         assert!(sup.restarts() < 10, "restarts = {}", sup.restarts());
+        sup.shutdown();
+    }
+
+    /// Poll until `cond` or the deadline; returns whether it held.
+    fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cond()
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn probation_failure_requarantines_with_a_fresh_cooldown() {
+        // `false` crashes instantly, on probation too: every cooldown
+        // buys exactly one doomed respawn, then a fresh quarantine.
+        let mut cfg = tiny_cfg("false", vec![vec![]]);
+        cfg.quarantine_after = 2;
+        cfg.quarantine_cooldown = Duration::from_millis(300);
+        let sup = Supervisor::start(cfg);
+        assert!(
+            wait_for(|| sup.quarantined_count() == 1, Duration::from_secs(10)),
+            "never quarantined: {:?}",
+            sup.status_json()
+        );
+        let restarts_at_quarantine = sup.restarts();
+        // Cooldown expires → one probation respawn → instant crash →
+        // quarantined again (not respawn-looping).
+        assert!(
+            wait_for(
+                || sup.restarts() > restarts_at_quarantine,
+                Duration::from_secs(10)
+            ),
+            "probation respawn never happened"
+        );
+        assert!(
+            wait_for(|| sup.quarantined_count() == 1, Duration::from_secs(10)),
+            "probation failure did not re-quarantine: {:?}",
+            sup.status_json()
+        );
+        // The re-quarantine carries a *fresh* cooldown: well inside it,
+        // no further respawn may happen.
+        let restarts = sup.restarts();
+        assert_eq!(
+            restarts,
+            restarts_at_quarantine + 1,
+            "one respawn per probation"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            sup.restarts(),
+            restarts,
+            "respawned inside the fresh cooldown"
+        );
+        sup.shutdown();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn probation_success_resets_crash_fuel_to_zero() {
+        // The worker crashes instantly until the marker file exists,
+        // then announces an address and stays up — quarantine, then a
+        // probation that passes.
+        let marker = std::env::temp_dir().join(format!("deptree-probation-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let script = format!(
+            "if [ -f '{m}' ]; then echo 'listening on 127.0.0.1:9'; exec sleep 30; else exit 1; fi",
+            m = marker.display()
+        );
+        let mut cfg = tiny_cfg("sh", vec![vec!["-c".to_owned(), script]]);
+        cfg.quarantine_after = 2;
+        cfg.quarantine_cooldown = Duration::from_millis(200);
+        cfg.fast_crash = Duration::from_millis(300);
+        cfg.probe_failures = u32::MAX; // the fake addr never probes green
+        let sup = Supervisor::start(cfg);
+        assert!(
+            wait_for(|| sup.quarantined_count() == 1, Duration::from_secs(10)),
+            "never quarantined: {:?}",
+            sup.status_json()
+        );
+        // Flip the worker healthy; the next probation spawn survives.
+        std::fs::write(&marker, b"ok").unwrap();
+        assert!(
+            wait_for(
+                || {
+                    let st = lock(&sup.slots[0]);
+                    st.phase == Phase::Up && st.probation
+                },
+                Duration::from_secs(10)
+            ),
+            "probation worker never came up: {:?}",
+            sup.status_json()
+        );
+        {
+            let st = lock(&sup.slots[0]);
+            assert_eq!(wire_state(&st), "probation");
+            assert!(st.fast_crashes > 0, "probation must still carry crash fuel");
+        }
+        // Surviving `fast_crash` of uptime passes probation and zeroes
+        // the fuel: the recovered worker is indistinguishable from one
+        // that never crashed.
+        assert!(
+            wait_for(|| sup.settled(0), Duration::from_secs(10)),
+            "probation never passed: {:?}",
+            sup.status_json()
+        );
+        {
+            let st = lock(&sup.slots[0]);
+            assert_eq!(
+                st.fast_crashes, 0,
+                "probation success must reset crash fuel"
+            );
+            assert!(!st.probation);
+            assert_eq!(wire_state(&st), "up");
+        }
+        let _ = std::fs::remove_file(&marker);
+        sup.shutdown();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn begin_drain_restarts_without_crash_accounting() {
+        let script = "echo 'listening on 127.0.0.1:9'; exec sleep 30";
+        let mut cfg = tiny_cfg("sh", vec![vec!["-c".to_owned(), script.to_owned()]]);
+        cfg.probe_failures = u32::MAX;
+        let sup = Supervisor::start(cfg);
+        assert!(
+            wait_for(|| sup.live_count() == 1, Duration::from_secs(10)),
+            "worker never came up: {:?}",
+            sup.status_json()
+        );
+        let pid_before = sup.pids()[0];
+        assert!(sup.begin_drain(0), "drain of an Up slot must start");
+        // A second drain of the same (now Draining) slot is refused.
+        assert!(!sup.begin_drain(0));
+        assert!(
+            wait_for(
+                || sup.live_count() == 1 && sup.pids()[0] != pid_before,
+                Duration::from_secs(10)
+            ),
+            "drained worker never respawned: {:?}",
+            sup.status_json()
+        );
+        let st = lock(&sup.slots[0]);
+        assert_eq!(st.restarts, 1, "a planned restart counts as one restart");
+        assert_eq!(st.fast_crashes, 0, "a planned restart is not a crash");
+        drop(st);
         sup.shutdown();
     }
 

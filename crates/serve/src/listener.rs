@@ -239,13 +239,13 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
         telemetry::dataset_bytes(&name).set(r.approx_bytes() as i64);
         datasets.insert(name, r);
     }
-    let app = Arc::new(AppState {
+    let app = Arc::new(AppState::new(
         datasets,
         drain,
-        threads: config.threads.max(1),
-        default_deadline: config.default_deadline,
-        max_deadline: config.max_deadline,
-    });
+        config.threads.max(1),
+        config.default_deadline,
+        config.max_deadline,
+    ));
     let opts = ListenOpts {
         addr: config.addr,
         max_connections: config.max_connections,

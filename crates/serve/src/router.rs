@@ -17,6 +17,8 @@
 //! | POST | `/v1/detect`   | violation witnesses of one rule |
 //! | POST | `/v1/repair`   | FD repair; returns repaired CSV |
 //! | POST | `/v1/dedup`    | exact-key duplicate clustering |
+//! | POST | `/admin/datasets`      | register a dataset from inline CSV |
+//! | POST | `/admin/datasets/drop` | unregister a dataset |
 //!
 //! Task bodies share the envelope `{dataset, timeout_ms?, max_nodes?,
 //! max_rows?}` plus per-task fields; task responses share `{task,
@@ -31,15 +33,20 @@ use crate::protocol::{budget_wire, code_for, error_body, ErrorCode, Request};
 use crate::tasks;
 use deptree_core::engine::{Budget, Exec};
 use deptree_core::DeptreeError;
-use deptree_relation::{to_csv, Relation};
+use deptree_relation::{parse_csv, to_csv, Relation, ValueType};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-/// Immutable per-server state shared by all workers.
+/// Per-server state shared by all workers. Everything is immutable
+/// except the dataset map, which `/admin/datasets` may grow or shrink
+/// at runtime (the gateway re-homes a dead worker's slice by POSTing
+/// it to a survivor), and the drain/engine atomics.
 pub struct AppState {
-    /// Named, preloaded datasets.
-    pub datasets: BTreeMap<String, Relation>,
+    /// Named datasets: preloaded at boot, extended over `/admin`.
+    /// `Arc` per relation so a task keeps its snapshot alive even if an
+    /// admin drop races the request — reads never block on a parse.
+    datasets: RwLock<BTreeMap<String, Arc<Relation>>>,
     /// Lifecycle flags; the router refuses task work while draining.
     pub drain: Arc<DrainState>,
     /// Worker threads each request's `Exec` may use.
@@ -48,6 +55,70 @@ pub struct AppState {
     pub default_deadline: Duration,
     /// Hard cap on any requested deadline.
     pub max_deadline: Duration,
+}
+
+impl AppState {
+    /// Wrap a boot-time dataset map into shared state.
+    pub fn new(
+        datasets: BTreeMap<String, Relation>,
+        drain: Arc<DrainState>,
+        threads: usize,
+        default_deadline: Duration,
+        max_deadline: Duration,
+    ) -> Self {
+        AppState {
+            datasets: RwLock::new(
+                datasets
+                    .into_iter()
+                    .map(|(k, v)| (k, Arc::new(v)))
+                    .collect(),
+            ),
+            drain,
+            threads,
+            default_deadline,
+            max_deadline,
+        }
+    }
+
+    /// Fetch one dataset's relation (a cheap `Arc` clone).
+    pub fn dataset(&self, name: &str) -> Option<Arc<Relation>> {
+        self.datasets
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Register (or replace) a dataset at runtime. Returns `true` when a
+    /// same-named dataset was replaced.
+    pub fn insert_dataset(&self, name: String, relation: Relation) -> bool {
+        self.datasets
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name, Arc::new(relation))
+            .is_some()
+    }
+
+    /// Drop a dataset. Returns `true` when it existed. In-flight tasks
+    /// holding its `Arc` finish unharmed.
+    pub fn remove_dataset(&self, name: &str) -> bool {
+        self.datasets
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(name)
+            .is_some()
+    }
+
+    /// `(name, rows, columns)` for every registered dataset, in name
+    /// order — the `/v1/datasets` catalogue.
+    pub fn dataset_summaries(&self) -> Vec<(String, usize, usize)> {
+        self.datasets
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(name, r)| (name.clone(), r.n_rows(), r.n_attrs()))
+            .collect()
+    }
 }
 
 /// Dispatch one request. Infallible: every failure becomes a structured
@@ -75,13 +146,13 @@ pub fn handle(app: &AppState, req: &Request) -> (u16, Json) {
         }
         ("GET", "/v1/datasets") => {
             let list: Vec<Json> = app
-                .datasets
-                .iter()
-                .map(|(name, r)| {
+                .dataset_summaries()
+                .into_iter()
+                .map(|(name, rows, columns)| {
                     Json::obj()
                         .set("name", name.as_str())
-                        .set("rows", r.n_rows())
-                        .set("columns", r.n_attrs())
+                        .set("rows", rows)
+                        .set("columns", columns)
                 })
                 .collect();
             (200, Json::obj().set("datasets", list))
@@ -89,7 +160,12 @@ pub fn handle(app: &AppState, req: &Request) -> (u16, Json) {
         ("POST", "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup") => {
             task(app, req)
         }
-        (_, "/healthz" | "/readyz" | "/v1/datasets") => err(
+        ("POST", "/admin/datasets") => admin_load(app, req),
+        ("POST", "/admin/datasets/drop") => admin_drop(app, req),
+        (
+            _,
+            "/healthz" | "/readyz" | "/v1/datasets" | "/admin/datasets" | "/admin/datasets/drop",
+        ) => err(
             ErrorCode::MethodNotAllowed,
             &format!("{} not allowed here", req.method),
         ),
@@ -135,9 +211,10 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
     let Some(name) = body.str_field("dataset") else {
         return err(ErrorCode::BadRequest, "missing `dataset` field");
     };
-    let Some(relation) = app.datasets.get(name) else {
+    let Some(relation) = app.dataset(name) else {
         return err(ErrorCode::NotFound, &format!("unknown dataset `{name}`"));
     };
+    let relation = relation.as_ref();
 
     let exec = match exec_for(app, &body) {
         Ok(exec) => exec,
@@ -219,6 +296,104 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
     }
 }
 
+/// Parse the admin `types` spec (`"c,t,n"` — one letter per column).
+fn admin_types(spec: &str) -> Result<Vec<ValueType>, String> {
+    spec.split(',')
+        .map(|t| match t.trim() {
+            "c" => Ok(ValueType::Categorical),
+            "t" => Ok(ValueType::Text),
+            "n" => Ok(ValueType::Numeric),
+            other => Err(format!("bad column type `{other}` (want c, t or n)")),
+        })
+        .collect()
+}
+
+/// `POST /admin/datasets` — register a dataset at runtime from inline
+/// CSV: `{name, csv, types?}`. This is the re-homing primitive: the
+/// gateway ships a dead worker's row slice here so a survivor can serve
+/// it without a restart. Strict parse (no lossy salvage): the payload
+/// comes from a process that already parsed it once, so any defect is a
+/// bug worth surfacing, not data to repair.
+fn admin_load(app: &AppState, req: &Request) -> (u16, Json) {
+    // Track as in-flight so a drain never cuts a half-applied load.
+    let _inflight = app.drain.track();
+    if app.drain.is_draining() {
+        return err(ErrorCode::Draining, "server is draining");
+    }
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return err(ErrorCode::Parse, &msg),
+    };
+    let Some(name) = body.str_field("name") else {
+        return err(ErrorCode::BadRequest, "missing `name` field");
+    };
+    let Some(csv) = body.str_field("csv") else {
+        return err(ErrorCode::BadRequest, "missing `csv` field");
+    };
+    let types = match body.str_field("types") {
+        Some(spec) => match admin_types(spec) {
+            Ok(types) => Some(types),
+            Err(msg) => return err(ErrorCode::InvalidConfig, &msg),
+        },
+        None => None,
+    };
+    let types = match types {
+        Some(t) => t,
+        None => {
+            let cols = csv.lines().next().map_or(0, |h| h.split(',').count());
+            vec![ValueType::Categorical; cols]
+        }
+    };
+    let relation = match parse_csv(csv, &types) {
+        Ok(r) => r,
+        Err(e) => return err(ErrorCode::Parse, &e.to_string()),
+    };
+    let (rows, columns) = (relation.n_rows(), relation.n_attrs());
+    crate::telemetry::dataset_bytes(name).set(relation.approx_bytes() as i64);
+    let replaced = app.insert_dataset(name.to_owned(), relation);
+    (
+        200,
+        Json::obj()
+            .set("loaded", name)
+            .set("rows", rows)
+            .set("columns", columns)
+            .set("replaced", replaced),
+    )
+}
+
+/// `POST /admin/datasets/drop` — unregister a dataset: `{name}`. The
+/// re-absorb half of re-homing: once the primary is healthy again the
+/// gateway drops the survivor's temporary copy. Dropping a name that
+/// is not registered is not an error (`existed: false`) — re-absorb is
+/// idempotent.
+fn admin_drop(app: &AppState, req: &Request) -> (u16, Json) {
+    let _inflight = app.drain.track();
+    if app.drain.is_draining() {
+        return err(ErrorCode::Draining, "server is draining");
+    }
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return err(ErrorCode::Parse, &msg),
+    };
+    let Some(name) = body.str_field("name") else {
+        return err(ErrorCode::BadRequest, "missing `name` field");
+    };
+    let existed = app.remove_dataset(name);
+    if existed {
+        crate::telemetry::dataset_bytes(name).set(0);
+    }
+    (
+        200,
+        Json::obj().set("dropped", name).set("existed", existed),
+    )
+}
+
 fn rule_of(body: &Json) -> Result<&str, DeptreeError> {
     body.str_field("rule")
         .ok_or_else(|| DeptreeError::InvalidConfig("missing `rule` field".into()))
@@ -259,13 +434,13 @@ mod tests {
     fn app() -> AppState {
         let mut datasets = BTreeMap::new();
         datasets.insert("hotels".to_owned(), hotels_r1());
-        AppState {
+        AppState::new(
             datasets,
-            drain: DrainState::new(),
-            threads: 1,
-            default_deadline: Duration::from_secs(10),
-            max_deadline: Duration::from_secs(30),
-        }
+            DrainState::new(),
+            1,
+            Duration::from_secs(10),
+            Duration::from_secs(30),
+        )
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -391,6 +566,87 @@ mod tests {
             body.get("error").and_then(|e| e.str_field("code")),
             Some("invalid_config")
         );
+    }
+
+    #[test]
+    fn admin_load_registers_a_dataset_for_immediate_queries() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/admin/datasets",
+                r#"{"name":"mini#1","csv":"a,b\n1,x\n1,x\n2,y\n","types":"c,c"}"#,
+            ),
+        );
+        assert_eq!(status, 200, "{body:?}");
+        assert_eq!(body.str_field("loaded"), Some("mini#1"));
+        assert_eq!(body.u64_field("rows"), Some(3));
+        assert_eq!(body.bool_field("replaced"), Some(false));
+
+        // The slice is queryable under its registered name right away.
+        let (status, body) = handle(
+            &app,
+            &post("/v1/validate", r#"{"dataset":"mini#1","rule":"a -> b"}"#),
+        );
+        assert_eq!(status, 200);
+        assert!(body.str_field("report").unwrap().contains("holds = true"));
+
+        // Re-posting the same name replaces, not duplicates.
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/admin/datasets",
+                r#"{"name":"mini#1","csv":"a,b\n1,x\n","types":"c,c"}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("replaced"), Some(true));
+    }
+
+    #[test]
+    fn admin_drop_is_idempotent_and_unregisters() {
+        let app = app();
+        let (status, _) = handle(
+            &app,
+            &post("/admin/datasets", r#"{"name":"tmp","csv":"a\n1\n"}"#),
+        );
+        assert_eq!(status, 200);
+        let (status, body) = handle(&app, &post("/admin/datasets/drop", r#"{"name":"tmp"}"#));
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("existed"), Some(true));
+        // Second drop: still 200, just `existed: false`.
+        let (status, body) = handle(&app, &post("/admin/datasets/drop", r#"{"name":"tmp"}"#));
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("existed"), Some(false));
+        // And the dataset is gone for task traffic.
+        let (status, _) = handle(
+            &app,
+            &post("/v1/detect", r#"{"dataset":"tmp","rule":"a -> a"}"#),
+        );
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn admin_is_refused_while_draining_and_on_bad_input() {
+        let app = app();
+        let (status, body) = handle(&app, &post("/admin/datasets", r#"{"name":"x"}"#));
+        assert_eq!(status, 400);
+        assert!(body.get("error").is_some());
+        let (status, _) = handle(
+            &app,
+            &post(
+                "/admin/datasets",
+                r#"{"name":"x","csv":"a\n1\n","types":"z"}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert_eq!(handle(&app, &get("/admin/datasets")).0, 405);
+        app.drain.begin();
+        let (status, _) = handle(
+            &app,
+            &post("/admin/datasets", r#"{"name":"x","csv":"a\n1\n"}"#),
+        );
+        assert_eq!(status, 503);
     }
 
     #[test]

@@ -121,6 +121,9 @@ fn normalize_route(path: &str) -> &'static str {
         "/v1/detect" => "/v1/detect",
         "/v1/repair" => "/v1/repair",
         "/v1/dedup" => "/v1/dedup",
+        "/admin/datasets" => "/admin/datasets",
+        "/admin/datasets/drop" => "/admin/datasets/drop",
+        "/admin/reload" => "/admin/reload",
         _ => "other",
     }
 }
@@ -159,6 +162,12 @@ pub struct GatewayMetrics {
     pub proxied: Arc<Counter>,
     /// Workers currently quarantined for crash-looping.
     pub quarantined: Arc<Gauge>,
+    /// Slices re-homed onto a survivor after their primary died.
+    pub reshard: Arc<Counter>,
+    /// Slice reads hedged to a second copy after the primary stalled.
+    pub hedged_reads: Arc<Counter>,
+    /// Children `SIGKILL`ed because the drain deadline expired.
+    pub force_kill: Arc<Counter>,
 }
 
 impl GatewayMetrics {
@@ -184,6 +193,21 @@ impl GatewayMetrics {
             quarantined: reg.gauge(
                 "deptree_gateway_workers_quarantined",
                 "Workers currently quarantined for crash-looping.",
+                &[],
+            ),
+            reshard: reg.counter(
+                "deptree_reshard_total",
+                "Slices re-homed onto a surviving worker after their primary died.",
+                &[],
+            ),
+            hedged_reads: reg.counter(
+                "deptree_hedged_reads_total",
+                "Slice reads hedged to a second live copy after the first stalled.",
+                &[],
+            ),
+            force_kill: reg.counter(
+                "deptree_worker_force_kill_total",
+                "Workers SIGKILLed because they outlived the drain grace deadline.",
                 &[],
             ),
         }
@@ -213,6 +237,42 @@ pub fn worker_restarts(worker: usize) -> Arc<Counter> {
     obs::registry().counter(
         "deptree_gateway_worker_restarts_total",
         "Times the supervisor respawned this worker after a crash or failed probes.",
+        &[("worker", id.as_str())],
+    )
+}
+
+/// Every state a supervised worker slot can be in, in wire order. The
+/// lifecycle gauge emits one series per (slot, state) pair with exactly
+/// one `1` per slot, so dashboards can plot the state machine directly.
+pub const SLOT_STATES: [&str; 5] = ["up", "respawning", "quarantined", "probation", "draining"];
+
+/// One `deptree_worker_slot_state{slot="N",state="S"}` gauge.
+pub fn slot_state(slot: usize, state: &str) -> Arc<Gauge> {
+    let id = slot.to_string();
+    obs::registry().gauge(
+        "deptree_worker_slot_state",
+        "Worker slot lifecycle (one-hot per slot: up, respawning, quarantined, probation, draining).",
+        &[("slot", id.as_str()), ("state", state)],
+    )
+}
+
+/// Publish one slot's lifecycle state: set the named state's gauge to 1
+/// and every other state in the family to 0 (one-hot encoding).
+pub fn set_slot_state(slot: usize, state: &str) {
+    for s in SLOT_STATES {
+        slot_state(slot, s).set(i64::from(s == state));
+    }
+}
+
+/// Per-worker in-flight gauge on the gateway side:
+/// `deptree_gateway_worker_inflight{worker="N"}` — requests this
+/// gateway currently has outstanding against the worker. The fan-out
+/// reads it to pick the least-loaded live copy of a slice.
+pub fn worker_inflight(worker: usize) -> Arc<Gauge> {
+    let id = worker.to_string();
+    obs::registry().gauge(
+        "deptree_gateway_worker_inflight",
+        "Requests the gateway currently has outstanding against this worker.",
         &[("worker", id.as_str())],
     )
 }
@@ -359,15 +419,46 @@ deptree_request_duration_seconds_sum 0.5
     fn gateway_series_exist_at_boot() {
         let _ = gateway_metrics();
         let _ = worker_up(0);
+        set_slot_state(0, "up");
+        let _ = worker_inflight(0);
         let text = render(0);
         for series in [
             "deptree_gateway_fanout_duration_seconds",
             "deptree_gateway_degraded_total",
             "deptree_gateway_workers_quarantined",
             "deptree_gateway_worker_up",
+            "deptree_reshard_total",
+            "deptree_hedged_reads_total",
+            "deptree_worker_force_kill_total",
+            "deptree_gateway_worker_inflight",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn slot_state_gauge_is_one_hot() {
+        set_slot_state(77, "quarantined");
+        let text = obs::registry().render();
+        assert!(
+            text.contains("deptree_worker_slot_state{slot=\"77\",state=\"quarantined\"} 1"),
+            "{text}"
+        );
+        for other in ["up", "respawning", "probation", "draining"] {
+            let line = format!("deptree_worker_slot_state{{slot=\"77\",state=\"{other}\"}} 0");
+            assert!(text.contains(&line), "missing {line} in:\n{text}");
+        }
+        // Moving state flips the hot bit, never leaves two set.
+        set_slot_state(77, "probation");
+        let text = obs::registry().render();
+        assert!(
+            text.contains("deptree_worker_slot_state{slot=\"77\",state=\"probation\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("deptree_worker_slot_state{slot=\"77\",state=\"quarantined\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

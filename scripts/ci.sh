@@ -31,9 +31,14 @@
 #      exit 0;
 #   7. gateway smoke — boot `deptree gateway` with two sharded workers,
 #      round-trip a merged discover, `kill -9` one worker and require the
-#      next fan-out to be a degraded 200 (sound partial, not an error),
-#      wait for the supervisor's respawn to show in the aggregated
-#      /metrics, then SIGTERM-drain the whole fleet to exit 0.
+#      fan-out to *heal* (full, byte-identical answers via failover
+#      re-sharding) before the supervisor's respawn, require the
+#      self-healing metric series in the aggregated /metrics, then
+#      SIGTERM-drain the whole fleet to exit 0;
+#   8. rolling-restart smoke — boot a three-worker sharded gateway, keep
+#      a continuous `deptree query` loop running, trigger
+#      `deptree query reload`, and require zero dropped requests while
+#      every worker restarts exactly once.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -122,11 +127,11 @@ done
 kill -TERM "$serve_pid"
 wait "$serve_pid"   # set -e: non-zero (ungraceful) drain fails the gate
 
-echo "== gateway smoke (shard fan-out, worker kill → degraded 200, respawn, drain) =="
+echo "== gateway smoke (shard fan-out, worker kill → re-shard heal, respawn, drain) =="
 gw_log="$(mktemp)"
 trap 'rm -f "$serve_log" "$gw_log"' EXIT
-# A wide respawn window so the post-kill discover reliably lands while
-# the shard is still down (the degraded path, not the recovered one).
+# A wide respawn window so the healed answers below are provably the
+# work of failover re-sharding, not of the supervisor's respawn.
 target/release/deptree gateway --data hotels=data/hotels.csv:t,t,t,n,n \
     --shard hotels --workers 2 --respawn-base-ms 3000 \
     --addr 127.0.0.1:0 >"$gw_log" 2>&1 &
@@ -146,30 +151,61 @@ done
 [ "$(grep -c ') up at ' "$gw_log")" -ge 2 ] || {
     echo "gateway workers never came up"; cat "$gw_log"; exit 1; }
 
-# A healthy merged fan-out first.
-target/release/deptree query discover --addr "$gw_addr" --dataset hotels \
-    --max-lhs 2 >/dev/null
+# A healthy merged fan-out first — the baseline the healed answers
+# must reproduce byte-for-byte.
+gw_baseline="$(target/release/deptree query discover --addr "$gw_addr" \
+    --dataset hotels --max-lhs 2)"
 
-# kill -9 one worker: the next fan-out must answer 200 with a degraded,
-# still-sound merge. The CLI maps `partial: true` to exit 6 ("truncated,
-# not failed"), so that exact code is the assertion that the response
-# was a partial — any other code means the request actually failed.
+# kill -9 one worker: within the re-shard budget (and well before the
+# 3s respawn backoff) the fan-out must be whole again — the dead
+# worker's slice re-homed onto the survivor. A sound degraded partial
+# (exit 6) is tolerated only inside the brief re-home window; any
+# other exit code is a dropped request and fails the gate.
 victim="$(sed -n 's/^gateway: worker 0 (pid \([0-9]*\)) up at.*/\1/p' "$gw_log" | head -n 1)"
 [ -n "$victim" ] || { echo "no worker 0 pid in gateway log"; cat "$gw_log"; exit 1; }
 kill -9 "$victim"
-set +e
-degraded_report="$(target/release/deptree query discover --addr "$gw_addr" \
-    --dataset hotels --max-lhs 2 2>/dev/null)"
-degraded_rc=$?
-set -e
-[ "$degraded_rc" -eq 6 ] || {
-    echo "expected a degraded partial (exit 6) after the worker kill, got $degraded_rc"
-    echo "$degraded_report"; cat "$gw_log"; exit 1; }
-grep -q "degraded" <<<"$degraded_report" || {
-    echo "degraded merge does not say which worker was lost:"
-    echo "$degraded_report"; cat "$gw_log"; exit 1; }
+healed=""
+healed_reply=""
+for _ in $(seq 1 50); do
+    set +e
+    healed_reply="$(target/release/deptree query discover --addr "$gw_addr" \
+        --dataset hotels --max-lhs 2 2>/dev/null)"
+    healed_rc=$?
+    set -e
+    if [ "$healed_rc" -eq 0 ]; then healed=yes; break; fi
+    [ "$healed_rc" -eq 6 ] || {
+        echo "expected healed (0) or sound partial (6) after the kill, got $healed_rc"
+        echo "$healed_reply"; cat "$gw_log"; exit 1; }
+    sleep 0.05
+done
+[ -n "$healed" ] || {
+    echo "fan-out never healed inside the re-shard budget"; cat "$gw_log"; exit 1; }
+[ "$healed_reply" = "$gw_baseline" ] || {
+    echo "re-sharded reply drifted from the healthy baseline:"
+    diff <(printf '%s\n' "$gw_baseline") <(printf '%s\n' "$healed_reply") || true
+    exit 1; }
+gw_metrics="$(target/release/deptree query metrics --addr "$gw_addr")"
+grep -Eq '^deptree_reshard_total [1-9]' <<<"$gw_metrics" || {
+    echo "healed answers without a re-shard on the books"; echo "$gw_metrics"; exit 1; }
+grep -Fq 'deptree_gateway_worker_restarts_total{worker="0"} 0' <<<"$gw_metrics" || {
+    echo "heal arrived only after the respawn — that is not re-sharding"
+    echo "$gw_metrics"; cat "$gw_log"; exit 1; }
 
-# The supervisor respawns the worker, visible in the aggregated scrape.
+echo "== gateway metrics scrape (self-healing series present) =="
+for series in \
+    deptree_worker_slot_state \
+    deptree_reshard_total \
+    deptree_hedged_reads_total \
+    deptree_worker_force_kill_total; do
+    if ! grep -qF "$series" <<<"$gw_metrics"; then
+        echo "missing required gateway metrics series: $series"
+        echo "$gw_metrics"
+        exit 1
+    fi
+done
+
+# The supervisor still respawns the worker, visible in the aggregated
+# scrape; once it settles, the replane loop re-absorbs the slice.
 restarted=""
 for _ in $(seq 1 150); do
     if target/release/deptree query metrics --addr "$gw_addr" \
@@ -183,5 +219,75 @@ done
 
 kill -TERM "$gw_pid"
 wait "$gw_pid"   # set -e: a fleet that does not drain to 0 fails the gate
+
+echo "== gateway rolling-restart smoke (3 workers, zero dropped requests) =="
+gw2_log="$(mktemp)"
+reload_fail_log="$(mktemp)"
+reload_keep="$(mktemp)"
+trap 'rm -f "$serve_log" "$gw_log" "$gw2_log" "$reload_fail_log" "$reload_keep"' EXIT
+target/release/deptree gateway --data hotels=data/hotels.csv:t,t,t,n,n \
+    --shard hotels --workers 3 --addr 127.0.0.1:0 >"$gw2_log" 2>&1 &
+gw2_pid=$!
+gw2_addr=""
+for _ in $(seq 1 100); do
+    gw2_addr="$(sed -n 's/^listening on //p' "$gw2_log")"
+    [ -n "$gw2_addr" ] && break
+    kill -0 "$gw2_pid" 2>/dev/null || { cat "$gw2_log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$gw2_addr" ] || { echo "gateway never reported its address"; cat "$gw2_log"; exit 1; }
+for _ in $(seq 1 100); do
+    [ "$(grep -c ') up at ' "$gw2_log")" -ge 3 ] && break
+    sleep 0.1
+done
+[ "$(grep -c ') up at ' "$gw2_log")" -ge 3 ] || {
+    echo "gateway workers never came up"; cat "$gw2_log"; exit 1; }
+
+# Continuous query pressure across the whole rolling restart. Every
+# request must land a full exit-0 answer: a degraded partial (6) or a
+# transport failure both count as dropped and fail the gate.
+(
+    while [ -f "$reload_keep" ]; do
+        target/release/deptree query discover --addr "$gw2_addr" \
+            --dataset hotels --max-lhs 2 >/dev/null 2>&1 \
+            || echo "dropped request during rolling restart" >>"$reload_fail_log"
+        sleep 0.05
+    done
+) &
+reload_loop_pid=$!
+
+target/release/deptree query reload --addr "$gw2_addr"
+rolled=""
+reload_metrics=""
+for _ in $(seq 1 300); do
+    reload_metrics="$(target/release/deptree query metrics --addr "$gw2_addr")"
+    if grep -Fq 'deptree_gateway_worker_restarts_total{worker="0"} 1' <<<"$reload_metrics" \
+        && grep -Fq 'deptree_gateway_worker_restarts_total{worker="1"} 1' <<<"$reload_metrics" \
+        && grep -Fq 'deptree_gateway_worker_restarts_total{worker="2"} 1' <<<"$reload_metrics"; then
+        rolled=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$rolled" ] || {
+    echo "rolling restart never cycled every worker"; echo "$reload_metrics"
+    cat "$gw2_log"; exit 1; }
+# Let the loop observe the settled fleet once more, then stop it.
+sleep 0.5
+rm -f "$reload_keep"
+wait "$reload_loop_pid"
+if [ -s "$reload_fail_log" ]; then
+    echo "dropped requests during the rolling restart:"
+    cat "$reload_fail_log"; cat "$gw2_log"; exit 1
+fi
+# Exactly once each — a second restart would mean a crash mid-reload.
+reload_metrics="$(target/release/deptree query metrics --addr "$gw2_addr")"
+for w in 0 1 2; do
+    grep -Fq "deptree_gateway_worker_restarts_total{worker=\"$w\"} 1" <<<"$reload_metrics" || {
+        echo "worker $w did not restart exactly once"; echo "$reload_metrics"; exit 1; }
+done
+
+kill -TERM "$gw2_pid"
+wait "$gw2_pid"   # set -e: a fleet that does not drain to 0 fails the gate
 
 echo "ci: all green"

@@ -12,17 +12,18 @@
 //!                            [--workers N] [--queue-depth N] [--max-conns N]
 //!                            [--default-timeout-ms MS] [--max-timeout-ms MS]
 //!                            [--drain-grace-ms MS] [--threads T] [--lossy]
-//! deptree query   <discover|validate|detect|repair|dedup|datasets|metrics> --addr HOST:PORT
+//! deptree query   <discover|validate|detect|repair|dedup|datasets|metrics|reload>
+//!                            --addr HOST:PORT
 //!                            [--dataset NAME] [--rule "..."] [--keys a,b] [--max-lhs K]
 //!                            [--error E] [--timeout-ms MS] [--max-nodes N] [--max-rows N]
-//!                            [--retries N] [--seed S] [--out FILE]
+//!                            [--retries N] [--max-attempts N] [--seed S] [--out FILE]
 //! deptree gateway --data name=path[:types] [--data ...] [--shard NAME] [--workers N]
 //!                            [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]
 //!                            [--respawn-base-ms MS] [--respawn-max-ms MS]
 //!                            [--quarantine-after K] [--quarantine-cooldown-ms MS]
 //!                            [--probe-interval-ms MS] [--default-timeout-ms MS]
 //!                            [--max-timeout-ms MS] [--drain-grace-ms MS]
-//!                            [--child-grace-ms MS] [--threads T] [--lossy]
+//!                            [--child-grace-ms MS] [--chaos-plan SEED] [--threads T] [--lossy]
 //! deptree tree
 //! ```
 //!
@@ -108,15 +109,19 @@ fn main() -> ExitCode {
             esay!("                             [--queue-depth N] [--max-conns N] [--threads T]");
             esay!("                             [--default-timeout-ms MS] [--max-timeout-ms MS]");
             esay!("                             [--drain-grace-ms MS] [--lossy]");
-            esay!("  deptree query   <discover|validate|detect|repair|dedup|datasets|metrics>");
+            esay!(
+                "  deptree query   <discover|validate|detect|repair|dedup|datasets|metrics|reload>"
+            );
             esay!(
                 "                             --addr HOST:PORT [--dataset NAME] [--rule \"...\"]"
             );
             esay!("                             [--keys a,b] [--timeout-ms MS] [--retries N]");
+            esay!("                             [--max-attempts N]");
             esay!("  deptree gateway --data name=path[:types] [--shard NAME] [--workers N]");
             esay!("                             [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]");
             esay!("                             [--respawn-base-ms MS] [--quarantine-after K]");
-            esay!("                             [--drain-grace-ms MS] [--threads T] [--lossy]");
+            esay!("                             [--drain-grace-ms MS] [--chaos-plan SEED]");
+            esay!("                             [--threads T] [--lossy]");
             esay!("  deptree tree");
             ExitCode::FAILURE
         }
@@ -547,16 +552,29 @@ fn gateway_cmd(args: &[String]) -> Result<(), CliError> {
         spawn_timeout: d.spawn_timeout,
         child_grace: num_flag(args, "--child-grace-ms")?
             .map_or(d.child_grace, Duration::from_millis),
+        chaos_seed: num_flag(args, "--chaos-plan")?,
         listen,
     };
 
     // Signal handler before the announcement, same contract as `serve`:
     // a supervisor may SIGTERM us the instant it sees "listening on".
+    // SIGHUP is counted separately and mapped to a rolling restart.
     signal::install();
+    signal::install_hup();
     let handle = deptree::serve::spawn_gateway(config).map_err(CliError::from)?;
     say!("listening on {}", handle.addr());
 
+    let mut hups_seen = 0;
     while signal::received() == 0 {
+        let hups = signal::hup_received();
+        if hups > hups_seen {
+            hups_seen = hups;
+            if handle.request_reload() {
+                esay!("SIGHUP — rolling restart started");
+            } else {
+                esay!("SIGHUP ignored — a rolling restart is already in progress");
+            }
+        }
         std::thread::sleep(Duration::from_millis(25));
     }
     esay!(
@@ -589,17 +607,50 @@ fn gateway_cmd(args: &[String]) -> Result<(), CliError> {
 fn query_cmd(args: &[String]) -> Result<(), CliError> {
     let Some(task) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(usage(
-            "query needs a task: discover|validate|detect|repair|dedup|datasets|metrics",
+            "query needs a task: discover|validate|detect|repair|dedup|datasets|metrics|reload",
         ));
     };
     let addr = flag(args, "--addr").ok_or_else(|| usage("missing --addr HOST:PORT"))?;
     let defaults = ClientConfig::default();
+    // `--max-attempts` is the total request cap (attempts = retries + 1)
+    // and wins over `--retries`; the DEPTREE_QUERY_MAX_ATTEMPTS
+    // environment variable sits between the two, so a CI harness can
+    // tighten every invocation without editing each call site.
+    let max_attempts = match num_flag(args, "--max-attempts")? {
+        Some(0) => return Err(usage("bad --max-attempts (must be at least 1)")),
+        Some(n) => Some(n),
+        None => std::env::var("DEPTREE_QUERY_MAX_ATTEMPTS")
+            .ok()
+            .map(|v| match v.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(usage(
+                    "bad DEPTREE_QUERY_MAX_ATTEMPTS (must be an integer >= 1)",
+                )),
+            })
+            .transpose()?,
+    };
+    let retries = match max_attempts {
+        Some(n) => (n - 1).min(u32::MAX as u64) as u32,
+        None => num_flag(args, "--retries")?.map_or(defaults.retries, |n| n as u32),
+    };
     let config = ClientConfig {
         addr,
-        retries: num_flag(args, "--retries")?.map_or(defaults.retries, |n| n as u32),
+        retries,
         seed: num_flag(args, "--seed")?.unwrap_or(defaults.seed),
         ..defaults
     };
+
+    if task == "reload" {
+        // Kick a gateway's rolling restart; progress shows up in
+        // /healthz (`reloading`) and the per-worker restart counters.
+        let resp = deptree::serve::query(&config, "POST", "/admin/reload", None)
+            .map_err(|e| CliError::Exit(e.code.exit_code(), e.to_string()))?;
+        say!(
+            "rolling restart started ({} worker(s))",
+            resp.body.u64_field("workers").unwrap_or(0)
+        );
+        return Ok(());
+    }
 
     if task == "metrics" {
         // `/metrics` is Prometheus text, not JSON — fetch and print raw
@@ -654,7 +705,7 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         }
         other => {
             return Err(usage(format!(
-                "unknown query task `{other}` (use discover|validate|detect|repair|dedup|datasets|metrics)"
+                "unknown query task `{other}` (use discover|validate|detect|repair|dedup|datasets|metrics|reload)"
             )))
         }
     };

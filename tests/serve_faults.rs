@@ -1248,6 +1248,406 @@ fn gateway_sigterm_drains_and_reaps_every_worker() {
     let _ = std::fs::remove_file(&csv);
 }
 
+/// The value of an unlabelled metric series in a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+#[test]
+fn sigkill_resharding_heals_to_full_answers_before_the_respawn() {
+    let full = planted_relation(400, 11);
+    let csv = write_temp_csv("reshard", &full);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: true,
+    };
+    let config = GatewayConfig {
+        // A respawn window far wider than the heal deadline below: if
+        // full answers come back before it, re-sharding did it — the
+        // respawn cannot have.
+        respawn_base: Duration::from_secs(3),
+        respawn_max: Duration::from_secs(8),
+        ..gateway_config(vec![spec], 4)
+    };
+    let handle = spawn_gateway(config).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 4);
+
+    let scratch: std::collections::BTreeSet<String> = profile(
+        &full,
+        &ProfileOpts {
+            max_lhs: 2,
+            error: 0.0,
+        },
+        &Exec::unbounded(),
+    )
+    .fds
+    .into_iter()
+    .collect();
+
+    // The all-healthy baseline the healed answer must match byte-for-byte.
+    let body = discover_body("planted");
+    let baseline =
+        deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body)).expect("baseline");
+    assert_eq!(baseline.body.bool_field("partial"), Some(false));
+    let baseline_report = baseline
+        .body
+        .str_field("report")
+        .expect("report")
+        .to_owned();
+
+    let victim = handle.worker_pids()[1].expect("worker 1 pid");
+    assert!(signal::send(victim, 9), "SIGKILL worker 1");
+
+    // Within the heal deadline — well inside the respawn backoff — the
+    // fan-out must be whole again, with zero respawns: the slice was
+    // re-homed onto a survivor, not brought back by the supervisor.
+    let deadline = Instant::now() + Duration::from_millis(2_500);
+    let healed = loop {
+        let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+            .expect("discover during worker death must still answer 200");
+        assert_eq!(resp.status, 200);
+        for rule in fds_of(&resp.body) {
+            assert!(scratch.contains(&rule), "unsound rule `{rule}` mid-fault");
+        }
+        if resp.body.bool_field("partial") == Some(false) {
+            break resp;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fan-out did not heal within the re-shard budget: {}",
+            resp.body.render()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(
+        handle.worker_restarts(),
+        0,
+        "healed answers must come from re-sharding, not a respawn"
+    );
+    assert_eq!(
+        healed.body.str_field("report").expect("report"),
+        baseline_report,
+        "the re-sharded merge must be byte-identical to the healthy one"
+    );
+
+    // The healing is visible: /healthz counts the re-homed slice and the
+    // aggregated scrape carries the counter.
+    let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+    assert!(health.body.u64_field("resharded").unwrap_or(0) >= 1);
+    let (status, metrics) = deptree::serve::fetch_text(&cfg, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metric_value(&metrics, "deptree_reshard_total").unwrap_or(0.0) >= 1.0,
+        "re-homing must move deptree_reshard_total:\n{metrics}"
+    );
+
+    // After the respawn settles, the slice is re-absorbed onto its
+    // primary and the overlay empties — and answers stay whole.
+    let deadline = Instant::now() + Duration::from_secs(25);
+    loop {
+        let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+        if health.body.u64_field("resharded") == Some(0) && handle.worker_restarts() >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "re-homed slice was never re-absorbed: {}",
+            health.body.render()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+        .expect("post-reabsorb discover");
+    assert_eq!(resp.body.bool_field("partial"), Some(false));
+    assert_eq!(
+        resp.body.str_field("report").expect("report"),
+        baseline_report
+    );
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn replica_reads_cover_a_dead_primary_without_resharding() {
+    let full = planted_relation(300, 13);
+    let csv = write_temp_csv("replica", &full);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: true,
+    };
+    let config = GatewayConfig {
+        replicas: 1,
+        respawn_base: Duration::from_secs(3),
+        respawn_max: Duration::from_secs(8),
+        ..gateway_config(vec![spec], 3)
+    };
+    let handle = spawn_gateway(config).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 3);
+
+    let body = discover_body("planted");
+    let baseline =
+        deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body)).expect("baseline");
+    assert_eq!(baseline.body.bool_field("partial"), Some(false));
+    let baseline_report = baseline
+        .body
+        .str_field("report")
+        .expect("report")
+        .to_owned();
+
+    let victim = handle.worker_pids()[0].expect("worker 0 pid");
+    assert!(signal::send(victim, 9), "SIGKILL worker 0");
+
+    // The replica already holds every slice the primary did, so the
+    // fan-out fails over without any re-homing at all.
+    let deadline = Instant::now() + Duration::from_millis(2_500);
+    loop {
+        let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+            .expect("discover during worker death");
+        assert_eq!(resp.status, 200);
+        if resp.body.bool_field("partial") == Some(false) {
+            assert_eq!(
+                resp.body.str_field("report").expect("report"),
+                baseline_report,
+                "replica reads must be byte-identical to primary reads"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica failover never produced a whole answer: {}",
+            resp.body.render()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(handle.worker_restarts(), 0, "no respawn inside the window");
+    let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(
+        health.body.u64_field("resharded"),
+        Some(0),
+        "a live replica must make re-homing unnecessary: {}",
+        health.body.render()
+    );
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn seeded_chaos_schedule_is_survived_with_sound_answers_throughout() {
+    let full = planted_relation(240, 17);
+    let csv = write_temp_csv("chaos", &full);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: true,
+    };
+    let config = GatewayConfig {
+        replicas: 1,
+        chaos_seed: Some(1234),
+        respawn_base: Duration::from_millis(200),
+        respawn_max: Duration::from_secs(1),
+        // Chaos kills land close enough together to look like a crash
+        // loop; give the fleet enough fuel that the schedule cannot
+        // park a slot in a two-minute quarantine.
+        quarantine_after: 10,
+        quarantine_cooldown: Duration::from_millis(500),
+        ..gateway_config(vec![spec], 3)
+    };
+    let handle = spawn_gateway(config).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 3);
+
+    let scratch: std::collections::BTreeSet<String> = profile(
+        &full,
+        &ProfileOpts {
+            max_lhs: 2,
+            error: 0.0,
+        },
+        &Exec::unbounded(),
+    )
+    .fds
+    .into_iter()
+    .collect();
+    assert!(scratch.contains("a -> b"), "{scratch:?}");
+
+    // Query continuously across the whole 8s chaos horizon: kills,
+    // wedges and slowdowns land per the seeded schedule, and every
+    // single answer must be a sound 200.
+    let body = discover_body("planted");
+    let horizon = Instant::now() + Duration::from_millis(8_500);
+    let mut answers = 0u32;
+    while Instant::now() < horizon {
+        let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+            .expect("every request under chaos must still answer 200");
+        assert_eq!(resp.status, 200);
+        for rule in fds_of(&resp.body) {
+            assert!(
+                scratch.contains(&rule),
+                "unsound rule `{rule}` under chaos (not in {scratch:?})"
+            );
+        }
+        answers += 1;
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        answers >= 20,
+        "the chaos loop barely ran ({answers} answers)"
+    );
+
+    // Once the schedule is spent the fleet heals completely: all
+    // workers back, and a whole (non-degraded) answer with the planted
+    // dependency present.
+    wait_workers_up(&cfg, 3);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let resp = deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body))
+            .expect("post-chaos discover");
+        if resp.body.bool_field("partial") == Some(false) {
+            assert!(fds_of(&resp.body).contains(&"a -> b".to_owned()));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never fully healed after chaos: {}",
+            resp.body.render()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn rolling_restart_cycles_every_worker_once_with_zero_dropped_requests() {
+    let full = planted_relation(200, 19);
+    let csv = write_temp_csv("rolling", &full);
+    let spec = DatasetSpec {
+        name: "planted".to_owned(),
+        path: csv.display().to_string(),
+        types: None,
+        shard: true,
+    };
+    let config = GatewayConfig {
+        child_grace: Duration::from_secs(3),
+        ..gateway_config(vec![spec], 3)
+    };
+    let handle = spawn_gateway(config).expect("gateway");
+    let cfg = gw_client(&handle);
+    wait_workers_up(&cfg, 3);
+
+    // The gateway front must not expose the workers' dataset admin —
+    // that surface belongs to the replane loop alone.
+    let blocked = forward(&cfg, "POST", "/admin/datasets", Some(b"{}")).expect("blocked admin");
+    assert_eq!(blocked.status, 400, "dataset admin must be refused");
+
+    // A continuous query loop across the whole restart: every answer
+    // must be a whole 200 — the drain sequencing (pre-home, one slot at
+    // a time, readyz-gated) leaves no window to drop or degrade.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loop_stop = std::sync::Arc::clone(&stop);
+    let loop_addr = handle.addr().to_string();
+    let querier = std::thread::spawn(move || {
+        let cfg = ClientConfig {
+            addr: loop_addr,
+            retries: 2,
+            io_timeout: Duration::from_secs(30),
+            ..ClientConfig::default()
+        };
+        let body = discover_body("planted");
+        let (mut total, mut degraded) = (0u32, 0u32);
+        let mut errors: Vec<String> = Vec::new();
+        let mut min_up = u64::MAX;
+        while !loop_stop.load(std::sync::atomic::Ordering::Acquire) {
+            match deptree::serve::query(&cfg, "POST", "/v1/discover", Some(&body)) {
+                Ok(resp) => {
+                    total += 1;
+                    if resp.status != 200 || resp.body.bool_field("partial") != Some(false) {
+                        degraded += 1;
+                    }
+                }
+                Err(e) => errors.push(e.to_string()),
+            }
+            if let Ok(h) = deptree::serve::query(&cfg, "GET", "/healthz", None) {
+                let up = h
+                    .body
+                    .get("workers")
+                    .and_then(Json::as_arr)
+                    .map(|ws| {
+                        ws.iter()
+                            .filter(|w| w.str_field("state") == Some("up"))
+                            .count() as u64
+                    })
+                    .unwrap_or(0);
+                min_up = min_up.min(up);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        (total, degraded, errors, min_up)
+    });
+
+    // Kick the rolling restart through the public endpoint.
+    let started = deptree::serve::query(&cfg, "POST", "/admin/reload", None).expect("reload");
+    assert_eq!(started.status, 200);
+    assert_eq!(started.body.str_field("reload"), Some("started"));
+
+    // Every worker restarts exactly once, and the coordinator reports
+    // itself done.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = (0..3).all(|i| handle.worker_restarts_of(i) == 1);
+        let health = deptree::serve::query(&cfg, "GET", "/healthz", None).expect("healthz");
+        if done && health.body.bool_field("reloading") == Some(false) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rolling restart never completed: {}",
+            health.body.render()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for i in 0..3 {
+        assert_eq!(
+            handle.worker_restarts_of(i),
+            1,
+            "worker {i} must restart exactly once"
+        );
+    }
+
+    // Let the loop observe the settled fleet once more, then stop it.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let (total, degraded, errors, min_up) = querier.join().expect("query loop");
+    assert!(
+        errors.is_empty(),
+        "dropped requests during reload: {errors:?}"
+    );
+    assert_eq!(
+        degraded, 0,
+        "rolling restart must never degrade an answer ({degraded}/{total})"
+    );
+    assert!(total > 0, "the query loop never ran");
+    assert!(
+        min_up >= 2,
+        "capacity dipped below N-1 during the rolling restart (min up = {min_up})"
+    );
+
+    handle.drain_and_join();
+    let _ = std::fs::remove_file(&csv);
+}
+
 #[test]
 fn second_sigterm_during_drain_forces_exit_130() {
     let wide = wide_relation(18, 200, 7);
