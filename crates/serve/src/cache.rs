@@ -1,0 +1,249 @@
+//! Versioned LRU response cache for the task endpoints.
+//!
+//! Production traffic against a profiling service is dominated by repeat
+//! reads: the same `discover`/`validate`/`detect` request against an
+//! unchanged dataset, where recomputing the answer costs milliseconds to
+//! seconds and replaying it costs a hash lookup. The cache stores the
+//! **rendered response bytes** of successful, non-partial task replies
+//! and replays them byte-identically.
+//!
+//! Correctness leans on two invariants rather than TTLs:
+//!
+//! - **Keys pin a dataset version.** Every key embeds the dataset's
+//!   monotonic version number (bumped on every `/admin` load or drop), so
+//!   a mutation makes every prior entry unreachable by construction; the
+//!   mutation path additionally purges the dead entries to reclaim their
+//!   bytes immediately. There is no window where a stale reply can be
+//!   served for a new dataset.
+//! - **Only complete answers are cached.** A `partial: true` reply is a
+//!   budget artifact of one request's deadline, not a property of the
+//!   data; replaying it to a caller with a looser budget would be wrong.
+//!   Error replies are likewise never cached.
+//!
+//! Capacity is accounted in bytes (key + value), evicting
+//! least-recently-used entries; hits, misses, evictions and resident
+//! bytes are exported as `deptree_response_cache_*` series.
+
+use crate::telemetry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Entry {
+    reply: Vec<u8>,
+    /// Logical clock of the last touch; smallest value is the LRU victim.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Monotonic touch counter backing `Entry::last_used`.
+    tick: u64,
+    /// Resident bytes (keys + values), mirrored into the bytes gauge.
+    bytes: usize,
+}
+
+/// Byte-capped LRU cache of rendered response bodies. `capacity == 0`
+/// disables every operation, so a disabled cache costs one branch.
+#[derive(Debug)]
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+fn cost(key: &str, reply: &[u8]) -> usize {
+    key.len() + reply.len()
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` bytes of keys + values.
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether caching is on at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up a reply; counts a hit or miss and refreshes recency.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        if !self.enabled() {
+            return None;
+        }
+        let metrics = telemetry::serve_metrics();
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                metrics.response_cache_hits.inc();
+                Some(entry.reply.clone())
+            }
+            None => {
+                metrics.response_cache_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a reply, evicting LRU entries until it fits. An entry
+    /// larger than the whole capacity is silently not cached.
+    pub fn put(&self, key: String, reply: Vec<u8>) {
+        if !self.enabled() || cost(&key, &reply) > self.capacity {
+            return;
+        }
+        let metrics = telemetry::serve_metrics();
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= cost(&key, &old.reply);
+        }
+        inner.bytes += cost(&key, &reply);
+        inner.map.insert(
+            key,
+            Entry {
+                reply,
+                last_used: tick,
+            },
+        );
+        while inner.bytes > self.capacity {
+            // Linear LRU scan: entries are whole task responses, so the
+            // map holds few, large items and the scan is cheap next to
+            // the computation a single hit saves.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(old) = inner.map.remove(&victim) {
+                inner.bytes -= cost(&victim, &old.reply);
+                metrics.response_cache_evictions.inc();
+            }
+        }
+        metrics.response_cache_bytes.set(inner.bytes as i64);
+    }
+
+    /// Drop every entry whose key starts with `prefix` — the dataset
+    /// mutation path, where `prefix` names the dataset. Counted as
+    /// evictions: the series is "entries removed without being replayed".
+    pub fn purge_prefix(&self, prefix: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let metrics = telemetry::serve_metrics();
+        let mut inner = self.lock();
+        let dead: Vec<String> = inner
+            .map
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for key in dead {
+            if let Some(old) = inner.map.remove(&key) {
+                inner.bytes -= cost(&key, &old.reply);
+                metrics.response_cache_evictions.inc();
+            }
+        }
+        metrics.response_cache_bytes.set(inner.bytes as i64);
+    }
+
+    /// Resident bytes (keys + values) currently held.
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = ResponseCache::new(0);
+        cache.put("k".into(), vec![1, 2, 3]);
+        assert_eq!(cache.get("k"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn round_trips_bytes_exactly() {
+        let cache = ResponseCache::new(1024);
+        let reply = b"{\"report\":\"x\"}".to_vec();
+        cache.put("a\u{1}1\u{1}/v1/detect\u{1}{}".into(), reply.clone());
+        assert_eq!(
+            cache.get("a\u{1}1\u{1}/v1/detect\u{1}{}"),
+            Some(reply),
+            "replay must be the stored bytes"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_byte_cap() {
+        // Three 40-byte entries in a 100-byte cache: inserting the third
+        // evicts the least recently *used*, which after a get() of the
+        // first is the second.
+        let cache = ResponseCache::new(100);
+        let value = vec![b'x'; 39];
+        cache.put("a".into(), value.clone());
+        cache.put("b".into(), value.clone());
+        assert!(cache.get("a").is_some());
+        cache.put("c".into(), value.clone());
+        assert!(cache.get("a").is_some(), "recently used survives");
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert!(cache.get("c").is_some());
+        assert!(cache.bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = ResponseCache::new(10);
+        cache.put("k".into(), vec![0u8; 64]);
+        assert_eq!(cache.get("k"), None);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn purge_prefix_removes_only_that_dataset() {
+        let cache = ResponseCache::new(4096);
+        cache.put("hotels\u{1}1\u{1}/v1/detect\u{1}{}".into(), vec![1]);
+        cache.put("hotels\u{1}1\u{1}/v1/dedup\u{1}{}".into(), vec![2]);
+        cache.put("flights\u{1}4\u{1}/v1/detect\u{1}{}".into(), vec![3]);
+        cache.purge_prefix("hotels\u{1}");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("flights\u{1}4\u{1}/v1/detect\u{1}{}").is_some());
+    }
+
+    #[test]
+    fn replacing_a_key_updates_byte_accounting() {
+        let cache = ResponseCache::new(1024);
+        cache.put("k".into(), vec![0u8; 100]);
+        let before = cache.bytes();
+        cache.put("k".into(), vec![0u8; 10]);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() < before);
+    }
+}

@@ -19,12 +19,24 @@
 //! Backoff between attempts is `min(max, base · 2^attempt)` scaled by a
 //! uniform jitter in `[0.5, 1.0]`, drawn from the vendored deterministic
 //! PRNG so tests can pin the schedule with a seed.
+//!
+//! Connection reuse: the `*_pooled` variants draw idle keep-alive
+//! sockets from a [`ConnPool`] instead of dialing per request, parking
+//! the socket back after a response whose `Connection:` header permits
+//! it. A parked socket may have been closed by the server at any moment
+//! (idle window, drain, restart); a failure before the first response
+//! byte on a reused socket is therefore treated as *stale* — the attempt
+//! falls through to a fresh dial rather than burning a retry.
 
 use crate::json::Json;
-use crate::protocol::{read_body, read_head, ErrorCode, FrameClock, ProtoError};
+use crate::protocol::{
+    content_length_of, read_body, read_head, wants_keep_alive, ErrorCode, FrameClock, ProtoError,
+};
 use deptree_synth::Rng;
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Client knobs.
@@ -112,14 +124,28 @@ enum Attempt<T> {
     Terminal(ErrorCode, String),
 }
 
-/// Send `body` to `POST {path}` (or GET when `body` is `None`), retrying
-/// retryable failures with jittered exponential backoff.
-pub fn query(
+/// What the caller-specific policy decided about one well-formed
+/// response, inside [`with_retries`].
+enum Verdict<R> {
+    /// Return this to the caller.
+    Accept(R),
+    /// Fail terminally with this error class.
+    Fail(ErrorCode, String),
+    /// Burn a retry and try again.
+    Retry(String),
+}
+
+/// The one retry loop behind [`query`], [`forward`] and [`fetch_text`]:
+/// run `one` up to `retries + 1` times with jittered backoff in between,
+/// and let `on_done` judge each well-formed response. `on_done` receives
+/// `(status, payload, attempts_so_far, may_retry)`; returning
+/// [`Verdict::Retry`] when `may_retry` is false would silently exhaust
+/// the loop, so policies check it before retrying on a response.
+fn with_retries<T, R>(
     config: &ClientConfig,
-    method: &str,
-    path: &str,
-    body: Option<&Json>,
-) -> Result<Response, ClientError> {
+    mut one: impl FnMut() -> Attempt<T>,
+    mut on_done: impl FnMut(u16, T, u32, bool) -> Verdict<R>,
+) -> Result<R, ClientError> {
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut last_retryable = String::new();
     let attempts_max = config.retries.saturating_add(1);
@@ -127,41 +153,27 @@ pub fn query(
         if attempt > 0 {
             std::thread::sleep(backoff(config, attempt - 1, &mut rng));
         }
-        match one_attempt(config, method, path, body) {
-            Attempt::Done(status, json) => {
-                // A retryable error body still counts against the retry
-                // budget: the server answered, but only to say "not now".
-                if let Some(code) = response_error_code(status, &json) {
-                    if code.retryable() && attempt + 1 < attempts_max {
-                        last_retryable = format!("server answered {} ({})", status, code.wire());
-                        continue;
+        match one() {
+            Attempt::Done(status, payload) => {
+                match on_done(status, payload, attempt + 1, attempt + 1 < attempts_max) {
+                    Verdict::Accept(out) => return Ok(out),
+                    Verdict::Fail(code, message) => {
+                        return Err(ClientError {
+                            code,
+                            message,
+                            attempts: attempt + 1,
+                        })
                     }
-                    let message = json
-                        .get("error")
-                        .and_then(|e| e.str_field("message"))
-                        .unwrap_or("request failed")
-                        .to_owned();
-                    return Err(ClientError {
-                        code,
-                        message,
-                        attempts: attempt + 1,
-                    });
+                    Verdict::Retry(msg) => last_retryable = msg,
                 }
-                return Ok(Response {
-                    status,
-                    body: json,
-                    attempts: attempt + 1,
-                });
             }
-            Attempt::Retryable(msg) => {
-                last_retryable = msg;
-            }
+            Attempt::Retryable(msg) => last_retryable = msg,
             Attempt::Terminal(code, message) => {
                 return Err(ClientError {
                     code,
                     message,
                     attempts: attempt + 1,
-                });
+                })
             }
         }
     }
@@ -172,6 +184,78 @@ pub fn query(
         ),
         attempts: attempts_max,
     })
+}
+
+/// Send `body` to `POST {path}` (or GET when `body` is `None`), retrying
+/// retryable failures with jittered exponential backoff. Dials a fresh
+/// connection per attempt; see [`query_pooled`] for reuse.
+pub fn query(
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<Response, ClientError> {
+    query_with(None, config, method, path, body)
+}
+
+/// [`query`] over a [`ConnPool`]: reuses an idle keep-alive connection
+/// when one is parked for `config.addr`, and parks the connection back
+/// after a reusable response.
+pub fn query_pooled(
+    pool: &ConnPool,
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<Response, ClientError> {
+    query_with(Some(pool), config, method, path, body)
+}
+
+fn query_with(
+    pool: Option<&ConnPool>,
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<Response, ClientError> {
+    let payload = body.map(Json::render).unwrap_or_default();
+    with_retries(
+        config,
+        || match one_wire_attempt(config, pool, method, path, Some(payload.as_bytes())) {
+            Attempt::Done(status, bytes) => match parse_json_body(&bytes) {
+                Ok(json) => Attempt::Done(status, json),
+                Err(msg) => Attempt::Retryable(msg),
+            },
+            Attempt::Retryable(msg) => Attempt::Retryable(msg),
+            Attempt::Terminal(code, message) => Attempt::Terminal(code, message),
+        },
+        |status, json, attempts, may_retry| {
+            // A retryable error body still counts against the retry
+            // budget: the server answered, but only to say "not now".
+            if let Some(code) = response_error_code(status, &json) {
+                if code.retryable() && may_retry {
+                    return Verdict::Retry(format!("server answered {} ({})", status, code.wire()));
+                }
+                let message = json
+                    .get("error")
+                    .and_then(|e| e.str_field("message"))
+                    .unwrap_or("request failed")
+                    .to_owned();
+                return Verdict::Fail(code, message);
+            }
+            Verdict::Accept(Response {
+                status,
+                body: json,
+                attempts,
+            })
+        },
+    )
+}
+
+fn parse_json_body(bytes: &[u8]) -> Result<Json, String> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| "bad response: body is not UTF-8".to_owned())?;
+    Json::parse(text).map_err(|e| format!("bad response: {e}"))
 }
 
 /// The jittered exponential backoff before retry number `retry` (0-based):
@@ -241,35 +325,123 @@ fn connect<T>(config: &ClientConfig) -> Result<TcpStream, Attempt<T>> {
     if let Err(e) = stream
         .set_read_timeout(Some(config.io_timeout))
         .and_then(|()| stream.set_write_timeout(Some(config.io_timeout)))
+        // No Nagle: request frames go out in one write; batching them
+        // against the delayed ACK adds 40 ms to every reused-connection
+        // round trip for nothing.
+        .and_then(|()| stream.set_nodelay(true))
     {
         return Err(Attempt::Retryable(format!("socket setup: {e}")));
     }
     Ok(stream)
 }
 
-fn one_attempt(
-    config: &ClientConfig,
-    method: &str,
-    path: &str,
-    body: Option<&Json>,
-) -> Attempt<Json> {
-    let mut stream = match connect(config) {
-        Ok(s) => s,
-        Err(a) => return a,
-    };
-    let payload = body.map(Json::render).unwrap_or_default();
-    let frame = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        config.addr,
-        payload.len(),
-    );
-    if let Err(e) = stream
-        .write_all(frame.as_bytes())
-        .and_then(|()| stream.write_all(payload.as_bytes()))
-    {
-        return Attempt::Retryable(format!("send: {e}"));
+/// A small pool of idle keep-alive connections, keyed by server address.
+/// Cloning shares the pool. Parked sockets keep their io timeouts from
+/// [`connect`]; each round trip re-arms its own [`FrameClock`].
+#[derive(Debug, Clone, Default)]
+pub struct ConnPool {
+    idle: Arc<Mutex<HashMap<String, Vec<TcpStream>>>>,
+}
+
+/// Idle sockets kept per address. More than a few buys nothing for a
+/// closed-loop caller and pins server worker threads.
+const MAX_IDLE_PER_ADDR: usize = 4;
+
+impl ConnPool {
+    /// An empty pool.
+    pub fn new() -> ConnPool {
+        ConnPool::default()
     }
 
+    fn take(&self, addr: &str) -> Option<TcpStream> {
+        self.lock().get_mut(addr)?.pop()
+    }
+
+    fn park(&self, addr: &str, stream: TcpStream) {
+        let mut idle = self.lock();
+        let conns = idle.entry(addr.to_owned()).or_default();
+        if conns.len() < MAX_IDLE_PER_ADDR {
+            conns.push(stream);
+        }
+    }
+
+    /// Idle connections currently parked for `addr`.
+    pub fn idle_count(&self, addr: &str) -> usize {
+        self.lock().get(addr).map_or(0, Vec::len)
+    }
+
+    /// Drop every parked connection (the sockets close on drop).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Vec<TcpStream>>> {
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Write one request frame. `body: None` omits the `Content-Type` /
+/// `Content-Length` headers entirely (bare GET); `Some` always sends
+/// both, even for an empty payload.
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: Option<&[u8]>,
+    connection: &str,
+) -> std::io::Result<()> {
+    let head = match body {
+        Some(payload) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            payload.len(),
+        ),
+        None => format!(
+            "{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n\r\n"
+        ),
+    };
+    // One write per frame (see the server's `write_raw_response`): split
+    // head/body writes + Nagle + delayed ACK stall reused connections.
+    let mut frame = head.into_bytes();
+    if let Some(payload) = body {
+        frame.extend_from_slice(payload);
+    }
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// One request/response exchange on an already-connected socket.
+enum RoundTrip {
+    /// A whole response frame arrived. `reusable` means its
+    /// `Connection:` verdict allows keep-alive *and* no bytes beyond the
+    /// frame were read (a server never sends extra bytes unprompted, so
+    /// leftovers mean a desynced socket not worth keeping).
+    Ok {
+        status: u16,
+        body: Vec<u8>,
+        reusable: bool,
+    },
+    /// The socket died before a full response: on a reused connection
+    /// this is expected staleness (server closed the parked socket), on
+    /// a fresh one a retryable transport failure.
+    Stale(String),
+    /// A protocol-level failure with the server demonstrably alive.
+    Err(ProtoError),
+}
+
+fn wire_round_trip(
+    config: &ClientConfig,
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    connection: &str,
+) -> RoundTrip {
+    if let Err(e) = write_request(stream, method, path, &config.addr, body, connection) {
+        return RoundTrip::Stale(format!("send: {e}"));
+    }
     // The whole response frame gets one absolute budget on top of the
     // per-read io timeout, so a drip-feeding server cannot hold the
     // client forever. A malformed or truncated response is
@@ -277,9 +449,74 @@ fn one_attempt(
     // (requests are read-only or idempotent) and usually lands on a
     // healthy serve.
     let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
-    match read_response(&mut stream, config.max_response_bytes, &clock) {
-        Ok((status, json)) => Attempt::Done(status, json),
-        Err(e) => attempt_of_proto(e),
+    let mut carry = Vec::new();
+    match read_response_frame(stream, config.max_response_bytes, &clock, &mut carry) {
+        Ok(frame) => RoundTrip::Ok {
+            status: frame.status,
+            body: frame.body,
+            reusable: frame.keep_alive && carry.is_empty(),
+        },
+        Err(ProtoError::Closed) => RoundTrip::Stale("connection closed mid-response".into()),
+        Err(e) => RoundTrip::Err(e),
+    }
+}
+
+/// One attempt at the wire level: take a pooled connection if one
+/// exists, fall back to a fresh dial when the pooled socket turns out
+/// stale (the server may close a parked connection at any time — that
+/// must not burn a retry), park the socket back when the response allows
+/// reuse.
+fn one_wire_attempt(
+    config: &ClientConfig,
+    pool: Option<&ConnPool>,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Attempt<Vec<u8>> {
+    if let Some(pool) = pool {
+        if let Some(mut stream) = pool.take(&config.addr) {
+            match wire_round_trip(config, &mut stream, method, path, body, "keep-alive") {
+                RoundTrip::Ok {
+                    status,
+                    body,
+                    reusable,
+                } => {
+                    if reusable {
+                        pool.park(&config.addr, stream);
+                    }
+                    return Attempt::Done(status, body);
+                }
+                // Stale parked socket: fall through to a fresh dial
+                // within the same attempt.
+                RoundTrip::Stale(_) => {}
+                RoundTrip::Err(e) => return attempt_of_proto(e),
+            }
+        }
+    }
+    let mut stream = match connect(config) {
+        Ok(s) => s,
+        Err(a) => return a,
+    };
+    let connection = if pool.is_some() {
+        "keep-alive"
+    } else {
+        "close"
+    };
+    match wire_round_trip(config, &mut stream, method, path, body, connection) {
+        RoundTrip::Ok {
+            status,
+            body,
+            reusable,
+        } => {
+            if reusable {
+                if let Some(pool) = pool {
+                    pool.park(&config.addr, stream);
+                }
+            }
+            Attempt::Done(status, body)
+        }
+        RoundTrip::Stale(msg) => Attempt::Retryable(msg),
+        RoundTrip::Err(e) => attempt_of_proto(e),
     }
 }
 
@@ -311,46 +548,51 @@ pub fn forward(
     path: &str,
     body: Option<&[u8]>,
 ) -> Result<RawResponse, ClientError> {
-    let mut rng = Rng::seed_from_u64(config.seed);
-    let mut last_retryable = String::new();
-    let attempts_max = config.retries.saturating_add(1);
-    for attempt in 0..attempts_max {
-        if attempt > 0 {
-            std::thread::sleep(backoff(config, attempt - 1, &mut rng));
-        }
-        match one_raw_attempt(config, method, path, body) {
-            Attempt::Done(status, bytes) => {
-                if attempt + 1 < attempts_max {
-                    if let Some(code) = raw_error_code(status, &bytes) {
-                        if code.retryable() {
-                            last_retryable = format!("server answered {status} ({})", code.wire());
-                            continue;
-                        }
+    forward_with(None, config, method, path, body)
+}
+
+/// [`forward`] over a [`ConnPool`] — the gateway's steady-state path,
+/// where dialing a worker per proxied request would dominate small-query
+/// latency.
+pub fn forward_pooled(
+    pool: &ConnPool,
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<RawResponse, ClientError> {
+    forward_with(Some(pool), config, method, path, body)
+}
+
+fn forward_with(
+    pool: Option<&ConnPool>,
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<RawResponse, ClientError> {
+    let payload = body.unwrap_or_default();
+    with_retries(
+        config,
+        || one_wire_attempt(config, pool, method, path, Some(payload)),
+        |status, bytes, attempts, may_retry| {
+            if may_retry {
+                if let Some(code) = raw_error_code(status, &bytes) {
+                    if code.retryable() {
+                        return Verdict::Retry(format!(
+                            "server answered {status} ({})",
+                            code.wire()
+                        ));
                     }
                 }
-                return Ok(RawResponse {
-                    status,
-                    body: bytes,
-                    attempts: attempt + 1,
-                });
             }
-            Attempt::Retryable(msg) => last_retryable = msg,
-            Attempt::Terminal(code, message) => {
-                return Err(ClientError {
-                    code,
-                    message,
-                    attempts: attempt + 1,
-                })
-            }
-        }
-    }
-    Err(ClientError {
-        code: ErrorCode::Io,
-        message: format!(
-            "retries exhausted after {attempts_max} attempt(s); last failure: {last_retryable}"
-        ),
-        attempts: attempts_max,
-    })
+            Verdict::Accept(RawResponse {
+                status,
+                body: bytes,
+                attempts,
+            })
+        },
+    )
 }
 
 /// Classify a raw response for the proxy's retry decision without
@@ -367,86 +609,34 @@ fn raw_error_code(status: u16, body: &[u8]) -> Option<ErrorCode> {
     response_error_code(status, &parsed)
 }
 
-fn one_raw_attempt(
-    config: &ClientConfig,
-    method: &str,
-    path: &str,
-    body: Option<&[u8]>,
-) -> Attempt<Vec<u8>> {
-    let mut stream = match connect(config) {
-        Ok(s) => s,
-        Err(a) => return a,
-    };
-    let payload = body.unwrap_or_default();
-    let frame = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        config.addr,
-        payload.len(),
-    );
-    if let Err(e) = stream
-        .write_all(frame.as_bytes())
-        .and_then(|()| stream.write_all(payload))
-    {
-        return Attempt::Retryable(format!("send: {e}"));
-    }
-    let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
-    match read_raw_response(&mut stream, config.max_response_bytes, &clock) {
-        Ok((status, bytes)) => Attempt::Done(status, bytes),
-        Err(e) => attempt_of_proto(e),
-    }
-}
-
 /// Fetch a non-JSON endpoint — the Prometheus `/metrics` exposition — as
 /// raw text, with the same connect/retry/backoff machinery as [`query`].
 pub fn fetch_text(config: &ClientConfig, path: &str) -> Result<(u16, String), ClientError> {
-    let mut rng = Rng::seed_from_u64(config.seed);
-    let mut last_retryable = String::new();
-    let attempts_max = config.retries.saturating_add(1);
-    for attempt in 0..attempts_max {
-        if attempt > 0 {
-            std::thread::sleep(backoff(config, attempt - 1, &mut rng));
-        }
-        match one_text_attempt(config, path) {
-            Attempt::Done(status, text) => return Ok((status, text)),
-            Attempt::Retryable(msg) => last_retryable = msg,
-            Attempt::Terminal(code, message) => {
-                return Err(ClientError {
-                    code,
-                    message,
-                    attempts: attempt + 1,
-                })
-            }
-        }
-    }
-    Err(ClientError {
-        code: ErrorCode::Io,
-        message: format!(
-            "retries exhausted after {attempts_max} attempt(s); last failure: {last_retryable}"
-        ),
-        attempts: attempts_max,
-    })
+    fetch_text_with(None, config, path)
 }
 
-fn one_text_attempt(config: &ClientConfig, path: &str) -> Attempt<String> {
-    let mut stream = match connect(config) {
-        Ok(s) => s,
-        Err(a) => return a,
-    };
-    let frame = format!(
-        "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
-        config.addr,
-    );
-    if let Err(e) = stream.write_all(frame.as_bytes()) {
-        return Attempt::Retryable(format!("send: {e}"));
-    }
-    let clock = FrameClock::start(config.io_timeout, config.frame_timeout);
-    match read_raw_response(&mut stream, config.max_response_bytes, &clock) {
-        Ok((status, body)) => match String::from_utf8(body) {
-            Ok(text) => Attempt::Done(status, text),
-            Err(_) => Attempt::Retryable("response body is not UTF-8".into()),
+/// [`fetch_text`] over a [`ConnPool`].
+pub fn fetch_text_pooled(
+    pool: &ConnPool,
+    config: &ClientConfig,
+    path: &str,
+) -> Result<(u16, String), ClientError> {
+    fetch_text_with(Some(pool), config, path)
+}
+
+fn fetch_text_with(
+    pool: Option<&ConnPool>,
+    config: &ClientConfig,
+    path: &str,
+) -> Result<(u16, String), ClientError> {
+    with_retries(
+        config,
+        || one_wire_attempt(config, pool, "GET", path, None),
+        |status, bytes, _attempts, _may_retry| match String::from_utf8(bytes) {
+            Ok(text) => Verdict::Accept((status, text)),
+            Err(_) => Verdict::Retry("response body is not UTF-8".into()),
         },
-        Err(e) => attempt_of_proto(e),
-    }
+    )
 }
 
 fn attempt_of_proto<T>(e: ProtoError) -> Attempt<T> {
@@ -461,51 +651,56 @@ fn attempt_of_proto<T>(e: ProtoError) -> Attempt<T> {
     }
 }
 
-/// Read one response frame: status line, headers, `Content-Length` body.
-fn read_response(
-    stream: &mut TcpStream,
-    max_body: usize,
-    clock: &FrameClock,
-) -> Result<(u16, Json), ProtoError> {
-    let (status, body) = read_raw_response(stream, max_body, clock)?;
-    let text = std::str::from_utf8(&body)
-        .map_err(|_| ProtoError::Malformed("response body is not UTF-8".into()))?;
-    let json = Json::parse(text).map_err(|e| ProtoError::Malformed(e.to_string()))?;
-    Ok((status, json))
+/// One decoded response frame, plus whether the server allows the
+/// connection to carry another request.
+struct ResponseFrame {
+    status: u16,
+    body: Vec<u8>,
+    keep_alive: bool,
 }
 
-/// Read one response frame without interpreting the body.
-fn read_raw_response(
+/// Read one response frame: status line, headers, `Content-Length` body.
+/// Uses the same strict `Content-Length` rules as the server (digits
+/// only, no duplicates) — a proxy that is lenient where its server is
+/// strict reintroduces the smuggling ambiguity the server closed.
+fn read_response_frame(
     stream: &mut TcpStream,
     max_body: usize,
     clock: &FrameClock,
-) -> Result<(u16, Vec<u8>), ProtoError> {
-    let (head, leftover) = read_head(stream, 8 * 1024, clock)?;
+    carry: &mut Vec<u8>,
+) -> Result<ResponseFrame, ProtoError> {
+    let head = read_head(stream, carry, 8 * 1024, clock)?;
     let head = String::from_utf8_lossy(&head).into_owned();
     let mut lines = head.lines();
     let status_line = lines.next().unwrap_or_default();
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or_default();
+    let status: u16 = parts
+        .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ProtoError::Malformed(format!("bad status line `{status_line}`")))?;
-    let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(ProtoError::Malformed(format!("bad header `{line}`")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| ProtoError::Malformed(format!("bad content-length `{value}`")))?;
-        }
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
+    let content_length = content_length_of(&headers)?;
+    let connection = headers
+        .iter()
+        .find(|(name, _)| name == "connection")
+        .map(|(_, value)| value.as_str());
+    let keep_alive = wants_keep_alive(version == "HTTP/1.0", connection);
     if content_length > max_body {
         return Err(ProtoError::TooLarge("body".into()));
     }
-    let body = read_body(stream, leftover, content_length, clock)?;
-    Ok((status, body))
+    let body = read_body(stream, carry, content_length, clock)?;
+    Ok(ResponseFrame {
+        status,
+        body,
+        keep_alive,
+    })
 }
 
 #[cfg(test)]
@@ -635,5 +830,68 @@ mod tests {
         );
         assert_eq!(response_error_code(503, &empty), Some(ErrorCode::Draining));
         assert_eq!(response_error_code(200, &empty), None);
+    }
+
+    #[test]
+    fn pooled_queries_reuse_one_connection() {
+        let handle = crate::listener::spawn(crate::listener::ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let config = ClientConfig {
+            addr: addr.clone(),
+            io_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        };
+        let pool = ConnPool::new();
+        for _ in 0..3 {
+            let resp = query_pooled(&pool, &config, "GET", "/healthz", None).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(
+            pool.idle_count(&addr),
+            1,
+            "three sequential queries should ride one parked connection"
+        );
+        handle.drain();
+        handle.join();
+    }
+
+    #[test]
+    fn pooled_query_falls_back_to_a_fresh_dial_on_a_stale_socket() {
+        // max_requests_per_conn=1 makes the server announce
+        // `Connection: close` on every reply, so nothing is ever parked
+        // — and a socket parked across a server restart must be treated
+        // as stale, not as a burned retry.
+        let handle = crate::listener::spawn(crate::listener::ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_requests_per_conn: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let config = ClientConfig {
+            addr: addr.clone(),
+            io_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        };
+        let pool = ConnPool::new();
+        for _ in 0..2 {
+            let resp = query_pooled(&pool, &config, "GET", "/healthz", None).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                resp.attempts, 1,
+                "a close-per-request server must not cost retries"
+            );
+        }
+        assert_eq!(
+            pool.idle_count(&addr),
+            0,
+            "`Connection: close` replies are not parked"
+        );
+        handle.drain();
+        handle.join();
     }
 }

@@ -175,6 +175,11 @@ struct GatewayState {
     reload_requested: AtomicBool,
     /// How long a rolling restart waits for a drained slot to return.
     restart_wait: Duration,
+    /// Idle keep-alive connections to workers, shared across the proxy,
+    /// catalogue, metrics and slice-read paths. A worker restart leaves
+    /// stale sockets behind; the pooled client falls back to a fresh
+    /// dial, so staleness costs one round trip, never a failed request.
+    pool: client::ConnPool,
 }
 
 impl Service for GatewayState {
@@ -286,7 +291,8 @@ impl GatewayState {
                     continue;
                 };
                 let body = fetched.entry(w).or_insert_with(|| {
-                    client::query(
+                    client::query_pooled(
+                        &self.pool,
                         &self.worker_client(&addr, 0, Duration::from_secs(5)),
                         "GET",
                         "/v1/datasets",
@@ -330,10 +336,10 @@ impl GatewayState {
     /// Gateway registry first, then every live worker's exposition with
     /// a `worker="N"` label injected so same-named series stay apart.
     fn aggregated_metrics(&self) -> String {
-        let mut out = telemetry::render(self.drain.inflight());
+        let mut out = telemetry::render();
         for (w, addr) in self.supervisor.live() {
             let cfg = self.worker_client(&addr, 0, Duration::from_secs(5));
-            if let Ok((200, text)) = client::fetch_text(&cfg, "/metrics") {
+            if let Ok((200, text)) = client::fetch_text_pooled(&self.pool, &cfg, "/metrics") {
                 out.push_str(&telemetry::relabel_worker(&text, w));
             }
         }
@@ -422,7 +428,8 @@ impl GatewayState {
                 continue;
             };
             let cfg = self.worker_client(&addr, 1, deadline);
-            match client::forward(&cfg, &req.method, &req.path, Some(&req.body)) {
+            match client::forward_pooled(&self.pool, &cfg, &req.method, &req.path, Some(&req.body))
+            {
                 Ok(raw) if matches!(raw.status, 429 | 503) => {
                     log(&format!(
                         "proxy of `{name}` to worker {w} refused ({}): failing over",
@@ -543,9 +550,10 @@ impl GatewayState {
             }
             let payload = wbody.clone().set("dataset", route.slice_name.as_str());
             let (shard_idx, primary) = (route.index, route.primary);
+            let pool = self.pool.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("deptree-fanout-{shard_idx}"))
-                .spawn(move || slice_read(candidates, payload, hedge));
+                .spawn(move || slice_read(&pool, candidates, payload, hedge));
             match handle {
                 Ok(h) => joins.push((shard_idx, primary, h)),
                 Err(e) => replies.push(ShardReply {
@@ -896,6 +904,7 @@ fn hedge_delay(deadline: Duration) -> Duration {
 /// First success wins; the loser's response lands in a closed channel.
 /// Returns the worker whose answer (or final error) was used.
 fn slice_read(
+    pool: &client::ConnPool,
     candidates: Vec<SliceCandidate>,
     payload: Json,
     hedge: Duration,
@@ -909,11 +918,18 @@ fn slice_read(
         let gauge = Arc::clone(&c.inflight);
         let payload = payload.clone();
         let tx = tx.clone();
+        let pool = pool.clone();
         std::thread::Builder::new()
             .name(format!("deptree-slice-read-{worker}"))
             .spawn(move || {
                 gauge.add(1);
-                let outcome = match client::query(&config, "POST", "/v1/discover", Some(&payload)) {
+                let outcome = match client::query_pooled(
+                    &pool,
+                    &config,
+                    "POST",
+                    "/v1/discover",
+                    Some(&payload),
+                ) {
                     Ok(resp) => Ok(resp.body),
                     Err(e) => Err(format!(
                         "{} after {} attempt(s): {}",
@@ -1141,6 +1157,9 @@ pub fn spawn_gateway(config: GatewayConfig) -> Result<GatewayHandle, DeptreeErro
         config.worker_threads.max(1),
         config.default_deadline,
         config.max_deadline,
+        // The gateway's local router answers merge re-validations whose
+        // inputs change per fan-out; caching them would only hold bytes.
+        0,
     );
     let slices: BTreeMap<String, Vec<SliceState>> = plan
         .slices
@@ -1173,6 +1192,7 @@ pub fn spawn_gateway(config: GatewayConfig) -> Result<GatewayHandle, DeptreeErro
         reloading: AtomicBool::new(false),
         reload_requested: AtomicBool::new(false),
         restart_wait: config.spawn_timeout + config.child_grace + Duration::from_secs(10),
+        pool: client::ConnPool::new(),
     });
 
     let bg_stop = Arc::new(AtomicBool::new(false));

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod client;
 pub mod drain;
 pub mod gateway;
@@ -43,7 +44,10 @@ pub mod router;
 pub mod tasks;
 pub mod telemetry;
 
-pub use client::{fetch_text, forward, query, ClientConfig, ClientError, RawResponse, Response};
+pub use client::{
+    fetch_text, fetch_text_pooled, forward, forward_pooled, query, query_pooled, ClientConfig,
+    ClientError, ConnPool, RawResponse, Response,
+};
 pub use drain::DrainState;
 pub use gateway::{spawn_gateway, DatasetSpec, GatewayConfig, GatewayHandle};
 pub use json::Json;

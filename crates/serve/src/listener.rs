@@ -17,6 +17,16 @@
 //! is also the in-service concurrency cap; `queue_depth` bounds the wait
 //! line behind them, and everything past that is shed at accept time.
 //!
+//! Connections are reused (HTTP/1.1 keep-alive): a worker serves up to
+//! `max_requests_per_conn` sequential requests per socket, each under its
+//! own fresh [`FrameClock`]. Because a parked idle connection pins a
+//! worker thread, the between-request idle window (`keepalive_idle`) is
+//! deliberately short — reuse is for clients actively pipelining work,
+//! not a long-lived pool slot — and the per-connection request cap
+//! rotates workers across clients under contention. Draining, an
+//! explicit `Connection: close` from the client, or any framing error
+//! flips the connection to close behind the in-flight reply.
+//!
 //! The listener is generic over a [`Service`]: the same hardened front
 //! end (admission, framing, slow-loris bounds, panic barrier, drain)
 //! serves both the single-process task router ([`spawn`]) and the
@@ -72,6 +82,14 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Soft-drain grace before in-flight work is cancelled.
     pub drain_grace: Duration,
+    /// Requests served per connection before the server closes it
+    /// (keep-alive rotation cap; 1 restores close-per-request).
+    pub max_requests_per_conn: usize,
+    /// How long a reused connection may sit idle between requests before
+    /// the server closes it (an idle connection pins a worker thread).
+    pub keepalive_idle: Duration,
+    /// Response cache capacity in bytes; 0 disables caching.
+    pub response_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +108,9 @@ impl Default for ServeConfig {
             max_deadline: Duration::from_secs(60),
             threads: 1,
             drain_grace: Duration::from_secs(3),
+            max_requests_per_conn: 64,
+            keepalive_idle: Duration::from_millis(500),
+            response_cache_bytes: 0,
         }
     }
 }
@@ -142,6 +163,10 @@ pub struct ListenOpts {
     pub limits: Limits,
     /// Soft-drain grace before in-flight work is cancelled.
     pub drain_grace: Duration,
+    /// Requests served per connection before the server closes it.
+    pub max_requests_per_conn: usize,
+    /// Idle window between requests on a reused connection.
+    pub keepalive_idle: Duration,
 }
 
 impl Default for ListenOpts {
@@ -157,6 +182,8 @@ impl Default for ListenOpts {
             write_timeout: d.write_timeout,
             limits: d.limits,
             drain_grace: d.drain_grace,
+            max_requests_per_conn: d.max_requests_per_conn,
+            keepalive_idle: d.keepalive_idle,
         }
     }
 }
@@ -216,11 +243,28 @@ impl ServerHandle {
 impl Service for AppState {
     fn respond(&self, req: &Request) -> ServiceReply {
         if req.method == "GET" && req.path == "/metrics" {
-            ServiceReply::Text(200, telemetry::render(self.drain.inflight()))
-        } else {
-            let (status, body) = handle(self, req);
-            ServiceReply::Json(status, body)
+            return ServiceReply::Text(200, telemetry::render());
         }
+        // Response cache: the key is computed exactly once per request —
+        // it pins the dataset version this request is answered against,
+        // so a concurrent dataset swap can never file a reply under the
+        // new version's key (the stale entry lands under the old version,
+        // which no future lookup resolves to).
+        let key = self.cache_key(req);
+        if let Some(key) = &key {
+            if let Some(bytes) = self.cache_lookup(key) {
+                return ServiceReply::Bytes(200, bytes);
+            }
+        }
+        let (status, body) = handle(self, req);
+        if let Some(key) = key {
+            if let Some(bytes) = self.cache_store(key, status, &body) {
+                // Serve the exact bytes that were stored, so a later hit
+                // is a byte-identical replay of this reply.
+                return ServiceReply::Bytes(status, bytes);
+            }
+        }
+        ServiceReply::Json(status, body)
     }
 
     fn drain_handle(&self) -> &Arc<DrainState> {
@@ -245,6 +289,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
         config.threads.max(1),
         config.default_deadline,
         config.max_deadline,
+        config.response_cache_bytes,
     ));
     let opts = ListenOpts {
         addr: config.addr,
@@ -256,6 +301,8 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, DeptreeError> {
         write_timeout: config.write_timeout,
         limits: config.limits,
         drain_grace: config.drain_grace,
+        max_requests_per_conn: config.max_requests_per_conn,
+        keepalive_idle: config.keepalive_idle,
     };
     spawn_service(opts, app)
 }
@@ -296,6 +343,8 @@ pub fn spawn_service(
         frame_timeout: opts.frame_timeout,
         write_timeout: opts.write_timeout,
         limits: opts.limits,
+        max_requests_per_conn: opts.max_requests_per_conn,
+        keepalive_idle: opts.keepalive_idle,
     };
 
     let mut workers = Vec::with_capacity(opts.workers.max(1));
@@ -339,6 +388,8 @@ struct IoConfig {
     frame_timeout: Duration,
     write_timeout: Duration,
     limits: Limits,
+    max_requests_per_conn: usize,
+    keepalive_idle: Duration,
 }
 
 /// How long the accept loop sleeps when there is nothing to accept.
@@ -382,7 +433,12 @@ fn shed(mut stream: TcpStream, reason: ShedReason, io: &IoConfig) {
         ShedReason::Queue => (ErrorCode::Overloaded, "request queue full"),
         ShedReason::Closed => (ErrorCode::Draining, "server is shutting down"),
     };
-    let _ = write_response(&mut stream, code.http_status(), &error_body(code, detail));
+    let _ = write_response(
+        &mut stream,
+        code.http_status(),
+        &error_body(code, detail),
+        false,
+    );
 }
 
 /// How long a worker blocks on the queue before re-checking liveness.
@@ -403,7 +459,35 @@ fn worker_loop(service: &dyn Service, rx: &Mutex<Receiver<crate::admission::Conn
     }
 }
 
-/// Serve one connection: frame, route, respond, close.
+/// Wait up to `idle` for the first byte of a follow-up request on a
+/// reused connection. `peek` leaves the byte in the socket buffer for
+/// `read_request`. Returns `false` on idle timeout, peer close, or any
+/// socket error — all of which mean "stop reusing this connection".
+fn next_request_arrives(stream: &TcpStream, idle: Duration) -> bool {
+    if stream
+        .set_read_timeout(Some(idle.max(Duration::from_millis(1))))
+        .is_err()
+    {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(n) => n > 0,
+        Err(_) => false,
+    }
+}
+
+/// Serve one connection: up to `max_requests_per_conn` sequential
+/// request/response exchanges, then close.
+///
+/// Each request gets a fresh [`FrameClock`] — the slow-loris budget is
+/// per frame, not per connection, so a long-lived well-behaved client is
+/// never starved by its own history. Bytes read past one frame's end are
+/// carried into the next parse (`carry`), which is what makes client-side
+/// pipelining safe. Any framing error is answered (best effort) with
+/// `Connection: close` and ends the connection: after a malformed frame
+/// the stream position is untrusted and resynchronizing would be
+/// guesswork.
 fn serve_conn(service: &dyn Service, mut conn: crate::admission::Conn, io: &IoConfig) {
     // `conn` stays whole for the duration: its admission slot is the
     // "in service" claim and must not release until the socket closes.
@@ -411,55 +495,79 @@ fn serve_conn(service: &dyn Service, mut conn: crate::admission::Conn, io: &IoCo
     if stream.set_write_timeout(Some(io.write_timeout)).is_err() {
         return;
     }
-    // The clock re-arms the read timeout before every read, bounding the
-    // whole frame no matter how slowly its bytes drip in.
-    let clock = FrameClock::start(io.read_timeout, io.frame_timeout);
+    // No Nagle: each response leaves in one write, and batching it
+    // against the client's delayed ACK would stall every keep-alive
+    // round trip by tens of milliseconds.
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
     let metrics = telemetry::serve_metrics();
     metrics.admitted.inc();
-    let (status, body) = match read_request(stream, &io.limits, &clock) {
-        Ok(req) => {
-            let started = std::time::Instant::now();
-            // Last-resort panic barrier: a handler bug must cost one
-            // request, not the worker thread (and with it 1/N of the
-            // server's capacity).
-            let reply = match catch_unwind(AssertUnwindSafe(|| service.respond(&req))) {
-                Ok(reply) => reply,
-                Err(_) => ServiceReply::Json(
-                    ErrorCode::Internal.http_status(),
-                    error_body(ErrorCode::Internal, "request handler panicked"),
-                ),
-            };
-            metrics.latency.observe_duration(started.elapsed());
-            match reply {
-                ServiceReply::Text(status, text) => {
-                    metrics.requests(&req.path, status).inc();
-                    let _ = write_text_response(stream, status, &text);
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    return;
-                }
-                ServiceReply::Bytes(status, bytes) => {
-                    metrics.requests(&req.path, status).inc();
-                    let _ = write_json_bytes_response(stream, status, &bytes);
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    return;
-                }
-                ServiceReply::Json(status, body) => {
-                    metrics.requests(&req.path, status).inc();
-                    (status, body)
-                }
-            }
+    let mut carry: Vec<u8> = Vec::new();
+    let max_requests = io.max_requests_per_conn.max(1);
+    for served in 1..=max_requests {
+        // Between requests, with no pipelined bytes already in hand,
+        // give the client one short idle window to start its next frame.
+        if served > 1 && carry.is_empty() && !next_request_arrives(stream, io.keepalive_idle) {
+            break;
         }
-        Err(e) => {
-            if e == crate::protocol::ProtoError::Closed {
-                return; // nobody to answer
+        let clock = FrameClock::start(io.read_timeout, io.frame_timeout);
+        let req = match read_request(stream, &io.limits, &clock, &mut carry) {
+            Ok(req) => req,
+            Err(crate::protocol::ProtoError::Closed) => break, // nobody to answer
+            Err(e) => {
+                let code = e.code();
+                metrics.requests("other", code.http_status()).inc();
+                let _ = write_response(
+                    stream,
+                    code.http_status(),
+                    &error_body(code, &e.message()),
+                    false,
+                );
+                break;
             }
-            let code = e.code();
-            metrics.requests("other", code.http_status()).inc();
-            (code.http_status(), error_body(code, &e.message()))
+        };
+        let started = std::time::Instant::now();
+        // The in-flight gauge brackets respond() itself; the panic
+        // barrier below guarantees the decrement runs even when the
+        // handler panics.
+        metrics.inflight.add(1);
+        // Last-resort panic barrier: a handler bug must cost one
+        // request, not the worker thread (and with it 1/N of the
+        // server's capacity).
+        let reply = match catch_unwind(AssertUnwindSafe(|| service.respond(&req))) {
+            Ok(reply) => reply,
+            Err(_) => ServiceReply::Json(
+                ErrorCode::Internal.http_status(),
+                error_body(ErrorCode::Internal, "request handler panicked"),
+            ),
+        };
+        metrics.inflight.add(-1);
+        metrics.latency.observe_duration(started.elapsed());
+        // Decided after respond(), not before: a drain that began while
+        // this request was computing must close the connection behind
+        // the in-flight reply, not hand the client a dead socket.
+        let keep = req.keep_alive && served < max_requests && !service.drain_handle().is_draining();
+        metrics.requests(&req.path, reply_status(&reply)).inc();
+        let wrote = match reply {
+            ServiceReply::Text(status, text) => write_text_response(stream, status, &text, keep),
+            ServiceReply::Bytes(status, bytes) => {
+                write_json_bytes_response(stream, status, &bytes, keep)
+            }
+            ServiceReply::Json(status, body) => write_response(stream, status, &body, keep),
+        };
+        if wrote.is_err() || !keep {
+            break;
         }
-    };
-    // Best effort: the peer may have hung up mid-response.
-    let _ = write_response(stream, status, &body);
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
     // `conn` drops here, releasing its admission slot.
+}
+
+fn reply_status(reply: &ServiceReply) -> u16 {
+    match reply {
+        ServiceReply::Text(status, _)
+        | ServiceReply::Bytes(status, _)
+        | ServiceReply::Json(status, _) => *status,
+    }
 }

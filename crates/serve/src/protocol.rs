@@ -1,10 +1,16 @@
 //! Wire protocol: bounded HTTP/1.1 framing and the service error-code
 //! table.
 //!
-//! The server speaks a deliberately small slice of HTTP/1.1 — one request
-//! per connection, `Content-Length` bodies only, `Connection: close` on
-//! every response — because every feature dropped is a failure mode
-//! removed. Every read is bounded three ways: by the per-read socket
+//! The server speaks a deliberately small slice of HTTP/1.1 —
+//! `Content-Length` bodies only, no transfer codings — because every
+//! feature dropped is a failure mode removed. Connections are reused
+//! (HTTP/1.1 keep-alive, see `listener::serve_conn`), which is exactly
+//! why the framing is strict: under reuse, any disagreement about where
+//! one request ends and the next begins is a request-smuggling desync,
+//! so `Content-Length` must be a single pure-ASCII-digit header
+//! ([`parse_content_length`]) and any bytes read past a frame are
+//! carried to the next parse, never dropped. Every read is bounded
+//! three ways: by the per-read socket
 //! timeout (a fully stalled peer), by an absolute per-frame deadline
 //! ([`FrameClock`] — a peer dripping one byte per interval would reset a
 //! per-read timeout forever, so the whole frame also gets a fixed budget),
@@ -55,6 +61,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the client is willing to reuse this connection: HTTP/1.1
+    /// defaults to `true`, HTTP/1.0 to `false`, and an explicit
+    /// `Connection:` header overrides either way. The server may still
+    /// close (drain, per-connection request cap, frame errors).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -157,35 +168,39 @@ impl FrameClock {
     }
 }
 
-/// Read bytes until the blank line ending an HTTP head, returning
-/// `(head, leftover)` where `leftover` is any body prefix already pulled
-/// off the socket. Bounded by `max_head` bytes and the frame clock.
+/// Read bytes until the blank line ending an HTTP head, returning the
+/// head. `carry` seeds the parse with bytes already pulled off the
+/// socket (the tail of a pipelined previous frame) and, on return, holds
+/// any bytes read past the blank line — under connection reuse those are
+/// the next frame's prefix and dropping them would desynchronize the
+/// stream. Bounded by `max_head` bytes and the frame clock.
 pub fn read_head(
     stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
     max_head: usize,
     clock: &FrameClock,
-) -> Result<(Vec<u8>, Vec<u8>), ProtoError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
+) -> Result<Vec<u8>, ProtoError> {
+    let started_empty = carry.is_empty();
     let mut chunk = [0u8; 1024];
     loop {
-        if let Some(pos) = find(&buf, b"\r\n\r\n") {
-            let rest = buf.split_off(pos + 4);
-            buf.truncate(pos);
-            return Ok((buf, rest));
+        if let Some(pos) = find(carry, b"\r\n\r\n") {
+            let mut head: Vec<u8> = carry.drain(..pos + 4).collect();
+            head.truncate(pos);
+            return Ok(head);
         }
-        if buf.len() > max_head {
+        if carry.len() > max_head {
             return Err(ProtoError::TooLarge("header block".into()));
         }
         clock.arm(stream)?;
         let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
         if n == 0 {
-            return Err(if buf.is_empty() {
+            return Err(if carry.is_empty() && started_empty {
                 ProtoError::Closed
             } else {
                 ProtoError::Malformed("connection closed mid-header".into())
             });
         }
-        buf.extend_from_slice(&chunk[..n]);
+        carry.extend_from_slice(&chunk[..n]);
     }
 }
 
@@ -204,36 +219,87 @@ fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, Pr
     Ok(headers)
 }
 
-/// Read the fixed-length remainder of a body, `already` holding any bytes
-/// pulled past the head. Bounded by `want` and the frame clock.
+/// Read a fixed-length body of exactly `want` bytes. `carry` holds bytes
+/// already pulled past the head; bytes beyond `want` stay in `carry` for
+/// the next frame (they are a pipelined successor, not garbage). Bounded
+/// by `want` and the frame clock.
 pub fn read_body(
     stream: &mut TcpStream,
-    mut already: Vec<u8>,
+    carry: &mut Vec<u8>,
     want: usize,
     clock: &FrameClock,
 ) -> Result<Vec<u8>, ProtoError> {
-    already.truncate(want);
     let mut chunk = [0u8; 4096];
-    while already.len() < want {
+    while carry.len() < want {
         clock.arm(stream)?;
         let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
         if n == 0 {
             return Err(ProtoError::Malformed("connection closed mid-body".into()));
         }
-        let take = n.min(want - already.len());
-        already.extend_from_slice(&chunk[..take]);
+        carry.extend_from_slice(&chunk[..n]);
     }
-    Ok(already)
+    let rest = carry.split_off(want);
+    Ok(std::mem::replace(carry, rest))
+}
+
+/// Strict `Content-Length` value parse: a non-empty run of ASCII digits
+/// and nothing else. `str::parse::<usize>` also accepts a leading `+`,
+/// and lenient forms are exactly how two parsers come to disagree about
+/// where a frame ends — a request-smuggling vector once connections are
+/// reused — so anything non-canonical is rejected outright.
+pub fn parse_content_length(value: &str) -> Result<usize, ProtoError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ProtoError::Malformed(format!(
+            "bad content-length `{value}`"
+        )));
+    }
+    value
+        .parse::<usize>()
+        .map_err(|_| ProtoError::Malformed(format!("content-length `{value}` out of range")))
+}
+
+/// Resolve the `Content-Length` of a parsed header block. More than one
+/// `Content-Length` header — even two agreeing copies — is rejected: a
+/// duplicate only ever appears when something upstream mangled the frame
+/// or someone is probing for a first-header/last-header parser split.
+pub fn content_length_of(headers: &[(String, String)]) -> Result<usize, ProtoError> {
+    let mut values = headers
+        .iter()
+        .filter(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.as_str());
+    let Some(first) = values.next() else {
+        return Ok(0);
+    };
+    if values.next().is_some() {
+        return Err(ProtoError::Malformed(
+            "multiple content-length headers".into(),
+        ));
+    }
+    parse_content_length(first)
+}
+
+/// Decide connection reuse from the HTTP version and `Connection:`
+/// header: explicit `close`/`keep-alive` tokens win, otherwise HTTP/1.1
+/// defaults to reuse and HTTP/1.0 to close.
+pub fn wants_keep_alive(version_is_1_0: bool, connection: Option<&str>) -> bool {
+    match connection.map(str::to_ascii_lowercase) {
+        Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+        Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+        _ => !version_is_1_0,
+    }
 }
 
 /// Read one request frame off the socket under the given limits and
-/// frame budget.
+/// frame budget. `carry` threads leftover bytes between pipelined
+/// frames on a reused connection; pass a fresh empty buffer for
+/// one-shot connections.
 pub fn read_request(
     stream: &mut TcpStream,
     limits: &Limits,
     clock: &FrameClock,
+    carry: &mut Vec<u8>,
 ) -> Result<Request, ProtoError> {
-    let (head, leftover) = read_head(stream, limits.max_header_bytes, clock)?;
+    let head = read_head(stream, carry, limits.max_header_bytes, clock)?;
     let head = String::from_utf8_lossy(&head).into_owned();
     let mut lines = head.lines();
     let request_line = lines.next().unwrap_or_default();
@@ -253,6 +319,13 @@ pub fn read_request(
     let request = Request {
         method: method.to_ascii_uppercase(),
         path: path.to_owned(),
+        keep_alive: wants_keep_alive(
+            version == "HTTP/1.0",
+            headers
+                .iter()
+                .find(|(name, _)| name == "connection")
+                .map(|(_, value)| value.as_str()),
+        ),
         headers,
         body: Vec::new(),
     };
@@ -261,17 +334,11 @@ pub fn read_request(
             "transfer-encoding is not supported; send content-length".into(),
         ));
     }
-    let content_length = match request.header("content-length") {
-        None => 0usize,
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| ProtoError::Malformed(format!("bad content-length `{v}`")))?,
-    };
+    let content_length = content_length_of(&request.headers)?;
     if content_length > limits.max_body_bytes {
         return Err(ProtoError::TooLarge("request body".into()));
     }
-    let body = read_body(stream, leftover, content_length, clock)?;
+    let body = read_body(stream, carry, content_length, clock)?;
     Ok(Request { body, ..request })
 }
 
@@ -291,31 +358,51 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Write a JSON response frame (best effort; callers ignore the result
-/// when the peer is already gone).
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    write_raw_response(stream, status, "application/json", body.render().as_bytes())
+/// when the peer is already gone). `keep_alive` is the server's verdict
+/// for this connection and is announced in the `Connection:` header so
+/// the client never parks a socket the server is about to close.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_raw_response(
+        stream,
+        status,
+        "application/json",
+        body.render().as_bytes(),
+        keep_alive,
+    )
 }
 
 /// Like [`write_response`] but for a body that is already rendered JSON
-/// bytes — the gateway's proxy path forwards a worker's response without
-/// re-parsing or re-serializing it, so the bytes the client sees are the
-/// bytes the worker produced.
+/// bytes — the gateway's proxy path and the response cache replay bytes
+/// without re-parsing or re-serializing them, so the bytes the client
+/// sees are the bytes originally produced.
 pub fn write_json_bytes_response(
     stream: &mut TcpStream,
     status: u16,
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
-    write_raw_response(stream, status, "application/json", body)
+    write_raw_response(stream, status, "application/json", body, keep_alive)
 }
 
 /// Like [`write_response`] but for non-JSON payloads — the `/metrics`
 /// endpoint answers Prometheus text exposition (version 0.0.4).
-pub fn write_text_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+pub fn write_text_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write_raw_response(
         stream,
         status,
         "text/plain; version=0.0.4; charset=utf-8",
         body.as_bytes(),
+        keep_alive,
     )
 }
 
@@ -324,14 +411,21 @@ fn write_raw_response(
     status: u16,
     content_type: &str,
     payload: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         payload.len(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(payload)?;
+    // One write per frame: a head-then-body pair of small writes
+    // interacts with Nagle + delayed ACK into ~40 ms stalls on reused
+    // connections (close-per-request hid it behind the shutdown flush).
+    let mut frame = Vec::with_capacity(head.len() + payload.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -570,6 +664,57 @@ mod tests {
         ] {
             assert_eq!(budget_from_wire(budget_wire(kind)), Some(kind));
         }
+    }
+
+    #[test]
+    fn content_length_must_be_pure_digits() {
+        assert_eq!(parse_content_length("0"), Ok(0));
+        assert_eq!(parse_content_length("128"), Ok(128));
+        for bad in ["+5", "-5", " 5", "5 ", "0x5", "5,5", "", "1e3"] {
+            assert!(
+                matches!(parse_content_length(bad), Err(ProtoError::Malformed(_))),
+                "`{bad}` must be rejected"
+            );
+        }
+        // Larger than usize::MAX: canonical digits but unrepresentable.
+        let huge = "9".repeat(40);
+        assert!(matches!(
+            parse_content_length(&huge),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_content_length_headers_are_rejected() {
+        let agreeing = vec![
+            ("content-length".to_string(), "5".to_string()),
+            ("content-length".to_string(), "5".to_string()),
+        ];
+        assert!(matches!(
+            content_length_of(&agreeing),
+            Err(ProtoError::Malformed(_))
+        ));
+        let conflicting = vec![
+            ("content-length".to_string(), "5".to_string()),
+            ("content-length".to_string(), "50".to_string()),
+        ];
+        assert!(matches!(
+            content_length_of(&conflicting),
+            Err(ProtoError::Malformed(_))
+        ));
+        let single = vec![("content-length".to_string(), "7".to_string())];
+        assert_eq!(content_length_of(&single), Ok(7));
+        assert_eq!(content_length_of(&[]), Ok(0));
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        assert!(wants_keep_alive(false, None));
+        assert!(!wants_keep_alive(true, None));
+        assert!(!wants_keep_alive(false, Some("close")));
+        assert!(wants_keep_alive(true, Some("keep-alive")));
+        assert!(!wants_keep_alive(false, Some("Keep-Alive, Close")));
+        assert!(wants_keep_alive(false, Some("upgrade")));
     }
 
     #[test]

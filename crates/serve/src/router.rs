@@ -17,6 +17,7 @@
 //! | POST | `/v1/detect`   | violation witnesses of one rule |
 //! | POST | `/v1/repair`   | FD repair; returns repaired CSV |
 //! | POST | `/v1/dedup`    | exact-key duplicate clustering |
+//! | POST | `/v1/batch`    | N task requests under one shared budget |
 //! | POST | `/admin/datasets`      | register a dataset from inline CSV |
 //! | POST | `/admin/datasets/drop` | unregister a dataset |
 //!
@@ -26,7 +27,13 @@
 //! its deadline or by drain cancellation still answers `200` with
 //! `partial: true` — the sound-partial anytime contract carried over the
 //! wire.
+//!
+//! Successful non-partial task replies are cached per dataset *version*
+//! (a monotonic counter bumped on every `/admin` load or drop), so a
+//! repeat read replays the exact bytes of the original reply and any
+//! mutation invalidates by construction — see [`crate::cache`].
 
+use crate::cache::ResponseCache;
 use crate::drain::DrainState;
 use crate::json::Json;
 use crate::protocol::{budget_wire, code_for, error_body, ErrorCode, Request};
@@ -35,18 +42,46 @@ use deptree_core::engine::{Budget, Exec};
 use deptree_core::DeptreeError;
 use deptree_relation::{parse_csv, to_csv, Relation, ValueType};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// Separator inside cache keys; cannot occur in a dataset name that came
+/// from a header-derived CSV column or a JSON string without escaping,
+/// and even a crafted name cannot collide because the version and path
+/// segments are server-controlled.
+const KEY_SEP: char = '\u{1}';
+
+/// Task endpoints whose successful replies may be cached. Admin,
+/// catalogue and batch traffic never is: admin mutates, the catalogue is
+/// cheap, and a batch's reply depends on a shared budget's timing.
+const CACHEABLE: [&str; 5] = [
+    "/v1/discover",
+    "/v1/validate",
+    "/v1/detect",
+    "/v1/repair",
+    "/v1/dedup",
+];
+
+/// Most requests one `/v1/batch` frame may carry.
+const MAX_BATCH_ITEMS: usize = 256;
 
 /// Per-server state shared by all workers. Everything is immutable
 /// except the dataset map, which `/admin/datasets` may grow or shrink
 /// at runtime (the gateway re-homes a dead worker's slice by POSTing
 /// it to a survivor), and the drain/engine atomics.
 pub struct AppState {
-    /// Named datasets: preloaded at boot, extended over `/admin`.
-    /// `Arc` per relation so a task keeps its snapshot alive even if an
-    /// admin drop races the request — reads never block on a parse.
-    datasets: RwLock<BTreeMap<String, Arc<Relation>>>,
+    /// Named datasets with their version: preloaded at boot, extended
+    /// over `/admin`. `Arc` per relation so a task keeps its snapshot
+    /// alive even if an admin drop races the request — reads never block
+    /// on a parse. The version is globally monotonic (never reused, even
+    /// across a drop/re-add of the same name), so it is safe to key
+    /// cached responses by.
+    datasets: RwLock<BTreeMap<String, (u64, Arc<Relation>)>>,
+    /// Source of dataset versions; see `datasets`.
+    next_version: AtomicU64,
+    /// Cached rendered replies, keyed by dataset version + request.
+    cache: ResponseCache,
     /// Lifecycle flags; the router refuses task work while draining.
     pub drain: Arc<DrainState>,
     /// Worker threads each request's `Exec` may use.
@@ -59,20 +94,28 @@ pub struct AppState {
 
 impl AppState {
     /// Wrap a boot-time dataset map into shared state.
+    /// `response_cache_bytes` caps the response cache (0 disables it).
     pub fn new(
         datasets: BTreeMap<String, Relation>,
         drain: Arc<DrainState>,
         threads: usize,
         default_deadline: Duration,
         max_deadline: Duration,
+        response_cache_bytes: usize,
     ) -> Self {
+        let mut version = 0u64;
         AppState {
             datasets: RwLock::new(
                 datasets
                     .into_iter()
-                    .map(|(k, v)| (k, Arc::new(v)))
+                    .map(|(k, v)| {
+                        version += 1;
+                        (k, (version, Arc::new(v)))
+                    })
                     .collect(),
             ),
+            next_version: AtomicU64::new(version + 1),
+            cache: ResponseCache::new(response_cache_bytes),
             drain,
             threads,
             default_deadline,
@@ -82,6 +125,11 @@ impl AppState {
 
     /// Fetch one dataset's relation (a cheap `Arc` clone).
     pub fn dataset(&self, name: &str) -> Option<Arc<Relation>> {
+        self.dataset_versioned(name).map(|(_, r)| r)
+    }
+
+    /// Fetch one dataset's `(version, relation)` pair.
+    pub fn dataset_versioned(&self, name: &str) -> Option<(u64, Arc<Relation>)> {
         self.datasets
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -89,24 +137,33 @@ impl AppState {
             .cloned()
     }
 
-    /// Register (or replace) a dataset at runtime. Returns `true` when a
-    /// same-named dataset was replaced.
+    /// Register (or replace) a dataset at runtime under a fresh version,
+    /// invalidating any cached replies for the name. Returns `true` when
+    /// a same-named dataset was replaced.
     pub fn insert_dataset(&self, name: String, relation: Relation) -> bool {
-        self.datasets
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let prefix = format!("{name}{KEY_SEP}");
+        let replaced = self
+            .datasets
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(name, Arc::new(relation))
-            .is_some()
+            .insert(name, (version, Arc::new(relation)))
+            .is_some();
+        self.cache.purge_prefix(&prefix);
+        replaced
     }
 
-    /// Drop a dataset. Returns `true` when it existed. In-flight tasks
-    /// holding its `Arc` finish unharmed.
+    /// Drop a dataset and its cached replies. Returns `true` when it
+    /// existed. In-flight tasks holding its `Arc` finish unharmed.
     pub fn remove_dataset(&self, name: &str) -> bool {
-        self.datasets
+        let existed = self
+            .datasets
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(name)
-            .is_some()
+            .is_some();
+        self.cache.purge_prefix(&format!("{name}{KEY_SEP}"));
+        existed
     }
 
     /// `(name, rows, columns)` for every registered dataset, in name
@@ -116,8 +173,53 @@ impl AppState {
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
-            .map(|(name, r)| (name.clone(), r.n_rows(), r.n_attrs()))
+            .map(|(name, (_, r))| (name.clone(), r.n_rows(), r.n_attrs()))
             .collect()
+    }
+
+    /// The response-cache key for this request, or `None` when the
+    /// request is not cacheable (wrong route, unparseable body, unknown
+    /// dataset, cache disabled). The key embeds the dataset's current
+    /// version and the *canonical* body rendering, so key-order or
+    /// whitespace differences in client JSON still hit the same entry.
+    pub fn cache_key(&self, req: &Request) -> Option<String> {
+        if !self.cache.enabled() || req.method != "POST" {
+            return None;
+        }
+        if !CACHEABLE.contains(&req.path.as_str()) {
+            return None;
+        }
+        let body = std::str::from_utf8(&req.body).ok()?;
+        let body = Json::parse(body).ok()?;
+        let name = body.str_field("dataset")?;
+        let (version, _) = self.dataset_versioned(name)?;
+        Some(format!(
+            "{name}{KEY_SEP}{version}{KEY_SEP}{}{KEY_SEP}{}",
+            req.path,
+            canonical_render(&body)
+        ))
+    }
+
+    /// Replay a cached reply for `key`, if present.
+    pub fn cache_lookup(&self, key: &str) -> Option<Vec<u8>> {
+        self.cache.get(key)
+    }
+
+    /// Store a reply under `key` if it qualifies (200, `partial: false`)
+    /// and return the exact bytes stored, so the caller serves those and
+    /// a later hit is a byte-identical replay.
+    pub fn cache_store(&self, key: String, status: u16, body: &Json) -> Option<Vec<u8>> {
+        if status != 200 || body.bool_field("partial") != Some(false) {
+            return None;
+        }
+        let rendered = body.render().into_bytes();
+        self.cache.put(key, rendered.clone());
+        Some(rendered)
+    }
+
+    /// Response-cache resident bytes (test and debugging hook).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
     }
 }
 
@@ -160,6 +262,7 @@ pub fn handle(app: &AppState, req: &Request) -> (u16, Json) {
         ("POST", "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup") => {
             task(app, req)
         }
+        ("POST", "/v1/batch") => batch(app, req),
         ("POST", "/admin/datasets") => admin_load(app, req),
         ("POST", "/admin/datasets/drop") => admin_drop(app, req),
         (
@@ -171,10 +274,31 @@ pub fn handle(app: &AppState, req: &Request) -> (u16, Json) {
         ),
         (
             "GET" | "HEAD",
-            "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup",
+            "/v1/discover" | "/v1/validate" | "/v1/detect" | "/v1/repair" | "/v1/dedup"
+            | "/v1/batch",
         ) => err(ErrorCode::MethodNotAllowed, "use POST with a JSON body"),
         _ => err(ErrorCode::NotFound, &format!("no route for {}", req.path)),
     }
+}
+
+/// Render `body` with object keys sorted recursively. The codec itself
+/// preserves insertion order (responses must render deterministically in
+/// the order they were built), so cache keys sort a copy: two requests
+/// differing only in field order or whitespace share one entry.
+fn canonical_render(body: &Json) -> String {
+    fn sorted(v: &Json) -> Json {
+        match v {
+            Json::Obj(fields) => {
+                let mut fields: Vec<(String, Json)> =
+                    fields.iter().map(|(k, v)| (k.clone(), sorted(v))).collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(fields)
+            }
+            Json::Arr(items) => Json::Arr(items.iter().map(sorted).collect()),
+            other => other.clone(),
+        }
+    }
+    sorted(body).render()
 }
 
 fn err(code: ErrorCode, message: &str) -> (u16, Json) {
@@ -201,13 +325,101 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
         return err(ErrorCode::Draining, "server is draining");
     }
 
-    let body = match std::str::from_utf8(&req.body)
-        .map_err(|_| "body is not UTF-8".to_owned())
-        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
-    {
+    let body = match parse_body(req) {
         Ok(v) => v,
         Err(msg) => return err(ErrorCode::Parse, &msg),
     };
+    let exec = match exec_for(app, &body) {
+        Ok(exec) => exec,
+        Err(msg) => return err(ErrorCode::InvalidConfig, &msg),
+    };
+    run_task(app, req.path.trim_start_matches("/v1/"), &body, &exec)
+}
+
+fn parse_body(req: &Request) -> Result<Json, String> {
+    std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+}
+
+/// `POST /v1/batch` — execute up to [`MAX_BATCH_ITEMS`] task requests
+/// from one frame under one shared budget: `{requests: [{task, dataset,
+/// …}, …], timeout_ms?, max_nodes?, max_rows?}`. The envelope's budget
+/// fields build a single `Exec` that every item draws from; per-item
+/// budget fields are ignored. Items run in order; once the shared budget
+/// is exhausted, remaining items answer `budget_exhausted` without
+/// running and the envelope reports `partial: true`. Batch replies are
+/// never cached — their contents depend on where the shared budget ran
+/// out, which is timing, not data.
+fn batch(app: &AppState, req: &Request) -> (u16, Json) {
+    let _inflight = app.drain.track();
+    if app.drain.is_draining() {
+        return err(ErrorCode::Draining, "server is draining");
+    }
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(msg) => return err(ErrorCode::Parse, &msg),
+    };
+    let Some(items) = body.get("requests").and_then(Json::as_arr) else {
+        return err(
+            ErrorCode::BadRequest,
+            "missing `requests` field (want an array of task requests)",
+        );
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        return err(
+            ErrorCode::TooLarge,
+            &format!(
+                "batch holds {} requests; the cap is {MAX_BATCH_ITEMS}",
+                items.len()
+            ),
+        );
+    }
+    let exec = match exec_for(app, &body) {
+        Ok(exec) => exec,
+        Err(msg) => return err(ErrorCode::InvalidConfig, &msg),
+    };
+    let mut responses: Vec<Json> = Vec::with_capacity(items.len());
+    let mut starved = 0usize;
+    for item in items {
+        if exec.interrupted() {
+            // The shared budget ran dry: answer the remaining items
+            // without running them, so the caller can tell "executed
+            // and truncated" apart from "never started".
+            starved += 1;
+            responses.push(Json::obj().set("status", 503u64).set(
+                "body",
+                error_body(
+                    ErrorCode::BudgetExhausted,
+                    "shared batch budget exhausted before this request",
+                ),
+            ));
+            continue;
+        }
+        let (status, reply) = match item.str_field("task") {
+            Some(task_name) => run_task(app, task_name, item, &exec),
+            None => err(ErrorCode::BadRequest, "missing `task` field"),
+        };
+        responses.push(
+            Json::obj()
+                .set("status", u64::from(status))
+                .set("body", reply),
+        );
+    }
+    (
+        200,
+        Json::obj()
+            .set("partial", starved > 0)
+            .set("executed", (responses.len() - starved) as u64)
+            .set("responses", responses),
+    )
+}
+
+/// Run one named task against `app` with an already-built execution
+/// context. Shared by the single-request path (`task`, which builds a
+/// per-request `Exec`) and `/v1/batch` (which shares one `Exec` across
+/// every item).
+fn run_task(app: &AppState, task_name: &str, body: &Json, exec: &Exec) -> (u16, Json) {
     let Some(name) = body.str_field("dataset") else {
         return err(ErrorCode::BadRequest, "missing `dataset` field");
     };
@@ -216,28 +428,22 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
     };
     let relation = relation.as_ref();
 
-    let exec = match exec_for(app, &body) {
-        Ok(exec) => exec,
-        Err(msg) => return err(ErrorCode::InvalidConfig, &msg),
-    };
-
-    let task_name = req.path.trim_start_matches("/v1/");
     let rendered = match task_name {
         "discover" => {
             let opts = tasks::ProfileOpts {
                 max_lhs: body.u64_field("max_lhs").unwrap_or(2) as usize,
                 error: body.f64_field("error").unwrap_or(0.0),
             };
-            Ok((tasks::profile(relation, &opts, &exec), None))
+            Ok((tasks::profile(relation, &opts, exec), None))
         }
-        "validate" => rule_of(&body)
+        "validate" => rule_of(body)
             .and_then(|rule| tasks::validate(relation, rule))
             .map(|r| (r, None)),
-        "detect" => rule_of(&body)
+        "detect" => rule_of(body)
             .and_then(|rule| tasks::detect(relation, rule))
             .map(|r| (r, None)),
-        "repair" => rule_of(&body)
-            .and_then(|rule| tasks::repair(relation, rule, &exec))
+        "repair" => rule_of(body)
+            .and_then(|rule| tasks::repair(relation, rule, exec))
             .map(|(r, repaired)| (r, Some(to_csv(&repaired)))),
         "dedup" => {
             let keys: Vec<String> = body
@@ -251,7 +457,7 @@ fn task(app: &AppState, req: &Request) -> (u16, Json) {
                         .collect()
                 })
                 .unwrap_or_default();
-            tasks::dedup(relation, &keys, &exec).map(|r| (r, None))
+            tasks::dedup(relation, &keys, exec).map(|r| (r, None))
         }
         _ => Err(DeptreeError::Unsupported(format!(
             "task `{task_name}` is not implemented"
@@ -432,6 +638,10 @@ mod tests {
     use deptree_relation::examples::hotels_r1;
 
     fn app() -> AppState {
+        app_with_cache(0)
+    }
+
+    fn app_with_cache(cache_bytes: usize) -> AppState {
         let mut datasets = BTreeMap::new();
         datasets.insert("hotels".to_owned(), hotels_r1());
         AppState::new(
@@ -440,6 +650,7 @@ mod tests {
             1,
             Duration::from_secs(10),
             Duration::from_secs(30),
+            cache_bytes,
         )
     }
 
@@ -449,6 +660,7 @@ mod tests {
             path: path.into(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            keep_alive: true,
         }
     }
 
@@ -458,6 +670,7 @@ mod tests {
             path: path.into(),
             headers: Vec::new(),
             body: Vec::new(),
+            keep_alive: true,
         }
     }
 
@@ -647,6 +860,187 @@ mod tests {
             &post("/admin/datasets", r#"{"name":"x","csv":"a\n1\n"}"#),
         );
         assert_eq!(status, 503);
+    }
+
+    #[test]
+    fn batch_runs_items_in_order_under_one_envelope() {
+        let app = app();
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/v1/batch",
+                r#"{"requests":[
+                    {"task":"validate","dataset":"hotels","rule":"address -> region"},
+                    {"task":"detect","dataset":"hotels","rule":"address -> region"},
+                    {"task":"nope","dataset":"hotels"},
+                    {"dataset":"hotels"}
+                ]}"#,
+            ),
+        );
+        assert_eq!(status, 200, "{body:?}");
+        assert_eq!(body.bool_field("partial"), Some(false));
+        let responses = body.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].u64_field("status"), Some(200));
+        assert_eq!(
+            responses[0].get("body").and_then(|b| b.str_field("task")),
+            Some("validate")
+        );
+        assert_eq!(responses[1].u64_field("status"), Some(200));
+        assert!(responses[1]
+            .get("body")
+            .and_then(|b| b.str_field("report"))
+            .unwrap()
+            .contains("violation witness(es)"));
+        // Unknown task name and missing task field each fail their item
+        // without failing the envelope.
+        assert_eq!(responses[2].u64_field("status"), Some(400));
+        assert_eq!(responses[3].u64_field("status"), Some(400));
+    }
+
+    #[test]
+    fn batch_shares_one_budget_and_reports_starved_items() {
+        let app = app();
+        // A zero-ms shared deadline: the first interrupted() check
+        // already fails, so every item is starved and none executes.
+        let (status, body) = handle(
+            &app,
+            &post(
+                "/v1/batch",
+                r#"{"timeout_ms":0,"requests":[
+                    {"task":"validate","dataset":"hotels","rule":"address -> region"},
+                    {"task":"detect","dataset":"hotels","rule":"address -> region"}
+                ]}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("partial"), Some(true));
+        assert_eq!(body.u64_field("executed"), Some(0));
+        let responses = body.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(responses.len(), 2);
+        for resp in responses {
+            assert_eq!(resp.u64_field("status"), Some(503));
+            assert_eq!(
+                resp.get("body")
+                    .and_then(|b| b.get("error"))
+                    .and_then(|e| e.str_field("code")),
+                Some("budget_exhausted")
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_missing_requests_and_oversized_batches() {
+        let app = app();
+        let (status, _) = handle(&app, &post("/v1/batch", r#"{"dataset":"hotels"}"#));
+        assert_eq!(status, 400);
+        let items: Vec<String> = (0..257)
+            .map(|_| r#"{"task":"validate","dataset":"hotels","rule":"a -> b"}"#.to_owned())
+            .collect();
+        let big = format!(r#"{{"requests":[{}]}}"#, items.join(","));
+        let (status, body) = handle(&app, &post("/v1/batch", &big));
+        assert_eq!(status, 413, "{body:?}");
+        assert_eq!(handle(&app, &get("/v1/batch")).0, 405);
+    }
+
+    #[test]
+    fn cache_replays_identical_bytes_and_counts_a_hit() {
+        let app = app_with_cache(1 << 20);
+        let req = post(
+            "/v1/detect",
+            r#"{"dataset":"hotels","rule":"address -> region"}"#,
+        );
+        let key = app.cache_key(&req).expect("cacheable request");
+        assert!(app.cache_lookup(&key).is_none());
+        let (status, body) = handle(&app, &req);
+        let stored = app.cache_store(key.clone(), status, &body).unwrap();
+        assert_eq!(stored, body.render().into_bytes());
+        assert_eq!(
+            app.cache_lookup(&key),
+            Some(stored),
+            "hit replays the stored bytes"
+        );
+    }
+
+    #[test]
+    fn cache_key_is_canonical_across_field_order_and_whitespace() {
+        let app = app_with_cache(1 << 20);
+        let a = post(
+            "/v1/detect",
+            r#"{"dataset":"hotels","rule":"address -> region"}"#,
+        );
+        let b = post(
+            "/v1/detect",
+            r#"{ "rule": "address -> region", "dataset": "hotels" }"#,
+        );
+        let (ka, kb) = (app.cache_key(&a), app.cache_key(&b));
+        assert!(ka.is_some());
+        assert_eq!(ka, kb, "canonicalized bodies share one cache entry");
+        // Different rule, different entry.
+        let c = post(
+            "/v1/detect",
+            r#"{"dataset":"hotels","rule":"region -> address"}"#,
+        );
+        assert_ne!(app.cache_key(&c), ka);
+    }
+
+    #[test]
+    fn cache_keys_are_version_scoped_and_mutations_invalidate() {
+        let app = app_with_cache(1 << 20);
+        let req = post("/v1/validate", r#"{"dataset":"mini","rule":"a -> b"}"#);
+        assert!(
+            app.cache_key(&req).is_none(),
+            "unknown dataset is not cacheable"
+        );
+        let (status, _) = handle(
+            &app,
+            &post(
+                "/admin/datasets",
+                r#"{"name":"mini","csv":"a,b\n1,x\n","types":"c,c"}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        let key_v1 = app.cache_key(&req).unwrap();
+        let (status, body) = handle(&app, &req);
+        app.cache_store(key_v1.clone(), status, &body);
+        assert!(app.cache_lookup(&key_v1).is_some());
+        // Replacing the dataset bumps the version: the old entry is both
+        // purged and unreachable, and the new key differs.
+        let (status, _) = handle(
+            &app,
+            &post(
+                "/admin/datasets",
+                r#"{"name":"mini","csv":"a,b\n1,x\n2,y\n","types":"c,c"}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(app.cache_bytes(), 0, "mutation purged the entry");
+        let key_v2 = app.cache_key(&req).unwrap();
+        assert_ne!(key_v1, key_v2);
+        assert!(app.cache_lookup(&key_v2).is_none());
+        // Dropping the dataset makes the request uncacheable again.
+        let (status, _) = handle(&app, &post("/admin/datasets/drop", r#"{"name":"mini"}"#));
+        assert_eq!(status, 200);
+        assert!(app.cache_key(&req).is_none());
+    }
+
+    #[test]
+    fn partial_and_error_replies_are_never_cached() {
+        let app = app_with_cache(1 << 20);
+        // Partial: a node budget of 1 truncates discovery.
+        let req = post("/v1/discover", r#"{"dataset":"hotels","max_nodes":1}"#);
+        let key = app.cache_key(&req).unwrap();
+        let (status, body) = handle(&app, &req);
+        assert_eq!(status, 200);
+        assert_eq!(body.bool_field("partial"), Some(true));
+        assert!(app.cache_store(key.clone(), status, &body).is_none());
+        assert!(app.cache_lookup(&key).is_none());
+        // Error: a bad rule fails validation.
+        let req = post("/v1/validate", r#"{"dataset":"hotels","rule":"@@"}"#);
+        let key = app.cache_key(&req).unwrap();
+        let (status, body) = handle(&app, &req);
+        assert_ne!(status, 200);
+        assert!(app.cache_store(key, status, &body).is_none());
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::admission::ShedReason;
 pub struct ServeMetrics {
     /// Request latency from frame parse to response hand-off, seconds.
     pub latency: Arc<Histogram>,
-    /// Requests currently executing (sampled from the drain tracker).
+    /// Requests currently executing: incremented when a parsed request
+    /// enters the handler, decremented when the handler returns (the
+    /// listener's panic barrier guarantees the decrement), so the gauge
+    /// is live between scrapes instead of a scrape-time snapshot.
     pub inflight: Arc<Gauge>,
     /// Connections admitted past admission control.
     pub admitted: Arc<Counter>,
@@ -26,6 +29,14 @@ pub struct ServeMetrics {
     pub drains: Arc<Counter>,
     /// Drains that had to hard-cancel in-flight work after the grace.
     pub drain_cancels: Arc<Counter>,
+    /// Response-cache lookups answered from the cache.
+    pub response_cache_hits: Arc<Counter>,
+    /// Response-cache lookups that fell through to computation.
+    pub response_cache_misses: Arc<Counter>,
+    /// Cache entries removed (capacity pressure or dataset invalidation).
+    pub response_cache_evictions: Arc<Counter>,
+    /// Bytes currently held by the response cache (keys + values).
+    pub response_cache_bytes: Arc<Gauge>,
     shed: [Arc<Counter>; 3],
 }
 
@@ -72,6 +83,26 @@ impl ServeMetrics {
             drain_cancels: reg.counter(
                 "deptree_drain_cancels_total",
                 "Drains that hard-cancelled in-flight work after the grace period.",
+                &[],
+            ),
+            response_cache_hits: reg.counter(
+                "deptree_response_cache_hits_total",
+                "Response-cache lookups answered with a byte-identical cached reply.",
+                &[],
+            ),
+            response_cache_misses: reg.counter(
+                "deptree_response_cache_misses_total",
+                "Response-cache lookups that fell through to computation.",
+                &[],
+            ),
+            response_cache_evictions: reg.counter(
+                "deptree_response_cache_evictions_total",
+                "Response-cache entries removed by capacity pressure or dataset invalidation.",
+                &[],
+            ),
+            response_cache_bytes: reg.gauge(
+                "deptree_response_cache_bytes",
+                "Bytes currently held by the response cache (keys and values).",
                 &[],
             ),
             shed: [shed("connections"), shed("queue"), shed("closed")],
@@ -121,6 +152,7 @@ fn normalize_route(path: &str) -> &'static str {
         "/v1/detect" => "/v1/detect",
         "/v1/repair" => "/v1/repair",
         "/v1/dedup" => "/v1/dedup",
+        "/v1/batch" => "/v1/batch",
         "/admin/datasets" => "/admin/datasets",
         "/admin/datasets/drop" => "/admin/datasets/drop",
         "/admin/reload" => "/admin/reload",
@@ -143,11 +175,12 @@ fn status_str(status: u16) -> &'static str {
     }
 }
 
-/// Render the whole registry as Prometheus text, refreshing the sampled
-/// gauges first.
-pub fn render(inflight: usize) -> String {
-    let m = serve_metrics();
-    m.inflight.set(inflight as i64);
+/// Render the whole registry as Prometheus text. Every gauge —
+/// including `deptree_inflight_requests`, which the listener maintains
+/// at request start/end — is already live; nothing is refreshed at
+/// scrape time.
+pub fn render() -> String {
+    let _ = serve_metrics();
     obs::registry().render()
 }
 
@@ -337,13 +370,17 @@ mod tests {
 
     #[test]
     fn required_series_exist_at_boot() {
-        let text = render(0);
+        let text = render();
         for series in [
             "deptree_requests_total",
             "deptree_shed_total",
             "deptree_request_duration_seconds",
             "deptree_inflight_requests",
             "deptree_cache_hits_total",
+            "deptree_response_cache_hits_total",
+            "deptree_response_cache_misses_total",
+            "deptree_response_cache_evictions_total",
+            "deptree_response_cache_bytes",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
@@ -421,7 +458,7 @@ deptree_request_duration_seconds_sum 0.5
         let _ = worker_up(0);
         set_slot_state(0, "up");
         let _ = worker_inflight(0);
-        let text = render(0);
+        let text = render();
         for series in [
             "deptree_gateway_fanout_duration_seconds",
             "deptree_gateway_degraded_total",

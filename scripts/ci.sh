@@ -24,18 +24,23 @@
 #      must be byte-identical to the frozen row-major reference paths on
 #      every task, and the interning CSV parse must allocate less than a
 #      row-materializing one;
-#   6. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
+#   6. serve_loadgen --smoke — boot the three-phase keep-alive benchmark
+#      at a reduced size and require that connection reuse beats
+#      close-per-request, the response cache actually hits, and a cached
+#      replay is byte-identical to the reply that populated it;
+#   7. serve smoke — boot `deptree serve` on an ephemeral port, round-trip
 #      `deptree query` calls (the discover reply must be byte-identical to
 #      the pre-columnar recorded snapshot), scrape /metrics and require
-#      every load-bearing series, SIGTERM it, and require a graceful
+#      every load-bearing series (including the response-cache counters),
+#      SIGTERM it, and require a graceful
 #      exit 0;
-#   7. gateway smoke — boot `deptree gateway` with two sharded workers,
+#   8. gateway smoke — boot `deptree gateway` with two sharded workers,
 #      round-trip a merged discover, `kill -9` one worker and require the
 #      fan-out to *heal* (full, byte-identical answers via failover
 #      re-sharding) before the supervisor's respawn, require the
 #      self-healing metric series in the aggregated /metrics, then
 #      SIGTERM-drain the whole fleet to exit 0;
-#   8. rolling-restart smoke — boot a three-worker sharded gateway, keep
+#   9. rolling-restart smoke — boot a three-worker sharded gateway, keep
 #      a continuous `deptree query` loop running, trigger
 #      `deptree query reload`, and require zero dropped requests while
 #      every worker restarts exactly once.
@@ -76,6 +81,9 @@ echo "== columnar equivalence suite (serial + 8-thread pools) =="
 DEPTREE_THREADS=1 cargo test -q --test columnar_equivalence
 DEPTREE_THREADS=8 cargo test -q --test columnar_equivalence
 
+echo "== serve_loadgen smoke (keep-alive beats close, cache hits, byte-identical replay) =="
+cargo run --release --quiet --bin serve_loadgen -- --smoke
+
 echo "== serve smoke (boot, query round trip, drain to exit 0) =="
 serve_log="$(mktemp)"
 trap 'rm -f "$serve_log"' EXIT
@@ -114,6 +122,9 @@ for series in \
     deptree_inflight_requests \
     'deptree_dataset_bytes{dataset="hotels"}' \
     deptree_cache_hits_total \
+    deptree_response_cache_hits_total \
+    deptree_response_cache_misses_total \
+    deptree_response_cache_evictions_total \
     deptree_partition_product_radix_total \
     deptree_partition_product_hash_total \
     deptree_pairgen_distinct_gram_hits_total; do

@@ -12,11 +12,14 @@
 //!                            [--workers N] [--queue-depth N] [--max-conns N]
 //!                            [--default-timeout-ms MS] [--max-timeout-ms MS]
 //!                            [--drain-grace-ms MS] [--threads T] [--lossy]
+//!                            [--max-requests-per-conn N] [--keepalive-idle-ms MS]
+//!                            [--response-cache-bytes N]
 //! deptree query   <discover|validate|detect|repair|dedup|datasets|metrics|reload>
 //!                            --addr HOST:PORT
 //!                            [--dataset NAME] [--rule "..."] [--keys a,b] [--max-lhs K]
 //!                            [--error E] [--timeout-ms MS] [--max-nodes N] [--max-rows N]
 //!                            [--retries N] [--max-attempts N] [--seed S] [--out FILE]
+//!                            [--repeat N]
 //! deptree gateway --data name=path[:types] [--data ...] [--shard NAME] [--workers N]
 //!                            [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]
 //!                            [--respawn-base-ms MS] [--respawn-max-ms MS]
@@ -110,13 +113,17 @@ fn main() -> ExitCode {
             esay!("                             [--default-timeout-ms MS] [--max-timeout-ms MS]");
             esay!("                             [--drain-grace-ms MS] [--lossy]");
             esay!(
+                "                             [--max-requests-per-conn N] [--keepalive-idle-ms MS]"
+            );
+            esay!("                             [--response-cache-bytes N]");
+            esay!(
                 "  deptree query   <discover|validate|detect|repair|dedup|datasets|metrics|reload>"
             );
             esay!(
                 "                             --addr HOST:PORT [--dataset NAME] [--rule \"...\"]"
             );
             esay!("                             [--keys a,b] [--timeout-ms MS] [--retries N]");
-            esay!("                             [--max-attempts N]");
+            esay!("                             [--max-attempts N] [--repeat N]");
             esay!("  deptree gateway --data name=path[:types] [--shard NAME] [--workers N]");
             esay!("                             [--addr HOST:PORT] [--worker-bin PATH] [--replicas N]");
             esay!("                             [--respawn-base-ms MS] [--quarantine-after K]");
@@ -448,6 +455,15 @@ fn serve_cmd(args: &[String]) -> Result<(), CliError> {
             .map_or(defaults.drain_grace, Duration::from_millis),
         threads: threads(args)?,
         limits: defaults.limits,
+        max_requests_per_conn: num_flag(args, "--max-requests-per-conn")?
+            .map_or(defaults.max_requests_per_conn, |n| (n as usize).max(1)),
+        keepalive_idle: num_flag(args, "--keepalive-idle-ms")?
+            .map_or(defaults.keepalive_idle, Duration::from_millis),
+        // The CLI default turns the response cache ON (the library
+        // default is off so embedded tests opt in): production traffic
+        // is read-heavy and the cache is invalidation-safe by design.
+        response_cache_bytes: num_flag(args, "--response-cache-bytes")?
+            .map_or(64 << 20, |n| n as usize),
     };
 
     // Install the signal handler *before* announcing the listener: a
@@ -710,8 +726,21 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         }
     };
 
-    let resp = deptree::serve::query(&config, method, &path, body.as_ref())
+    // `--repeat N` re-issues the same request N times over one pooled
+    // keep-alive connection (a cache/latency probe); the last response
+    // is the one rendered. N = 1 is the plain single-shot path.
+    let repeat = match num_flag(args, "--repeat")? {
+        Some(0) => return Err(usage("bad --repeat (must be at least 1)")),
+        Some(n) => n,
+        None => 1,
+    };
+    let pool = deptree::serve::ConnPool::new();
+    let mut resp = deptree::serve::query_pooled(&pool, &config, method, &path, body.as_ref())
         .map_err(|e| CliError::Exit(e.code.exit_code(), e.to_string()))?;
+    for _ in 1..repeat {
+        resp = deptree::serve::query_pooled(&pool, &config, method, &path, body.as_ref())
+            .map_err(|e| CliError::Exit(e.code.exit_code(), e.to_string()))?;
+    }
 
     if task == "datasets" {
         for d in resp

@@ -1,0 +1,411 @@
+//! Closed-loop load generator for `deptree serve`: keep-alive and the
+//! versioned response cache, measured against close-per-request.
+//!
+//! ```sh
+//! cargo run --release --bin serve_loadgen             # full: writes BENCH_serve.json
+//! cargo run --release --bin serve_loadgen -- --smoke  # tiny, CI gate
+//! ```
+//!
+//! Three server configurations, each a fresh in-process `deptree serve`
+//! on an ephemeral port over the same seeded synthetic dataset:
+//!
+//! - `close` — `max_requests_per_conn = 1`, cache off: every request
+//!   dials, sends, reads, and closes (the pre-keep-alive behavior);
+//! - `keepalive` — connection reuse on, cache off;
+//! - `keepalive_cache` — connection reuse on, response cache on.
+//!
+//! The workload is repeat-read: a fixed cycle of distinct
+//! discover/validate/detect requests, the shape a profiling service
+//! actually sees (the same questions asked again and again against an
+//! unchanged dataset). Closed-loop client threads — each owning one
+//! connection, issuing its next request only after the previous reply —
+//! run at 1×/4×/16× the server's worker count for a fixed wall window;
+//! requests/sec, p50/p99 latency and the shed rate (429/503 refusals)
+//! are recorded per cell. `--smoke` runs just the 4× cells and asserts
+//! the contracts CI gates on: keep-alive beats close-per-request,
+//! cached replay is byte-identical, and the cache hit counter moved.
+//!
+//! Everything is seeded and closed-loop; no wall-clock-dependent request
+//! mix, so two runs on the same machine measure the same schedule.
+
+use deptree::relation::{Relation, RelationBuilder, Value, ValueType};
+use deptree::serve::{self, ClientConfig, ConnPool, Json, ServeConfig, ServerHandle};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Worker threads per phase server (and the unit of load: 1× = this
+/// many client threads).
+const WORKERS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let rows = if smoke { 1_500 } else { 8_000 };
+    let window = if smoke {
+        Duration::from_millis(1_500)
+    } else {
+        Duration::from_secs(5)
+    };
+    let loads: &[usize] = if smoke { &[4] } else { &[1, 4, 16] };
+
+    let relation = bench_relation(rows);
+    let bodies = request_mix();
+    println!(
+        "dataset: {rows} rows × {} columns; {} distinct requests in the cycle",
+        relation.n_attrs(),
+        bodies.len()
+    );
+
+    let mut phase_json = Vec::new();
+    let mut rps_at_4x: Vec<(String, f64)> = Vec::new();
+    let mut cache_identical = false;
+    let mut cache_hits = 0.0;
+    for phase in ["close", "keepalive", "keepalive_cache"] {
+        let handle = spawn_phase_server(phase, &relation);
+        let addr = handle.addr().to_string();
+        // Populate-and-replay check before the timed window, so the
+        // byte-identity claim in the JSON is about the cache itself and
+        // not about two computations happening to agree.
+        if phase == "keepalive_cache" {
+            cache_identical = assert_cached_replay_identical(&addr, &bodies[0]);
+        }
+        let mut cells = Vec::new();
+        for &load in loads {
+            let threads = WORKERS * load;
+            let cell = run_cell(&addr, phase != "close", threads, window, &bodies);
+            println!(
+                "{phase:>16} {load:>2}x: {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms  shed {:.3}",
+                cell.rps, cell.p50_ms, cell.p99_ms, cell.shed_rate
+            );
+            if load == 4 {
+                rps_at_4x.push((phase.to_owned(), cell.rps));
+            }
+            let mut obj = String::new();
+            let _ = write!(
+                obj,
+                "        {{\"load_x\": {load}, \"threads\": {threads}, \"requests\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"shed\": {}, \"shed_rate\": {:.4}, \"errors\": {}}}",
+                cell.completed, cell.rps, cell.p50_ms, cell.p99_ms, cell.shed, cell.shed_rate, cell.errors
+            );
+            cells.push(obj);
+        }
+        if phase == "keepalive_cache" {
+            cache_hits = scrape_counter(&addr, "deptree_response_cache_hits_total");
+        }
+        handle.drain();
+        handle.join();
+        let mut obj = String::new();
+        let _ = write!(
+            obj,
+            "    {{\n      \"phase\": \"{phase}\",\n      \"cells\": [\n{}\n      ]\n    }}",
+            cells.join(",\n")
+        );
+        phase_json.push(obj);
+    }
+
+    let rps_of = |name: &str| -> f64 {
+        rps_at_4x
+            .iter()
+            .find(|(p, _)| p == name)
+            .map_or(0.0, |(_, r)| *r)
+    };
+    let close = rps_of("close");
+    let keepalive = rps_of("keepalive");
+    let cached = rps_of("keepalive_cache");
+    let speedup = if close > 0.0 { cached / close } else { 0.0 };
+    println!(
+        "at 4x: close {close:.1} req/s, keepalive {keepalive:.1} req/s, keepalive+cache {cached:.1} req/s ({speedup:.2}x over close)"
+    );
+    println!("cache: replay byte-identical: {cache_identical}; hits counted: {cache_hits}");
+
+    if !cache_identical {
+        eprintln!("error: cached replay was not byte-identical to the reply that populated it");
+        std::process::exit(3);
+    }
+    if cache_hits <= 0.0 {
+        eprintln!("error: deptree_response_cache_hits_total never moved during the cache phase");
+        std::process::exit(3);
+    }
+    if smoke {
+        // The CI contracts. The full ≥2x floor is asserted on the real
+        // benchmark below; the smoke sizes are too small to promise a
+        // stable multiple, but reuse must never *lose* to re-dialing.
+        if keepalive + cached <= 2.0 * close && cached <= close {
+            eprintln!(
+                "error: keep-alive did not beat close-per-request (close {close:.1}, keepalive {keepalive:.1}, cached {cached:.1} req/s)"
+            );
+            std::process::exit(3);
+        }
+        println!(
+            "smoke: keep-alive + cache beat close-per-request; cache replays byte-identically"
+        );
+        return;
+    }
+    if speedup < 2.0 {
+        eprintln!(
+            "error: keep-alive + cache is only {speedup:.2}x over close-per-request at 4x (floor: 2x)"
+        );
+        std::process::exit(3);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen\",\n  \"mode\": \"full\",\n  \"rows\": {rows},\n  \"workers\": {WORKERS},\n  \"window_ms\": {},\n  \"request_cycle\": {},\n  \"phases\": [\n{}\n  ],\n  \"rps_at_4x\": {{\"close\": {close:.1}, \"keepalive\": {keepalive:.1}, \"keepalive_cache\": {cached:.1}}},\n  \"keepalive_cache_vs_close_at_4x\": {speedup:.2},\n  \"cached_replay_byte_identical\": {cache_identical},\n  \"cache_hits_total\": {cache_hits}\n}}\n",
+        window.as_millis(),
+        bodies.len(),
+        phase_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_serve.json", &json) {
+        eprintln!("error: cannot write BENCH_serve.json: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote BENCH_serve.json");
+}
+
+/// A seeded dataset shaped like reference data: a functional key column,
+/// a dependent column that mostly follows it, and enough co-varying
+/// columns to make `discover` genuinely search.
+fn bench_relation(n: usize) -> Relation {
+    let mut b = RelationBuilder::new()
+        .attr("city", ValueType::Categorical)
+        .attr("region", ValueType::Categorical)
+        .attr("zip", ValueType::Categorical)
+        .attr("carrier", ValueType::Categorical)
+        .attr("population", ValueType::Numeric);
+    for i in 0..n as i64 {
+        let city = i % 211;
+        // One city in fifty points at the "wrong" region: detect and
+        // validate have real violations to count.
+        let region = if i % 50 == 0 { 97 } else { city % 23 };
+        b = b.row(vec![
+            Value::str(format!("c{city}")),
+            Value::str(format!("r{region}")),
+            Value::str(format!("z{}", city % 89)),
+            Value::str(format!("k{}", i % 7)),
+            Value::int(city * 1000 + (i % 13) * 17),
+        ]);
+    }
+    match b.build() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: internal workload builder produced an invalid relation: {e}");
+            std::process::exit(4);
+        }
+    }
+}
+
+/// The repeat-read cycle: distinct requests, every one cacheable.
+fn request_mix() -> Vec<Json> {
+    vec![
+        Json::obj()
+            .set("dataset", "bench")
+            .set("max_lhs", 2u64)
+            .set("timeout_ms", 30_000u64),
+        Json::obj()
+            .set("dataset", "bench")
+            .set("rule", "city -> region")
+            .set("timeout_ms", 30_000u64),
+        Json::obj()
+            .set("dataset", "bench")
+            .set("rule", "zip, carrier -> region")
+            .set("timeout_ms", 30_000u64),
+        Json::obj()
+            .set("dataset", "bench")
+            .set("rule", "city -> region")
+            .set("timeout_ms", 30_000u64),
+    ]
+}
+
+/// The path each request in the cycle goes to (index-aligned with
+/// [`request_mix`]): one discover, then validate/detect reads.
+fn path_of(i: usize) -> &'static str {
+    match i % 4 {
+        0 => "/v1/discover",
+        1 => "/v1/validate",
+        2 => "/v1/detect",
+        _ => "/v1/detect",
+    }
+}
+
+fn spawn_phase_server(phase: &str, relation: &Relation) -> ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        datasets: vec![("bench".to_owned(), relation.clone())],
+        workers: WORKERS,
+        max_connections: 256,
+        queue_depth: 256,
+        max_requests_per_conn: if phase == "close" { 1 } else { 1024 },
+        keepalive_idle: Duration::from_millis(200),
+        response_cache_bytes: if phase == "keepalive_cache" {
+            64 << 20
+        } else {
+            0
+        },
+        ..ServeConfig::default()
+    };
+    match serve::spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start the {phase} phase server: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn client_config(addr: &str) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_owned(),
+        retries: 2,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        io_timeout: Duration::from_secs(60),
+        frame_timeout: Duration::from_secs(75),
+        ..ClientConfig::default()
+    }
+}
+
+/// One measured cell's client-side tallies.
+struct Cell {
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed_rate: f64,
+}
+
+/// Run `threads` closed-loop clients against `addr` for `window`. Each
+/// thread owns its connection (its own single-socket pool) and walks the
+/// request cycle from a thread-distinct offset, so every distinct
+/// request is always in flight somewhere.
+fn run_cell(addr: &str, pooled: bool, threads: usize, window: Duration, bodies: &[Json]) -> Cell {
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let addr = addr.to_owned();
+        let bodies = bodies.to_vec();
+        let spawned = std::thread::Builder::new()
+            .name(format!("loadgen-{t}"))
+            .spawn(move || {
+                let config = client_config(&addr);
+                let pool = ConnPool::new();
+                let deadline = Instant::now() + window;
+                let mut lat_ms: Vec<f64> = Vec::new();
+                let (mut shed, mut errors) = (0u64, 0u64);
+                let mut i = t; // distinct starting offset per thread
+                while Instant::now() < deadline {
+                    let body = &bodies[i % bodies.len()];
+                    let path = path_of(i);
+                    let t0 = Instant::now();
+                    let outcome = if pooled {
+                        serve::query_pooled(&pool, &config, "POST", path, Some(body))
+                    } else {
+                        serve::query(&config, "POST", path, Some(body))
+                    };
+                    match outcome {
+                        Ok(_) => lat_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                        Err(e) if matches!(e.code.http_status(), 429 | 503) => shed += 1,
+                        Err(_) => errors += 1,
+                    }
+                    i += 1;
+                }
+                (lat_ms, shed, errors)
+            });
+        match spawned {
+            Ok(j) => joins.push(j),
+            Err(e) => {
+                eprintln!("error: cannot spawn load thread: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let started = Instant::now();
+    let mut lat_ms: Vec<f64> = Vec::new();
+    let (mut shed, mut errors) = (0u64, 0u64);
+    for j in joins {
+        match j.join() {
+            Ok((l, s, e)) => {
+                lat_ms.extend(l);
+                shed += s;
+                errors += e;
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let elapsed = window.as_secs_f64().max(started.elapsed().as_secs_f64());
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    let completed = lat_ms.len() as u64;
+    let issued = completed + shed + errors;
+    Cell {
+        completed,
+        shed,
+        errors,
+        rps: completed as f64 / elapsed,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        shed_rate: if issued == 0 {
+            0.0
+        } else {
+            shed as f64 / issued as f64
+        },
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample (0 when empty).
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// Issue the same request twice on one pooled connection and require the
+/// second (cached) reply to be byte-for-byte the first (the reply that
+/// populated the cache). A fresh recompute would differ in its timing
+/// stats; byte equality is the cache's replay contract.
+fn assert_cached_replay_identical(addr: &str, body: &Json) -> bool {
+    let config = client_config(addr);
+    let pool = ConnPool::new();
+    let payload = body.render().into_bytes();
+    let first = serve::forward_pooled(&pool, &config, "POST", "/v1/discover", Some(&payload));
+    let second = serve::forward_pooled(&pool, &config, "POST", "/v1/discover", Some(&payload));
+    match (first, second) {
+        (Ok(a), Ok(b)) => {
+            if a.status != 200 || b.status != 200 {
+                eprintln!(
+                    "error: replay probe answered {} then {}",
+                    a.status, b.status
+                );
+                return false;
+            }
+            a.body == b.body
+        }
+        (a, b) => {
+            eprintln!(
+                "error: replay probe failed: {} / {}",
+                a.err().map_or_else(|| "ok".into(), |e| e.to_string()),
+                b.err().map_or_else(|| "ok".into(), |e| e.to_string()),
+            );
+            false
+        }
+    }
+}
+
+/// Read one counter's value off the server's Prometheus exposition.
+fn scrape_counter(addr: &str, series: &str) -> f64 {
+    let config = client_config(addr);
+    match serve::fetch_text(&config, "/metrics") {
+        Ok((200, text)) => text
+            .lines()
+            .find(|l| l.starts_with(series))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+        Ok((status, _)) => {
+            eprintln!("error: /metrics answered HTTP {status}");
+            0.0
+        }
+        Err(e) => {
+            eprintln!("error: /metrics scrape failed: {e}");
+            0.0
+        }
+    }
+}

@@ -654,6 +654,10 @@ fn metrics_scrape_under_load_exposes_the_required_series() {
         "deptree_inflight_requests",
         "deptree_cache_hits_total",
         "deptree_cache_misses_total",
+        "deptree_response_cache_hits_total",
+        "deptree_response_cache_misses_total",
+        "deptree_response_cache_evictions_total",
+        "deptree_response_cache_bytes",
     ] {
         assert!(text2.contains(series), "missing {series} in:\n{text2}");
     }
@@ -1728,4 +1732,329 @@ fn second_sigterm_during_drain_forces_exit_130() {
     );
     let _ = slow.join();
     let _ = std::fs::remove_file(&csv);
+}
+
+// ---- keep-alive + response-cache suite ----------------------------------
+
+/// Build one request frame. `connection: None` omits the header (HTTP/1.1
+/// defaults to keep-alive).
+fn frame(method: &str, path: &str, body: &[u8], connection: Option<&str>) -> Vec<u8> {
+    let conn = connection.map_or(String::new(), |c| format!("Connection: {c}\r\n"));
+    let mut f = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{conn}\r\n",
+        body.len()
+    )
+    .into_bytes();
+    f.extend_from_slice(body);
+    f
+}
+
+/// Read exactly one HTTP response frame off a socket (head through
+/// `\r\n\r\n`, then `Content-Length` body bytes), leaving the connection
+/// open for the next frame.
+fn read_one_response(s: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut one = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        match s.read(&mut one) {
+            Ok(1) => buf.push(one[0]),
+            other => panic!(
+                "socket closed mid-head after {} bytes: {other:?}",
+                buf.len()
+            ),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf).into_owned();
+    let cl: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .map(|v| v.trim().parse().expect("content-length parses"))
+        .unwrap_or(0);
+    let mut body = vec![0u8; cl];
+    s.read_exact(&mut body)
+        .expect("whole declared body arrives");
+    head + &String::from_utf8_lossy(&body)
+}
+
+fn body_text(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or_default()
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_on_one_connection() {
+    let handle = start(ServeConfig {
+        keepalive_idle: Duration::from_millis(150),
+        ..test_config()
+    });
+
+    // Two distinguishable requests in one write: a detect on a known
+    // dataset, then a detect on an unknown one. In-order framing is
+    // observable from the statuses and the `task`/`error` bodies.
+    let mut pipelined = frame(
+        "POST",
+        "/v1/detect",
+        br#"{"dataset":"hotels","rule":"address -> region"}"#,
+        None,
+    );
+    pipelined.extend(frame(
+        "POST",
+        "/v1/detect",
+        br#"{"dataset":"nope","rule":"a -> b"}"#,
+        None,
+    ));
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    s.write_all(&pipelined).expect("send both frames");
+
+    let r1 = read_one_response(&mut s);
+    let r2 = read_one_response(&mut s);
+    assert!(r1.starts_with("HTTP/1.1 200"), "first reply: {r1:?}");
+    assert!(r1.contains("Connection: keep-alive"), "{r1:?}");
+    assert_eq!(body_of(&r1).str_field("task"), Some("detect"));
+    assert!(r2.starts_with("HTTP/1.1 404"), "second reply: {r2:?}");
+    assert_eq!(error_code_of(&r2), "not_found");
+
+    // The connection still serves a third, non-pipelined request.
+    s.write_all(&frame("GET", "/healthz", b"", Some("close")))
+        .expect("third request");
+    let r3 = read_one_response(&mut s);
+    assert!(r3.starts_with("HTTP/1.1 200"), "third reply: {r3:?}");
+    assert!(r3.contains("Connection: close"), "{r3:?}");
+    stop(handle);
+}
+
+#[test]
+fn frame_clock_resets_per_request_on_a_reused_connection() {
+    let handle = start(ServeConfig {
+        read_timeout: Duration::from_millis(500),
+        frame_timeout: Duration::from_millis(1_000),
+        keepalive_idle: Duration::from_millis(2_500),
+        ..test_config()
+    });
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    // Request 1 answers fast and keeps the connection.
+    s.write_all(&frame("GET", "/healthz", b"", None))
+        .expect("send");
+    let r1 = read_one_response(&mut s);
+    assert!(r1.starts_with("HTTP/1.1 200"), "{r1:?}");
+
+    // Idle longer than the whole frame budget, within the idle window:
+    // request 2 must still answer 200 — its FrameClock starts when its
+    // bytes do, not when the connection was accepted.
+    std::thread::sleep(Duration::from_millis(1_200));
+    s.write_all(&frame("GET", "/healthz", b"", None))
+        .expect("send after idle");
+    let r2 = read_one_response(&mut s);
+    assert!(
+        r2.starts_with("HTTP/1.1 200"),
+        "second request on a reused connection must get a fresh frame budget: {r2:?}"
+    );
+
+    // Request 3 stalls mid-head past the budget: 408, then close — the
+    // slow frame kills only itself, never the already-shipped replies.
+    s.write_all(b"GET /healthz HT").expect("send partial head");
+    let r3 = read_one_response(&mut s);
+    assert!(r3.starts_with("HTTP/1.1 408"), "{r3:?}");
+    assert!(r3.contains("Connection: close"), "{r3:?}");
+    let mut rest = Vec::new();
+    let eof = s.read_to_end(&mut rest);
+    assert!(
+        matches!(eof, Ok(0)),
+        "server must close after the 408: {eof:?} {rest:?}"
+    );
+    stop(handle);
+}
+
+#[test]
+fn mid_stream_disconnects_on_reused_connections_leak_nothing() {
+    let handle = start(ServeConfig {
+        keepalive_idle: Duration::from_millis(100),
+        ..test_config()
+    });
+
+    // Repeatedly: one good request, then vanish mid-way through the
+    // second frame. Every cycle must fully release its admission slot
+    // and its in-flight accounting.
+    for _ in 0..20 {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        s.write_all(&frame("GET", "/healthz", b"", None))
+            .expect("send");
+        let r = read_one_response(&mut s);
+        assert!(r.starts_with("HTTP/1.1 200"), "{r:?}");
+        s.write_all(b"POST /v1/detect HTTP/1.1\r\nContent-Le")
+            .expect("send partial second frame");
+        drop(s); // abrupt disconnect mid-frame
+    }
+
+    // The server still serves, and nothing is stuck in flight.
+    let resp = deptree::serve::query(&client(&handle), "GET", "/healthz", None)
+        .expect("healthz after disconnect churn");
+    assert_eq!(resp.status, 200);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, text) =
+            deptree::serve::fetch_text(&client(&handle), "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        // The gauge brackets respond() for every request, so the scrape
+        // always counts itself: a clean server reads exactly 1 here.
+        if metric_value(&text, "deptree_inflight_requests") == Some(1.0) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "inflight gauge never returned to 0:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    stop(handle);
+}
+
+#[test]
+fn drain_closes_reused_connections_after_the_in_flight_reply() {
+    let handle = start(ServeConfig {
+        datasets: vec![("wide".to_owned(), wide_relation(18, 200, 7))],
+        ..test_config()
+    });
+
+    // A slow discover on a keep-alive connection, in flight when the
+    // drain begins.
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    s.write_all(&frame(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"wide","max_lhs":8,"timeout_ms":20000}"#,
+        None,
+    ))
+    .expect("send slow discover");
+    let mut waited = 0;
+    while handle.drain_state().inflight() == 0 && waited < 5_000 {
+        std::thread::sleep(Duration::from_millis(5));
+        waited += 5;
+    }
+    assert!(
+        handle.drain_state().inflight() > 0,
+        "slow request never started"
+    );
+
+    let drainer = {
+        let state = std::sync::Arc::clone(handle.drain_state());
+        std::thread::spawn(move || {
+            deptree::serve::drain::run_drain(&state, Duration::from_millis(500))
+        })
+    };
+
+    // The in-flight reply still ships — as a sound partial once the
+    // grace expires — but on a connection the drain flips to close: no
+    // keep-alive may survive into shutdown.
+    let r = read_one_response(&mut s);
+    assert!(r.starts_with("HTTP/1.1 200"), "{r:?}");
+    assert!(
+        r.contains("Connection: close"),
+        "a reply shipped during drain must close the connection: {r:?}"
+    );
+    assert_eq!(body_of(&r).bool_field("partial"), Some(true));
+    let mut rest = Vec::new();
+    let eof = s.read_to_end(&mut rest);
+    assert!(
+        matches!(eof, Ok(0)),
+        "no further frames after drain: {eof:?}"
+    );
+
+    drainer.join().expect("drain coordinator must not panic");
+    handle.join();
+}
+
+#[test]
+fn cached_replies_are_byte_identical_and_die_with_their_dataset_version() {
+    let handle = start(ServeConfig {
+        response_cache_bytes: 1 << 20,
+        keepalive_idle: Duration::from_millis(150),
+        ..test_config()
+    });
+    let detect = frame(
+        "POST",
+        "/v1/detect",
+        br#"{"dataset":"hotels","rule":"address -> region"}"#,
+        None,
+    );
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    s.write_all(&detect).expect("send");
+    let first = read_one_response(&mut s);
+    assert!(first.starts_with("HTTP/1.1 200"), "{first:?}");
+    s.write_all(&detect).expect("send again");
+    let second = read_one_response(&mut s);
+    assert_eq!(
+        body_text(&first),
+        body_text(&second),
+        "a cache hit must replay the populating reply byte-for-byte"
+    );
+
+    // Replace the dataset: the version bump makes every prior entry
+    // unreachable, so the same request is recomputed against the new
+    // data — observably different bytes, not a stale replay.
+    let admin = frame(
+        "POST",
+        "/admin/datasets",
+        br#"{"name":"hotels","csv":"address,region\na1,r1\na1,r2\n","types":"c,c"}"#,
+        None,
+    );
+    s.write_all(&admin).expect("send admin replace");
+    let replaced = read_one_response(&mut s);
+    assert!(replaced.starts_with("HTTP/1.1 200"), "{replaced:?}");
+    s.write_all(&detect).expect("send after replace");
+    let third = read_one_response(&mut s);
+    assert!(third.starts_with("HTTP/1.1 200"), "{third:?}");
+    assert_ne!(
+        body_text(&first),
+        body_text(&third),
+        "a dataset mutation must invalidate its cached replies"
+    );
+    stop(handle);
+}
+
+#[test]
+fn content_length_smuggling_attempts_are_rejected() {
+    let handle = start(ServeConfig {
+        keepalive_idle: Duration::from_millis(100),
+        ..test_config()
+    });
+
+    // A signed length, two agreeing lengths, and two conflicting
+    // lengths: every one is the classic request-smuggling ambiguity, and
+    // every one must die as 400 before any body byte is interpreted.
+    let attempts: [&[u8]; 3] = [
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: +5\r\n\r\nAAAAA",
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nAAAAA",
+        b"POST /v1/detect HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 45\r\n\r\nAAGET /smuggled HTTP/1.1\r\nHost: t\r\n\r\n",
+    ];
+    for attempt in attempts {
+        let resp = raw(&handle, attempt);
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "smuggling attempt must be rejected outright: {:?} -> {resp:?}",
+            String::from_utf8_lossy(attempt)
+        );
+        assert_eq!(error_code_of(&resp), "bad_request");
+        assert!(
+            resp.contains("Connection: close"),
+            "an unparseable frame must not leave the connection open: {resp:?}"
+        );
+    }
+
+    // The server is unharmed.
+    let resp = deptree::serve::query(&client(&handle), "GET", "/healthz", None)
+        .expect("healthz after smuggling attempts");
+    assert_eq!(resp.status, 200);
+    stop(handle);
 }
